@@ -1,0 +1,47 @@
+"""Benchmark-harness configuration.
+
+Each benchmark file regenerates one table or figure of the paper's
+evaluation (see DESIGN.md's per-experiment index).  Results are printed
+and also written to ``benchmarks/results/*.txt`` so they survive pytest
+output capture.
+
+Scale: set ``REPRO_BENCH_SCALE`` to ``test``, ``small`` (default) or
+``ref``; ``ref`` takes a few minutes but uses the largest workloads.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    if scale not in ("test", "small", "ref"):
+        raise ValueError(f"bad REPRO_BENCH_SCALE: {scale}")
+    return scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def publish(results_dir):
+    """Print a report and persist it under benchmarks/results/."""
+    def _publish(name: str, text: str) -> None:
+        print()
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+    return _publish

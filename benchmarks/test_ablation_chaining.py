@@ -1,0 +1,63 @@
+"""Ablation — DBT block chaining.
+
+Chaining (patching exit stubs into direct jumps) is what keeps the
+DBT baseline near the paper's ~12%: without it, every block transition
+takes a trip through the dispatcher.  Also ablated: the Backend's
+update-folding optimization, which compresses signature updates into
+single lea instructions — and, notably, flips the EdgCF/ECF cost
+ordering (see EXPERIMENTS.md).
+"""
+
+from repro.analysis.report import format_table, geomean
+from repro.checking import make_technique
+from repro.dbt import Dbt
+from repro.machine import run_native
+from repro.workloads import load
+
+NAMES = ("181.mcf", "254.gap", "171.swim")
+
+
+def _measure():
+    rows = {}
+    for name in NAMES:
+        program = load(name, "test")
+        cpu, _ = run_native(program)
+        native = cpu.cycles
+
+        def slowdown(**kwargs):
+            dbt = Dbt(program, **kwargs)
+            result = dbt.run()
+            assert result.ok
+            return dbt.cpu.cycles / native
+
+        rows[name] = {
+            "chained": slowdown(),
+            "unchained": slowdown(enable_chaining=False),
+            "edgcf": slowdown(technique=make_technique("edgcf")),
+            "edgcf-opt": slowdown(technique=make_technique("edgcf"),
+                                  optimize=True),
+        }
+    return rows
+
+
+def test_chaining_and_backend_ablation(benchmark, publish):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    table_rows = [[name] + [values[k] for k in
+                            ("chained", "unchained", "edgcf",
+                             "edgcf-opt")]
+                  for name, values in rows.items()]
+    text = ("Ablation: DBT chaining and Backend update folding "
+            "(slowdown vs native)\n"
+            + format_table(["benchmark", "dbt chained", "dbt unchained",
+                            "edgcf", "edgcf+fold"], table_rows))
+    publish("ablation_chaining", text)
+
+    for name, values in rows.items():
+        # chaining is what keeps the baseline cheap
+        assert values["unchained"] > values["chained"], name
+        # backend folding reduces instrumentation cost
+        assert values["edgcf-opt"] < values["edgcf"], name
+    # without chaining the baseline blows far past the ~12% regime
+    assert geomean(v["unchained"] for v in rows.values()) > \
+        geomean(v["chained"] for v in rows.values()) * 1.5

@@ -1,0 +1,51 @@
+"""Code footprint per technique.
+
+Section 3.2's justification for block-granular (not per-instruction)
+regions is that finer granularity would make "the performance cost and
+code footprint size ... prohibitive".  This bench quantifies the
+footprint each technique actually pays, statically (rewritten text /
+original text) and dynamically (code-cache bytes / translated guest
+bytes).
+"""
+
+from repro.analysis.footprint import footprint_table
+from repro.analysis.report import format_table
+from repro.workloads import load
+
+PROGRAMS = ("197.parser", "171.swim")
+
+
+def _measure():
+    return {name: footprint_table(load(name, "test"))
+            for name in PROGRAMS}
+
+
+def test_code_footprint(benchmark, publish):
+    data = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    rows = []
+    for name, table in data.items():
+        for row in table:
+            rows.append([name, row.technique,
+                         (f"{row.static_growth:.2f}"
+                          if row.static_growth else "-"),
+                         f"{row.cache_growth:.2f}"])
+    text = ("Code footprint — text growth per technique\n"
+            + format_table(["benchmark", "technique", "static x",
+                            "dbt-cache x"], rows))
+    publish("code_footprint", text)
+
+    for name, table in data.items():
+        by_name = {row.technique: row for row in table}
+        # instrumentation costs real space
+        assert by_name["edgcf"].cache_growth > \
+            by_name["none"].cache_growth
+        # RCF's extra region transition costs at least EdgCF's footprint
+        assert by_name["rcf"].cache_growth >= \
+            by_name["edgcf"].cache_growth
+        # sanity: growth in the regime the paper tolerates (single-digit
+        # multipliers, nowhere near per-instruction-region blowup)
+        for row in table:
+            assert row.cache_growth < 8.0
+            if row.static_growth:
+                assert row.static_growth < 8.0

@@ -1,0 +1,66 @@
+"""The coverage matrix — the paper's Section-3 comparison plus the
+inserted-branch safety column (the claim behind Figure 14's shading
+and the conclusion's "RCF can cover all the branch-errors, including
+those that occur at the conditional branch instructions inserted to
+update/check the signature").
+
+Expected picture:
+
+===========  =====  =====  =====  =====  =====  ===  =================
+technique      A      B      C      D      E     F   inserted branches
+===========  =====  =====  =====  =====  =====  ===  =================
+none         miss   miss   miss   miss   miss   hw   —
+CFCSS        miss   ok     miss   alias  alias  hw   —
+ECCA         miss   ok     miss   ok     miss   hw   —
+ECF          ok     ok     MISS   ok     ok     hw   unsafe (Jcc)
+EdgCF        ok     ok     ok     ok     ok     hw   unsafe (Jcc)
+RCF          ok     ok     ok     ok     ok     hw   covered
+===========  =====  =====  =====  =====  =====  ===  =================
+"""
+
+from repro.analysis import compute_coverage_matrix
+from repro.faults import Category
+from repro.workloads import load
+
+
+def _compute(scale):
+    # 254.gap discriminates well: category-C landings re-execute parts
+    # of mod-exp blocks, which is never output-neutral.  Campaigns are
+    # one full run per fault, so the test-scale workload keeps each of
+    # the several hundred runs short.
+    program = load("254.gap", "test")
+    return compute_coverage_matrix(program, per_category=12, seed=2006,
+                                   cache_max_sites=18)
+
+
+def test_coverage_matrix(benchmark, scale, publish):
+    matrix = benchmark.pedantic(_compute, args=(scale,), rounds=1,
+                                iterations=1)
+    publish("coverage_matrix", matrix.table())
+
+    sdc_capable = (Category.A, Category.B, Category.C, Category.D,
+                   Category.E)
+
+    # Unprotected run misses most SDC-capable categories.
+    assert not all(matrix.covered("dbt/none/allbb", c)
+                   for c in sdc_capable)
+    # Everyone benefits from hardware on F.
+    for label in matrix.results:
+        assert matrix.covered(label, Category.F), label
+
+    # The paper's per-technique claims.
+    assert not matrix.covered("static/cfcss/allbb", Category.A)
+    assert not matrix.covered("static/cfcss/allbb", Category.C)
+    assert not matrix.covered("static/ecca/allbb", Category.A)
+    assert not matrix.covered("static/ecca/allbb", Category.C)
+    assert not matrix.covered("dbt/ecf/allbb", Category.C)
+    for category in (Category.A, Category.B, Category.D, Category.E):
+        assert matrix.covered("dbt/ecf/allbb", category), category
+    for category in sdc_capable:
+        assert matrix.covered("dbt/edgcf/allbb", category), category
+        assert matrix.covered("dbt/rcf/allbb", category), category
+
+    # Inserted-branch (cache-level) safety: only RCF is clean.
+    assert matrix.cache_results["dbt/rcf/allbb"].undetected == 0
+    assert matrix.cache_results["dbt/ecf/allbb"].undetected > 0
+    assert matrix.cache_results["dbt/edgcf/allbb"].undetected > 0

@@ -1,0 +1,22 @@
+"""Section 6 baseline — "The average slow down from the native code to
+running on DBT is about 12%"."""
+
+from repro.analysis import dbt_baseline
+
+
+def test_dbt_baseline_overhead(benchmark, scale, publish):
+    sweep = benchmark.pedantic(dbt_baseline, args=(scale,), rounds=1,
+                               iterations=1)
+    means = sweep.geomeans("dbt-base", versus="native")
+    text = ("DBT baseline — uninstrumented-DBT slowdown vs native\n"
+            + sweep.table(["dbt-base"])
+            + f"\n\ngeomean overhead: fp={means['fp'] - 1:+.1%} "
+              f"int={means['int'] - 1:+.1%} all={means['all'] - 1:+.1%}"
+              "\n(paper: about +12%)")
+    publish("dbt_baseline", text)
+
+    # Same regime as the paper's ~12%.
+    assert 1.0 < means["all"] < 1.25
+    # Translation overhead comes from extra jumps and indirect-branch
+    # dispatch, both denser in the branchy int suite.
+    assert means["int"] >= means["fp"]

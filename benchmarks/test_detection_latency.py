@@ -1,0 +1,72 @@
+"""Extension — detection latency by checking policy.
+
+Quantifies the fail-stop discussion of Section 6: "the less frequently
+we check the signature, the more delay it can take to report the
+error."  For each policy, injects the same category-D/E fault set under
+RCF and reports the distribution of instructions executed between the
+fault and its report, plus how many errors were never reported (the
+hang exposure of RET/END).
+"""
+
+import statistics
+
+from repro.analysis.report import format_table
+from repro.checking import Policy
+from repro.faults import (Category, Outcome, Pipeline, PipelineConfig,
+                          generate_category_faults)
+from repro.workloads import load
+
+POLICIES = (Policy.ALLBB, Policy.RET_BE, Policy.RET, Policy.STORE,
+            Policy.END)
+
+
+def _measure():
+    program = load("254.gap", "test")
+    faults = generate_category_faults(program, per_category=12,
+                                      seed=2006)
+    results = {}
+    for policy in POLICIES:
+        pipeline = Pipeline(program,
+                            PipelineConfig("dbt", "rcf", policy))
+        latencies, unreported = [], 0
+        for category in (Category.B, Category.C, Category.D,
+                         Category.E):
+            for spec in faults.by_category[category]:
+                record = pipeline.run(spec)
+                if record.outcome is Outcome.DETECTED_SIGNATURE:
+                    latencies.append(record.detection_latency)
+                elif record.outcome in (Outcome.SDC, Outcome.HANG):
+                    unreported += 1
+        results[policy] = (latencies, unreported)
+    return results
+
+
+def test_detection_latency_by_policy(benchmark, publish):
+    results = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    rows = []
+    for policy, (latencies, unreported) in results.items():
+        if latencies:
+            rows.append([policy.value, len(latencies),
+                         int(statistics.median(latencies)),
+                         max(latencies), unreported])
+        else:
+            rows.append([policy.value, 0, "-", "-", unreported])
+    text = ("Detection latency (instructions from fault to report), "
+            "RCF on 254.gap\n"
+            + format_table(["policy", "reported", "median", "max",
+                            "unreported"], rows))
+    publish("detection_latency", text)
+
+    allbb_lat, allbb_unrep = results[Policy.ALLBB]
+    assert allbb_unrep == 0
+    assert statistics.median(allbb_lat) < 200
+    # sparser policies never report *faster* on the median
+    for policy in (Policy.RET_BE, Policy.RET, Policy.END):
+        latencies, _ = results[policy]
+        if latencies:
+            assert statistics.median(latencies) >= \
+                statistics.median(allbb_lat) * 0.5
+    # STORE checks before observable output: nothing slips through
+    _, store_unreported = results[Policy.STORE]
+    assert store_unreported == 0

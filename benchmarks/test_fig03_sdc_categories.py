@@ -1,0 +1,33 @@
+"""Figure 3 — branch-error probabilities over the SDC-capable
+categories A..E (renormalized).
+
+Paper reference: SPEC-Int A 20.70%, B 0.41%, C 2.22%, D 4.04%,
+E 72.62%; SPEC-Fp A 17.33%, B 0.03%, C 16.98%, D 1.52%, E 64.14%.
+Shape assertions below: E dominates, A second, B negligible, and the
+fp suite's big blocks make C ≫ D while the int suite has D > C.
+"""
+
+from repro.analysis import compute_figure2
+from repro.faults import Category
+
+
+def test_figure3_sdc_categories(benchmark, scale, publish):
+    figure = benchmark.pedantic(compute_figure2, args=(scale,),
+                                rounds=1, iterations=1)
+    publish("fig03_sdc_categories", figure.render_figure3())
+
+    int_dist = figure.int_model.sdc_distribution()
+    fp_dist = figure.fp_model.sdc_distribution()
+
+    for dist in (int_dist, fp_dist):
+        # E is the largest of B/C/D/E (the paper: "most of the errors
+        # are in category E")
+        assert dist[Category.E] == max(
+            dist[c] for c in (Category.B, Category.C, Category.D,
+                              Category.E))
+        assert dist[Category.B] < 0.05
+
+    # "the probability of error in category C is higher than category D
+    # in the SPEC-Fp benchmark" — and vice versa for SPEC-Int
+    assert fp_dist[Category.C] > fp_dist[Category.D]
+    assert int_dist[Category.D] > int_dist[Category.C]

@@ -1,0 +1,42 @@
+"""Figure 12 — per-benchmark performance slowdown for the RCF, EdgCF
+and ECF techniques under the DBT (Jcc updates, ALLBB policy).
+
+Paper reference (geomean-all, vs the uninstrumented-DBT baseline):
+RCF 1.46x, EdgCF 1.41x, ECF 1.39x; fp overheads visibly smaller than
+int ("the performance slowdown is less dramatic in the floating point
+benchmarks ... large basic blocks and/or more time-consuming
+instructions").
+"""
+
+from repro.analysis import figure12
+
+
+def test_figure12_technique_slowdown(benchmark, scale, publish):
+    sweep = benchmark.pedantic(figure12, args=(scale,), rounds=1,
+                               iterations=1)
+    labels = ["dbt-base", "rcf", "edgcf", "ecf"]
+    text = ("Figure 12 — slowdown vs native (dbt-base = uninstrumented "
+            "DBT)\n" + sweep.table(labels))
+    vs_dbt = {lb: sweep.geomeans(lb, versus="dbt-base")
+              for lb in ("rcf", "edgcf", "ecf")}
+    text += "\n\ngeomeans vs the DBT baseline (the paper's normalization):\n"
+    for label, means in vs_dbt.items():
+        text += (f"  {label:6s} fp={means['fp']:.3f} "
+                 f"int={means['int']:.3f} all={means['all']:.3f}\n")
+    from repro.analysis import bar_chart
+    text += "\n" + bar_chart(
+        [(label, means["all"]) for label, means in vs_dbt.items()],
+        title="geomean-all slowdown vs DBT baseline "
+              "(paper: RCF 1.46, EdgCF 1.41, ECF 1.39)")
+    publish("fig12_slowdown", text)
+
+    # Shape: RCF is the most expensive technique; every technique costs
+    # more than the uninstrumented DBT.
+    assert vs_dbt["rcf"]["all"] > vs_dbt["edgcf"]["all"]
+    assert vs_dbt["rcf"]["all"] >= vs_dbt["ecf"]["all"]
+    for means in vs_dbt.values():
+        assert means["all"] > 1.05
+        # fp overhead below int overhead (big blocks, costly FP ops)
+        assert means["fp"] < means["int"]
+    # rough magnitude: same regime as the paper's 1.39-1.46x
+    assert 1.1 < vs_dbt["rcf"]["all"] < 2.2

@@ -1,0 +1,38 @@
+"""Figure 15 — RCF slowdown under the four signature checking
+policies (ALLBB / RET-BE / RET / END).
+
+Paper reference: int overhead drops 77% -> 37% from ALLBB to RET-BE,
+fp 23% -> 18%, all 46% -> 26%; END reaches 16% and RET ≈ END because
+"programs spent most of the executing time in inner loops rather than
+calling and returning from functions".
+"""
+
+from repro.analysis import figure15
+
+
+def test_figure15_checking_policies(benchmark, scale, publish):
+    sweep = benchmark.pedantic(figure15, args=(scale,), rounds=1,
+                               iterations=1)
+    labels = ["rcf", "rcf-ret-be", "rcf-ret", "rcf-end"]
+    text = ("Figure 15 — RCF slowdown vs native under checking "
+            "policies\n" + sweep.table(labels))
+    means = {label: sweep.geomeans(label, versus="dbt-base")
+             for label in labels}
+    text += "\n\ngeomean overhead vs DBT baseline:\n"
+    for label, mean in means.items():
+        text += (f"  {label:11s} fp={mean['fp'] - 1:+.1%} "
+                 f"int={mean['int'] - 1:+.1%} "
+                 f"all={mean['all'] - 1:+.1%}\n")
+    publish("fig15_policies", text)
+
+    # Monotone: fewer checks, less overhead.
+    assert means["rcf"]["all"] > means["rcf-ret-be"]["all"]
+    assert means["rcf-ret-be"]["all"] >= means["rcf-ret"]["all"]
+    assert means["rcf-ret"]["all"] >= means["rcf-end"]["all"] * 0.999
+    # RET and END nearly identical (inner loops dominate, not calls).
+    assert abs(means["rcf-ret"]["all"]
+               - means["rcf-end"]["all"]) < 0.08
+    # The improvement is larger on the int suite than the fp suite.
+    int_drop = means["rcf"]["int"] - means["rcf-ret-be"]["int"]
+    fp_drop = means["rcf"]["fp"] - means["rcf-ret-be"]["fp"]
+    assert int_drop > fp_drop

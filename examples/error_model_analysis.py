@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Branch-error probability analysis (the paper's Figures 2 and 3).
+
+Profiles the synthetic SPEC-Int and SPEC-Fp suites and evaluates the
+single-bit error model analytically: for every dynamic branch
+execution, every address-offset bit and flag bit is flipped on paper
+and the resulting control transfer classified into the branch-error
+categories.
+
+Run:  python examples/error_model_analysis.py [scale]
+"""
+
+import sys
+
+from repro.analysis import compute_figure2
+from repro.faults import Category
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "test"
+    print(f"profiling both suites at scale {scale!r}...\n")
+    figure = compute_figure2(scale)
+
+    print(figure.render())
+    print()
+    print(figure.render_figure3())
+    print()
+
+    int_dist = figure.int_model.sdc_distribution()
+    fp_dist = figure.fp_model.sdc_distribution()
+    print("observations (matching the paper's):")
+    print(f"  - category E dominates the SDC-capable mass "
+          f"(int {int_dist[Category.E]:.0%}, fp "
+          f"{fp_dist[Category.E]:.0%})")
+    print(f"  - the fp suite's large basic blocks push C above D "
+          f"(C={fp_dist[Category.C]:.0%} vs D={fp_dist[Category.D]:.0%})"
+          f"; the int suite is the other way around "
+          f"(C={int_dist[Category.C]:.0%} vs "
+          f"D={int_dist[Category.D]:.0%})")
+    no_err = figure.int_model.probability(Category.NO_ERROR)
+    cat_f = figure.int_model.probability(Category.F)
+    print(f"  - most faults are harmless or hardware-caught "
+          f"(int: no-error {no_err:.0%} + F {cat_f:.0%})")
+
+
+if __name__ == "__main__":
+    main()

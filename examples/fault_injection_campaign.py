@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Fault-injection campaign: reproduce the paper's coverage comparison.
+
+Injects targeted single faults from every branch-error category (A-F)
+into one SPEC2000-shaped workload, under each checking configuration —
+no protection, the static baselines (CFCSS, ECCA), and the paper's DBT
+techniques (ECF, EdgCF, RCF) — then prints the coverage matrix,
+including the inserted-branch (cache-level) column where only RCF is
+clean.
+
+Run:  python examples/fault_injection_campaign.py [benchmark] [n]
+"""
+
+import sys
+
+from repro.analysis import compute_coverage_matrix
+from repro.workloads import load
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "254.gap"
+    per_category = int(sys.argv[2]) if len(sys.argv) > 2 else 10
+    program = load(name, "test")
+    print(f"workload: {name} (test scale), {per_category} faults per "
+          "category, one full run per fault\n")
+
+    matrix = compute_coverage_matrix(program, per_category=per_category,
+                                     seed=2006, cache_max_sites=16)
+    print(matrix.table())
+    print()
+    print("reading guide:")
+    print("  A=mistaken branch, B/C=own block begin/middle, "
+          "D/E=other block begin/middle, F=non-code")
+    print("  'covered' = every harmful fault was reported (signature "
+          "check or hardware);")
+    print("  'MISS(n)' = n faults silently corrupted output or hung "
+          "unreported.")
+    print()
+    print("expected picture (the paper's Section 3 comparison):")
+    print("  CFCSS misses A and C (and aliased D/E); ECCA misses A "
+          "and C;")
+    print("  ECF misses exactly C; EdgCF and RCF cover A-E;")
+    print("  only RCF also covers faults on its own inserted branches.")
+
+
+if __name__ == "__main__":
+    main()

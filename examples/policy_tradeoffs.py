@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Checking-policy trade-offs (the paper's Figure 15 and fail-stop
+discussion).
+
+The signature must be *updated* in every block but only *checked* where
+the policy says; fewer checks mean less overhead but longer (possibly
+unbounded) error-report latency.  This example measures both sides:
+overhead per policy, and what happens to detection when a fault sends
+the program into an infinite loop that only ALLBB/RET-BE can report
+from inside.
+
+Run:  python examples/policy_tradeoffs.py
+"""
+
+from repro import assemble, run_native
+from repro.checking import Policy, make_technique
+from repro.dbt import Dbt
+from repro.faults import (DbtInjector, FaultSpec, Outcome, Pipeline,
+                          PipelineConfig, RedirectFault)
+from repro.workloads import load
+
+POLICIES = (Policy.ALLBB, Policy.RET_BE, Policy.RET, Policy.END)
+
+# A program where one misdirected branch hangs it: the loop exits on
+# exact equality (r2 == 8), so a fault that detours through `bump`
+# (r2 += 3) makes the counter step over 8 and never terminate.
+HANG_PRONE = """
+.entry main
+main:
+    movi r2, 0
+    jmp loop
+bump:
+    addi r2, r2, 3
+    jmp loop
+loop:
+    addi r2, r2, 1
+    cmpi r2, 8
+    jz done
+    jmp loop
+done:
+    mov r1, r2
+    syscall 4
+    movi r1, 0
+    syscall 0
+"""
+
+
+def overhead_table() -> None:
+    program = load("181.mcf", "small")
+    cpu, _ = run_native(program)
+    print(f"overhead on 181.mcf (small), RCF, vs native "
+          f"({cpu.cycles} cycles):")
+    for policy in POLICIES:
+        dbt = Dbt(program, technique=make_technique("rcf"),
+                  policy=policy)
+        result = dbt.run()
+        assert result.ok
+        print(f"  {policy.value:7s} slowdown "
+              f"{dbt.cpu.cycles / cpu.cycles:.3f}x")
+    print()
+
+
+def hang_reporting() -> None:
+    program = assemble(HANG_PRONE, name="hang_prone")
+    # At its 5th execution (counter = 5) the loop back edge is
+    # misdirected into `bump`, adding 3: the counter jumps from 5 over
+    # the == 8 exit test and the program loops forever.
+    back_edge = program.symbols["loop"] + 12       # the jmp loop
+    fault = FaultSpec(back_edge, 5,
+                      RedirectFault(program.symbols["bump"]))
+
+    print("fault that derails the loop counter (hang-inducing), RCF:")
+    for policy in POLICIES:
+        pipeline = Pipeline(program,
+                            PipelineConfig("dbt", "rcf", policy))
+        record = pipeline.run(fault)
+        print(f"  {policy.value:7s} outcome={record.outcome.value:20s} "
+              f"icount={record.icount}")
+    print()
+    print("ALLBB (and RET-BE, via the loop's backward branch) check")
+    print("inside the loop and report the wrong edge; RET and END have")
+    print("no check on the looping path — the paper: 'the error may")
+    print("not be reported'.")
+
+
+def main() -> None:
+    overhead_table()
+    hang_reporting()
+
+
+if __name__ == "__main__":
+    main()

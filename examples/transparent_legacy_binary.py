@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Transparency: protect an existing binary — jump tables, self-
+modifying code and all — without touching it.
+
+The paper's pitch for the DBT deployment is that "legacy code [can]
+make transparent use of software-based reliability techniques": no
+recompilation, no source, no CFG known up front.  This example builds a
+"legacy" program image that does two things static rewriters cannot
+handle — dispatches through a jump table (guest-computed code
+addresses) and patches its own instructions at run time — and runs it
+under every checking technique the DBT supports.
+
+Run:  python examples/transparent_legacy_binary.py
+"""
+
+from repro import assemble
+from repro.checking import make_technique
+from repro.dbt import Dbt
+from repro.instrument import RewriteError, instrument_program
+
+LEGACY = """
+.entry main
+.data
+.align 4
+handlers:  .word op_inc, op_dbl, op_neg
+.text
+main:
+    movi r1, 5              ; accumulator
+    movi r5, 0              ; opcode stream position
+dispatch:
+    ; opcode = position % 3, via the jump table
+    movi r3, 3
+    mov r2, r5
+    mod r2, r2, r3
+    shli r2, r2, 2
+    const r3, handlers
+    lea3 r3, r3, r2
+    ld r4, r3, 0
+    jmpr r4                 ; guest-computed code address
+op_inc:
+    addi r1, r1, 1
+    jmp next
+op_dbl:
+    add r1, r1, r1
+    jmp next
+op_neg:
+    neg r1, r1
+next:
+    addi r5, r5, 1
+    cmpi r5, 9
+    jl dispatch
+
+    ; self-modifying finale: patch the upcoming instruction from
+    ; "addi r1, r1, 1" to "addi r1, r1, 100" before it ever runs
+    const r3, site
+    const r4, 0x10084064    ; addi r1, r1, 100
+    st r4, r3, 0
+site:
+    addi r1, r1, 1
+    syscall 1
+    movi r1, 0
+    syscall 0
+"""
+
+
+def main() -> None:
+    program = assemble(LEGACY, name="legacy")
+
+    # Static rewriting is impossible for this binary:
+    try:
+        instrument_program(program, "edgcf")
+    except RewriteError as exc:
+        print(f"static rewriter: REFUSED ({exc})\n")
+
+    # The DBT handles it transparently under every technique.
+    reference = None
+    for technique in (None, "ecf", "edgcf", "rcf"):
+        tech = make_technique(technique) if technique else None
+        dbt = Dbt(program, technique=tech)
+        result = dbt.run()
+        assert result.ok, result.stop
+        label = technique or "baseline"
+        print(f"dbt/{label:8s} output={dbt.cpu.output}  "
+              f"cycles={dbt.cpu.cycles}  "
+              f"smc-flushes={result.smc_flushes}  "
+              f"blocks={result.translated_blocks}")
+        if reference is None:
+            reference = dbt.cpu.output
+        assert dbt.cpu.output == reference
+    print("\nsame output under every technique; the jump table and the"
+          "\nruntime code patch were handled by translation-on-demand "
+          "+\nwrite-protection, exactly as the paper's Section 5 "
+          "describes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Reproduction of "Software-Based Transparent and Comprehensive
+Control-Flow Error Detection" (Borin, Wang, Wu, Araujo — CGO 2006).
+
+The package is layered exactly like the system the paper describes:
+
+* :mod:`repro.isa` — the R32 instruction set (the IA-32/EM64T stand-in)
+  with assembler, encoder and disassembler,
+* :mod:`repro.machine` — the paged-memory, cycle-accounting machine
+  simulator with execute-disable and write-protection,
+* :mod:`repro.cfg` — basic blocks, CFGs and classical analyses,
+* :mod:`repro.checking` — the five signature-monitoring techniques
+  (CFCSS, ECCA, ECF and the paper's EdgCF and RCF), the Jcc/CMOVcc
+  update styles and the ALLBB/RET-BE/RET/END checking policies,
+* :mod:`repro.instrument` — the static binary rewriter,
+* :mod:`repro.dbt` — the dynamic binary translator (Runtime / Frontend /
+  Backend) that applies the techniques transparently,
+* :mod:`repro.faults` — the single-bit error model, fault injectors and
+  campaign runners,
+* :mod:`repro.formal` — the Section-4 formalization with an exhaustive
+  single-error condition checker,
+* :mod:`repro.workloads` — the SPEC2000-shaped synthetic benchmark
+  suite,
+* :mod:`repro.analysis` — builders for every evaluation table/figure.
+
+Quickstart::
+
+    from repro import assemble, run_dbt
+    from repro.checking import EdgCF
+
+    program = assemble(open("program.s").read())
+    dbt, result = run_dbt(program, technique=EdgCF())
+    assert result.ok
+"""
+
+from repro.isa import Program, assemble, disassemble_program
+from repro.machine import Cpu, run_native
+from repro.cfg import build_cfg
+from repro.checking import (ECF, RCF, CFCSS, ECCA, EdgCF, Policy,
+                            UpdateStyle, make_technique)
+from repro.instrument import instrument_program
+from repro.dbt import Dbt, run_dbt
+from repro.faults import (Category, Outcome, PipelineConfig,
+                          compute_error_model, generate_category_faults,
+                          run_campaign)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Program", "assemble", "disassemble_program",
+    "Cpu", "run_native",
+    "build_cfg",
+    "ECF", "RCF", "CFCSS", "ECCA", "EdgCF", "Policy", "UpdateStyle",
+    "make_technique",
+    "instrument_program",
+    "Dbt", "run_dbt",
+    "Category", "Outcome", "PipelineConfig", "compute_error_model",
+    "generate_category_faults", "run_campaign",
+    "__version__",
+]

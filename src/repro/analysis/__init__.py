@@ -1,0 +1,23 @@
+"""Experiment analysis: builders for every table and figure in the
+paper's evaluation (see DESIGN.md's per-experiment index)."""
+
+from repro.analysis.coverage import (DEFAULT_CONFIGS, CoverageMatrix,
+                                     compute_coverage_matrix)
+from repro.analysis.probabilities import (Figure2, ROW_ORDER,
+                                          compute_figure2)
+from repro.analysis.footprint import (FootprintRow, cache_growth,
+                                      footprint_table, static_growth)
+from repro.analysis.report import (bar_chart, format_table, geomean,
+                                   percent)
+from repro.analysis.slowdown import (RunCost, SlowdownSweep, config_label,
+                                     dbt_baseline, figure12, figure14,
+                                     figure15, sweep)
+
+__all__ = [
+    "DEFAULT_CONFIGS", "CoverageMatrix", "compute_coverage_matrix",
+    "Figure2", "ROW_ORDER", "compute_figure2",
+    "bar_chart", "format_table", "geomean", "percent",
+    "FootprintRow", "cache_growth", "footprint_table", "static_growth",
+    "RunCost", "SlowdownSweep", "config_label", "dbt_baseline",
+    "figure12", "figure14", "figure15", "sweep",
+]

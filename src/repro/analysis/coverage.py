@@ -1,0 +1,92 @@
+"""Coverage-matrix builders: the paper's qualitative claims table.
+
+Produces, per technique, the detection behaviour for each branch-error
+category (guest-level campaigns) and for faults on the inserted
+branches themselves (cache-level campaigns — the Figure-14 safety
+column and RCF's headline advantage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.program import Program
+from repro.checking import Policy, UpdateStyle
+from repro.faults import (CacheCampaignResult, CampaignResult, Category,
+                          Outcome, PipelineConfig,
+                          generate_category_faults, run_cache_campaign,
+                          run_campaign)
+from repro.analysis.report import format_table
+
+#: The default comparison set: the paper's DBT techniques plus the
+#: static whole-CFG baselines.
+DEFAULT_CONFIGS = (
+    PipelineConfig("dbt", None),
+    PipelineConfig("static", "cfcss"),
+    PipelineConfig("static", "ecca"),
+    PipelineConfig("dbt", "ecf"),
+    PipelineConfig("dbt", "edgcf"),
+    PipelineConfig("dbt", "rcf"),
+)
+
+
+@dataclass
+class CoverageMatrix:
+    """Per-(config, category) campaign outcomes."""
+
+    program_name: str
+    results: dict[str, CampaignResult] = field(default_factory=dict)
+    cache_results: dict[str, CacheCampaignResult] = field(
+        default_factory=dict)
+
+    def covered(self, label: str, category: Category) -> bool:
+        return self.results[label].covers(category)
+
+    def table(self) -> str:
+        categories = (Category.A, Category.B, Category.C, Category.D,
+                      Category.E, Category.F)
+        headers = ["configuration"] + [c.value for c in categories]
+        if self.cache_results:
+            headers.append("inserted-branches")
+        rows = []
+        for label, result in self.results.items():
+            cells: list[object] = [label]
+            for category in categories:
+                bucket = result.outcomes.get(category, {})
+                sdc = bucket.get(Outcome.SDC, 0)
+                hang = bucket.get(Outcome.HANG, 0)
+                cells.append("covered" if (sdc + hang) == 0
+                             else f"MISS({sdc + hang})")
+            if self.cache_results:
+                cache = self.cache_results.get(label)
+                if cache is None:
+                    cells.append("-")
+                else:
+                    cells.append("covered" if cache.undetected == 0
+                                 else f"MISS({cache.undetected})")
+            rows.append(cells)
+        return format_table(
+            headers, rows,
+            title=f"Coverage matrix — {self.program_name} "
+                  "(MISS(n) = n undetected harmful errors)")
+
+
+def compute_coverage_matrix(program: Program,
+                            configs=DEFAULT_CONFIGS,
+                            per_category: int = 10,
+                            seed: int = 2006,
+                            include_cache_level: bool = True,
+                            cache_max_sites: int = 20) -> CoverageMatrix:
+    """Run guest-level (and optionally cache-level) campaigns for each
+    configuration."""
+    faults = generate_category_faults(program, per_category=per_category,
+                                      seed=seed)
+    matrix = CoverageMatrix(program_name=program.source_name)
+    for config in configs:
+        result = run_campaign(program, config, faults)
+        matrix.results[config.label()] = result
+        if include_cache_level and config.pipeline == "dbt" \
+                and config.technique:
+            matrix.cache_results[config.label()] = run_cache_campaign(
+                program, config, max_sites=cache_max_sites, seed=seed)
+    return matrix

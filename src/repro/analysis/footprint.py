@@ -1,0 +1,67 @@
+"""Code-footprint analysis.
+
+Section 3.2 rejects per-instruction regions because "the performance
+cost and code footprint size would be prohibitive"; this module
+quantifies the footprint each technique actually costs:
+
+* static: rewritten-text size over original-text size,
+* dynamic: DBT code-cache bytes over the guest text bytes the run
+  actually touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.program import Program
+from repro.checking import Policy, UpdateStyle, make_technique
+from repro.cfg import build_cfg
+from repro.dbt import Dbt
+from repro.instrument import StaticRewriter
+
+
+@dataclass
+class FootprintRow:
+    technique: str
+    static_growth: float | None       #: rewritten / original text
+    cache_growth: float               #: cache bytes / translated guest
+
+
+def static_growth(program: Program, technique_name: str,
+                  policy: Policy = Policy.ALLBB,
+                  update_style: UpdateStyle = UpdateStyle.JCC) -> float:
+    cfg = build_cfg(program)
+    technique = make_technique(technique_name, update_style=update_style,
+                               cfg=cfg)
+    instrumented = StaticRewriter(technique, policy).rewrite(program)
+    return instrumented.code_growth
+
+
+def cache_growth(program: Program, technique_name: str | None,
+                 policy: Policy = Policy.ALLBB,
+                 update_style: UpdateStyle = UpdateStyle.JCC) -> float:
+    technique = (make_technique(technique_name,
+                                update_style=update_style)
+                 if technique_name else None)
+    dbt = Dbt(program, technique=technique, policy=policy)
+    result = dbt.run()
+    if not result.ok:
+        raise RuntimeError(f"run failed: {result.stop}")
+    translated_guest_bytes = sum(
+        tb.guest_end - tb.guest_start for tb in dbt.blocks.values())
+    return result.cache_bytes / max(translated_guest_bytes, 1)
+
+
+def footprint_table(program: Program,
+                    techniques=("ecf", "edgcf", "rcf"),
+                    include_static=True) -> list[FootprintRow]:
+    """Per-technique footprint on one program."""
+    rows = [FootprintRow(technique="none", static_growth=1.0,
+                         cache_growth=cache_growth(program, None))]
+    for name in techniques:
+        rows.append(FootprintRow(
+            technique=name,
+            static_growth=(static_growth(program, name)
+                           if include_static else None),
+            cache_growth=cache_growth(program, name)))
+    return rows

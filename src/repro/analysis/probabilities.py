@@ -1,0 +1,81 @@
+"""Figure 2 / Figure 3 builders: branch-error probability tables.
+
+Figure 2 reports, for SPEC-Int and SPEC-Fp separately, the probability
+of a single-bit branch fault landing in each category, split by
+taken/not-taken and address/flags.  Figure 3 restricts to the
+silent-data-corruption-capable categories A..E and renormalizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.classify import Category, SDC_CATEGORIES
+from repro.faults.model import (COLUMNS, ErrorModelResult,
+                                compute_suite_error_model)
+from repro.workloads import suite as workload_suite
+from repro.analysis.report import format_table, percent
+
+#: Figure-2 row order.
+ROW_ORDER = (Category.A, Category.B, Category.C, Category.D, Category.E,
+             Category.F, Category.NO_ERROR)
+
+
+@dataclass
+class Figure2:
+    """The full branch-error probability table for both suites."""
+
+    int_model: ErrorModelResult
+    fp_model: ErrorModelResult
+
+    def rows(self, suite: str) -> list[list[object]]:
+        model = self.int_model if suite == "int" else self.fp_model
+        rows = []
+        for category in ROW_ORDER:
+            label = ("No Error" if category is Category.NO_ERROR
+                     else category.value)
+            cells: list[object] = [label]
+            for taken, kind in COLUMNS:
+                cells.append(percent(model.probability(category, taken,
+                                                       kind)))
+            cells.append(percent(model.probability(category)))
+            rows.append(cells)
+        return rows
+
+    def render(self) -> str:
+        headers = ["Category", "Taken/Addr", "Taken/Flags",
+                   "NotTaken/Addr", "NotTaken/Flags", "Total"]
+        parts = []
+        for suite in ("int", "fp"):
+            parts.append(format_table(
+                headers, self.rows(suite),
+                title=f"Figure 2 — branch-error probabilities, "
+                      f"SPEC-{suite.capitalize()} 2000 (synthetic)"))
+        return "\n\n".join(parts)
+
+    def figure3_rows(self) -> list[list[object]]:
+        rows = []
+        int_dist = self.int_model.sdc_distribution()
+        fp_dist = self.fp_model.sdc_distribution()
+        for category in SDC_CATEGORIES:
+            rows.append([category.value, percent(int_dist[category]),
+                         percent(fp_dist[category])])
+        rows.append(["Total", percent(sum(int_dist.values())),
+                     percent(sum(fp_dist.values()))])
+        return rows
+
+    def render_figure3(self) -> str:
+        return format_table(
+            ["Category", "SPEC-Int", "SPEC-Fp"], self.figure3_rows(),
+            title="Figure 3 — error probabilities over categories A-E")
+
+
+def compute_figure2(scale: str = "small") -> Figure2:
+    """Profile both suites and evaluate the error model."""
+    int_programs = [workload_suite.load(name, scale)
+                    for name in workload_suite.suite_names("int")]
+    fp_programs = [workload_suite.load(name, scale)
+                   for name in workload_suite.suite_names("fp")]
+    return Figure2(
+        int_model=compute_suite_error_model(int_programs, "SPEC-Int"),
+        fp_model=compute_suite_error_model(fp_programs, "SPEC-Fp"))

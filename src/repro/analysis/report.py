@@ -1,0 +1,74 @@
+"""Plain-text table rendering for the experiment reports.
+
+Every benchmark harness prints its figure/table through these helpers
+so the output lines up with the paper's presentation (benchmarks as
+rows, fp suite first, geometric means per suite and overall).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; empty input -> 0."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render a fixed-width table; floats get 3 decimals, ratios under
+    'xx%' headers are printed as percentages."""
+    rendered_rows = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(f"{cell:.3f}")
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = "  ".join(h.ljust(widths[i])
+                            for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def percent(value: float, digits: int = 2) -> str:
+    return f"{value * 100:.{digits}f}%"
+
+
+def bar_chart(items: Sequence[tuple[str, float]], width: int = 50,
+              title: str | None = None,
+              unit: str = "x") -> str:
+    """Horizontal ASCII bar chart — the paper's figures are bar charts,
+    so the benches render their series the same way."""
+    if not items:
+        return ""
+    peak = max(value for _, value in items) or 1.0
+    label_width = max(len(label) for label, _ in items)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in items:
+        bar = "#" * max(1, round(value / peak * width))
+        lines.append(f"{label.ljust(label_width)}  "
+                     f"{bar} {value:.3f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Performance-figure builders: Figures 12, 14, 15 and the DBT
+baseline.
+
+Slowdown is deterministic-cycles(configuration) / cycles(native run).
+The paper's baseline for the technique figures is "the applications
+running on the DBT with no instrumentation"; both normalizations are
+exposed (``vs_native`` / ``vs_dbt``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.checking import Policy, UpdateStyle, make_technique
+from repro.dbt import Dbt
+from repro.machine import run_native
+from repro.workloads import suite as workload_suite
+from repro.analysis.report import format_table, geomean
+
+
+@dataclass
+class RunCost:
+    cycles: int
+    icount: int
+
+
+@dataclass
+class SlowdownSweep:
+    """Cycle measurements for a set of configurations over the suite."""
+
+    scale: str
+    #: benchmark name -> native cost
+    native: dict[str, RunCost] = field(default_factory=dict)
+    #: config label -> benchmark name -> cost
+    configs: dict[str, dict[str, RunCost]] = field(default_factory=dict)
+
+    def slowdown(self, label: str, name: str,
+                 versus: str = "native") -> float:
+        base = (self.native[name] if versus == "native"
+                else self.configs["dbt-base"][name])
+        return self.configs[label][name].cycles / base.cycles
+
+    def geomeans(self, label: str, versus: str = "native"
+                 ) -> dict[str, float]:
+        """fp / int / all geometric means of a configuration."""
+        result = {}
+        for suite in ("fp", "int"):
+            names = workload_suite.suite_names(suite)
+            result[suite] = geomean(
+                self.slowdown(label, n, versus) for n in names)
+        result["all"] = geomean(
+            self.slowdown(label, n, versus)
+            for n in workload_suite.suite_names())
+        return result
+
+    def table(self, labels: list[str], versus: str = "native") -> str:
+        headers = ["benchmark"] + labels
+        rows = []
+        for suite in ("fp", "int"):
+            for name in workload_suite.suite_names(suite):
+                rows.append([name] + [self.slowdown(lb, name, versus)
+                                      for lb in labels])
+            means = {lb: self.geomeans(lb, versus)[suite]
+                     for lb in labels}
+            rows.append([f"geomean-{suite}"] + [means[lb]
+                                                for lb in labels])
+        rows.append(["geomean-all"]
+                    + [self.geomeans(lb, versus)["all"] for lb in labels])
+        return format_table(headers, rows)
+
+
+def _measure_native(name: str, scale: str) -> RunCost:
+    program = workload_suite.load(name, scale)
+    cpu, stop = run_native(program)
+    if stop.reason.value != "halted":
+        raise RuntimeError(f"native run of {name} failed: {stop}")
+    return RunCost(cycles=cpu.cycles, icount=cpu.icount)
+
+
+def _measure_dbt(name: str, scale: str, technique: str | None,
+                 policy: Policy, update_style: UpdateStyle,
+                 optimize: bool = False) -> RunCost:
+    program = workload_suite.load(name, scale)
+    tech = (make_technique(technique, update_style=update_style)
+            if technique else None)
+    dbt = Dbt(program, technique=tech, policy=policy, optimize=optimize)
+    result = dbt.run()
+    if not result.ok:
+        raise RuntimeError(
+            f"DBT run of {name} under {technique} failed: {result.stop}")
+    return RunCost(cycles=dbt.cpu.cycles, icount=dbt.cpu.icount)
+
+
+def sweep(scale: str = "small",
+          techniques: tuple[str, ...] = ("rcf", "edgcf", "ecf"),
+          policies: tuple[Policy, ...] = (Policy.ALLBB,),
+          update_styles: tuple[UpdateStyle, ...] = (UpdateStyle.JCC,),
+          include_baseline: bool = True,
+          names: list[str] | None = None,
+          optimize: bool = False) -> SlowdownSweep:
+    """Measure every requested configuration over the suite."""
+    result = SlowdownSweep(scale=scale)
+    if names is None:
+        names = workload_suite.suite_names()
+    for name in names:
+        result.native[name] = _measure_native(name, scale)
+    if include_baseline:
+        result.configs["dbt-base"] = {
+            name: _measure_dbt(name, scale, None, Policy.ALLBB,
+                               UpdateStyle.JCC) for name in names}
+    for style in update_styles:
+        for policy in policies:
+            for technique in techniques:
+                label = config_label(technique, policy, style)
+                result.configs[label] = {
+                    name: _measure_dbt(name, scale, technique, policy,
+                                       style, optimize=optimize)
+                    for name in names}
+    return result
+
+
+def config_label(technique: str, policy: Policy,
+                 style: UpdateStyle) -> str:
+    label = technique
+    if style is not UpdateStyle.JCC:
+        label += f"-{style.value}"
+    if policy is not Policy.ALLBB:
+        label += f"-{policy.value}"
+    return label
+
+
+def figure12(scale: str = "small") -> SlowdownSweep:
+    """Per-benchmark RCF/EdgCF/ECF slowdown (Jcc updates, ALLBB)."""
+    return sweep(scale=scale)
+
+
+def figure14(scale: str = "small") -> SlowdownSweep:
+    """Jcc vs CMOVcc update-instruction comparison (geomeans)."""
+    return sweep(scale=scale,
+                 update_styles=(UpdateStyle.JCC, UpdateStyle.CMOV))
+
+
+def figure15(scale: str = "small") -> SlowdownSweep:
+    """RCF under the four signature checking policies."""
+    return sweep(scale=scale, techniques=("rcf",),
+                 policies=(Policy.ALLBB, Policy.RET_BE, Policy.RET,
+                           Policy.END))
+
+
+def dbt_baseline(scale: str = "small") -> SlowdownSweep:
+    """Native vs uninstrumented DBT (the paper's ~12% baseline)."""
+    return sweep(scale=scale, techniques=())

@@ -1,0 +1,20 @@
+"""Control-flow graphs over R32 programs.
+
+Provides basic-block discovery, the CFG container, and the classical
+analyses (dominators, natural loops) that the checking policies and the
+workload characterization use.
+"""
+
+from repro.cfg.basic_block import BasicBlock, ExitKind, classify_exit
+from repro.cfg.builder import build_cfg, find_leaders
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.analysis import (back_edges, dominates, immediate_dominators,
+                                natural_loops, reachable_blocks)
+
+__all__ = [
+    "BasicBlock", "ExitKind", "classify_exit",
+    "build_cfg", "find_leaders",
+    "ControlFlowGraph",
+    "back_edges", "dominates", "immediate_dominators", "natural_loops",
+    "reachable_blocks",
+]

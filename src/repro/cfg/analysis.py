@@ -1,0 +1,155 @@
+"""CFG analyses: dominators, natural loops, reachability.
+
+The checking policies and the ablation studies need a little classical
+compiler analysis: the RET-BE policy targets loop-closing blocks, and
+the reports characterize workloads by loop structure.  Dominators are
+computed with the simple iterative data-flow algorithm (Cooper/Harvey/
+Kennedy style, minus the engineering) — the graphs here are small.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.graph import ControlFlowGraph
+
+
+def reachable_blocks(cfg: ControlFlowGraph,
+                     entry: int | None = None) -> set[int]:
+    """Block starts reachable from the entry via static edges.
+
+    Dynamic edges (indirect branches, returns) are not followed, but
+    call targets are, so whole functions stay reachable.
+    """
+    if entry is None:
+        entry = cfg.entry_block.start
+    seen: set[int] = set()
+    stack = [entry]
+    while stack:
+        start = stack.pop()
+        if start in seen or start not in cfg.blocks:
+            continue
+        seen.add(start)
+        block = cfg.blocks[start]
+        stack.extend(block.successors)
+        # Call-return sites are reached dynamically through ret; keep the
+        # traversal honest by following the textual fallthrough of calls.
+        from repro.cfg.basic_block import ExitKind
+        if block.exit_kind is ExitKind.CALL:
+            after = block.end
+            if after in cfg.blocks:
+                stack.append(after)
+        if block.exit_kind in (ExitKind.INDIRECT, ExitKind.RET):
+            after = block.end
+            if after in cfg.blocks:
+                stack.append(after)
+    return seen
+
+
+def immediate_dominators(cfg: ControlFlowGraph,
+                         entry: int | None = None) -> dict[int, int]:
+    """Iterative immediate-dominator computation over static edges."""
+    if entry is None:
+        entry = cfg.entry_block.start
+    reachable = reachable_blocks(cfg, entry)
+    order = [b.start for b in cfg.in_order() if b.start in reachable]
+    preds: dict[int, list[int]] = {start: [] for start in order}
+    for source, target in cfg.edges():
+        if source in reachable and target in reachable:
+            preds[target].append(source)
+
+    # Reverse-postorder via DFS.
+    index: dict[int, int] = {}
+    visited: set[int] = set()
+    postorder: list[int] = []
+
+    def dfs(start: int) -> None:
+        stack = [(start, iter(sorted(cfg.blocks[start].successors)))]
+        visited.add(start)
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if succ in reachable and succ not in visited:
+                    visited.add(succ)
+                    stack.append(
+                        (succ, iter(sorted(cfg.blocks[succ].successors))))
+                    advanced = True
+                    break
+            if not advanced:
+                postorder.append(node)
+                stack.pop()
+
+    dfs(entry)
+    rpo = list(reversed(postorder))
+    for position, node in enumerate(rpo):
+        index[node] = position
+
+    idom: dict[int, int] = {entry: entry}
+    changed = True
+    while changed:
+        changed = False
+        for node in rpo:
+            if node == entry:
+                continue
+            candidates = [p for p in preds[node] if p in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for other in candidates[1:]:
+                new_idom = _intersect(new_idom, other, idom, index)
+            if idom.get(node) != new_idom:
+                idom[node] = new_idom
+                changed = True
+    return idom
+
+
+def _intersect(a: int, b: int, idom: dict[int, int],
+               index: dict[int, int]) -> int:
+    while a != b:
+        while index[a] > index[b]:
+            a = idom[a]
+        while index[b] > index[a]:
+            b = idom[b]
+    return a
+
+
+def dominates(idom: dict[int, int], a: int, b: int) -> bool:
+    """True when block ``a`` dominates block ``b``."""
+    node = b
+    while True:
+        if node == a:
+            return True
+        parent = idom.get(node)
+        if parent is None or parent == node:
+            return a == node
+        node = parent
+
+
+def back_edges(cfg: ControlFlowGraph,
+               entry: int | None = None) -> list[tuple[int, int]]:
+    """Edges (u, v) where v dominates u — natural-loop back edges."""
+    idom = immediate_dominators(cfg, entry)
+    result = []
+    for source, target in cfg.edges():
+        if source in idom and target in idom and dominates(
+                idom, target, source):
+            result.append((source, target))
+    return result
+
+
+def natural_loops(cfg: ControlFlowGraph,
+                  entry: int | None = None) -> dict[int, set[int]]:
+    """Map loop header -> set of member block starts."""
+    loops: dict[int, set[int]] = {}
+    preds: dict[int, list[int]] = {}
+    for source, target in cfg.edges():
+        preds.setdefault(target, []).append(source)
+    for source, header in back_edges(cfg, entry):
+        body = loops.setdefault(header, {header})
+        stack = [source]
+        while stack:
+            node = stack.pop()
+            if node in body:
+                continue
+            body.add(node)
+            stack.extend(preds.get(node, []))
+    return loops

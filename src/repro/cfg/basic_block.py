@@ -1,0 +1,134 @@
+"""Basic blocks over R32 programs.
+
+The control-flow checking problem is formalized over basic blocks
+(paper Section 4.1): control-flow errors "happen only at the end of a
+block", and each block is conceptually split into a *head* (entry point,
+no original instructions — where CHECK_SIG code goes) and a *tail* (the
+original instructions — whose middle is where category C/E errors land).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import WORD_SIZE, Instruction
+from repro.isa.opcodes import Kind, Op
+
+
+class ExitKind(enum.Enum):
+    """How a basic block transfers control at its end."""
+
+    FALLTHROUGH = "fallthrough"    #: no terminator; runs into next block
+    JUMP = "jump"                  #: unconditional direct jump
+    COND = "cond"                  #: conditional direct branch (two-way)
+    CALL = "call"                  #: direct call (returns to fallthrough)
+    INDIRECT = "indirect"          #: jmpr / callr (register target)
+    RET = "ret"                    #: return (implicit dynamic branch)
+    HALT = "halt"                  #: halt / trap — no successors
+    EXIT = "exit"                  #: exit syscall — program end
+
+
+@dataclass
+class BasicBlock:
+    """One basic block of guest code.
+
+    ``start`` is the block's (guest) address — which is also its
+    *signature* in every address-based technique (paper Section 5:
+    "we use the address of the first instruction in a basic block as
+    the basic block signature").
+    """
+
+    start: int
+    instructions: list[tuple[int, Instruction]] = field(default_factory=list)
+    exit_kind: ExitKind = ExitKind.FALLTHROUGH
+    #: successor guest addresses for statically-known edges
+    successors: list[int] = field(default_factory=list)
+    #: predecessor block start addresses (filled by the graph builder)
+    predecessors: list[int] = field(default_factory=list)
+
+    @property
+    def end(self) -> int:
+        """First address past the block."""
+        if not self.instructions:
+            return self.start
+        return self.instructions[-1][0] + WORD_SIZE
+
+    @property
+    def signature(self) -> int:
+        """The block's signature: its start address."""
+        return self.start
+
+    @property
+    def size(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def terminator(self) -> tuple[int, Instruction] | None:
+        """(pc, instruction) of the terminator, if the block has one."""
+        if not self.instructions:
+            return None
+        pc, instr = self.instructions[-1]
+        if instr.is_terminator or self.exit_kind is ExitKind.EXIT:
+            return pc, instr
+        return None
+
+    @property
+    def has_conditional_exit(self) -> bool:
+        return self.exit_kind is ExitKind.COND
+
+    @property
+    def has_dynamic_exit(self) -> bool:
+        """True when the branch target is only known at run time."""
+        return self.exit_kind in (ExitKind.INDIRECT, ExitKind.RET)
+
+    @property
+    def ends_in_backward_branch(self) -> bool:
+        """True when the terminator is a direct branch going backwards.
+
+        This is the "basic blocks with back edges" criterion of the
+        RET-BE checking policy (Section 6).
+        """
+        term = self.terminator
+        if term is None:
+            return False
+        pc, instr = term
+        if not instr.meta.is_direct_branch:
+            return False
+        return instr.branch_target(pc) <= pc
+
+    @property
+    def ends_in_return(self) -> bool:
+        """True for blocks the RET checking policy instruments."""
+        return self.exit_kind is ExitKind.RET
+
+    def contains(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+    def body_addresses(self) -> list[int]:
+        """Addresses of the block's instructions."""
+        return [pc for pc, _ in self.instructions]
+
+    def __repr__(self) -> str:
+        return (f"BasicBlock({self.start:#x}..{self.end:#x}, "
+                f"{self.size} instrs, {self.exit_kind.value})")
+
+
+def classify_exit(instr: Instruction) -> ExitKind:
+    """Exit kind implied by a terminator instruction."""
+    kind = instr.meta.kind
+    if kind is Kind.BRANCH_UNCOND:
+        return ExitKind.JUMP
+    if kind in (Kind.BRANCH_COND, Kind.BRANCH_REG):
+        return ExitKind.COND
+    if kind is Kind.CALL:
+        return ExitKind.CALL
+    if kind is Kind.BRANCH_IND:
+        return ExitKind.INDIRECT
+    if kind is Kind.RET:
+        return ExitKind.RET
+    if kind in (Kind.HALT, Kind.TRAP):
+        return ExitKind.HALT
+    if instr.op is Op.SYSCALL and instr.imm == 0:
+        return ExitKind.EXIT
+    return ExitKind.FALLTHROUGH

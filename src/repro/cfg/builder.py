@@ -1,0 +1,93 @@
+"""Static CFG construction from an assembled program.
+
+Leaders are: the entry point, every direct-branch target, every
+instruction following a block terminator, every call-return site, and
+every symbol that points into the text section (which covers function
+entries reached indirectly and jump-table targets declared as labels).
+
+Note the exit-syscall special case: ``syscall 0`` terminates the
+program, so it ends a block (the END checking policy hangs its final
+check there).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import WORD_SIZE
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+from repro.cfg.basic_block import BasicBlock, ExitKind, classify_exit
+from repro.cfg.graph import ControlFlowGraph
+
+
+def find_leaders(program: Program) -> set[int]:
+    """Compute the set of basic-block leader addresses."""
+    leaders = {program.entry}
+    for name, addr in program.symbols.items():
+        if program.contains_code(addr):
+            leaders.add(addr)
+    for pc, instr in program.instructions():
+        meta = instr.meta
+        if meta.is_direct_branch:
+            target = instr.branch_target(pc)
+            if program.contains_code(target):
+                leaders.add(target)
+            leaders.add(pc + WORD_SIZE)
+        elif instr.is_terminator or (
+                instr.op is Op.SYSCALL and instr.imm == 0):
+            leaders.add(pc + WORD_SIZE)
+    leaders = {addr for addr in leaders if program.contains_code(addr)}
+    return leaders
+
+
+def build_cfg(program: Program) -> ControlFlowGraph:
+    """Build the whole-text-section control-flow graph."""
+    leaders = find_leaders(program)
+    blocks: dict[int, BasicBlock] = {}
+    current: BasicBlock | None = None
+
+    for pc, instr in program.instructions():
+        if pc in leaders or current is None:
+            current = BasicBlock(start=pc)
+            blocks[pc] = current
+        current.instructions.append((pc, instr))
+        exit_kind = classify_exit(instr)
+        is_end = (instr.is_terminator
+                  or exit_kind is ExitKind.EXIT
+                  or (pc + WORD_SIZE) in leaders)
+        if is_end:
+            if instr.is_terminator or exit_kind is ExitKind.EXIT:
+                current.exit_kind = exit_kind
+                _add_static_successors(program, current, pc, instr)
+            else:
+                current.exit_kind = ExitKind.FALLTHROUGH
+                nxt = pc + WORD_SIZE
+                if program.contains_code(nxt):
+                    current.successors.append(nxt)
+            current = None
+
+    graph = ControlFlowGraph(program=program, blocks=blocks)
+    graph.link()
+    return graph
+
+
+def _add_static_successors(program: Program, block: BasicBlock, pc: int,
+                           instr) -> None:
+    kind = block.exit_kind
+    if kind is ExitKind.JUMP:
+        target = instr.branch_target(pc)
+        if program.contains_code(target):
+            block.successors.append(target)
+    elif kind is ExitKind.COND:
+        target = instr.branch_target(pc)
+        if program.contains_code(target):
+            block.successors.append(target)
+        fallthrough = pc + WORD_SIZE
+        if program.contains_code(fallthrough):
+            block.successors.append(fallthrough)
+    elif kind is ExitKind.CALL:
+        target = instr.branch_target(pc)
+        if program.contains_code(target):
+            block.successors.append(target)
+        # The return site is *not* a successor edge of the call — control
+        # reaches it via the callee's ret — but it is a block leader.
+    # INDIRECT / RET / HALT / EXIT: no static successors.

@@ -1,0 +1,116 @@
+"""The control-flow graph container and queries.
+
+Besides plain block/edge storage, the graph answers the questions the
+rest of the system asks:
+
+* "which block contains address X, and is X its beginning or its
+  middle?" — the branch-error classifier (categories B/C vs D/E) is
+  built on this,
+* "which blocks does policy P check?" — the ALLBB/RET-BE/RET/END
+  checking policies select blocks by structural properties,
+* loop/back-edge facts via :mod:`repro.cfg.analysis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.program import Program
+from repro.cfg.basic_block import BasicBlock, ExitKind
+
+
+@dataclass
+class ControlFlowGraph:
+    """Whole-program CFG over guest code."""
+
+    program: Program
+    blocks: dict[int, BasicBlock] = field(default_factory=dict)
+    _starts: list[int] = field(default_factory=list, repr=False)
+
+    def link(self) -> None:
+        """Fill predecessor lists and sort the block index."""
+        self._starts = sorted(self.blocks)
+        for block in self.blocks.values():
+            block.predecessors = []
+        for block in self.blocks.values():
+            for successor in block.successors:
+                target = self.blocks.get(successor)
+                if target is not None:
+                    target.predecessors.append(block.start)
+
+    # -- lookups -----------------------------------------------------------
+
+    def block_at(self, start: int) -> BasicBlock:
+        """Block whose first instruction is at ``start``."""
+        return self.blocks[start]
+
+    def block_containing(self, addr: int) -> BasicBlock | None:
+        """Block whose address range covers ``addr`` (bisect search)."""
+        starts = self._starts
+        lo, hi = 0, len(starts)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if starts[mid] <= addr:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == 0:
+            return None
+        block = self.blocks[starts[lo - 1]]
+        return block if block.contains(addr) else None
+
+    def is_block_start(self, addr: int) -> bool:
+        return addr in self.blocks
+
+    @property
+    def entry_block(self) -> BasicBlock:
+        return self.block_containing(self.program.entry)
+
+    def in_order(self) -> list[BasicBlock]:
+        """Blocks in address order."""
+        return [self.blocks[start] for start in self._starts]
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self):
+        return iter(self.in_order())
+
+    # -- structural queries --------------------------------------------------
+
+    def edges(self) -> list[tuple[int, int]]:
+        """All statically-known (source block, target block) edges."""
+        result = []
+        for block in self.in_order():
+            for successor in block.successors:
+                if successor in self.blocks:
+                    result.append((block.start, successor))
+        return result
+
+    def exit_blocks(self) -> list[BasicBlock]:
+        """Blocks that terminate the program."""
+        return [b for b in self.in_order()
+                if b.exit_kind in (ExitKind.HALT, ExitKind.EXIT)]
+
+    def average_block_size(self) -> float:
+        """Mean instructions per block — the structural property behind
+        every fp-vs-int difference in the paper's results."""
+        if not self.blocks:
+            return 0.0
+        total = sum(block.size for block in self.blocks.values())
+        return total / len(self.blocks)
+
+    def stats(self) -> dict[str, float]:
+        """Summary statistics used by the workload characterization."""
+        blocks = self.in_order()
+        exits = {}
+        for block in blocks:
+            key = block.exit_kind.value
+            exits[key] = exits.get(key, 0) + 1
+        return {
+            "blocks": len(blocks),
+            "instructions": sum(b.size for b in blocks),
+            "avg_block_size": self.average_block_size(),
+            **{f"exit_{kind}": count for kind, count in sorted(
+                exits.items())},
+        }

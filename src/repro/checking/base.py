@@ -1,0 +1,274 @@
+"""Common machinery for signature-monitoring techniques.
+
+Every technique in the paper fits one mold (Section 4.2): a signature
+generation function ``GEN_SIG`` instrumented at block exits and a
+signature checking function ``CHECK_SIG`` at block entries.  This module
+defines the backend-neutral representation both the static binary
+rewriter and the dynamic binary translator consume:
+
+* :class:`SigExpr` — a symbolic linear combination of block signatures.
+  In DBT mode a block's signature is its guest address (known at
+  translation time); in static-rewrite mode it is the block's *new*
+  address, known only after layout, hence the symbolic form.
+* :class:`Item` subclasses — an instrumentation micro-IR: concrete
+  instructions, signature-constant loads, local forward branches, and
+  branches to the error sink.
+* :class:`Technique` — the abstract interface: what to emit at a block's
+  entry (CHECK_SIG) and at each kind of block exit (GEN_SIG).
+
+The flagless discipline (paper Section 5.1) is enforced here: a
+technique declares whether its items may clobber FLAGS, and the unsafe
+ones (CFCSS's xor-based check) are only usable by the static rewriter
+on flag-clean guests.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.isa.flags import Cond
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+
+#: The label every ErrorBranch targets; backends bind it to their error
+#: sink (a TRAP stub in the DBT, a report routine in static mode).
+ERROR_LABEL = "__cfc_error"
+
+
+# -- signature expressions -----------------------------------------------
+
+
+@dataclass(frozen=True)
+class SigExpr:
+    """``const + sum(sig(p) for p in plus) - sum(sig(m) for m in minus)``.
+
+    The ``plus``/``minus`` entries are *guest block start addresses* used
+    as signature keys; the backend supplies the key -> value mapping.
+    """
+
+    const: int = 0
+    plus: tuple[int, ...] = ()
+    minus: tuple[int, ...] = ()
+
+    def resolve(self, sig_of: Callable[[int], int]) -> int:
+        value = self.const
+        for key in self.plus:
+            value += sig_of(key)
+        for key in self.minus:
+            value -= sig_of(key)
+        return value
+
+    @property
+    def is_concrete(self) -> bool:
+        return not self.plus and not self.minus
+
+    def __add__(self, other: "SigExpr") -> "SigExpr":
+        return SigExpr(self.const + other.const, self.plus + other.plus,
+                       self.minus + other.minus)
+
+    def __neg__(self) -> "SigExpr":
+        return SigExpr(-self.const, self.minus, self.plus)
+
+    def __sub__(self, other: "SigExpr") -> "SigExpr":
+        return self + (-other)
+
+
+def sig_of(block_start: int) -> SigExpr:
+    """Symbolic signature of the block starting at ``block_start``."""
+    return SigExpr(plus=(block_start,))
+
+
+def const_expr(value: int) -> SigExpr:
+    return SigExpr(const=value)
+
+
+# -- instrumentation micro-IR ------------------------------------------------
+
+
+class Item:
+    """Base class for instrumentation code items."""
+
+
+@dataclass(frozen=True)
+class RawIns(Item):
+    """A fully concrete instruction, emitted verbatim."""
+
+    instr: Instruction
+
+
+@dataclass(frozen=True)
+class LoadSig(Item):
+    """Load a (possibly symbolic) 32-bit value into a register.
+
+    Backends materialize this as a single ``movi`` when the resolved
+    value fits in a signed 16-bit immediate, or as a ``movhi``+``movlo``
+    pair otherwise.  The static rewriter always uses the fixed two-word
+    form so block layout is independent of signature values.
+    """
+
+    rd: int
+    expr: SigExpr
+
+
+@dataclass(frozen=True)
+class LocalBranch(Item):
+    """A forward branch to a local label within the same snippet."""
+
+    op: Op          #: a Jcc opcode, Op.JRZ/Op.JRNZ, or Op.JMP
+    label: str
+    rd: int = 0     #: register operand for jrz/jrnz
+
+
+@dataclass(frozen=True)
+class ErrorBranch(Item):
+    """A branch to the technique's error sink.
+
+    ``op`` is Op.JRNZ/Op.JRZ (flagless, safe w.r.t. guest flags) or a
+    Jcc opcode (flag-reading; only CFCSS uses this, and only in static
+    mode).
+    """
+
+    op: Op
+    rd: int = 0
+
+
+@dataclass(frozen=True)
+class LabelMark(Item):
+    """Defines a local label for :class:`LocalBranch` targets."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class CheckedDiv(Item):
+    """ECCA's assertion: ``div rd, rs, rt`` whose divide-by-zero trap IS
+    the error report.  Backends record its final address so the fault
+    classifier can tell an assertion firing from a genuine guest
+    division by zero (the paper: "the divide by zero exception handler
+    is modified to detect if the exception is a control-flow error")."""
+
+    rd: int
+    rs: int
+    rt: int
+
+
+# -- block description handed to techniques ----------------------------------
+
+
+@dataclass(frozen=True)
+class CondDesc:
+    """Condition of a two-way block exit.
+
+    Either a FLAGS condition (``cond`` set — the guest branch is a Jcc)
+    or a register-zero condition (``reg_op``/``reg`` set — the guest
+    branch is jrz/jrnz).
+    """
+
+    cond: Cond | None = None
+    reg_op: Op | None = None
+    reg: int = 0
+
+    @property
+    def is_flags(self) -> bool:
+        return self.cond is not None
+
+    def mirror_branch(self, label: str) -> LocalBranch:
+        """A branch that takes exactly when the guest branch will take."""
+        if self.is_flags:
+            from repro.isa.opcodes import JCC_BY_COND
+            return LocalBranch(JCC_BY_COND[self.cond], label)
+        return LocalBranch(self.reg_op, label, rd=self.reg)
+
+
+@dataclass(frozen=True)
+class BlockInfo:
+    """What a technique gets to know about the block it instruments."""
+
+    start: int                     #: guest block start (= signature key)
+    is_entry: bool = False         #: program entry block
+    #: static predecessors' start addresses (whole-CFG techniques only)
+    predecessors: tuple[int, ...] = ()
+    #: static successors' start addresses (whole-CFG techniques only)
+    successors: tuple[int, ...] = ()
+
+
+class UpdateStyle(enum.Enum):
+    """How conditional exits select the next signature (Figure 14)."""
+
+    JCC = "jcc"        #: inserted conditional jump around a fix-up
+    CMOV = "cmov"      #: conditional move between two candidates
+
+
+# -- the technique interface ---------------------------------------------------
+
+
+class Technique(ABC):
+    """A signature-monitoring control-flow checking technique."""
+
+    #: short name used in reports ("edgcf", "rcf", ...)
+    name: str = "?"
+    #: True when signatures must be assigned from the whole static CFG
+    #: (CFCSS, ECCA) — such techniques cannot run under the on-demand
+    #: DBT, exactly as the paper notes in Section 5.
+    requires_whole_cfg: bool = False
+    #: True when the technique's instrumentation may clobber FLAGS
+    #: (CFCSS/ECCA); such techniques need flag-clean guests.
+    clobbers_flags: bool = False
+
+    def __init__(self, update_style: UpdateStyle = UpdateStyle.JCC):
+        self.update_style = update_style
+
+    # -- state initialisation ---------------------------------------------
+
+    @abstractmethod
+    def prologue(self, entry_block: int) -> list[Item]:
+        """Code run once before the program entry block, establishing the
+        signature-register invariant so the first check passes."""
+
+    # -- CHECK_SIG ----------------------------------------------------------
+
+    @abstractmethod
+    def entry_items(self, block: BlockInfo, check: bool) -> list[Item]:
+        """Instrumentation for the block's head: the signature update
+        that folds the incoming signature plus, when ``check`` is True
+        (policy-dependent), the CHECK_SIG comparison and error branch."""
+
+    # -- GEN_SIG ----------------------------------------------------------------
+
+    @abstractmethod
+    def exit_items_direct(self, block: BlockInfo,
+                          target: int) -> list[Item]:
+        """GEN_SIG for a single statically-known successor."""
+
+    @abstractmethod
+    def exit_items_cond(self, block: BlockInfo, taken: int, fallthrough: int,
+                        cond: CondDesc) -> list[Item]:
+        """GEN_SIG for a conditional exit: select the taken or the
+        fallthrough successor's signature according to ``cond``."""
+
+    @abstractmethod
+    def exit_items_indirect(self, block: BlockInfo,
+                            target_reg: int) -> list[Item]:
+        """GEN_SIG for a dynamic exit; ``target_reg`` holds the guest
+        target address captured by the backend just before the branch.
+
+        Address-as-signature makes this cheap (paper Section 3.1: "the
+        address to signature mapping has no cost")."""
+
+    # -- description -------------------------------------------------------------
+
+    def describe(self) -> str:
+        return f"{self.name} (update={self.update_style.value})"
+
+
+_unique_labels = 0
+
+
+def fresh_label(prefix: str) -> str:
+    """Generate a snippet-local label name."""
+    global _unique_labels
+    _unique_labels += 1
+    return f".{prefix}_{_unique_labels}"

@@ -1,0 +1,90 @@
+"""CFCSS — Control-Flow Checking by Software Signatures (Oh, Shirvani,
+McCluskey; paper Section 3).
+
+The classic xor scheme: each block has a static signature; a shadow
+register is xor'ed at every block entry with a statically determined
+constant ``d_B`` that transforms the predecessor's signature into this
+block's, then compared against ``sig(B)``.
+
+Faithfully reproduced limitations (all called out in the paper):
+
+* predecessors of a fan-in block must share one signature — we assign
+  signatures over union-find classes (see
+  :mod:`repro.checking.signatures`) — so a wrong edge between blocks
+  whose sources alias is invisible: categories D and E leak,
+* the signature changes only at block entry, so jumps into a block's
+  middle that skip the entry xor re-converge: category C leaks,
+* the update depends only on the predecessor, not on the branch
+  direction, so mistaken branches (category A) are invisible,
+* the check compares with flag-setting instructions and a conditional
+  error branch, so it clobbers FLAGS (fine for the static rewriter on
+  flag-clean guests; unusable in the transparent DBT — one more reason
+  the paper's DBT implements only ECF/EdgCF/RCF).
+
+This technique requires the whole CFG (``requires_whole_cfg``) and, in
+this reproduction, intra-procedural programs (no ret / indirect exits);
+the static rewriter enforces both.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.registers import PCP, T0
+from repro.checking.base import (BlockInfo, CondDesc, ErrorBranch, Item,
+                                 LoadSig, RawIns, Technique, const_expr)
+from repro.checking.signatures import CfcssSignatures
+
+
+class CFCSS(Technique):
+    """Control-flow checking by software signatures."""
+
+    name = "cfcss"
+    requires_whole_cfg = True
+    clobbers_flags = True
+
+    def __init__(self, signatures: CfcssSignatures, **kwargs):
+        super().__init__(**kwargs)
+        self.signatures = signatures
+
+    def prologue(self, entry_block: int) -> list[Item]:
+        # Seed PC' so the entry block's xor lands on sig(entry).  When
+        # the entry has no predecessors d was computed against a virtual
+        # signature of 0 and this seed is 0; when a loop re-enters the
+        # entry block, d came from the real predecessors instead.
+        seed = (self.signatures.sig[entry_block]
+                ^ self.signatures.d_value[entry_block])
+        return [LoadSig(PCP, const_expr(seed))]
+
+    def entry_items(self, block: BlockInfo, check: bool) -> list[Item]:
+        d_value = self.signatures.d_value[block.start]
+        sig = self.signatures.sig[block.start]
+        items: list[Item] = [
+            LoadSig(T0, const_expr(d_value)),
+            RawIns(Instruction(op=Op.XOR, rd=PCP, rs=PCP, rt=T0)),
+        ]
+        if check:
+            items += [
+                LoadSig(T0, const_expr(sig)),
+                # xor sets ZF iff equal; the error branch reads it.
+                RawIns(Instruction(op=Op.XOR, rd=T0, rs=T0, rt=PCP)),
+                ErrorBranch(Op.JNZ),
+            ]
+        return items
+
+    # CFCSS performs all its signature work at block entries; exits are
+    # untouched.  That is precisely why it cannot see branch direction
+    # (category A).
+
+    def exit_items_direct(self, block: BlockInfo, target: int) -> list[Item]:
+        return []
+
+    def exit_items_cond(self, block: BlockInfo, taken: int, fallthrough: int,
+                        cond: CondDesc) -> list[Item]:
+        return []
+
+    def exit_items_indirect(self, block: BlockInfo,
+                            target_reg: int) -> list[Item]:
+        raise NotImplementedError(
+            "CFCSS cannot instrument dynamic branch targets; use an "
+            "intra-procedural workload")

@@ -1,0 +1,243 @@
+"""Data-flow checking by instruction duplication (SWIFT/EDDI style).
+
+The paper's conclusion names this as the next step: "In the future we
+will add data flow checking into our implementation and measure the
+overall performance impact."  This module implements it as a
+translation-time transformer the DBT applies to every original
+instruction, composable with any control-flow technique:
+
+* every computation is performed twice — once on the architectural
+  registers and once on a *shadow register file*,
+* the copies are compared (with flagless ``lsub``/``jrnz`` sequences)
+  at the program's observable points: memory stores, compare
+  instructions that feed branches, indirect-branch targets, and
+  syscalls,
+* a mismatch branches to a dedicated data-flow error stub.
+
+Deviation from SWIFT, documented: SWIFT keeps the shadow values in
+spare architectural registers (the paper's EM64T had them; R32's high
+registers are taken by the control-flow state), so the shadow file
+lives in a reserved memory region instead.  That makes the relative
+overhead substantially higher than SWIFT's published numbers — the
+mechanism, the detection behaviour, and the composition with
+control-flow checking are what this module reproduces, and the bench
+measures the combined cost honestly.
+
+Ordering note: each duplicated computation runs *before* its original,
+so the original's FLAGS side effects are the last ones standing and
+guest flag semantics are preserved exactly.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Fmt, Kind, Op
+from repro.isa.registers import DF0, DF1, DF2, NUM_GUEST_REGISTERS, SDW
+
+#: Base of the in-memory shadow register file (16 words).  A dedicated
+#: page, mapped read-write by the DBT when duplication is enabled.
+SHADOW_BASE = 0x70000
+SHADOW_SIZE = NUM_GUEST_REGISTERS * 4
+
+#: Opcodes whose result can simply be copied to the shadow after
+#: execution because their inputs are fault-immune (immediates).
+_IMMEDIATE_MOVES = (Op.MOVI, Op.MOVHI)
+
+
+def _sh(reg: int) -> int:
+    """Shadow-file byte offset of guest register ``reg``."""
+    return reg * 4
+
+
+def _load_shadow(df: int, reg: int) -> Instruction:
+    return Instruction(op=Op.LD, rd=df, rs=SDW, imm=_sh(reg))
+
+
+def _store_shadow(src: int, reg: int) -> Instruction:
+    return Instruction(op=Op.ST, rd=src, rs=SDW, imm=_sh(reg))
+
+
+class DataFlowDuplication:
+    """Per-instruction duplication transformer.
+
+    ``transform(pc, instr)`` returns the protected instruction
+    sequence, with check branches encoded as placeholder items the
+    translator resolves against the block's data-flow error stub (see
+    :data:`CHECK_BRANCH`).
+    """
+
+    #: marker object emitted in place of a ``jrnz DF2, <df-error>``
+    CHECK_BRANCH = "df-check"
+
+    def __init__(self) -> None:
+        self.checks_emitted = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    def _check(self, out: list, reg: int) -> None:
+        """Compare guest ``reg`` against its shadow; branch on mismatch."""
+        out.append(_load_shadow(DF2, reg))
+        out.append(Instruction(op=Op.LSUB, rd=DF2, rs=DF2, rt=reg))
+        out.append(self.CHECK_BRANCH)
+        self.checks_emitted += 1
+
+    def _guest(self, reg: int) -> bool:
+        return 0 <= reg < NUM_GUEST_REGISTERS
+
+    # -- the transformation -------------------------------------------------
+
+    def transform(self, pc: int, instr: Instruction) -> list:
+        """Protected sequence for one original instruction."""
+        op = instr.op
+        meta = instr.meta
+        kind = meta.kind
+        out: list = []
+
+        if kind is Kind.ALU and meta.fmt is Fmt.R3:
+            if op in (Op.CMP, Op.TEST):
+                # Branch-feeding compares: verify the operands, then
+                # execute the original (its FLAGS are what the branch
+                # reads).
+                self._check(out, instr.rs)
+                self._check(out, instr.rt)
+                out.append(instr)
+                return out
+            # rd = rs <op> rt — duplicate from shadow inputs first.
+            out.append(_load_shadow(DF0, instr.rs))
+            out.append(_load_shadow(DF1, instr.rt))
+            out.append(Instruction(op=op, rd=DF2, rs=DF0, rt=DF1))
+            out.append(_store_shadow(DF2, instr.rd))
+            out.append(instr)
+            return out
+
+        if kind is Kind.ALU and meta.fmt is Fmt.RI:
+            if op is Op.CMPI:
+                self._check(out, instr.rs)
+                out.append(instr)
+                return out
+            out.append(_load_shadow(DF0, instr.rs))
+            out.append(Instruction(op=op, rd=DF2, rs=DF0, imm=instr.imm))
+            out.append(_store_shadow(DF2, instr.rd))
+            out.append(instr)
+            return out
+
+        if kind is Kind.ALU and meta.fmt is Fmt.R2:   # neg / not
+            out.append(_load_shadow(DF0, instr.rs))
+            out.append(Instruction(op=op, rd=DF2, rs=DF0))
+            out.append(_store_shadow(DF2, instr.rd))
+            out.append(instr)
+            return out
+
+        if op in _IMMEDIATE_MOVES:
+            # Immune inputs: execute, then refresh the shadow copy.
+            out.append(instr)
+            out.append(_store_shadow(instr.rd, instr.rd))
+            return out
+
+        if op is Op.MOVLO:
+            # Reads rd's high half: duplicate via the shadow copy.
+            out.append(_load_shadow(DF2, instr.rd))
+            out.append(Instruction(op=op, rd=DF2, imm=instr.imm))
+            out.append(_store_shadow(DF2, instr.rd))
+            out.append(instr)
+            return out
+
+        if op is Op.MOV:
+            out.append(_load_shadow(DF2, instr.rs))
+            out.append(_store_shadow(DF2, instr.rd))
+            out.append(instr)
+            return out
+
+        if op in (Op.LEA, Op.LEA3, Op.LSUB):
+            if meta.fmt is Fmt.RI:
+                out.append(_load_shadow(DF0, instr.rs))
+                out.append(Instruction(op=op, rd=DF2, rs=DF0,
+                                       imm=instr.imm))
+            else:
+                out.append(_load_shadow(DF0, instr.rs))
+                out.append(_load_shadow(DF1, instr.rt))
+                out.append(Instruction(op=op, rd=DF2, rs=DF0, rt=DF1))
+            out.append(_store_shadow(DF2, instr.rd))
+            out.append(instr)
+            return out
+
+        if meta.cond is not None and meta.fmt is Fmt.R2:   # cmovcc
+            # condition comes from FLAGS (already protected at the cmp);
+            # duplicate the conditional move on the shadow file.
+            out.append(_load_shadow(DF0, instr.rs))
+            out.append(_load_shadow(DF2, instr.rd))
+            out.append(Instruction(op=op, rd=DF2, rs=DF0))
+            out.append(_store_shadow(DF2, instr.rd))
+            out.append(instr)
+            return out
+
+        if op in (Op.LD, Op.LDB):
+            # SWIFT rule: verify the address register, load once, copy
+            # the loaded value into the shadow.
+            self._check(out, instr.rs)
+            out.append(instr)
+            out.append(_store_shadow(instr.rd, instr.rd))
+            return out
+
+        if op in (Op.ST, Op.STB):
+            # The store is an observable point: verify both the value
+            # and the address before letting it commit.
+            self._check(out, instr.rd)
+            self._check(out, instr.rs)
+            out.append(instr)
+            return out
+
+        if op is Op.PUSH:
+            self._check(out, instr.rd)
+            self._check(out, 15)
+            out.append(instr)
+            # shadow sp -= 4
+            out.append(_load_shadow(DF2, 15))
+            out.append(Instruction(op=Op.LEA, rd=DF2, rs=DF2, imm=-4))
+            out.append(_store_shadow(DF2, 15))
+            return out
+
+        if op is Op.POP:
+            self._check(out, 15)
+            out.append(instr)
+            out.append(_store_shadow(instr.rd, instr.rd))
+            out.append(_load_shadow(DF2, 15))
+            out.append(Instruction(op=Op.LEA, rd=DF2, rs=DF2, imm=4))
+            out.append(_store_shadow(DF2, 15))
+            return out
+
+        if op is Op.SYSCALL:
+            # Outputs leave the sphere of replication here: verify the
+            # argument register first.
+            self._check(out, 1)
+            out.append(instr)
+            out.append(_store_shadow(0, 0))   # r0 may be written
+            return out
+
+        # Anything else (halt, nop, ...) passes through unprotected.
+        out.append(instr)
+        return out
+
+    def protect_indirect_target(self, reg: int) -> list:
+        """Checks for a dynamic branch target register (jmpr/callr)."""
+        out: list = []
+        self._check(out, reg)
+        return out
+
+    def call_return_shadow_update(self) -> list:
+        """Keep the shadow sp coherent across call/ret translations.
+
+        The DBT's call translation pushes the return address itself, so
+        the duplication layer only mirrors the sp adjustment."""
+        return [
+            _load_shadow(DF2, 15),
+            Instruction(op=Op.LEA, rd=DF2, rs=DF2, imm=-4),
+            _store_shadow(DF2, 15),
+        ]
+
+    def ret_shadow_update(self) -> list:
+        return [
+            _load_shadow(DF2, 15),
+            Instruction(op=Op.LEA, rd=DF2, rs=DF2, imm=4),
+            _store_shadow(DF2, 15),
+        ]

@@ -1,0 +1,87 @@
+"""ECCA — Enhanced Control-flow Checking using Assertions (Alkhalifa,
+Nair, Krishnamurthy, Abraham; paper Section 3).
+
+Each block gets a prime BID.  A block's exit sets the run-time
+signature to the *product* of its successors' BIDs; the entry assertion
+divides by a branch-free boolean "(signature mod BID) == 0", so a wrong
+edge triggers a hardware divide-by-zero — the exception handler is the
+error reporter ("the divide by zero exception handler is modified to
+detect if the exception is a control-flow error").
+
+Faithfully reproduced properties:
+
+* expensive: the assertion costs a ``mod`` and a ``div`` (the paper:
+  "the technique use expensive instructions (div and mul)"),
+* mistaken branches (category A) are invisible: both successors' BIDs
+  divide the product,
+* jumps into a block's middle (category C) are invisible: the
+  signature only changes at block boundaries,
+* the signature register is *overwritten* (not accumulated) each block,
+  so ECCA only makes sense with checks in every block (ALLBB) — there
+  is no propagation to a later check.
+
+Whole-CFG, flag-clobbering, intra-procedural — static rewriter only.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.registers import PCP, T0, T1, T2
+from repro.checking.base import (BlockInfo, CheckedDiv, CondDesc, Item,
+                                 LoadSig, RawIns, Technique, const_expr)
+from repro.checking.signatures import EccaSignatures
+
+
+class ECCA(Technique):
+    """Enhanced control-flow checking using assertions."""
+
+    name = "ecca"
+    requires_whole_cfg = True
+    clobbers_flags = True
+
+    def __init__(self, signatures: EccaSignatures, **kwargs):
+        super().__init__(**kwargs)
+        self.signatures = signatures
+
+    def prologue(self, entry_block: int) -> list[Item]:
+        return [LoadSig(PCP, const_expr(self.signatures.bid[entry_block]))]
+
+    def entry_items(self, block: BlockInfo, check: bool) -> list[Item]:
+        if not check:
+            # ECCA has no separate "update" half at entries; without the
+            # assertion there is nothing to do (and nothing propagates —
+            # see module docstring).
+            return []
+        bid = self.signatures.bid[block.start]
+        return [
+            LoadSig(T0, const_expr(bid)),
+            RawIns(Instruction(op=Op.MOD, rd=T1, rs=PCP, rt=T0)),
+            # Branch-free T2 = (T1 == 0) ? 1 : 0
+            RawIns(Instruction(op=Op.NEG, rd=T2, rs=T1)),
+            RawIns(Instruction(op=Op.OR, rd=T2, rs=T2, rt=T1)),
+            RawIns(Instruction(op=Op.SHRI, rd=T2, rs=T2, imm=31)),
+            RawIns(Instruction(op=Op.XORI, rd=T2, rs=T2, imm=1)),
+            # Divide by the boolean: traps exactly when the assertion
+            # fails.  The backend records this address for the fault
+            # classifier.
+            CheckedDiv(rd=T2, rs=T0, rt=T2),
+        ]
+
+    def exit_items_direct(self, block: BlockInfo, target: int) -> list[Item]:
+        product = self.signatures.bid.get(target, 1)
+        return [LoadSig(PCP, const_expr(product))]
+
+    def exit_items_cond(self, block: BlockInfo, taken: int, fallthrough: int,
+                        cond: CondDesc) -> list[Item]:
+        product = (self.signatures.bid.get(taken, 1)
+                   * self.signatures.bid.get(fallthrough, 1))
+        # One unconditional set accepting either successor — the source
+        # of ECCA's category-A blindness.
+        return [LoadSig(PCP, const_expr(product))]
+
+    def exit_items_indirect(self, block: BlockInfo,
+                            target_reg: int) -> list[Item]:
+        raise NotImplementedError(
+            "ECCA cannot instrument dynamic branch targets; use an "
+            "intra-procedural workload")

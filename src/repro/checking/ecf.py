@@ -1,0 +1,72 @@
+"""ECF — enhanced control-flow checking with a run-time adjusting
+signature (Reis et al., SWIFT; paper Section 3, Figure 4).
+
+State: the pair <PC', RTS>.
+
+* head (entry): ``PC' += RTS`` — folds the adjustment chosen by the
+  predecessor; CHECK_SIG is ``PC' == sig(B)``,
+* tail (exit): ``RTS = sig(next) − sig(B)`` selected conditionally
+  (the cmovle pattern of Figure 4, or the Jcc variant of Figure 14).
+
+Because PC' holds ``sig(B)`` throughout the block body — a value that
+is *re-created* by re-entering the same block — a jump into the middle
+of the block that re-executes its own tail lands back on a consistent
+signature: category C is undetectable, the gap the paper's EdgCF/RCF
+close (Section 3: "it still cannot detect errors in category C").
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.registers import PCP, RTS, T0
+from repro.checking.base import (BlockInfo, CondDesc, ErrorBranch, Item,
+                                 LoadSig, RawIns, Technique, const_expr,
+                                 sig_of)
+from repro.checking.updates import overwrite_cond_update
+
+
+class ECF(Technique):
+    """Enhanced control-flow checking (run-time adjusting signature)."""
+
+    name = "ecf"
+
+    def prologue(self, entry_block: int) -> list[Item]:
+        return [
+            LoadSig(PCP, sig_of(entry_block)),
+            LoadSig(RTS, const_expr(0)),
+        ]
+
+    def entry_items(self, block: BlockInfo, check: bool) -> list[Item]:
+        items: list[Item] = [
+            RawIns(Instruction(op=Op.LEA3, rd=PCP, rs=PCP, rt=RTS)),
+        ]
+        if check:
+            items += [
+                LoadSig(T0, sig_of(block.start)),
+                RawIns(Instruction(op=Op.LSUB, rd=T0, rs=PCP, rt=T0)),
+                ErrorBranch(Op.JRNZ, rd=T0),
+            ]
+        return items
+
+    def exit_items_direct(self, block: BlockInfo, target: int) -> list[Item]:
+        return [LoadSig(RTS, sig_of(target) - sig_of(block.start))]
+
+    def exit_items_cond(self, block: BlockInfo, taken: int, fallthrough: int,
+                        cond: CondDesc) -> list[Item]:
+        here = sig_of(block.start)
+        return overwrite_cond_update(
+            reg=RTS,
+            taken_value=sig_of(taken) - here,
+            fall_value=sig_of(fallthrough) - here,
+            cond=cond,
+            style=self.update_style,
+        )
+
+    def exit_items_indirect(self, block: BlockInfo,
+                            target_reg: int) -> list[Item]:
+        # RTS = dynamic target − sig(B)
+        return [
+            LoadSig(T0, sig_of(block.start)),
+            RawIns(Instruction(op=Op.LSUB, rd=RTS, rs=target_reg, rt=T0)),
+        ]

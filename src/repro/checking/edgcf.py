@@ -1,0 +1,126 @@
+"""EdgCF — the Edge Control-Flow checking technique (paper Section 3.1).
+
+Invariant (Figure 6): *on a control-flow edge* the shadow PC holds the
+target block's signature; *inside a block body* it holds zero.
+
+* head (entry): ``PC' -= sig(B)`` — transforms the incoming edge value
+  to 0; CHECK_SIG is ``PC' == 0`` (a single flagless ``jrnz``),
+* tail (exit): ``PC' += sig(next)`` selected per the actual branch
+  condition, or folded from the captured dynamic target for indirect
+  branches (Figure 7's ``xor PC', R1`` becomes ``lea3 PC', PC', R1`` —
+  the paper itself swaps xor for lea-style arithmetic to avoid the
+  EFLAGS side effect, Section 4.4/5.1).
+
+GEN_SIG(x, y, z) = x − y + z with heads represented by their address
+and tails by 0 — the exact function the paper proves sufficient and
+necessary (Claim 1), in its add/sub variant.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.registers import PCP, T0
+from repro.checking.base import (BlockInfo, CondDesc, ErrorBranch, Item,
+                                 LoadSig, RawIns, SigExpr, Technique,
+                                 const_expr, sig_of)
+from repro.checking.updates import additive_cond_update
+
+
+class EdgCF(Technique):
+    """Edge control-flow checking."""
+
+    name = "edgcf"
+
+    def prologue(self, entry_block: int) -> list[Item]:
+        # Arrive at the entry block as if over a legal edge.
+        return [LoadSig(PCP, sig_of(entry_block))]
+
+    def entry_items(self, block: BlockInfo, check: bool) -> list[Item]:
+        items: list[Item] = [
+            LoadSig(T0, sig_of(block.start)),
+            RawIns(Instruction(op=Op.LSUB, rd=PCP, rs=PCP, rt=T0)),
+        ]
+        if check:
+            # PC' must now be zero; jrnz is flagless, but — as the paper
+            # discusses — itself unprotected: at this point PC' = 0,
+            # which every block body shares.  RCF exists to fix this.
+            items.append(ErrorBranch(Op.JRNZ, rd=PCP))
+        return items
+
+    def exit_items_direct(self, block: BlockInfo, target: int) -> list[Item]:
+        return [
+            LoadSig(T0, sig_of(target)),
+            RawIns(Instruction(op=Op.LEA3, rd=PCP, rs=PCP, rt=T0)),
+        ]
+
+    def exit_items_cond(self, block: BlockInfo, taken: int, fallthrough: int,
+                        cond: CondDesc) -> list[Item]:
+        taken_sig = sig_of(taken)
+        fall_sig = sig_of(fallthrough)
+        return additive_cond_update(
+            taken_delta=taken_sig,
+            fall_minus_taken=fall_sig - taken_sig,
+            cond=cond,
+            style=self.update_style,
+            fall_delta=fall_sig,
+        )
+
+    def exit_items_indirect(self, block: BlockInfo,
+                            target_reg: int) -> list[Item]:
+        # PC' is 0 here; adding the captured target address sets the edge
+        # value directly — address-as-signature makes the mapping free.
+        return [RawIns(Instruction(op=Op.LEA3, rd=PCP, rs=PCP,
+                                   rt=target_reg))]
+
+
+class NaiveEdgeCF(EdgCF):
+    """The strawman of Figure 5: edge updates *without* the head update.
+
+    The shadow PC carries the next block's signature across the edge and
+    keeps it through the body (no zeroing at entry), so a jump into the
+    middle of the *correct target* block is invisible.  Exists for the
+    head-update ablation bench; not a technique the paper proposes.
+    """
+
+    name = "edgcf-naive"
+
+    def prologue(self, entry_block: int) -> list[Item]:
+        return [LoadSig(PCP, sig_of(entry_block))]
+
+    def entry_items(self, block: BlockInfo, check: bool) -> list[Item]:
+        if not check:
+            return []
+        items: list[Item] = [
+            LoadSig(T0, sig_of(block.start)),
+            RawIns(Instruction(op=Op.LSUB, rd=T0, rs=PCP, rt=T0)),
+            ErrorBranch(Op.JRNZ, rd=T0),
+        ]
+        return items
+
+    def exit_items_direct(self, block: BlockInfo, target: int) -> list[Item]:
+        return [
+            LoadSig(T0, sig_of(target) - sig_of(block.start)),
+            RawIns(Instruction(op=Op.LEA3, rd=PCP, rs=PCP, rt=T0)),
+        ]
+
+    def exit_items_cond(self, block: BlockInfo, taken: int, fallthrough: int,
+                        cond: CondDesc) -> list[Item]:
+        here = sig_of(block.start)
+        taken_sig = sig_of(taken)
+        fall_sig = sig_of(fallthrough)
+        return additive_cond_update(
+            taken_delta=taken_sig - here,
+            fall_minus_taken=fall_sig - taken_sig,
+            cond=cond,
+            style=self.update_style,
+            fall_delta=fall_sig - here,
+        )
+
+    def exit_items_indirect(self, block: BlockInfo,
+                            target_reg: int) -> list[Item]:
+        return [
+            LoadSig(T0, sig_of(block.start)),
+            RawIns(Instruction(op=Op.LSUB, rd=PCP, rs=PCP, rt=T0)),
+            RawIns(Instruction(op=Op.LEA3, rd=PCP, rs=PCP, rt=target_reg)),
+        ]

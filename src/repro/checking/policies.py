@@ -1,0 +1,76 @@
+"""Signature checking policies (paper Section 6, Figure 15).
+
+The signature must be *updated* in every block — "if an error occurs,
+and the signature becomes wrong, each update to PC' will also generate
+a wrong signature" — but it need only be *checked* where the policy
+says.  Less frequent checks trade error-report latency (and, for RET /
+END, the ability to report errors that hang the program in a loop) for
+performance.
+
+Policies, in decreasing check frequency:
+
+* ``ALLBB`` — check at every basic block,
+* ``RET_BE`` — check at blocks ending in a backward branch (loop-closing
+  blocks, to bound detection latency inside loops) and blocks with
+  return instructions,
+* ``RET`` — check only at blocks with return instructions,
+* ``END`` — check only at the end of the application.
+
+All policies also check at program-exit blocks, so even END reports the
+error before the process finishes (unless the error causes a hang —
+which the paper explicitly flags as the RET/END failure mode).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.cfg.basic_block import BasicBlock, ExitKind
+
+
+class Policy(enum.Enum):
+    """Where CHECK_SIG is instrumented.
+
+    ``STORE`` is the optimization the paper attributes to Reis et al.:
+    "checking the signature only in basic blocks that have store
+    instructions" — the halt-on-failure-motivated placement that
+    guards every point where corrupted state could become permanent.
+    """
+
+    ALLBB = "allbb"
+    RET_BE = "ret-be"
+    RET = "ret"
+    END = "end"
+    STORE = "store"
+
+    def should_check(self, block: BasicBlock) -> bool:
+        """Does this policy place a check at ``block``'s entry?"""
+        is_exit = block.exit_kind in (ExitKind.HALT, ExitKind.EXIT)
+        if self is Policy.ALLBB:
+            return True
+        if self is Policy.RET_BE:
+            return (block.ends_in_return or block.ends_in_backward_branch
+                    or is_exit)
+        if self is Policy.RET:
+            return block.ends_in_return or is_exit
+        if self is Policy.END:
+            return is_exit
+        if self is Policy.STORE:
+            return is_exit or block_has_store(block)
+        raise AssertionError(self)
+
+
+def block_has_store(block: BasicBlock) -> bool:
+    """True when the block writes memory (st/stb/push/call's implicit
+    push count; syscalls are output points and count too)."""
+    from repro.isa.opcodes import Kind, Op
+    for _, instr in block.instructions:
+        if instr.op in (Op.ST, Op.STB, Op.PUSH, Op.SYSCALL):
+            return True
+        if instr.meta.kind in (Kind.CALL,):
+            return True
+    return False
+
+
+#: The paper's four policies (Figure 15), in decreasing check frequency.
+ALL_POLICIES = (Policy.ALLBB, Policy.RET_BE, Policy.RET, Policy.END)

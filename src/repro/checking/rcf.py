@@ -1,0 +1,92 @@
+"""RCF — Region-based Control-Flow checking (paper Section 3.2).
+
+RCF strengthens EdgCF by giving every *region* of instrumented code its
+own signature instead of sharing 0 for all block bodies:
+
+* region ``BE`` (block entrance, Figure 9's R1E): signature = sig(B).
+  The CHECK_SIG comparison and its error-report branch live here, so a
+  soft error on the inserted check branch that escapes the region lands
+  somewhere whose expected signature differs from sig(B) — detected.
+  (Under EdgCF the same escape carries PC' = 0, which every block body
+  shares — undetected.)
+* region ``body`` (Figure 9's R1): signature = sig(B) + 1.  Block
+  addresses are word-aligned, so the +1 values never collide with any
+  block-entrance signature.
+* the exit-update window (Figure 9's R2E/R3E): PC' already holds the
+  next block's signature; both successors' values are valid here, which
+  is exactly the paper's "R2E/R3E means both are valid signatures".
+
+The shadow PC accumulates additively, so errors propagate to the next
+executed check just as in EdgCF.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.registers import PCP, T0
+from repro.checking.base import (BlockInfo, CondDesc, ErrorBranch, Item,
+                                 LoadSig, RawIns, SigExpr, Technique,
+                                 const_expr, sig_of)
+from repro.checking.updates import additive_cond_update
+
+#: Offset of the body region's signature from the block signature.
+BODY_REGION_OFFSET = 1
+
+
+def body_sig(block_start: int) -> SigExpr:
+    """Signature of the block's body region: sig(B) + 1."""
+    return sig_of(block_start) + const_expr(BODY_REGION_OFFSET)
+
+
+class RCF(Technique):
+    """Region-based control-flow checking."""
+
+    name = "rcf"
+
+    def prologue(self, entry_block: int) -> list[Item]:
+        return [LoadSig(PCP, sig_of(entry_block))]
+
+    def entry_items(self, block: BlockInfo, check: bool) -> list[Item]:
+        items: list[Item] = []
+        if check:
+            # Compare in a scratch register: PC' itself keeps holding the
+            # entrance-region signature, protecting the check branch.
+            items += [
+                LoadSig(T0, sig_of(block.start)),
+                RawIns(Instruction(op=Op.LSUB, rd=T0, rs=PCP, rt=T0)),
+                ErrorBranch(Op.JRNZ, rd=T0),
+            ]
+        # Transition BE -> body region (always, check or not).
+        items.append(RawIns(Instruction(op=Op.LEA, rd=PCP, rs=PCP,
+                                        imm=BODY_REGION_OFFSET)))
+        return items
+
+    def exit_items_direct(self, block: BlockInfo, target: int) -> list[Item]:
+        delta = sig_of(target) - body_sig(block.start)
+        return [
+            LoadSig(T0, delta),
+            RawIns(Instruction(op=Op.LEA3, rd=PCP, rs=PCP, rt=T0)),
+        ]
+
+    def exit_items_cond(self, block: BlockInfo, taken: int, fallthrough: int,
+                        cond: CondDesc) -> list[Item]:
+        body = body_sig(block.start)
+        taken_sig = sig_of(taken)
+        fall_sig = sig_of(fallthrough)
+        return additive_cond_update(
+            taken_delta=taken_sig - body,
+            fall_minus_taken=fall_sig - taken_sig,
+            cond=cond,
+            style=self.update_style,
+            fall_delta=fall_sig - body,
+        )
+
+    def exit_items_indirect(self, block: BlockInfo,
+                            target_reg: int) -> list[Item]:
+        # PC' += target − (sig(B) + 1)
+        return [
+            LoadSig(T0, body_sig(block.start)),
+            RawIns(Instruction(op=Op.LSUB, rd=PCP, rs=PCP, rt=T0)),
+            RawIns(Instruction(op=Op.LEA3, rd=PCP, rs=PCP, rt=target_reg)),
+        ]

@@ -1,0 +1,125 @@
+"""Signature assignment for the whole-CFG techniques (CFCSS, ECCA).
+
+The paper's own techniques (ECF, EdgCF, RCF) use the block's address as
+its signature — free, unique, and computable block-locally, which is
+what makes them implementable in a translate-on-demand DBT.  CFCSS and
+ECCA instead need signatures assigned over the *whole* CFG up front:
+
+* CFCSS requires "common predecessor blocks [to] have the same
+  signature" (paper Section 3): all predecessors of a fan-in block must
+  share one signature, transitively.  We compute the equivalence classes
+  with a union-find and give each class one signature.  This aliasing is
+  precisely the source of CFCSS's category-D/E blind spots the paper
+  exploits.
+* ECCA assigns each block a distinct prime BID; a block's exit sets the
+  run-time signature to the *product* of its successors' BIDs and the
+  entry assertion checks divisibility — mistaken branch direction
+  (category A) is invisible because both successors divide the product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cfg.graph import ControlFlowGraph
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: dict[int, int] = {}
+
+    def find(self, x: int) -> int:
+        parent = self.parent.setdefault(x, x)
+        if parent != x:
+            parent = self.find(parent)
+            self.parent[x] = parent
+        return parent
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[max(ra, rb)] = min(ra, rb)
+
+
+@dataclass
+class CfcssSignatures:
+    """CFCSS signature assignment over a CFG."""
+
+    #: block start -> signature value (shared within pred classes)
+    sig: dict[int, int]
+    #: block start -> entry xor constant d_B = sig(pred class) ^ sig(B)
+    d_value: dict[int, int]
+
+    @classmethod
+    def assign(cls, cfg: ControlFlowGraph) -> "CfcssSignatures":
+        classes = _UnionFind()
+        for block in cfg:
+            preds = block.predecessors
+            if len(preds) > 1:
+                first = preds[0]
+                for other in preds[1:]:
+                    classes.union(first, other)
+        # One signature per class; values chosen dense and nonzero.
+        class_sig: dict[int, int] = {}
+        sig: dict[int, int] = {}
+        next_value = 1
+        for block in cfg:
+            root = classes.find(block.start)
+            if root not in class_sig:
+                class_sig[root] = next_value
+                next_value += 1
+            sig[block.start] = class_sig[root]
+
+        d_value: dict[int, int] = {}
+        for block in cfg:
+            if block.predecessors:
+                pred_sig = sig[block.predecessors[0]]
+            else:
+                # Entry (or unreachable) block: the prologue seeds the
+                # run-time signature with 0, so d must equal sig(B).
+                pred_sig = 0
+            d_value[block.start] = pred_sig ^ sig[block.start]
+        return cls(sig=sig, d_value=d_value)
+
+
+def _primes(count: int) -> list[int]:
+    """First ``count`` odd primes (3, 5, 7, ...)."""
+    found: list[int] = []
+    candidate = 3
+    while len(found) < count:
+        is_prime = all(candidate % p for p in found if p * p <= candidate)
+        if is_prime and candidate % 2:
+            found.append(candidate)
+        candidate += 2
+    return found
+
+
+@dataclass
+class EccaSignatures:
+    """ECCA block identifiers (distinct primes) over a CFG."""
+
+    bid: dict[int, int]
+
+    @classmethod
+    def assign(cls, cfg: ControlFlowGraph) -> "EccaSignatures":
+        blocks = [block.start for block in cfg]
+        primes = _primes(len(blocks))
+        bid = dict(zip(blocks, primes))
+        # Product-of-successors must stay within 32 bits; with the first
+        # ~3000 odd primes (max ~27k) products stay below 2^31 for any
+        # realistic workload here.  Guard anyway.
+        for block in cfg:
+            product = 1
+            for successor in block.successors:
+                product *= bid.get(successor, 1)
+            if product >= 1 << 31:
+                raise ValueError(
+                    "ECCA BID product overflows 32 bits; program too "
+                    "large for the prime-product scheme")
+        return cls(bid=bid)
+
+    def exit_product(self, successors: tuple[int, ...] | list[int]) -> int:
+        product = 1
+        for successor in successors:
+            product *= self.bid.get(successor, 1)
+        return product

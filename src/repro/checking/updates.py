@@ -1,0 +1,78 @@
+"""Conditional signature-update strategies (paper Figure 14).
+
+At a two-way block exit, GEN_SIG must select the taken or the
+fallthrough successor's signature *before* the branch executes.  The
+paper evaluates two implementations:
+
+* **Jcc** — insert a conditional jump (mirroring the guest branch) that
+  skips a fix-up.  Cheaper, but the inserted branch is itself a new
+  soft-error target, which is *unsafe* for ECF/EdgCF and exactly what
+  RCF's regions protect (Figure 14's shadowed cells).
+* **CMOVcc** — compute both candidates and select with a conditional
+  move.  No new branch, but more instructions and a costlier ``cmov``.
+
+Register-zero guest branches (``jrz``/``jrnz``) have no matching cmov,
+so the CMOV style transparently falls back to the mirror-jump form for
+them.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import CMOV_BY_COND, Op
+from repro.isa.registers import AUX, PCP, T0, T1
+from repro.checking.base import (CondDesc, Item, LabelMark, LoadSig, RawIns,
+                                 SigExpr, UpdateStyle, fresh_label)
+
+
+def additive_cond_update(taken_delta: SigExpr, fall_minus_taken: SigExpr,
+                         cond: CondDesc, style: UpdateStyle,
+                         fall_delta: SigExpr) -> list[Item]:
+    """Update ``PCP += (cond ? taken_delta : fall_delta)``.
+
+    Used by EdgCF and RCF, whose shadow PC accumulates additively so a
+    wrong earlier signature keeps propagating (the GEN_SIG recursion of
+    Section 4.4).
+    """
+    if style is UpdateStyle.CMOV and cond.is_flags:
+        return [
+            LoadSig(T0, fall_delta),
+            RawIns(Instruction(op=Op.LEA3, rd=T0, rs=PCP, rt=T0)),
+            LoadSig(T1, taken_delta),
+            RawIns(Instruction(op=Op.LEA3, rd=T1, rs=PCP, rt=T1)),
+            RawIns(Instruction(op=Op.MOV, rd=PCP, rs=T0)),
+            RawIns(Instruction(op=CMOV_BY_COND[cond.cond], rd=PCP, rs=T1)),
+        ]
+    # Jcc style (also the fallback for register-zero conditions).
+    skip = fresh_label("upd")
+    return [
+        LoadSig(T0, taken_delta),
+        RawIns(Instruction(op=Op.LEA3, rd=PCP, rs=PCP, rt=T0)),
+        cond.mirror_branch(skip),
+        LoadSig(T0, fall_minus_taken),
+        RawIns(Instruction(op=Op.LEA3, rd=PCP, rs=PCP, rt=T0)),
+        LabelMark(skip),
+    ]
+
+
+def overwrite_cond_update(reg: int, taken_value: SigExpr,
+                          fall_value: SigExpr, cond: CondDesc,
+                          style: UpdateStyle) -> list[Item]:
+    """Set ``reg = (cond ? taken_value : fall_value)``.
+
+    Used by ECF, whose run-time adjusting signature RTS is freshly
+    overwritten at every block exit (Figure 4's mov/cmovle pattern).
+    """
+    if style is UpdateStyle.CMOV and cond.is_flags:
+        return [
+            LoadSig(reg, fall_value),
+            LoadSig(AUX, taken_value),
+            RawIns(Instruction(op=CMOV_BY_COND[cond.cond], rd=reg, rs=AUX)),
+        ]
+    skip = fresh_label("upd")
+    return [
+        LoadSig(reg, taken_value),
+        cond.mirror_branch(skip),
+        LoadSig(reg, fall_value),
+        LabelMark(skip),
+    ]

@@ -1,0 +1,250 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``         assemble and execute a program (native / DBT / static),
+                optionally with a checking technique, a policy, and
+                data-flow duplication
+``disasm``      assemble and print the listing
+``inject``      run with one injected fault and report the outcome
+``verify``      statically prove the instrumented binary never
+                false-positives (the Section-4.4 necessary condition)
+``errormodel``  per-program Figure-2-style branch-error probabilities
+``suite``       list the benchmark suite with structural statistics
+``coverage``    run the per-category coverage campaign on a program
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.isa import assemble, disassemble_program
+from repro.isa.program import Program
+from repro.machine import run_native
+from repro.checking import Policy, UpdateStyle, make_technique
+from repro.dbt import Dbt
+from repro.instrument import instrument_program
+
+
+def _load_program(path: str) -> Program:
+    with open(path) as handle:
+        return assemble(handle.read(), name=path)
+
+
+def _resolve_addr(program: Program, token: str) -> int:
+    """Parse ``symbol``, ``symbol+imm`` or a bare integer."""
+    base, sep, offset = token.partition("+")
+    if base in program.symbols:
+        value = program.symbols[base]
+        return value + (int(offset, 0) if sep else 0)
+    return int(token, 0)
+
+
+def cmd_run(args) -> int:
+    program = _load_program(args.file)
+    if args.pipeline == "native":
+        cpu, stop = run_native(program, max_steps=args.max_steps)
+        detected = cpu.cfc_error
+    elif args.pipeline == "static":
+        instrumented = instrument_program(
+            program, args.technique or "edgcf",
+            Policy(args.policy), update_style=UpdateStyle(args.update))
+        cpu, stop = run_native(instrumented.program,
+                               max_steps=args.max_steps)
+        detected = cpu.cfc_error
+    else:
+        technique = (make_technique(args.technique,
+                                    update_style=UpdateStyle(args.update))
+                     if args.technique else None)
+        dbt = Dbt(program, technique=technique,
+                  policy=Policy(args.policy), dataflow=args.dataflow)
+        result = dbt.run(max_steps=args.max_steps)
+        cpu, stop = dbt.cpu, result.stop
+        detected = result.detected_error or result.detected_dataflow
+    for chunk in cpu.output:
+        sys.stdout.write(chunk)
+    if cpu.output:
+        sys.stdout.write("\n")
+    print(f"[{stop.reason.value}] exit={stop.exit_code} "
+          f"cycles={cpu.cycles} instructions={cpu.icount} "
+          f"emitted={cpu.output_values} detected={detected}")
+    return 0 if stop.exit_code == 0 and not detected else 1
+
+
+def cmd_disasm(args) -> int:
+    program = _load_program(args.file)
+    print(disassemble_program(program))
+    return 0
+
+
+def cmd_inject(args) -> int:
+    from repro.faults import (DirectionFault, FaultSpec, FlagBitFault,
+                              OffsetBitFault, Pipeline, PipelineConfig,
+                              RedirectFault, RegisterFaultSpec)
+    program = _load_program(args.file)
+    kind, _, value = args.fault.partition(":")
+    if kind == "offset":
+        fault = OffsetBitFault(bit=int(value))
+    elif kind == "flag":
+        fault = FlagBitFault(bit=int(value))
+    elif kind == "direction":
+        fault = DirectionFault(taken=None)
+    elif kind == "redirect":
+        fault = RedirectFault(_resolve_addr(program, value))
+    elif kind == "register":
+        reg, bit, icount = value.split(",")
+        spec = RegisterFaultSpec(icount=int(icount), reg=int(reg),
+                                 bit=int(bit))
+        return _report_injection(program, args, spec)
+    else:
+        raise SystemExit(f"unknown fault kind {kind!r}")
+    spec = FaultSpec(_resolve_addr(program, args.branch),
+                     args.occurrence, fault)
+    return _report_injection(program, args, spec)
+
+
+def _report_injection(program, args, spec) -> int:
+    from repro.faults import Outcome, Pipeline, PipelineConfig
+    config = PipelineConfig("dbt", args.technique,
+                            Policy(args.policy), dataflow=args.dataflow)
+    pipeline = Pipeline(program, config)
+    record = pipeline.run(spec)
+    print(f"fault:   {spec.describe()}")
+    print(f"config:  {config.label()}")
+    print(f"outcome: {record.outcome.value}  ({record.stop_reason})")
+    return 0 if record.outcome is not Outcome.SDC else 2
+
+
+def cmd_errormodel(args) -> int:
+    from repro.analysis.report import percent
+    from repro.faults import Category, compute_error_model
+    program = _load_program(args.file)
+    model = compute_error_model(program)
+    print(f"dynamic direct branches: {model.dynamic_branches}")
+    for category in Category:
+        label = ("No Error" if category is Category.NO_ERROR
+                 else f"Category {category.value}")
+        print(f"  {label:11s} {percent(model.probability(category))}")
+    return 0
+
+
+def cmd_suite(args) -> int:
+    from repro.cfg import build_cfg
+    from repro.workloads import SUITE
+    print(f"{'benchmark':15s} {'suite':5s} {'blocks':>6s} "
+          f"{'avg-block':>9s} {'indirect':>8s} {'calls':>5s}")
+    for spec in SUITE:
+        cfg = build_cfg(spec.assemble(args.scale))
+        print(f"{spec.name:15s} {spec.suite:5s} {len(cfg):6d} "
+              f"{cfg.average_block_size():9.1f} "
+              f"{str(spec.uses_indirect):>8s} "
+              f"{str(spec.uses_calls):>5s}")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from repro.instrument import instrument_program, verify_instrumented
+    program = _load_program(args.file)
+    technique = args.technique or "edgcf"
+    ip = instrument_program(program, technique, Policy(args.policy))
+    report = verify_instrumented(ip)
+    print(report.summary())
+    if report.violations:
+        for pc, block in report.violations:
+            print(f"  VIOLATION: check at {pc:#x} fires on a legal "
+                  f"path through block {block:#x}")
+        return 1
+    if report.unproven:
+        for pc in report.unproven:
+            print(f"  unproven: check at {pc:#x} "
+                  "(beyond static precision)")
+    return 0
+
+
+def cmd_coverage(args) -> int:
+    from repro.analysis import compute_coverage_matrix
+    program = _load_program(args.file)
+    matrix = compute_coverage_matrix(
+        program, per_category=args.per_category,
+        include_cache_level=not args.no_cache_level)
+    print(matrix.table())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="control-flow error detection toolkit (CGO'06 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common_exec(p):
+        p.add_argument("file", help="assembly source file")
+        p.add_argument("--technique", "-t", default=None,
+                       choices=["ecf", "edgcf", "rcf", "cfcss", "ecca",
+                                "edgcf-naive"])
+        p.add_argument("--policy", default="allbb",
+                       choices=[p.value for p in Policy])
+        p.add_argument("--update", default="jcc",
+                       choices=[u.value for u in UpdateStyle])
+        p.add_argument("--dataflow", action="store_true",
+                       help="enable SWIFT-style duplication")
+        p.add_argument("--max-steps", type=int, default=50_000_000)
+
+    run_parser = sub.add_parser("run", help="execute a program")
+    common_exec(run_parser)
+    run_parser.add_argument("--pipeline", default="dbt",
+                            choices=["native", "dbt", "static"])
+    run_parser.set_defaults(func=cmd_run)
+
+    dis = sub.add_parser("disasm", help="print the listing")
+    dis.add_argument("file")
+    dis.set_defaults(func=cmd_disasm)
+
+    inj = sub.add_parser("inject", help="run with one injected fault")
+    common_exec(inj)
+    inj.add_argument("--branch", default="0",
+                     help="guest branch: symbol[+off] or address")
+    inj.add_argument("--occurrence", type=int, default=1)
+    inj.add_argument(
+        "--fault", required=True,
+        help="offset:BIT | flag:BIT | direction | redirect:ADDR | "
+             "register:REG,BIT,ICOUNT")
+    inj.set_defaults(func=cmd_inject)
+
+    err = sub.add_parser("errormodel",
+                         help="branch-error probabilities")
+    err.add_argument("file")
+    err.set_defaults(func=cmd_errormodel)
+
+    suite_parser = sub.add_parser("suite", help="list the benchmarks")
+    suite_parser.add_argument("--scale", default="test",
+                              choices=["test", "small", "ref"])
+    suite_parser.set_defaults(func=cmd_suite)
+
+    ver = sub.add_parser(
+        "verify", help="statically verify instrumented code")
+    ver.add_argument("file")
+    ver.add_argument("--technique", "-t", default="edgcf",
+                     choices=["ecf", "edgcf", "rcf", "cfcss", "ecca"])
+    ver.add_argument("--policy", default="allbb",
+                     choices=[p.value for p in Policy])
+    ver.set_defaults(func=cmd_verify)
+
+    cov = sub.add_parser("coverage", help="coverage campaign")
+    cov.add_argument("file")
+    cov.add_argument("--per-category", type=int, default=8)
+    cov.add_argument("--no-cache-level", action="store_true")
+    cov.set_defaults(func=cmd_coverage)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,24 @@
+"""The dynamic binary translator (paper Section 5).
+
+Transparent deployment of the checking techniques: unmodified guest
+binaries are translated on demand into an executable code cache, with
+CHECK_SIG/GEN_SIG instrumentation woven into every translated block.
+"""
+
+from repro.dbt.backend import optimize_items
+from repro.dbt.codecache import (CACHE_BASE, CACHE_SIZE, CacheFullError,
+                                 CodeCache)
+from repro.dbt.runtime import (DISPATCH_CYCLES, INDIRECT_DISPATCH_CYCLES,
+                               Dbt, DbtResult, run_dbt)
+from repro.dbt.translator import (ERROR_TRAP, INJECT_TRAP,
+                                  MAX_BLOCK_INSTRUCTIONS, BlockTranslator,
+                                  ExitSlot, NullTechnique, TranslatedBlock)
+
+__all__ = [
+    "optimize_items",
+    "CACHE_BASE", "CACHE_SIZE", "CacheFullError", "CodeCache",
+    "DISPATCH_CYCLES", "INDIRECT_DISPATCH_CYCLES", "Dbt", "DbtResult",
+    "run_dbt",
+    "ERROR_TRAP", "INJECT_TRAP", "MAX_BLOCK_INSTRUCTIONS",
+    "BlockTranslator", "ExitSlot", "NullTechnique", "TranslatedBlock",
+]

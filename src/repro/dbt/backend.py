@@ -1,0 +1,65 @@
+"""The Backend: run-time optimization of instrumentation code.
+
+The paper's Backend builds an IR from hot traces and optimizes before
+regenerating code.  Here the profitable, measurable optimization is on
+the instrumentation stream itself, applied at translation time:
+
+* **update folding** — a ``LoadSig(T, delta)`` + ``lea3 rd, rs, T``
+  pair becomes a single ``lea rd, rs, delta`` when the resolved delta
+  fits the 14-bit immediate.  Signature deltas between nearby blocks
+  almost always fit, so this removes roughly one instruction per
+  signature update.
+* **no-op elision** — ``lea rd, rd, 0`` updates vanish.
+
+Both preserve the GEN_SIG algebra exactly (same value flows into PC'),
+so coverage is unchanged — which the ablation bench verifies by
+measuring overhead with the backend on and off.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.isa.encoding import IMM14_MAX, IMM14_MIN
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.checking.base import Item, LoadSig, RawIns
+
+
+def optimize_items(items: list[Item],
+                   resolver: Callable[[int], int]) -> list[Item]:
+    """Fold LoadSig+lea3 pairs and drop no-op updates."""
+    out: list[Item] = []
+    index = 0
+    while index < len(items):
+        item = items[index]
+        folded = None
+        if (isinstance(item, LoadSig) and index + 1 < len(items)):
+            nxt = items[index + 1]
+            if (isinstance(nxt, RawIns)
+                    and nxt.instr.op in (Op.LEA3, Op.LSUB)
+                    and nxt.instr.rt == item.rd
+                    and nxt.instr.rs != item.rd):
+                value = item.expr.resolve(resolver)
+                if nxt.instr.op is Op.LSUB:
+                    value = -value
+                signed = _to_signed32(value)
+                if IMM14_MIN <= signed <= IMM14_MAX:
+                    if signed == 0 and nxt.instr.rd == nxt.instr.rs:
+                        folded = []          # pure no-op update
+                    else:
+                        folded = [RawIns(Instruction(
+                            op=Op.LEA, rd=nxt.instr.rd, rs=nxt.instr.rs,
+                            imm=signed))]
+        if folded is not None:
+            out.extend(folded)
+            index += 2
+        else:
+            out.append(item)
+            index += 1
+    return out
+
+
+def _to_signed32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value >= 0x80000000 else value

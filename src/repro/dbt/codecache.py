@@ -1,0 +1,71 @@
+"""The translation code cache.
+
+A region of machine memory, executable and managed by the DBT.  The
+cache (and the translator's own structures) live on pages with the
+execute bit set, while guest text pages are left non-executable — this
+is the configuration of paper Section 5: "The code cache and the DBT
+code are placed in memory pages with the execute disable bit set to
+allow execution.  This allows us to detect branch-errors in category
+F."
+"""
+
+from __future__ import annotations
+
+from repro.isa.encoding import encode
+from repro.isa.instruction import WORD_SIZE, Instruction
+from repro.machine.memory import PERM_RX, Memory
+
+CACHE_BASE = 0x100000
+CACHE_SIZE = 0xE0000
+
+
+class CacheFullError(RuntimeError):
+    """The code cache ran out of space (flush and retranslate)."""
+
+
+class CodeCache:
+    """Bump allocator over the executable translation region."""
+
+    def __init__(self, memory: Memory, base: int = CACHE_BASE,
+                 size: int = CACHE_SIZE):
+        self.memory = memory
+        self.base = base
+        self.size = size
+        self.cursor = base
+        memory.set_perms(base, size, PERM_RX)
+
+    @property
+    def limit(self) -> int:
+        return self.base + self.size
+
+    @property
+    def used(self) -> int:
+        return self.cursor - self.base
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.cursor
+
+    def allocate(self, words: int) -> int:
+        """Reserve ``words`` instruction slots; returns the start address."""
+        start = self.cursor
+        end = start + words * WORD_SIZE
+        if end > self.limit:
+            raise CacheFullError(
+                f"code cache exhausted ({self.used} bytes used)")
+        self.cursor = end
+        return start
+
+    def write_instruction(self, addr: int, instr: Instruction) -> None:
+        """Emit one instruction into the cache (also used for patching)."""
+        self.memory.write_raw(addr, encode(instr).to_bytes(4, "little"))
+
+    def write_word(self, addr: int, word: int) -> None:
+        self.memory.write_raw(addr, (word & 0xFFFFFFFF).to_bytes(
+            4, "little"))
+
+    def read_word(self, addr: int) -> int:
+        return self.memory.read_word_raw(addr)
+
+    def flush(self) -> None:
+        """Drop everything (self-modifying-code big hammer)."""
+        self.cursor = self.base

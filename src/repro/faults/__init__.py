@@ -1,0 +1,49 @@
+"""Transient-fault machinery: the analytic error model (Figures 2/3),
+deterministic fault injectors for every pipeline, and campaign
+runners with outcome classification."""
+
+from repro.faults.classify import (ALL_ERROR_CATEGORIES, Category,
+                                   SDC_CATEGORIES, classify_flag_fault,
+                                   classify_landing, classify_offset_fault,
+                                   corrupted_target)
+from repro.faults.model import (COLUMNS, ErrorModelResult,
+                                compute_error_model,
+                                compute_suite_error_model)
+from repro.faults.injector import (CacheFaultSpec, CacheLevelInjector,
+                                   DbtInjector, DirectionFault, FaultSpec,
+                                   FlagBitFault, NativeInjector,
+                                   OffsetBitFault, RedirectFault,
+                                   RegisterFaultSpec,
+                                   enumerate_cache_branch_sites)
+from repro.faults.sampling import (EffectivenessResult,
+                                   run_effectiveness_campaign,
+                                   sample_model_faults)
+from repro.faults.campaign import (CacheCampaignResult, CampaignResult,
+                                   CategoryFaults,
+                                   DataFaultCampaignResult, Golden,
+                                   Outcome, Pipeline, PipelineConfig,
+                                   RunRecord,
+                                   enumerate_instrumentation_branch_sites,
+                                   generate_category_faults,
+                                   generate_register_faults, run_campaign,
+                                   run_cache_campaign,
+                                   run_data_fault_campaign)
+
+__all__ = [
+    "ALL_ERROR_CATEGORIES", "Category", "SDC_CATEGORIES",
+    "classify_flag_fault", "classify_landing", "classify_offset_fault",
+    "corrupted_target",
+    "COLUMNS", "ErrorModelResult", "compute_error_model",
+    "compute_suite_error_model",
+    "CacheFaultSpec", "CacheLevelInjector", "DbtInjector",
+    "DirectionFault", "FaultSpec", "FlagBitFault", "NativeInjector",
+    "OffsetBitFault", "RedirectFault", "RegisterFaultSpec",
+    "enumerate_cache_branch_sites", "DataFaultCampaignResult",
+    "generate_register_faults", "run_data_fault_campaign",
+    "CacheCampaignResult", "CampaignResult", "CategoryFaults", "Golden",
+    "Outcome", "Pipeline", "PipelineConfig", "RunRecord",
+    "enumerate_instrumentation_branch_sites", "generate_category_faults",
+    "run_campaign", "run_cache_campaign",
+    "EffectivenessResult", "run_effectiveness_campaign",
+    "sample_model_faults",
+]

@@ -1,0 +1,529 @@
+"""Fault-injection campaigns and outcome classification.
+
+A campaign takes a guest program, a set of single-fault specs, and an
+execution configuration (native / statically instrumented / DBT with a
+checking technique), runs one experiment per fault, and classifies each
+outcome:
+
+==================  =====================================================
+outcome             meaning
+==================  =====================================================
+DETECTED_SIGNATURE  a CHECK_SIG fired (or ECCA's assertion div trapped)
+DETECTED_HARDWARE   a protection mechanism caught it (NX bit, alignment,
+                    illegal instruction, memory protection) — the
+                    paper's category-F detection path
+SDC                 run completed with wrong output: silent data
+                    corruption, the failure mode the techniques exist
+                    to kill
+BENIGN              run completed with correct output (fault masked)
+HANG                exceeded the step budget (the paper: "a branch-error
+                    may lead the program to an infinite loop", which
+                    RET/END policies may never report)
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from repro.isa.program import Program
+from repro.machine import Cpu, StopReason
+from repro.machine.faults import FaultKind
+from repro.cfg import build_cfg
+from repro.checking import Policy, UpdateStyle, make_technique
+from repro.dbt import Dbt
+from repro.instrument import InstrumentedProgram, StaticRewriter
+from repro.machine.profile import BranchProfiler
+from repro.faults.classify import Category
+from repro.faults.injector import (CacheFaultSpec, CacheLevelInjector,
+                                   DbtInjector, DirectionFault, FaultSpec,
+                                   NativeInjector, RedirectFault)
+
+
+class Outcome(enum.Enum):
+    DETECTED_SIGNATURE = "detected_signature"
+    DETECTED_HARDWARE = "detected_hardware"
+    SDC = "sdc"
+    BENIGN = "benign"
+    HANG = "hang"
+
+
+@dataclass
+class RunRecord:
+    """Result of one (possibly fault-injected) run."""
+
+    outcome: Outcome
+    stop_reason: str
+    outputs: tuple
+    cycles: int
+    icount: int
+    #: instructions executed between fault application and the error
+    #: report (None when not detected or not measurable) — the
+    #: detection-latency metric of the fail-stop discussion (Section 6)
+    detection_latency: int | None = None
+
+
+@dataclass
+class Golden:
+    """Reference (fault-free) behaviour of a configuration."""
+
+    outputs: tuple
+    exit_code: int
+    icount: int
+    cycles: int
+
+    @property
+    def step_budget(self) -> int:
+        return self.icount * 3 + 20_000
+
+
+@dataclass
+class PipelineConfig:
+    """How the program runs: which pipeline, technique and policy."""
+
+    pipeline: str = "dbt"                 #: "native" | "static" | "dbt"
+    technique: str | None = None          #: None = no checking
+    policy: Policy = Policy.ALLBB
+    update_style: UpdateStyle = UpdateStyle.JCC
+    dataflow: bool = False                #: SWIFT-style duplication
+
+    def label(self) -> str:
+        tech = self.technique or "none"
+        label = f"{self.pipeline}/{tech}/{self.policy.value}"
+        if self.dataflow:
+            label += "+df"
+        return label
+
+
+class Pipeline:
+    """Runs a program (optionally fault-injected) per a configuration."""
+
+    def __init__(self, program: Program, config: PipelineConfig):
+        self.program = program
+        self.config = config
+        self._instrumented: InstrumentedProgram | None = None
+        if config.pipeline == "static" and config.technique:
+            cfg = build_cfg(program)
+            technique = make_technique(config.technique,
+                                       update_style=config.update_style,
+                                       cfg=cfg)
+            self._instrumented = StaticRewriter(
+                technique, config.policy).rewrite(program)
+        self.golden = self._golden_run()
+
+    # -- execution -----------------------------------------------------------
+
+    def _golden_run(self) -> Golden:
+        record = self.run(None, max_steps=50_000_000)
+        if record.outcome is not Outcome.BENIGN:
+            raise RuntimeError(
+                f"golden run failed under {self.config.label()}: "
+                f"{record.outcome} ({record.stop_reason})")
+        return Golden(outputs=record.outputs, exit_code=0,
+                      icount=record.icount, cycles=record.cycles)
+
+    def run(self, fault: FaultSpec | CacheFaultSpec | None,
+            max_steps: int | None = None) -> RunRecord:
+        """One run; ``fault=None`` is the golden/reference run."""
+        if max_steps is None:
+            max_steps = self.golden.step_budget
+        config = self.config
+        if config.pipeline == "dbt":
+            return self._run_dbt(fault, max_steps)
+        if config.pipeline == "static" and self._instrumented is not None:
+            return self._run_static(fault, max_steps)
+        return self._run_native(fault, max_steps)
+
+    def _finish(self, cpu: Cpu, stop, detected: bool) -> RunRecord:
+        golden = getattr(self, "golden", None)
+        outputs = (tuple(cpu.output), tuple(cpu.output_values))
+        if detected:
+            outcome = Outcome.DETECTED_SIGNATURE
+        elif stop.reason is StopReason.FAULT:
+            outcome = Outcome.DETECTED_HARDWARE
+        elif stop.reason in (StopReason.STEP_LIMIT,
+                             StopReason.CYCLE_LIMIT):
+            outcome = Outcome.HANG
+        elif golden is None:
+            # golden run itself: HALTED with exit 0 counts as benign
+            outcome = (Outcome.BENIGN if stop.exit_code == 0
+                       else Outcome.SDC)
+        elif outputs == golden.outputs and stop.exit_code == 0:
+            outcome = Outcome.BENIGN
+        else:
+            outcome = Outcome.SDC
+        return RunRecord(outcome=outcome, stop_reason=str(stop),
+                         outputs=outputs, cycles=cpu.cycles,
+                         icount=cpu.icount)
+
+    def _run_native(self, fault, max_steps) -> RunRecord:
+        from repro.faults.injector import RegisterFaultSpec
+        cpu = Cpu()
+        cpu.load_program(self.program)
+        if isinstance(fault, RegisterFaultSpec):
+            fault.install(cpu)
+        elif fault is not None:
+            NativeInjector(fault, self.program).install(cpu)
+        stop = cpu.run(max_steps=max_steps)
+        return self._finish(cpu, stop, detected=False)
+
+    def _run_static(self, fault, max_steps) -> RunRecord:
+        ip = self._instrumented
+        cpu = Cpu()
+        cpu.load_program(ip.program)
+        injector = None
+        if fault is not None:
+            injector = NativeInjector(
+                fault, ip.program,
+                site_map=lambda pc: ip.instr_map.get(pc, -1),
+                landing_map=self._static_landing,
+                noncode_target=ip.program.data_base + 0x40)
+            injector.install(cpu)
+        stop = cpu.run(max_steps=max_steps)
+        detected = cpu.cfc_error or (
+            stop.reason is StopReason.FAULT
+            and stop.fault is FaultKind.DIV_BY_ZERO
+            and stop.pc in ip.check_addresses)
+        record = self._finish(cpu, stop, detected)
+        if (detected and injector is not None
+                and injector.fired_icount is not None):
+            record.detection_latency = cpu.icount - injector.fired_icount
+        return record
+
+    def _static_landing(self, guest_addr: int) -> int | None:
+        ip = self._instrumented
+        if guest_addr in ip.block_map:
+            return ip.block_map[guest_addr]
+        return ip.instr_map.get(guest_addr)
+
+    def _run_dbt(self, fault, max_steps) -> RunRecord:
+        from repro.faults.injector import RegisterFaultSpec
+        config = self.config
+        technique = (make_technique(config.technique,
+                                    update_style=config.update_style)
+                     if config.technique else None)
+        dbt = Dbt(self.program, technique=technique, policy=config.policy,
+                  dataflow=config.dataflow)
+        injector = None
+        if isinstance(fault, CacheFaultSpec):
+            CacheLevelInjector(fault, dbt).install()
+        elif isinstance(fault, RegisterFaultSpec):
+            fault.install(dbt.cpu)
+        elif fault is not None:
+            injector = DbtInjector(fault, dbt)
+            injector.install()
+        result = dbt.run(max_steps=max_steps)
+        detected = result.detected_error or result.detected_dataflow
+        record = self._finish(dbt.cpu, result.stop, detected)
+        if (detected and injector is not None
+                and injector.fired_icount is not None):
+            record.detection_latency = (dbt.cpu.icount
+                                        - injector.fired_icount)
+        return record
+
+
+# -- campaign fault generation ---------------------------------------------------
+
+
+@dataclass
+class CategoryFaults:
+    """Fault specs bucketed by intended branch-error category."""
+
+    by_category: dict[Category, list[FaultSpec]] = field(
+        default_factory=dict)
+
+    def total(self) -> int:
+        return sum(len(v) for v in self.by_category.values())
+
+
+def generate_category_faults(program: Program, per_category: int = 20,
+                             seed: int = 2006,
+                             max_steps: int = 50_000_000,
+                             exclude_exit_block_middles: bool = True
+                             ) -> CategoryFaults:
+    """Build per-category fault specs from a profiled native run.
+
+    Category A uses direction-inversion faults at executed conditional
+    branches; B..F use forced landings chosen so the classifier agrees
+    with the intended category.
+
+    ``exclude_exit_block_middles`` (default on) keeps C/E landings out
+    of the *middle of program-exit blocks*: control that lands directly
+    on the exit syscall terminates before reaching any CHECK_SIG, which
+    the paper's Assumption 2 ("any control-flow error must finally
+    reach at least one CHECK_SIG function") explicitly excludes from
+    the checkable universe.  Pass False to measure that residual.
+    """
+    from repro.machine import run_native
+    profiler = BranchProfiler()
+    _, stop = run_native(program, max_steps=max_steps, profiler=profiler)
+    if stop.reason is not StopReason.HALTED:
+        raise RuntimeError(f"profiling run failed: {stop}")
+    cfg = build_cfg(program)
+    rng = random.Random(seed)
+
+    executed = [stats for stats in profiler.branches.values()
+                if stats.executions > 0]
+    if not executed:
+        # a straight-line program executes no direct branches: there is
+        # no branch-error universe to draw from
+        return CategoryFaults()
+    conditionals = [s for s in executed if s.instr.meta.cond is not None
+                    or s.instr.meta.kind.value == "branch_reg"]
+    blocks = [b for b in cfg.in_order()]
+
+    def pick_occurrence(stats) -> int:
+        return rng.randint(1, min(stats.executions, 40))
+
+    result = CategoryFaults()
+
+    # A: mistaken branches.
+    specs: list[FaultSpec] = []
+    for _ in range(per_category * 3):
+        if not conditionals or len(specs) >= per_category:
+            break
+        stats = rng.choice(conditionals)
+        specs.append(FaultSpec(stats.pc, pick_occurrence(stats),
+                               DirectionFault(taken=None)))
+    result.by_category[Category.A] = specs
+
+    def landing_candidates(stats, want_same: bool, want_start: bool):
+        own = cfg.block_containing(stats.pc)
+        intended = (stats.instr.branch_target(stats.pc)
+                    if stats.instr.meta.is_direct_branch else None)
+        fallthrough = stats.pc + 4
+        out = []
+        from repro.cfg.basic_block import ExitKind
+        for block in blocks:
+            same = own is not None and block.start == own.start
+            if same != want_same:
+                continue
+            if (not want_start and exclude_exit_block_middles
+                    and block.exit_kind in (ExitKind.HALT, ExitKind.EXIT)):
+                continue
+            addrs = ([block.start] if want_start
+                     else block.body_addresses()[1:])
+            for addr in addrs:
+                if addr in (intended, fallthrough):
+                    continue
+                out.append(addr)
+        return out
+
+    for category, want_same, want_start in (
+            (Category.B, True, True), (Category.C, True, False),
+            (Category.D, False, True), (Category.E, False, False)):
+        specs = []
+        attempts = 0
+        while len(specs) < per_category and attempts < per_category * 20:
+            attempts += 1
+            stats = rng.choice(executed)
+            candidates = landing_candidates(stats, want_same, want_start)
+            if not candidates:
+                continue
+            landing = rng.choice(candidates)
+            specs.append(FaultSpec(stats.pc, pick_occurrence(stats),
+                                   RedirectFault(landing)))
+        result.by_category[category] = specs
+
+    # F: land outside code.
+    specs = []
+    noncode = [program.data_base + 0x10, program.text_end + 0x2000,
+               0x100, program.text_base - 0x200]
+    for index in range(per_category):
+        stats = rng.choice(executed)
+        specs.append(FaultSpec(stats.pc, pick_occurrence(stats),
+                               RedirectFault(noncode[index % len(noncode)])))
+    result.by_category[Category.F] = specs
+    return result
+
+
+@dataclass
+class CampaignResult:
+    """Outcome tallies for one (config, category) campaign."""
+
+    config_label: str
+    outcomes: dict[Category, dict[Outcome, int]] = field(
+        default_factory=dict)
+
+    def record(self, category: Category, outcome: Outcome) -> None:
+        bucket = self.outcomes.setdefault(
+            category, {out: 0 for out in Outcome})
+        bucket[outcome] += 1
+
+    def detection_rate(self, category: Category) -> float:
+        """Detected / (all non-benign outcomes) for a category."""
+        bucket = self.outcomes.get(category)
+        if not bucket:
+            return 0.0
+        detected = (bucket[Outcome.DETECTED_SIGNATURE]
+                    + bucket[Outcome.DETECTED_HARDWARE])
+        harmful = detected + bucket[Outcome.SDC] + bucket[Outcome.HANG]
+        return detected / harmful if harmful else 1.0
+
+    def covers(self, category: Category) -> bool:
+        """No silent corruption and no unreported hang in the bucket."""
+        bucket = self.outcomes.get(category)
+        if not bucket:
+            return True
+        return bucket[Outcome.SDC] == 0 and bucket[Outcome.HANG] == 0
+
+    def sdc_count(self, category: Category) -> int:
+        bucket = self.outcomes.get(category)
+        return bucket[Outcome.SDC] if bucket else 0
+
+
+def run_campaign(program: Program, config: PipelineConfig,
+                 faults: CategoryFaults) -> CampaignResult:
+    """Run every fault spec under one configuration."""
+    pipeline = Pipeline(program, config)
+    result = CampaignResult(config_label=config.label())
+    for category, specs in faults.by_category.items():
+        for spec in specs:
+            record = pipeline.run(spec)
+            result.record(category, record.outcome)
+    return result
+
+
+# -- data-fault campaigns (the future-work extension) --------------------------
+
+
+@dataclass
+class DataFaultCampaignResult:
+    """Outcomes of random register-bit faults under one configuration."""
+
+    config_label: str
+    outcomes: dict[Outcome, int] = field(default_factory=dict)
+
+    def record(self, outcome: Outcome) -> None:
+        self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
+
+    @property
+    def sdc(self) -> int:
+        return self.outcomes.get(Outcome.SDC, 0)
+
+    @property
+    def detected(self) -> int:
+        return (self.outcomes.get(Outcome.DETECTED_SIGNATURE, 0)
+                + self.outcomes.get(Outcome.DETECTED_HARDWARE, 0))
+
+    def total(self) -> int:
+        return sum(self.outcomes.values())
+
+
+def generate_register_faults(pipeline: Pipeline, count: int = 50,
+                             seed: int = 2006) -> list:
+    """Random register-bit strikes across the run's dynamic length.
+
+    Strikes are uniform in (dynamic instruction index, guest register,
+    bit) — the paper's temporal soft-error model applied to data state
+    instead of branch state.
+    """
+    from repro.faults.injector import RegisterFaultSpec
+    rng = random.Random(seed)
+    horizon = max(pipeline.golden.icount - 2, 1)
+    faults = []
+    for _ in range(count):
+        faults.append(RegisterFaultSpec(
+            icount=rng.randint(1, horizon),
+            reg=rng.randint(0, 13),      # guest computation registers
+            bit=rng.randint(0, 31)))
+    return faults
+
+
+def run_data_fault_campaign(program: Program, config: PipelineConfig,
+                            count: int = 50,
+                            seed: int = 2006) -> DataFaultCampaignResult:
+    """Inject random register faults under one configuration."""
+    pipeline = Pipeline(program, config)
+    faults = generate_register_faults(pipeline, count=count, seed=seed)
+    result = DataFaultCampaignResult(config_label=config.label())
+    for spec in faults:
+        record = pipeline.run(spec)
+        result.record(record.outcome)
+    return result
+
+
+# -- cache-level campaigns (the Figure-14 safety experiment) -------------------
+
+
+@dataclass
+class CacheCampaignResult:
+    """Outcomes of offset-bit faults on *inserted* branch instructions
+    (signature checks and Jcc-style updates) in translated code.
+
+    This measures the unsafety the paper shades in Figure 14: ECF and
+    EdgCF leave their inserted Jcc branches unprotected; RCF's regions
+    cover them."""
+
+    config_label: str
+    outcomes: dict[Outcome, int] = field(default_factory=dict)
+    sites_tested: int = 0
+
+    def record(self, outcome: Outcome) -> None:
+        self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
+
+    @property
+    def sdc(self) -> int:
+        return self.outcomes.get(Outcome.SDC, 0)
+
+    @property
+    def undetected(self) -> int:
+        return (self.outcomes.get(Outcome.SDC, 0)
+                + self.outcomes.get(Outcome.HANG, 0))
+
+
+def enumerate_instrumentation_branch_sites(program: Program,
+                                           config: PipelineConfig
+                                           ) -> list[int]:
+    """Cache addresses of inserted branch instructions after a warm run.
+
+    Cache layout is deterministic for a given (program, config), so
+    addresses remain valid across the fresh DBT instances the campaign
+    runs use.
+    """
+    from repro.faults.injector import enumerate_cache_branch_sites
+    technique = (make_technique(config.technique,
+                                update_style=config.update_style)
+                 if config.technique else None)
+    dbt = Dbt(program, technique=technique, policy=config.policy)
+    result = dbt.run()
+    if not result.ok:
+        raise RuntimeError(f"warm run failed: {result.stop}")
+    blocks = list(dbt.blocks.values())
+    sites = []
+    for addr, instr in enumerate_cache_branch_sites(dbt):
+        for tb in blocks:
+            if tb.cache_start <= addr < tb.cache_end:
+                if tb.is_instrumentation(addr):
+                    sites.append(addr)
+                break
+    return sites
+
+
+def run_cache_campaign(program: Program, config: PipelineConfig,
+                       bits: tuple[int, ...] = (0, 1, 2, 3, 4, 6, 9),
+                       max_sites: int = 40, seed: int = 2006,
+                       force_taken: bool = True) -> CacheCampaignResult:
+    """Flip offset bits of inserted branches, one fault per run.
+
+    With ``force_taken`` (default) each fault is the paper's "branch to
+    a random address" event at the inserted branch — the corrupted
+    branch transfers.  Without it, faults on normally-not-taken check
+    branches are mostly masked.
+    """
+    rng = random.Random(seed)
+    sites = enumerate_instrumentation_branch_sites(program, config)
+    if len(sites) > max_sites:
+        sites = rng.sample(sites, max_sites)
+    pipeline = Pipeline(program, config)
+    result = CacheCampaignResult(config_label=config.label())
+    result.sites_tested = len(sites)
+    for site in sites:
+        for bit in bits:
+            record = pipeline.run(CacheFaultSpec(
+                cache_addr=site, occurrence=1, bit=bit,
+                force_taken=force_taken))
+            result.record(record.outcome)
+    return result

@@ -1,0 +1,127 @@
+"""Branch-error classification (paper Section 2, Figure 1).
+
+A single-bit soft error at a direct branch sends control somewhere; the
+*category* of the resulting branch-error depends on where, relative to
+the program's basic-block structure:
+
+=========  ==========================================================
+category   landing
+=========  ==========================================================
+A          mistaken branch: the branch direction flips (flag fault),
+           or an address fault lands exactly where the other
+           direction would have gone
+B          beginning of the branch's own basic block
+C          middle (including the end) of the branch's own block
+D          beginning of another basic block
+E          middle of another basic block
+F          a non-code memory region (caught by the execute-disable
+           bit / memory protection — "detected by hardware")
+NO_ERROR   the fault does not change the executed path (address fault
+           on a not-taken branch; landing on the correct target; flag
+           flip that does not change the condition's value)
+=========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.isa.flags import NUM_FLAG_BITS, evaluate_cond
+from repro.isa.instruction import WORD_SIZE, Instruction
+from repro.isa.opcodes import Kind
+from repro.cfg.graph import ControlFlowGraph
+
+
+class Category(enum.Enum):
+    """Branch-error categories, plus the harmless bucket."""
+
+    A = "A"
+    B = "B"
+    C = "C"
+    D = "D"
+    E = "E"
+    F = "F"
+    NO_ERROR = "no_error"
+
+
+SDC_CATEGORIES = (Category.A, Category.B, Category.C, Category.D,
+                  Category.E)
+ALL_ERROR_CATEGORIES = SDC_CATEGORIES + (Category.F,)
+
+
+def classify_landing(cfg: ControlFlowGraph, branch_pc: int,
+                     landing: int, correct_target: int,
+                     other_direction: int | None = None) -> Category:
+    """Classify where a corrupted branch lands.
+
+    ``correct_target`` is the logic target of this execution;
+    ``other_direction`` is where the branch's *other* direction goes
+    (the fallthrough of a taken conditional), if any — landing exactly
+    there is a mistaken branch (category A).
+    """
+    if landing == correct_target:
+        return Category.NO_ERROR
+    if other_direction is not None and landing == other_direction:
+        return Category.A
+    own_block = cfg.block_containing(branch_pc)
+    landing_block = cfg.block_containing(landing)
+    if landing_block is None:
+        return Category.F
+    if own_block is not None and landing_block.start == own_block.start:
+        return (Category.B if landing == landing_block.start
+                else Category.C)
+    return (Category.D if landing == landing_block.start
+            else Category.E)
+
+
+def corrupted_target(branch_pc: int, instr: Instruction, bit: int) -> int:
+    """Target of a direct branch whose encoded offset bit flipped.
+
+    The offset field is the low 16 bits of the word, so flipping
+    encoded bit ``bit`` flips bit ``bit`` of the two's-complement
+    offset (in words).
+    """
+    raw = (instr.imm & 0xFFFF) ^ (1 << bit)
+    new_imm = raw - 0x10000 if raw & 0x8000 else raw
+    return branch_pc + WORD_SIZE + new_imm * WORD_SIZE
+
+
+def classify_offset_fault(cfg: ControlFlowGraph, branch_pc: int,
+                          instr: Instruction, bit: int,
+                          taken: bool) -> Category:
+    """Category of a 1-bit address-offset fault at a dynamic branch
+    execution.
+
+    For a not-taken conditional, the (corrupted) target is never used:
+    no error — the dominant harmless cell of the paper's Figure 2.
+    """
+    kind = instr.meta.kind
+    two_way = kind in (Kind.BRANCH_COND, Kind.BRANCH_REG)
+    if two_way and not taken:
+        return Category.NO_ERROR
+    intended = instr.branch_target(branch_pc)
+    landing = corrupted_target(branch_pc, instr, bit)
+    other = branch_pc + WORD_SIZE if two_way else None
+    return classify_landing(cfg, branch_pc, landing, intended, other)
+
+
+def classify_flag_fault(instr: Instruction, flags: int,
+                        flag_bit: int) -> Category:
+    """Category of a 1-bit FLAGS fault at a conditional branch: A when
+    the evaluated direction flips, harmless otherwise."""
+    cond = instr.meta.cond
+    if cond is None:
+        return Category.NO_ERROR
+    before = evaluate_cond(cond, flags)
+    after = evaluate_cond(cond, flags ^ (1 << flag_bit))
+    return Category.A if before != after else Category.NO_ERROR
+
+
+def flag_fault_universe(instr: Instruction) -> int:
+    """Number of flag bits in a branch's fault universe.
+
+    Only flag-reading conditionals are exposed to flag faults; a flip
+    of a flag the branch does not read is counted as harmless by
+    :func:`classify_flag_fault`, so the universe is all flag bits.
+    """
+    return NUM_FLAG_BITS if instr.meta.cond is not None else 0

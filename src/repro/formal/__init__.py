@@ -1,0 +1,20 @@
+"""The formal control-flow checking model of paper Section 4:
+head/tail block splitting, execution paths, abstract GEN_SIG/CHECK_SIG
+technique models, and an exhaustive checker for the sufficient and
+necessary single-error detection conditions."""
+
+from repro.formal.model import (ModelCfg, Node, SingleError, diamond_cfg,
+                                fanin_cfg, loop_cfg)
+from repro.formal.techniques import (FORMAL_TECHNIQUES, FormalCFCSS,
+                                     FormalECCA, FormalECF, FormalEdgCF,
+                                     FormalRCF, FormalTechnique)
+from repro.formal.conditions import (ConditionReport, check_conditions,
+                                     classify_witness)
+
+__all__ = [
+    "ModelCfg", "Node", "SingleError", "diamond_cfg", "fanin_cfg",
+    "loop_cfg",
+    "FORMAL_TECHNIQUES", "FormalCFCSS", "FormalECCA", "FormalECF",
+    "FormalEdgCF", "FormalRCF", "FormalTechnique",
+    "ConditionReport", "check_conditions", "classify_witness",
+]

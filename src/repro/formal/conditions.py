@@ -1,0 +1,171 @@
+"""Exhaustive verification of the Section-4 correctness conditions.
+
+For a model CFG and a formal technique, this module enumerates:
+
+* **necessary condition** (no false positives): every legal execution
+  path passes every check it meets,
+* **sufficient condition** (no false negatives): for every legal
+  prefix, every branch, and every wrong physical landing (any head —
+  categories B/D — or any tail — the jump-to-the-middle categories
+  C/E), some check along the legally-continued suffix fails.
+
+The enumeration is exact over bounded path lengths: path prefixes up to
+``prefix_len`` blocks and error suffixes up to ``suffix_len`` blocks
+(long enough to traverse every loop in the model CFGs at least twice).
+The paper proves EdgCF satisfies both conditions; the checker confirms
+it mechanically and produces the concrete counterexample witnesses for
+CFCSS, ECCA and ECF that Section 3 describes in prose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.formal.model import ModelCfg, Node, SingleError
+from repro.formal.techniques import FormalTechnique
+
+
+@dataclass
+class ConditionReport:
+    """Outcome of the exhaustive check for one (cfg, technique) pair."""
+
+    technique: str
+    necessary_holds: bool = True
+    sufficient_holds: bool = True
+    false_positives: list[tuple[str, ...]] = field(default_factory=list)
+    undetected_errors: list[SingleError] = field(default_factory=list)
+
+    @property
+    def detects_all_single_errors(self) -> bool:
+        return self.necessary_holds and self.sufficient_holds
+
+
+def _run_legal(technique: FormalTechnique, state, blocks: list[str],
+               skip_entry_of_first: bool):
+    """Run ``blocks`` legally from ``state``.
+
+    Returns (final_state_before_last_exit, all_checks_passed,
+    checks_met).  When ``skip_entry_of_first`` the first block is
+    entered at its tail (a jump-to-the-middle landing): no entry
+    update, no check.
+    """
+    ok = True
+    checks_met = 0
+    for index, block in enumerate(blocks):
+        if index > 0 or not skip_entry_of_first:
+            state = technique.entry_update(state, block)
+            if technique.checks_at(block):
+                checks_met += 1
+                if not technique.check(state, block):
+                    ok = False
+        if index + 1 < len(blocks):
+            state = technique.exit_update(state, block, blocks[index + 1])
+    return state, ok, checks_met
+
+
+def _legal_continuations(cfg: ModelCfg, start: str,
+                         max_len: int) -> list[list[str]]:
+    """All legal block sequences from ``start`` up to ``max_len``,
+    extended to terminal blocks where possible."""
+    complete: list[list[str]] = []
+    stack = [[start]]
+    while stack:
+        path = stack.pop()
+        successors = cfg.successors.get(path[-1], ())
+        if not successors or len(path) >= max_len:
+            complete.append(path)
+            continue
+        for successor in successors:
+            stack.append(path + [successor])
+    return complete
+
+
+def check_conditions(technique: FormalTechnique,
+                     prefix_len: int = 4,
+                     suffix_len: int = 5) -> ConditionReport:
+    """Exhaustively test the necessary and sufficient conditions."""
+    cfg = technique.cfg
+    report = ConditionReport(technique=technique.name)
+
+    # ---- necessary: all legal paths pass all their checks ----
+    for path in cfg.legal_paths(prefix_len + suffix_len):
+        state = technique.initial(cfg.entry)
+        _, ok, _ = _run_legal(technique, state, path,
+                              skip_entry_of_first=False)
+        if not ok:
+            report.necessary_holds = False
+            report.false_positives.append(tuple(path))
+
+    # ---- sufficient: every single error is detected ----
+    landings = cfg.all_nodes()
+    for prefix in cfg.legal_paths(prefix_len):
+        successors = cfg.successors.get(prefix[-1], ())
+        if not successors:
+            continue
+        # State after legally executing the prefix, up to (but not
+        # including) the last block's exit update.
+        state0 = technique.initial(cfg.entry)
+        state0, prefix_ok, _ = _run_legal(technique, state0, prefix,
+                                          skip_entry_of_first=False)
+        if not prefix_ok:
+            continue  # already broken; necessary check reports it
+        for logic in successors:
+            # GEN_SIG ran for the logic target; the branch lands wrong.
+            state1 = technique.exit_update(state0, prefix[-1], logic)
+            for landing in landings:
+                if landing.is_head and landing.block == logic:
+                    continue  # correct transfer: not an error
+                detected = _error_detected(technique, state1, landing,
+                                           suffix_len)
+                if not detected:
+                    report.sufficient_holds = False
+                    report.undetected_errors.append(SingleError(
+                        prefix=tuple(prefix), logic=logic,
+                        landing=landing))
+    return report
+
+
+def _error_detected(technique: FormalTechnique, state, landing: Node,
+                    suffix_len: int) -> bool:
+    """Continue legally from the landing; is the error always caught?
+
+    The error escapes when some legal continuation passes all the
+    checks it meets.  Continuations that meet *no* check — e.g. a
+    landing in the tail of a terminal block, which runs off the end of
+    the program before any instrumented head — are excluded per the
+    paper's Assumption 2: "any control-flow error must finally reach at
+    least one CHECK_SIG function".
+    """
+    cfg = technique.cfg
+    for continuation in _legal_continuations(cfg, landing.block,
+                                             suffix_len):
+        _, ok, checks_met = _run_legal(
+            technique, state, continuation,
+            skip_entry_of_first=not landing.is_head)
+        if checks_met == 0:
+            continue  # outside Assumption 2's universe
+        if ok:
+            return False
+    return True
+
+
+def classify_witness(cfg: ModelCfg, error: SingleError) -> str:
+    """Branch-error category of an undetected-error witness."""
+    source = error.prefix[-1]
+    if landing_is_other_direction(cfg, source, error.logic,
+                                  error.landing):
+        return "A"
+    same = error.landing.block == source
+    if error.landing.is_head:
+        return "B" if same else "D"
+    return "C" if same else "E"
+
+
+def landing_is_other_direction(cfg: ModelCfg, source: str, logic: str,
+                               landing: Node) -> bool:
+    """Is the landing the branch's *other* legal direction (category A:
+    a mistaken branch)?"""
+    if not landing.is_head:
+        return False
+    others = [s for s in cfg.successors.get(source, ()) if s != logic]
+    return landing.block in others

@@ -1,0 +1,142 @@
+"""The formal control-flow checking model (paper Section 4).
+
+Programs are modelled as basic blocks split into *head* and *tail*
+halves (Figure 10): the head carries the entry-instrumentation
+(CHECK_SIG and the entry half of GEN_SIG) and falls through to the
+tail, which carries the original instructions and the exit half of
+GEN_SIG.  Control-flow errors happen only at tail exits, and a
+jump-to-the-middle of block B is modelled as a transfer straight to
+``Bt`` — skipping ``Bh`` and everything instrumented there.
+
+The execution path formalism follows Definition 3: a path is a block
+sequence B_0..B_n where B_{i+1} is the *physical* target of B_i's
+branch and T_{i+1} its *logic* target; the checking problem is deciding
+``T_{i+1} = B_{i+1}`` for all i.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Node:
+    """One model node: the head or the tail of a block."""
+
+    block: str
+    half: str          # "head" | "tail"
+
+    @property
+    def is_head(self) -> bool:
+        return self.half == "head"
+
+    def __str__(self) -> str:
+        return f"{self.block}{'h' if self.is_head else 't'}"
+
+
+@dataclass
+class ModelCfg:
+    """A small whole-program CFG for the formal analysis."""
+
+    #: block name -> list of successor block names (logic targets of the
+    #: block's branch; one entry per legal direction)
+    successors: dict[str, list[str]]
+    entry: str = "B0"
+    #: block name -> signature address (unique, nonzero, spaced by 4
+    #: like real word-aligned block addresses)
+    addresses: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.addresses:
+            self.addresses = {
+                name: 0x1000 + 8 * index
+                for index, name in enumerate(sorted(self.successors))
+            }
+
+    @property
+    def blocks(self) -> list[str]:
+        return sorted(self.successors)
+
+    def head(self, block: str) -> Node:
+        return Node(block, "head")
+
+    def tail(self, block: str) -> Node:
+        return Node(block, "tail")
+
+    def all_nodes(self) -> list[Node]:
+        nodes = []
+        for block in self.blocks:
+            nodes.append(self.head(block))
+            nodes.append(self.tail(block))
+        return nodes
+
+    def address(self, block: str) -> int:
+        return self.addresses[block]
+
+    def legal_paths(self, max_len: int) -> list[list[str]]:
+        """All legal block sequences from the entry, up to ``max_len``
+        blocks (paths through blocks without successors end there)."""
+        paths: list[list[str]] = []
+        stack = [[self.entry]]
+        while stack:
+            path = stack.pop()
+            paths.append(path)
+            if len(path) >= max_len:
+                continue
+            for successor in self.successors.get(path[-1], ()):
+                stack.append(path + [successor])
+        return paths
+
+
+@dataclass(frozen=True)
+class SingleError:
+    """One injected control-flow error in a model execution.
+
+    After executing ``prefix`` legally, the branch at the end of
+    ``prefix[-1]`` has logic target ``logic`` but physically lands on
+    ``landing`` (a head — categories B/D — or a tail — the
+    jump-to-the-middle categories C/E).  Execution then continues
+    legally from the landing block.
+    """
+
+    prefix: tuple[str, ...]
+    logic: str
+    landing: Node
+
+    def __str__(self) -> str:
+        return (f"{'->'.join(self.prefix)} =X=> {self.landing} "
+                f"(logic {self.logic})")
+
+
+def diamond_cfg() -> ModelCfg:
+    """The Figure-1 shaped CFG: B1 -> {B2, B3} -> B4."""
+    return ModelCfg(successors={
+        "B1": ["B2", "B3"],
+        "B2": ["B4"],
+        "B3": ["B4"],
+        "B4": [],
+    }, entry="B1")
+
+
+def loop_cfg() -> ModelCfg:
+    """Entry, a two-block loop, and an exit block."""
+    return ModelCfg(successors={
+        "B0": ["B1"],
+        "B1": ["B2"],
+        "B2": ["B1", "B3"],
+        "B3": [],
+    }, entry="B0")
+
+
+def fanin_cfg() -> ModelCfg:
+    """Two independent branches converging — the CFCSS aliasing shape:
+    B1 and B2 are both predecessors of B4 *and* of B5, forcing their
+    signatures into one class."""
+    return ModelCfg(successors={
+        "B1": ["B4", "B5"],
+        "B2": ["B4", "B5"],
+        "B0": ["B1", "B2"],
+        "B4": ["B6"],
+        "B5": ["B6"],
+        "B6": [],
+    }, entry="B0")

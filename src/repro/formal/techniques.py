@@ -1,0 +1,209 @@
+"""Abstract GEN_SIG / CHECK_SIG models of each technique (Section 4.2).
+
+Each model carries signature state through a model execution:
+
+* ``initial(entry)`` — state before the entry block's head,
+* ``entry_update(state, physical_block)`` — the head half of GEN_SIG.
+  It runs only when control actually passes through the head; a
+  jump-to-the-middle skips it.  Note it can only depend on the block
+  control *landed on* — this is where CFCSS/ECCA live entirely, and why
+  they cannot satisfy the sufficient condition (it must depend on the
+  logic target).
+* ``exit_update(state, block, logic_target)`` — the tail half of
+  GEN_SIG; depends on the logic target (for techniques that do).
+* ``check(state, block)`` — CHECK_SIG at the tail entry; returns True
+  when the state is acceptable (no error reported).
+* ``checks_at(block)`` — whether this technique places a check there
+  (models the ALLBB placement; policy variants restrict it).
+"""
+
+from __future__ import annotations
+
+from repro.formal.model import ModelCfg
+
+#: Body-region offset used by the RCF model (paper Section 3.2).
+RCF_BODY_OFFSET = 1
+
+
+class FormalTechnique:
+    """Base class; subclasses implement the four hooks."""
+
+    name = "?"
+
+    def __init__(self, cfg: ModelCfg):
+        self.cfg = cfg
+
+    def initial(self, entry: str):
+        raise NotImplementedError
+
+    def entry_update(self, state, block: str):
+        return state
+
+    def exit_update(self, state, block: str, logic_target: str):
+        return state
+
+    def check(self, state, block: str) -> bool:
+        raise NotImplementedError
+
+    def checks_at(self, block: str) -> bool:
+        return True
+
+
+class FormalEdgCF(FormalTechnique):
+    """EdgCF: GEN(x, y, z) = x − y + z with heads represented by their
+    address and tails by 0 (the function of Claim 1)."""
+
+    name = "edgcf"
+
+    def initial(self, entry: str):
+        return self.cfg.address(entry)
+
+    def entry_update(self, state, block: str):
+        return state - self.cfg.address(block)     # -> 0 in the body
+
+    def exit_update(self, state, block: str, logic_target: str):
+        return state + self.cfg.address(logic_target)
+
+    def check(self, state, block: str) -> bool:
+        return state == 0
+
+
+class FormalRCF(FormalTechnique):
+    """RCF: like EdgCF but the body region keeps a distinct signature
+    sig(B)+1 instead of the shared 0."""
+
+    name = "rcf"
+
+    def initial(self, entry: str):
+        return self.cfg.address(entry)
+
+    def entry_update(self, state, block: str):
+        # The entrance-region -> body-region transition.  In the real
+        # code the check compares PC' against sig(B) *before* this
+        # transition; checking state == sig(B)+1 after it is the same
+        # predicate, which lets the model use one evaluation order for
+        # every technique (entry_update, then check).
+        return state + RCF_BODY_OFFSET
+
+    def exit_update(self, state, block: str, logic_target: str):
+        return (state + self.cfg.address(logic_target)
+                - self.cfg.address(block) - RCF_BODY_OFFSET)
+
+    def check(self, state, block: str) -> bool:
+        return state == self.cfg.address(block) + RCF_BODY_OFFSET
+
+
+class FormalECF(FormalTechnique):
+    """ECF: state <PC', RTS>; head folds RTS, tail overwrites RTS with
+    the logic-target delta (Figure 4)."""
+
+    name = "ecf"
+
+    def initial(self, entry: str):
+        return (self.cfg.address(entry), 0)
+
+    def entry_update(self, state, block: str):
+        pcp, rts = state
+        return (pcp + rts, 0)
+
+    def exit_update(self, state, block: str, logic_target: str):
+        # RTS gets the statically-computed delta between this block's
+        # signature and the logic target's (Figure 4's L0_to_L1).
+        pcp, _ = state
+        return (pcp, self.cfg.address(logic_target)
+                - self.cfg.address(block))
+
+    def check(self, state, block: str) -> bool:
+        pcp, _ = state
+        return pcp == self.cfg.address(block)
+
+
+class FormalCFCSS(FormalTechnique):
+    """CFCSS: xor signatures assigned over predecessor classes; the
+    whole GEN_SIG lives in the entry update and depends only on the
+    landed-on block — failing the sufficient condition's dependence on
+    the logic target."""
+
+    name = "cfcss"
+
+    def __init__(self, cfg: ModelCfg):
+        super().__init__(cfg)
+        # Union-find over predecessors of fan-in blocks.
+        parent: dict[str, str] = {}
+
+        def find(x: str) -> str:
+            parent.setdefault(x, x)
+            if parent[x] != x:
+                parent[x] = find(parent[x])
+            return parent[x]
+
+        preds: dict[str, list[str]] = {}
+        for block, succs in cfg.successors.items():
+            for successor in succs:
+                preds.setdefault(successor, []).append(block)
+        for block, plist in preds.items():
+            for other in plist[1:]:
+                ra, rb = find(plist[0]), find(other)
+                if ra != rb:
+                    parent[rb] = ra
+        class_sig: dict[str, int] = {}
+        self.sig: dict[str, int] = {}
+        next_sig = 1
+        for block in cfg.blocks:
+            root = find(block)
+            if root not in class_sig:
+                class_sig[root] = next_sig
+                next_sig += 1
+            self.sig[block] = class_sig[root]
+        self.d_value: dict[str, int] = {}
+        for block in cfg.blocks:
+            plist = preds.get(block, [])
+            pred_sig = self.sig[plist[0]] if plist else 0
+            self.d_value[block] = pred_sig ^ self.sig[block]
+
+    def initial(self, entry: str):
+        # Seed so the entry block's xor lands on its signature — the
+        # entry may itself have predecessors (a loop back to it), in
+        # which case d(entry) was computed from them, not from 0.
+        return self.sig[entry] ^ self.d_value[entry]
+
+    def entry_update(self, state, block: str):
+        return state ^ self.d_value[block]
+
+    def check(self, state, block: str) -> bool:
+        return state == self.sig[block]
+
+
+class FormalECCA(FormalTechnique):
+    """ECCA: prime block ids, exits set the product of the successors'
+    ids, entries assert divisibility."""
+
+    name = "ecca"
+
+    _PRIMES = (3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53)
+
+    def __init__(self, cfg: ModelCfg):
+        super().__init__(cfg)
+        self.bid = {block: self._PRIMES[index]
+                    for index, block in enumerate(cfg.blocks)}
+
+    def initial(self, entry: str):
+        return self.bid[entry]
+
+    def exit_update(self, state, block: str, logic_target: str):
+        # ECCA sets the product of *all* successors (it cannot depend on
+        # the branch direction) — the source of its category-A miss.
+        product = 1
+        for successor in self.cfg.successors.get(block, ()):
+            product *= self.bid[successor]
+        return product if product != 1 else self.bid.get(logic_target, 1)
+
+    def check(self, state, block: str) -> bool:
+        return state % self.bid[block] == 0
+
+
+FORMAL_TECHNIQUES = {
+    cls.name: cls
+    for cls in (FormalEdgCF, FormalRCF, FormalECF, FormalCFCSS,
+                FormalECCA)
+}

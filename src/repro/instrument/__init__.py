@@ -1,0 +1,12 @@
+"""Static binary instrumentation (compile-time deployment model)."""
+
+from repro.instrument.rewriter import (InstrumentedProgram, RewriteError,
+                                       StaticRewriter, instrument_program)
+from repro.instrument.verifier import (VerificationReport,
+                                       verify_instrumented)
+
+__all__ = [
+    "InstrumentedProgram", "RewriteError", "StaticRewriter",
+    "instrument_program",
+    "VerificationReport", "verify_instrumented",
+]

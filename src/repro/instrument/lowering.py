@@ -1,0 +1,153 @@
+"""Lowering the instrumentation micro-IR to concrete instructions.
+
+Shared by the static binary rewriter and the dynamic binary translator.
+The two backends differ in *when* signature values are known:
+
+* the DBT knows them at emit time (signature = guest block address), so
+  :class:`LoadSig` compacts to a single ``movi`` when the value fits a
+  signed 16-bit immediate (``compact=True``),
+* the static rewriter knows them only after whole-program layout, so
+  every LoadSig takes the fixed two-word ``movhi``+``movlo`` form —
+  keeping block sizes independent of signature values and the layout a
+  single pass (``compact=False``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.isa.instruction import WORD_SIZE, Instruction
+from repro.isa.opcodes import Op
+from repro.checking.base import (CheckedDiv, ErrorBranch, Item, LabelMark,
+                                 LoadSig, LocalBranch, RawIns)
+
+
+@dataclass
+class Slot:
+    """One lowered item with a fixed word size and, later, an address."""
+
+    kind: str                  # "ins" | "loadsig" | "errbr" | "localbr"
+    size: int                  # in words
+    address: int = 0           # assigned by layout
+    instr: Instruction | None = None
+    rd: int = 0
+    expr: object | None = None  #: SigExpr for "loadsig" slots
+    op: Op | None = None
+    label: str | None = None
+    is_check: bool = False     #: True for check-div / error-branch slots
+
+
+@dataclass
+class LoweredSnippet:
+    """A lowered item list plus its local label positions."""
+
+    slots: list[Slot] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)  # label -> index
+
+    @property
+    def size_words(self) -> int:
+        return sum(slot.size for slot in self.slots)
+
+
+def lower_items(items: list[Item], compact: bool,
+                resolver: Callable[[int], int] | None = None
+                ) -> LoweredSnippet:
+    """Lower items to slots.  ``compact`` requires ``resolver``."""
+    if compact and resolver is None:
+        raise ValueError("compact lowering needs a signature resolver")
+    snippet = LoweredSnippet()
+    for item in items:
+        if isinstance(item, RawIns):
+            snippet.slots.append(Slot(kind="ins", size=1, instr=item.instr))
+        elif isinstance(item, LoadSig):
+            if compact:
+                value = item.expr.resolve(resolver) & 0xFFFFFFFF
+                signed = value - 0x100000000 if value >= 0x80000000 else value
+                if -0x8000 <= signed <= 0x7FFF:
+                    snippet.slots.append(Slot(
+                        kind="ins", size=1,
+                        instr=Instruction(op=Op.MOVI, rd=item.rd,
+                                          imm=signed)))
+                else:
+                    snippet.slots.append(Slot(
+                        kind="ins", size=1,
+                        instr=Instruction(op=Op.MOVHI, rd=item.rd,
+                                          imm=(value >> 16) & 0xFFFF)))
+                    snippet.slots.append(Slot(
+                        kind="ins", size=1,
+                        instr=Instruction(op=Op.MOVLO, rd=item.rd,
+                                          imm=value & 0xFFFF)))
+            else:
+                slot = Slot(kind="loadsig", size=2, rd=item.rd)
+                slot.expr = item.expr
+                snippet.slots.append(slot)
+        elif isinstance(item, ErrorBranch):
+            snippet.slots.append(Slot(kind="errbr", size=1, op=item.op,
+                                      rd=item.rd, is_check=True))
+        elif isinstance(item, LocalBranch):
+            snippet.slots.append(Slot(kind="localbr", size=1, op=item.op,
+                                      rd=item.rd, label=item.label))
+        elif isinstance(item, LabelMark):
+            snippet.labels[item.name] = len(snippet.slots)
+        elif isinstance(item, CheckedDiv):
+            snippet.slots.append(Slot(
+                kind="ins", size=1, is_check=True,
+                instr=Instruction(op=Op.DIV, rd=item.rd, rs=item.rs,
+                                  rt=item.rt)))
+        else:
+            raise TypeError(f"unknown instrumentation item: {item!r}")
+    return snippet
+
+
+def assign_addresses(snippet: LoweredSnippet, base: int) -> int:
+    """Assign addresses to slots; returns the first address past them."""
+    cursor = base
+    for slot in snippet.slots:
+        slot.address = cursor
+        cursor += slot.size * WORD_SIZE
+    return cursor
+
+
+def encode_snippet(snippet: LoweredSnippet,
+                   resolver: Callable[[int], int],
+                   error_target: int) -> list[tuple[int, Instruction]]:
+    """Produce (address, instruction) pairs for a laid-out snippet."""
+    label_addr: dict[str, int] = {}
+    for label, index in snippet.labels.items():
+        if index < len(snippet.slots):
+            label_addr[label] = snippet.slots[index].address
+        else:
+            # Label at the very end of the snippet: points past it.
+            last = snippet.slots[-1]
+            label_addr[label] = last.address + last.size * WORD_SIZE
+
+    out: list[tuple[int, Instruction]] = []
+    for slot in snippet.slots:
+        if slot.kind == "ins":
+            out.append((slot.address, slot.instr))
+        elif slot.kind == "loadsig":
+            value = slot.expr.resolve(resolver) & 0xFFFFFFFF
+            out.append((slot.address,
+                        Instruction(op=Op.MOVHI, rd=slot.rd,
+                                    imm=(value >> 16) & 0xFFFF)))
+            out.append((slot.address + WORD_SIZE,
+                        Instruction(op=Op.MOVLO, rd=slot.rd,
+                                    imm=value & 0xFFFF)))
+        elif slot.kind == "errbr":
+            offset = (error_target - (slot.address + WORD_SIZE)) // WORD_SIZE
+            out.append((slot.address,
+                        Instruction(op=slot.op, rd=slot.rd, imm=offset)))
+        elif slot.kind == "localbr":
+            target = label_addr[slot.label]
+            offset = (target - (slot.address + WORD_SIZE)) // WORD_SIZE
+            out.append((slot.address,
+                        Instruction(op=slot.op, rd=slot.rd, imm=offset)))
+        else:  # pragma: no cover
+            raise AssertionError(slot.kind)
+    return out
+
+
+def check_slot_addresses(snippet: LoweredSnippet) -> list[int]:
+    """Addresses of check instructions (error branches, check-divs)."""
+    return [slot.address for slot in snippet.slots if slot.is_check]

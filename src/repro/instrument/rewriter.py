@@ -1,0 +1,322 @@
+"""Static binary rewriter: whole-program instrumentation.
+
+This is the classic compile-time deployment model of CFCSS/ECCA (and
+works for ECF/EdgCF/RCF too): take an assembled program, build its CFG,
+weave the technique's CHECK_SIG/GEN_SIG code around every block, relayout
+the text section, and fix every branch.
+
+Restrictions (both documented in DESIGN.md):
+
+* no register-indirect jumps/calls (``jmpr``/``callr``): static
+  relayout would invalidate code addresses the guest computed itself.
+  ``call``/``ret`` are fine — return addresses are pushed by the
+  *rewritten* call, so they are consistent.  Programs with jump tables
+  go through the DBT, which has no such restriction.
+* whole-CFG techniques (CFCSS, ECCA) additionally reject ``ret``
+  (they have no way to check dynamic targets — one of the reasons the
+  paper's DBT implements only ECF/EdgCF/RCF).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.encoding import encode
+from repro.isa.instruction import WORD_SIZE, Instruction
+from repro.isa.opcodes import Kind, Op
+from repro.isa.program import Program
+from repro.isa.registers import T1
+from repro.cfg import BasicBlock, ControlFlowGraph, ExitKind, build_cfg
+from repro.checking.base import BlockInfo, CondDesc, Technique
+from repro.checking.policies import Policy
+from repro.instrument.lowering import (LoweredSnippet, Slot,
+                                       assign_addresses,
+                                       check_slot_addresses,
+                                       encode_snippet, lower_items)
+
+
+class RewriteError(ValueError):
+    """The program cannot be statically instrumented as requested."""
+
+
+@dataclass
+class InstrumentedProgram:
+    """A statically instrumented program plus its bookkeeping maps."""
+
+    program: Program                       #: the runnable rewritten image
+    original: Program
+    technique_name: str
+    policy: Policy
+    #: old block start -> new block start (entry-instrumentation start)
+    block_map: dict[int, int] = field(default_factory=dict)
+    #: old instruction address -> new address of its translation
+    instr_map: dict[int, int] = field(default_factory=dict)
+    #: new-address ranges [start, end) that are inserted instrumentation
+    inserted_ranges: list[tuple[int, int]] = field(default_factory=list)
+    #: new addresses of check instructions (error branches / check-divs)
+    check_addresses: set[int] = field(default_factory=set)
+    error_sink: int = 0
+
+    def is_instrumentation(self, addr: int) -> bool:
+        """True when ``addr`` lies in inserted (non-original) code."""
+        return any(start <= addr < end for start, end in
+                   self.inserted_ranges)
+
+    @property
+    def code_growth(self) -> float:
+        """Text-size ratio new/old."""
+        return len(self.program.text) / max(len(self.original.text), 1)
+
+
+def _cond_desc(instr: Instruction) -> CondDesc:
+    if instr.meta.kind is Kind.BRANCH_COND:
+        return CondDesc(cond=instr.meta.cond)
+    return CondDesc(reg_op=instr.op, reg=instr.rd)
+
+
+def _block_info(block: BasicBlock, cfg: ControlFlowGraph,
+                entry: int) -> BlockInfo:
+    return BlockInfo(
+        start=block.start,
+        is_entry=block.start == entry,
+        predecessors=tuple(block.predecessors),
+        successors=tuple(block.successors),
+    )
+
+
+@dataclass
+class _Piece:
+    """One layout element of the rewritten text."""
+
+    kind: str                         # snippet | ins | blockbr
+    snippet: LoweredSnippet | None = None
+    instr: Instruction | None = None
+    op: Op | None = None
+    rd: int = 0
+    old_target: int = 0
+    old_addr: int | None = None       # original address, for instr_map
+    address: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        if self.kind == "snippet":
+            return self.snippet.size_words * WORD_SIZE
+        return WORD_SIZE
+
+
+class StaticRewriter:
+    """Drives the whole-program instrumentation."""
+
+    def __init__(self, technique: Technique, policy: Policy = Policy.ALLBB):
+        self.technique = technique
+        self.policy = policy
+
+    def rewrite(self, program: Program) -> InstrumentedProgram:
+        cfg = build_cfg(program)
+        self._validate(cfg)
+        technique = self.technique
+        entry_old = cfg.entry_block.start
+
+        pieces: list[_Piece] = []
+        block_start_piece: dict[int, int] = {}   # old start -> piece index
+        inserted_piece_indexes: list[int] = []
+
+        # Prologue: establish the signature invariant, jump to the entry
+        # block's instrumented head.
+        prologue = lower_items(technique.prologue(entry_old), compact=False)
+        pieces.append(_Piece(kind="snippet", snippet=prologue))
+        inserted_piece_indexes.append(0)
+        pieces.append(_Piece(kind="blockbr", op=Op.JMP,
+                             old_target=entry_old))
+        inserted_piece_indexes.append(1)
+
+        for block in cfg.in_order():
+            info = _block_info(block, cfg, entry_old)
+            check = self.policy.should_check(block)
+            head = lower_items(technique.entry_items(info, check),
+                               compact=False)
+            block_start_piece[block.start] = len(pieces)
+            if head.slots:
+                inserted_piece_indexes.append(len(pieces))
+            pieces.append(_Piece(kind="snippet", snippet=head))
+            self._emit_block_body(pieces, inserted_piece_indexes, block,
+                                  info, cfg)
+
+        # Error sink: report and stop.
+        error_piece_index = len(pieces)
+        for instr in (
+            Instruction(op=Op.MOVI, rd=1, imm=1),
+            Instruction(op=Op.SYSCALL, imm=6),   # Service.CFC_ERROR
+        ):
+            inserted_piece_indexes.append(len(pieces))
+            pieces.append(_Piece(kind="ins", instr=instr))
+
+        # ---- layout ----
+        cursor = program.text_base
+        for piece in pieces:
+            piece.address = cursor
+            if piece.kind == "snippet":
+                assign_addresses(piece.snippet, cursor)
+            cursor += piece.size_bytes
+
+        block_map = {start: pieces[index].address
+                     for start, index in block_start_piece.items()}
+        error_sink = pieces[error_piece_index].address
+
+        def resolver(old_block_start: int) -> int:
+            return block_map[old_block_start]
+
+        # ---- encode ----
+        encoded: list[tuple[int, Instruction]] = []
+        check_addresses: set[int] = set()
+        instr_map: dict[int, int] = {}
+        for piece in pieces:
+            if piece.kind == "snippet":
+                encoded.extend(encode_snippet(piece.snippet, resolver,
+                                              error_sink))
+                check_addresses.update(check_slot_addresses(piece.snippet))
+            elif piece.kind == "ins":
+                encoded.append((piece.address, piece.instr))
+                if piece.old_addr is not None:
+                    instr_map[piece.old_addr] = piece.address
+            elif piece.kind == "blockbr":
+                target = block_map[piece.old_target]
+                offset = (target - (piece.address + WORD_SIZE)) // WORD_SIZE
+                encoded.append((piece.address,
+                                Instruction(op=piece.op, rd=piece.rd,
+                                            imm=offset)))
+                if piece.old_addr is not None:
+                    instr_map[piece.old_addr] = piece.address
+            else:  # pragma: no cover
+                raise AssertionError(piece.kind)
+
+        text = bytearray(cursor - program.text_base)
+        for addr, instr in sorted(encoded):
+            offset = addr - program.text_base
+            text[offset:offset + 4] = encode(instr).to_bytes(4, "little")
+
+        inserted_ranges = [
+            (pieces[index].address,
+             pieces[index].address + pieces[index].size_bytes)
+            for index in inserted_piece_indexes
+            if pieces[index].size_bytes
+        ]
+
+        symbols = {}
+        for name, addr in program.symbols.items():
+            if addr in block_map:
+                symbols[name] = block_map[addr]
+            elif not program.contains_code(addr):
+                symbols[name] = addr
+        symbols["__cfc_error"] = error_sink
+
+        new_program = Program(
+            text=bytes(text), data=program.data,
+            text_base=program.text_base, data_base=program.data_base,
+            entry=program.text_base, symbols=symbols,
+            source_name=f"{program.source_name}+{self.technique.name}")
+        return InstrumentedProgram(
+            program=new_program, original=program,
+            technique_name=self.technique.name, policy=self.policy,
+            block_map=block_map, instr_map=instr_map,
+            inserted_ranges=inserted_ranges,
+            check_addresses=check_addresses, error_sink=error_sink)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _validate(self, cfg: ControlFlowGraph) -> None:
+        for block in cfg:
+            if block.exit_kind is ExitKind.INDIRECT:
+                raise RewriteError(
+                    "program uses register-indirect branches; static "
+                    "relayout would break guest-computed code addresses "
+                    "— run it under the DBT instead")
+            if (block.exit_kind is ExitKind.RET
+                    and self.technique.requires_whole_cfg):
+                raise RewriteError(
+                    f"{self.technique.name} cannot check dynamic branch "
+                    "targets (ret); use an intra-procedural workload")
+
+    def _emit_block_body(self, pieces: list[_Piece],
+                         inserted: list[int], block: BasicBlock,
+                         info: BlockInfo, cfg: ControlFlowGraph) -> None:
+        technique = self.technique
+        body = block.instructions
+        terminator = block.terminator
+        if terminator is not None and block.exit_kind not in (
+                ExitKind.EXIT, ExitKind.HALT):
+            body = body[:-1]
+
+        for old_addr, instr in body:
+            pieces.append(_Piece(kind="ins", instr=instr,
+                                 old_addr=old_addr))
+
+        kind = block.exit_kind
+        if kind is ExitKind.FALLTHROUGH:
+            target = block.end
+            if target not in cfg.blocks:
+                raise RewriteError(
+                    f"block {block.start:#x} falls off the text section")
+            self._append_snippet(pieces, inserted,
+                                 technique.exit_items_direct(info, target))
+        elif kind is ExitKind.JUMP:
+            term_addr, term = terminator
+            target = term.branch_target(term_addr)
+            self._append_snippet(pieces, inserted,
+                                 technique.exit_items_direct(info, target))
+            pieces.append(_Piece(kind="blockbr", op=Op.JMP,
+                                 old_target=target, old_addr=term_addr))
+        elif kind is ExitKind.COND:
+            term_addr, term = terminator
+            taken = term.branch_target(term_addr)
+            fallthrough = term_addr + WORD_SIZE
+            self._append_snippet(
+                pieces, inserted,
+                technique.exit_items_cond(info, taken, fallthrough,
+                                          _cond_desc(term)))
+            pieces.append(_Piece(kind="blockbr", op=term.op, rd=term.rd,
+                                 old_target=taken, old_addr=term_addr))
+            # The fallthrough successor physically follows (blocks are
+            # laid out in original order), so no extra jump is needed.
+        elif kind is ExitKind.CALL:
+            term_addr, term = terminator
+            target = term.branch_target(term_addr)
+            self._append_snippet(pieces, inserted,
+                                 technique.exit_items_direct(info, target))
+            pieces.append(_Piece(kind="blockbr", op=Op.CALL,
+                                 old_target=target, old_addr=term_addr))
+        elif kind is ExitKind.RET:
+            term_addr, term = terminator
+            capture = Instruction(op=Op.LD, rd=T1, rs=15, imm=0)
+            self._append_snippet(
+                pieces, inserted,
+                [_raw(capture)] + technique.exit_items_indirect(info, T1))
+            pieces.append(_Piece(kind="ins", instr=term,
+                                 old_addr=term_addr))
+        elif kind in (ExitKind.HALT, ExitKind.EXIT):
+            pass
+        else:  # pragma: no cover
+            raise AssertionError(kind)
+
+    def _append_snippet(self, pieces: list[_Piece], inserted: list[int],
+                        items) -> None:
+        snippet = lower_items(items, compact=False)
+        if snippet.slots:
+            inserted.append(len(pieces))
+        pieces.append(_Piece(kind="snippet", snippet=snippet))
+
+
+def _raw(instr: Instruction):
+    from repro.checking.base import RawIns
+    return RawIns(instr)
+
+
+def instrument_program(program: Program, technique_name: str,
+                       policy: Policy = Policy.ALLBB,
+                       update_style=None) -> InstrumentedProgram:
+    """One-shot static instrumentation by technique name."""
+    from repro.checking import UpdateStyle, make_technique
+    cfg = build_cfg(program)
+    style = update_style if update_style is not None else UpdateStyle.JCC
+    technique = make_technique(technique_name, update_style=style, cfg=cfg)
+    return StaticRewriter(technique, policy).rewrite(program)

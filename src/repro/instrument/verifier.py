@@ -1,0 +1,327 @@
+"""Static verification of instrumented programs.
+
+A compiler-style validation pass: abstractly interpret a statically
+instrumented binary, tracking the signature registers (PC', RTS and
+the technique scratch) through every path of the *rewritten* CFG, and
+prove that no check can fire on a legal execution — the necessary
+condition of Section 4.4, established without running the program.
+
+Two pieces of precision make this work on real instrumented code:
+
+* **constant propagation** over the host-only registers: signature
+  updates are built from immediates and other signature registers, so
+  their values stay concrete; anything derived from guest computation
+  is ⊤ (unknown),
+* **branch correlation**: the Jcc update style inserts a mirror of the
+  guest branch (same condition, same flags) right before it, creating
+  CFG paths that are *infeasible* (mirror not-taken then original
+  taken).  The verifier tracks which (flags-producer, condition)
+  outcome each path assumed and prunes the contradictory edges —
+  without this, every conditional signature update joins to ⊤.
+
+A check the analysis cannot decide (e.g. after a return, whose target
+statics cannot resolve) is *unproven*, not failed — the precision limit
+every static verifier has.  A check that provably fires on a legal
+path is a **violation**: a wrong delta constant, a missed update on one
+diamond arm, a check against the wrong signature — real rewriter bugs,
+found without executing the program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.flags import COND_INVERSE
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Kind, Op
+from repro.isa.registers import NUM_REGISTERS
+from repro.cfg import build_cfg
+from repro.cfg.basic_block import ExitKind
+from repro.instrument.rewriter import InstrumentedProgram
+
+#: the abstract "unknown" value
+TOP = object()
+
+
+def _join(a, b):
+    if a is TOP or b is TOP:
+        return TOP
+    return a if a == b else TOP
+
+
+class _State:
+    """Tracked registers (r16+) over the constant-or-⊤ domain, plus the
+    path's last flags producer and branch assumption."""
+
+    __slots__ = ("regs", "flags_src", "assumed")
+
+    def __init__(self, regs=None, flags_src=None, assumed=None):
+        self.regs = list(regs) if regs is not None \
+            else [TOP] * NUM_REGISTERS
+        #: address of the instruction that produced the current FLAGS
+        self.flags_src = flags_src
+        #: (flags_src, cond, taken) this path assumed at the last
+        #: conditional branch, for correlation pruning
+        self.assumed = assumed
+
+    def copy(self) -> "_State":
+        return _State(self.regs, self.flags_src, self.assumed)
+
+    def join(self, other: "_State") -> tuple["_State", bool]:
+        changed = False
+        merged = self.copy()
+        for index in range(16, NUM_REGISTERS):
+            joined = _join(self.regs[index], other.regs[index])
+            if (joined is TOP) != (merged.regs[index] is TOP) or \
+                    (joined is not TOP and joined != merged.regs[index]):
+                merged.regs[index] = joined
+                changed = True
+        if merged.flags_src != other.flags_src:
+            if merged.flags_src is not None:
+                merged.flags_src = None
+                changed = True
+        if merged.assumed != other.assumed:
+            if merged.assumed is not None:
+                merged.assumed = None
+                changed = True
+        return merged, changed
+
+
+@dataclass
+class VerificationReport:
+    """Result of statically verifying an instrumented program."""
+
+    program_name: str
+    #: check sites proven never to fire on legal paths
+    proven: list[int] = field(default_factory=list)
+    #: check sites the analysis could not decide (⊤ reached them)
+    unproven: list[int] = field(default_factory=list)
+    #: check sites that FIRE on some legal path: instrumentation bugs
+    violations: list[tuple[int, int]] = field(default_factory=list)
+    blocks_visited: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """No legal path trips a check."""
+        return not self.violations
+
+    @property
+    def fully_proven(self) -> bool:
+        return self.ok and not self.unproven
+
+    def summary(self) -> str:
+        return (f"{self.program_name}: {len(self.proven)} checks proven,"
+                f" {len(self.unproven)} unproven,"
+                f" {len(self.violations)} violations"
+                f" ({self.blocks_visited} states visited)")
+
+
+_MASK = 0xFFFFFFFF
+
+
+def _step(state: _State, pc: int, instr: Instruction) -> None:
+    """Abstract transfer function for one instruction."""
+    regs = state.regs
+    op = instr.op
+    meta = instr.meta
+
+    def get(reg):
+        return regs[reg] if reg >= 16 else TOP
+
+    def put(value) -> None:
+        if instr.rd >= 16:
+            regs[instr.rd] = value
+
+    if meta.sets_flags:
+        state.flags_src = pc
+
+    if op is Op.MOVI:
+        put(instr.imm & _MASK)
+    elif op is Op.MOVHI:
+        put((instr.imm & 0xFFFF) << 16)
+    elif op is Op.MOVLO:
+        current = get(instr.rd)
+        put(TOP if current is TOP else
+            (current & 0xFFFF0000) | (instr.imm & 0xFFFF))
+    elif op is Op.MOV:
+        put(get(instr.rs))
+    elif op in (Op.LEA, Op.ADDI):
+        value = get(instr.rs)
+        put(TOP if value is TOP else (value + instr.imm) & _MASK)
+    elif op is Op.SUBI:
+        value = get(instr.rs)
+        put(TOP if value is TOP else (value - instr.imm) & _MASK)
+    elif op in (Op.LEA3, Op.ADD):
+        a, b = get(instr.rs), get(instr.rt)
+        put(TOP if a is TOP or b is TOP else (a + b) & _MASK)
+    elif op in (Op.LSUB, Op.SUB):
+        a, b = get(instr.rs), get(instr.rt)
+        put(TOP if a is TOP or b is TOP else (a - b) & _MASK)
+    elif op is Op.XOR:
+        a, b = get(instr.rs), get(instr.rt)
+        put(TOP if a is TOP or b is TOP else a ^ b)
+    elif op is Op.OR:
+        a, b = get(instr.rs), get(instr.rt)
+        put(TOP if a is TOP or b is TOP else a | b)
+    elif op is Op.AND:
+        a, b = get(instr.rs), get(instr.rt)
+        put(TOP if a is TOP or b is TOP else a & b)
+    elif op is Op.XORI:
+        value = get(instr.rs)
+        put(TOP if value is TOP else value ^ (instr.imm & _MASK))
+    elif op is Op.ANDI:
+        value = get(instr.rs)
+        put(TOP if value is TOP else value & instr.imm & _MASK)
+    elif op is Op.SHRI:
+        value = get(instr.rs)
+        put(TOP if value is TOP else value >> (instr.imm & 31))
+    elif op is Op.SHLI:
+        value = get(instr.rs)
+        put(TOP if value is TOP else (value << (instr.imm & 31)) & _MASK)
+    elif op is Op.NEG:
+        value = get(instr.rs)
+        put(TOP if value is TOP else (-value) & _MASK)
+    elif op is Op.NOT:
+        value = get(instr.rs)
+        put(TOP if value is TOP else (~value) & _MASK)
+    elif op is Op.MOD:
+        a, b = get(instr.rs), get(instr.rt)
+        put(TOP if a is TOP or b is TOP or b == 0 else a % b)
+    elif op is Op.MUL:
+        a, b = get(instr.rs), get(instr.rt)
+        put(TOP if a is TOP or b is TOP else (a * b) & _MASK)
+    elif meta.cond is not None and meta.fmt is not None \
+            and meta.fmt.value == "r2":
+        # cmovcc: may or may not move — join both outcomes
+        put(_join(get(instr.rd), get(instr.rs)))
+    elif op in (Op.CMP, Op.TEST, Op.CMPI, Op.ST, Op.STB):
+        pass   # no tracked register written
+    else:
+        # loads, pops, div results, anything else: unknown
+        put(TOP)
+
+
+def verify_instrumented(ip: InstrumentedProgram,
+                        max_states: int = 100_000) -> VerificationReport:
+    """Prove the necessary condition over the rewritten program."""
+    program = ip.program
+    cfg = build_cfg(program)
+    report = VerificationReport(program_name=program.source_name)
+    check_status: dict[int, str] = {}
+
+    worklist: list[tuple[int, _State]] = [
+        (cfg.entry_block.start, _State())]
+    # Path-sensitive in the branch assumption: states only merge when
+    # they carry the same (flags producer, condition, outcome), so the
+    # mirror-branch correlation survives the re-convergence point right
+    # before the original branch.
+    seen: dict[tuple, _State] = {}
+
+    while worklist and report.blocks_visited < max_states:
+        block_start, state = worklist.pop()
+        key = (block_start, state.assumed, state.flags_src)
+        previous = seen.get(key)
+        if previous is not None:
+            merged, changed = previous.join(state)
+            if not changed:
+                continue
+            seen[key] = merged
+            state = merged.copy()
+        else:
+            seen[key] = state.copy()
+        report.blocks_visited += 1
+
+        block = cfg.block_at(block_start)
+        for pc, instr in block.instructions:
+            if pc in ip.check_addresses:
+                status = _classify_check(state, instr)
+                prior = check_status.get(pc)
+                check_status[pc] = _worst(prior, status)
+                if status == "violation" and prior != "violation":
+                    report.violations.append((pc, block_start))
+                if instr.op in (Op.JRNZ, Op.JRZ) and instr.rd >= 16:
+                    # path condition on the fall-through: the checked
+                    # register equals (jrnz) / differs from (jrz) zero
+                    if instr.op is Op.JRNZ:
+                        state.regs[instr.rd] = 0
+                continue
+            _step(state, pc, instr)
+
+        _push_successors(cfg, block, state, worklist)
+    for pc, status in sorted(check_status.items()):
+        if status == "proven":
+            report.proven.append(pc)
+        elif status == "unproven":
+            report.unproven.append(pc)
+    return report
+
+
+def _push_successors(cfg, block, state: _State, worklist) -> None:
+    term = block.terminator
+    if (block.exit_kind is ExitKind.COND and term is not None
+            and term[1].meta.cond is not None):
+        pc, instr = term
+        cond = instr.meta.cond
+        taken, fallthrough = (block.successors + [None, None])[:2]
+        implied = _implied_outcome(state, cond)
+        for successor, outcome in ((taken, True), (fallthrough, False)):
+            if successor is None or successor not in cfg.blocks:
+                continue
+            if implied is not None and outcome != implied:
+                continue   # correlated with an earlier branch: pruned
+            next_state = state.copy()
+            next_state.assumed = (state.flags_src, cond, outcome)
+            worklist.append((successor, next_state))
+        return
+    for successor in block.successors:
+        if successor in cfg.blocks:
+            worklist.append((successor, state.copy()))
+    if block.exit_kind is ExitKind.CALL:
+        after = block.end
+        if after in cfg.blocks:
+            # the return site is reached with the callee's final state,
+            # which we cannot track across ret: widen everything.
+            worklist.append((after, _State()))
+
+
+def _implied_outcome(state: _State, cond) -> bool | None:
+    """Does the path's last branch assumption force this branch?"""
+    if state.assumed is None or state.flags_src is None:
+        return None
+    src, assumed_cond, taken = state.assumed
+    if src != state.flags_src:
+        return None   # flags were rewritten since the assumption
+    if assumed_cond == cond:
+        return taken
+    if COND_INVERSE.get(assumed_cond) == cond:
+        return not taken
+    return None
+
+
+def _classify_check(state: _State, instr: Instruction) -> str:
+    """Would this check fire given the abstract state?"""
+    if instr.op is Op.JRNZ:
+        value = state.regs[instr.rd] if instr.rd >= 16 else TOP
+        if value is TOP:
+            return "unproven"
+        return "proven" if value == 0 else "violation"
+    if instr.op is Op.JRZ:
+        value = state.regs[instr.rd] if instr.rd >= 16 else TOP
+        if value is TOP:
+            return "unproven"
+        return "proven" if value != 0 else "violation"
+    if instr.op is Op.DIV:
+        divisor = state.regs[instr.rt] if instr.rt >= 16 else TOP
+        if divisor is TOP:
+            return "unproven"
+        return "proven" if divisor != 0 else "violation"
+    # CFCSS's jnz checks compare through FLAGS; deciding them would
+    # need flag-value tracking — report as unproven.
+    return "unproven"
+
+
+def _worst(a: str | None, b: str) -> str:
+    order = {"proven": 0, "unproven": 1, "violation": 2}
+    if a is None:
+        return b
+    return a if order[a] >= order[b] else b

@@ -1,0 +1,30 @@
+"""R32: the guest/host instruction set of the reproduction.
+
+This package defines everything about the synthetic 32-bit ISA the
+reproduction uses in place of IA-32/EM64T: opcodes and their metadata,
+the flags model, binary encoding, an assembler and a disassembler.  See
+DESIGN.md for why each ISA feature exists (each one backs a specific
+mechanism in the paper).
+"""
+
+from repro.isa.assembler import Assembler, AssemblyError, assemble
+from repro.isa.disassembler import disassemble_program, disassemble_word
+from repro.isa.encoding import (BRANCH_OFFSET_BITS, DecodeError,
+                                EncodingError, decode, encode,
+                                flip_offset_bit)
+from repro.isa.flags import Cond, Flag, evaluate_cond
+from repro.isa.instruction import WORD_SIZE, Instruction
+from repro.isa.opcodes import Fmt, Kind, Op, OpInfo, info
+from repro.isa.program import (DATA_BASE, MEMORY_SIZE, STACK_TOP, TEXT_BASE,
+                               Program)
+
+__all__ = [
+    "Assembler", "AssemblyError", "assemble",
+    "disassemble_program", "disassemble_word",
+    "BRANCH_OFFSET_BITS", "DecodeError", "EncodingError", "decode",
+    "encode", "flip_offset_bit",
+    "Cond", "Flag", "evaluate_cond",
+    "WORD_SIZE", "Instruction",
+    "Fmt", "Kind", "Op", "OpInfo", "info",
+    "DATA_BASE", "MEMORY_SIZE", "STACK_TOP", "TEXT_BASE", "Program",
+]

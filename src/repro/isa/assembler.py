@@ -1,0 +1,399 @@
+"""Two-pass assembler for R32 assembly.
+
+Syntax overview::
+
+    ; comment                      # comment
+    .text                          switch to the text section
+    .data                          switch to the data section
+    .entry main                    set the program entry point
+    .align 4                       align the current section
+    .word 1, 2, label              32-bit data words (labels allowed)
+    .byte 1, 2, 3                  bytes
+    .asciz "hello"                 NUL-terminated string
+    .space 64                      zero-filled bytes
+
+    label:                         define a label
+    add r1, r2, r3                 plain instructions
+    movi r1, 42
+    ld r1, r2, 8                   r1 = mem32[r2 + 8]
+    jz loop                        branches take label or numeric offset
+    const r1, buffer               pseudo: load a 32-bit constant/label
+                                   (always movhi+movlo, 2 words)
+
+Immediates accept decimal, ``0x`` hex, and ``label`` / ``label+imm`` /
+``label-imm`` expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa import registers
+from repro.isa.encoding import encode
+from repro.isa.instruction import WORD_SIZE, Instruction, branch_offset_for
+from repro.isa.opcodes import MNEMONIC_TO_OP, Fmt, Kind, Op, info
+from repro.isa.program import DATA_BASE, TEXT_BASE, Program
+
+
+class AssemblyError(ValueError):
+    """Assembly failed; carries file/line context."""
+
+    def __init__(self, message: str, line_no: int | None = None,
+                 line: str | None = None):
+        location = f" (line {line_no}: {line!r})" if line_no else ""
+        super().__init__(message + location)
+        self.line_no = line_no
+
+
+@dataclass
+class _Item:
+    """One sized item placed in a section during pass 1."""
+
+    kind: str                 # "instr", "words", "bytes", "space"
+    address: int = 0
+    size: int = 0
+    mnemonic: str = ""
+    operands: list[str] = field(default_factory=list)
+    values: list[str] = field(default_factory=list)
+    raw: bytes = b""
+    line_no: int = 0
+    line: str = ""
+
+
+class Assembler:
+    """Two-pass assembler: size/labels first, then encode."""
+
+    def __init__(self, text_base: int = TEXT_BASE,
+                 data_base: int = DATA_BASE):
+        self.text_base = text_base
+        self.data_base = data_base
+
+    # -- public API ------------------------------------------------------
+
+    def assemble(self, source: str, name: str = "<asm>") -> Program:
+        """Assemble ``source`` into a loadable :class:`Program`."""
+        text_items, data_items, labels, entry_label = self._pass1(source)
+        text = bytearray()
+        for item in text_items:
+            text += self._materialize(item, labels)
+        data = bytearray()
+        for item in data_items:
+            data += self._materialize(item, labels)
+        entry = self.text_base
+        if entry_label is not None:
+            if entry_label not in labels:
+                raise AssemblyError(f"undefined entry label {entry_label!r}")
+            entry = labels[entry_label]
+        return Program(text=bytes(text), data=bytes(data),
+                       text_base=self.text_base, data_base=self.data_base,
+                       entry=entry, symbols=dict(labels), source_name=name)
+
+    # -- pass 1: layout ----------------------------------------------------
+
+    def _pass1(self, source: str):
+        section = "text"
+        cursors = {"text": self.text_base, "data": self.data_base}
+        items: dict[str, list[_Item]] = {"text": [], "data": []}
+        labels: dict[str, int] = {}
+        entry_label: str | None = None
+
+        for line_no, raw_line in enumerate(source.splitlines(), start=1):
+            line = _strip_comment(raw_line).strip()
+            if not line:
+                continue
+            # Labels (possibly several, possibly followed by code).
+            while True:
+                head, sep, rest = line.partition(":")
+                if sep and _is_label(head.strip()):
+                    label = head.strip()
+                    if label in labels:
+                        raise AssemblyError(
+                            f"duplicate label {label!r}", line_no, raw_line)
+                    labels[label] = cursors[section]
+                    line = rest.strip()
+                    if not line:
+                        break
+                else:
+                    break
+            if not line:
+                continue
+
+            if line.startswith("."):
+                directive, _, arg = line.partition(" ")
+                arg = arg.strip()
+                if directive == ".text":
+                    section = "text"
+                elif directive == ".data":
+                    section = "data"
+                elif directive == ".entry":
+                    entry_label = arg
+                elif directive == ".global":
+                    pass  # accepted for familiarity; everything is global
+                elif directive == ".align":
+                    amount = _parse_int(arg, line_no, raw_line)
+                    cursor = cursors[section]
+                    pad = (-cursor) % amount
+                    if pad:
+                        items[section].append(_Item(
+                            kind="space", address=cursor, size=pad,
+                            line_no=line_no, line=raw_line))
+                        cursors[section] += pad
+                elif directive == ".word":
+                    values = _split_operands(arg)
+                    item = _Item(kind="words", address=cursors[section],
+                                 size=4 * len(values), values=values,
+                                 line_no=line_no, line=raw_line)
+                    items[section].append(item)
+                    cursors[section] += item.size
+                elif directive == ".byte":
+                    values = _split_operands(arg)
+                    raw = bytes(_parse_int(v, line_no, raw_line) & 0xFF
+                                for v in values)
+                    items[section].append(_Item(
+                        kind="bytes", address=cursors[section],
+                        size=len(raw), raw=raw, line_no=line_no,
+                        line=raw_line))
+                    cursors[section] += len(raw)
+                elif directive == ".asciz":
+                    raw = _parse_string(arg, line_no, raw_line) + b"\x00"
+                    items[section].append(_Item(
+                        kind="bytes", address=cursors[section],
+                        size=len(raw), raw=raw, line_no=line_no,
+                        line=raw_line))
+                    cursors[section] += len(raw)
+                elif directive == ".space":
+                    amount = _parse_int(arg, line_no, raw_line)
+                    items[section].append(_Item(
+                        kind="space", address=cursors[section], size=amount,
+                        line_no=line_no, line=raw_line))
+                    cursors[section] += amount
+                else:
+                    raise AssemblyError(
+                        f"unknown directive {directive!r}", line_no,
+                        raw_line)
+                continue
+
+            # Instruction.
+            if section != "text":
+                raise AssemblyError("instructions must be in .text",
+                                    line_no, raw_line)
+            mnemonic, _, operand_str = line.partition(" ")
+            mnemonic = mnemonic.lower()
+            operands = _split_operands(operand_str)
+            size = self._instruction_size(mnemonic, line_no, raw_line)
+            items["text"].append(_Item(
+                kind="instr", address=cursors["text"], size=size,
+                mnemonic=mnemonic, operands=operands, line_no=line_no,
+                line=raw_line))
+            cursors["text"] += size
+
+        return items["text"], items["data"], labels, entry_label
+
+    def _instruction_size(self, mnemonic: str, line_no: int,
+                          line: str) -> int:
+        if mnemonic == "const":
+            return 2 * WORD_SIZE
+        if mnemonic not in MNEMONIC_TO_OP:
+            raise AssemblyError(f"unknown mnemonic {mnemonic!r}", line_no,
+                                line)
+        return WORD_SIZE
+
+    # -- pass 2: encoding --------------------------------------------------
+
+    def _materialize(self, item: _Item, labels: dict[str, int]) -> bytes:
+        if item.kind == "space":
+            return bytes(item.size)
+        if item.kind == "bytes":
+            return item.raw
+        if item.kind == "words":
+            blob = bytearray()
+            for value in item.values:
+                number = self._eval(value, labels, item)
+                blob += (number & 0xFFFFFFFF).to_bytes(4, "little")
+            return bytes(blob)
+        assert item.kind == "instr"
+        instructions = self._encode_instruction(item, labels)
+        blob = bytearray()
+        for instr in instructions:
+            try:
+                blob += encode(instr).to_bytes(4, "little")
+            except ValueError as exc:
+                raise AssemblyError(str(exc), item.line_no,
+                                    item.line) from exc
+        return bytes(blob)
+
+    def _encode_instruction(self, item: _Item,
+                            labels: dict[str, int]) -> list[Instruction]:
+        mnemonic = item.mnemonic
+        ops = item.operands
+
+        if mnemonic == "const":
+            self._expect(len(ops) == 2, item, "const rd, value")
+            rd = self._reg(ops[0], item)
+            value = self._eval(ops[1], labels, item) & 0xFFFFFFFF
+            return [
+                Instruction(op=Op.MOVHI, rd=rd, imm=(value >> 16) & 0xFFFF),
+                Instruction(op=Op.MOVLO, rd=rd, imm=value & 0xFFFF),
+            ]
+
+        op = MNEMONIC_TO_OP[mnemonic]
+        meta = info(op)
+        fmt = meta.fmt
+
+        if fmt is Fmt.R3:
+            if mnemonic in ("cmp", "test"):
+                # Comparisons have no destination: cmp rs, rt.
+                self._expect(len(ops) == 2, item, f"{mnemonic} rs, rt")
+                return [Instruction(op=op, rd=0,
+                                    rs=self._reg(ops[0], item),
+                                    rt=self._reg(ops[1], item))]
+            self._expect(len(ops) == 3, item, f"{mnemonic} rd, rs, rt")
+            return [Instruction(op=op, rd=self._reg(ops[0], item),
+                                rs=self._reg(ops[1], item),
+                                rt=self._reg(ops[2], item))]
+        if fmt is Fmt.R2:
+            self._expect(len(ops) == 2, item, f"{mnemonic} rd, rs")
+            return [Instruction(op=op, rd=self._reg(ops[0], item),
+                                rs=self._reg(ops[1], item))]
+        if fmt is Fmt.R1:
+            self._expect(len(ops) == 1, item, f"{mnemonic} rd")
+            return [Instruction(op=op, rd=self._reg(ops[0], item))]
+        if fmt is Fmt.RI:
+            if mnemonic == "cmpi":
+                # cmp rs, imm — no destination.
+                self._expect(len(ops) == 2, item, "cmpi rs, imm")
+                return [Instruction(op=op, rd=0,
+                                    rs=self._reg(ops[0], item),
+                                    imm=self._eval_signed(ops[1], labels,
+                                                          item))]
+            self._expect(len(ops) == 3, item, f"{mnemonic} rd, rs, imm")
+            return [Instruction(op=op, rd=self._reg(ops[0], item),
+                                rs=self._reg(ops[1], item),
+                                imm=self._eval_signed(ops[2], labels,
+                                                      item))]
+        if fmt is Fmt.RI16:
+            self._expect(len(ops) == 2, item, f"{mnemonic} rd, imm")
+            imm = self._eval_signed(ops[1], labels, item)
+            if mnemonic in ("movhi", "movlo") and imm < 0:
+                imm &= 0xFFFF
+            return [Instruction(op=op, rd=self._reg(ops[0], item), imm=imm)]
+        if fmt is Fmt.B:
+            if meta.kind is Kind.BRANCH_REG:
+                self._expect(len(ops) == 2, item, f"{mnemonic} rd, target")
+                rd = self._reg(ops[0], item)
+                target_expr = ops[1]
+            else:
+                self._expect(len(ops) == 1, item, f"{mnemonic} target")
+                rd = 0
+                target_expr = ops[0]
+            offset = self._branch_offset(target_expr, labels, item)
+            return [Instruction(op=op, rd=rd, imm=offset)]
+        if fmt is Fmt.SYS:
+            self._expect(len(ops) == 1, item, f"{mnemonic} number")
+            return [Instruction(op=op,
+                                imm=self._eval(ops[0], labels, item))]
+        if fmt is Fmt.N:
+            self._expect(len(ops) == 0, item, mnemonic)
+            return [Instruction(op=op)]
+        raise AssemblyError(f"unhandled format {fmt}", item.line_no,
+                            item.line)  # pragma: no cover
+
+    # -- helpers -----------------------------------------------------------
+
+    def _branch_offset(self, expr: str, labels: dict[str, int],
+                       item: _Item) -> int:
+        # A bare signed number is a raw word offset; anything else is an
+        # absolute target expression (usually a label).
+        try:
+            return _parse_int(expr, item.line_no, item.line)
+        except AssemblyError:
+            pass
+        target = self._eval(expr, labels, item)
+        try:
+            return branch_offset_for(item.address, target)
+        except ValueError as exc:
+            raise AssemblyError(str(exc), item.line_no, item.line) from exc
+
+    def _reg(self, token: str, item: _Item) -> int:
+        try:
+            return registers.parse_register(token)
+        except ValueError as exc:
+            raise AssemblyError(str(exc), item.line_no, item.line) from exc
+
+    def _eval(self, expr: str, labels: dict[str, int], item: _Item) -> int:
+        expr = expr.strip()
+        for sep in ("+", "-"):
+            # label+imm / label-imm (label must come first)
+            idx = expr.find(sep, 1)
+            if idx > 0 and _is_label(expr[:idx].strip()):
+                base = self._eval(expr[:idx].strip(), labels, item)
+                offset = _parse_int(expr[idx + 1:].strip(), item.line_no,
+                                    item.line)
+                return base + offset if sep == "+" else base - offset
+        if _is_label(expr):
+            if expr not in labels:
+                raise AssemblyError(f"undefined label {expr!r}",
+                                    item.line_no, item.line)
+            return labels[expr]
+        return _parse_int(expr, item.line_no, item.line)
+
+    def _eval_signed(self, expr: str, labels: dict[str, int],
+                     item: _Item) -> int:
+        value = self._eval(expr, labels, item)
+        if value >= 0x80000000:
+            value -= 0x100000000
+        return value
+
+    @staticmethod
+    def _expect(ok: bool, item: _Item, usage: str) -> None:
+        if not ok:
+            raise AssemblyError(f"usage: {usage}", item.line_no, item.line)
+
+
+# -- lexical helpers ---------------------------------------------------------
+
+
+def _strip_comment(line: str) -> str:
+    in_string = False
+    for index, char in enumerate(line):
+        if char == '"':
+            in_string = not in_string
+        elif char in (";", "#") and not in_string:
+            return line[:index]
+    return line
+
+
+def _is_label(token: str) -> bool:
+    return bool(token) and (token[0].isalpha() or token[0] in "._") and all(
+        ch.isalnum() or ch in "._$" for ch in token)
+
+
+def _split_operands(operand_str: str) -> list[str]:
+    operand_str = operand_str.strip()
+    if not operand_str:
+        return []
+    if operand_str.startswith('"'):
+        return [operand_str]
+    return [part.strip() for part in operand_str.split(",")]
+
+
+def _parse_int(token: str, line_no: int, line: str) -> int:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(f"bad integer {token!r}", line_no,
+                            line) from None
+
+
+def _parse_string(token: str, line_no: int, line: str) -> bytes:
+    token = token.strip()
+    if len(token) < 2 or token[0] != '"' or token[-1] != '"':
+        raise AssemblyError(f"bad string literal {token}", line_no, line)
+    body = token[1:-1]
+    return body.encode("utf-8").decode("unicode_escape").encode("latin-1")
+
+
+def assemble(source: str, name: str = "<asm>", **kwargs) -> Program:
+    """Convenience one-shot assembly entry point."""
+    return Assembler(**kwargs).assemble(source, name=name)

@@ -1,0 +1,64 @@
+"""Disassembler for R32 binary code.
+
+Produces readable listings with resolved branch targets and symbol
+annotations; used by the debugging tools, the DBT trace dumps, and the
+round-trip property tests.
+"""
+
+from __future__ import annotations
+
+from repro.isa.encoding import DecodeError, decode
+from repro.isa.instruction import WORD_SIZE, Instruction
+from repro.isa.program import Program
+
+
+def disassemble_word(word: int, pc: int = 0,
+                     symbols: dict[int, str] | None = None) -> str:
+    """Disassemble a single encoded word at address ``pc``."""
+    try:
+        instr = decode(word)
+    except DecodeError:
+        return f".word {word:#010x}  ; <undecodable>"
+    return format_instruction(instr, pc, symbols)
+
+
+def format_instruction(instr: Instruction, pc: int = 0,
+                       symbols: dict[int, str] | None = None) -> str:
+    """Format one instruction, annotating direct-branch targets."""
+    text = str(instr)
+    if instr.meta.is_direct_branch:
+        target = instr.branch_target(pc)
+        label = symbols.get(target) if symbols else None
+        where = f"{label} ({target:#x})" if label else f"{target:#x}"
+        text += f"  ; -> {where}"
+    return text
+
+
+def disassemble_program(program: Program) -> str:
+    """Full listing of a program's text section."""
+    by_address = {addr: name for name, addr in program.symbols.items()
+                  if program.contains_code(addr)}
+    lines = []
+    for addr in program.instruction_addresses():
+        if addr in by_address:
+            lines.append(f"{by_address[addr]}:")
+        word = program.word_at(addr)
+        lines.append(
+            f"  {addr:#07x}: {word:08x}  "
+            f"{disassemble_word(word, addr, by_address)}")
+    return "\n".join(lines)
+
+
+def disassemble_range(read_word, start: int, end: int,
+                      symbols: dict[int, str] | None = None) -> str:
+    """Disassemble ``[start, end)`` using a ``read_word(addr)`` callback.
+
+    Useful for dumping DBT code-cache contents straight from machine
+    memory.
+    """
+    lines = []
+    for addr in range(start, end, WORD_SIZE):
+        word = read_word(addr)
+        lines.append(f"  {addr:#07x}: {word:08x}  "
+                     f"{disassemble_word(word, addr, symbols)}")
+    return "\n".join(lines)

@@ -1,0 +1,164 @@
+"""Binary encoding and decoding of R32 instructions.
+
+The encoding is a fixed 32-bit word:
+
+=========  =========================
+bits       field
+=========  =========================
+31..24     opcode (8 bits)
+23..19     rd (5 bits)
+18..14     rs (5 bits)
+13..9      rt (5 bits, R3 only)
+13..0      imm14 (signed, RI only)
+15..0      imm16 (B / RI16 / SYS)
+=========  =========================
+
+The branch offset occupies the contiguous low 16 bits of the word.  This
+matters for the paper's error model: a single-bit soft error "in the
+address offset of the branch instruction" is literally a flip of one of
+these 16 bits, and because offsets are in words, every corrupted target
+is still instruction-aligned (the paper's IA-32 equivalent would mostly
+decode to garbage and trap; aligned landings are the interesting,
+silent-data-corruption-capable case the classification is about).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction, sign_extend
+from repro.isa.opcodes import Fmt, Op, info, is_valid_opcode
+
+WORD_MASK = 0xFFFFFFFF
+
+OPCODE_SHIFT = 24
+RD_SHIFT = 19
+RS_SHIFT = 14
+RT_SHIFT = 9
+
+REG_MASK = 0x1F
+IMM14_MASK = 0x3FFF
+IMM16_MASK = 0xFFFF
+
+IMM14_MIN, IMM14_MAX = -(1 << 13), (1 << 13) - 1
+IMM16_MIN, IMM16_MAX = -(1 << 15), (1 << 15) - 1
+
+#: Number of bit positions in a direct branch's offset field — the
+#: address-fault universe per branch execution in the error model.
+BRANCH_OFFSET_BITS = 16
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be encoded or decoded."""
+
+
+def _check_reg(value: int, name: str) -> int:
+    if not 0 <= value <= REG_MASK:
+        raise EncodingError(f"{name} out of range: {value}")
+    return value
+
+
+def encode(instr: Instruction) -> int:
+    """Encode an :class:`Instruction` into its 32-bit word."""
+    meta = info(instr.op)
+    word = int(instr.op) << OPCODE_SHIFT
+    fmt = meta.fmt
+    if fmt is Fmt.R3:
+        word |= _check_reg(instr.rd, "rd") << RD_SHIFT
+        word |= _check_reg(instr.rs, "rs") << RS_SHIFT
+        word |= _check_reg(instr.rt, "rt") << RT_SHIFT
+    elif fmt is Fmt.R2:
+        word |= _check_reg(instr.rd, "rd") << RD_SHIFT
+        word |= _check_reg(instr.rs, "rs") << RS_SHIFT
+    elif fmt is Fmt.R1:
+        word |= _check_reg(instr.rd, "rd") << RD_SHIFT
+    elif fmt is Fmt.RI:
+        if not IMM14_MIN <= instr.imm <= IMM14_MAX:
+            raise EncodingError(
+                f"imm14 out of range for {meta.mnemonic}: {instr.imm}")
+        word |= _check_reg(instr.rd, "rd") << RD_SHIFT
+        word |= _check_reg(instr.rs, "rs") << RS_SHIFT
+        word |= instr.imm & IMM14_MASK
+    elif fmt is Fmt.RI16:
+        if not IMM16_MIN <= instr.imm <= 0xFFFF:
+            raise EncodingError(
+                f"imm16 out of range for {meta.mnemonic}: {instr.imm}")
+        word |= _check_reg(instr.rd, "rd") << RD_SHIFT
+        word |= instr.imm & IMM16_MASK
+    elif fmt is Fmt.B:
+        if not IMM16_MIN <= instr.imm <= IMM16_MAX:
+            raise EncodingError(
+                f"branch offset out of range for {meta.mnemonic}: "
+                f"{instr.imm}")
+        word |= _check_reg(instr.rd, "rd") << RD_SHIFT
+        word |= instr.imm & IMM16_MASK
+    elif fmt is Fmt.SYS:
+        if not 0 <= instr.imm <= 0xFFFF:
+            raise EncodingError(
+                f"service number out of range: {instr.imm}")
+        word |= instr.imm & IMM16_MASK
+    elif fmt is Fmt.N:
+        pass
+    else:  # pragma: no cover - exhaustive over Fmt
+        raise EncodingError(f"unknown format {fmt}")
+    return word & WORD_MASK
+
+
+class DecodeError(ValueError):
+    """Raised when a word does not decode to a valid instruction."""
+
+    def __init__(self, word: int, reason: str):
+        super().__init__(f"cannot decode {word:#010x}: {reason}")
+        self.word = word
+        self.reason = reason
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word into an :class:`Instruction`.
+
+    Raises :class:`DecodeError` for undefined opcodes — the machine turns
+    this into an illegal-instruction fault, which is how control-flow
+    errors that land on garbage get detected "by hardware".
+    """
+    word &= WORD_MASK
+    opcode = word >> OPCODE_SHIFT
+    if not is_valid_opcode(opcode):
+        raise DecodeError(word, f"undefined opcode {opcode:#x}")
+    op = Op(opcode)
+    meta = info(op)
+    fmt = meta.fmt
+    rd = (word >> RD_SHIFT) & REG_MASK
+    rs = (word >> RS_SHIFT) & REG_MASK
+    rt = (word >> RT_SHIFT) & REG_MASK
+    if fmt is Fmt.R3:
+        return Instruction(op=op, rd=rd, rs=rs, rt=rt)
+    if fmt is Fmt.R2:
+        return Instruction(op=op, rd=rd, rs=rs)
+    if fmt is Fmt.R1:
+        return Instruction(op=op, rd=rd)
+    if fmt is Fmt.RI:
+        return Instruction(op=op, rd=rd, rs=rs,
+                           imm=sign_extend(word, 14))
+    if fmt is Fmt.RI16:
+        return Instruction(op=op, rd=rd, imm=sign_extend(word, 16))
+    if fmt is Fmt.B:
+        return Instruction(op=op, rd=rd, imm=sign_extend(word, 16))
+    if fmt is Fmt.SYS:
+        return Instruction(op=op, imm=word & IMM16_MASK)
+    return Instruction(op=op)
+
+
+def flip_offset_bit(word: int, bit: int) -> int:
+    """Flip bit ``bit`` (0..15) of a direct branch's offset field.
+
+    This is the primitive of the paper's address-offset fault model.
+    """
+    if not 0 <= bit < BRANCH_OFFSET_BITS:
+        raise ValueError(f"offset bit out of range: {bit}")
+    return (word ^ (1 << bit)) & WORD_MASK
+
+
+def encode_program(instructions: list[Instruction]) -> bytes:
+    """Encode a sequence of instructions into little-endian bytes."""
+    blob = bytearray()
+    for instr in instructions:
+        blob += encode(instr).to_bytes(4, "little")
+    return bytes(blob)

@@ -1,0 +1,181 @@
+"""Condition flags for the R32 ISA.
+
+R32 keeps an x86-style ``FLAGS`` register.  Arithmetic/logic instructions
+set the four classic condition bits; conditional branches and conditional
+moves read subsets of them.  The paper's single-bit-fault error model
+("1 bit change ... in the flags that determine the conditional branches
+direction", Section 2) is defined directly over these bits: for each
+dynamic conditional branch we enumerate a flip of every flag bit its
+condition *reads* and ask whether the branch direction changes.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Flag(enum.IntEnum):
+    """Bit positions inside the FLAGS register."""
+
+    ZF = 0  #: zero
+    SF = 1  #: sign
+    CF = 2  #: carry / unsigned borrow
+    OF = 3  #: signed overflow
+
+
+FLAG_MASKS = {flag: 1 << flag for flag in Flag}
+
+ZF = 1 << Flag.ZF
+SF = 1 << Flag.SF
+CF = 1 << Flag.CF
+OF = 1 << Flag.OF
+
+ALL_FLAGS_MASK = ZF | SF | CF | OF
+NUM_FLAG_BITS = 4
+
+
+class Cond(enum.Enum):
+    """Branch/cmov condition codes, with x86-equivalent semantics."""
+
+    Z = "z"      #: equal / zero                (ZF)
+    NZ = "nz"    #: not equal / not zero        (ZF)
+    L = "l"      #: signed less                 (SF, OF)
+    GE = "ge"    #: signed greater-or-equal     (SF, OF)
+    LE = "le"    #: signed less-or-equal        (ZF, SF, OF)
+    G = "g"      #: signed greater              (ZF, SF, OF)
+    B = "b"      #: unsigned below              (CF)
+    AE = "ae"    #: unsigned above-or-equal     (CF)
+    BE = "be"    #: unsigned below-or-equal     (CF, ZF)
+    A = "a"      #: unsigned above              (CF, ZF)
+    S = "s"      #: negative                    (SF)
+    NS = "ns"    #: non-negative                (SF)
+    O = "o"      #: overflow                    (OF)
+    NO = "no"    #: no overflow                 (OF)
+
+
+#: Which FLAGS bits each condition reads.  This is the fault universe for
+#: flag-bit soft errors at a conditional branch (paper Section 2).
+COND_READS: dict[Cond, int] = {
+    Cond.Z: ZF,
+    Cond.NZ: ZF,
+    Cond.L: SF | OF,
+    Cond.GE: SF | OF,
+    Cond.LE: ZF | SF | OF,
+    Cond.G: ZF | SF | OF,
+    Cond.B: CF,
+    Cond.AE: CF,
+    Cond.BE: CF | ZF,
+    Cond.A: CF | ZF,
+    Cond.S: SF,
+    Cond.NS: SF,
+    Cond.O: OF,
+    Cond.NO: OF,
+}
+
+#: Inverse condition (used by the Jcc-style signature update, which emits
+#: an inverted conditional jump around the "taken" signature fix-up).
+COND_INVERSE: dict[Cond, Cond] = {
+    Cond.Z: Cond.NZ, Cond.NZ: Cond.Z,
+    Cond.L: Cond.GE, Cond.GE: Cond.L,
+    Cond.LE: Cond.G, Cond.G: Cond.LE,
+    Cond.B: Cond.AE, Cond.AE: Cond.B,
+    Cond.BE: Cond.A, Cond.A: Cond.BE,
+    Cond.S: Cond.NS, Cond.NS: Cond.S,
+    Cond.O: Cond.NO, Cond.NO: Cond.O,
+}
+
+
+def evaluate_cond(cond: Cond, flags: int) -> bool:
+    """Evaluate condition ``cond`` against a FLAGS value."""
+    zf = bool(flags & ZF)
+    sf = bool(flags & SF)
+    cf = bool(flags & CF)
+    of = bool(flags & OF)
+    if cond is Cond.Z:
+        return zf
+    if cond is Cond.NZ:
+        return not zf
+    if cond is Cond.L:
+        return sf != of
+    if cond is Cond.GE:
+        return sf == of
+    if cond is Cond.LE:
+        return zf or (sf != of)
+    if cond is Cond.G:
+        return (not zf) and (sf == of)
+    if cond is Cond.B:
+        return cf
+    if cond is Cond.AE:
+        return not cf
+    if cond is Cond.BE:
+        return cf or zf
+    if cond is Cond.A:
+        return (not cf) and (not zf)
+    if cond is Cond.S:
+        return sf
+    if cond is Cond.NS:
+        return not sf
+    if cond is Cond.O:
+        return of
+    if cond is Cond.NO:
+        return not of
+    raise ValueError(f"unknown condition: {cond}")
+
+
+def flag_fault_flips_direction(cond: Cond, flags: int, flag_bit: int) -> bool:
+    """Would flipping FLAGS bit ``flag_bit`` change ``cond``'s outcome?
+
+    This is the core question of the paper's flag-fault model: a flag-bit
+    soft error is a category-A ("mistaken branch") error exactly when it
+    changes the evaluated branch direction, and harmless otherwise.
+    """
+    mask = 1 << flag_bit
+    return evaluate_cond(cond, flags) != evaluate_cond(cond, flags ^ mask)
+
+
+def flags_from_sub(a: int, b: int) -> int:
+    """Compute FLAGS for ``a - b`` over 32-bit operands (x86 ``cmp``)."""
+    a &= 0xFFFFFFFF
+    b &= 0xFFFFFFFF
+    result = (a - b) & 0xFFFFFFFF
+    flags = 0
+    if result == 0:
+        flags |= ZF
+    if result & 0x80000000:
+        flags |= SF
+    if a < b:
+        flags |= CF
+    # Signed overflow: operands have different signs and the result's sign
+    # differs from the minuend's.
+    if ((a ^ b) & (a ^ result)) & 0x80000000:
+        flags |= OF
+    return flags
+
+
+def flags_from_add(a: int, b: int) -> int:
+    """Compute FLAGS for ``a + b`` over 32-bit operands."""
+    a &= 0xFFFFFFFF
+    b &= 0xFFFFFFFF
+    total = a + b
+    result = total & 0xFFFFFFFF
+    flags = 0
+    if result == 0:
+        flags |= ZF
+    if result & 0x80000000:
+        flags |= SF
+    if total > 0xFFFFFFFF:
+        flags |= CF
+    if (~(a ^ b) & (a ^ result)) & 0x80000000:
+        flags |= OF
+    return flags
+
+
+def flags_from_logic(result: int) -> int:
+    """Compute FLAGS for a logic result (CF and OF cleared, as on x86)."""
+    result &= 0xFFFFFFFF
+    flags = 0
+    if result == 0:
+        flags |= ZF
+    if result & 0x80000000:
+        flags |= SF
+    return flags

@@ -1,0 +1,110 @@
+"""The :class:`Instruction` value type shared across the toolchain.
+
+An ``Instruction`` is the decoded, register/immediate-level view of one
+32-bit R32 word.  The assembler produces them, the encoder serializes
+them, the machine executes them, the CFG builder and the translator
+analyze them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa import registers
+from repro.isa.opcodes import OP_TABLE, Fmt, Kind, Op, OpInfo
+
+WORD_SIZE = 4
+"""Bytes per instruction (fixed-width encoding)."""
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Interpret the low ``bits`` of ``value`` as a signed integer."""
+    mask = (1 << bits) - 1
+    value &= mask
+    sign_bit = 1 << (bits - 1)
+    return value - (1 << bits) if value & sign_bit else value
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded R32 instruction.
+
+    Field usage by format:
+
+    ========  ======================================================
+    ``R3``    rd, rs, rt
+    ``R2``    rd, rs
+    ``R1``    rd
+    ``RI``    rd, rs, imm (signed 14-bit)
+    ``RI16``  rd, imm (signed 16-bit)
+    ``B``     imm = branch offset in *words* relative to pc+4;
+              rd only for jrz/jrnz
+    ``SYS``   imm = service / trap number (unsigned 16-bit)
+    ``N``     no fields
+    ========  ======================================================
+    """
+
+    op: Op
+    rd: int = 0
+    rs: int = 0
+    rt: int = 0
+    imm: int = 0
+
+    @property
+    def meta(self) -> OpInfo:
+        """Opcode metadata (format, cycles, flag behaviour, kind)."""
+        return OP_TABLE[self.op]
+
+    @property
+    def is_branch(self) -> bool:
+        return self.meta.is_branch
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.meta.is_block_terminator
+
+    def branch_target(self, pc: int) -> int:
+        """Absolute target of a direct branch located at address ``pc``."""
+        meta = self.meta
+        if not meta.is_direct_branch:
+            raise ValueError(f"{meta.mnemonic} has no encoded target")
+        return pc + WORD_SIZE + self.imm * WORD_SIZE
+
+    def fall_through(self, pc: int) -> int:
+        """Address of the next sequential instruction."""
+        return pc + WORD_SIZE
+
+    def __str__(self) -> str:
+        meta = self.meta
+        name = meta.mnemonic
+        reg = registers.register_name
+        if meta.fmt is Fmt.R3:
+            return f"{name} {reg(self.rd)}, {reg(self.rs)}, {reg(self.rt)}"
+        if meta.fmt is Fmt.R2:
+            return f"{name} {reg(self.rd)}, {reg(self.rs)}"
+        if meta.fmt is Fmt.R1:
+            return f"{name} {reg(self.rd)}"
+        if meta.fmt is Fmt.RI:
+            return f"{name} {reg(self.rd)}, {reg(self.rs)}, {self.imm}"
+        if meta.fmt is Fmt.RI16:
+            return f"{name} {reg(self.rd)}, {self.imm}"
+        if meta.fmt is Fmt.B:
+            if meta.kind is Kind.BRANCH_REG:
+                return f"{name} {reg(self.rd)}, {self.imm}"
+            return f"{name} {self.imm}"
+        if meta.fmt is Fmt.SYS:
+            return f"{name} {self.imm}"
+        return name
+
+
+def make_branch(op: Op, offset_words: int, rd: int = 0) -> Instruction:
+    """Build a direct branch with an offset in words."""
+    return Instruction(op=op, rd=rd, imm=offset_words)
+
+
+def branch_offset_for(pc: int, target: int) -> int:
+    """Word offset that makes a branch at ``pc`` reach ``target``."""
+    delta = target - (pc + WORD_SIZE)
+    if delta % WORD_SIZE:
+        raise ValueError(f"unaligned branch target {target:#x} from {pc:#x}")
+    return delta // WORD_SIZE

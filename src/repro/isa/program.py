@@ -1,0 +1,78 @@
+"""Assembled program images.
+
+A :class:`Program` is the loadable unit of the toolchain: text and data
+sections with their base addresses, a symbol table, and an entry point.
+Both the native machine and the dynamic binary translator consume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.encoding import decode
+from repro.isa.instruction import WORD_SIZE, Instruction
+
+#: Default memory layout.  Small and flat on purpose: the whole guest
+#: address space fits comfortably in a Python bytearray, and 16-bit
+#: branch-offset faults can reach far outside the text section — which is
+#: what populates category F ("jump to a non-code memory region").
+TEXT_BASE = 0x1000
+DATA_BASE = 0x20000
+STACK_TOP = 0x60000
+MEMORY_SIZE = 0x200000  # includes the DBT code cache region
+
+
+@dataclass
+class Program:
+    """An assembled, loadable R32 program."""
+
+    text: bytes
+    data: bytes = b""
+    text_base: int = TEXT_BASE
+    data_base: int = DATA_BASE
+    entry: int = TEXT_BASE
+    symbols: dict[str, int] = field(default_factory=dict)
+    source_name: str = "<program>"
+
+    @property
+    def text_end(self) -> int:
+        """First address past the text section."""
+        return self.text_base + len(self.text)
+
+    @property
+    def data_end(self) -> int:
+        return self.data_base + len(self.data)
+
+    def contains_code(self, addr: int) -> bool:
+        """True when ``addr`` lies inside the text section."""
+        return self.text_base <= addr < self.text_end
+
+    def instruction_count(self) -> int:
+        return len(self.text) // WORD_SIZE
+
+    def instruction_addresses(self) -> range:
+        """All instruction addresses in the text section."""
+        return range(self.text_base, self.text_end, WORD_SIZE)
+
+    def word_at(self, addr: int) -> int:
+        """Raw encoded word at text address ``addr``."""
+        if not self.contains_code(addr):
+            raise ValueError(f"address {addr:#x} outside text section")
+        offset = addr - self.text_base
+        return int.from_bytes(self.text[offset:offset + WORD_SIZE], "little")
+
+    def instruction_at(self, addr: int) -> Instruction:
+        """Decoded instruction at text address ``addr``."""
+        return decode(self.word_at(addr))
+
+    def instructions(self) -> list[tuple[int, Instruction]]:
+        """All (address, instruction) pairs in the text section."""
+        return [(addr, self.instruction_at(addr))
+                for addr in self.instruction_addresses()]
+
+    def symbol(self, name: str) -> int:
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise KeyError(
+                f"no symbol {name!r} in {self.source_name}") from None

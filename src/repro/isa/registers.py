@@ -1,0 +1,110 @@
+"""Register file definition for the R32 ISA.
+
+The R32 machine has 32 general-purpose 32-bit registers.  Mirroring the
+paper's IA-32 -> EM64T translation setup (Section 5.1), the *guest*
+instruction set is restricted to the low half (``r0``..``r15``) while the
+translated (host) code produced by the dynamic binary translator may also
+use the high half (``r16``..``r31``).  This is what lets the DBT dedicate
+registers to the control-flow-checking state (PC', RTS, ...) "without
+spilling registers", exactly as the paper describes for EM64T.
+
+Conventions
+-----------
+``r15`` (alias ``sp``)
+    Stack pointer, used implicitly by ``push``/``pop``/``call``/``ret``.
+``r14`` (alias ``fp``)
+    Frame pointer by convention only; nothing in the ISA treats it
+    specially.
+``r16`` (alias ``pcp``)
+    The shadow program counter PC' used by every signature-monitoring
+    technique.  Host-only.
+``r17`` (alias ``rts``)
+    The run-time adjusting signature register used by the ECF technique.
+    Host-only.
+``r18`` (alias ``aux``)
+    Scratch register for conditional signature updates (the ``AUX``
+    register in the paper's Figure 8).  Host-only.
+``r19``..``r21`` (aliases ``t0``..``t2``)
+    Host-only scratch registers for the translator and the checking
+    techniques (dynamic-branch target capture, check temporaries, ...).
+"""
+
+from __future__ import annotations
+
+NUM_REGISTERS = 32
+"""Total architectural registers (host view)."""
+
+NUM_GUEST_REGISTERS = 16
+"""Registers a guest binary may legally use (``r0``..``r15``)."""
+
+# Named register indices -------------------------------------------------
+
+SP = 15
+FP = 14
+
+# Host-only registers reserved for the DBT and the checking techniques.
+PCP = 16  #: shadow PC (the paper's PC')
+RTS = 17  #: run-time adjusting signature (ECF)
+AUX = 18  #: conditional-update scratch (paper Figure 8)
+T0 = 19   #: translator scratch
+T1 = 20   #: translator scratch
+T2 = 21   #: translator scratch
+
+# Data-flow duplication (the paper's future-work extension) scratch.
+DF0 = 22  #: duplicated first operand
+DF1 = 23  #: duplicated second operand
+DF2 = 24  #: duplicated result / comparison scratch
+SDW = 25  #: base address of the shadow register file in memory
+
+REGISTER_ALIASES: dict[str, int] = {
+    "sp": SP,
+    "fp": FP,
+    "pcp": PCP,
+    "rts": RTS,
+    "aux": AUX,
+    "t0": T0,
+    "t1": T1,
+    "t2": T2,
+    "df0": DF0,
+    "df1": DF1,
+    "df2": DF2,
+    "sdw": SDW,
+}
+
+_ALIAS_BY_INDEX = {index: alias for alias, index in REGISTER_ALIASES.items()}
+
+
+def register_name(index: int) -> str:
+    """Return the canonical assembly name for register ``index``.
+
+    Aliased registers print as their alias (``sp``, ``pcp``, ...) so that
+    disassembly reads like the paper's listings.
+    """
+    if not 0 <= index < NUM_REGISTERS:
+        raise ValueError(f"register index out of range: {index}")
+    return _ALIAS_BY_INDEX.get(index, f"r{index}")
+
+
+def parse_register(name: str) -> int:
+    """Parse an assembly register token (``r7``, ``sp``, ``pcp``...)."""
+    token = name.strip().lower()
+    if token in REGISTER_ALIASES:
+        return REGISTER_ALIASES[token]
+    if token.startswith("r"):
+        try:
+            index = int(token[1:], 10)
+        except ValueError:
+            raise ValueError(f"bad register name: {name!r}") from None
+        if 0 <= index < NUM_REGISTERS:
+            return index
+    raise ValueError(f"bad register name: {name!r}")
+
+
+def is_guest_register(index: int) -> bool:
+    """True if a guest binary may legally reference ``index``."""
+    return 0 <= index < NUM_GUEST_REGISTERS
+
+
+def is_host_only_register(index: int) -> bool:
+    """True if ``index`` is reserved for translated (host) code."""
+    return NUM_GUEST_REGISTERS <= index < NUM_REGISTERS

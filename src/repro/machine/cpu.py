@@ -1,0 +1,417 @@
+"""The R32 interpreter.
+
+A deterministic, cycle-accounting interpreter with:
+
+* per-page execute permission on every fetch (execute-disable bit),
+* a decode cache invalidated on stores (so self-modifying code works),
+* optional per-branch hooks used by the fault injector and the branch
+  profiler (both gated behind ``is None`` checks so the common path
+  stays fast).
+
+Determinism is the point: the paper's performance results become exact,
+reproducible cycle counts instead of noisy wall-clock measurements.
+"""
+
+from __future__ import annotations
+
+from repro.isa.encoding import DecodeError, decode
+from repro.isa.flags import (evaluate_cond, flags_from_add, flags_from_logic,
+                             flags_from_sub)
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Kind, Op
+from repro.isa.program import MEMORY_SIZE, STACK_TOP
+from repro.machine import syscalls
+from repro.machine.faults import FaultKind, StopInfo, StopReason
+from repro.machine.memory import (PERM_RW, PERM_RX, PERM_X, Memory,
+                                  AccessFault)
+
+_MASK = 0xFFFFFFFF
+_SIGN = 0x80000000
+
+#: Extra cycles charged when a branch is taken (front-end redirect).
+TAKEN_BRANCH_PENALTY = 1
+
+
+class Cpu:
+    """One R32 hardware thread plus its memory."""
+
+    def __init__(self, memory: Memory | None = None):
+        self.memory = memory if memory is not None else Memory(MEMORY_SIZE)
+        self.regs: list[int] = [0] * 32
+        self.flags: int = 0
+        self.pc: int = 0
+        self.cycles: int = 0
+        self.icount: int = 0
+        self.output: list[str] = []
+        self.output_values: list[int] = []
+        self.exit_code: int | None = None
+        #: set by the CFC_ERROR syscall when an instrumented check fires
+        self.cfc_error: bool = False
+        #: fault-injection hook: called as hook(cpu, pc, instr) before a
+        #: branch executes; may return a replacement Instruction.
+        self.pre_branch_hook = None
+        #: profiling hook: called as profiler.record(pc, instr, taken,
+        #: flags) after every direct branch resolves.
+        self.branch_profiler = None
+        #: chained external write watcher (the DBT's SMC detector)
+        self._external_write_watch = None
+        #: one-shot scheduled event: (icount, callable) applied just
+        #: before the instruction with that dynamic index executes —
+        #: the data-fault injection primitive.
+        self.scheduled_fault: tuple[int, object] | None = None
+        self._dcache: dict[int, Instruction] = {}
+        self.memory.write_watch = self._on_write
+
+    # -- setup -------------------------------------------------------------
+
+    def load_program(self, program, executable_text: bool = True) -> None:
+        """Load a :class:`~repro.isa.program.Program` image.
+
+        ``executable_text=False`` is the DBT configuration: guest code is
+        data to the translator and only the code cache is executable.
+        """
+        mem = self.memory
+        mem.write_raw(program.text_base, program.text)
+        if program.data:
+            mem.write_raw(program.data_base, program.data)
+        text_perm = PERM_RX if executable_text else PERM_RW
+        mem.set_perms(program.text_base, max(len(program.text), 1),
+                      text_perm)
+        data_len = max(len(program.data), 1)
+        mem.set_perms(program.data_base, max(data_len, 0x8000), PERM_RW)
+        # Stack: grows down from STACK_TOP.
+        mem.set_perms(STACK_TOP - 0x10000, 0x10000, PERM_RW)
+        self.pc = program.entry
+        self.regs[15] = STACK_TOP - 16  # sp
+        self._dcache.clear()
+
+    def set_external_write_watch(self, watch) -> None:
+        """Chain a second write watcher (used by the DBT for SMC)."""
+        self._external_write_watch = watch
+
+    def _on_write(self, addr: int, length: int) -> None:
+        if self._dcache:
+            for word_addr in range(addr & ~3, addr + length, 4):
+                self._dcache.pop(word_addr, None)
+        if self._external_write_watch is not None:
+            self._external_write_watch(addr, length)
+
+    # -- helpers -----------------------------------------------------------
+
+    def signed(self, reg: int) -> int:
+        value = self.regs[reg]
+        return value - 0x100000000 if value & _SIGN else value
+
+    def _decode_at(self, pc: int) -> Instruction:
+        cached = self._dcache.get(pc)
+        if cached is None:
+            word = int.from_bytes(self.memory.data[pc:pc + 4], "little")
+            instr = decode(word)  # may raise DecodeError
+            self._dcache[pc] = (instr, instr.meta)
+            return instr
+        return cached[0]
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self, max_steps: int = 50_000_000,
+            max_cycles: int | None = None) -> StopInfo:
+        """Execute until halt, trap, fault, or a budget limit."""
+        regs = self.regs
+        mem = self.memory
+        perms = mem.perms
+        data = mem.data
+        dcache = self._dcache
+        size = mem.size
+        execute = self._execute
+        steps = 0
+        cycle_cap = max_cycles if max_cycles is not None else None
+        try:
+            while True:
+                if steps >= max_steps:
+                    return StopInfo(StopReason.STEP_LIMIT, self.pc)
+                if cycle_cap is not None and self.cycles >= cycle_cap:
+                    return StopInfo(StopReason.CYCLE_LIMIT, self.pc)
+                steps += 1
+                pc = self.pc
+                if pc & 3:
+                    return StopInfo(StopReason.FAULT, pc,
+                                    fault=FaultKind.UNALIGNED,
+                                    fault_addr=pc)
+                if not 0 <= pc < size or not (perms[pc >> 12] & PERM_X):
+                    return StopInfo(StopReason.FAULT, pc,
+                                    fault=FaultKind.NX_VIOLATION,
+                                    fault_addr=pc)
+                cached = dcache.get(pc)
+                if cached is None:
+                    word = int.from_bytes(data[pc:pc + 4], "little")
+                    try:
+                        instr = decode(word)
+                    except DecodeError:
+                        return StopInfo(
+                            StopReason.FAULT, pc,
+                            fault=FaultKind.ILLEGAL_INSTRUCTION,
+                            fault_addr=pc)
+                    meta = instr.meta
+                    dcache[pc] = (instr, meta)
+                else:
+                    instr, meta = cached
+                if meta.is_branch and self.pre_branch_hook is not None:
+                    replacement = self.pre_branch_hook(self, pc, instr)
+                    if replacement is not None:
+                        instr = replacement
+                        meta = instr.meta
+                if (self.scheduled_fault is not None
+                        and self.icount >= self.scheduled_fault[0]):
+                    apply_fault = self.scheduled_fault[1]
+                    self.scheduled_fault = None
+                    apply_fault(self)
+                self.icount += 1
+                self.cycles += meta.cycles
+                stop = execute(instr, pc, regs)
+                if stop is not None:
+                    return stop
+        except AccessFault as fault:
+            return StopInfo(StopReason.FAULT, self.pc, fault=fault.kind,
+                            fault_addr=fault.addr)
+
+    def step(self) -> StopInfo | None:
+        """Execute exactly one instruction; None means 'keep going'."""
+        result = self.run(max_steps=1)
+        return None if result.reason is StopReason.STEP_LIMIT else result
+
+    # -- execution ------------------------------------------------------------
+
+    def _execute(self, instr: Instruction, pc: int,
+                 regs: list[int]) -> StopInfo | None:
+        op = instr.op
+        next_pc = pc + 4
+
+        # ALU register-register -------------------------------------------
+        if op is Op.ADD:
+            a, b = regs[instr.rs], regs[instr.rt]
+            result = (a + b) & _MASK
+            regs[instr.rd] = result
+            self.flags = flags_from_add(a, b)
+        elif op is Op.SUB:
+            a, b = regs[instr.rs], regs[instr.rt]
+            regs[instr.rd] = (a - b) & _MASK
+            self.flags = flags_from_sub(a, b)
+        elif op is Op.AND:
+            result = regs[instr.rs] & regs[instr.rt]
+            regs[instr.rd] = result
+            self.flags = flags_from_logic(result)
+        elif op is Op.OR:
+            result = regs[instr.rs] | regs[instr.rt]
+            regs[instr.rd] = result
+            self.flags = flags_from_logic(result)
+        elif op is Op.XOR:
+            result = regs[instr.rs] ^ regs[instr.rt]
+            regs[instr.rd] = result
+            self.flags = flags_from_logic(result)
+        elif op is Op.SHL:
+            result = (regs[instr.rs] << (regs[instr.rt] & 31)) & _MASK
+            regs[instr.rd] = result
+            self.flags = flags_from_logic(result)
+        elif op is Op.SHR:
+            result = regs[instr.rs] >> (regs[instr.rt] & 31)
+            regs[instr.rd] = result
+            self.flags = flags_from_logic(result)
+        elif op is Op.SAR:
+            value = regs[instr.rs]
+            if value & _SIGN:
+                value -= 0x100000000
+            result = (value >> (regs[instr.rt] & 31)) & _MASK
+            regs[instr.rd] = result
+            self.flags = flags_from_logic(result)
+        elif op is Op.MUL:
+            result = (regs[instr.rs] * regs[instr.rt]) & _MASK
+            regs[instr.rd] = result
+            self.flags = flags_from_logic(result)
+        elif op in (Op.DIV, Op.MOD):
+            divisor = regs[instr.rt]
+            if divisor == 0:
+                return StopInfo(StopReason.FAULT, pc,
+                                fault=FaultKind.DIV_BY_ZERO, fault_addr=pc)
+            a = regs[instr.rs]
+            result = a // divisor if op is Op.DIV else a % divisor
+            regs[instr.rd] = result & _MASK
+            self.flags = flags_from_logic(result)
+        elif op is Op.CMP:
+            self.flags = flags_from_sub(regs[instr.rs], regs[instr.rt])
+        elif op is Op.TEST:
+            self.flags = flags_from_logic(regs[instr.rs] & regs[instr.rt])
+        elif op is Op.NEG:
+            a = regs[instr.rs]
+            regs[instr.rd] = (-a) & _MASK
+            self.flags = flags_from_sub(0, a)
+        elif op is Op.NOT:
+            result = (~regs[instr.rs]) & _MASK
+            regs[instr.rd] = result
+            self.flags = flags_from_logic(result)
+
+        # ALU register-immediate --------------------------------------------
+        elif op is Op.ADDI:
+            a = regs[instr.rs]
+            regs[instr.rd] = (a + instr.imm) & _MASK
+            self.flags = flags_from_add(a, instr.imm & _MASK)
+        elif op is Op.SUBI:
+            a = regs[instr.rs]
+            regs[instr.rd] = (a - instr.imm) & _MASK
+            self.flags = flags_from_sub(a, instr.imm & _MASK)
+        elif op is Op.ANDI:
+            result = regs[instr.rs] & (instr.imm & _MASK)
+            regs[instr.rd] = result
+            self.flags = flags_from_logic(result)
+        elif op is Op.ORI:
+            result = regs[instr.rs] | (instr.imm & _MASK)
+            regs[instr.rd] = result
+            self.flags = flags_from_logic(result)
+        elif op is Op.XORI:
+            result = regs[instr.rs] ^ (instr.imm & _MASK)
+            regs[instr.rd] = result
+            self.flags = flags_from_logic(result)
+        elif op is Op.CMPI:
+            self.flags = flags_from_sub(regs[instr.rs], instr.imm & _MASK)
+        elif op is Op.SHLI:
+            result = (regs[instr.rs] << (instr.imm & 31)) & _MASK
+            regs[instr.rd] = result
+            self.flags = flags_from_logic(result)
+        elif op is Op.SHRI:
+            result = regs[instr.rs] >> (instr.imm & 31)
+            regs[instr.rd] = result
+            self.flags = flags_from_logic(result)
+        elif op is Op.MULI:
+            result = (regs[instr.rs] * instr.imm) & _MASK
+            regs[instr.rd] = result
+            self.flags = flags_from_logic(result)
+
+        # Flagless moves / lea family ---------------------------------------
+        elif op is Op.MOV:
+            regs[instr.rd] = regs[instr.rs]
+        elif op is Op.MOVI:
+            regs[instr.rd] = instr.imm & _MASK
+        elif op is Op.MOVHI:
+            regs[instr.rd] = (instr.imm & 0xFFFF) << 16
+        elif op is Op.MOVLO:
+            regs[instr.rd] = (regs[instr.rd] & 0xFFFF0000) | (
+                instr.imm & 0xFFFF)
+        elif op is Op.LEA:
+            regs[instr.rd] = (regs[instr.rs] + instr.imm) & _MASK
+        elif op is Op.LEA3:
+            regs[instr.rd] = (regs[instr.rs] + regs[instr.rt]) & _MASK
+        elif op is Op.LSUB:
+            regs[instr.rd] = (regs[instr.rs] - regs[instr.rt]) & _MASK
+
+        # FP-class -----------------------------------------------------------
+        elif op is Op.FADD:
+            regs[instr.rd] = (regs[instr.rs] + regs[instr.rt]) & _MASK
+        elif op is Op.FSUB:
+            regs[instr.rd] = (regs[instr.rs] - regs[instr.rt]) & _MASK
+        elif op is Op.FMUL:
+            regs[instr.rd] = (regs[instr.rs] * regs[instr.rt]) & _MASK
+        elif op is Op.FDIV:
+            divisor = regs[instr.rt]
+            if divisor == 0:
+                return StopInfo(StopReason.FAULT, pc,
+                                fault=FaultKind.DIV_BY_ZERO, fault_addr=pc)
+            regs[instr.rd] = (regs[instr.rs] // divisor) & _MASK
+
+        # Memory ---------------------------------------------------------------
+        elif op is Op.LD:
+            regs[instr.rd] = self.memory.load_word(
+                (regs[instr.rs] + instr.imm) & _MASK)
+        elif op is Op.ST:
+            self.memory.store_word((regs[instr.rs] + instr.imm) & _MASK,
+                                   regs[instr.rd])
+        elif op is Op.LDB:
+            regs[instr.rd] = self.memory.load_byte(
+                (regs[instr.rs] + instr.imm) & _MASK)
+        elif op is Op.STB:
+            self.memory.store_byte((regs[instr.rs] + instr.imm) & _MASK,
+                                   regs[instr.rd])
+        elif op is Op.PUSH:
+            sp = (regs[15] - 4) & _MASK
+            self.memory.store_word(sp, regs[instr.rd])
+            regs[15] = sp
+        elif op is Op.POP:
+            sp = regs[15]
+            regs[instr.rd] = self.memory.load_word(sp)
+            regs[15] = (sp + 4) & _MASK
+
+        # Control flow ------------------------------------------------------------
+        elif op is Op.JMP:
+            target = pc + 4 + instr.imm * 4
+            if self.branch_profiler is not None:
+                self.branch_profiler.record(pc, instr, True, self.flags)
+            self.cycles += TAKEN_BRANCH_PENALTY
+            next_pc = target
+        elif instr.meta.kind is Kind.BRANCH_COND:
+            taken = evaluate_cond(instr.meta.cond, self.flags)
+            if self.branch_profiler is not None:
+                self.branch_profiler.record(pc, instr, taken, self.flags)
+            if taken:
+                self.cycles += TAKEN_BRANCH_PENALTY
+                next_pc = pc + 4 + instr.imm * 4
+        elif op is Op.JRZ:
+            taken = regs[instr.rd] == 0
+            if self.branch_profiler is not None:
+                self.branch_profiler.record(pc, instr, taken, self.flags)
+            if taken:
+                self.cycles += TAKEN_BRANCH_PENALTY
+                next_pc = pc + 4 + instr.imm * 4
+        elif op is Op.JRNZ:
+            taken = regs[instr.rd] != 0
+            if self.branch_profiler is not None:
+                self.branch_profiler.record(pc, instr, taken, self.flags)
+            if taken:
+                self.cycles += TAKEN_BRANCH_PENALTY
+                next_pc = pc + 4 + instr.imm * 4
+        elif op is Op.CALL:
+            sp = (regs[15] - 4) & _MASK
+            self.memory.store_word(sp, pc + 4)
+            regs[15] = sp
+            if self.branch_profiler is not None:
+                self.branch_profiler.record(pc, instr, True, self.flags)
+            self.cycles += TAKEN_BRANCH_PENALTY
+            next_pc = pc + 4 + instr.imm * 4
+        elif op is Op.JMPR:
+            self.cycles += TAKEN_BRANCH_PENALTY
+            next_pc = regs[instr.rd]
+        elif op is Op.CALLR:
+            sp = (regs[15] - 4) & _MASK
+            self.memory.store_word(sp, pc + 4)
+            regs[15] = sp
+            self.cycles += TAKEN_BRANCH_PENALTY
+            next_pc = regs[instr.rd]
+        elif op is Op.RET:
+            sp = regs[15]
+            next_pc = self.memory.load_word(sp)
+            regs[15] = (sp + 4) & _MASK
+            self.cycles += TAKEN_BRANCH_PENALTY
+
+        # Conditional moves -------------------------------------------------------
+        elif instr.meta.cond is not None:  # CMOVcc (Jcc handled above)
+            if evaluate_cond(instr.meta.cond, self.flags):
+                regs[instr.rd] = regs[instr.rs]
+
+        # System -----------------------------------------------------------------
+        elif op is Op.SYSCALL:
+            if syscalls.handle_syscall(self, instr.imm):
+                self.pc = next_pc
+                return StopInfo(StopReason.HALTED, pc,
+                                exit_code=self.exit_code)
+        elif op is Op.HALT:
+            self.pc = next_pc
+            return StopInfo(StopReason.HALTED, pc, exit_code=0)
+        elif op is Op.NOP:
+            pass
+        elif op is Op.TRAP:
+            self.pc = next_pc
+            return StopInfo(StopReason.TRAP, pc, trap_no=instr.imm)
+        else:  # pragma: no cover - table is exhaustive
+            return StopInfo(StopReason.FAULT, pc,
+                            fault=FaultKind.ILLEGAL_INSTRUCTION,
+                            fault_addr=pc)
+
+        self.pc = next_pc
+        return None

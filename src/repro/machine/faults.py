@@ -1,0 +1,74 @@
+"""Machine fault and stop-reason types.
+
+The machine never raises Python exceptions for *guest* misbehaviour;
+every abnormal event becomes a structured :class:`StopInfo` so the fault
+-injection campaigns can classify outcomes ("detected by hardware" vs
+"detected by signature" vs "silent corruption"...) without fragile
+exception plumbing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class StopReason(enum.Enum):
+    """Why a machine run stopped."""
+
+    HALTED = "halted"              #: HALT or exit syscall
+    TRAP = "trap"                  #: TRAP instruction (DBT exit stub)
+    FAULT = "fault"                #: hardware-detected fault
+    STEP_LIMIT = "step_limit"      #: executed the per-run step budget
+    CYCLE_LIMIT = "cycle_limit"    #: exceeded the per-run cycle budget
+
+
+class FaultKind(enum.Enum):
+    """Hardware-detected faults.
+
+    ``NX_VIOLATION`` is the execute-disable-bit mechanism the paper leans
+    on for category-F branch errors; ``WRITE_PROTECT`` is the
+    self-modifying-code detection mechanism of the DBT (Section 5).
+    """
+
+    NX_VIOLATION = "nx_violation"          #: fetched from a non-X page
+    WRITE_PROTECT = "write_protect"        #: wrote a write-protected page
+    BAD_ACCESS = "bad_access"              #: unmapped/unreadable address
+    UNALIGNED = "unaligned"                #: misaligned word access / pc
+    ILLEGAL_INSTRUCTION = "illegal"        #: undecodable word
+    DIV_BY_ZERO = "div_by_zero"            #: div/mod with zero divisor
+    STACK_OVERFLOW = "stack_overflow"      #: sp left the stack region
+
+
+@dataclass
+class StopInfo:
+    """Terminal state of one machine run."""
+
+    reason: StopReason
+    pc: int
+    fault: FaultKind | None = None
+    fault_addr: int | None = None
+    trap_no: int | None = None
+    exit_code: int | None = None
+
+    @property
+    def is_hardware_detected(self) -> bool:
+        """True when a hardware protection mechanism caught the problem."""
+        return self.reason is StopReason.FAULT
+
+    def __str__(self) -> str:
+        parts = [f"{self.reason.value} at pc={self.pc:#x}"]
+        if self.fault is not None:
+            parts.append(f"fault={self.fault.value}")
+        if self.fault_addr is not None:
+            parts.append(f"addr={self.fault_addr:#x}")
+        if self.trap_no is not None:
+            parts.append(f"trap={self.trap_no}")
+        if self.exit_code is not None:
+            parts.append(f"exit={self.exit_code}")
+        return " ".join(parts)
+
+
+class MachineError(Exception):
+    """Host-side (not guest-visible) machine misuse, e.g. loading a
+    program that does not fit in memory."""

@@ -1,0 +1,151 @@
+"""Paged guest memory with R/W/X permissions.
+
+This is the substrate for two hardware mechanisms the paper relies on:
+
+* the execute-disable bit — executing from a page without X raises an
+  ``NX_VIOLATION`` fault, which is how branch errors in category F
+  ("jump to a non-code memory region") get detected "by hardware";
+* write protection — the DBT write-protects guest code pages it has
+  translated, so self-modifying code raises ``WRITE_PROTECT`` and the
+  DBT can invalidate stale translations (Section 5).
+"""
+
+from __future__ import annotations
+
+from repro.machine.faults import FaultKind, MachineError
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+
+PERM_R = 1
+PERM_W = 2
+PERM_X = 4
+PERM_RW = PERM_R | PERM_W
+PERM_RX = PERM_R | PERM_X
+PERM_RWX = PERM_R | PERM_W | PERM_X
+
+
+class AccessFault(Exception):
+    """Internal signal converted by the CPU into a StopInfo fault."""
+
+    def __init__(self, kind: FaultKind, addr: int):
+        super().__init__(f"{kind.value} @ {addr:#x}")
+        self.kind = kind
+        self.addr = addr
+
+
+class Memory:
+    """A flat byte-addressable memory with per-page permissions."""
+
+    def __init__(self, size: int):
+        if size % PAGE_SIZE:
+            raise MachineError(f"memory size must be page-aligned: {size}")
+        self.size = size
+        self.data = bytearray(size)
+        self.perms = bytearray(size >> PAGE_SHIFT)  # default: no access
+        #: Called with (addr, length) after every successful store; the
+        #: CPU uses it to invalidate its decode cache, the DBT to detect
+        #: self-modifying code.  ``None`` when nobody is listening.
+        self.write_watch = None
+
+    # -- permissions ------------------------------------------------------
+
+    def set_perms(self, start: int, length: int, perms: int) -> None:
+        """Set permissions for all pages overlapping [start, start+len)."""
+        if length <= 0:
+            return
+        first = start >> PAGE_SHIFT
+        last = (start + length - 1) >> PAGE_SHIFT
+        if last >= len(self.perms):
+            raise MachineError(
+                f"region {start:#x}+{length:#x} outside memory")
+        for page in range(first, last + 1):
+            self.perms[page] = perms
+
+    def perms_at(self, addr: int) -> int:
+        if not 0 <= addr < self.size:
+            return 0
+        return self.perms[addr >> PAGE_SHIFT]
+
+    def pages_in(self, start: int, length: int) -> range:
+        """Page indices overlapping a byte range."""
+        if length <= 0:
+            return range(0)
+        return range(start >> PAGE_SHIFT,
+                     ((start + length - 1) >> PAGE_SHIFT) + 1)
+
+    # -- raw (host-side) access: no permission checks ----------------------
+
+    def write_raw(self, addr: int, blob: bytes) -> None:
+        """Host-side store used by loaders and the DBT code generator."""
+        end = addr + len(blob)
+        if not 0 <= addr <= end <= self.size:
+            raise MachineError(f"raw write outside memory: {addr:#x}")
+        self.data[addr:end] = blob
+        if self.write_watch is not None:
+            self.write_watch(addr, len(blob))
+
+    def read_raw(self, addr: int, length: int) -> bytes:
+        if not 0 <= addr <= addr + length <= self.size:
+            raise MachineError(f"raw read outside memory: {addr:#x}")
+        return bytes(self.data[addr:addr + length])
+
+    def write_word_raw(self, addr: int, value: int) -> None:
+        self.write_raw(addr, (value & 0xFFFFFFFF).to_bytes(4, "little"))
+
+    def read_word_raw(self, addr: int) -> int:
+        return int.from_bytes(self.read_raw(addr, 4), "little")
+
+    # -- guest access: permission-checked ----------------------------------
+
+    def load_word(self, addr: int) -> int:
+        if addr & 3:
+            raise AccessFault(FaultKind.UNALIGNED, addr)
+        if not (self.perms_at(addr) & PERM_R):
+            raise AccessFault(FaultKind.BAD_ACCESS, addr)
+        return int.from_bytes(self.data[addr:addr + 4], "little")
+
+    def store_word(self, addr: int, value: int) -> None:
+        if addr & 3:
+            raise AccessFault(FaultKind.UNALIGNED, addr)
+        perms = self.perms_at(addr)
+        if not perms & PERM_W:
+            kind = (FaultKind.WRITE_PROTECT if perms & PERM_R
+                    else FaultKind.BAD_ACCESS)
+            raise AccessFault(kind, addr)
+        self.data[addr:addr + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+        if self.write_watch is not None:
+            self.write_watch(addr, 4)
+
+    def load_byte(self, addr: int) -> int:
+        if not (self.perms_at(addr) & PERM_R):
+            raise AccessFault(FaultKind.BAD_ACCESS, addr)
+        return self.data[addr]
+
+    def store_byte(self, addr: int, value: int) -> None:
+        perms = self.perms_at(addr)
+        if not perms & PERM_W:
+            kind = (FaultKind.WRITE_PROTECT if perms & PERM_R
+                    else FaultKind.BAD_ACCESS)
+            raise AccessFault(kind, addr)
+        self.data[addr] = value & 0xFF
+        if self.write_watch is not None:
+            self.write_watch(addr, 1)
+
+    def fetch_word(self, addr: int) -> int:
+        """Instruction fetch: requires X permission (execute-disable)."""
+        if addr & 3:
+            raise AccessFault(FaultKind.UNALIGNED, addr)
+        if not (self.perms_at(addr) & PERM_X):
+            raise AccessFault(FaultKind.NX_VIOLATION, addr)
+        return int.from_bytes(self.data[addr:addr + 4], "little")
+
+    def read_cstring(self, addr: int, limit: int = 4096) -> bytes:
+        """Read a NUL-terminated string (for the print-string syscall)."""
+        out = bytearray()
+        for index in range(limit):
+            byte = self.load_byte(addr + index)
+            if byte == 0:
+                break
+            out.append(byte)
+        return bytes(out)

@@ -1,0 +1,64 @@
+"""Guest system services.
+
+The machine exposes a tiny deterministic syscall interface — enough for
+the workloads to produce *observable output*, which is what the fault
+campaigns diff to decide whether an undetected error was benign or
+silent data corruption (SDC).
+
+Calling convention: service number is the ``syscall`` immediate,
+argument in ``r1``, result (if any) in ``r0``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Service(enum.IntEnum):
+    EXIT = 0         #: terminate; exit code in r1
+    PRINT_INT = 1    #: append signed decimal of r1 to the output
+    PRINT_CHAR = 2   #: append chr(r1 & 0xff)
+    PRINT_STR = 3    #: append NUL-terminated string at address r1
+    EMIT_WORD = 4    #: append raw 32-bit value of r1 (fast checksum sink)
+    CYCLES_LO = 5    #: r0 = low 32 bits of the cycle counter
+    CFC_ERROR = 6    #: control-flow-check error report (static-mode sink)
+
+
+#: Exit code of a run stopped by a control-flow-check error report.
+CFC_ERROR_EXIT_CODE = 0xCFCE
+
+
+def handle_syscall(cpu, number: int) -> bool:
+    """Execute service ``number``.  Returns True when the CPU must halt."""
+    regs = cpu.regs
+    if number == Service.EXIT:
+        cpu.exit_code = regs[1] & 0xFFFFFFFF
+        return True
+    if number == Service.PRINT_INT:
+        value = regs[1]
+        if value >= 0x80000000:
+            value -= 0x100000000
+        cpu.output.append(str(value))
+        return False
+    if number == Service.PRINT_CHAR:
+        cpu.output.append(chr(regs[1] & 0xFF))
+        return False
+    if number == Service.PRINT_STR:
+        text = cpu.memory.read_cstring(regs[1])
+        cpu.output.append(text.decode("latin-1"))
+        return False
+    if number == Service.EMIT_WORD:
+        cpu.output_values.append(regs[1] & 0xFFFFFFFF)
+        return False
+    if number == Service.CYCLES_LO:
+        regs[0] = cpu.cycles & 0xFFFFFFFF
+        return False
+    if number == Service.CFC_ERROR:
+        # A statically-instrumented checking technique reports an error:
+        # halt immediately with the well-known exit code.
+        cpu.cfc_error = True
+        cpu.exit_code = CFC_ERROR_EXIT_CODE
+        return True
+    # Unknown service: treated as a no-op so corrupted control flow that
+    # lands on a syscall does not crash the host.
+    return False

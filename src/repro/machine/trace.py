@@ -1,0 +1,123 @@
+"""Execution tracing for debugging translated and instrumented code.
+
+A :class:`Tracer` records the last N executed branch events (the
+interesting control-flow skeleton — tracing every instruction through
+the pre-branch hook would miss non-branches anyway, and full tracing
+belongs in a debugger, not a hot loop).  For full instruction-level
+traces over short windows, :func:`trace_run` single-steps a CPU and
+captures everything.
+
+Typical debugging session::
+
+    tracer = Tracer(capacity=64)
+    dbt = Dbt(program, technique=EdgCF())
+    tracer.attach(dbt.cpu)
+    result = dbt.run()
+    print(tracer.format(symbols=program.symbols))
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.isa.disassembler import format_instruction
+from repro.isa.instruction import Instruction
+from repro.machine.cpu import Cpu
+from repro.machine.faults import StopInfo
+
+
+@dataclass(frozen=True)
+class BranchEvent:
+    """One recorded branch execution."""
+
+    pc: int
+    instr: Instruction
+
+    def format(self, by_address: dict[int, str] | None = None) -> str:
+        where = (by_address or {}).get(self.pc)
+        prefix = f"{where}: " if where else ""
+        return (f"{prefix}{self.pc:#08x}  "
+                f"{format_instruction(self.instr, self.pc)}")
+
+
+class Tracer:
+    """Ring buffer of the most recent branch executions."""
+
+    def __init__(self, capacity: int = 64):
+        self.events: deque[BranchEvent] = deque(maxlen=capacity)
+        self._chained_hook = None
+
+    def attach(self, cpu: Cpu) -> None:
+        """Install on a CPU; chains any existing pre-branch hook (e.g.
+        a fault injector) so both observe the stream."""
+        self._chained_hook = cpu.pre_branch_hook
+        cpu.pre_branch_hook = self._hook
+
+    def _hook(self, cpu: Cpu, pc: int, instr: Instruction):
+        self.events.append(BranchEvent(pc=pc, instr=instr))
+        if self._chained_hook is not None:
+            return self._chained_hook(cpu, pc, instr)
+        return None
+
+    def format(self, symbols: dict[str, int] | None = None) -> str:
+        by_address = {}
+        if symbols:
+            by_address = {addr: name for name, addr in symbols.items()}
+        return "\n".join(event.format(by_address)
+                         for event in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+@dataclass
+class TraceRecord:
+    """One instruction of a full trace."""
+
+    pc: int
+    instr: Instruction
+    regs_after: tuple[int, ...]
+
+
+def trace_run(cpu: Cpu, max_steps: int = 1000,
+              watch_regs: tuple[int, ...] = ()
+              ) -> tuple[list[TraceRecord], StopInfo | None]:
+    """Single-step ``cpu`` capturing every executed instruction.
+
+    ``watch_regs`` limits the captured register state (empty = none).
+    Returns the trace and the stop info (None if the step budget ran
+    out first).
+    """
+    records: list[TraceRecord] = []
+    for _ in range(max_steps):
+        pc = cpu.pc
+        try:
+            instr = cpu._decode_at(pc)
+        except Exception:
+            instr = Instruction.__new__(Instruction)
+            object.__setattr__(instr, "op", None)
+        stop = cpu.step()
+        regs = tuple(cpu.regs[r] for r in watch_regs)
+        if getattr(instr, "op", None) is not None:
+            records.append(TraceRecord(pc=pc, instr=instr,
+                                       regs_after=regs))
+        if stop is not None:
+            return records, stop
+    return records, None
+
+
+def format_trace(records: list[TraceRecord],
+                 watch_regs: tuple[int, ...] = ()) -> str:
+    from repro.isa.registers import register_name
+    lines = []
+    for record in records:
+        line = (f"{record.pc:#08x}  "
+                f"{format_instruction(record.instr, record.pc)}")
+        if watch_regs:
+            state = " ".join(
+                f"{register_name(reg)}={value:#x}"
+                for reg, value in zip(watch_regs, record.regs_after))
+            line = f"{line:50s} | {state}"
+        lines.append(line)
+    return "\n".join(lines)

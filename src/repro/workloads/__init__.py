@@ -1,0 +1,14 @@
+"""Workloads: the SPEC2000-shaped synthetic benchmark suite and a
+random structured-program generator for property tests."""
+
+from repro.workloads.suite import (BY_NAME, FP_SUITE, INT_SUITE, SCALES,
+                                   SUITE, BenchmarkSpec, load,
+                                   suite_names)
+from repro.workloads.synthetic import (SyntheticSpec, generate_program,
+                                       generate_program_source)
+
+__all__ = [
+    "BY_NAME", "FP_SUITE", "INT_SUITE", "SCALES", "SUITE",
+    "BenchmarkSpec", "load", "suite_names",
+    "SyntheticSpec", "generate_program", "generate_program_source",
+]

@@ -1,0 +1,65 @@
+"""Shared assembly-generation helpers for the workload kernels.
+
+All kernels follow the same contract:
+
+* deterministic: no input, fixed seeds, same output every run — the
+  fault campaigns diff the output word stream against a golden run to
+  detect silent data corruption,
+* observable: results funnel into a running checksum emitted with the
+  ``EMIT_WORD`` syscall before a clean ``exit 0``,
+* flag-clean: every conditional branch is immediately preceded (within
+  its block) by the compare that feeds it, so flags are never live
+  across block boundaries — the discipline that lets the flag-clobbering
+  static techniques (CFCSS/ECCA) instrument block entries safely.
+
+Register conventions inside kernels: r0..r13 free, r14/r15 reserved
+(fp/sp).  Kernels never touch r16+ (host-only registers).
+"""
+
+from __future__ import annotations
+
+LCG_MUL = 1664525
+LCG_ADD = 1013904223
+
+
+def lcg_step(reg: str, tmp: str = "r13") -> str:
+    """Advance an in-guest linear congruential generator in ``reg``."""
+    return f"""
+    const {tmp}, {LCG_MUL}
+    mul {reg}, {reg}, {tmp}
+    const {tmp}, {LCG_ADD}
+    add {reg}, {reg}, {tmp}
+"""
+
+
+def fill_words(buf: str, count_reg: str, seed: int, value_reg: str = "r1",
+               index_reg: str = "r2", addr_reg: str = "r3",
+               label: str = "fill") -> str:
+    """Fill ``count_reg`` words at ``buf`` with LCG values."""
+    return f"""
+    const {value_reg}, {seed}
+    movi {index_reg}, 0
+    const {addr_reg}, {buf}
+{label}:
+{lcg_step(value_reg)}
+    st {value_reg}, {addr_reg}, 0
+    lea {addr_reg}, {addr_reg}, 4
+    addi {index_reg}, {index_reg}, 1
+    cmp {index_reg}, {count_reg}
+    jl {label}
+"""
+
+
+def emit_and_exit(checksum_reg: str = "r1") -> str:
+    """Emit the checksum and terminate cleanly."""
+    lines = ""
+    if checksum_reg != "r1":
+        lines += f"    mov r1, {checksum_reg}\n"
+    return lines + """    syscall 4
+    movi r1, 0
+    syscall 0
+"""
+
+
+def header(entry: str = "main") -> str:
+    return f".entry {entry}\n"

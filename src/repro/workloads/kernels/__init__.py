@@ -1,0 +1,13 @@
+"""Parameterized workload kernel generators.
+
+Each module emits R32 assembly source for one family of kernels; the
+suite registry (:mod:`repro.workloads.suite`) maps SPEC2000 names onto
+them with per-scale parameters.
+"""
+
+from repro.workloads.kernels import (compress, dots, graph, linalg,
+                                     particles, route, search, stencil,
+                                     text, vm)
+
+__all__ = ["compress", "dots", "graph", "linalg", "particles", "route",
+           "search", "stencil", "text", "vm"]

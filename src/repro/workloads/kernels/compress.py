@@ -1,0 +1,199 @@
+"""Compression-flavoured integer kernels (the 164.gzip / 256.bzip2
+stand-ins): run-length encoding and a shell sort over byte buffers.
+
+Structural profile: very small basic blocks, high conditional-branch
+density, byte loads/stores — the SPEC-Int shape that maximizes
+signature-checking overhead in the paper's Figure 12.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import emit_and_exit, header
+
+
+def rle_compress(buffer_bytes: int = 2048, passes: int = 1) -> str:
+    """Run-length encode a synthetic run-structured buffer."""
+    return header() + f"""
+.data
+src:    .space {buffer_bytes}
+dst:    .space {buffer_bytes * 2}
+
+.text
+main:
+    movi r0, 0              ; pass counter
+    movi r1, 0              ; checksum
+pass_loop:
+    ; Fill src with runs whose length varies with the pass number:
+    ; value(i) = ((i >> 3) + pass) & 15
+    const r2, src
+    movi r3, 0
+    const r4, {buffer_bytes}
+fill:
+    mov r5, r3
+    shri r5, r5, 3
+    add r5, r5, r0
+    andi r5, r5, 15
+    lea3 r6, r2, r3
+    stb r5, r6, 0
+    addi r3, r3, 1
+    cmp r3, r4
+    jl fill
+
+    ; RLE encode src -> dst
+    movi r3, 0              ; read index
+    movi r7, 0              ; write index
+    const r8, dst
+encode:
+    cmp r3, r4
+    jge done_encode
+    lea3 r6, r2, r3
+    ldb r5, r6, 0           ; run value
+    movi r9, 0              ; run length
+run:
+    lea3 r6, r2, r3
+    ldb r10, r6, 0
+    cmp r10, r5
+    jnz end_run
+    addi r9, r9, 1
+    addi r3, r3, 1
+    cmp r3, r4
+    jl run
+end_run:
+    lea3 r11, r8, r7
+    stb r5, r11, 0
+    stb r9, r11, 1
+    addi r7, r7, 2
+    jmp encode
+done_encode:
+
+    ; Fold dst into the checksum
+    movi r3, 0
+check:
+    lea3 r6, r8, r3
+    ldb r10, r6, 0
+    add r1, r1, r10
+    muli r1, r1, 31
+    addi r3, r3, 1
+    cmp r3, r7
+    jl check
+
+    addi r0, r0, 1
+    cmpi r0, {passes}
+    jl pass_loop
+""" + emit_and_exit()
+
+
+def shell_sort(elements: int = 256, passes: int = 1) -> str:
+    """Shell sort LCG-filled words, then verify + checksum.
+
+    Small blocks, a tight data-dependent inner loop, and a call/ret pair
+    (the verify helper) so the RET checking policy has sites to hit.
+    """
+    return header() + f"""
+.data
+arr:    .space {elements * 4}
+
+.text
+main:
+    movi r12, 0             ; pass
+    movi r11, 0             ; checksum accumulator
+outer_pass:
+    ; fill with LCG values
+    const r0, arr
+    movi r2, 0
+    const r3, {elements}
+    const r1, 12345
+    add r1, r1, r12
+fill:
+    const r13, 1664525
+    mul r1, r1, r13
+    const r13, 1013904223
+    add r1, r1, r13
+    mov r4, r1
+    shri r4, r4, 8
+    lea3 r5, r0, r2
+    lea3 r5, r5, r2
+    lea3 r5, r5, r2
+    lea3 r5, r5, r2         ; r5 = arr + 4*i
+    st r4, r5, 0
+    addi r2, r2, 1
+    cmp r2, r3
+    jl fill
+
+    ; shell sort with gap sequence n/2, n/4, ...
+    const r6, {elements}
+    shri r6, r6, 1          ; gap
+gap_loop:
+    cmpi r6, 0
+    jz sorted
+    mov r2, r6              ; i = gap
+i_loop:
+    cmp r2, r3
+    jge next_gap
+    ; temp = arr[i]
+    mov r5, r2
+    shli r5, r5, 2
+    lea3 r5, r0, r5
+    ld r4, r5, 0            ; temp
+    mov r7, r2              ; j = i
+j_loop:
+    cmp r7, r6
+    jl insert
+    mov r8, r7
+    sub r8, r8, r6          ; j - gap
+    mov r9, r8
+    shli r9, r9, 2
+    lea3 r9, r0, r9
+    ld r10, r9, 0           ; arr[j-gap]
+    cmp r10, r4
+    jbe insert
+    ; arr[j] = arr[j-gap]
+    mov r13, r7
+    shli r13, r13, 2
+    lea3 r13, r0, r13
+    st r10, r13, 0
+    mov r7, r8
+    jmp j_loop
+insert:
+    mov r13, r7
+    shli r13, r13, 2
+    lea3 r13, r0, r13
+    st r4, r13, 0
+    addi r2, r2, 1
+    jmp i_loop
+next_gap:
+    shri r6, r6, 1
+    jmp gap_loop
+sorted:
+    call verify
+    add r11, r11, r1
+    addi r12, r12, 1
+    cmpi r12, {passes}
+    jl outer_pass
+    mov r1, r11
+""" + emit_and_exit() + f"""
+
+; verify sortedness and fold into a checksum (r1 out)
+verify:
+    movi r1, 0
+    movi r2, 1
+    const r3, {elements}
+    const r0, arr
+vloop:
+    cmp r2, r3
+    jge vdone
+    mov r5, r2
+    shli r5, r5, 2
+    lea3 r5, r0, r5
+    ld r4, r5, 0
+    ld r6, r5, -4
+    cmp r6, r4
+    ja vbad
+    add r1, r1, r4
+    addi r2, r2, 1
+    jmp vloop
+vbad:
+    movi r1, 0xBAD
+vdone:
+    ret
+"""

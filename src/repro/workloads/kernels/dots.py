@@ -1,0 +1,134 @@
+"""Dot-product / correlation FP kernels (179.art / 187.facerec
+stand-ins): neural-layer weighted sums and sliding-window correlation.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import emit_and_exit, fill_words, header
+
+
+def neural_layer(inputs: int = 64, neurons: int = 24,
+                 repeats: int = 3) -> str:
+    """F1-layer weighted sums, inner loop unrolled by 4 (art flavour)."""
+    return header() + f"""
+.data
+vin:    .space {inputs * 4}
+wts:    .space {inputs * neurons * 4}
+
+.text
+main:
+    const r0, {inputs}
+{fill_words("vin", "r0", 12321)}
+    const r0, {inputs * neurons}
+{fill_words("wts", "r0", 45654, label="fillw")}
+    movi r1, 0
+    movi r11, 0
+rep:
+    movi r2, 0              ; neuron
+nloop:
+    ; r6 = &wts[neuron][0], r7 = &vin[0]
+    mov r6, r2
+    muli r6, r6, {inputs * 4}
+    const r7, wts
+    lea3 r6, r7, r6
+    const r7, vin
+    movi r5, 0              ; acc
+    movi r3, 0              ; k
+kloop:
+    ld r8, r6, 0
+    ld r9, r7, 0
+    fmul r8, r8, r9
+    fadd r5, r5, r8
+    ld r8, r6, 4
+    ld r9, r7, 4
+    fmul r8, r8, r9
+    fadd r5, r5, r8
+    ld r8, r6, 8
+    ld r9, r7, 8
+    fmul r8, r8, r9
+    fadd r5, r5, r8
+    ld r8, r6, 12
+    ld r9, r7, 12
+    fmul r8, r8, r9
+    fadd r5, r5, r8
+    lea r6, r6, 16
+    lea r7, r7, 16
+    addi r3, r3, 4
+    cmpi r3, {inputs - inputs % 4}
+    jl kloop
+    ; winner-take-some: fold only activations above a threshold
+    const r8, 0x10000000
+    cmp r5, r8
+    jb small_act
+    fadd r1, r1, r5
+    jmp next_neuron
+small_act:
+    mov r9, r5
+    shri r9, r9, 4
+    fadd r1, r1, r9
+next_neuron:
+    const r7, vin
+    addi r2, r2, 1
+    cmpi r2, {neurons}
+    jl nloop
+    addi r11, r11, 1
+    cmpi r11, {repeats}
+    jl rep
+""" + emit_and_exit()
+
+
+def correlate(signal: int = 200, window: int = 12,
+              repeats: int = 3) -> str:
+    """Sliding-window correlation against a fixed template (facerec
+    flavour)."""
+    return header() + f"""
+.data
+sig:    .space {(signal + window) * 4}
+tmpl:   .space {window * 4}
+
+.text
+main:
+    const r0, {signal + window}
+{fill_words("sig", "r0", 98765)}
+    const r0, {window}
+{fill_words("tmpl", "r0", 13579, label="fillt")}
+    movi r1, 0
+    movi r11, 0
+rep:
+    const r2, sig
+    movi r3, 0              ; window position
+wloop:
+    const r4, tmpl
+    mov r5, r2
+    movi r6, 0              ; acc
+    movi r7, 0              ; k
+corr:
+    ld r8, r5, 0
+    ld r9, r4, 0
+    fmul r8, r8, r9
+    fadd r6, r6, r8
+    ld r8, r5, 4
+    ld r9, r4, 4
+    fmul r8, r8, r9
+    fadd r6, r6, r8
+    ld r8, r5, 8
+    ld r9, r4, 8
+    fmul r8, r8, r9
+    fadd r6, r6, r8
+    lea r5, r5, 12
+    lea r4, r4, 12
+    addi r7, r7, 3
+    cmpi r7, {window - window % 3}
+    jl corr
+    ; track peak-ish values
+    mov r8, r6
+    shri r8, r8, 8
+    fadd r1, r1, r8
+    lea r2, r2, 4
+    addi r3, r3, 1
+    cmpi r3, {signal}
+    jl wloop
+    addi r11, r11, 1
+    cmpi r11, {repeats}
+    jl rep
+""" + emit_and_exit()

@@ -1,0 +1,193 @@
+"""Graph-flavoured integer kernels (181.mcf / 255.vortex stand-ins):
+edge-list relaxation and an open-addressing hash table.
+
+Pointer-chasing loads, data-dependent branches, small blocks.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import emit_and_exit, header
+
+
+def edge_relax(nodes: int = 64, rounds: int = 12) -> str:
+    """Bellman-Ford-style relaxation over a synthetic ring+chords graph.
+
+    Edges are generated in-guest: node i connects to (i+1) % n and
+    (i*7+3) % n with LCG-ish weights.
+    """
+    return header() + f"""
+.data
+dist:   .space {nodes * 4}
+
+.text
+main:
+    const r0, dist
+    movi r2, 0
+    const r3, {nodes}
+    ; dist[0] = 0, dist[i>0] = big
+init:
+    mov r4, r2
+    shli r4, r4, 2
+    lea3 r4, r0, r4
+    const r5, 0x0FFFFFFF
+    cmpi r2, 0
+    jnz store_big
+    movi r5, 0
+store_big:
+    st r5, r4, 0
+    addi r2, r2, 1
+    cmp r2, r3
+    jl init
+
+    movi r6, 0              ; round
+round_loop:
+    movi r2, 0              ; node i
+node_loop:
+    ; load dist[i]
+    mov r4, r2
+    shli r4, r4, 2
+    lea3 r4, r0, r4
+    ld r5, r4, 0
+    const r13, 0x0FFFFFFF
+    cmp r5, r13
+    jae next_node           ; unreachable so far
+
+    ; edge 1: i -> (i+1) % n, weight = (i % 9) + 1
+    mov r7, r2
+    addi r7, r7, 1
+    cmp r7, r3
+    jl e1_ok
+    movi r7, 0
+e1_ok:
+    movi r8, 9
+    mov r9, r2
+    mod r9, r9, r8
+    addi r9, r9, 1          ; weight
+    add r9, r9, r5          ; cand = dist[i] + w
+    mov r10, r7
+    shli r10, r10, 2
+    lea3 r10, r0, r10
+    ld r11, r10, 0
+    cmp r9, r11
+    jae edge2
+    st r9, r10, 0           ; relax
+edge2:
+    ; edge 2: i -> (i*7+3) % n, weight = (i % 5) + 2
+    mov r7, r2
+    muli r7, r7, 7
+    addi r7, r7, 3
+    mod r7, r7, r3
+    movi r8, 5
+    mov r9, r2
+    mod r9, r9, r8
+    addi r9, r9, 2
+    add r9, r9, r5
+    mov r10, r7
+    shli r10, r10, 2
+    lea3 r10, r0, r10
+    ld r11, r10, 0
+    cmp r9, r11
+    jae next_node
+    st r9, r10, 0
+next_node:
+    addi r2, r2, 1
+    cmp r2, r3
+    jl node_loop
+    addi r6, r6, 1
+    cmpi r6, {rounds}
+    jl round_loop
+
+    ; checksum distances
+    movi r1, 0
+    movi r2, 0
+check:
+    mov r4, r2
+    shli r4, r4, 2
+    lea3 r4, r0, r4
+    ld r5, r4, 0
+    add r1, r1, r5
+    muli r1, r1, 13
+    addi r2, r2, 1
+    cmp r2, r3
+    jl check
+""" + emit_and_exit()
+
+
+def hash_table(operations: int = 600, buckets: int = 256) -> str:
+    """Open-addressing (linear probe) insert/lookup mix with call/ret.
+
+    The probe loop is data-dependent; the hash function is a small
+    callee so RET-policy checks get exercised per operation.
+    """
+    return header() + f"""
+.data
+keys:   .space {buckets * 4}
+vals:   .space {buckets * 4}
+
+.text
+main:
+    movi r1, 0              ; checksum
+    const r10, 99991        ; LCG state
+    movi r11, 0             ; op counter
+op_loop:
+    ; next pseudo-random key (never 0: 0 marks an empty slot)
+    const r13, 1664525
+    mul r10, r10, r13
+    const r13, 1013904223
+    add r10, r10, r13
+    mov r2, r10
+    shri r2, r2, 10
+    andi r2, r2, 511        ; small key space: repeats cause real hits
+    ori r2, r2, 1           ; key != 0
+    call hash               ; r0 = hash(r2)
+
+    ; probe
+    const r4, keys
+    const r5, vals
+    movi r6, 0              ; probes
+probe:
+    mov r7, r0
+    shli r7, r7, 2
+    lea3 r8, r4, r7
+    ld r9, r8, 0
+    cmpi r9, 0
+    jz do_insert
+    cmp r9, r2
+    jz do_hit
+    addi r0, r0, 1
+    const r13, {buckets - 1}
+    and r0, r0, r13
+    addi r6, r6, 1
+    cmpi r6, {buckets}
+    jl probe
+    jmp op_next             ; table full: skip
+do_insert:
+    st r2, r8, 0
+    lea3 r8, r5, r7
+    st r11, r8, 0
+    jmp op_next
+do_hit:
+    lea3 r8, r5, r7
+    ld r9, r8, 0
+    add r1, r1, r9
+    muli r1, r1, 7
+op_next:
+    addi r11, r11, 1
+    cmpi r11, {operations}
+    jl op_loop
+""" + emit_and_exit() + f"""
+
+; r0 = hash(r2): xorshift-style mix reduced mod table size
+hash:
+    mov r0, r2
+    mov r3, r0
+    shri r3, r3, 7
+    xor r0, r0, r3
+    muli r0, r0, 31
+    mov r3, r0
+    shri r3, r3, 3
+    xor r0, r0, r3
+    const r3, {buckets - 1}
+    and r0, r0, r3
+    ret
+"""

@@ -1,0 +1,187 @@
+"""Dense linear-algebra FP kernels (168.wupwise / 178.galgel / 177.mesa
+stand-ins): blocked matrix multiply, Gauss-style elimination step, and
+an unrolled 4x4 transform pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import emit_and_exit, fill_words, header
+
+
+def matmul(n: int = 20, repeats: int = 2) -> str:
+    """C = A*B on n x n fixed-point matrices, inner loop unrolled by 4."""
+    return header() + f"""
+.data
+ma:     .space {n * n * 4}
+mb:     .space {n * n * 4}
+mc:     .space {n * n * 4}
+
+.text
+main:
+    const r0, {n * n}
+{fill_words("ma", "r0", 11111)}
+    const r0, {n * n}
+{fill_words("mb", "r0", 22222, label="fillb")}
+    movi r1, 0              ; checksum
+    movi r11, 0             ; repeat
+rep:
+    movi r2, 0              ; i
+iloop:
+    movi r3, 0              ; j
+jloop:
+    movi r4, 0              ; k
+    movi r5, 0              ; acc
+    ; &A[i][0]
+    mov r6, r2
+    muli r6, r6, {n * 4}
+    const r7, ma
+    lea3 r6, r7, r6
+    ; &B[0][j]
+    mov r7, r3
+    shli r7, r7, 2
+    const r8, mb
+    lea3 r7, r8, r7
+kloop:
+    ; unrolled by 4: one large FP block
+    ld r8, r6, 0
+    ld r9, r7, 0
+    fmul r8, r8, r9
+    fadd r5, r5, r8
+    ld r8, r6, 4
+    ld r9, r7, {n * 4}
+    fmul r8, r8, r9
+    fadd r5, r5, r8
+    ld r8, r6, 8
+    ld r9, r7, {2 * n * 4}
+    fmul r8, r8, r9
+    fadd r5, r5, r8
+    ld r8, r6, 12
+    ld r9, r7, {3 * n * 4}
+    fmul r8, r8, r9
+    fadd r5, r5, r8
+    lea r6, r6, 16
+    lea r7, r7, {4 * n * 4}
+    addi r4, r4, 4
+    cmpi r4, {n - n % 4}
+    jl kloop
+    ; store C[i][j], fold checksum
+    mov r8, r2
+    muli r8, r8, {n * 4}
+    mov r9, r3
+    shli r9, r9, 2
+    add r8, r8, r9
+    const r9, mc
+    lea3 r8, r9, r8
+    st r5, r8, 0
+    fadd r1, r1, r5
+    addi r3, r3, 1
+    cmpi r3, {n}
+    jl jloop
+    addi r2, r2, 1
+    cmpi r2, {n}
+    jl iloop
+    addi r11, r11, 1
+    cmpi r11, {repeats}
+    jl rep
+""" + emit_and_exit()
+
+
+def transform4(vertices: int = 300) -> str:
+    """4x4 matrix x vec4 transform, fully unrolled (mesa flavour):
+    one enormous basic block per vertex."""
+    rows = []
+    for row in range(4):
+        terms = []
+        for col in range(4):
+            coeff = (row * 4 + col) * 3 + 1
+            accumulate = ("mov r9, r8" if col == 0
+                          else "fadd r9, r9, r8")
+            terms.append(f"""
+    const r8, {coeff}
+    fmul r8, r8, r{2 + col}
+    {accumulate}""")
+        rows.append("".join(terms) + f"""
+    fadd r1, r1, r9
+    st r9, r7, {row * 4}""")
+    body = "".join(rows)
+    return header() + f"""
+.data
+out:    .space 16
+
+.text
+main:
+    movi r1, 0              ; checksum
+    movi r10, 0             ; vertex
+    const r7, out
+vloop:
+    ; synthesize vertex coordinates from the index
+    mov r2, r10
+    muli r2, r2, 7
+    addi r2, r2, 1
+    mov r3, r10
+    muli r3, r3, 11
+    addi r3, r3, 2
+    mov r4, r10
+    muli r4, r4, 13
+    addi r4, r4, 3
+    movi r5, 1
+{body}
+    addi r10, r10, 1
+    cmpi r10, {vertices}
+    jl vloop
+""" + emit_and_exit()
+
+
+def gauss_step(n: int = 28, repeats: int = 3) -> str:
+    """One elimination sweep over an n x n matrix (galgel flavour)."""
+    return header() + f"""
+.data
+m:      .space {n * n * 4}
+
+.text
+main:
+    movi r1, 0
+    movi r11, 0
+rep:
+    const r0, {n * n}
+{fill_words("m", "r0", 33333)}
+    ; eliminate column 0 using row 0
+    const r0, m
+    movi r2, 1              ; row i
+eliminate:
+    ; factor = M[i][0] (scaled)
+    mov r3, r2
+    muli r3, r3, {n * 4}
+    lea3 r3, r0, r3         ; &M[i][0]
+    ld r4, r3, 0
+    shri r4, r4, 16         ; keep factors small
+    ori r4, r4, 1
+    movi r5, 0              ; column j
+col:
+    ; M[i][j] -= factor * M[0][j], unrolled by 2
+    mov r6, r5
+    shli r6, r6, 2
+    lea3 r7, r0, r6         ; &M[0][j]
+    lea3 r8, r3, r6         ; &M[i][j]
+    ld r9, r7, 0
+    fmul r9, r9, r4
+    ld r10, r8, 0
+    fsub r10, r10, r9
+    st r10, r8, 0
+    fadd r1, r1, r10
+    ld r9, r7, 4
+    fmul r9, r9, r4
+    ld r10, r8, 4
+    fsub r10, r10, r9
+    st r10, r8, 4
+    fadd r1, r1, r10
+    addi r5, r5, 2
+    cmpi r5, {n - n % 2}
+    jl col
+    addi r2, r2, 1
+    cmpi r2, {n}
+    jl eliminate
+    addi r11, r11, 1
+    cmpi r11, {repeats}
+    jl rep
+""" + emit_and_exit()

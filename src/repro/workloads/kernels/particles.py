@@ -1,0 +1,230 @@
+"""Particle/physics FP kernels (188.ammp / 191.fma3d / 200.sixtrack /
+183.equake / 189.lucas stand-ins): pairwise force accumulation, element
+updates, particle tracking, sparse matrix-vector product, and a
+butterfly mixing pass.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import emit_and_exit, fill_words, header
+
+
+def nbody_forces(particles: int = 24, steps: int = 4) -> str:
+    """O(n^2) pairwise force accumulation with a big unrolled body."""
+    return header() + f"""
+.data
+px:     .space {particles * 4}
+pv:     .space {particles * 4}
+
+.text
+main:
+    const r0, {particles}
+{fill_words("px", "r0", 44444)}
+    movi r1, 0              ; checksum
+    movi r11, 0             ; step
+step:
+    const r0, px
+    const r10, pv
+    movi r2, 0              ; i
+iloop:
+    mov r4, r2
+    shli r4, r4, 2
+    lea3 r4, r0, r4
+    ld r5, r4, 0            ; x_i
+    movi r6, 0              ; force acc
+    movi r3, 0              ; j
+jloop:
+    cmp r3, r2
+    jz jnext
+    mov r7, r3
+    shli r7, r7, 2
+    lea3 r7, r0, r7
+    ld r8, r7, 0            ; x_j
+    fsub r9, r8, r5         ; dx
+    mov r12, r9
+    shri r12, r12, 16
+    ori r12, r12, 1         ; softened |dx| proxy, never 0
+    fmul r13, r9, r9
+    fdiv r13, r13, r12      ; dx^2 / |dx|
+    fadd r6, r6, r13
+jnext:
+    addi r3, r3, 1
+    cmpi r3, {particles}
+    jl jloop
+    ; integrate velocity and fold
+    mov r7, r2
+    shli r7, r7, 2
+    lea3 r7, r10, r7
+    ld r8, r7, 0
+    fadd r8, r8, r6
+    st r8, r7, 0
+    fadd r1, r1, r8
+    addi r2, r2, 1
+    cmpi r2, {particles}
+    jl iloop
+    addi r11, r11, 1
+    cmpi r11, {steps}
+    jl step
+""" + emit_and_exit()
+
+
+def particle_track(particles: int = 40, turns: int = 25) -> str:
+    """Sixtrack flavour: per-turn phase-space map, fully unrolled body."""
+    return header() + f"""
+.data
+state:  .space {particles * 8}
+
+.text
+main:
+    const r0, {particles * 2}
+{fill_words("state", "r0", 55555)}
+    movi r1, 0
+    movi r11, 0             ; turn
+turn:
+    const r0, state
+    movi r2, 0              ; particle
+ploop:
+    mov r3, r2
+    shli r3, r3, 3
+    lea3 r3, r0, r3
+    ld r4, r3, 0            ; x
+    ld r5, r3, 4            ; p
+    ; one-turn map: x' = x + p/4 + x*p>>20 ; p' = p - x/8 + 3
+    mov r6, r5
+    shri r6, r6, 2
+    fadd r4, r4, r6
+    fmul r7, r4, r5
+    mov r8, r7
+    shri r8, r8, 20
+    fadd r4, r4, r8
+    mov r6, r4
+    shri r6, r6, 3
+    fsub r5, r5, r6
+    const r6, 3
+    fadd r5, r5, r6
+    st r4, r3, 0
+    st r5, r3, 4
+    fadd r1, r1, r4
+    fmul r9, r4, r5
+    fadd r1, r1, r9
+    addi r2, r2, 1
+    cmpi r2, {particles}
+    jl ploop
+    addi r11, r11, 1
+    cmpi r11, {turns}
+    jl turn
+""" + emit_and_exit()
+
+
+def spmv(rows: int = 48, nnz_per_row: int = 6, repeats: int = 6) -> str:
+    """Sparse matrix-vector product with synthetic column pattern
+    (equake flavour): col(i,k) = (i*3 + k*k) % rows."""
+    return header() + f"""
+.data
+vin:    .space {rows * 4}
+vout:   .space {rows * 4}
+
+.text
+main:
+    const r0, {rows}
+{fill_words("vin", "r0", 66666)}
+    movi r1, 0
+    movi r11, 0
+rep:
+    const r0, vin
+    const r10, vout
+    movi r2, 0              ; row i
+iloop:
+    movi r5, 0              ; acc
+    movi r3, 0              ; k
+kloop:
+    ; col = (i*3 + k*k) % rows ; a = (i + k*7 + 1)
+    mov r6, r2
+    muli r6, r6, 3
+    mov r7, r3
+    mul r7, r7, r7
+    add r6, r6, r7
+    const r7, {rows}
+    mod r6, r6, r7
+    shli r6, r6, 2
+    lea3 r6, r0, r6
+    ld r8, r6, 0            ; vin[col]
+    mov r9, r3
+    muli r9, r9, 7
+    add r9, r9, r2
+    addi r9, r9, 1
+    fmul r8, r8, r9
+    fadd r5, r5, r8
+    addi r3, r3, 1
+    cmpi r3, {nnz_per_row}
+    jl kloop
+    mov r6, r2
+    shli r6, r6, 2
+    lea3 r6, r10, r6
+    st r5, r6, 0
+    fadd r1, r1, r5
+    addi r2, r2, 1
+    cmpi r2, {rows}
+    jl iloop
+    addi r11, r11, 1
+    cmpi r11, {repeats}
+    jl rep
+""" + emit_and_exit()
+
+
+def butterfly(size_log2: int = 8, repeats: int = 3) -> str:
+    """FFT-butterfly-shaped mixing passes (lucas flavour)."""
+    size = 1 << size_log2
+    return header() + f"""
+.data
+buf:    .space {size * 4}
+
+.text
+main:
+    const r0, {size}
+{fill_words("buf", "r0", 77777)}
+    movi r1, 0
+    movi r11, 0
+rep:
+    const r0, buf
+    movi r2, 1              ; stride
+stage:
+    movi r3, 0              ; i
+pair:
+    ; partner = i + stride; butterfly on (buf[i], buf[partner])
+    mov r4, r3
+    shli r4, r4, 2
+    lea3 r4, r0, r4
+    mov r5, r2
+    shli r5, r5, 2
+    lea3 r5, r4, r5
+    ld r6, r4, 0
+    ld r7, r5, 0
+    fadd r8, r6, r7
+    fsub r9, r6, r7
+    ; twiddle: scale the difference by (stride + 3)
+    mov r10, r2
+    addi r10, r10, 3
+    fmul r9, r9, r10
+    st r8, r4, 0
+    st r9, r5, 0
+    fadd r1, r1, r8
+    ; advance i: skip partner ranges like a real butterfly
+    addi r3, r3, 1
+    mov r6, r3
+    and r6, r6, r2
+    cmpi r6, 0
+    jz pair_check
+    add r3, r3, r2
+pair_check:
+    const r6, {size}
+    sub r6, r6, r2
+    cmp r3, r6
+    jl pair
+    shli r2, r2, 1
+    cmpi r2, {size // 2 + 1}
+    jl stage
+    addi r11, r11, 1
+    cmpi r11, {repeats}
+    jl rep
+""" + emit_and_exit()

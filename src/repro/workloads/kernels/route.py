@@ -1,0 +1,185 @@
+"""Placement/routing-flavoured integer kernels (175.vpr / 300.twolf
+stand-ins): a grid cost walk and a simulated-annealing-style swap loop.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import emit_and_exit, header
+
+
+def grid_route(width: int = 16, height: int = 16, routes: int = 40) -> str:
+    """Greedy cost-directed walks across a synthetic cost grid."""
+    cells = width * height
+    return header() + f"""
+.data
+grid:   .space {cells * 4}
+
+.text
+main:
+    ; build cost grid: cost(x,y) = ((x*13 + y*7) % 23) + 1
+    const r0, grid
+    movi r2, 0              ; y
+gy:
+    movi r3, 0              ; x
+gx:
+    mov r4, r3
+    muli r4, r4, 13
+    mov r5, r2
+    muli r5, r5, 7
+    add r4, r4, r5
+    movi r5, 23
+    mod r4, r4, r5
+    addi r4, r4, 1
+    ; store at grid[(y*W + x)*4]
+    mov r5, r2
+    muli r5, r5, {width}
+    add r5, r5, r3
+    shli r5, r5, 2
+    lea3 r5, r0, r5
+    st r4, r5, 0
+    addi r3, r3, 1
+    cmpi r3, {width}
+    jl gx
+    addi r2, r2, 1
+    cmpi r2, {height}
+    jl gy
+
+    movi r1, 0              ; checksum (total route cost)
+    movi r9, 0              ; route counter
+route_loop:
+    ; walk from (route % W, 0) to bottom, greedily stepping to the
+    ; cheaper of (x-1,y+1), (x,y+1), (x+1,y+1)
+    mov r3, r9
+    movi r5, {width}
+    mod r3, r3, r5          ; x
+    movi r2, 0              ; y
+step:
+    ; cost of straight-down candidate
+    mov r5, r2
+    addi r5, r5, 1
+    cmpi r5, {height}
+    jge route_done
+    ; base index of row y+1
+    mov r6, r5
+    muli r6, r6, {width}
+    ; straight
+    add r7, r6, r3
+    shli r7, r7, 2
+    lea3 r7, r0, r7
+    ld r8, r7, 0            ; cost straight
+    movi r10, 0             ; best dx = 0
+    ; left candidate
+    cmpi r3, 0
+    jz try_right
+    mov r7, r6
+    add r7, r7, r3
+    subi r7, r7, 1
+    shli r7, r7, 2
+    lea3 r7, r0, r7
+    ld r11, r7, 0
+    cmp r11, r8
+    jae try_right
+    mov r8, r11
+    movi r10, -1
+try_right:
+    cmpi r3, {width - 1}
+    jge chose
+    mov r7, r6
+    add r7, r7, r3
+    addi r7, r7, 1
+    shli r7, r7, 2
+    lea3 r7, r0, r7
+    ld r11, r7, 0
+    cmp r11, r8
+    jae chose
+    mov r8, r11
+    movi r10, 1
+chose:
+    add r1, r1, r8
+    add r3, r3, r10
+    addi r2, r2, 1
+    jmp step
+route_done:
+    muli r1, r1, 5
+    addi r9, r9, 1
+    cmpi r9, {routes}
+    jl route_loop
+""" + emit_and_exit()
+
+
+def anneal(cells: int = 128, moves: int = 800) -> str:
+    """Annealing-style swap/accept loop over a placement array."""
+    return header() + f"""
+.data
+place:  .space {cells * 4}
+
+.text
+main:
+    ; initial placement: place[i] = (i * 37) % cells
+    const r0, place
+    movi r2, 0
+init:
+    mov r3, r2
+    muli r3, r3, 37
+    movi r4, {cells}
+    mod r3, r3, r4
+    mov r4, r2
+    shli r4, r4, 2
+    lea3 r4, r0, r4
+    st r3, r4, 0
+    addi r2, r2, 1
+    cmpi r2, {cells}
+    jl init
+
+    movi r1, 0              ; accepted-move checksum
+    const r10, 777          ; LCG
+    movi r9, 0              ; move counter
+move_loop:
+    ; pick two pseudo-random slots a, b
+    const r13, 1664525
+    mul r10, r10, r13
+    const r13, 1013904223
+    add r10, r10, r13
+    mov r2, r10
+    shri r2, r2, 8
+    movi r4, {cells}
+    mod r2, r2, r4          ; a
+    mov r3, r10
+    shri r3, r3, 16
+    mod r3, r3, r4          ; b
+    ; cost delta heuristic: accept when (place[a]^place[b]) & 3 != 3
+    mov r5, r2
+    shli r5, r5, 2
+    lea3 r5, r0, r5
+    ld r6, r5, 0
+    mov r7, r3
+    shli r7, r7, 2
+    lea3 r7, r0, r7
+    ld r8, r7, 0
+    mov r11, r6
+    xor r11, r11, r8
+    andi r11, r11, 3
+    cmpi r11, 3
+    jz rejected
+    ; swap
+    st r8, r5, 0
+    st r6, r7, 0
+    add r1, r1, r11
+    muli r1, r1, 9
+rejected:
+    addi r9, r9, 1
+    cmpi r9, {moves}
+    jl move_loop
+
+    ; fold placement into checksum
+    movi r2, 0
+fold:
+    mov r4, r2
+    shli r4, r4, 2
+    lea3 r4, r0, r4
+    ld r5, r4, 0
+    add r1, r1, r5
+    addi r2, r2, 1
+    cmpi r2, {cells}
+    jl fold
+""" + emit_and_exit()

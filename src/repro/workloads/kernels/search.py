@@ -1,0 +1,162 @@
+"""Search-flavoured integer kernels (186.crafty / 252.eon / 254.gap
+stand-ins): recursive negamax over a synthetic game, fixed-point ray
+stepping, and modular-arithmetic group operations.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import emit_and_exit, header
+
+
+def negamax(depth: int = 7, branching: int = 3) -> str:
+    """Recursive negamax with call/ret recursion and branchy leaf
+    evaluation — heavy RET-policy check traffic."""
+    return header() + f"""
+.text
+main:
+    movi r1, 0              ; position seed
+    movi r2, {depth}        ; depth
+    call search
+    mov r1, r0
+""" + emit_and_exit() + f"""
+
+; r0 = negamax(position r1, depth r2); clobbers r3..r8
+search:
+    cmpi r2, 0
+    jnz descend
+    ; leaf evaluation: mix the position
+    mov r0, r1
+    const r3, 2654435
+    mul r0, r0, r3
+    mov r3, r0
+    shri r3, r3, 13
+    xor r0, r0, r3
+    andi r0, r0, 1023
+    ret
+descend:
+    push r1
+    push r2
+    movi r7, 0              ; best = 0 (scores are 0..1023)
+    movi r8, 0              ; move index
+moves:
+    ; child position = parent * 31 + move*7 + depth
+    ld r1, sp, 4            ; parent position
+    muli r1, r1, 31
+    mov r3, r8
+    muli r3, r3, 7
+    add r1, r1, r3
+    ld r2, sp, 0            ; depth
+    add r1, r1, r2
+    subi r2, r2, 1
+    push r7
+    push r8
+    call search
+    pop r8
+    pop r7
+    ; negamax fold: score = 1024 - child
+    const r3, 1024
+    sub r3, r3, r0
+    cmp r3, r7
+    jle skip_best
+    mov r7, r3
+skip_best:
+    addi r8, r8, 1
+    cmpi r8, {branching}
+    jl moves
+    mov r0, r7
+    pop r2
+    pop r1
+    ret
+"""
+
+
+def fixed_ray(rays: int = 60, max_steps: int = 40) -> str:
+    """Fixed-point (16.16) ray stepping against sphere-ish bounds."""
+    return header() + f"""
+.text
+main:
+    movi r1, 0              ; checksum
+    movi r9, 0              ; ray index
+ray_loop:
+    ; direction from ray index (fixed-point)
+    mov r2, r9
+    muli r2, r2, 1103
+    andi r2, r2, 0xFFF
+    addi r2, r2, 16         ; dx
+    mov r3, r9
+    muli r3, r3, 2017
+    andi r3, r3, 0xFFF
+    addi r3, r3, 16         ; dy
+    movi r4, 0              ; x
+    movi r5, 0              ; y
+    movi r6, 0              ; step
+step:
+    add r4, r4, r2
+    add r5, r5, r3
+    ; hit test: (x>>8)^2 + (y>>8)^2 >= R^2 ?
+    mov r7, r4
+    shri r7, r7, 8
+    mul r7, r7, r7
+    mov r8, r5
+    shri r8, r8, 8
+    mul r8, r8, r8
+    add r7, r7, r8
+    const r8, 90000
+    cmp r7, r8
+    jae hit
+    addi r6, r6, 1
+    cmpi r6, {max_steps}
+    jl step
+hit:
+    add r1, r1, r6
+    muli r1, r1, 19
+    add r1, r1, r7
+    addi r9, r9, 1
+    cmpi r9, {rays}
+    jl ray_loop
+""" + emit_and_exit()
+
+
+def modmath(iterations: int = 300) -> str:
+    """Modular exponentiation chains (group-theory flavour).
+
+    Division-heavy (mod), intra-procedural, call-free — also suitable
+    for the whole-CFG static techniques.
+    """
+    return header() + f"""
+.text
+main:
+    movi r1, 0              ; checksum
+    const r6, 65521         ; prime modulus
+    movi r9, 0              ; iteration
+iter:
+    ; base = (iteration * 131) % p, exponent = (iteration % 13) + 2
+    mov r2, r9
+    muli r2, r2, 131
+    mod r2, r2, r6          ; base
+    mov r3, r9
+    movi r4, 13
+    mod r3, r3, r4
+    addi r3, r3, 2          ; exponent
+    movi r0, 1              ; result
+powloop:
+    cmpi r3, 0
+    jz powdone
+    mov r5, r3
+    andi r5, r5, 1
+    cmpi r5, 0
+    jz square
+    mul r0, r0, r2
+    mod r0, r0, r6
+square:
+    mul r2, r2, r2
+    mod r2, r2, r6
+    shri r3, r3, 1
+    jmp powloop
+powdone:
+    add r1, r1, r0
+    muli r1, r1, 3
+    addi r9, r9, 1
+    cmpi r9, {iterations}
+    jl iter
+""" + emit_and_exit()

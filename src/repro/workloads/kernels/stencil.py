@@ -1,0 +1,180 @@
+"""Stencil-flavoured FP kernels (171.swim / 172.mgrid / 173.applu /
+301.apsi stand-ins): 1-D/2-D relaxation sweeps with unrolled,
+FP-heavy loop bodies.
+
+Structural profile: *large basic blocks* and expensive fadd/fmul
+instructions — the SPEC-Fp shape.  Per the paper, both properties
+shrink relative checking overhead (fewer block boundaries per cycle)
+and shift the branch-error mass from category D to category C
+(bigger blocks ⇒ more "middle" to land in).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import emit_and_exit, fill_words, header
+
+
+def stencil1d(points: int = 256, sweeps: int = 6, unroll: int = 4) -> str:
+    """Unrolled 3-point relaxation: a[i] = (a[i-1] + 2a[i] + a[i+1])."""
+    body = []
+    for u in range(unroll):
+        offset = u * 4
+        body.append(f"""
+    ld r4, r3, {offset - 4}
+    ld r5, r3, {offset}
+    ld r6, r3, {offset + 4}
+    fadd r7, r4, r6
+    fadd r7, r7, r5
+    fadd r7, r7, r5
+    mov r8, r7
+    shri r8, r8, 2
+    st r8, r3, {offset}
+    fmul r9, r8, r5
+    fadd r1, r1, r9""")
+    unrolled = "".join(body)
+    return header() + f"""
+.data
+a:      .space {(points + 2 * unroll) * 4}
+
+.text
+main:
+    const r0, {points}
+{fill_words("a", "r0", 314159)}
+    movi r1, 0              ; checksum
+    movi r10, 0             ; sweep
+sweep:
+    const r3, a+4
+    movi r2, 0              ; i
+row:
+{unrolled}
+    lea r3, r3, {unroll * 4}
+    addi r2, r2, {unroll}
+    cmpi r2, {points - unroll}
+    jl row
+    addi r10, r10, 1
+    cmpi r10, {sweeps}
+    jl sweep
+""" + emit_and_exit()
+
+
+def stencil2d(width: int = 24, height: int = 24, sweeps: int = 3) -> str:
+    """5-point 2-D stencil with an unrolled-by-2 inner loop."""
+    row_bytes = width * 4
+    return header() + f"""
+.data
+g:      .space {width * height * 4}
+
+.text
+main:
+    const r0, {width * height}
+{fill_words("g", "r0", 271828)}
+    movi r1, 0              ; checksum
+    movi r10, 0             ; sweep
+sweep:
+    movi r2, 1              ; y
+yloop:
+    ; r3 = &g[y][1]
+    mov r3, r2
+    muli r3, r3, {row_bytes}
+    const r4, g+4
+    lea3 r3, r4, r3
+    movi r5, 1              ; x
+xloop:
+    ; two stencil points per iteration: one big block
+    ld r4, r3, 0
+    ld r6, r3, -4
+    ld r7, r3, 4
+    ld r8, r3, {-row_bytes}
+    ld r9, r3, {row_bytes}
+    fadd r6, r6, r7
+    fadd r8, r8, r9
+    fadd r6, r6, r8
+    fadd r6, r6, r4
+    mov r7, r6
+    shri r7, r7, 2
+    st r7, r3, 0
+    fmul r9, r7, r4
+    fadd r1, r1, r9
+    ld r4, r3, 4
+    ld r6, r3, 0
+    ld r7, r3, 8
+    ld r8, r3, {4 - row_bytes}
+    ld r9, r3, {4 + row_bytes}
+    fadd r6, r6, r7
+    fadd r8, r8, r9
+    fadd r6, r6, r8
+    fadd r6, r6, r4
+    mov r7, r6
+    shri r7, r7, 2
+    st r7, r3, 4
+    fmul r9, r7, r4
+    fadd r1, r1, r9
+    lea r3, r3, 8
+    addi r5, r5, 2
+    cmpi r5, {width - 1}
+    jl xloop
+    addi r2, r2, 1
+    cmpi r2, {height - 1}
+    jl yloop
+    addi r10, r10, 1
+    cmpi r10, {sweeps}
+    jl sweep
+""" + emit_and_exit()
+
+
+def trisolve(size: int = 48, systems: int = 8) -> str:
+    """Forward substitution on a synthetic lower-triangular system
+    (173.applu flavour): growing inner dot-product blocks."""
+    return header() + f"""
+.data
+x:      .space {size * 4}
+
+.text
+main:
+    movi r1, 0              ; checksum
+    movi r11, 0             ; system counter
+system:
+    const r0, x
+    movi r2, 0              ; row i
+row:
+    ; b_i = (i * 1009 + system * 37), fixed "matrix" A[i][j] = (i+2j+1)
+    mov r3, r2
+    muli r3, r3, 1009
+    mov r4, r11
+    muli r4, r4, 37
+    add r3, r3, r4          ; acc = b_i
+    movi r5, 0              ; j
+dot:
+    cmp r5, r2
+    jge solved
+    ; acc -= A(i,j) * x[j], two j per iteration when possible
+    mov r6, r5
+    shli r6, r6, 1
+    add r6, r6, r2
+    addi r6, r6, 1          ; A(i,j)
+    mov r7, r5
+    shli r7, r7, 2
+    lea3 r7, r0, r7
+    ld r8, r7, 0
+    fmul r6, r6, r8
+    fsub r3, r3, r6
+    addi r5, r5, 1
+    jmp dot
+solved:
+    ; x[i] = acc / (A(i,i) which is 3i+1)
+    mov r6, r2
+    muli r6, r6, 3
+    addi r6, r6, 1
+    fdiv r3, r3, r6
+    mov r7, r2
+    shli r7, r7, 2
+    lea3 r7, r0, r7
+    st r3, r7, 0
+    fadd r1, r1, r3
+    addi r2, r2, 1
+    cmpi r2, {size}
+    jl row
+    addi r11, r11, 1
+    cmpi r11, {systems}
+    jl system
+""" + emit_and_exit()

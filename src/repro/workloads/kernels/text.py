@@ -1,0 +1,148 @@
+"""Text-processing integer kernels (197.parser / 253.perlbmk
+stand-ins): a character-class tokenizer and a backtracking substring
+matcher.
+
+Both are intra-procedural and call-free — the designated workloads for
+the whole-CFG static techniques (CFCSS, ECCA), which cannot handle
+dynamic branch targets.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import emit_and_exit, header
+
+
+def _synth_text(length: int) -> str:
+    """Deterministic text with words, digits, and punctuation."""
+    words = ["soft", "error", "branch", "check", "signature", "region",
+             "edge", "block", "42", "2006", "cfc;", "dbt,", "x86."]
+    out = []
+    total = 0
+    index = 0
+    while total < length:
+        word = words[index % len(words)]
+        out.append(word)
+        total += len(word) + 1
+        index += 3
+    return " ".join(out)[:length]
+
+
+def tokenizer(text_length: int = 1024, passes: int = 1) -> str:
+    """Classify characters and count token transitions."""
+    text = _synth_text(text_length)
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return header() + f"""
+.data
+text:   .asciz "{escaped}"
+
+.text
+main:
+    movi r1, 0              ; checksum
+    movi r9, 0              ; pass
+pass_loop:
+    const r2, text
+    movi r3, 0              ; index
+    movi r4, 0              ; previous class
+scan:
+    lea3 r5, r2, r3
+    ldb r6, r5, 0
+    cmpi r6, 0
+    jz end_scan
+    ; classify: 1=alpha, 2=digit, 3=space, 4=other
+    cmpi r6, 97             ; 'a'
+    jl not_lower
+    cmpi r6, 123
+    jge not_lower
+    movi r7, 1
+    jmp classified
+not_lower:
+    cmpi r6, 48             ; '0'
+    jl not_digit
+    cmpi r6, 58
+    jge not_digit
+    movi r7, 2
+    jmp classified
+not_digit:
+    cmpi r6, 32             ; ' '
+    jnz other_char
+    movi r7, 3
+    jmp classified
+other_char:
+    movi r7, 4
+classified:
+    ; count class transitions, weight by class
+    cmp r7, r4
+    jz same_class
+    add r1, r1, r7
+    muli r1, r1, 11
+same_class:
+    mov r4, r7
+    addi r3, r3, 1
+    jmp scan
+end_scan:
+    addi r9, r9, 1
+    cmpi r9, {passes}
+    jl pass_loop
+""" + emit_and_exit()
+
+
+def matcher(text_length: int = 512, passes: int = 1) -> str:
+    """Naive substring search with backtracking for several needles."""
+    text = _synth_text(text_length)
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return header() + f"""
+.data
+text:    .asciz "{escaped}"
+needles: .asciz "error"
+n2:      .asciz "signature"
+n3:      .asciz "xyzzy"
+.align 4
+nptrs:   .word needles, n2, n3
+
+.text
+main:
+    movi r1, 0              ; match count / checksum
+    movi r12, 0             ; pass
+pass_loop:
+    movi r11, 0             ; needle index
+needle_loop:
+    const r2, nptrs
+    mov r3, r11
+    shli r3, r3, 2
+    lea3 r3, r2, r3
+    ld r4, r3, 0            ; needle pointer
+    const r5, text
+    movi r6, 0              ; text index
+outer:
+    lea3 r7, r5, r6
+    ldb r8, r7, 0
+    cmpi r8, 0
+    jz next_needle
+    ; try match at r6
+    movi r9, 0              ; needle offset
+try:
+    lea3 r10, r4, r9
+    ldb r0, r10, 0
+    cmpi r0, 0
+    jz matched
+    lea3 r7, r5, r6
+    lea3 r7, r7, r9
+    ldb r8, r7, 0
+    cmp r8, r0
+    jnz mismatch
+    addi r9, r9, 1
+    jmp try
+matched:
+    addi r1, r1, 1
+    muli r1, r1, 3
+mismatch:
+    addi r6, r6, 1
+    jmp outer
+next_needle:
+    addi r11, r11, 1
+    cmpi r11, 3
+    jl needle_loop
+    addi r12, r12, 1
+    cmpi r12, {passes}
+    jl pass_loop
+""" + emit_and_exit()

@@ -1,0 +1,178 @@
+"""Interpreter-flavoured integer kernel (the 176.gcc / 253.perlbmk
+family): a little stack-machine bytecode interpreter.
+
+Two dispatch flavours:
+
+* ``stack_vm(jump_table=True)`` — indirect dispatch through a table of
+  code addresses (``jmpr``).  This is the kernel that stresses the
+  DBT's indirect-branch path; it cannot be statically rewritten.
+* ``stack_vm(jump_table=False)`` — cascaded compare-and-branch
+  dispatch, statically rewritable, extremely branchy.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import emit_and_exit, header
+
+# Bytecode: one opcode per word, immediates inline.
+OP_PUSHI, OP_ADD, OP_SUB, OP_MUL, OP_DUP, OP_SWAP, OP_JNZB, OP_OUT, \
+    OP_HALT = range(9)
+
+
+def _demo_bytecode(loop_count: int) -> list[int]:
+    """A program computing an iterated polynomial mix: roughly
+    ``acc = acc*3 + i`` folded ``loop_count`` times, emitting per-step
+    values the checksum folds."""
+    return [
+        OP_PUSHI, 1,              # acc
+        OP_PUSHI, loop_count,     # counter
+        # loop:                   (pc 4)
+        OP_SWAP,
+        OP_DUP,
+        OP_PUSHI, 3,
+        OP_MUL,
+        OP_ADD,                   # acc = acc + acc*3  (keeps growing)
+        OP_PUSHI, 7,
+        OP_ADD,
+        OP_OUT,                   # fold current acc
+        OP_SWAP,
+        OP_PUSHI, 1,
+        OP_SUB,
+        OP_DUP,
+        OP_JNZB, 4,               # jump back to loop while counter != 0
+        OP_HALT,
+    ]
+
+
+def stack_vm(loop_count: int = 400, jump_table: bool = True) -> str:
+    code = _demo_bytecode(loop_count)
+    words = ", ".join(str(w) for w in code)
+    dispatch = _table_dispatch() if jump_table else _cascade_dispatch()
+    return header() + f"""
+.data
+bytecode:   .word {words}
+vmstack:    .space 512
+.align 4
+table:      .word op_pushi, op_add, op_sub, op_mul, op_dup, op_swap, op_jnzb, op_out, op_halt
+
+.text
+main:
+    movi r1, 0              ; checksum
+    const r2, bytecode      ; code base
+    movi r3, 0              ; vm pc (word index)
+    const r4, vmstack
+    movi r5, 0              ; stack depth (words)
+fetch:
+    mov r6, r3
+    shli r6, r6, 2
+    lea3 r6, r2, r6
+    ld r7, r6, 0            ; opcode
+    addi r3, r3, 1
+{dispatch}
+op_pushi:
+    mov r6, r3
+    shli r6, r6, 2
+    lea3 r6, r2, r6
+    ld r8, r6, 0
+    addi r3, r3, 1
+    mov r6, r5
+    shli r6, r6, 2
+    lea3 r6, r4, r6
+    st r8, r6, 0
+    addi r5, r5, 1
+    jmp fetch
+op_add:
+    subi r5, r5, 1
+    mov r6, r5
+    shli r6, r6, 2
+    lea3 r6, r4, r6
+    ld r8, r6, 0
+    ld r9, r6, -4
+    add r9, r9, r8
+    st r9, r6, -4
+    jmp fetch
+op_sub:
+    subi r5, r5, 1
+    mov r6, r5
+    shli r6, r6, 2
+    lea3 r6, r4, r6
+    ld r8, r6, 0
+    ld r9, r6, -4
+    sub r9, r9, r8
+    st r9, r6, -4
+    jmp fetch
+op_mul:
+    subi r5, r5, 1
+    mov r6, r5
+    shli r6, r6, 2
+    lea3 r6, r4, r6
+    ld r8, r6, 0
+    ld r9, r6, -4
+    mul r9, r9, r8
+    st r9, r6, -4
+    jmp fetch
+op_dup:
+    mov r6, r5
+    shli r6, r6, 2
+    lea3 r6, r4, r6
+    ld r8, r6, -4
+    st r8, r6, 0
+    addi r5, r5, 1
+    jmp fetch
+op_swap:
+    mov r6, r5
+    shli r6, r6, 2
+    lea3 r6, r4, r6
+    ld r8, r6, -4
+    ld r9, r6, -8
+    st r8, r6, -8
+    st r9, r6, -4
+    jmp fetch
+op_jnzb:
+    mov r6, r3
+    shli r6, r6, 2
+    lea3 r6, r2, r6
+    ld r8, r6, 0            ; branch target (vm pc)
+    addi r3, r3, 1
+    subi r5, r5, 1
+    mov r6, r5
+    shli r6, r6, 2
+    lea3 r6, r4, r6
+    ld r9, r6, 0
+    cmpi r9, 0
+    jz fetch
+    mov r3, r8
+    jmp fetch
+op_out:
+    mov r6, r5
+    shli r6, r6, 2
+    lea3 r6, r4, r6
+    ld r8, r6, -4
+    add r1, r1, r8
+    muli r1, r1, 17
+    jmp fetch
+op_halt:
+""" + emit_and_exit()
+
+
+def _table_dispatch() -> str:
+    return """
+    ; dispatch: target = table[opcode]
+    const r8, table
+    mov r9, r7
+    shli r9, r9, 2
+    lea3 r9, r8, r9
+    ld r10, r9, 0
+    jmpr r10
+"""
+
+
+def _cascade_dispatch() -> str:
+    lines = ["    ; dispatch: cascaded compares"]
+    names = ["op_pushi", "op_add", "op_sub", "op_mul", "op_dup",
+             "op_swap", "op_jnzb", "op_out", "op_halt"]
+    for number, name in enumerate(names):
+        lines.append(f"    cmpi r7, {number}")
+        lines.append(f"    jz {name}")
+    lines.append("    jmp op_halt        ; unknown opcode: stop")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,186 @@
+"""The benchmark suite: 26 SPEC CPU2000-named synthetic workloads.
+
+Each SPEC2000 program is stood in for by a parameterized kernel whose
+*structural profile* matches what the paper's analysis depends on:
+
+* SPEC-Int analogues: small basic blocks, dense data-dependent
+  branching, integer/byte memory traffic,
+* SPEC-Fp analogues: large (often unrolled) basic blocks dominated by
+  expensive fadd/fmul/fdiv-class instructions.
+
+Three scales are provided: ``test`` (unit tests / fault campaigns),
+``small`` (quick sweeps), ``ref`` (the benchmark harness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.workloads.kernels import (compress, dots, graph, linalg,
+                                     particles, route, search, stencil,
+                                     text, vm)
+
+SCALES = ("test", "small", "ref")
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One suite member."""
+
+    name: str                       #: SPEC2000-style name ("164.gzip")
+    suite: str                      #: "int" or "fp"
+    generator: Callable[..., str]
+    params: dict[str, dict]         #: scale -> generator kwargs
+    uses_indirect: bool = False     #: jmpr/callr (DBT-only)
+    uses_calls: bool = False        #: call/ret present
+
+    @property
+    def static_rewritable(self) -> bool:
+        """Usable with the static rewriter (EdgCF/ECF/RCF)."""
+        return not self.uses_indirect
+
+    @property
+    def whole_cfg_ok(self) -> bool:
+        """Usable with CFCSS/ECCA (intra-procedural, no dynamic exits)."""
+        return not self.uses_indirect and not self.uses_calls
+
+    def source(self, scale: str = "small") -> str:
+        if scale not in self.params:
+            raise KeyError(f"{self.name} has no scale {scale!r}")
+        return self.generator(**self.params[scale])
+
+    def assemble(self, scale: str = "small") -> Program:
+        return assemble(self.source(scale), name=f"{self.name}@{scale}")
+
+
+def _spec(name, suite, generator, test, small, ref, uses_indirect=False,
+          uses_calls=False) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        name=name, suite=suite, generator=generator,
+        params={"test": test, "small": small, "ref": ref},
+        uses_indirect=uses_indirect, uses_calls=uses_calls)
+
+
+SUITE: tuple[BenchmarkSpec, ...] = (
+    # ---- SPEC-Fp 2000 analogues ----
+    _spec("168.wupwise", "fp", linalg.matmul,
+          dict(n=8, repeats=1), dict(n=16, repeats=1),
+          dict(n=20, repeats=2)),
+    _spec("171.swim", "fp", stencil.stencil2d,
+          dict(width=10, height=8, sweeps=1),
+          dict(width=20, height=16, sweeps=2),
+          dict(width=26, height=24, sweeps=4)),
+    _spec("172.mgrid", "fp", stencil.stencil1d,
+          dict(points=64, sweeps=2, unroll=8),
+          dict(points=256, sweeps=5, unroll=8),
+          dict(points=512, sweeps=9, unroll=8)),
+    _spec("173.applu", "fp", stencil.trisolve,
+          dict(size=16, systems=2), dict(size=40, systems=6),
+          dict(size=56, systems=10)),
+    _spec("177.mesa", "fp", linalg.transform4,
+          dict(vertices=40), dict(vertices=250), dict(vertices=700)),
+    _spec("178.galgel", "fp", linalg.gauss_step,
+          dict(n=12, repeats=1), dict(n=24, repeats=3),
+          dict(n=32, repeats=6)),
+    _spec("179.art", "fp", dots.neural_layer,
+          dict(inputs=32, neurons=8, repeats=1),
+          dict(inputs=64, neurons=20, repeats=2),
+          dict(inputs=64, neurons=24, repeats=6)),
+    _spec("183.equake", "fp", particles.spmv,
+          dict(rows=24, nnz_per_row=4, repeats=2),
+          dict(rows=48, nnz_per_row=6, repeats=5),
+          dict(rows=64, nnz_per_row=6, repeats=10)),
+    _spec("187.facerec", "fp", dots.correlate,
+          dict(signal=60, window=9, repeats=1),
+          dict(signal=160, window=12, repeats=2),
+          dict(signal=240, window=12, repeats=5)),
+    _spec("188.ammp", "fp", particles.nbody_forces,
+          dict(particles=12, steps=2), dict(particles=24, steps=4),
+          dict(particles=32, steps=6)),
+    _spec("189.lucas", "fp", particles.butterfly,
+          dict(size_log2=6, repeats=1), dict(size_log2=8, repeats=2),
+          dict(size_log2=9, repeats=4)),
+    _spec("191.fma3d", "fp", particles.particle_track,
+          dict(particles=20, turns=6), dict(particles=40, turns=20),
+          dict(particles=64, turns=40)),
+    _spec("200.sixtrack", "fp", particles.particle_track,
+          dict(particles=12, turns=10), dict(particles=32, turns=30),
+          dict(particles=48, turns=60)),
+    _spec("301.apsi", "fp", stencil.stencil2d,
+          dict(width=8, height=10, sweeps=1),
+          dict(width=16, height=20, sweeps=2),
+          dict(width=22, height=28, sweeps=4)),
+
+    # ---- SPEC-Int 2000 analogues ----
+    _spec("164.gzip", "int", compress.rle_compress,
+          dict(buffer_bytes=256, passes=1),
+          dict(buffer_bytes=1024, passes=2),
+          dict(buffer_bytes=2048, passes=4)),
+    _spec("175.vpr", "int", route.grid_route,
+          dict(width=8, height=8, routes=8),
+          dict(width=16, height=16, routes=30),
+          dict(width=20, height=20, routes=70)),
+    _spec("176.gcc", "int", vm.stack_vm,
+          dict(loop_count=20, jump_table=True),
+          dict(loop_count=150, jump_table=True),
+          dict(loop_count=450, jump_table=True),
+          uses_indirect=True),
+    _spec("181.mcf", "int", graph.edge_relax,
+          dict(nodes=24, rounds=4), dict(nodes=64, rounds=10),
+          dict(nodes=96, rounds=18)),
+    _spec("186.crafty", "int", search.negamax,
+          dict(depth=4, branching=3), dict(depth=6, branching=3),
+          dict(depth=7, branching=3), uses_calls=True),
+    _spec("197.parser", "int", text.tokenizer,
+          dict(text_length=200, passes=1),
+          dict(text_length=900, passes=2),
+          dict(text_length=1400, passes=4)),
+    _spec("252.eon", "int", search.fixed_ray,
+          dict(rays=12, max_steps=20), dict(rays=45, max_steps=40),
+          dict(rays=90, max_steps=50)),
+    _spec("253.perlbmk", "int", text.matcher,
+          dict(text_length=100, passes=1),
+          dict(text_length=380, passes=1),
+          dict(text_length=520, passes=2)),
+    _spec("254.gap", "int", search.modmath,
+          dict(iterations=40), dict(iterations=220),
+          dict(iterations=520)),
+    _spec("255.vortex", "int", graph.hash_table,
+          dict(operations=70, buckets=64),
+          dict(operations=380, buckets=256),
+          dict(operations=800, buckets=256), uses_calls=True),
+    _spec("256.bzip2", "int", compress.shell_sort,
+          dict(elements=48, passes=1), dict(elements=160, passes=2),
+          dict(elements=256, passes=3), uses_calls=True),
+    _spec("300.twolf", "int", route.anneal,
+          dict(cells=32, moves=120), dict(cells=128, moves=600),
+          dict(cells=160, moves=1400)),
+)
+
+BY_NAME: dict[str, BenchmarkSpec] = {spec.name: spec for spec in SUITE}
+
+INT_SUITE: tuple[BenchmarkSpec, ...] = tuple(
+    spec for spec in SUITE if spec.suite == "int")
+FP_SUITE: tuple[BenchmarkSpec, ...] = tuple(
+    spec for spec in SUITE if spec.suite == "fp")
+
+_program_cache: dict[tuple[str, str], Program] = {}
+
+
+def load(name: str, scale: str = "small") -> Program:
+    """Assemble (with caching) a suite benchmark by name."""
+    key = (name, scale)
+    if key not in _program_cache:
+        _program_cache[key] = BY_NAME[name].assemble(scale)
+    return _program_cache[key]
+
+
+def suite_names(suite: str | None = None) -> list[str]:
+    """Names in presentation order (fp first, like the paper's
+    figures)."""
+    if suite is None:
+        return [spec.name for spec in SUITE]
+    return [spec.name for spec in SUITE if spec.suite == suite]

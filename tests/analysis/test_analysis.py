@@ -1,0 +1,106 @@
+"""Analysis layer: table builders and report helpers."""
+
+import pytest
+
+from repro.checking import Policy, UpdateStyle
+from repro.faults import Category, PipelineConfig
+from repro.analysis import (compute_coverage_matrix, config_label,
+                            format_table, geomean, percent, sweep)
+from repro.analysis.probabilities import Figure2
+from repro.faults.model import ErrorModelResult
+from repro.workloads import suite as workload_suite
+
+
+class TestReportHelpers:
+    def test_geomean_basics(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_percent(self):
+        assert percent(0.1234) == "12.34%"
+
+    def test_format_table_aligns(self):
+        table = format_table(["a", "bbbb"], [[1, 2.5], ["xx", 3.0]])
+        lines = table.splitlines()
+        assert "a" in lines[0] and "bbbb" in lines[0]
+        assert "2.500" in table
+
+    def test_format_table_title(self):
+        table = format_table(["x"], [[1]], title="T")
+        assert table.startswith("T\n=")
+
+
+class TestConfigLabels:
+    def test_plain(self):
+        assert config_label("rcf", Policy.ALLBB,
+                            UpdateStyle.JCC) == "rcf"
+
+    def test_with_style_and_policy(self):
+        assert config_label("ecf", Policy.RET, UpdateStyle.CMOV) == \
+            "ecf-cmov-ret"
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def small_sweep(self):
+        return sweep(scale="test", techniques=("edgcf",),
+                     names=["254.gap", "171.swim"])
+
+    def test_native_measured(self, small_sweep):
+        assert small_sweep.native["254.gap"].cycles > 0
+
+    def test_baseline_config_present(self, small_sweep):
+        assert "dbt-base" in small_sweep.configs
+
+    def test_slowdowns_above_one(self, small_sweep):
+        assert small_sweep.slowdown("edgcf", "254.gap") > 1.0
+        assert small_sweep.slowdown("dbt-base", "254.gap") >= 1.0
+
+    def test_vs_dbt_normalization_smaller(self, small_sweep):
+        vs_native = small_sweep.slowdown("edgcf", "254.gap", "native")
+        vs_dbt = small_sweep.slowdown("edgcf", "254.gap", "dbt-base")
+        assert vs_dbt <= vs_native
+
+
+class TestFigure2Builder:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        int_model = ErrorModelResult("int")
+        fp_model = ErrorModelResult("fp")
+        int_model.add(Category.A, True, "flags", 10)
+        int_model.add(Category.E, True, "addr", 30)
+        int_model.add(Category.NO_ERROR, False, "addr", 60)
+        fp_model.add(Category.C, True, "addr", 50)
+        fp_model.add(Category.NO_ERROR, False, "addr", 50)
+        return Figure2(int_model=int_model, fp_model=fp_model)
+
+    def test_rows_have_all_categories(self, figure):
+        rows = figure.rows("int")
+        assert len(rows) == 7
+        assert rows[0][0] == "A"
+        assert rows[-1][0] == "No Error"
+
+    def test_render_mentions_both_suites(self, figure):
+        text = figure.render()
+        assert "SPEC-Int" in text and "SPEC-Fp" in text
+
+    def test_figure3_renormalizes(self, figure):
+        rows = figure.figure3_rows()
+        total_row = rows[-1]
+        assert total_row[0] == "Total"
+        assert total_row[1] == "100.00%"
+
+
+class TestCoverageMatrixBuilder:
+    def test_small_matrix(self):
+        program = workload_suite.load("254.gap", "test")
+        matrix = compute_coverage_matrix(
+            program,
+            configs=(PipelineConfig("dbt", None),
+                     PipelineConfig("dbt", "rcf")),
+            per_category=3, include_cache_level=False)
+        table = matrix.table()
+        assert "dbt/rcf/allbb" in table
+        assert matrix.covered("dbt/rcf/allbb", Category.A)
+        assert not matrix.covered("dbt/none/allbb", Category.A)

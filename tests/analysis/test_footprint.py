@@ -1,0 +1,55 @@
+"""Footprint analysis and ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis import (bar_chart, cache_growth, footprint_table,
+                            static_growth)
+from repro.workloads import load
+
+
+@pytest.fixture(scope="module")
+def parser_program():
+    return load("197.parser", "test")
+
+
+class TestFootprint:
+    def test_static_growth_above_one(self, parser_program):
+        assert static_growth(parser_program, "edgcf") > 1.5
+
+    def test_rcf_biggest(self, parser_program):
+        assert static_growth(parser_program, "rcf") > \
+            static_growth(parser_program, "edgcf")
+
+    def test_policy_shrinks_static_footprint(self, parser_program):
+        from repro.checking import Policy
+        allbb = static_growth(parser_program, "edgcf", Policy.ALLBB)
+        end = static_growth(parser_program, "edgcf", Policy.END)
+        assert end < allbb
+
+    def test_cache_growth_baseline_modest(self, parser_program):
+        assert 1.0 < cache_growth(parser_program, None) < 3.0
+
+    def test_table_rows(self, parser_program):
+        rows = footprint_table(parser_program, techniques=("edgcf",))
+        assert [row.technique for row in rows] == ["none", "edgcf"]
+        assert rows[1].cache_growth > rows[0].cache_growth
+
+
+class TestBarChart:
+    def test_renders_proportionally(self):
+        chart = bar_chart([("a", 1.0), ("b", 2.0)], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_title_and_values(self):
+        chart = bar_chart([("x", 1.5)], title="T", unit="x")
+        assert chart.startswith("T\n")
+        assert "1.500x" in chart
+
+    def test_empty(self):
+        assert bar_chart([]) == ""
+
+    def test_minimum_one_mark(self):
+        chart = bar_chart([("tiny", 0.001), ("big", 100.0)], width=20)
+        assert "#" in chart.splitlines()[0]

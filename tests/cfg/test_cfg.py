@@ -1,0 +1,135 @@
+"""CFG construction and analyses."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import assemble
+from repro.cfg import (ExitKind, back_edges, build_cfg, find_leaders,
+                       immediate_dominators, natural_loops,
+                       reachable_blocks)
+from repro.workloads import generate_program
+
+
+class TestLeaders:
+    def test_entry_is_leader(self, sum_loop):
+        assert sum_loop.entry in find_leaders(sum_loop)
+
+    def test_branch_target_is_leader(self, sum_loop):
+        assert sum_loop.symbols["loop"] in find_leaders(sum_loop)
+
+    def test_post_terminator_is_leader(self, diamond_program):
+        leaders = find_leaders(diamond_program)
+        assert diamond_program.symbols["small"] in leaders
+        assert diamond_program.symbols["join"] in leaders
+
+
+class TestBlocks:
+    def test_partition_covers_text(self, sum_loop):
+        cfg = build_cfg(sum_loop)
+        total = sum(block.size for block in cfg)
+        assert total == sum_loop.instruction_count()
+
+    def test_blocks_disjoint_and_ordered(self, diamond_program):
+        cfg = build_cfg(diamond_program)
+        blocks = cfg.in_order()
+        for first, second in zip(blocks, blocks[1:]):
+            assert first.end <= second.start
+
+    def test_conditional_block_successors(self, diamond_program):
+        cfg = build_cfg(diamond_program)
+        entry = cfg.entry_block
+        assert entry.exit_kind is ExitKind.COND
+        assert len(entry.successors) == 2
+        assert diamond_program.symbols["small"] in entry.successors
+
+    def test_call_block(self, call_program):
+        cfg = build_cfg(call_program)
+        call_blocks = [b for b in cfg if b.exit_kind is ExitKind.CALL]
+        assert len(call_blocks) == 1
+        assert call_blocks[0].successors == [
+            call_program.symbols["square"]]
+
+    def test_ret_block_has_no_static_successors(self, call_program):
+        cfg = build_cfg(call_program)
+        ret_blocks = [b for b in cfg if b.exit_kind is ExitKind.RET]
+        assert ret_blocks and all(not b.successors for b in ret_blocks)
+
+    def test_exit_block(self, sum_loop):
+        cfg = build_cfg(sum_loop)
+        assert len(cfg.exit_blocks()) == 1
+
+    def test_predecessors_linked(self, diamond_program):
+        cfg = build_cfg(diamond_program)
+        join = cfg.block_at(diamond_program.symbols["join"])
+        assert len(join.predecessors) == 2
+
+    def test_block_containing(self, sum_loop):
+        cfg = build_cfg(sum_loop)
+        loop = cfg.block_at(sum_loop.symbols["loop"])
+        middle = loop.start + 4
+        assert cfg.block_containing(middle).start == loop.start
+        assert cfg.block_containing(sum_loop.text_end) is None
+        assert cfg.block_containing(0) is None
+
+    def test_backward_branch_detection(self, sum_loop):
+        cfg = build_cfg(sum_loop)
+        loop = cfg.block_at(sum_loop.symbols["loop"])
+        assert loop.ends_in_backward_branch
+        assert not cfg.entry_block.ends_in_backward_branch
+
+    def test_stats(self, sum_loop):
+        stats = build_cfg(sum_loop).stats()
+        assert stats["blocks"] == len(build_cfg(sum_loop))
+        assert stats["instructions"] == sum_loop.instruction_count()
+
+
+class TestAnalyses:
+    def test_reachability(self, diamond_program):
+        cfg = build_cfg(diamond_program)
+        reachable = reachable_blocks(cfg)
+        assert cfg.entry_block.start in reachable
+        assert diamond_program.symbols["join"] in reachable
+
+    def test_dominators_diamond(self, diamond_program):
+        cfg = build_cfg(diamond_program)
+        idom = immediate_dominators(cfg)
+        join = diamond_program.symbols["join"]
+        # the join's immediate dominator is the branch block (entry)
+        assert idom[join] == cfg.entry_block.start
+
+    def test_back_edges_in_loop(self, sum_loop):
+        cfg = build_cfg(sum_loop)
+        edges = back_edges(cfg)
+        loop_head = sum_loop.symbols["loop"]
+        assert any(target == loop_head for _, target in edges)
+
+    def test_natural_loop_membership(self, sum_loop):
+        cfg = build_cfg(sum_loop)
+        loops = natural_loops(cfg)
+        loop_head = sum_loop.symbols["loop"]
+        assert loop_head in loops
+        assert loop_head in loops[loop_head]
+
+    def test_no_loops_in_diamond(self, diamond_program):
+        assert not natural_loops(build_cfg(diamond_program))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 500))
+def test_cfg_invariants_on_random_programs(seed):
+    """Structural invariants hold for arbitrary generated programs."""
+    program = generate_program(seed, statements=10)
+    cfg = build_cfg(program)
+    starts = {block.start for block in cfg}
+    for block in cfg:
+        # block boundaries nest inside the text section
+        assert program.contains_code(block.start)
+        assert block.end <= program.text_end
+        # terminators only at block ends
+        for pc, instr in block.instructions[:-1]:
+            assert not instr.is_terminator
+        # static successors are block starts
+        for successor in block.successors:
+            assert successor in starts
+        # predecessor lists are consistent with successor lists
+        for pred in block.predecessors:
+            assert block.start in cfg.block_at(pred).successors

@@ -1,0 +1,141 @@
+"""SigExpr algebra, CondDesc, and technique factory tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.flags import Cond
+from repro.isa.opcodes import JCC_BY_COND, Op
+from repro.checking import (CondDesc, Policy, SigExpr, UpdateStyle,
+                            const_expr, make_technique, sig_of)
+from repro.checking.base import fresh_label
+
+
+class TestSigExpr:
+    def test_const(self):
+        assert const_expr(7).resolve(lambda a: 0) == 7
+
+    def test_sig_of(self):
+        assert sig_of(0x1000).resolve(lambda a: a) == 0x1000
+
+    def test_addition(self):
+        expr = sig_of(0x10) + sig_of(0x20)
+        assert expr.resolve(lambda a: a) == 0x30
+
+    def test_subtraction(self):
+        expr = sig_of(0x30) - sig_of(0x10)
+        assert expr.resolve(lambda a: a) == 0x20
+
+    def test_negation(self):
+        assert (-sig_of(8)).resolve(lambda a: a) == -8
+
+    def test_mixed(self):
+        expr = sig_of(0x100) - sig_of(0x40) + const_expr(1)
+        assert expr.resolve(lambda a: a) == 0xC1
+
+    def test_is_concrete(self):
+        assert const_expr(5).is_concrete
+        assert not sig_of(4).is_concrete
+
+    @given(st.integers(-1000, 1000), st.integers(0, 100),
+           st.integers(0, 100))
+    def test_linear_resolution(self, const, a, b):
+        expr = const_expr(const) + sig_of(a) - sig_of(b)
+        mapping = {a: a * 3, b: b * 3}
+        assert expr.resolve(lambda k: mapping[k]) == const + 3 * a - 3 * b
+
+
+class TestCondDesc:
+    def test_flags_mirror(self):
+        desc = CondDesc(cond=Cond.LE)
+        branch = desc.mirror_branch("skip")
+        assert branch.op is JCC_BY_COND[Cond.LE]
+        assert branch.label == "skip"
+
+    def test_regzero_mirror(self):
+        desc = CondDesc(reg_op=Op.JRNZ, reg=5)
+        branch = desc.mirror_branch("skip")
+        assert branch.op is Op.JRNZ
+        assert branch.rd == 5
+
+    def test_is_flags(self):
+        assert CondDesc(cond=Cond.Z).is_flags
+        assert not CondDesc(reg_op=Op.JRZ, reg=1).is_flags
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["edgcf", "rcf", "ecf",
+                                      "edgcf-naive"])
+    def test_block_local_techniques(self, name):
+        technique = make_technique(name)
+        assert technique.name == name
+        assert not technique.requires_whole_cfg
+
+    @pytest.mark.parametrize("name", ["cfcss", "ecca"])
+    def test_whole_cfg_requires_cfg(self, name):
+        with pytest.raises(ValueError, match="whole CFG"):
+            make_technique(name)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown technique"):
+            make_technique("bogus")
+
+    def test_update_style_plumbs_through(self):
+        technique = make_technique("edgcf",
+                                   update_style=UpdateStyle.CMOV)
+        assert technique.update_style is UpdateStyle.CMOV
+
+    def test_whole_cfg_with_cfg(self, sum_loop):
+        from repro.cfg import build_cfg
+        cfg = build_cfg(sum_loop)
+        for name in ("cfcss", "ecca"):
+            technique = make_technique(name, cfg=cfg)
+            assert technique.requires_whole_cfg
+            assert technique.clobbers_flags
+
+
+class TestPolicies:
+    def test_allbb_checks_everything(self, sum_loop):
+        from repro.cfg import build_cfg
+        cfg = build_cfg(sum_loop)
+        assert all(Policy.ALLBB.should_check(b) for b in cfg)
+
+    def test_ret_be_checks_loop_blocks(self, sum_loop):
+        from repro.cfg import build_cfg
+        cfg = build_cfg(sum_loop)
+        loop = cfg.block_at(sum_loop.symbols["loop"])
+        assert Policy.RET_BE.should_check(loop)
+        assert not Policy.RET_BE.should_check(cfg.entry_block)
+
+    def test_ret_checks_return_blocks(self, call_program):
+        from repro.cfg import build_cfg
+        cfg = build_cfg(call_program)
+        ret_blocks = [b for b in cfg if b.ends_in_return]
+        assert all(Policy.RET.should_check(b) for b in ret_blocks)
+        loopish = [b for b in cfg
+                   if not b.ends_in_return
+                   and b.exit_kind.value not in ("halt", "exit")]
+        assert not any(Policy.RET.should_check(b) for b in loopish)
+
+    def test_end_checks_only_exit(self, sum_loop):
+        from repro.cfg import build_cfg
+        cfg = build_cfg(sum_loop)
+        checked = [b for b in cfg if Policy.END.should_check(b)]
+        assert checked == cfg.exit_blocks()
+
+    def test_policy_nesting(self, tiny_suite_programs):
+        """Check sets nest: END ⊆ RET ⊆ RET_BE ⊆ ALLBB."""
+        from repro.cfg import build_cfg
+        for program in tiny_suite_programs.values():
+            cfg = build_cfg(program)
+            for block in cfg:
+                if Policy.END.should_check(block):
+                    assert Policy.RET.should_check(block)
+                if Policy.RET.should_check(block):
+                    assert Policy.RET_BE.should_check(block)
+                if Policy.RET_BE.should_check(block):
+                    assert Policy.ALLBB.should_check(block)
+
+
+def test_fresh_labels_unique():
+    labels = {fresh_label("x") for _ in range(100)}
+    assert len(labels) == 100

@@ -1,0 +1,98 @@
+"""CFCSS signature classes and ECCA prime assignment."""
+
+from repro.isa import assemble
+from repro.cfg import build_cfg
+from repro.checking.signatures import (CfcssSignatures, EccaSignatures,
+                                       _primes)
+
+FANIN_SRC = """
+.entry main
+main:
+    movi r1, 1
+    cmpi r1, 0
+    jz b2
+b1:
+    addi r1, r1, 1
+    jmp join
+b2:
+    addi r1, r1, 2
+join:
+    syscall 4
+    movi r1, 0
+    syscall 0
+"""
+
+
+class TestCfcss:
+    def test_fanin_predecessors_share_signature(self):
+        program = assemble(FANIN_SRC)
+        cfg = build_cfg(program)
+        sigs = CfcssSignatures.assign(cfg)
+        join = cfg.block_at(program.symbols["join"])
+        pred_sigs = {sigs.sig[p] for p in join.predecessors}
+        assert len(pred_sigs) == 1
+
+    def test_signatures_nonzero(self, sum_loop):
+        cfg = build_cfg(sum_loop)
+        sigs = CfcssSignatures.assign(cfg)
+        assert all(value > 0 for value in sigs.sig.values())
+
+    def test_d_transforms_pred_to_block(self):
+        program = assemble(FANIN_SRC)
+        cfg = build_cfg(program)
+        sigs = CfcssSignatures.assign(cfg)
+        for block in cfg:
+            if block.predecessors:
+                pred_sig = sigs.sig[block.predecessors[0]]
+                assert pred_sig ^ sigs.d_value[block.start] == \
+                    sigs.sig[block.start]
+
+    def test_entry_d_seeds_from_zero(self, sum_loop):
+        cfg = build_cfg(sum_loop)
+        sigs = CfcssSignatures.assign(cfg)
+        entry = cfg.entry_block
+        if not entry.predecessors:
+            assert sigs.d_value[entry.start] == sigs.sig[entry.start]
+
+    def test_aliasing_exists_in_fanin_shapes(self):
+        """The aliasing CFCSS suffers from: distinct blocks forced to
+        one signature (the D/E blind spot the paper exploits)."""
+        program = assemble(FANIN_SRC)
+        cfg = build_cfg(program)
+        sigs = CfcssSignatures.assign(cfg)
+        assert len(set(sigs.sig.values())) < len(sigs.sig)
+
+
+class TestEcca:
+    def test_primes_helper(self):
+        assert _primes(5) == [3, 5, 7, 11, 13]
+
+    def test_bids_distinct_primes(self, sum_loop):
+        cfg = build_cfg(sum_loop)
+        sigs = EccaSignatures.assign(cfg)
+        values = list(sigs.bid.values())
+        assert len(set(values)) == len(values)
+        for value in values:
+            assert value >= 3 and all(value % p for p in range(2, value))
+
+    def test_exit_product_divisible_by_each_successor(self, sum_loop):
+        cfg = build_cfg(sum_loop)
+        sigs = EccaSignatures.assign(cfg)
+        for block in cfg:
+            if block.successors:
+                product = sigs.exit_product(block.successors)
+                for successor in block.successors:
+                    assert product % sigs.bid[successor] == 0
+
+    def test_category_a_blindness_structural(self):
+        """Both directions of a conditional divide the product — the
+        arithmetic reason ECCA cannot see mistaken branches."""
+        program = assemble(FANIN_SRC)
+        cfg = build_cfg(program)
+        sigs = EccaSignatures.assign(cfg)
+        entry = cfg.entry_block
+        assert len(entry.successors) == 2
+        product = sigs.exit_product(entry.successors)
+        taken, fall = entry.successors
+        assert product % sigs.bid[taken] == 0
+        assert product % sigs.bid[fall] == 0

@@ -1,0 +1,181 @@
+"""Technique behaviour: transparency (no false positives), flagless
+discipline, and the structural claims of the paper."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.flags import Cond
+from repro.isa.opcodes import OP_TABLE, Op
+from repro.isa.registers import is_host_only_register
+from repro.machine import run_native
+from repro.cfg import build_cfg
+from repro.checking import (CondDesc, BlockInfo, Policy, UpdateStyle,
+                            make_technique)
+from repro.checking.base import (ErrorBranch, LabelMark, LoadSig,
+                                 LocalBranch, RawIns)
+from repro.dbt import run_dbt
+from repro.instrument import instrument_program
+from repro.workloads import generate_program
+
+BLOCK = BlockInfo(start=0x1000)
+TAKEN, FALL = 0x2000, 0x1010
+COND = CondDesc(cond=Cond.LE)
+
+
+def flat_instructions(items):
+    out = []
+    for item in items:
+        if isinstance(item, RawIns):
+            out.append(item.instr)
+    return out
+
+
+def touched_registers(items):
+    regs = set()
+    for item in items:
+        if isinstance(item, RawIns):
+            regs.add(item.instr.rd)
+        elif isinstance(item, LoadSig):
+            regs.add(item.rd)
+    return regs
+
+
+@pytest.mark.parametrize("name", ["edgcf", "rcf", "ecf"])
+class TestFlaglessDiscipline:
+    """Paper Section 5.1: the DBT techniques must not clobber FLAGS."""
+
+    def test_entry_items_flagless(self, name):
+        technique = make_technique(name)
+        for check in (True, False):
+            for instr in flat_instructions(
+                    technique.entry_items(BLOCK, check)):
+                assert not OP_TABLE[instr.op].sets_flags, instr
+
+    def test_exit_items_flagless(self, name):
+        technique = make_technique(name)
+        items = technique.exit_items_cond(BLOCK, TAKEN, FALL, COND)
+        for instr in flat_instructions(items):
+            assert not OP_TABLE[instr.op].sets_flags, instr
+
+    def test_instrumentation_uses_host_registers_only(self, name):
+        technique = make_technique(name)
+        items = (technique.prologue(BLOCK.start)
+                 + technique.entry_items(BLOCK, True)
+                 + technique.exit_items_cond(BLOCK, TAKEN, FALL, COND)
+                 + technique.exit_items_direct(BLOCK, TAKEN)
+                 + technique.exit_items_indirect(BLOCK, 20))
+        for reg in touched_registers(items):
+            assert is_host_only_register(reg), reg
+
+
+class TestStructuralClaims:
+    def test_rcf_inserts_more_than_edgcf(self):
+        """Paper Section 6: RCF inserts more instructions per block."""
+        def static_count(name):
+            technique = make_technique(name)
+            return (len(technique.entry_items(BLOCK, True))
+                    + len(technique.exit_items_cond(BLOCK, TAKEN, FALL,
+                                                    COND)))
+        assert static_count("rcf") > static_count("edgcf")
+
+    def test_cmov_style_has_no_inserted_branch(self):
+        technique = make_technique("edgcf",
+                                   update_style=UpdateStyle.CMOV)
+        items = technique.exit_items_cond(BLOCK, TAKEN, FALL, COND)
+        assert not any(isinstance(item, LocalBranch) for item in items)
+
+    def test_jcc_style_inserts_mirror_branch(self):
+        technique = make_technique("edgcf", update_style=UpdateStyle.JCC)
+        items = technique.exit_items_cond(BLOCK, TAKEN, FALL, COND)
+        assert any(isinstance(item, LocalBranch) for item in items)
+        assert any(isinstance(item, LabelMark) for item in items)
+
+    def test_cmov_falls_back_for_register_conditions(self):
+        technique = make_technique("ecf", update_style=UpdateStyle.CMOV)
+        reg_cond = CondDesc(reg_op=Op.JRZ, reg=3)
+        items = technique.exit_items_cond(BLOCK, TAKEN, FALL, reg_cond)
+        assert any(isinstance(item, LocalBranch) for item in items)
+
+    def test_check_is_error_branch(self):
+        for name in ("edgcf", "rcf", "ecf"):
+            technique = make_technique(name)
+            items = technique.entry_items(BLOCK, True)
+            assert sum(isinstance(i, ErrorBranch) for i in items) == 1
+            unchecked = technique.entry_items(BLOCK, False)
+            assert not any(isinstance(i, ErrorBranch)
+                           for i in unchecked)
+
+    def test_edgcf_checks_pcp_directly(self):
+        """EdgCF's zero-invariant lets it check with jrnz on PC'."""
+        from repro.isa.registers import PCP
+        technique = make_technique("edgcf")
+        [check] = [i for i in technique.entry_items(BLOCK, True)
+                   if isinstance(i, ErrorBranch)]
+        assert check.rd == PCP
+
+    def test_rcf_check_preserves_pcp(self):
+        """RCF compares in a scratch register so PC' keeps holding the
+        entrance-region signature (what protects the check branch)."""
+        from repro.isa.registers import PCP
+        technique = make_technique("rcf")
+        [check] = [i for i in technique.entry_items(BLOCK, True)
+                   if isinstance(i, ErrorBranch)]
+        assert check.rd != PCP
+
+
+class TestTransparency:
+    """Instrumentation must not change fault-free behaviour — the
+    necessary condition, as an executable property."""
+
+    @pytest.mark.parametrize("name", ["edgcf", "rcf", "ecf"])
+    @pytest.mark.parametrize("style", [UpdateStyle.JCC, UpdateStyle.CMOV])
+    def test_dbt_preserves_output(self, call_program, name, style):
+        cpu, _ = run_native(call_program)
+        technique = make_technique(name, update_style=style)
+        dbt, result = run_dbt(call_program, technique=technique)
+        assert result.ok
+        assert dbt.cpu.output_values == cpu.output_values
+
+    @pytest.mark.parametrize("name", ["edgcf", "rcf", "ecf", "cfcss",
+                                      "ecca"])
+    def test_static_preserves_output(self, diamond_program, name):
+        cpu, _ = run_native(diamond_program)
+        instrumented = instrument_program(diamond_program, name)
+        cpu2, stop2 = run_native(instrumented.program)
+        assert stop2.exit_code == 0
+        assert not cpu2.cfc_error
+        assert cpu2.output_values == cpu.output_values
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 300), st.sampled_from(["edgcf", "rcf", "ecf"]))
+    def test_dbt_transparency_property(self, seed, name):
+        program = generate_program(seed, statements=12, with_calls=True)
+        cpu, stop = run_native(program, max_steps=500_000)
+        assert stop.reason.value == "halted"
+        dbt, result = run_dbt(program,
+                              technique=make_technique(name))
+        assert result.ok, result.stop
+        assert dbt.cpu.output_values == cpu.output_values
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 300), st.sampled_from(["cfcss", "ecca", "edgcf",
+                                                 "rcf", "ecf"]))
+    def test_static_transparency_property(self, seed, name):
+        program = generate_program(seed, statements=10, with_calls=False)
+        cpu, stop = run_native(program, max_steps=500_000)
+        assert stop.reason.value == "halted"
+        instrumented = instrument_program(program, name)
+        cpu2, stop2 = run_native(instrumented.program,
+                                 max_steps=2_000_000)
+        assert stop2.reason.value == "halted"
+        assert not cpu2.cfc_error
+        assert cpu2.output_values == cpu.output_values
+
+    @pytest.mark.parametrize("policy", list(Policy))
+    def test_policies_preserve_output(self, call_program, policy):
+        cpu, _ = run_native(call_program)
+        dbt, result = run_dbt(call_program,
+                              technique=make_technique("rcf"),
+                              policy=policy)
+        assert result.ok
+        assert dbt.cpu.output_values == cpu.output_values

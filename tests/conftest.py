@@ -1,0 +1,77 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import assemble
+from repro.workloads import suite as workload_suite
+
+SUM_LOOP_SRC = """
+.entry main
+main:
+    movi r1, 0
+    movi r2, 1
+loop:
+    add r1, r1, r2
+    addi r2, r2, 1
+    cmpi r2, 11
+    jl loop
+    syscall 4
+    movi r1, 0
+    syscall 0
+"""
+
+CALL_SRC = """
+.entry main
+main:
+    movi r1, 5
+    call square
+    syscall 4
+    movi r1, 0
+    syscall 0
+square:
+    mul r1, r1, r1
+    ret
+"""
+
+DIAMOND_SRC = """
+.entry main
+main:
+    movi r1, 7
+    cmpi r1, 5
+    jl small
+    muli r1, r1, 3
+    jmp join
+small:
+    addi r1, r1, 100
+join:
+    syscall 4
+    movi r1, 0
+    syscall 0
+"""
+
+
+@pytest.fixture
+def sum_loop():
+    """A tiny counted loop: output ['55']."""
+    return assemble(SUM_LOOP_SRC, name="sum_loop")
+
+
+@pytest.fixture
+def call_program():
+    """A program with call/ret: output [25]."""
+    return assemble(CALL_SRC, name="call_program")
+
+
+@pytest.fixture
+def diamond_program():
+    """An if/else diamond: output [21]."""
+    return assemble(DIAMOND_SRC, name="diamond")
+
+
+@pytest.fixture(scope="session")
+def tiny_suite_programs():
+    """A few suite benchmarks at test scale (cached for the session)."""
+    names = ["254.gap", "197.parser", "171.swim", "164.gzip"]
+    return {name: workload_suite.load(name, "test") for name in names}

@@ -1,0 +1,55 @@
+"""Translated blocks align with the paper's basic-block model.
+
+The DBT splits decode at *static leaders* (branch targets and
+post-terminator sites), so its translated blocks coincide with the
+static CFG's basic blocks.  Without this, translate-on-demand forms
+superblocks across unexecuted-yet branch targets and the branch-error
+categories drift between the static and dynamic views (a static-E
+landing inside the branch's own superblock behaves like category C).
+"""
+
+from repro.cfg import build_cfg, find_leaders
+from repro.checking import ECF
+from repro.dbt import Dbt, run_dbt
+from repro.workloads import load
+
+
+def test_translated_blocks_match_static_blocks():
+    program = load("254.gap", "test")
+    cfg = build_cfg(program)
+    dbt, result = run_dbt(program)
+    assert result.ok
+    static_starts = {block.start for block in cfg}
+    for tb in dbt.blocks.values():
+        assert tb.guest_start in static_starts
+        static_block = cfg.block_at(tb.guest_start)
+        assert tb.guest_end == static_block.end, hex(tb.guest_start)
+
+
+def test_no_translation_crosses_a_leader():
+    program = load("197.parser", "test")
+    leaders = find_leaders(program)
+    dbt, result = run_dbt(program)
+    assert result.ok
+    for tb in dbt.blocks.values():
+        inner = [addr for addr in leaders
+                 if tb.guest_start < addr < tb.guest_end]
+        assert not inner, (hex(tb.guest_start), list(map(hex, inner)))
+
+
+def test_ecf_category_e_detected_across_fallthrough_chains():
+    """The regression that motivated leader splitting: a landing in a
+    *different static block* that shares a fallthrough chain with the
+    branch must still be detected by ECF (it is category E, not C)."""
+    from repro.workloads import generate_program
+    from repro.faults import (Category, Outcome, Pipeline,
+                              PipelineConfig, generate_category_faults)
+    from repro.machine import StopReason, run_native
+    program = generate_program(53, statements=8, with_calls=False)
+    _, stop = run_native(program, max_steps=500_000)
+    assert stop.reason is StopReason.HALTED
+    faults = generate_category_faults(program, per_category=3, seed=53)
+    pipeline = Pipeline(program, PipelineConfig("dbt", "ecf"))
+    for spec in faults.by_category[Category.E]:
+        record = pipeline.run(spec)
+        assert record.outcome is not Outcome.SDC, spec.describe()

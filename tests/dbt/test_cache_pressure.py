@@ -1,0 +1,55 @@
+"""Code-cache eviction under pressure: flush-and-retranslate."""
+
+import pytest
+
+from repro.checking import EdgCF, RCF
+from repro.dbt import Dbt
+from repro.machine import run_native
+from repro.workloads import load
+
+
+@pytest.mark.parametrize("cache_size", [0x100, 0x140, 0x180])
+def test_tiny_cache_still_correct(cache_size):
+    """With a cache far smaller than the working set, the DBT must
+    flush and retranslate repeatedly yet stay correct."""
+    program = load("254.gap", "test")
+    cpu, _ = run_native(program)
+    dbt = Dbt(program, technique=EdgCF(), cache_size=cache_size)
+    result = dbt.run(max_steps=50_000_000)
+    assert result.ok, result.stop
+    assert dbt.cpu.output_values == cpu.output_values
+    assert dbt.flushes > 0
+
+
+def test_flushes_counted_separately_from_smc():
+    program = load("254.gap", "test")
+    dbt = Dbt(program, technique=EdgCF(), cache_size=0x140)
+    result = dbt.run()
+    assert result.ok
+    assert dbt.flushes > 0
+    assert dbt.smc_flushes == 0
+
+
+def test_heavy_eviction_costs_performance():
+    """Severe eviction pressure (dozens of flushes) shows up as extra
+    dispatch work."""
+    program = load("254.gap", "test")
+    roomy = Dbt(program, technique=EdgCF())
+    roomy.run()
+    tight = Dbt(program, technique=EdgCF(), cache_size=0x100)
+    tight.run()
+    assert tight.flushes > 10
+    assert tight.cpu.cycles > roomy.cpu.cycles
+
+
+def test_signature_state_survives_flush():
+    """A flush mid-run must not trip any check: PC' lives in a register
+    and block signatures are guest addresses, both flush-invariant."""
+    program = load("186.crafty", "test")
+    cpu, _ = run_native(program)
+    dbt = Dbt(program, technique=RCF(), cache_size=0x180)
+    result = dbt.run(max_steps=50_000_000)
+    assert result.ok
+    assert not result.detected_error
+    assert dbt.cpu.output_values == cpu.output_values
+    assert dbt.flushes > 0

@@ -1,0 +1,135 @@
+"""Code cache allocator and Backend optimizer."""
+
+import pytest
+
+from repro.isa import encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.registers import PCP, T0
+from repro.machine import Memory
+from repro.machine.memory import PERM_X
+from repro.checking import const_expr, sig_of
+from repro.checking.base import LoadSig, RawIns
+from repro.dbt import CacheFullError, CodeCache, optimize_items
+
+
+class TestCodeCache:
+    def make(self, size=0x2000):
+        memory = Memory(0x200000)
+        return CodeCache(memory, base=0x100000, size=size)
+
+    def test_allocate_advances(self):
+        cache = self.make()
+        first = cache.allocate(4)
+        second = cache.allocate(2)
+        assert second == first + 16
+        assert cache.used == 24
+
+    def test_pages_executable(self):
+        cache = self.make()
+        assert cache.memory.perms_at(cache.base) & PERM_X
+
+    def test_exhaustion(self):
+        cache = self.make(size=0x1000)
+        with pytest.raises(CacheFullError):
+            cache.allocate(0x1000 // 4 + 1)
+
+    def test_write_read_instruction(self):
+        cache = self.make()
+        addr = cache.allocate(1)
+        instr = Instruction(op=Op.LEA, rd=1, rs=2, imm=5)
+        cache.write_instruction(addr, instr)
+        assert cache.read_word(addr) == encode(instr)
+
+    def test_flush_resets(self):
+        cache = self.make()
+        cache.allocate(10)
+        cache.flush()
+        assert cache.used == 0
+        assert cache.contains(cache.base) is False
+
+
+def identity(addr):
+    return addr
+
+
+class TestBackendOptimizer:
+    def test_folds_loadsig_lea3(self):
+        items = [
+            LoadSig(T0, sig_of(0x40)),
+            RawIns(Instruction(op=Op.LEA3, rd=PCP, rs=PCP, rt=T0)),
+        ]
+        out = optimize_items(items, identity)
+        assert len(out) == 1
+        instr = out[0].instr
+        assert instr.op is Op.LEA and instr.imm == 0x40
+        assert (instr.rd, instr.rs) == (PCP, PCP)
+
+    def test_folds_loadsig_lsub_negated(self):
+        items = [
+            LoadSig(T0, sig_of(0x40)),
+            RawIns(Instruction(op=Op.LSUB, rd=PCP, rs=PCP, rt=T0)),
+        ]
+        out = optimize_items(items, identity)
+        assert len(out) == 1
+        assert out[0].instr.imm == -0x40
+
+    def test_elides_zero_self_update(self):
+        items = [
+            LoadSig(T0, const_expr(0)),
+            RawIns(Instruction(op=Op.LEA3, rd=PCP, rs=PCP, rt=T0)),
+        ]
+        assert optimize_items(items, identity) == []
+
+    def test_keeps_large_values(self):
+        items = [
+            LoadSig(T0, sig_of(0x20000)),   # exceeds imm14
+            RawIns(Instruction(op=Op.LEA3, rd=PCP, rs=PCP, rt=T0)),
+        ]
+        out = optimize_items(items, identity)
+        assert len(out) == 2
+
+    def test_no_fold_when_source_is_scratch(self):
+        """lea3 rd, T0, T0 must not fold (rs aliases the loaded reg)."""
+        items = [
+            LoadSig(T0, sig_of(4)),
+            RawIns(Instruction(op=Op.LEA3, rd=PCP, rs=T0, rt=T0)),
+        ]
+        out = optimize_items(items, identity)
+        assert len(out) == 2
+
+    def test_unrelated_items_pass_through(self):
+        items = [RawIns(Instruction(op=Op.NOP)),
+                 LoadSig(T0, sig_of(8))]
+        out = optimize_items(items, identity)
+        assert len(out) == 2
+
+    def test_algebra_preserved(self):
+        """Folded and unfolded sequences compute the same PC' value."""
+        from repro.machine import Cpu
+        from repro.instrument.lowering import (assign_addresses,
+                                               encode_snippet,
+                                               lower_items)
+        items = [
+            LoadSig(T0, sig_of(0x500)),
+            RawIns(Instruction(op=Op.LEA3, rd=PCP, rs=PCP, rt=T0)),
+            LoadSig(T0, sig_of(0x200)),
+            RawIns(Instruction(op=Op.LSUB, rd=PCP, rs=PCP, rt=T0)),
+        ]
+        results = []
+        for variant in (items, optimize_items(items, identity)):
+            snippet = lower_items(
+                list(variant) + [RawIns(Instruction(op=Op.HALT))],
+                compact=True, resolver=identity)
+            assign_addresses(snippet, 0x1000)
+            cpu = Cpu()
+            from repro.machine.memory import PERM_RX
+            for addr, instr in encode_snippet(snippet, identity, 0):
+                cpu.memory.write_raw(addr, encode(instr).to_bytes(
+                    4, "little"))
+            cpu.memory.set_perms(0x1000, 0x1000, PERM_RX)
+            cpu.pc = 0x1000
+            cpu.regs[PCP] = 0x77
+            cpu.run()
+            results.append(cpu.regs[PCP])
+        assert results[0] == results[1] == 0x77 + 0x500 - 0x200

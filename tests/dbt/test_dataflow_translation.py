@@ -1,0 +1,100 @@
+"""DBT-level details of the data-flow duplication integration."""
+
+import pytest
+
+from repro.isa import assemble, decode
+from repro.isa.opcodes import Op
+from repro.checking import EdgCF
+from repro.checking.dataflow import SHADOW_BASE
+from repro.dbt import Dbt
+from repro.dbt.translator import DF_ERROR_TRAP
+from repro.machine import run_native
+from repro.workloads import load
+
+LOOP = """
+.entry main
+main:
+    movi r1, 0
+    movi r2, 1
+loop:
+    add r1, r1, r2
+    addi r2, r2, 1
+    cmpi r2, 6
+    jl loop
+    syscall 4
+    movi r1, 0
+    syscall 0
+"""
+
+
+def warm(source_or_program, **kwargs):
+    program = (assemble(source_or_program)
+               if isinstance(source_or_program, str) else
+               source_or_program)
+    dbt = Dbt(program, dataflow=True, **kwargs)
+    result = dbt.run(max_steps=20_000_000)
+    assert result.ok, result.stop
+    return program, dbt, result
+
+
+class TestTranslationLayout:
+    def test_df_stub_emitted_per_block(self):
+        program, dbt, _ = warm(LOOP)
+        for tb in dbt.blocks.values():
+            # the word right past the CF error stub is the DF stub
+            word = dbt.cpu.memory.read_word_raw(tb.error_stub + 4)
+            instr = decode(word)
+            assert instr.op is Op.TRAP and instr.imm == DF_ERROR_TRAP
+
+    def test_shadow_page_mapped_rw(self):
+        program, dbt, _ = warm(LOOP)
+        from repro.machine.memory import PERM_R, PERM_W
+        perms = dbt.cpu.memory.perms_at(SHADOW_BASE)
+        assert perms & PERM_R and perms & PERM_W
+
+    def test_shadow_file_tracks_guest_registers(self):
+        program, dbt, _ = warm(LOOP)
+        mem = dbt.cpu.memory
+        for reg in range(14):
+            shadow = mem.read_word_raw(SHADOW_BASE + reg * 4)
+            assert shadow == dbt.cpu.regs[reg], reg
+
+    def test_shadow_sp_coherent_after_calls(self):
+        program = load("186.crafty", "test")
+        _, dbt, _ = warm(program)
+        shadow_sp = dbt.cpu.memory.read_word_raw(SHADOW_BASE + 15 * 4)
+        assert shadow_sp == dbt.cpu.regs[15]
+
+    def test_expansion_factor_reasonable(self):
+        program, dbt, result = warm(LOOP)
+        guest_bytes = sum(tb.guest_end - tb.guest_start
+                          for tb in dbt.blocks.values())
+        assert result.cache_bytes / guest_bytes < 12
+
+    def test_composes_with_cf_instrumentation_ranges(self):
+        program = assemble(LOOP)
+        dbt = Dbt(program, technique=EdgCF(), dataflow=True)
+        result = dbt.run()
+        assert result.ok
+        for tb in dbt.blocks.values():
+            assert tb.instrumentation_ranges   # CF code still present
+
+
+class TestIndirectProtection:
+    def test_jump_table_target_checked(self):
+        """A corrupted jump-table target register is caught before the
+        indirect transfer."""
+        program = load("176.gcc", "test")
+        cpu, _ = run_native(program)
+        _, dbt, result = warm(program)
+        assert dbt.cpu.output_values == cpu.output_values
+        # now corrupt the target register right before a dispatch
+        from repro.faults import RegisterFaultSpec
+        fresh = Dbt(program, dataflow=True)
+        # r10 holds the dispatch target in the vm kernel
+        RegisterFaultSpec(icount=400, reg=10, bit=3).install(fresh.cpu)
+        outcome = fresh.run(max_steps=20_000_000)
+        # either the duplication check fires, or the strike was benign
+        # (dead value) — never silent corruption
+        if not outcome.detected_dataflow:
+            assert fresh.cpu.output_values == cpu.output_values

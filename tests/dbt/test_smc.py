@@ -1,0 +1,83 @@
+"""Self-modifying code under the DBT (paper Section 5)."""
+
+from repro.isa import assemble
+from repro.dbt import run_dbt
+from repro.machine import run_native
+
+# Patches its own later instruction (movi r2, 1 -> movi r2, 7), then
+# executes it: output must reflect the *new* code.
+SMC_SRC = """
+.entry main
+main:
+    const r1, site
+    const r2, 0x21100007      ; movi r2, 7
+    st r2, r1, 0
+site:
+    movi r2, 1
+    mov r1, r2
+    syscall 4
+    movi r1, 0
+    syscall 0
+"""
+
+# Patch happens only on the second pass through the writer block, after
+# the target block was already translated and executed once.
+SMC_LOOP_SRC = """
+.entry main
+main:
+    movi r5, 0
+again:
+    cmpi r5, 1
+    jnz skip_patch
+    const r1, site
+    const r2, 0x21100063      ; movi r2, 99
+    st r2, r1, 0
+skip_patch:
+site:
+    movi r2, 1
+    mov r1, r2
+    syscall 4
+    addi r5, r5, 1
+    cmpi r5, 3
+    jl again
+    movi r1, 0
+    syscall 0
+"""
+
+
+class TestSelfModifyingCode:
+    def test_patch_before_first_execution(self):
+        program = assemble(SMC_SRC)
+        dbt, result = run_dbt(program)
+        assert result.ok
+        assert dbt.cpu.output_values == [7]
+
+    def test_patch_after_translation_invalidates(self):
+        program = assemble(SMC_LOOP_SRC)
+        # ground truth from the native machine with writable text
+        cpu, _ = run_native_with_writable_text(program)
+        dbt, result = run_dbt(program)
+        assert result.ok
+        assert result.smc_flushes >= 1
+        assert dbt.cpu.output_values == cpu.output_values
+        # first iteration ran old code, later ones the patched code
+        assert dbt.cpu.output_values[0] == 1
+        assert dbt.cpu.output_values[-1] == 99
+
+    def test_flush_resets_translations(self):
+        program = assemble(SMC_LOOP_SRC)
+        dbt, result = run_dbt(program)
+        assert result.ok
+        # the program still finished: blocks were retranslated
+        assert result.translated_blocks > 0
+
+
+def run_native_with_writable_text(program):
+    from repro.machine import Cpu
+    from repro.machine.memory import PERM_RWX
+    cpu = Cpu()
+    cpu.load_program(program)
+    cpu.memory.set_perms(program.text_base, len(program.text), PERM_RWX)
+    stop = cpu.run(max_steps=1_000_000)
+    assert stop.reason.value == "halted"
+    return cpu, stop

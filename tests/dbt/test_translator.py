@@ -1,0 +1,130 @@
+"""Block translator internals: layout, maps, exit plans."""
+
+import pytest
+
+from repro.isa import assemble, decode
+from repro.isa.opcodes import Kind, Op
+from repro.checking import EdgCF, Policy, make_technique
+from repro.cfg import ExitKind
+from repro.dbt import (ERROR_TRAP, Dbt, NullTechnique, run_dbt)
+
+
+def warm_dbt(source: str, technique=None, **kwargs):
+    program = assemble(source)
+    dbt = Dbt(program, technique=technique, **kwargs)
+    result = dbt.run()
+    assert result.ok or result.stop.exit_code == 0
+    return program, dbt
+
+
+class TestDecoding:
+    def test_block_ends_at_terminator(self, sum_loop):
+        dbt = Dbt(sum_loop)
+        block = dbt.translator.decode_guest_block(sum_loop.entry)
+        assert block.instructions[-1][1].is_terminator or \
+            block.exit_kind is ExitKind.EXIT
+
+    def test_stop_before_respected(self, sum_loop):
+        dbt = Dbt(sum_loop)
+        block = dbt.translator.decode_guest_block(
+            sum_loop.entry, stop_before=sum_loop.entry + 4)
+        assert block.end == sum_loop.entry + 4
+        assert block.exit_kind is ExitKind.FALLTHROUGH
+
+    def test_exit_syscall_terminates_block(self):
+        program, dbt = warm_dbt("movi r1, 0\nsyscall 0\nnop")
+        block = dbt.translator.decode_guest_block(program.entry)
+        assert block.exit_kind is ExitKind.EXIT
+
+
+class TestTranslatedBlockLayout:
+    def test_error_stub_is_error_trap(self, sum_loop):
+        dbt, _ = run_dbt(sum_loop, technique=EdgCF())
+        for tb in dbt.blocks.values():
+            word = dbt.cpu.memory.read_word_raw(tb.error_stub)
+            instr = decode(word)
+            assert instr.op is Op.TRAP
+            assert instr.imm == ERROR_TRAP
+
+    def test_addr_map_block_start_is_cache_start(self, sum_loop):
+        dbt, _ = run_dbt(sum_loop, technique=EdgCF())
+        for tb in dbt.blocks.values():
+            assert tb.addr_map[tb.guest_start] == tb.cache_start
+
+    def test_instrumentation_ranges_cover_checks(self, sum_loop):
+        dbt, _ = run_dbt(sum_loop, technique=EdgCF())
+        for tb in dbt.blocks.values():
+            for check in tb.check_addresses:
+                assert tb.is_instrumentation(check)
+
+    def test_null_technique_has_no_instrumentation(self, sum_loop):
+        dbt, _ = run_dbt(sum_loop)
+        for tb in dbt.blocks.values():
+            assert not tb.check_addresses
+            # no entry instrumentation range
+            assert tb.addr_map[tb.guest_start] == tb.cache_start
+
+    def test_body_instructions_copied_verbatim(self, sum_loop):
+        dbt, _ = run_dbt(sum_loop, technique=EdgCF())
+        for tb in dbt.blocks.values():
+            for guest_addr, cache_addr in tb.addr_map.items():
+                guest_instr = sum_loop.instruction_at(guest_addr)
+                if guest_instr.is_branch:
+                    continue  # terminators are re-planned
+                cache_instr = decode(
+                    dbt.cpu.memory.read_word_raw(cache_addr))
+                if guest_addr != tb.guest_start or \
+                        not tb.instrumented_entry:
+                    if cache_addr != tb.cache_start or \
+                            not tb.check_addresses:
+                        pass
+                # the mapped instruction for middles is the original
+                if guest_addr != tb.guest_start and \
+                        guest_addr != tb.guest_terminator:
+                    assert cache_instr == guest_instr
+
+    def test_conditional_exit_has_two_slots(self, sum_loop):
+        dbt, _ = run_dbt(sum_loop)
+        loop_tb = dbt.blocks[sum_loop.symbols["loop"]]
+        assert loop_tb.exit_kind is ExitKind.COND
+        assert len(loop_tb.exit_slots) == 2
+        taken = [s for s in loop_tb.exit_slots
+                 if s.cond_site is not None]
+        assert len(taken) == 1
+
+    def test_call_exit_pushes_guest_return_address(self, call_program):
+        """The guest stack must hold *guest* addresses, not cache
+        addresses — architectural transparency."""
+        dbt, result = run_dbt(call_program)
+        assert result.ok
+        # ran to completion with correct output: the ret through the
+        # pushed address worked, which requires a guest address the
+        # indirect-exit path can map.
+        assert dbt.cpu.output_values == [25]
+
+
+class TestTechniqueIntegration:
+    @pytest.mark.parametrize("name", ["ecf", "edgcf", "rcf"])
+    def test_every_block_checked_under_allbb(self, sum_loop, name):
+        dbt, _ = run_dbt(sum_loop, technique=make_technique(name),
+                         policy=Policy.ALLBB)
+        for tb in dbt.blocks.values():
+            assert tb.check_addresses, tb
+
+    def test_end_policy_checks_only_exit_blocks(self, sum_loop):
+        dbt, _ = run_dbt(sum_loop, technique=make_technique("rcf"),
+                         policy=Policy.END)
+        checked = [tb for tb in dbt.blocks.values()
+                   if tb.check_addresses]
+        for tb in checked:
+            assert tb.exit_kind in (ExitKind.EXIT, ExitKind.HALT)
+        assert checked
+
+    def test_updates_present_even_without_checks(self, sum_loop):
+        """Policies remove checks, never updates (Section 6)."""
+        dbt, _ = run_dbt(sum_loop, technique=make_technique("edgcf"),
+                         policy=Policy.END)
+        for tb in dbt.blocks.values():
+            if tb.exit_kind in (ExitKind.EXIT, ExitKind.HALT):
+                continue
+            assert tb.instrumentation_ranges, tb

@@ -1,0 +1,142 @@
+"""Branch-error classification tests (paper Section 2 taxonomy)."""
+
+from hypothesis import given, strategies as st
+
+from repro.isa import assemble
+from repro.isa.flags import Cond, ZF
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.cfg import build_cfg
+from repro.faults import (Category, classify_flag_fault, classify_landing,
+                          classify_offset_fault, corrupted_target)
+
+SRC = """
+.entry main
+main:                       ; block 1: 0x1000
+    movi r1, 0
+    cmpi r1, 5
+    jl other
+mid:                        ; block 2 (fallthrough of the branch)
+    addi r1, r1, 1
+    jmp main
+other:                      ; block 3
+    addi r1, r1, 2
+    movi r1, 0
+    syscall 0
+"""
+
+
+def setup():
+    program = assemble(SRC)
+    cfg = build_cfg(program)
+    branch_pc = program.symbols["mid"] - 4      # the jl
+    return program, cfg, branch_pc
+
+
+class TestClassifyLanding:
+    def test_correct_target_no_error(self):
+        program, cfg, branch = setup()
+        target = program.symbols["other"]
+        assert classify_landing(cfg, branch, target, target) is \
+            Category.NO_ERROR
+
+    def test_other_direction_is_a(self):
+        program, cfg, branch = setup()
+        fall = program.symbols["mid"]
+        assert classify_landing(cfg, branch, fall,
+                                program.symbols["other"],
+                                other_direction=fall) is Category.A
+
+    def test_own_block_start_is_b(self):
+        program, cfg, branch = setup()
+        assert classify_landing(cfg, branch, program.symbols["main"],
+                                program.symbols["other"]) is Category.B
+
+    def test_own_block_middle_is_c(self):
+        program, cfg, branch = setup()
+        middle = program.symbols["main"] + 4
+        assert classify_landing(cfg, branch, middle,
+                                program.symbols["other"]) is Category.C
+
+    def test_landing_on_branch_itself_is_c(self):
+        program, cfg, branch = setup()
+        assert classify_landing(cfg, branch, branch,
+                                program.symbols["other"]) is Category.C
+
+    def test_other_block_start_is_d(self):
+        program, cfg, branch = setup()
+        assert classify_landing(cfg, branch, program.symbols["mid"],
+                                program.symbols["other"]) is Category.D
+
+    def test_other_block_middle_is_e(self):
+        program, cfg, branch = setup()
+        middle = program.symbols["other"] + 4
+        assert classify_landing(cfg, branch, middle,
+                                program.symbols["other"] + 0x100
+                                ) is Category.E
+
+    def test_noncode_is_f(self):
+        program, cfg, branch = setup()
+        for landing in (0x0, program.data_base, program.text_end + 64):
+            assert classify_landing(cfg, branch, landing,
+                                    program.symbols["other"]) is \
+                Category.F
+
+
+class TestOffsetFaults:
+    def test_not_taken_is_harmless(self):
+        program, cfg, branch = setup()
+        instr = program.instruction_at(branch)
+        for bit in range(16):
+            assert classify_offset_fault(cfg, branch, instr, bit,
+                                         taken=False) is \
+                Category.NO_ERROR
+
+    def test_taken_produces_some_errors(self):
+        program, cfg, branch = setup()
+        instr = program.instruction_at(branch)
+        cats = {classify_offset_fault(cfg, branch, instr, bit, True)
+                for bit in range(16)}
+        assert Category.F in cats
+        assert cats - {Category.NO_ERROR}
+
+    def test_corrupted_target_negative_offsets(self):
+        # -3 encodes as 0xFFFD; flipping bit 0 gives 0xFFFC == -4.
+        instr = Instruction(op=Op.JMP, imm=-3)
+        pc = 0x1010
+        base = instr.branch_target(pc)
+        assert corrupted_target(pc, instr, 0) == base - 4
+
+    @given(st.integers(0, 15))
+    def test_corruption_involutive(self, bit):
+        instr = Instruction(op=Op.JZ, imm=-100)
+        pc = 0x2000
+        once = corrupted_target(pc, instr, bit)
+        # re-flipping the same bit of the corrupted offset recovers it
+        imm_once = (once - pc - 4) // 4
+        twice = corrupted_target(
+            pc, Instruction(op=Op.JZ, imm=imm_once), bit)
+        assert twice == instr.branch_target(pc)
+
+
+class TestFlagFaults:
+    def test_direction_flip_is_a(self):
+        instr = Instruction(op=Op.JZ, imm=2)
+        assert classify_flag_fault(instr, ZF, 0) is Category.A
+        assert classify_flag_fault(instr, 0, 0) is Category.A
+
+    def test_unread_flag_harmless(self):
+        instr = Instruction(op=Op.JZ, imm=2)
+        # CF (bit 2) is not read by jz
+        assert classify_flag_fault(instr, 0, 2) is Category.NO_ERROR
+
+    def test_masked_flag_harmless(self):
+        # jle with ZF set: SF flip cannot change the outcome
+        instr = Instruction(op=Op.JLE, imm=2)
+        assert classify_flag_fault(instr, ZF, 1) is Category.NO_ERROR
+
+    def test_unconditional_immune(self):
+        instr = Instruction(op=Op.JMP, imm=2)
+        for bit in range(4):
+            assert classify_flag_fault(instr, 0xF, bit) is \
+                Category.NO_ERROR

@@ -1,0 +1,105 @@
+"""The analytic error model (Figures 2/3)."""
+
+import pytest
+
+from repro.faults import (Category, SDC_CATEGORIES, compute_error_model,
+                          compute_suite_error_model)
+from repro.workloads import suite as workload_suite
+
+
+@pytest.fixture(scope="module")
+def gap_model():
+    return compute_error_model(workload_suite.load("254.gap", "test"))
+
+
+class TestModelBasics:
+    def test_probabilities_sum_to_one(self, gap_model):
+        total = sum(gap_model.probability(cat) for cat in Category)
+        assert total == pytest.approx(1.0)
+
+    def test_mass_positive(self, gap_model):
+        assert gap_model.total > 0
+        assert gap_model.dynamic_branches > 0
+
+    def test_not_taken_addr_always_harmless(self, gap_model):
+        for category in Category:
+            if category is Category.NO_ERROR:
+                continue
+            assert gap_model.probability(category, taken=False,
+                                         kind="addr") == 0.0
+
+    def test_flag_faults_only_category_a(self, gap_model):
+        for category in (Category.B, Category.C, Category.D, Category.E,
+                         Category.F):
+            assert gap_model.probability(category, kind="flags") == 0.0
+
+    def test_category_a_has_flag_component(self, gap_model):
+        assert gap_model.probability(Category.A, kind="flags") > 0.0
+
+    def test_category_row_shape(self, gap_model):
+        row = gap_model.category_row(Category.A)
+        assert set(row) == {"taken_addr", "taken_flags",
+                            "not_taken_addr", "not_taken_flags", "total"}
+        assert row["total"] == pytest.approx(
+            sum(v for k, v in row.items() if k != "total"))
+
+    def test_sdc_distribution_normalized(self, gap_model):
+        dist = gap_model.sdc_distribution()
+        assert sum(dist.values()) == pytest.approx(1.0)
+        assert set(dist) == set(SDC_CATEGORIES)
+
+    def test_merge_accumulates(self, gap_model):
+        other = compute_error_model(
+            workload_suite.load("197.parser", "test"))
+        merged_total = gap_model.total + other.total
+        merged = compute_suite_error_model(
+            [workload_suite.load("254.gap", "test"),
+             workload_suite.load("197.parser", "test")])
+        assert merged.total == pytest.approx(merged_total)
+
+
+class TestPaperShape:
+    """The qualitative structure of Figure 2/3 must hold."""
+
+    @pytest.fixture(scope="class")
+    def models(self):
+        int_programs = [workload_suite.load(name, "test")
+                        for name in workload_suite.suite_names("int")]
+        fp_programs = [workload_suite.load(name, "test")
+                       for name in workload_suite.suite_names("fp")]
+        return (compute_suite_error_model(int_programs, "int"),
+                compute_suite_error_model(fp_programs, "fp"))
+
+    def test_e_dominates_sdc_categories(self, models):
+        for model in models:
+            dist = model.sdc_distribution()
+            assert dist[Category.E] == max(
+                dist[c] for c in (Category.B, Category.C, Category.D,
+                                  Category.E))
+
+    def test_b_negligible(self, models):
+        for model in models:
+            assert model.sdc_distribution()[Category.B] < 0.05
+
+    def test_fp_has_more_c_than_d(self, models):
+        """Big fp blocks push errors into category C (paper: 'floating
+        point applications have big basic blocks')."""
+        _, fp = models
+        dist = fp.sdc_distribution()
+        assert dist[Category.C] > dist[Category.D]
+
+    def test_int_has_more_d_than_c(self, models):
+        int_model, _ = models
+        dist = int_model.sdc_distribution()
+        assert dist[Category.D] > dist[Category.C]
+
+    def test_f_and_no_error_take_most_mass(self, models):
+        for model in models:
+            harmless_or_hw = (model.probability(Category.F)
+                              + model.probability(Category.NO_ERROR))
+            assert harmless_or_hw > 0.5
+
+    def test_no_error_includes_not_taken_addr_mass(self, models):
+        for model in models:
+            assert model.probability(Category.NO_ERROR, taken=False,
+                                     kind="addr") > 0.1

@@ -1,0 +1,145 @@
+"""Section-4 formalization: Claim 1 and the baseline counterexamples,
+verified exhaustively over model CFGs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.formal import (FORMAL_TECHNIQUES, FormalCFCSS, FormalECCA,
+                          FormalECF, FormalEdgCF, FormalRCF, ModelCfg,
+                          check_conditions, classify_witness, diamond_cfg,
+                          fanin_cfg, loop_cfg)
+
+ALL_CFGS = [diamond_cfg(), loop_cfg(), fanin_cfg()]
+
+
+class TestModelCfg:
+    def test_addresses_unique_nonzero(self):
+        cfg = diamond_cfg()
+        values = list(cfg.addresses.values())
+        assert len(set(values)) == len(values)
+        assert all(v != 0 for v in values)
+
+    def test_legal_paths_start_at_entry(self):
+        cfg = diamond_cfg()
+        for path in cfg.legal_paths(4):
+            assert path[0] == cfg.entry
+
+    def test_legal_paths_follow_edges(self):
+        cfg = loop_cfg()
+        for path in cfg.legal_paths(6):
+            for src, dst in zip(path, path[1:]):
+                assert dst in cfg.successors[src]
+
+    def test_nodes_are_head_tail_pairs(self):
+        cfg = diamond_cfg()
+        nodes = cfg.all_nodes()
+        assert len(nodes) == 2 * len(cfg.blocks)
+
+
+@pytest.mark.parametrize("cfg", ALL_CFGS,
+                         ids=["diamond", "loop", "fanin"])
+class TestClaim1:
+    """Claim 1: EdgCF satisfies the sufficient AND necessary
+    conditions — it detects any single control-flow error."""
+
+    def test_edgcf_detects_all_single_errors(self, cfg):
+        report = check_conditions(FormalEdgCF(cfg))
+        assert report.detects_all_single_errors, \
+            report.undetected_errors[:3]
+
+    def test_rcf_detects_all_single_errors(self, cfg):
+        report = check_conditions(FormalRCF(cfg))
+        assert report.detects_all_single_errors
+
+
+@pytest.mark.parametrize("cfg", ALL_CFGS,
+                         ids=["diamond", "loop", "fanin"])
+class TestNecessaryCondition:
+    """No technique may produce false positives on legal paths."""
+
+    @pytest.mark.parametrize("name", sorted(FORMAL_TECHNIQUES))
+    def test_no_false_positives(self, cfg, name):
+        report = check_conditions(FORMAL_TECHNIQUES[name](cfg))
+        assert report.necessary_holds, report.false_positives[:3]
+
+
+@pytest.mark.parametrize("cfg", ALL_CFGS,
+                         ids=["diamond", "loop", "fanin"])
+class TestBaselineCounterexamples:
+    """Section 3's prose claims, as machine-found witnesses."""
+
+    def test_ecf_misses_exactly_category_c(self, cfg):
+        report = check_conditions(FormalECF(cfg))
+        assert not report.sufficient_holds
+        categories = {classify_witness(cfg, e)
+                      for e in report.undetected_errors}
+        assert categories == {"C"}
+
+    def test_cfcss_misses_a_and_c(self, cfg):
+        report = check_conditions(FormalCFCSS(cfg))
+        categories = {classify_witness(cfg, e)
+                      for e in report.undetected_errors}
+        assert "A" in categories
+        assert "C" in categories
+
+    def test_ecca_misses_a_and_c(self, cfg):
+        report = check_conditions(FormalECCA(cfg))
+        categories = {classify_witness(cfg, e)
+                      for e in report.undetected_errors}
+        assert "A" in categories
+        assert "C" in categories
+
+    def test_cfcss_aliasing_in_fanin(self, cfg):
+        """In the fan-in CFG, CFCSS signature classes collapse and some
+        wrong-but-aliased edges escape (the D/E blind spot)."""
+        if cfg.entry != "B0" or "B5" not in cfg.successors:
+            pytest.skip("fan-in shape only")
+        report = check_conditions(FormalCFCSS(cfg))
+        categories = [classify_witness(cfg, e)
+                      for e in report.undetected_errors]
+        assert any(c in ("D", "E") for c in categories)
+
+
+class TestRandomCfgs:
+    @st.composite
+    def random_cfg(draw):
+        count = draw(st.integers(3, 6))
+        names = [f"B{i}" for i in range(count)]
+        successors = {}
+        for index, name in enumerate(names):
+            remaining = names[index + 1:]
+            if not remaining:
+                successors[name] = []
+                continue
+            fanout = draw(st.integers(1, min(2, len(remaining))))
+            targets = draw(st.permutations(remaining))
+            # optional back edge keeps it interesting
+            succ = list(targets[:fanout])
+            if index > 0 and draw(st.booleans()):
+                succ.append(names[draw(st.integers(0, index))])
+            successors[name] = succ
+        return ModelCfg(successors=successors, entry="B0")
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_cfg())
+    def test_edgcf_complete_on_random_cfgs(self, cfg):
+        """EdgCF's guarantee is CFG-shape independent."""
+        report = check_conditions(FormalEdgCF(cfg), prefix_len=3,
+                                  suffix_len=4)
+        assert report.detects_all_single_errors, \
+            report.undetected_errors[:2]
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_cfg())
+    def test_rcf_complete_on_random_cfgs(self, cfg):
+        report = check_conditions(FormalRCF(cfg), prefix_len=3,
+                                  suffix_len=4)
+        assert report.detects_all_single_errors
+
+    @settings(max_examples=20, deadline=None)
+    @given(random_cfg())
+    def test_all_techniques_necessary_on_random_cfgs(self, cfg):
+        for cls in FORMAL_TECHNIQUES.values():
+            report = check_conditions(cls(cfg), prefix_len=3,
+                                      suffix_len=4)
+            assert report.necessary_holds, cls.name

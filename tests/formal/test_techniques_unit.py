@@ -1,0 +1,103 @@
+"""Unit tests for the formal GEN_SIG/CHECK_SIG transfer functions."""
+
+from repro.formal import (FormalCFCSS, FormalECCA, FormalECF,
+                          FormalEdgCF, FormalRCF, diamond_cfg)
+
+
+class TestEdgCFAlgebra:
+    def setup_method(self):
+        self.cfg = diamond_cfg()
+        self.t = FormalEdgCF(self.cfg)
+
+    def test_correct_edge_checks_zero(self):
+        sig = self.cfg.address
+        state = self.t.initial("B1")
+        state = self.t.entry_update(state, "B1")
+        assert self.t.check(state, "B1")
+        state = self.t.exit_update(state, "B1", "B2")
+        assert state == sig("B2")
+        state = self.t.entry_update(state, "B2")
+        assert state == 0
+
+    def test_wrong_edge_breaks_invariant(self):
+        state = self.t.initial("B1")
+        state = self.t.entry_update(state, "B1")
+        state = self.t.exit_update(state, "B1", "B2")   # logic: B2
+        # physically lands on B3's head instead
+        state = self.t.entry_update(state, "B3")
+        assert not self.t.check(state, "B3")
+
+    def test_error_propagates_through_legal_suffix(self):
+        """Once wrong, the additive chain stays wrong (GEN_SIG's
+        recursive dependence on S_i)."""
+        state = 0xDEAD   # corrupted
+        state = self.t.exit_update(state, "B2", "B4")
+        state = self.t.entry_update(state, "B4")
+        assert not self.t.check(state, "B4")
+
+
+class TestRCFAlgebra:
+    def setup_method(self):
+        self.cfg = diamond_cfg()
+        self.t = FormalRCF(self.cfg)
+
+    def test_body_region_distinct_per_block(self):
+        values = set()
+        for block in self.cfg.blocks:
+            state = self.cfg.address(block)
+            values.add(self.t.entry_update(state, block))
+        assert len(values) == len(self.cfg.blocks)
+
+    def test_body_region_never_equals_any_entry_signature(self):
+        """Word-aligned addresses vs +1 offsets: no collisions — the
+        property that protects EdgCF's blind spot."""
+        entries = {self.cfg.address(b) for b in self.cfg.blocks}
+        bodies = {self.cfg.address(b) + 1 for b in self.cfg.blocks}
+        assert not entries & bodies
+
+    def test_roundtrip(self):
+        state = self.t.initial("B1")
+        state = self.t.entry_update(state, "B1")
+        assert self.t.check(state, "B1")
+        state = self.t.exit_update(state, "B1", "B3")
+        state = self.t.entry_update(state, "B3")
+        assert self.t.check(state, "B3")
+
+
+class TestECFAlgebra:
+    def test_rts_is_static_delta(self):
+        cfg = diamond_cfg()
+        t = FormalECF(cfg)
+        state = t.initial("B1")
+        state = t.entry_update(state, "B1")
+        pcp, rts = t.exit_update(state, "B1", "B2")
+        assert rts == cfg.address("B2") - cfg.address("B1")
+
+    def test_category_c_consistency(self):
+        """Re-executing the current block's tail re-creates a valid
+        signature — the formal shape of the category-C hole."""
+        cfg = diamond_cfg()
+        t = FormalECF(cfg)
+        state = t.initial("B1")
+        state = t.entry_update(state, "B1")     # pcp = sig(B1)
+        # landing in B1's own middle: skip entry, re-run exit
+        state = t.exit_update(state, "B1", "B2")
+        state = t.entry_update(state, "B2")
+        assert t.check(state, "B2")             # undetected!
+
+
+class TestStaticSignatureAssignments:
+    def test_cfcss_predecessor_aliasing(self):
+        from repro.formal import fanin_cfg
+        cfg = fanin_cfg()
+        t = FormalCFCSS(cfg)
+        # B1 and B2 both feed B4 and B5: one signature class
+        assert t.sig["B1"] == t.sig["B2"]
+
+    def test_ecca_products_divisible(self):
+        cfg = diamond_cfg()
+        t = FormalECCA(cfg)
+        state = t.exit_update(t.initial("B1"), "B1", "B2")
+        assert state % t.bid["B2"] == 0
+        assert state % t.bid["B3"] == 0   # category-A blindness
+        assert state % t.bid["B1"] != 0

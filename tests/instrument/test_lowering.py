@@ -1,0 +1,107 @@
+"""Lowering: item -> instruction materialization for both backends."""
+
+import pytest
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.checking import sig_of
+from repro.checking.base import (CheckedDiv, ErrorBranch, LabelMark,
+                                 LoadSig, LocalBranch, RawIns)
+from repro.instrument.lowering import (assign_addresses,
+                                       check_slot_addresses,
+                                       encode_snippet, lower_items)
+
+
+def identity(addr):
+    return addr
+
+
+class TestCompactLowering:
+    def test_small_value_single_movi(self):
+        snippet = lower_items([LoadSig(19, sig_of(0x1000))],
+                              compact=True, resolver=identity)
+        assert snippet.size_words == 1
+        assign_addresses(snippet, 0x100)
+        [(addr, instr)] = encode_snippet(snippet, identity, 0)
+        assert instr.op is Op.MOVI and instr.imm == 0x1000
+
+    def test_large_value_pair(self):
+        snippet = lower_items([LoadSig(19, sig_of(0x123456))],
+                              compact=True, resolver=identity)
+        assert snippet.size_words == 2
+        assign_addresses(snippet, 0x100)
+        pairs = encode_snippet(snippet, identity, 0)
+        assert [p[1].op for p in pairs] == [Op.MOVHI, Op.MOVLO]
+
+    def test_negative_value_single_movi(self):
+        snippet = lower_items([LoadSig(19, sig_of(0) + sig_of(0)
+                                       - sig_of(0x100))],
+                              compact=True, resolver=identity)
+        assert snippet.size_words == 1
+
+    def test_compact_requires_resolver(self):
+        with pytest.raises(ValueError):
+            lower_items([], compact=True)
+
+
+class TestFixedLowering:
+    def test_loadsig_always_two_words(self):
+        snippet = lower_items([LoadSig(19, sig_of(4))], compact=False)
+        assert snippet.size_words == 2
+
+    def test_value_resolved_at_encode_time(self):
+        snippet = lower_items([LoadSig(19, sig_of(0xAA))], compact=False)
+        assign_addresses(snippet, 0)
+        pairs = encode_snippet(snippet, lambda a: a * 2, 0)
+        hi, lo = pairs[0][1], pairs[1][1]
+        assert ((hi.imm & 0xFFFF) << 16 | (lo.imm & 0xFFFF)) == 0x154
+
+
+class TestBranches:
+    def test_error_branch_offset(self):
+        snippet = lower_items([ErrorBranch(Op.JRNZ, rd=16)],
+                              compact=False)
+        assign_addresses(snippet, 0x100)
+        [(addr, instr)] = encode_snippet(snippet, identity, 0x200)
+        assert instr.branch_target(addr) == 0x200
+
+    def test_local_branch_forward(self):
+        items = [
+            LocalBranch(Op.JMP, "skip"),
+            RawIns(Instruction(op=Op.NOP)),
+            LabelMark("skip"),
+            RawIns(Instruction(op=Op.NOP)),
+        ]
+        snippet = lower_items(items, compact=False)
+        assign_addresses(snippet, 0)
+        pairs = dict(encode_snippet(snippet, identity, 0))
+        assert pairs[0].branch_target(0) == 8
+
+    def test_label_at_snippet_end(self):
+        items = [
+            LocalBranch(Op.JMP, "end"),
+            RawIns(Instruction(op=Op.NOP)),
+            LabelMark("end"),
+        ]
+        snippet = lower_items(items, compact=False)
+        assign_addresses(snippet, 0)
+        pairs = dict(encode_snippet(snippet, identity, 0))
+        assert pairs[0].branch_target(0) == 8
+
+    def test_check_slots_tracked(self):
+        items = [ErrorBranch(Op.JRNZ, rd=16),
+                 CheckedDiv(rd=1, rs=2, rt=3)]
+        snippet = lower_items(items, compact=False)
+        assign_addresses(snippet, 0x40)
+        assert check_slot_addresses(snippet) == [0x40, 0x44]
+
+    def test_checked_div_lowers_to_div(self):
+        snippet = lower_items([CheckedDiv(rd=1, rs=2, rt=3)],
+                              compact=False)
+        assign_addresses(snippet, 0)
+        [(_, instr)] = encode_snippet(snippet, identity, 0)
+        assert instr.op is Op.DIV
+
+    def test_unknown_item_rejected(self):
+        with pytest.raises(TypeError):
+            lower_items([object()], compact=False)

@@ -1,0 +1,121 @@
+"""Static binary rewriter tests."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.machine import run_native
+from repro.checking import Policy, make_technique
+from repro.cfg import build_cfg
+from repro.instrument import (RewriteError, StaticRewriter,
+                              instrument_program)
+
+
+class TestBasicRewrite:
+    def test_output_preserved(self, sum_loop):
+        cpu, _ = run_native(sum_loop)
+        ip = instrument_program(sum_loop, "edgcf")
+        cpu2, stop2 = run_native(ip.program)
+        assert stop2.exit_code == 0
+        assert cpu2.output_values == cpu.output_values
+
+    def test_code_grows(self, sum_loop):
+        ip = instrument_program(sum_loop, "edgcf")
+        assert ip.code_growth > 1.5
+
+    def test_data_section_untouched(self, tiny_suite_programs):
+        program = tiny_suite_programs["197.parser"]
+        ip = instrument_program(program, "rcf")
+        assert ip.program.data == program.data
+        assert ip.program.data_base == program.data_base
+
+    def test_block_map_complete(self, sum_loop):
+        cfg = build_cfg(sum_loop)
+        ip = instrument_program(sum_loop, "ecf")
+        assert set(ip.block_map) == {b.start for b in cfg}
+
+    def test_instr_map_covers_originals(self, sum_loop):
+        ip = instrument_program(sum_loop, "edgcf")
+        for addr in sum_loop.instruction_addresses():
+            assert addr in ip.instr_map
+
+    def test_error_sink_reachable_symbol(self, sum_loop):
+        ip = instrument_program(sum_loop, "edgcf")
+        assert ip.program.symbols["__cfc_error"] == ip.error_sink
+        assert ip.program.contains_code(ip.error_sink)
+
+    def test_inserted_ranges_marked(self, sum_loop):
+        ip = instrument_program(sum_loop, "edgcf")
+        assert ip.inserted_ranges
+        # entry instrumentation of the first block is inserted code
+        first_block_new = ip.block_map[build_cfg(sum_loop)
+                                       .entry_block.start]
+        assert ip.is_instrumentation(first_block_new)
+        # original instructions are not instrumentation
+        for new_addr in ip.instr_map.values():
+            assert not ip.is_instrumentation(new_addr)
+
+    def test_symbols_remapped(self, sum_loop):
+        ip = instrument_program(sum_loop, "edgcf")
+        old = sum_loop.symbols["loop"]
+        assert ip.program.symbols["loop"] == ip.block_map[old]
+
+    def test_policy_controls_check_count(self, sum_loop):
+        allbb = instrument_program(sum_loop, "edgcf", Policy.ALLBB)
+        end = instrument_program(sum_loop, "edgcf", Policy.END)
+        assert len(allbb.check_addresses) > len(end.check_addresses)
+        assert len(end.check_addresses) >= 1
+
+    def test_ecca_checks_are_divs(self, diamond_program):
+        ip = instrument_program(diamond_program, "ecca")
+        from repro.isa.opcodes import Op
+        for addr in ip.check_addresses:
+            assert ip.program.instruction_at(addr).op is Op.DIV
+
+
+class TestRestrictions:
+    def test_indirect_rejected(self):
+        program = assemble("const r1, t\njmpr r1\nt: halt")
+        with pytest.raises(RewriteError, match="indirect"):
+            instrument_program(program, "edgcf")
+
+    def test_whole_cfg_rejects_ret(self, call_program):
+        with pytest.raises(RewriteError, match="dynamic branch"):
+            instrument_program(call_program, "cfcss")
+
+    def test_edgcf_accepts_ret(self, call_program):
+        ip = instrument_program(call_program, "edgcf")
+        cpu, stop = run_native(ip.program)
+        assert stop.exit_code == 0
+        assert not cpu.cfc_error
+
+    def test_fall_off_text_rejected(self):
+        program = assemble("movi r1, 1")  # no terminator at all
+        with pytest.raises(RewriteError, match="falls off"):
+            instrument_program(program, "edgcf")
+
+
+class TestAllTechniquesOnSuite:
+    @pytest.mark.parametrize("name", ["edgcf", "rcf", "ecf"])
+    def test_suite_members_with_calls(self, tiny_suite_programs, name):
+        for program in tiny_suite_programs.values():
+            cpu, _ = run_native(program)
+            ip = instrument_program(program, name)
+            cpu2, stop2 = run_native(ip.program, max_steps=5_000_000)
+            assert stop2.exit_code == 0, (name, program.source_name)
+            assert cpu2.output_values == cpu.output_values
+
+    @pytest.mark.parametrize("name", ["cfcss", "ecca"])
+    def test_intraprocedural_members(self, tiny_suite_programs, name):
+        program = tiny_suite_programs["197.parser"]
+        cpu, _ = run_native(program)
+        ip = instrument_program(program, name)
+        cpu2, stop2 = run_native(ip.program, max_steps=5_000_000)
+        assert stop2.exit_code == 0
+        assert cpu2.output_values == cpu.output_values
+
+    def test_rewriter_composable_with_prebuilt_technique(self, sum_loop):
+        cfg = build_cfg(sum_loop)
+        technique = make_technique("cfcss", cfg=cfg)
+        ip = StaticRewriter(technique, Policy.ALLBB).rewrite(sum_loop)
+        cpu, stop = run_native(ip.program)
+        assert stop.exit_code == 0

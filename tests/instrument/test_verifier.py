@@ -1,0 +1,109 @@
+"""Static instrumentation verifier tests."""
+
+import pytest
+
+from repro.isa import assemble, encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.checking import Policy
+from repro.instrument import instrument_program
+from repro.instrument.verifier import verify_instrumented
+from repro.workloads import generate_program, load
+
+
+class TestProvesCorrectInstrumentation:
+    @pytest.mark.parametrize("name", ["edgcf", "rcf", "ecf"])
+    def test_call_free_program_fully_proven(self, diamond_program, name):
+        ip = instrument_program(diamond_program, name)
+        report = verify_instrumented(ip)
+        assert report.ok, report.violations
+        assert report.fully_proven, report.unproven
+        assert report.proven
+
+    @pytest.mark.parametrize("name", ["edgcf", "rcf", "ecf"])
+    def test_loop_program_fully_proven(self, sum_loop, name):
+        ip = instrument_program(sum_loop, name)
+        report = verify_instrumented(ip)
+        assert report.fully_proven, report.summary()
+
+    def test_ecca_divs_proven(self, diamond_program):
+        ip = instrument_program(diamond_program, "ecca")
+        report = verify_instrumented(ip)
+        assert report.ok
+        assert report.proven   # the check-divs are proven non-zero
+
+    @pytest.mark.parametrize("name", ["edgcf", "rcf"])
+    def test_suite_member_proven(self, name):
+        program = load("197.parser", "test")
+        ip = instrument_program(program, name)
+        report = verify_instrumented(ip)
+        assert report.fully_proven, report.summary()
+
+    def test_calls_leave_unproven_but_no_violations(self, call_program):
+        """Return sites widen to ⊤: checks there are unproven, never
+        violations."""
+        ip = instrument_program(call_program, "edgcf")
+        report = verify_instrumented(ip)
+        assert report.ok
+        assert report.unproven   # the post-ret path is beyond statics
+
+    @pytest.mark.parametrize("seed", [0, 3, 8, 13])
+    def test_random_programs_proven(self, seed):
+        program = generate_program(seed, statements=12,
+                                   with_calls=False)
+        ip = instrument_program(program, "rcf", Policy.ALLBB)
+        report = verify_instrumented(ip)
+        assert report.fully_proven, report.summary()
+
+    @pytest.mark.parametrize("policy", [Policy.ALLBB, Policy.RET_BE,
+                                        Policy.END, Policy.STORE])
+    def test_all_policies_verify(self, sum_loop, policy):
+        ip = instrument_program(sum_loop, "edgcf", policy)
+        report = verify_instrumented(ip)
+        assert report.ok
+
+
+class TestCatchesBrokenInstrumentation:
+    def _corrupt_word(self, ip, addr, instr):
+        text = bytearray(ip.program.text)
+        offset = addr - ip.program.text_base
+        text[offset:offset + 4] = encode(instr).to_bytes(4, "little")
+        ip.program.text = bytes(text)
+
+    def test_wrong_update_constant_detected(self, sum_loop):
+        """Corrupting one signature-update immediate must surface as a
+        violation on some legal path."""
+        ip = instrument_program(sum_loop, "edgcf")
+        # find a movlo into t0/pcp inside instrumentation and nudge it
+        target = None
+        for addr in ip.program.instruction_addresses():
+            if not ip.is_instrumentation(addr):
+                continue
+            instr = ip.program.instruction_at(addr)
+            if instr.op is Op.MOVLO and instr.rd >= 16:
+                target = (addr, instr)
+                break
+        assert target is not None
+        addr, instr = target
+        self._corrupt_word(ip, addr, Instruction(
+            op=Op.MOVLO, rd=instr.rd, imm=(instr.imm ^ 0x40) & 0xFFFF))
+        report = verify_instrumented(ip)
+        assert not report.fully_proven
+        assert report.violations or report.unproven
+
+    def test_removed_update_detected(self, diamond_program):
+        """NOPing out a signature update breaks the additive chain."""
+        ip = instrument_program(diamond_program, "rcf")
+        nopped = False
+        for addr in ip.program.instruction_addresses():
+            if not ip.is_instrumentation(addr):
+                continue
+            instr = ip.program.instruction_at(addr)
+            if instr.op is Op.LEA3 and instr.rd == 16:   # PCP update
+                self._corrupt_word(ip, addr,
+                                   Instruction(op=Op.NOP))
+                nopped = True
+                break
+        assert nopped
+        report = verify_instrumented(ip)
+        assert report.violations

@@ -1,0 +1,78 @@
+"""Cross-pipeline integration: every execution pipeline computes the
+same thing, across the whole suite."""
+
+import pytest
+
+from repro.checking import Policy, UpdateStyle, make_technique
+from repro.dbt import Dbt
+from repro.instrument import instrument_program
+from repro.machine import run_native
+from repro.workloads import SUITE, load
+
+
+@pytest.mark.parametrize("spec", SUITE, ids=lambda s: s.name)
+def test_dbt_matches_native(spec):
+    program = load(spec.name, "test")
+    cpu, _ = run_native(program, max_steps=3_000_000)
+    dbt = Dbt(program, technique=make_technique("rcf"))
+    result = dbt.run(max_steps=10_000_000)
+    assert result.ok, (spec.name, result.stop)
+    assert dbt.cpu.output_values == cpu.output_values
+    assert dbt.cpu.output == cpu.output
+
+
+@pytest.mark.parametrize("spec",
+                         [s for s in SUITE if s.static_rewritable],
+                         ids=lambda s: s.name)
+def test_static_matches_native(spec):
+    program = load(spec.name, "test")
+    cpu, _ = run_native(program, max_steps=3_000_000)
+    ip = instrument_program(program, "edgcf")
+    cpu2, stop2 = run_native(ip.program, max_steps=10_000_000)
+    assert stop2.exit_code == 0, spec.name
+    assert not cpu2.cfc_error
+    assert cpu2.output_values == cpu.output_values
+
+
+@pytest.mark.parametrize("technique", ["ecf", "edgcf", "rcf"])
+@pytest.mark.parametrize("style", [UpdateStyle.JCC, UpdateStyle.CMOV])
+def test_styles_equivalent_outputs(technique, style):
+    program = load("181.mcf", "test")
+    cpu, _ = run_native(program)
+    dbt = Dbt(program,
+              technique=make_technique(technique, update_style=style))
+    result = dbt.run()
+    assert result.ok
+    assert dbt.cpu.output_values == cpu.output_values
+
+
+@pytest.mark.parametrize("policy", list(Policy))
+def test_policies_equivalent_outputs(policy):
+    program = load("186.crafty", "test")
+    cpu, _ = run_native(program)
+    dbt = Dbt(program, technique=make_technique("rcf"), policy=policy)
+    result = dbt.run()
+    assert result.ok
+    assert dbt.cpu.output_values == cpu.output_values
+
+
+def test_optimized_backend_equivalent():
+    program = load("164.gzip", "test")
+    cpu, _ = run_native(program)
+    for optimize in (False, True):
+        dbt = Dbt(program, technique=make_technique("edgcf"),
+                  optimize=optimize)
+        result = dbt.run()
+        assert result.ok
+        assert dbt.cpu.output_values == cpu.output_values
+
+
+def test_optimized_backend_is_faster():
+    program = load("164.gzip", "test")
+    cycles = {}
+    for optimize in (False, True):
+        dbt = Dbt(program, technique=make_technique("edgcf"),
+                  optimize=optimize)
+        dbt.run()
+        cycles[optimize] = dbt.cpu.cycles
+    assert cycles[True] < cycles[False]

@@ -1,0 +1,155 @@
+"""Assembler tests: syntax, labels, directives, diagnostics."""
+
+import pytest
+
+from repro.isa import Op, assemble
+from repro.isa.assembler import AssemblyError
+from repro.isa.program import DATA_BASE, TEXT_BASE
+
+
+class TestBasics:
+    def test_empty_program(self):
+        program = assemble("")
+        assert program.text == b""
+        assert program.entry == TEXT_BASE
+
+    def test_single_instruction(self):
+        program = assemble("nop")
+        assert program.instruction_at(TEXT_BASE).op is Op.NOP
+
+    def test_register_aliases(self):
+        program = assemble("mov sp, fp")
+        instr = program.instruction_at(TEXT_BASE)
+        assert (instr.rd, instr.rs) == (15, 14)
+
+    def test_comments_both_styles(self):
+        program = assemble("nop ; semicolon\nnop # hash\n")
+        assert program.instruction_count() == 2
+
+    def test_hex_immediates(self):
+        program = assemble("movi r1, 0x7F")
+        assert program.instruction_at(TEXT_BASE).imm == 0x7F
+
+    def test_negative_immediates(self):
+        program = assemble("addi r1, r2, -42")
+        assert program.instruction_at(TEXT_BASE).imm == -42
+
+    def test_cmp_two_operand_form(self):
+        program = assemble("cmp r1, r2")
+        instr = program.instruction_at(TEXT_BASE)
+        assert (instr.rd, instr.rs, instr.rt) == (0, 1, 2)
+
+
+class TestLabels:
+    def test_forward_branch(self):
+        program = assemble("jmp end\nnop\nend: nop")
+        assert program.instruction_at(TEXT_BASE).imm == 1
+
+    def test_backward_branch(self):
+        program = assemble("top: nop\njmp top")
+        assert program.instruction_at(TEXT_BASE + 4).imm == -2
+
+    def test_branch_to_self(self):
+        program = assemble("spin: jmp spin")
+        assert program.instruction_at(TEXT_BASE).imm == -1
+
+    def test_label_on_same_line(self):
+        program = assemble("start: nop")
+        assert program.symbols["start"] == TEXT_BASE
+
+    def test_numeric_branch_offset(self):
+        program = assemble("jmp 3")
+        assert program.instruction_at(TEXT_BASE).imm == 3
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError, match="duplicate"):
+            assemble("a: nop\na: nop")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblyError, match="undefined"):
+            assemble("jmp nowhere")
+
+    def test_label_arithmetic(self):
+        program = assemble(".data\nbuf: .space 16\n.text\nconst r1, buf+8")
+        # const expands to movhi+movlo
+        hi = program.instruction_at(TEXT_BASE)
+        lo = program.instruction_at(TEXT_BASE + 4)
+        value = ((hi.imm & 0xFFFF) << 16) | (lo.imm & 0xFFFF)
+        assert value == DATA_BASE + 8
+
+
+class TestDirectives:
+    def test_entry(self):
+        program = assemble("nop\n.entry main\nmain: nop")
+        assert program.entry == TEXT_BASE + 4
+
+    def test_word_values_and_labels(self):
+        program = assemble(
+            ".data\ntable: .word 1, 2, target\n.text\ntarget: nop")
+        words = [int.from_bytes(program.data[i:i + 4], "little")
+                 for i in range(0, 12, 4)]
+        assert words == [1, 2, TEXT_BASE]
+
+    def test_byte(self):
+        program = assemble(".data\nb: .byte 1, 2, 255")
+        assert program.data == b"\x01\x02\xff"
+
+    def test_asciz(self):
+        program = assemble('.data\ns: .asciz "hi"')
+        assert program.data == b"hi\x00"
+
+    def test_asciz_escapes(self):
+        program = assemble('.data\ns: .asciz "a\\nb"')
+        assert program.data == b"a\nb\x00"
+
+    def test_space_zero_filled(self):
+        program = assemble(".data\nbuf: .space 8")
+        assert program.data == bytes(8)
+
+    def test_align(self):
+        program = assemble(
+            '.data\ns: .asciz "abc"\n.align 4\nw: .word 7')
+        assert program.symbols["w"] % 4 == 0
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AssemblyError, match="unknown directive"):
+            assemble(".bogus 3")
+
+    def test_instructions_only_in_text(self):
+        with pytest.raises(AssemblyError, match="must be in .text"):
+            assemble(".data\nnop")
+
+
+class TestConstPseudo:
+    def test_const_small_value_still_two_words(self):
+        program = assemble("const r1, 5")
+        assert program.instruction_count() == 2
+
+    def test_const_large_value(self):
+        program = assemble("const r1, 0xDEADBEEF")
+        hi = program.instruction_at(TEXT_BASE)
+        lo = program.instruction_at(TEXT_BASE + 4)
+        assert (hi.op, lo.op) == (Op.MOVHI, Op.MOVLO)
+        assert ((hi.imm & 0xFFFF) << 16 | (lo.imm & 0xFFFF)) == 0xDEADBEEF
+
+
+class TestDiagnostics:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("frobnicate r1")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError, match="usage"):
+            assemble("add r1, r2")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError, match="bad register"):
+            assemble("add r1, r2, r99")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError, match="line 2"):
+            assemble("nop\nbogus_op r1\n")
+
+    def test_imm_out_of_range_reported(self):
+        with pytest.raises(AssemblyError):
+            assemble("addi r1, r2, 10000")

@@ -1,0 +1,166 @@
+"""Encode/decode tests, including the property-based round trip."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.encoding import (BRANCH_OFFSET_BITS, DecodeError,
+                                EncodingError, IMM14_MAX, IMM14_MIN,
+                                IMM16_MAX, IMM16_MIN, decode, encode,
+                                encode_program, flip_offset_bit)
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OP_TABLE, Fmt, Op
+
+
+def roundtrip(instr: Instruction) -> Instruction:
+    return decode(encode(instr))
+
+
+class TestBasicEncoding:
+    def test_r3_fields(self):
+        instr = Instruction(op=Op.ADD, rd=1, rs=2, rt=3)
+        assert roundtrip(instr) == instr
+
+    def test_r3_full_register_range(self):
+        instr = Instruction(op=Op.XOR, rd=31, rs=30, rt=29)
+        assert roundtrip(instr) == instr
+
+    def test_ri_positive_imm(self):
+        instr = Instruction(op=Op.ADDI, rd=4, rs=5, imm=100)
+        assert roundtrip(instr) == instr
+
+    def test_ri_negative_imm(self):
+        instr = Instruction(op=Op.LEA, rd=4, rs=5, imm=-100)
+        assert roundtrip(instr) == instr
+
+    def test_ri_imm_bounds(self):
+        for imm in (IMM14_MIN, IMM14_MAX):
+            instr = Instruction(op=Op.ADDI, rd=0, rs=0, imm=imm)
+            assert roundtrip(instr) == instr
+
+    def test_ri_imm_overflow_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(op=Op.ADDI, rd=0, rs=0, imm=IMM14_MAX + 1))
+        with pytest.raises(EncodingError):
+            encode(Instruction(op=Op.ADDI, rd=0, rs=0, imm=IMM14_MIN - 1))
+
+    def test_branch_offsets(self):
+        for imm in (IMM16_MIN, -1, 0, 1, IMM16_MAX):
+            instr = Instruction(op=Op.JZ, imm=imm)
+            assert roundtrip(instr) == instr
+
+    def test_branch_offset_overflow_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(op=Op.JMP, imm=IMM16_MAX + 1))
+
+    def test_jrz_keeps_register_and_offset(self):
+        instr = Instruction(op=Op.JRNZ, rd=16, imm=-42)
+        assert roundtrip(instr) == instr
+
+    def test_movi_sign_extension(self):
+        instr = Instruction(op=Op.MOVI, rd=3, imm=-1)
+        assert roundtrip(instr).imm == -1
+
+    def test_syscall_number(self):
+        instr = Instruction(op=Op.SYSCALL, imm=4)
+        assert roundtrip(instr) == instr
+
+    def test_trap_slot_id(self):
+        instr = Instruction(op=Op.TRAP, imm=0xFFFF)
+        assert roundtrip(instr) == instr
+
+    def test_no_operand_forms(self):
+        for op in (Op.RET, Op.NOP, Op.HALT):
+            assert roundtrip(Instruction(op=op)) == Instruction(op=op)
+
+    def test_bad_register_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(op=Op.ADD, rd=32, rs=0, rt=0))
+
+
+class TestDecodeErrors:
+    def test_undefined_opcode(self):
+        with pytest.raises(DecodeError):
+            decode(0xFF000000)
+
+    def test_zero_word_is_undefined(self):
+        # opcode 0 is deliberately unassigned: zeroed memory traps as
+        # an illegal instruction rather than executing silently.
+        with pytest.raises(DecodeError):
+            decode(0x00000000)
+
+
+class TestOffsetBitFlip:
+    def test_flip_changes_offset(self):
+        word = encode(Instruction(op=Op.JMP, imm=4))
+        flipped = decode(flip_offset_bit(word, 0))
+        assert flipped.imm == 5
+
+    def test_flip_is_involutive(self):
+        word = encode(Instruction(op=Op.JZ, imm=-3))
+        assert flip_offset_bit(flip_offset_bit(word, 7), 7) == word
+
+    def test_flip_sign_bit(self):
+        word = encode(Instruction(op=Op.JMP, imm=1))
+        flipped = decode(flip_offset_bit(word, 15))
+        assert flipped.imm == 1 - 0x8000
+
+    def test_all_16_bits_valid(self):
+        word = encode(Instruction(op=Op.JMP, imm=0))
+        for bit in range(BRANCH_OFFSET_BITS):
+            assert decode(flip_offset_bit(word, bit)).op is Op.JMP
+
+    def test_out_of_range_bit_rejected(self):
+        with pytest.raises(ValueError):
+            flip_offset_bit(0, 16)
+
+
+class TestEncodeProgram:
+    def test_little_endian_layout(self):
+        blob = encode_program([Instruction(op=Op.NOP)])
+        assert len(blob) == 4
+        assert blob[3] == int(Op.NOP)
+
+
+# -- property-based round trip -----------------------------------------------
+
+_ALL_OPS = sorted(OP_TABLE, key=int)
+
+
+@st.composite
+def instructions(draw):
+    op = draw(st.sampled_from(_ALL_OPS))
+    fmt = OP_TABLE[op].fmt
+    reg = st.integers(0, 31)
+    if fmt is Fmt.R3:
+        return Instruction(op=op, rd=draw(reg), rs=draw(reg),
+                           rt=draw(reg))
+    if fmt is Fmt.R2:
+        return Instruction(op=op, rd=draw(reg), rs=draw(reg))
+    if fmt is Fmt.R1:
+        return Instruction(op=op, rd=draw(reg))
+    if fmt is Fmt.RI:
+        return Instruction(op=op, rd=draw(reg), rs=draw(reg),
+                           imm=draw(st.integers(IMM14_MIN, IMM14_MAX)))
+    if fmt is Fmt.RI16:
+        return Instruction(op=op, rd=draw(reg),
+                           imm=draw(st.integers(IMM16_MIN, IMM16_MAX)))
+    if fmt is Fmt.B:
+        return Instruction(op=op, rd=draw(reg),
+                           imm=draw(st.integers(IMM16_MIN, IMM16_MAX)))
+    if fmt is Fmt.SYS:
+        return Instruction(op=op, imm=draw(st.integers(0, 0xFFFF)))
+    return Instruction(op=op)
+
+
+@given(instructions())
+def test_roundtrip_property(instr):
+    """decode(encode(i)) == i for every encodable instruction."""
+    assert roundtrip(instr) == instr
+
+
+@given(instructions(), st.integers(0, BRANCH_OFFSET_BITS - 1))
+def test_offset_flip_only_touches_low_16_bits(instr, bit):
+    word = encode(instr)
+    flipped = flip_offset_bit(word, bit)
+    assert flipped >> 16 == word >> 16
+    assert (flipped ^ word) == 1 << bit

@@ -1,0 +1,120 @@
+"""Flags semantics: x86-equivalent condition evaluation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.flags import (ALL_FLAGS_MASK, CF, COND_INVERSE, COND_READS,
+                             Cond, NUM_FLAG_BITS, OF, SF, ZF,
+                             evaluate_cond, flag_fault_flips_direction,
+                             flags_from_add, flags_from_logic,
+                             flags_from_sub)
+
+u32 = st.integers(0, 0xFFFFFFFF)
+
+
+class TestFlagsFromSub:
+    def test_equal_sets_zf(self):
+        assert flags_from_sub(5, 5) & ZF
+
+    def test_unsigned_borrow_sets_cf(self):
+        assert flags_from_sub(1, 2) & CF
+        assert not flags_from_sub(2, 1) & CF
+
+    def test_negative_result_sets_sf(self):
+        assert flags_from_sub(1, 2) & SF
+
+    def test_signed_overflow(self):
+        # INT_MIN - 1 overflows.
+        assert flags_from_sub(0x80000000, 1) & OF
+
+    @given(u32, u32)
+    def test_zf_iff_equal(self, a, b):
+        assert bool(flags_from_sub(a, b) & ZF) == (a == b)
+
+    @given(u32, u32)
+    def test_cf_iff_unsigned_less(self, a, b):
+        assert bool(flags_from_sub(a, b) & CF) == (a < b)
+
+    @given(u32, u32)
+    def test_signed_less_via_sf_of(self, a, b):
+        sa = a - 0x100000000 if a & 0x80000000 else a
+        sb = b - 0x100000000 if b & 0x80000000 else b
+        flags = flags_from_sub(a, b)
+        assert evaluate_cond(Cond.L, flags) == (sa < sb)
+        assert evaluate_cond(Cond.LE, flags) == (sa <= sb)
+        assert evaluate_cond(Cond.G, flags) == (sa > sb)
+        assert evaluate_cond(Cond.GE, flags) == (sa >= sb)
+
+    @given(u32, u32)
+    def test_unsigned_conds(self, a, b):
+        flags = flags_from_sub(a, b)
+        assert evaluate_cond(Cond.B, flags) == (a < b)
+        assert evaluate_cond(Cond.AE, flags) == (a >= b)
+        assert evaluate_cond(Cond.BE, flags) == (a <= b)
+        assert evaluate_cond(Cond.A, flags) == (a > b)
+
+
+class TestFlagsFromAdd:
+    def test_carry_out(self):
+        assert flags_from_add(0xFFFFFFFF, 1) & CF
+
+    def test_signed_overflow_positive(self):
+        assert flags_from_add(0x7FFFFFFF, 1) & OF
+
+    def test_no_overflow_mixed_signs(self):
+        assert not flags_from_add(0x80000000, 0x7FFFFFFF) & OF
+
+    @given(u32, u32)
+    def test_zf(self, a, b):
+        assert bool(flags_from_add(a, b) & ZF) == (((a + b)
+                                                    & 0xFFFFFFFF) == 0)
+
+
+class TestFlagsFromLogic:
+    def test_clears_cf_of(self):
+        assert flags_from_logic(0x80000000) == SF
+        assert flags_from_logic(0) == ZF
+
+    @given(u32)
+    def test_sf_is_sign_bit(self, value):
+        assert bool(flags_from_logic(value) & SF) == bool(
+            value & 0x80000000)
+
+
+class TestConditionStructure:
+    def test_every_cond_has_inverse(self):
+        for cond in Cond:
+            inverse = COND_INVERSE[cond]
+            assert COND_INVERSE[inverse] is cond
+
+    @given(st.sampled_from(sorted(Cond, key=lambda c: c.value)),
+           st.integers(0, ALL_FLAGS_MASK))
+    def test_inverse_evaluates_opposite(self, cond, flags):
+        assert evaluate_cond(cond, flags) != evaluate_cond(
+            COND_INVERSE[cond], flags)
+
+    def test_cond_reads_subsets(self):
+        assert COND_READS[Cond.Z] == ZF
+        assert COND_READS[Cond.LE] == ZF | SF | OF
+        assert COND_READS[Cond.A] == CF | ZF
+
+    @given(st.sampled_from(sorted(Cond, key=lambda c: c.value)),
+           st.integers(0, ALL_FLAGS_MASK),
+           st.integers(0, NUM_FLAG_BITS - 1))
+    def test_unread_flag_never_flips_direction(self, cond, flags, bit):
+        if not COND_READS[cond] & (1 << bit):
+            assert not flag_fault_flips_direction(cond, flags, bit)
+
+    def test_read_flag_can_flip(self):
+        # ZF flip always flips Z.
+        assert flag_fault_flips_direction(Cond.Z, 0, 0)
+
+    def test_multiflag_masking(self):
+        # jle with ZF set: flipping SF does not change the outcome.
+        assert not flag_fault_flips_direction(Cond.LE, ZF, 1)
+        # with ZF clear it does.
+        assert flag_fault_flips_direction(Cond.LE, 0, 1)
+
+    def test_unknown_cond_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_cond("nope", 0)  # type: ignore[arg-type]

@@ -1,0 +1,85 @@
+"""Instruction value-type helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.instruction import (WORD_SIZE, Instruction,
+                                   branch_offset_for, sign_extend)
+from repro.isa.opcodes import Op
+
+
+class TestSignExtend:
+    def test_positive(self):
+        assert sign_extend(5, 14) == 5
+
+    def test_negative(self):
+        assert sign_extend(0x3FFF, 14) == -1
+        assert sign_extend(0xFFFF, 16) == -1
+
+    def test_boundary(self):
+        assert sign_extend(0x2000, 14) == -8192
+        assert sign_extend(0x1FFF, 14) == 8191
+
+    @given(st.integers(-(1 << 13), (1 << 13) - 1))
+    def test_roundtrip_14(self, value):
+        assert sign_extend(value & 0x3FFF, 14) == value
+
+
+class TestBranchHelpers:
+    def test_forward_target(self):
+        instr = Instruction(op=Op.JMP, imm=3)
+        assert instr.branch_target(0x1000) == 0x1000 + 4 + 12
+
+    def test_backward_target(self):
+        instr = Instruction(op=Op.JZ, imm=-1)
+        assert instr.branch_target(0x1000) == 0x1000
+
+    def test_fall_through(self):
+        instr = Instruction(op=Op.JZ, imm=5)
+        assert instr.fall_through(0x1000) == 0x1004
+
+    def test_non_branch_has_no_target(self):
+        with pytest.raises(ValueError):
+            Instruction(op=Op.ADD).branch_target(0)
+
+    def test_indirect_has_no_encoded_target(self):
+        with pytest.raises(ValueError):
+            Instruction(op=Op.JMPR, rd=3).branch_target(0)
+
+    def test_offset_for(self):
+        assert branch_offset_for(0x1000, 0x1010) == 3
+        assert branch_offset_for(0x1000, 0x1000) == -1
+
+    def test_offset_for_unaligned_rejected(self):
+        with pytest.raises(ValueError):
+            branch_offset_for(0x1000, 0x1002)
+
+    @given(st.integers(0, 1000), st.integers(-500, 500))
+    def test_offset_target_roundtrip(self, pc_words, delta_words):
+        pc = 0x1000 + pc_words * WORD_SIZE
+        target = pc + 4 + delta_words * WORD_SIZE
+        offset = branch_offset_for(pc, target)
+        assert Instruction(op=Op.JMP, imm=offset).branch_target(pc) \
+            == target
+
+
+class TestFormatting:
+    @pytest.mark.parametrize("instr,text", [
+        (Instruction(op=Op.ADD, rd=1, rs=2, rt=3), "add r1, r2, r3"),
+        (Instruction(op=Op.MOV, rd=15, rs=14), "mov sp, fp"),
+        (Instruction(op=Op.PUSH, rd=7), "push r7"),
+        (Instruction(op=Op.LEA, rd=16, rs=16, imm=-4),
+         "lea pcp, pcp, -4"),
+        (Instruction(op=Op.MOVI, rd=1, imm=-9), "movi r1, -9"),
+        (Instruction(op=Op.JMP, imm=2), "jmp 2"),
+        (Instruction(op=Op.JRNZ, rd=16, imm=5), "jrnz pcp, 5"),
+        (Instruction(op=Op.SYSCALL, imm=4), "syscall 4"),
+        (Instruction(op=Op.RET), "ret"),
+    ])
+    def test_str(self, instr, text):
+        assert str(instr) == text
+
+    def test_terminator_flags(self):
+        assert Instruction(op=Op.RET).is_terminator
+        assert Instruction(op=Op.JMP, imm=0).is_branch
+        assert not Instruction(op=Op.ADD).is_branch

@@ -1,0 +1,80 @@
+"""Register naming/parsing and disassembler round-trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import assemble, disassemble_program, disassemble_word
+from repro.isa.encoding import encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.registers import (NUM_GUEST_REGISTERS, NUM_REGISTERS, PCP,
+                                 RTS, SP, is_guest_register,
+                                 is_host_only_register, parse_register,
+                                 register_name)
+
+
+class TestRegisters:
+    def test_alias_names(self):
+        assert register_name(SP) == "sp"
+        assert register_name(PCP) == "pcp"
+        assert register_name(RTS) == "rts"
+        assert register_name(3) == "r3"
+
+    def test_parse_aliases(self):
+        assert parse_register("sp") == SP
+        assert parse_register("PCP") == PCP
+        assert parse_register("r31") == 31
+
+    @given(st.integers(0, NUM_REGISTERS - 1))
+    def test_name_parse_roundtrip(self, index):
+        assert parse_register(register_name(index)) == index
+
+    def test_parse_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            parse_register("r32")
+        with pytest.raises(ValueError):
+            parse_register("x1")
+
+    def test_guest_host_split(self):
+        assert is_guest_register(0)
+        assert is_guest_register(NUM_GUEST_REGISTERS - 1)
+        assert not is_guest_register(PCP)
+        assert is_host_only_register(PCP)
+        assert not is_host_only_register(SP)
+
+
+class TestDisassembler:
+    def test_word_disassembly(self):
+        word = encode(Instruction(op=Op.ADD, rd=1, rs=2, rt=3))
+        assert disassemble_word(word) == "add r1, r2, r3"
+
+    def test_branch_target_annotation(self):
+        word = encode(Instruction(op=Op.JMP, imm=1))
+        assert "-> 0x108" in disassemble_word(word, pc=0x100)
+
+    def test_undecodable_word(self):
+        assert "undecodable" in disassemble_word(0xEE000000)
+
+    def test_program_listing_has_labels(self):
+        program = assemble("main: nop\njmp main", name="t")
+        listing = disassemble_program(program)
+        assert "main:" in listing
+        assert "jmp" in listing
+
+    def test_listing_reassembles_consistently(self):
+        """Disassembly mnemonics match what the assembler accepts."""
+        source = """
+        main:
+            movi r1, 10
+            lea r2, r1, 4
+            cmp r1, r2
+            jl main
+            ret
+        """
+        program = assemble(source)
+        for addr, instr in program.instructions():
+            text = str(instr)
+            mnemonic = text.split()[0]
+            # every printed mnemonic is a real one
+            from repro.isa.opcodes import MNEMONIC_TO_OP
+            assert mnemonic in MNEMONIC_TO_OP

@@ -1,0 +1,143 @@
+"""ALU semantics, one behaviour per test, plus arithmetic properties."""
+
+from hypothesis import given, strategies as st
+
+from repro.isa import assemble
+from repro.isa.flags import CF, OF, SF, ZF
+from repro.machine import Cpu, StopReason
+
+
+def run_fragment(body: str, max_steps: int = 10_000) -> Cpu:
+    cpu = Cpu()
+    cpu.load_program(assemble(body + "\nhalt\n"))
+    stop = cpu.run(max_steps=max_steps)
+    assert stop.reason is StopReason.HALTED, stop
+    return cpu
+
+
+class TestArithmetic:
+    def test_add(self):
+        cpu = run_fragment("movi r1, 20\nmovi r2, 22\nadd r3, r1, r2")
+        assert cpu.regs[3] == 42
+
+    def test_add_wraps_32_bits(self):
+        cpu = run_fragment(
+            "const r1, 0xFFFFFFFF\nmovi r2, 2\nadd r3, r1, r2")
+        assert cpu.regs[3] == 1
+        assert cpu.flags & CF
+
+    def test_sub_borrow(self):
+        cpu = run_fragment("movi r1, 1\nmovi r2, 2\nsub r3, r1, r2")
+        assert cpu.regs[3] == 0xFFFFFFFF
+        assert cpu.flags & CF
+        assert cpu.flags & SF
+
+    def test_mul_low_word(self):
+        cpu = run_fragment("const r1, 0x10001\nconst r2, 0x10001\n"
+                           "mul r3, r1, r2")
+        assert cpu.regs[3] == (0x10001 * 0x10001) & 0xFFFFFFFF
+
+    def test_div_unsigned(self):
+        cpu = run_fragment("movi r1, 100\nmovi r2, 7\ndiv r3, r1, r2")
+        assert cpu.regs[3] == 14
+
+    def test_mod(self):
+        cpu = run_fragment("movi r1, 100\nmovi r2, 7\nmod r3, r1, r2")
+        assert cpu.regs[3] == 2
+
+    def test_div_by_zero_faults(self):
+        cpu = Cpu()
+        cpu.load_program(assemble("movi r1, 1\nmovi r2, 0\n"
+                                  "div r3, r1, r2\nhalt"))
+        stop = cpu.run()
+        assert stop.reason is StopReason.FAULT
+        assert stop.fault.value == "div_by_zero"
+
+    def test_neg(self):
+        cpu = run_fragment("movi r1, 5\nneg r2, r1")
+        assert cpu.regs[2] == 0xFFFFFFFB
+
+    def test_not(self):
+        cpu = run_fragment("movi r1, 0\nnot r2, r1")
+        assert cpu.regs[2] == 0xFFFFFFFF
+
+    def test_shifts(self):
+        cpu = run_fragment("movi r1, 1\nmovi r2, 4\nshl r3, r1, r2\n"
+                           "shr r4, r3, r2")
+        assert cpu.regs[3] == 16
+        assert cpu.regs[4] == 1
+
+    def test_sar_keeps_sign(self):
+        cpu = run_fragment("const r1, 0x80000000\nmovi r2, 4\n"
+                           "sar r3, r1, r2")
+        assert cpu.regs[3] == 0xF8000000
+
+    def test_shift_amount_masked(self):
+        cpu = run_fragment("movi r1, 1\nmovi r2, 33\nshl r3, r1, r2")
+        assert cpu.regs[3] == 2
+
+    def test_cmp_sets_zf_only_reads(self):
+        cpu = run_fragment("movi r1, 9\nmovi r2, 9\ncmp r1, r2")
+        assert cpu.flags & ZF
+        assert cpu.regs[0] == 0  # cmp writes no register
+
+    def test_test_is_and_flags(self):
+        cpu = run_fragment("movi r1, 12\nmovi r2, 3\ntest r1, r2")
+        assert cpu.flags & ZF
+
+
+class TestFlaglessFamily:
+    def test_lea_does_not_touch_flags(self):
+        cpu = run_fragment("movi r1, 1\ncmpi r1, 1\nlea r2, r1, 5")
+        assert cpu.flags & ZF          # still from the cmp
+        assert cpu.regs[2] == 6
+
+    def test_lea3_lsub(self):
+        cpu = run_fragment("movi r1, 10\nmovi r2, 3\nlea3 r3, r1, r2\n"
+                           "lsub r4, r1, r2")
+        assert cpu.regs[3] == 13
+        assert cpu.regs[4] == 7
+
+    def test_mov_family_flagless(self):
+        cpu = run_fragment(
+            "movi r1, 0\ncmpi r1, 0\n"
+            "movi r2, 7\nmovhi r3, 1\nmovlo r3, 2\nmov r4, r2")
+        assert cpu.flags & ZF
+        assert cpu.regs[3] == 0x10002
+        assert cpu.regs[4] == 7
+
+    def test_cmov_taken_and_not(self):
+        cpu = run_fragment(
+            "movi r1, 1\nmovi r2, 2\nmovi r3, 0\nmovi r4, 0\n"
+            "cmpi r1, 1\ncmovz r3, r2\ncmovnz r4, r2")
+        assert cpu.regs[3] == 2
+        assert cpu.regs[4] == 0
+
+    def test_fp_class_costs_more(self):
+        plain = run_fragment("movi r1, 1\nmovi r2, 2\nadd r3, r1, r2")
+        fp = run_fragment("movi r1, 1\nmovi r2, 2\nfmul r3, r1, r2")
+        assert fp.cycles > plain.cycles
+
+    def test_fdiv_by_zero_faults(self):
+        cpu = Cpu()
+        cpu.load_program(assemble("movi r1, 1\nmovi r2, 0\n"
+                                  "fdiv r3, r1, r2\nhalt"))
+        stop = cpu.run()
+        assert stop.reason is StopReason.FAULT
+
+
+@given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+def test_add_sub_inverse_property(a, b):
+    cpu = run_fragment(
+        f"const r1, {a}\nconst r2, {b}\n"
+        "add r3, r1, r2\nsub r4, r3, r2")
+    assert cpu.regs[4] == a
+
+
+@given(st.integers(1, 0xFFFF), st.integers(1, 0xFF))
+def test_div_mod_reconstruction(a, b):
+    cpu = run_fragment(
+        f"const r1, {a}\nconst r2, {b}\n"
+        "div r3, r1, r2\nmod r4, r1, r2\n"
+        "mul r5, r3, r2\nadd r5, r5, r4")
+    assert cpu.regs[5] == a

@@ -1,0 +1,163 @@
+"""Control flow: branches, calls, stack, and the cycle model."""
+
+from repro.isa import assemble
+from repro.isa.program import STACK_TOP
+from repro.machine import Cpu, StopReason, run_native
+
+
+def run_src(source: str, max_steps: int = 100_000):
+    cpu = Cpu()
+    cpu.load_program(assemble(source))
+    stop = cpu.run(max_steps=max_steps)
+    return cpu, stop
+
+
+class TestBranches:
+    def test_jmp_skips(self):
+        cpu, stop = run_src("jmp over\nmovi r1, 1\nover: halt")
+        assert cpu.regs[1] == 0
+
+    def test_conditional_taken(self):
+        cpu, stop = run_src(
+            "movi r1, 5\ncmpi r1, 5\njz hit\nmovi r2, 1\nhit: halt")
+        assert cpu.regs[2] == 0
+
+    def test_conditional_not_taken(self):
+        cpu, stop = run_src(
+            "movi r1, 5\ncmpi r1, 6\njz miss\nmovi r2, 1\nmiss: halt")
+        assert cpu.regs[2] == 1
+
+    def test_jrz_jrnz_flagless(self):
+        cpu, stop = run_src(
+            "movi r1, 0\ncmpi r1, 9\n"     # flags: not equal
+            "jrz r1, a\nmovi r2, 1\n"
+            "a: movi r3, 1\njrnz r3, b\nmovi r4, 1\nb: halt")
+        assert cpu.regs[2] == 0   # jrz taken (r1 == 0)
+        assert cpu.regs[4] == 0   # jrnz taken (r3 != 0)
+
+    def test_loop_iterates(self):
+        cpu, stop = run_src("""
+            movi r1, 0
+        top:
+            addi r1, r1, 1
+            cmpi r1, 5
+            jl top
+            halt
+        """)
+        assert cpu.regs[1] == 5
+
+    def test_taken_branch_costs_extra(self):
+        _, stop1 = run_src("movi r1, 1\ncmpi r1, 2\njz x\nx: halt")
+        cpu_nt = Cpu(); cpu_nt.load_program(
+            assemble("movi r1, 1\ncmpi r1, 2\njz x\nx: halt"))
+        cpu_nt.run()
+        cpu_t = Cpu(); cpu_t.load_program(
+            assemble("movi r1, 2\ncmpi r1, 2\njz x\nx: halt"))
+        cpu_t.run()
+        assert cpu_t.cycles == cpu_nt.cycles + 1
+
+
+class TestCallsAndStack:
+    def test_call_ret(self, call_program):
+        cpu, stop = run_native(call_program)
+        assert stop.reason is StopReason.HALTED
+        assert cpu.output_values == [25]
+
+    def test_call_pushes_return_address(self):
+        cpu, stop = run_src("""
+            call f
+            halt
+        f:
+            ld r1, sp, 0
+            ret
+        """)
+        assert cpu.regs[1] == cpu.memory.size * 0 + 0x1004
+
+    def test_nested_calls(self):
+        cpu, stop = run_src("""
+            movi r1, 1
+            call a
+            halt
+        a:
+            addi r1, r1, 10
+            call b
+            ret
+        b:
+            addi r1, r1, 100
+            ret
+        """)
+        assert cpu.regs[1] == 111
+
+    def test_push_pop(self):
+        cpu, stop = run_src(
+            "movi r1, 77\npush r1\nmovi r1, 0\npop r2\nhalt")
+        assert cpu.regs[2] == 77
+        assert cpu.regs[15] == STACK_TOP - 16
+
+    def test_indirect_jump(self):
+        cpu, stop = run_src("""
+            const r1, target
+            jmpr r1
+            movi r2, 1
+        target: halt
+        """)
+        assert cpu.regs[2] == 0
+
+    def test_indirect_call(self):
+        cpu, stop = run_src("""
+            const r1, f
+            callr r1
+            halt
+        f:
+            movi r2, 9
+            ret
+        """)
+        assert cpu.regs[2] == 9
+
+    def test_jump_table(self):
+        cpu, stop = run_src("""
+        .data
+        .align 4
+        table: .word c0, c1, c2
+        .text
+        .entry main
+        main:
+            movi r1, 1
+            shli r1, r1, 2
+            const r2, table
+            lea3 r2, r2, r1
+            ld r3, r2, 0
+            jmpr r3
+        c0: movi r4, 100
+            halt
+        c1: movi r4, 200
+            halt
+        c2: movi r4, 300
+            halt
+        """)
+        assert cpu.regs[4] == 200
+
+
+class TestRunLimits:
+    def test_step_limit(self):
+        cpu, stop = run_src("spin: jmp spin", max_steps=100)
+        assert stop.reason is StopReason.STEP_LIMIT
+
+    def test_cycle_limit(self):
+        cpu = Cpu()
+        cpu.load_program(assemble("spin: jmp spin"))
+        stop = cpu.run(max_cycles=50)
+        assert stop.reason is StopReason.CYCLE_LIMIT
+
+    def test_step_api(self):
+        cpu = Cpu()
+        cpu.load_program(assemble("movi r1, 3\nhalt"))
+        assert cpu.step() is None
+        assert cpu.regs[1] == 3
+        stop = cpu.step()
+        assert stop is not None and stop.reason is StopReason.HALTED
+
+    def test_icount_and_cycles_track(self, sum_loop):
+        cpu, stop = run_native(sum_loop)
+        assert cpu.icount > 0
+        assert cpu.cycles >= cpu.icount

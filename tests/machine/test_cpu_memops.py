@@ -1,0 +1,124 @@
+"""Memory-operation semantics and boundary behaviour."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.machine import Cpu, FaultKind, StopReason
+
+
+def run_src(source: str):
+    cpu = Cpu()
+    cpu.load_program(assemble(source))
+    stop = cpu.run(max_steps=10_000)
+    return cpu, stop
+
+
+class TestWordOps:
+    def test_store_load_roundtrip(self):
+        cpu, stop = run_src("""
+        .data
+        buf: .space 16
+        .text
+        const r1, buf
+        const r2, 0xCAFEBABE
+        st r2, r1, 8
+        ld r3, r1, 8
+        halt
+        """)
+        assert stop.reason is StopReason.HALTED
+        assert cpu.regs[3] == 0xCAFEBABE
+
+    def test_negative_displacement(self):
+        cpu, stop = run_src("""
+        .data
+        buf: .space 16
+        .text
+        const r1, buf+12
+        movi r2, 55
+        st r2, r1, -8
+        ld r3, r1, -8
+        halt
+        """)
+        assert cpu.regs[3] == 55
+
+    def test_unaligned_store_faults(self):
+        cpu, stop = run_src("""
+        .data
+        buf: .space 16
+        .text
+        const r1, buf+2
+        st r1, r1, 0
+        halt
+        """)
+        assert stop.reason is StopReason.FAULT
+        assert stop.fault is FaultKind.UNALIGNED
+
+
+class TestByteOps:
+    def test_byte_roundtrip_and_zero_extension(self):
+        cpu, stop = run_src("""
+        .data
+        buf: .space 4
+        .text
+        const r1, buf
+        const r2, 0x1FF
+        stb r2, r1, 1
+        ldb r3, r1, 1
+        halt
+        """)
+        assert cpu.regs[3] == 0xFF   # truncated on store, zero-extended
+
+    def test_little_endian_layout(self):
+        cpu, stop = run_src("""
+        .data
+        buf: .space 4
+        .text
+        const r1, buf
+        const r2, 0x04030201
+        st r2, r1, 0
+        ldb r3, r1, 0
+        ldb r4, r1, 3
+        halt
+        """)
+        assert cpu.regs[3] == 0x01
+        assert cpu.regs[4] == 0x04
+
+
+class TestStackDiscipline:
+    def test_lifo(self):
+        cpu, stop = run_src("""
+        movi r1, 1
+        movi r2, 2
+        push r1
+        push r2
+        pop r3
+        pop r4
+        halt
+        """)
+        assert (cpu.regs[3], cpu.regs[4]) == (2, 1)
+
+    def test_mem_ops_leave_flags_alone(self):
+        cpu, stop = run_src("""
+        .data
+        buf: .space 8
+        .text
+        movi r1, 3
+        cmpi r1, 3          ; ZF set
+        const r2, buf
+        st r1, r2, 0
+        ld r3, r2, 0
+        push r3
+        pop r4
+        jz ok
+        movi r5, 1
+        ok: halt
+        """)
+        assert cpu.regs[5] == 0   # the jz still saw ZF
+
+    def test_deep_stack_unmapped_eventually_faults(self):
+        # the stack region is 64 KiB: ~16k pushes at 2 instrs each
+        cpu = Cpu()
+        cpu.load_program(assemble("loop:\npush r1\njmp loop"))
+        stop = cpu.run(max_steps=100_000)
+        assert stop.reason is StopReason.FAULT
+        assert stop.fault is FaultKind.BAD_ACCESS

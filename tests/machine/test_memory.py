@@ -1,0 +1,152 @@
+"""Memory: permissions, faults, watches — the hardware protection
+substrate the paper's category-F detection relies on."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.machine import (Cpu, FaultKind, Memory, PERM_R, PERM_RW,
+                           PERM_RX, PERM_X, StopReason)
+from repro.machine.faults import MachineError
+from repro.machine.memory import PAGE_SIZE, AccessFault
+
+
+class TestPermissions:
+    def test_default_no_access(self):
+        mem = Memory(PAGE_SIZE * 4)
+        with pytest.raises(AccessFault) as info:
+            mem.load_word(0)
+        assert info.value.kind is FaultKind.BAD_ACCESS
+
+    def test_read_only_blocks_write(self):
+        mem = Memory(PAGE_SIZE * 4)
+        mem.set_perms(0, PAGE_SIZE, PERM_R)
+        assert mem.load_word(0) == 0
+        with pytest.raises(AccessFault) as info:
+            mem.store_word(0, 1)
+        assert info.value.kind is FaultKind.WRITE_PROTECT
+
+    def test_execute_disable(self):
+        mem = Memory(PAGE_SIZE * 4)
+        mem.set_perms(0, PAGE_SIZE, PERM_RW)
+        with pytest.raises(AccessFault) as info:
+            mem.fetch_word(0)
+        assert info.value.kind is FaultKind.NX_VIOLATION
+
+    def test_rx_allows_fetch(self):
+        mem = Memory(PAGE_SIZE * 4)
+        mem.set_perms(0, PAGE_SIZE, PERM_RX)
+        assert mem.fetch_word(0) == 0
+
+    def test_perms_page_granular(self):
+        mem = Memory(PAGE_SIZE * 4)
+        mem.set_perms(0, PAGE_SIZE, PERM_RW)
+        mem.store_word(PAGE_SIZE - 4, 7)     # same page: ok
+        with pytest.raises(AccessFault):
+            mem.store_word(PAGE_SIZE, 7)     # next page: no access
+
+    def test_region_outside_memory_rejected(self):
+        mem = Memory(PAGE_SIZE)
+        with pytest.raises(MachineError):
+            mem.set_perms(0, PAGE_SIZE * 2, PERM_RW)
+
+
+class TestAlignment:
+    def test_unaligned_word_load(self):
+        mem = Memory(PAGE_SIZE)
+        mem.set_perms(0, PAGE_SIZE, PERM_RW)
+        with pytest.raises(AccessFault) as info:
+            mem.load_word(2)
+        assert info.value.kind is FaultKind.UNALIGNED
+
+    def test_byte_access_any_alignment(self):
+        mem = Memory(PAGE_SIZE)
+        mem.set_perms(0, PAGE_SIZE, PERM_RW)
+        mem.store_byte(3, 0xAB)
+        assert mem.load_byte(3) == 0xAB
+
+
+class TestRawAccess:
+    def test_raw_ignores_permissions(self):
+        mem = Memory(PAGE_SIZE)
+        mem.write_raw(0, b"\x01\x02")
+        assert mem.read_raw(0, 2) == b"\x01\x02"
+
+    def test_write_watch_fires(self):
+        mem = Memory(PAGE_SIZE)
+        mem.set_perms(0, PAGE_SIZE, PERM_RW)
+        seen = []
+        mem.write_watch = lambda addr, length: seen.append((addr, length))
+        mem.store_word(8, 1)
+        mem.write_raw(16, b"xy")
+        assert seen == [(8, 4), (16, 2)]
+
+    def test_cstring(self):
+        mem = Memory(PAGE_SIZE)
+        mem.set_perms(0, PAGE_SIZE, PERM_RW)
+        mem.write_raw(0, b"hello\x00world")
+        assert mem.read_cstring(0) == b"hello"
+
+
+class TestHardwareDetection:
+    """End-to-end: the machine catches wild control flow."""
+
+    def test_jump_to_data_is_nx_fault(self):
+        cpu = Cpu()
+        cpu.load_program(assemble(
+            ".data\nbuf: .word 1\n.text\nconst r1, buf\njmpr r1"))
+        stop = cpu.run()
+        assert stop.reason is StopReason.FAULT
+        assert stop.fault is FaultKind.NX_VIOLATION
+
+    def test_jump_to_unmapped_is_fault(self):
+        cpu = Cpu()
+        cpu.load_program(assemble("movi r1, 0x100\njmpr r1"))
+        stop = cpu.run()
+        assert stop.reason is StopReason.FAULT
+
+    def test_unaligned_pc_is_fault(self):
+        cpu = Cpu()
+        cpu.load_program(assemble("movi r1, 0x1001\njmpr r1"))
+        stop = cpu.run()
+        assert stop.reason is StopReason.FAULT
+        assert stop.fault is FaultKind.UNALIGNED
+
+    def test_executing_zeroed_memory_is_illegal(self):
+        # Fall off the end of text into the rest of the RX page.
+        cpu = Cpu()
+        cpu.load_program(assemble("movi r1, 1"))  # no halt
+        stop = cpu.run()
+        assert stop.reason is StopReason.FAULT
+        assert stop.fault is FaultKind.ILLEGAL_INSTRUCTION
+
+    def test_store_to_text_page_write_protected(self):
+        cpu = Cpu()
+        program = assemble("const r1, main\nmovi r2, 0\nst r2, r1, 0\n"
+                           "main: halt")
+        cpu.load_program(program)
+        # native loading marks text RX (no W)
+        stop = cpu.run()
+        assert stop.reason is StopReason.FAULT
+        assert stop.fault is FaultKind.WRITE_PROTECT
+
+    def test_decode_cache_invalidated_on_write(self):
+        """Self-modifying code executes the *new* bytes."""
+        source = """
+        .entry main
+        main:
+            const r1, patch_site
+            const r2, 0x21080007    ; movi r1, 7
+            st r2, r1, 0
+        patch_site:
+            movi r1, 1
+            halt
+        """
+        cpu = Cpu()
+        program = assemble(source)
+        cpu.load_program(program)
+        # make text writable to allow the patch (native SMC scenario)
+        cpu.memory.set_perms(program.text_base, len(program.text),
+                             PERM_RW | PERM_X)
+        stop = cpu.run()
+        assert stop.reason is StopReason.HALTED
+        assert cpu.regs[1] == 7

@@ -1,0 +1,111 @@
+"""CLI smoke tests (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import main
+
+DEMO = """
+.entry main
+main:
+    movi r1, 0
+    movi r2, 1
+loop:
+    add r1, r1, r2
+    addi r2, r2, 1
+    cmpi r2, 11
+    jl loop
+    syscall 1
+    movi r1, 0
+    syscall 0
+"""
+
+
+@pytest.fixture
+def demo_file(tmp_path):
+    path = tmp_path / "demo.s"
+    path.write_text(DEMO)
+    return str(path)
+
+
+class TestRun:
+    def test_native(self, demo_file, capsys):
+        assert main(["run", demo_file, "--pipeline", "native"]) == 0
+        out = capsys.readouterr().out
+        assert "55" in out and "halted" in out
+
+    def test_dbt_with_technique(self, demo_file, capsys):
+        assert main(["run", demo_file, "-t", "rcf"]) == 0
+        assert "detected=False" in capsys.readouterr().out
+
+    def test_static_pipeline(self, demo_file, capsys):
+        assert main(["run", demo_file, "--pipeline", "static",
+                     "-t", "cfcss"]) == 0
+        assert "55" in capsys.readouterr().out
+
+    def test_dataflow_flag(self, demo_file, capsys):
+        assert main(["run", demo_file, "--dataflow"]) == 0
+
+    def test_policy_choice(self, demo_file):
+        assert main(["run", demo_file, "-t", "rcf",
+                     "--policy", "end"]) == 0
+
+
+class TestDisasm:
+    def test_listing(self, demo_file, capsys):
+        assert main(["disasm", demo_file]) == 0
+        out = capsys.readouterr().out
+        assert "main:" in out and "jl" in out
+
+
+class TestInject:
+    def test_offset_fault_detected(self, demo_file, capsys):
+        code = main(["inject", demo_file, "-t", "edgcf",
+                     "--branch", "loop+12", "--occurrence", "2",
+                     "--fault", "offset:0"])
+        assert code == 0
+        assert "detected_signature" in capsys.readouterr().out
+
+    def test_sdc_exit_code(self, demo_file, capsys):
+        code = main(["inject", demo_file,
+                     "--branch", "loop+12", "--occurrence", "2",
+                     "--fault", "offset:0"])
+        out = capsys.readouterr().out
+        assert "sdc" in out
+        assert code == 2
+
+    def test_direction_fault(self, demo_file, capsys):
+        assert main(["inject", demo_file, "-t", "rcf",
+                     "--branch", "loop+12", "--fault",
+                     "direction"]) == 0
+
+    def test_register_fault_with_dataflow(self, demo_file, capsys):
+        code = main(["inject", demo_file, "--dataflow",
+                     "--fault", "register:1,8,20"])
+        assert code == 0
+        assert "detected" in capsys.readouterr().out
+
+    def test_redirect_symbolic(self, demo_file, capsys):
+        assert main(["inject", demo_file, "-t", "edgcf",
+                     "--branch", "loop+12", "--fault",
+                     "redirect:main"]) == 0
+
+    def test_unknown_fault_kind(self, demo_file):
+        with pytest.raises(SystemExit):
+            main(["inject", demo_file, "--fault", "bogus:1"])
+
+
+class TestAnalysis:
+    def test_errormodel(self, demo_file, capsys):
+        assert main(["errormodel", demo_file]) == 0
+        out = capsys.readouterr().out
+        assert "Category A" in out and "No Error" in out
+
+    def test_coverage(self, demo_file, capsys):
+        assert main(["coverage", demo_file, "--per-category", "2",
+                     "--no-cache-level"]) == 0
+        assert "configuration" in capsys.readouterr().out
+
+    def test_suite_listing(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "164.gzip" in out and "171.swim" in out

@@ -1,0 +1,112 @@
+"""Workload suite: all 26 benchmarks assemble, run, and have the
+structural profiles the reproduction depends on."""
+
+import pytest
+
+from repro.cfg import build_cfg
+from repro.machine import StopReason, run_native
+from repro.workloads import (BY_NAME, FP_SUITE, INT_SUITE, SUITE, load,
+                             suite_names)
+
+
+class TestRegistry:
+    def test_26_benchmarks(self):
+        assert len(SUITE) == 26
+        assert len(INT_SUITE) == 12
+        assert len(FP_SUITE) == 14
+
+    def test_spec2000_names(self):
+        assert "164.gzip" in BY_NAME
+        assert "171.swim" in BY_NAME
+        assert "300.twolf" in BY_NAME
+
+    def test_order_fp_first(self):
+        names = suite_names()
+        assert names[0].startswith("168")
+        assert names[14 - 1].startswith("301")
+        assert names[14].startswith("164")
+
+    def test_scales_present(self):
+        for spec in SUITE:
+            assert set(spec.params) == {"test", "small", "ref"}
+
+    def test_load_caches(self):
+        assert load("254.gap", "test") is load("254.gap", "test")
+
+    def test_indirect_flagged(self):
+        assert BY_NAME["176.gcc"].uses_indirect
+        assert not BY_NAME["176.gcc"].static_rewritable
+
+    def test_whole_cfg_candidates_exist(self):
+        candidates = [s for s in SUITE if s.whole_cfg_ok]
+        assert len(candidates) >= 6
+
+
+@pytest.mark.parametrize("name", suite_names())
+class TestEveryBenchmark:
+    def test_runs_and_emits(self, name):
+        program = load(name, "test")
+        cpu, stop = run_native(program, max_steps=3_000_000)
+        assert stop.reason is StopReason.HALTED
+        assert stop.exit_code == 0
+        assert cpu.output_values, "benchmark must emit a checksum"
+
+    def test_deterministic(self, name):
+        outputs = []
+        for _ in range(2):
+            cpu, _ = run_native(load(name, "test"), max_steps=3_000_000)
+            outputs.append((tuple(cpu.output_values), cpu.cycles))
+        assert outputs[0] == outputs[1]
+
+    def test_scales_increase_work(self, name):
+        cpu_test, _ = run_native(load(name, "test"),
+                                 max_steps=10_000_000)
+        cpu_small, _ = run_native(load(name, "small"),
+                                  max_steps=10_000_000)
+        assert cpu_small.icount > cpu_test.icount
+
+
+class TestStructuralProfiles:
+    def test_fp_blocks_bigger_than_int(self):
+        """The property behind every fp-vs-int difference in the
+        paper."""
+        def mean_block(specs):
+            sizes = [build_cfg(spec.assemble("test")).average_block_size()
+                     for spec in specs]
+            return sum(sizes) / len(sizes)
+        assert mean_block(FP_SUITE) > 1.5 * mean_block(INT_SUITE)
+
+    def test_fp_uses_expensive_ops(self):
+        from repro.isa.opcodes import Op
+        fp_ops = {Op.FADD, Op.FSUB, Op.FMUL, Op.FDIV}
+        for spec in FP_SUITE:
+            program = spec.assemble("test")
+            ops = {instr.op for _, instr in program.instructions()}
+            assert ops & fp_ops, spec.name
+
+    def test_int_suite_is_branchy(self):
+        for spec in INT_SUITE:
+            if spec.uses_indirect:
+                continue  # gcc's branchiness is indirect dispatch
+            cfg = build_cfg(spec.assemble("test"))
+            stats = cfg.stats()
+            cond = stats.get("exit_cond", 0)
+            assert cond / stats["blocks"] > 0.2, spec.name
+
+
+class TestSynthetic:
+    def test_source_deterministic(self):
+        from repro.workloads import generate_program_source
+        assert generate_program_source(7) == generate_program_source(7)
+
+    def test_different_seeds_differ(self):
+        from repro.workloads import generate_program_source
+        assert generate_program_source(1) != generate_program_source(2)
+
+    @pytest.mark.parametrize("seed", [0, 5, 9])
+    def test_generated_programs_terminate(self, seed):
+        from repro.workloads import generate_program
+        program = generate_program(seed, with_calls=True)
+        cpu, stop = run_native(program, max_steps=500_000)
+        assert stop.reason is StopReason.HALTED
+        assert cpu.output_values
