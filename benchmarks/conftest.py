@@ -7,6 +7,10 @@ output capture.
 
 Scale: set ``REPRO_BENCH_SCALE`` to ``test``, ``small`` (default) or
 ``ref``; ``ref`` takes a few minutes but uses the largest workloads.
+
+Parallelism: set ``REPRO_BENCH_JOBS`` to the number of campaign worker
+processes (default 1 = serial; 0 = one per CPU).  Campaign results are
+identical for every job count — only the wall clock changes.
 """
 
 from __future__ import annotations
@@ -26,9 +30,19 @@ def bench_scale() -> str:
     return scale
 
 
+def bench_jobs() -> int:
+    from repro.faults import resolve_jobs
+    return resolve_jobs(int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+
+
 @pytest.fixture(scope="session")
 def scale() -> str:
     return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def jobs() -> int:
+    return bench_jobs()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,102 @@
+"""Performance trajectory baseline.
+
+Times the two throughput-critical paths — the raw interpreter loop and
+a fixed-seed fault-injection mini-campaign — and writes the numbers to
+``benchmarks/results/BENCH_campaign.json`` so future PRs have a
+machine-readable perf history to compare against.
+
+All measured work is deterministic (fixed seeds, fixed workloads); only
+the wall clock varies between machines.  The campaign half honours
+``REPRO_BENCH_JOBS``, so the same file also records the parallel-engine
+speedup on multi-core runners.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.faults import (CampaignExecutor, PipelineConfig, clear_caches,
+                          generate_category_faults)
+from repro.machine import run_native
+from repro.workloads import load
+
+#: Fixed-seed mini-campaign: (workload, per-category spec count, seed).
+CAMPAIGN_WORKLOAD = "254.gap"
+CAMPAIGN_PER_CATEGORY = 34     # 6 categories -> ~200 single-fault runs
+CAMPAIGN_SEED = 2006
+
+INTERP_WORKLOADS = ("254.gap", "183.equake")
+
+
+def _interp_mips(scale: str) -> dict:
+    """Best-of-3 native interpreter throughput per workload."""
+    per_workload = {}
+    for name in INTERP_WORKLOADS:
+        program = load(name, scale)
+        run_native(program)      # warm the decode cache path
+        best = float("inf")
+        icount = 0
+        for _ in range(3):
+            start = time.perf_counter()
+            cpu, stop = run_native(program)
+            best = min(best, time.perf_counter() - start)
+            icount = cpu.icount
+        assert stop.exit_code == 0
+        per_workload[name] = {
+            "icount": icount,
+            "seconds": round(best, 6),
+            "mips": round(icount / best / 1e6, 4),
+        }
+    return per_workload
+
+
+def _campaign_throughput(jobs: int) -> dict:
+    program = load(CAMPAIGN_WORKLOAD, "test")
+    faults = generate_category_faults(
+        program, per_category=CAMPAIGN_PER_CATEGORY, seed=CAMPAIGN_SEED)
+    runs = faults.total()
+    executor = CampaignExecutor(program, PipelineConfig("dbt", "rcf"),
+                                jobs=jobs)
+    start = time.perf_counter()
+    result = executor.run_campaign(faults)
+    seconds = time.perf_counter() - start
+    tallies = {category.value: {out.value: n for out, n in bucket.items()}
+               for category, bucket in result.outcomes.items()}
+    return {
+        "workload": CAMPAIGN_WORKLOAD,
+        "seed": CAMPAIGN_SEED,
+        "runs": runs,
+        "jobs": jobs,
+        "seconds": round(seconds, 4),
+        "runs_per_sec": round(runs / seconds, 3),
+        "tallies": tallies,
+    }
+
+
+def test_perf_baseline(scale, jobs, results_dir, publish):
+    clear_caches()
+    interp = _interp_mips(scale)
+    campaign = _campaign_throughput(jobs)
+
+    payload = {
+        "scale": scale,
+        "interpreter": interp,
+        "campaign": campaign,
+    }
+    (results_dir / "BENCH_campaign.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    lines = [f"Perf baseline (scale={scale}, jobs={jobs})"]
+    for name, row in interp.items():
+        lines.append(f"  interp {name:12s} {row['mips']:.3f} MIPS "
+                     f"({row['icount']} instrs in {row['seconds']:.3f}s)")
+    lines.append(f"  campaign {campaign['runs']} runs in "
+                 f"{campaign['seconds']:.2f}s = "
+                 f"{campaign['runs_per_sec']:.1f} runs/s")
+    publish("perf_baseline", "\n".join(lines))
+
+    assert campaign["runs"] >= 150
+    assert campaign["runs_per_sec"] > 0
+    for row in interp.values():
+        assert row["mips"] > 0

@@ -76,17 +76,19 @@ def compute_coverage_matrix(program: Program,
                             per_category: int = 10,
                             seed: int = 2006,
                             include_cache_level: bool = True,
-                            cache_max_sites: int = 20) -> CoverageMatrix:
+                            cache_max_sites: int = 20,
+                            jobs: int = 1) -> CoverageMatrix:
     """Run guest-level (and optionally cache-level) campaigns for each
-    configuration."""
+    configuration.  ``jobs > 1`` parallelizes each campaign's runs."""
     faults = generate_category_faults(program, per_category=per_category,
                                       seed=seed)
     matrix = CoverageMatrix(program_name=program.source_name)
     for config in configs:
-        result = run_campaign(program, config, faults)
+        result = run_campaign(program, config, faults, jobs=jobs)
         matrix.results[config.label()] = result
         if include_cache_level and config.pipeline == "dbt" \
                 and config.technique:
             matrix.cache_results[config.label()] = run_cache_campaign(
-                program, config, max_sites=cache_max_sites, seed=seed)
+                program, config, max_sites=cache_max_sites, seed=seed,
+                jobs=jobs)
     return matrix

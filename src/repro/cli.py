@@ -78,12 +78,15 @@ def cmd_disasm(args) -> int:
     return 0
 
 
-def cmd_inject(args) -> int:
+def _parse_fault_spec(program, args, token):
     from repro.faults import (DirectionFault, FaultSpec, FlagBitFault,
-                              OffsetBitFault, Pipeline, PipelineConfig,
-                              RedirectFault, RegisterFaultSpec)
-    program = _load_program(args.file)
-    kind, _, value = args.fault.partition(":")
+                              OffsetBitFault, RedirectFault,
+                              RegisterFaultSpec)
+    kind, _, value = token.partition(":")
+    if kind == "register":
+        reg, bit, icount = value.split(",")
+        return RegisterFaultSpec(icount=int(icount), reg=int(reg),
+                                 bit=int(bit))
     if kind == "offset":
         fault = OffsetBitFault(bit=int(value))
     elif kind == "flag":
@@ -92,28 +95,31 @@ def cmd_inject(args) -> int:
         fault = DirectionFault(taken=None)
     elif kind == "redirect":
         fault = RedirectFault(_resolve_addr(program, value))
-    elif kind == "register":
-        reg, bit, icount = value.split(",")
-        spec = RegisterFaultSpec(icount=int(icount), reg=int(reg),
-                                 bit=int(bit))
-        return _report_injection(program, args, spec)
     else:
         raise SystemExit(f"unknown fault kind {kind!r}")
-    spec = FaultSpec(_resolve_addr(program, args.branch),
+    return FaultSpec(_resolve_addr(program, args.branch),
                      args.occurrence, fault)
-    return _report_injection(program, args, spec)
 
 
-def _report_injection(program, args, spec) -> int:
-    from repro.faults import Outcome, Pipeline, PipelineConfig
+def cmd_inject(args) -> int:
+    """Run one or more injected faults (repeat --fault for a batch);
+    --jobs fans a batch out over worker processes."""
+    from repro.faults import CampaignExecutor, Outcome, PipelineConfig
+    program = _load_program(args.file)
+    specs = [_parse_fault_spec(program, args, token)
+             for token in args.fault]
     config = PipelineConfig("dbt", args.technique,
                             Policy(args.policy), dataflow=args.dataflow)
-    pipeline = Pipeline(program, config)
-    record = pipeline.run(spec)
-    print(f"fault:   {spec.describe()}")
+    executor = CampaignExecutor(program, config, jobs=args.jobs)
+    records = executor.run_specs(specs)
     print(f"config:  {config.label()}")
-    print(f"outcome: {record.outcome.value}  ({record.stop_reason})")
-    return 0 if record.outcome is not Outcome.SDC else 2
+    status = 0
+    for spec, record in zip(specs, records):
+        print(f"fault:   {spec.describe()}")
+        print(f"outcome: {record.outcome.value}  ({record.stop_reason})")
+        if record.outcome is Outcome.SDC:
+            status = 2
+    return status
 
 
 def cmd_errormodel(args) -> int:
@@ -143,23 +149,35 @@ def cmd_suite(args) -> int:
     return 0
 
 
-def cmd_verify(args) -> int:
+def _verify_task(task):
+    """Instrument + statically verify one technique (worker-safe)."""
     from repro.instrument import instrument_program, verify_instrumented
+    program, technique, policy_value = task
+    ip = instrument_program(program, technique, Policy(policy_value))
+    return technique, verify_instrumented(ip)
+
+
+def cmd_verify(args) -> int:
+    from repro.faults import parallel_map
     program = _load_program(args.file)
-    technique = args.technique or "edgcf"
-    ip = instrument_program(program, technique, Policy(args.policy))
-    report = verify_instrumented(ip)
-    print(report.summary())
-    if report.violations:
-        for pc, block in report.violations:
-            print(f"  VIOLATION: check at {pc:#x} fires on a legal "
-                  f"path through block {block:#x}")
-        return 1
-    if report.unproven:
+    techniques = args.technique or ["edgcf"]
+    tasks = [(program, technique, args.policy)
+             for technique in techniques]
+    status = 0
+    for technique, report in parallel_map(_verify_task, tasks,
+                                          jobs=args.jobs):
+        prefix = f"[{technique}] " if len(techniques) > 1 else ""
+        print(prefix + report.summary())
+        if report.violations:
+            for pc, block in report.violations:
+                print(f"  VIOLATION: check at {pc:#x} fires on a legal "
+                      f"path through block {block:#x}")
+            status = 1
+            continue
         for pc in report.unproven:
             print(f"  unproven: check at {pc:#x} "
                   "(beyond static precision)")
-    return 0
+    return status
 
 
 def cmd_coverage(args) -> int:
@@ -167,7 +185,7 @@ def cmd_coverage(args) -> int:
     program = _load_program(args.file)
     matrix = compute_coverage_matrix(
         program, per_category=args.per_category,
-        include_cache_level=not args.no_cache_level)
+        include_cache_level=not args.no_cache_level, jobs=args.jobs)
     print(matrix.table())
     return 0
 
@@ -202,15 +220,22 @@ def build_parser() -> argparse.ArgumentParser:
     dis.add_argument("file")
     dis.set_defaults(func=cmd_disasm)
 
-    inj = sub.add_parser("inject", help="run with one injected fault")
+    def jobs_arg(p):
+        p.add_argument(
+            "--jobs", "-j", type=int, default=1,
+            help="worker processes for independent runs "
+                 "(0 = one per CPU; default 1 = serial)")
+
+    inj = sub.add_parser("inject", help="run with injected fault(s)")
     common_exec(inj)
     inj.add_argument("--branch", default="0",
                      help="guest branch: symbol[+off] or address")
     inj.add_argument("--occurrence", type=int, default=1)
     inj.add_argument(
-        "--fault", required=True,
+        "--fault", required=True, action="append",
         help="offset:BIT | flag:BIT | direction | redirect:ADDR | "
-             "register:REG,BIT,ICOUNT")
+             "register:REG,BIT,ICOUNT (repeatable)")
+    jobs_arg(inj)
     inj.set_defaults(func=cmd_inject)
 
     err = sub.add_parser("errormodel",
@@ -226,16 +251,20 @@ def build_parser() -> argparse.ArgumentParser:
     ver = sub.add_parser(
         "verify", help="statically verify instrumented code")
     ver.add_argument("file")
-    ver.add_argument("--technique", "-t", default="edgcf",
-                     choices=["ecf", "edgcf", "rcf", "cfcss", "ecca"])
+    ver.add_argument("--technique", "-t", action="append", default=None,
+                     choices=["ecf", "edgcf", "rcf", "cfcss", "ecca"],
+                     help="technique to verify (repeatable; "
+                          "default edgcf)")
     ver.add_argument("--policy", default="allbb",
                      choices=[p.value for p in Policy])
+    jobs_arg(ver)
     ver.set_defaults(func=cmd_verify)
 
     cov = sub.add_parser("coverage", help="coverage campaign")
     cov.add_argument("file")
     cov.add_argument("--per-category", type=int, default=8)
     cov.add_argument("--no-cache-level", action="store_true")
+    jobs_arg(cov)
     cov.set_defaults(func=cmd_coverage)
     return parser
 

@@ -28,6 +28,10 @@ from repro.faults.campaign import (CacheCampaignResult, CampaignResult,
                                    generate_register_faults, run_campaign,
                                    run_cache_campaign,
                                    run_data_fault_campaign)
+from repro.faults.cache import (cache_stats, clear_caches, program_digest,
+                                set_cache_enabled)
+from repro.faults.executor import (CampaignExecutor, parallel_map,
+                                   resolve_jobs)
 
 __all__ = [
     "ALL_ERROR_CATEGORIES", "Category", "SDC_CATEGORIES",
@@ -46,4 +50,6 @@ __all__ = [
     "run_campaign", "run_cache_campaign",
     "EffectivenessResult", "run_effectiveness_campaign",
     "sample_model_faults",
+    "CampaignExecutor", "parallel_map", "resolve_jobs",
+    "cache_stats", "clear_caches", "program_digest", "set_cache_enabled",
 ]

@@ -1,0 +1,86 @@
+"""Process-level golden-run and profile caches.
+
+Fault campaigns re-run the same fault-free executions over and over:
+every :class:`~repro.faults.campaign.Pipeline` starts with a golden run,
+and every call to ``generate_category_faults`` starts with a profiled
+native run — even when the program and configuration are identical to
+one already executed in this process.  For a coverage matrix over N
+configurations that is N redundant golden runs per workload, and one
+redundant profiling run per fault-generation call.
+
+These caches are keyed by **content**, not identity: the program key is
+a digest of the loadable image (text, data, layout, entry), so two
+separately assembled copies of the same source hit the same entry.  The
+cached values (``Golden``, ``BranchProfiler``) are only ever read by
+their consumers, so sharing is safe; everything here is deterministic,
+so a cache hit is byte-identical to a re-run.
+
+Campaign workers spawned by the parallel executor inherit a warm cache
+under the ``fork`` start method and populate their own under ``spawn``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+_golden_cache: dict = {}
+_profile_cache: dict = {}
+_enabled = True
+
+
+def program_digest(program) -> str:
+    """Content digest of a loadable program image."""
+    hasher = hashlib.sha256()
+    hasher.update(program.text)
+    hasher.update(b"\x00")
+    hasher.update(program.data)
+    hasher.update(f"{program.text_base}:{program.data_base}:"
+                  f"{program.entry}".encode())
+    return hasher.hexdigest()
+
+
+def config_key(config) -> tuple:
+    """Hashable identity of a PipelineConfig."""
+    return (config.pipeline, config.technique, config.policy.value,
+            config.update_style.value, config.dataflow)
+
+
+def get_golden(digest: str, key: tuple):
+    if not _enabled:
+        return None
+    return _golden_cache.get((digest, key))
+
+
+def put_golden(digest: str, key: tuple, golden) -> None:
+    if _enabled:
+        _golden_cache[(digest, key)] = golden
+
+
+def get_profile(digest: str, max_steps: int):
+    if not _enabled:
+        return None
+    return _profile_cache.get((digest, max_steps))
+
+
+def put_profile(digest: str, max_steps: int, profiler) -> None:
+    if _enabled:
+        _profile_cache[(digest, max_steps)] = profiler
+
+
+def clear_caches() -> None:
+    """Drop every cached golden run and profile (test isolation)."""
+    _golden_cache.clear()
+    _profile_cache.clear()
+
+
+def set_cache_enabled(enabled: bool) -> None:
+    """Globally enable/disable caching (disabling also clears)."""
+    global _enabled
+    _enabled = enabled
+    if not enabled:
+        clear_caches()
+
+
+def cache_stats() -> dict:
+    return {"golden_entries": len(_golden_cache),
+            "profile_entries": len(_profile_cache)}

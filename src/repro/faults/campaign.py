@@ -37,6 +37,7 @@ from repro.dbt import Dbt
 from repro.instrument import InstrumentedProgram, StaticRewriter
 from repro.machine.profile import BranchProfiler
 from repro.faults.classify import Category
+from repro.faults import cache as run_cache
 from repro.faults.injector import (CacheFaultSpec, CacheLevelInjector,
                                    DbtInjector, DirectionFault, FaultSpec,
                                    NativeInjector, RedirectFault)
@@ -111,7 +112,15 @@ class Pipeline:
                                        cfg=cfg)
             self._instrumented = StaticRewriter(
                 technique, config.policy).rewrite(program)
-        self.golden = self._golden_run()
+        # Golden runs are deterministic per (program image, config), so
+        # identical pipelines share one cached reference execution.
+        digest = run_cache.program_digest(program)
+        key = run_cache.config_key(config)
+        golden = run_cache.get_golden(digest, key)
+        if golden is None:
+            golden = self._golden_run()
+            run_cache.put_golden(digest, key, golden)
+        self.golden = golden
 
     # -- execution -----------------------------------------------------------
 
@@ -208,7 +217,8 @@ class Pipeline:
                   dataflow=config.dataflow)
         injector = None
         if isinstance(fault, CacheFaultSpec):
-            CacheLevelInjector(fault, dbt).install()
+            injector = CacheLevelInjector(fault, dbt)
+            injector.install()
         elif isinstance(fault, RegisterFaultSpec):
             fault.install(dbt.cpu)
         elif fault is not None:
@@ -257,10 +267,15 @@ def generate_category_faults(program: Program, per_category: int = 20,
     the checkable universe.  Pass False to measure that residual.
     """
     from repro.machine import run_native
-    profiler = BranchProfiler()
-    _, stop = run_native(program, max_steps=max_steps, profiler=profiler)
-    if stop.reason is not StopReason.HALTED:
-        raise RuntimeError(f"profiling run failed: {stop}")
+    digest = run_cache.program_digest(program)
+    profiler = run_cache.get_profile(digest, max_steps)
+    if profiler is None:
+        profiler = BranchProfiler()
+        _, stop = run_native(program, max_steps=max_steps,
+                             profiler=profiler)
+        if stop.reason is not StopReason.HALTED:
+            raise RuntimeError(f"profiling run failed: {stop}")
+        run_cache.put_profile(digest, max_steps, profiler)
     cfg = build_cfg(program)
     rng = random.Random(seed)
 
@@ -375,15 +390,16 @@ class CampaignResult:
 
 
 def run_campaign(program: Program, config: PipelineConfig,
-                 faults: CategoryFaults) -> CampaignResult:
-    """Run every fault spec under one configuration."""
-    pipeline = Pipeline(program, config)
-    result = CampaignResult(config_label=config.label())
-    for category, specs in faults.by_category.items():
-        for spec in specs:
-            record = pipeline.run(spec)
-            result.record(category, record.outcome)
-    return result
+                 faults: CategoryFaults, jobs: int = 1) -> CampaignResult:
+    """Run every fault spec under one configuration.
+
+    ``jobs > 1`` fans the independent runs out over worker processes
+    (see :mod:`repro.faults.executor`); results are merged in the exact
+    serial order, so tallies are identical for every job count.
+    """
+    from repro.faults.executor import CampaignExecutor
+    return CampaignExecutor(program, config,
+                            jobs=jobs).run_campaign(faults)
 
 
 # -- data-fault campaigns (the future-work extension) --------------------------
@@ -433,14 +449,15 @@ def generate_register_faults(pipeline: Pipeline, count: int = 50,
 
 
 def run_data_fault_campaign(program: Program, config: PipelineConfig,
-                            count: int = 50,
-                            seed: int = 2006) -> DataFaultCampaignResult:
+                            count: int = 50, seed: int = 2006,
+                            jobs: int = 1) -> DataFaultCampaignResult:
     """Inject random register faults under one configuration."""
+    from repro.faults.executor import CampaignExecutor
     pipeline = Pipeline(program, config)
     faults = generate_register_faults(pipeline, count=count, seed=seed)
+    executor = CampaignExecutor(program, config, jobs=jobs)
     result = DataFaultCampaignResult(config_label=config.label())
-    for spec in faults:
-        record = pipeline.run(spec)
+    for record in executor.run_specs(faults):
         result.record(record.outcome)
     return result
 
@@ -505,7 +522,8 @@ def enumerate_instrumentation_branch_sites(program: Program,
 def run_cache_campaign(program: Program, config: PipelineConfig,
                        bits: tuple[int, ...] = (0, 1, 2, 3, 4, 6, 9),
                        max_sites: int = 40, seed: int = 2006,
-                       force_taken: bool = True) -> CacheCampaignResult:
+                       force_taken: bool = True,
+                       jobs: int = 1) -> CacheCampaignResult:
     """Flip offset bits of inserted branches, one fault per run.
 
     With ``force_taken`` (default) each fault is the paper's "branch to
@@ -513,17 +531,17 @@ def run_cache_campaign(program: Program, config: PipelineConfig,
     branch transfers.  Without it, faults on normally-not-taken check
     branches are mostly masked.
     """
+    from repro.faults.executor import CampaignExecutor
     rng = random.Random(seed)
     sites = enumerate_instrumentation_branch_sites(program, config)
     if len(sites) > max_sites:
         sites = rng.sample(sites, max_sites)
-    pipeline = Pipeline(program, config)
+    specs = [CacheFaultSpec(cache_addr=site, occurrence=1, bit=bit,
+                            force_taken=force_taken)
+             for site in sites for bit in bits]
+    executor = CampaignExecutor(program, config, jobs=jobs)
     result = CacheCampaignResult(config_label=config.label())
     result.sites_tested = len(sites)
-    for site in sites:
-        for bit in bits:
-            record = pipeline.run(CacheFaultSpec(
-                cache_addr=site, occurrence=1, bit=bit,
-                force_taken=force_taken))
-            result.record(record.outcome)
+    for record in executor.run_specs(specs):
+        result.record(record.outcome)
     return result

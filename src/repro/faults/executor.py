@@ -1,0 +1,135 @@
+"""Parallel campaign execution.
+
+Fault-injection campaigns are embarrassingly parallel: every run is an
+independent, deterministic function of ``(program, config, spec)``.
+:class:`CampaignExecutor` exploits that by fanning fault specs out over
+a :class:`~concurrent.futures.ProcessPoolExecutor` while keeping the
+results **byte-identical to the serial order**:
+
+* each worker builds its :class:`~repro.faults.campaign.Pipeline`
+  exactly once (program load, static rewrite, golden run) in the pool
+  initializer, then serves fault runs from it;
+* specs are dispatched in fixed-size chunks cut from the serial order,
+  and chunk results are merged back in submission order — so the merged
+  record list (and therefore every tally derived from it) is the same
+  for any worker count;
+* ``jobs=1`` bypasses the pool entirely: no processes, no pickling,
+  exactly the code path the serial campaign always ran.
+
+The ``fork`` start method is preferred where available (workers inherit
+the warm golden-run cache of :mod:`repro.faults.cache` for free);
+``spawn`` is the fallback, under which workers rebuild their state from
+the pickled ``(program, config)`` initializer arguments.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.isa.program import Program
+from repro.faults.campaign import (CampaignResult, CategoryFaults,
+                                   Pipeline, PipelineConfig, RunRecord)
+
+#: Specs per work unit.  Small enough to load-balance across workers,
+#: large enough to amortize the per-future round trip.
+DEFAULT_CHUNK_SIZE = 8
+
+# Per-worker-process state, installed by _worker_init.
+_worker_pipeline: Pipeline | None = None
+
+
+def _worker_init(program: Program, config: PipelineConfig) -> None:
+    """Pool initializer: build the worker's pipeline exactly once."""
+    global _worker_pipeline
+    _worker_pipeline = Pipeline(program, config)
+
+
+def _worker_run_chunk(specs: list) -> list[RunRecord]:
+    """Run one chunk of fault specs on the worker's pipeline."""
+    pipeline = _worker_pipeline
+    return [pipeline.run(spec) for spec in specs]
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a --jobs value; 0/None means one per CPU."""
+    if not jobs:
+        return os.cpu_count() or 1
+    return max(1, jobs)
+
+
+class CampaignExecutor:
+    """Runs fault specs for one (program, config), serially or fanned
+    out over worker processes, with order-stable results."""
+
+    def __init__(self, program: Program, config: PipelineConfig,
+                 jobs: int = 1, chunk_size: int = DEFAULT_CHUNK_SIZE):
+        self.program = program
+        self.config = config
+        self.jobs = resolve_jobs(jobs)
+        self.chunk_size = max(1, chunk_size)
+        self._pipeline: Pipeline | None = None
+
+    @property
+    def pipeline(self) -> Pipeline:
+        """The in-process pipeline (built lazily, used when jobs=1)."""
+        if self._pipeline is None:
+            self._pipeline = Pipeline(self.program, self.config)
+        return self._pipeline
+
+    def run_specs(self, specs) -> list[RunRecord]:
+        """Run every spec; records come back in input order regardless
+        of worker count."""
+        specs = list(specs)
+        if self.jobs == 1 or len(specs) <= 1:
+            pipeline = self.pipeline
+            return [pipeline.run(spec) for spec in specs]
+        chunks = [specs[start:start + self.chunk_size]
+                  for start in range(0, len(specs), self.chunk_size)]
+        workers = min(self.jobs, len(chunks))
+        with ProcessPoolExecutor(
+                max_workers=workers, mp_context=_mp_context(),
+                initializer=_worker_init,
+                initargs=(self.program, self.config)) as pool:
+            futures = [pool.submit(_worker_run_chunk, chunk)
+                       for chunk in chunks]
+            records: list[RunRecord] = []
+            for future in futures:
+                records.extend(future.result())
+        return records
+
+    def run_campaign(self, faults: CategoryFaults) -> CampaignResult:
+        """Per-category campaign with order-stable tallies."""
+        flat: list = []
+        labels: list = []
+        for category, specs in faults.by_category.items():
+            for spec in specs:
+                flat.append(spec)
+                labels.append(category)
+        result = CampaignResult(config_label=self.config.label())
+        for category, record in zip(labels, self.run_specs(flat)):
+            result.record(category, record.outcome)
+        return result
+
+
+def parallel_map(func, items, jobs: int = 1) -> list:
+    """Order-preserving process-parallel map for picklable tasks.
+
+    Utility used by the CLI for independent heavyweight jobs (e.g.
+    verifying several techniques); falls back to a plain loop for
+    ``jobs=1`` or single-item inputs.
+    """
+    items = list(items)
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(items) <= 1:
+        return [func(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items)),
+                             mp_context=_mp_context()) as pool:
+        return list(pool.map(func, items))

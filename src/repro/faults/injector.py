@@ -368,6 +368,8 @@ class CacheLevelInjector:
         self.dbt = dbt
         self.count = 0
         self.fired = False
+        #: cpu.icount at the moment the fault applied (for latency)
+        self.fired_icount: int | None = None
 
     def install(self) -> None:
         self.dbt.cpu.pre_branch_hook = self.hook
@@ -380,6 +382,7 @@ class CacheLevelInjector:
         if self.count != self.spec.occurrence:
             return None
         self.fired = True
+        self.fired_icount = cpu.icount
         word = self.dbt.cpu.memory.read_word_raw(pc)
         corrupted = decode(word ^ (1 << self.spec.bit))
         if corrupted.op is Op.TRAP:

@@ -25,7 +25,7 @@ def sign_extend(value: int, bits: int) -> int:
     return value - (1 << bits) if value & sign_bit else value
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Instruction:
     """One decoded R32 instruction.
 

@@ -6,10 +6,15 @@ A deterministic, cycle-accounting interpreter with:
 * a decode cache invalidated on stores (so self-modifying code works),
 * optional per-branch hooks used by the fault injector and the branch
   profiler (both gated behind ``is None`` checks so the common path
-  stays fast).
+  stays fast),
+* a precomputed per-opcode handler dispatch table: the fetch loop jumps
+  straight to the semantics of each instruction instead of scanning an
+  if/elif chain over every opcode.
 
 Determinism is the point: the paper's performance results become exact,
 reproducible cycle counts instead of noisy wall-clock measurements.
+The dispatch table changes *nothing* about the cycle model — every
+handler charges exactly the cycles the old chain charged.
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ from repro.isa.encoding import DecodeError, decode
 from repro.isa.flags import (evaluate_cond, flags_from_add, flags_from_logic,
                              flags_from_sub)
 from repro.isa.instruction import Instruction
-from repro.isa.opcodes import Kind, Op
+from repro.isa.opcodes import OP_TABLE, Kind, Op
 from repro.isa.program import MEMORY_SIZE, STACK_TOP
 from repro.machine import syscalls
 from repro.machine.faults import FaultKind, StopInfo, StopReason
@@ -30,6 +35,431 @@ _SIGN = 0x80000000
 
 #: Extra cycles charged when a branch is taken (front-end redirect).
 TAKEN_BRANCH_PENALTY = 1
+
+
+# -- opcode handlers ----------------------------------------------------------
+#
+# One module-level function per opcode, signature
+# ``handler(cpu, instr, pc, regs) -> StopInfo | None``.  Each handler is
+# responsible for setting ``cpu.pc``; fault returns leave ``cpu.pc``
+# untouched (matching the old chain, which skipped the final pc update
+# on every early return).  The table below is built once at import.
+
+
+def _h_add(cpu, instr, pc, regs):
+    a, b = regs[instr.rs], regs[instr.rt]
+    regs[instr.rd] = (a + b) & _MASK
+    cpu.flags = flags_from_add(a, b)
+    cpu.pc = pc + 4
+
+
+def _h_sub(cpu, instr, pc, regs):
+    a, b = regs[instr.rs], regs[instr.rt]
+    regs[instr.rd] = (a - b) & _MASK
+    cpu.flags = flags_from_sub(a, b)
+    cpu.pc = pc + 4
+
+
+def _h_and(cpu, instr, pc, regs):
+    result = regs[instr.rs] & regs[instr.rt]
+    regs[instr.rd] = result
+    cpu.flags = flags_from_logic(result)
+    cpu.pc = pc + 4
+
+
+def _h_or(cpu, instr, pc, regs):
+    result = regs[instr.rs] | regs[instr.rt]
+    regs[instr.rd] = result
+    cpu.flags = flags_from_logic(result)
+    cpu.pc = pc + 4
+
+
+def _h_xor(cpu, instr, pc, regs):
+    result = regs[instr.rs] ^ regs[instr.rt]
+    regs[instr.rd] = result
+    cpu.flags = flags_from_logic(result)
+    cpu.pc = pc + 4
+
+
+def _h_shl(cpu, instr, pc, regs):
+    result = (regs[instr.rs] << (regs[instr.rt] & 31)) & _MASK
+    regs[instr.rd] = result
+    cpu.flags = flags_from_logic(result)
+    cpu.pc = pc + 4
+
+
+def _h_shr(cpu, instr, pc, regs):
+    result = regs[instr.rs] >> (regs[instr.rt] & 31)
+    regs[instr.rd] = result
+    cpu.flags = flags_from_logic(result)
+    cpu.pc = pc + 4
+
+
+def _h_sar(cpu, instr, pc, regs):
+    value = regs[instr.rs]
+    if value & _SIGN:
+        value -= 0x100000000
+    result = (value >> (regs[instr.rt] & 31)) & _MASK
+    regs[instr.rd] = result
+    cpu.flags = flags_from_logic(result)
+    cpu.pc = pc + 4
+
+
+def _h_mul(cpu, instr, pc, regs):
+    result = (regs[instr.rs] * regs[instr.rt]) & _MASK
+    regs[instr.rd] = result
+    cpu.flags = flags_from_logic(result)
+    cpu.pc = pc + 4
+
+
+def _h_div(cpu, instr, pc, regs):
+    divisor = regs[instr.rt]
+    if divisor == 0:
+        return StopInfo(StopReason.FAULT, pc,
+                        fault=FaultKind.DIV_BY_ZERO, fault_addr=pc)
+    result = regs[instr.rs] // divisor
+    regs[instr.rd] = result & _MASK
+    cpu.flags = flags_from_logic(result)
+    cpu.pc = pc + 4
+
+
+def _h_mod(cpu, instr, pc, regs):
+    divisor = regs[instr.rt]
+    if divisor == 0:
+        return StopInfo(StopReason.FAULT, pc,
+                        fault=FaultKind.DIV_BY_ZERO, fault_addr=pc)
+    result = regs[instr.rs] % divisor
+    regs[instr.rd] = result & _MASK
+    cpu.flags = flags_from_logic(result)
+    cpu.pc = pc + 4
+
+
+def _h_cmp(cpu, instr, pc, regs):
+    cpu.flags = flags_from_sub(regs[instr.rs], regs[instr.rt])
+    cpu.pc = pc + 4
+
+
+def _h_test(cpu, instr, pc, regs):
+    cpu.flags = flags_from_logic(regs[instr.rs] & regs[instr.rt])
+    cpu.pc = pc + 4
+
+
+def _h_neg(cpu, instr, pc, regs):
+    a = regs[instr.rs]
+    regs[instr.rd] = (-a) & _MASK
+    cpu.flags = flags_from_sub(0, a)
+    cpu.pc = pc + 4
+
+
+def _h_not(cpu, instr, pc, regs):
+    result = (~regs[instr.rs]) & _MASK
+    regs[instr.rd] = result
+    cpu.flags = flags_from_logic(result)
+    cpu.pc = pc + 4
+
+
+def _h_addi(cpu, instr, pc, regs):
+    a = regs[instr.rs]
+    regs[instr.rd] = (a + instr.imm) & _MASK
+    cpu.flags = flags_from_add(a, instr.imm & _MASK)
+    cpu.pc = pc + 4
+
+
+def _h_subi(cpu, instr, pc, regs):
+    a = regs[instr.rs]
+    regs[instr.rd] = (a - instr.imm) & _MASK
+    cpu.flags = flags_from_sub(a, instr.imm & _MASK)
+    cpu.pc = pc + 4
+
+
+def _h_andi(cpu, instr, pc, regs):
+    result = regs[instr.rs] & (instr.imm & _MASK)
+    regs[instr.rd] = result
+    cpu.flags = flags_from_logic(result)
+    cpu.pc = pc + 4
+
+
+def _h_ori(cpu, instr, pc, regs):
+    result = regs[instr.rs] | (instr.imm & _MASK)
+    regs[instr.rd] = result
+    cpu.flags = flags_from_logic(result)
+    cpu.pc = pc + 4
+
+
+def _h_xori(cpu, instr, pc, regs):
+    result = regs[instr.rs] ^ (instr.imm & _MASK)
+    regs[instr.rd] = result
+    cpu.flags = flags_from_logic(result)
+    cpu.pc = pc + 4
+
+
+def _h_cmpi(cpu, instr, pc, regs):
+    cpu.flags = flags_from_sub(regs[instr.rs], instr.imm & _MASK)
+    cpu.pc = pc + 4
+
+
+def _h_shli(cpu, instr, pc, regs):
+    result = (regs[instr.rs] << (instr.imm & 31)) & _MASK
+    regs[instr.rd] = result
+    cpu.flags = flags_from_logic(result)
+    cpu.pc = pc + 4
+
+
+def _h_shri(cpu, instr, pc, regs):
+    result = regs[instr.rs] >> (instr.imm & 31)
+    regs[instr.rd] = result
+    cpu.flags = flags_from_logic(result)
+    cpu.pc = pc + 4
+
+
+def _h_muli(cpu, instr, pc, regs):
+    result = (regs[instr.rs] * instr.imm) & _MASK
+    regs[instr.rd] = result
+    cpu.flags = flags_from_logic(result)
+    cpu.pc = pc + 4
+
+
+def _h_mov(cpu, instr, pc, regs):
+    regs[instr.rd] = regs[instr.rs]
+    cpu.pc = pc + 4
+
+
+def _h_movi(cpu, instr, pc, regs):
+    regs[instr.rd] = instr.imm & _MASK
+    cpu.pc = pc + 4
+
+
+def _h_movhi(cpu, instr, pc, regs):
+    regs[instr.rd] = (instr.imm & 0xFFFF) << 16
+    cpu.pc = pc + 4
+
+
+def _h_movlo(cpu, instr, pc, regs):
+    regs[instr.rd] = (regs[instr.rd] & 0xFFFF0000) | (instr.imm & 0xFFFF)
+    cpu.pc = pc + 4
+
+
+def _h_lea(cpu, instr, pc, regs):
+    regs[instr.rd] = (regs[instr.rs] + instr.imm) & _MASK
+    cpu.pc = pc + 4
+
+
+def _h_lea3(cpu, instr, pc, regs):
+    regs[instr.rd] = (regs[instr.rs] + regs[instr.rt]) & _MASK
+    cpu.pc = pc + 4
+
+
+def _h_lsub(cpu, instr, pc, regs):
+    regs[instr.rd] = (regs[instr.rs] - regs[instr.rt]) & _MASK
+    cpu.pc = pc + 4
+
+
+def _h_fadd(cpu, instr, pc, regs):
+    regs[instr.rd] = (regs[instr.rs] + regs[instr.rt]) & _MASK
+    cpu.pc = pc + 4
+
+
+def _h_fsub(cpu, instr, pc, regs):
+    regs[instr.rd] = (regs[instr.rs] - regs[instr.rt]) & _MASK
+    cpu.pc = pc + 4
+
+
+def _h_fmul(cpu, instr, pc, regs):
+    regs[instr.rd] = (regs[instr.rs] * regs[instr.rt]) & _MASK
+    cpu.pc = pc + 4
+
+
+def _h_fdiv(cpu, instr, pc, regs):
+    divisor = regs[instr.rt]
+    if divisor == 0:
+        return StopInfo(StopReason.FAULT, pc,
+                        fault=FaultKind.DIV_BY_ZERO, fault_addr=pc)
+    regs[instr.rd] = (regs[instr.rs] // divisor) & _MASK
+    cpu.pc = pc + 4
+
+
+def _h_ld(cpu, instr, pc, regs):
+    regs[instr.rd] = cpu.memory.load_word(
+        (regs[instr.rs] + instr.imm) & _MASK)
+    cpu.pc = pc + 4
+
+
+def _h_st(cpu, instr, pc, regs):
+    cpu.memory.store_word((regs[instr.rs] + instr.imm) & _MASK,
+                          regs[instr.rd])
+    cpu.pc = pc + 4
+
+
+def _h_ldb(cpu, instr, pc, regs):
+    regs[instr.rd] = cpu.memory.load_byte(
+        (regs[instr.rs] + instr.imm) & _MASK)
+    cpu.pc = pc + 4
+
+
+def _h_stb(cpu, instr, pc, regs):
+    cpu.memory.store_byte((regs[instr.rs] + instr.imm) & _MASK,
+                          regs[instr.rd])
+    cpu.pc = pc + 4
+
+
+def _h_push(cpu, instr, pc, regs):
+    sp = (regs[15] - 4) & _MASK
+    cpu.memory.store_word(sp, regs[instr.rd])
+    regs[15] = sp
+    cpu.pc = pc + 4
+
+
+def _h_pop(cpu, instr, pc, regs):
+    sp = regs[15]
+    regs[instr.rd] = cpu.memory.load_word(sp)
+    regs[15] = (sp + 4) & _MASK
+    cpu.pc = pc + 4
+
+
+def _h_jmp(cpu, instr, pc, regs):
+    if cpu.branch_profiler is not None:
+        cpu.branch_profiler.record(pc, instr, True, cpu.flags)
+    cpu.cycles += TAKEN_BRANCH_PENALTY
+    cpu.pc = pc + 4 + instr.imm * 4
+
+
+def _make_cond_branch(cond):
+    def handler(cpu, instr, pc, regs):
+        taken = evaluate_cond(cond, cpu.flags)
+        if cpu.branch_profiler is not None:
+            cpu.branch_profiler.record(pc, instr, taken, cpu.flags)
+        if taken:
+            cpu.cycles += TAKEN_BRANCH_PENALTY
+            cpu.pc = pc + 4 + instr.imm * 4
+        else:
+            cpu.pc = pc + 4
+    return handler
+
+
+def _h_jrz(cpu, instr, pc, regs):
+    taken = regs[instr.rd] == 0
+    if cpu.branch_profiler is not None:
+        cpu.branch_profiler.record(pc, instr, taken, cpu.flags)
+    if taken:
+        cpu.cycles += TAKEN_BRANCH_PENALTY
+        cpu.pc = pc + 4 + instr.imm * 4
+    else:
+        cpu.pc = pc + 4
+
+
+def _h_jrnz(cpu, instr, pc, regs):
+    taken = regs[instr.rd] != 0
+    if cpu.branch_profiler is not None:
+        cpu.branch_profiler.record(pc, instr, taken, cpu.flags)
+    if taken:
+        cpu.cycles += TAKEN_BRANCH_PENALTY
+        cpu.pc = pc + 4 + instr.imm * 4
+    else:
+        cpu.pc = pc + 4
+
+
+def _h_call(cpu, instr, pc, regs):
+    sp = (regs[15] - 4) & _MASK
+    cpu.memory.store_word(sp, pc + 4)
+    regs[15] = sp
+    if cpu.branch_profiler is not None:
+        cpu.branch_profiler.record(pc, instr, True, cpu.flags)
+    cpu.cycles += TAKEN_BRANCH_PENALTY
+    cpu.pc = pc + 4 + instr.imm * 4
+
+
+def _h_jmpr(cpu, instr, pc, regs):
+    cpu.cycles += TAKEN_BRANCH_PENALTY
+    cpu.pc = regs[instr.rd]
+
+
+def _h_callr(cpu, instr, pc, regs):
+    sp = (regs[15] - 4) & _MASK
+    cpu.memory.store_word(sp, pc + 4)
+    regs[15] = sp
+    cpu.cycles += TAKEN_BRANCH_PENALTY
+    cpu.pc = regs[instr.rd]
+
+
+def _h_ret(cpu, instr, pc, regs):
+    sp = regs[15]
+    target = cpu.memory.load_word(sp)
+    regs[15] = (sp + 4) & _MASK
+    cpu.cycles += TAKEN_BRANCH_PENALTY
+    cpu.pc = target
+
+
+def _make_cmov(cond):
+    def handler(cpu, instr, pc, regs):
+        if evaluate_cond(cond, cpu.flags):
+            regs[instr.rd] = regs[instr.rs]
+        cpu.pc = pc + 4
+    return handler
+
+
+def _h_syscall(cpu, instr, pc, regs):
+    if syscalls.handle_syscall(cpu, instr.imm):
+        cpu.pc = pc + 4
+        return StopInfo(StopReason.HALTED, pc, exit_code=cpu.exit_code)
+    cpu.pc = pc + 4
+
+
+def _h_halt(cpu, instr, pc, regs):
+    cpu.pc = pc + 4
+    return StopInfo(StopReason.HALTED, pc, exit_code=0)
+
+
+def _h_nop(cpu, instr, pc, regs):
+    cpu.pc = pc + 4
+
+
+def _h_trap(cpu, instr, pc, regs):
+    cpu.pc = pc + 4
+    return StopInfo(StopReason.TRAP, pc, trap_no=instr.imm)
+
+
+def _h_illegal(cpu, instr, pc, regs):  # pragma: no cover - decode rejects
+    return StopInfo(StopReason.FAULT, pc,
+                    fault=FaultKind.ILLEGAL_INSTRUCTION, fault_addr=pc)
+
+
+def _build_dispatch() -> list:
+    table = [_h_illegal] * 256
+    fixed = {
+        Op.ADD: _h_add, Op.SUB: _h_sub, Op.AND: _h_and, Op.OR: _h_or,
+        Op.XOR: _h_xor, Op.SHL: _h_shl, Op.SHR: _h_shr, Op.SAR: _h_sar,
+        Op.MUL: _h_mul, Op.DIV: _h_div, Op.MOD: _h_mod, Op.CMP: _h_cmp,
+        Op.TEST: _h_test, Op.NEG: _h_neg, Op.NOT: _h_not,
+        Op.ADDI: _h_addi, Op.SUBI: _h_subi, Op.ANDI: _h_andi,
+        Op.ORI: _h_ori, Op.XORI: _h_xori, Op.CMPI: _h_cmpi,
+        Op.SHLI: _h_shli, Op.SHRI: _h_shri, Op.MULI: _h_muli,
+        Op.MOV: _h_mov, Op.MOVI: _h_movi, Op.MOVHI: _h_movhi,
+        Op.MOVLO: _h_movlo, Op.LEA: _h_lea, Op.LEA3: _h_lea3,
+        Op.LSUB: _h_lsub,
+        Op.FADD: _h_fadd, Op.FSUB: _h_fsub, Op.FMUL: _h_fmul,
+        Op.FDIV: _h_fdiv,
+        Op.LD: _h_ld, Op.ST: _h_st, Op.LDB: _h_ldb, Op.STB: _h_stb,
+        Op.PUSH: _h_push, Op.POP: _h_pop,
+        Op.JMP: _h_jmp, Op.JRZ: _h_jrz, Op.JRNZ: _h_jrnz,
+        Op.CALL: _h_call, Op.JMPR: _h_jmpr, Op.CALLR: _h_callr,
+        Op.RET: _h_ret,
+        Op.SYSCALL: _h_syscall, Op.HALT: _h_halt, Op.NOP: _h_nop,
+        Op.TRAP: _h_trap,
+    }
+    for op, handler in fixed.items():
+        table[op] = handler
+    # Jcc and CMOVcc get per-condition specialized handlers, so the
+    # condition is bound at table-build time instead of re-read per step.
+    for op, info in OP_TABLE.items():
+        if info.kind is Kind.BRANCH_COND:
+            table[op] = _make_cond_branch(info.cond)
+        elif info.cond is not None:  # CMOVcc (R2 format)
+            table[op] = _make_cmov(info.cond)
+    return table
+
+
+#: Per-opcode handler table, indexed by the 8-bit opcode value.
+DISPATCH: list = _build_dispatch()
 
 
 class Cpu:
@@ -59,7 +489,8 @@ class Cpu:
         #: before the instruction with that dynamic index executes —
         #: the data-fault injection primitive.
         self.scheduled_fault: tuple[int, object] | None = None
-        self._dcache: dict[int, Instruction] = {}
+        #: pc -> (instr, meta, handler, is_branch)
+        self._dcache: dict[int, tuple] = {}
         self.memory.write_watch = self._on_write
 
     # -- setup -------------------------------------------------------------
@@ -102,12 +533,17 @@ class Cpu:
         value = self.regs[reg]
         return value - 0x100000000 if value & _SIGN else value
 
+    @staticmethod
+    def _cache_entry(instr: Instruction) -> tuple:
+        meta = instr.meta
+        return (instr, meta, DISPATCH[instr.op], meta.is_branch)
+
     def _decode_at(self, pc: int) -> Instruction:
         cached = self._dcache.get(pc)
         if cached is None:
             word = int.from_bytes(self.memory.data[pc:pc + 4], "little")
             instr = decode(word)  # may raise DecodeError
-            self._dcache[pc] = (instr, instr.meta)
+            self._dcache[pc] = self._cache_entry(instr)
             return instr
         return cached[0]
 
@@ -122,7 +558,7 @@ class Cpu:
         data = mem.data
         dcache = self._dcache
         size = mem.size
-        execute = self._execute
+        dispatch = DISPATCH
         steps = 0
         cycle_cap = max_cycles if max_cycles is not None else None
         try:
@@ -152,14 +588,17 @@ class Cpu:
                             fault=FaultKind.ILLEGAL_INSTRUCTION,
                             fault_addr=pc)
                     meta = instr.meta
-                    dcache[pc] = (instr, meta)
+                    handler = dispatch[instr.op]
+                    is_branch = meta.is_branch
+                    dcache[pc] = (instr, meta, handler, is_branch)
                 else:
-                    instr, meta = cached
-                if meta.is_branch and self.pre_branch_hook is not None:
+                    instr, meta, handler, is_branch = cached
+                if is_branch and self.pre_branch_hook is not None:
                     replacement = self.pre_branch_hook(self, pc, instr)
                     if replacement is not None:
                         instr = replacement
                         meta = instr.meta
+                        handler = dispatch[instr.op]
                 if (self.scheduled_fault is not None
                         and self.icount >= self.scheduled_fault[0]):
                     apply_fault = self.scheduled_fault[1]
@@ -167,7 +606,7 @@ class Cpu:
                     apply_fault(self)
                 self.icount += 1
                 self.cycles += meta.cycles
-                stop = execute(instr, pc, regs)
+                stop = handler(self, instr, pc, regs)
                 if stop is not None:
                     return stop
         except AccessFault as fault:
@@ -183,235 +622,9 @@ class Cpu:
 
     def _execute(self, instr: Instruction, pc: int,
                  regs: list[int]) -> StopInfo | None:
-        op = instr.op
-        next_pc = pc + 4
+        """Execute one decoded instruction (dispatch-table lookup).
 
-        # ALU register-register -------------------------------------------
-        if op is Op.ADD:
-            a, b = regs[instr.rs], regs[instr.rt]
-            result = (a + b) & _MASK
-            regs[instr.rd] = result
-            self.flags = flags_from_add(a, b)
-        elif op is Op.SUB:
-            a, b = regs[instr.rs], regs[instr.rt]
-            regs[instr.rd] = (a - b) & _MASK
-            self.flags = flags_from_sub(a, b)
-        elif op is Op.AND:
-            result = regs[instr.rs] & regs[instr.rt]
-            regs[instr.rd] = result
-            self.flags = flags_from_logic(result)
-        elif op is Op.OR:
-            result = regs[instr.rs] | regs[instr.rt]
-            regs[instr.rd] = result
-            self.flags = flags_from_logic(result)
-        elif op is Op.XOR:
-            result = regs[instr.rs] ^ regs[instr.rt]
-            regs[instr.rd] = result
-            self.flags = flags_from_logic(result)
-        elif op is Op.SHL:
-            result = (regs[instr.rs] << (regs[instr.rt] & 31)) & _MASK
-            regs[instr.rd] = result
-            self.flags = flags_from_logic(result)
-        elif op is Op.SHR:
-            result = regs[instr.rs] >> (regs[instr.rt] & 31)
-            regs[instr.rd] = result
-            self.flags = flags_from_logic(result)
-        elif op is Op.SAR:
-            value = regs[instr.rs]
-            if value & _SIGN:
-                value -= 0x100000000
-            result = (value >> (regs[instr.rt] & 31)) & _MASK
-            regs[instr.rd] = result
-            self.flags = flags_from_logic(result)
-        elif op is Op.MUL:
-            result = (regs[instr.rs] * regs[instr.rt]) & _MASK
-            regs[instr.rd] = result
-            self.flags = flags_from_logic(result)
-        elif op in (Op.DIV, Op.MOD):
-            divisor = regs[instr.rt]
-            if divisor == 0:
-                return StopInfo(StopReason.FAULT, pc,
-                                fault=FaultKind.DIV_BY_ZERO, fault_addr=pc)
-            a = regs[instr.rs]
-            result = a // divisor if op is Op.DIV else a % divisor
-            regs[instr.rd] = result & _MASK
-            self.flags = flags_from_logic(result)
-        elif op is Op.CMP:
-            self.flags = flags_from_sub(regs[instr.rs], regs[instr.rt])
-        elif op is Op.TEST:
-            self.flags = flags_from_logic(regs[instr.rs] & regs[instr.rt])
-        elif op is Op.NEG:
-            a = regs[instr.rs]
-            regs[instr.rd] = (-a) & _MASK
-            self.flags = flags_from_sub(0, a)
-        elif op is Op.NOT:
-            result = (~regs[instr.rs]) & _MASK
-            regs[instr.rd] = result
-            self.flags = flags_from_logic(result)
-
-        # ALU register-immediate --------------------------------------------
-        elif op is Op.ADDI:
-            a = regs[instr.rs]
-            regs[instr.rd] = (a + instr.imm) & _MASK
-            self.flags = flags_from_add(a, instr.imm & _MASK)
-        elif op is Op.SUBI:
-            a = regs[instr.rs]
-            regs[instr.rd] = (a - instr.imm) & _MASK
-            self.flags = flags_from_sub(a, instr.imm & _MASK)
-        elif op is Op.ANDI:
-            result = regs[instr.rs] & (instr.imm & _MASK)
-            regs[instr.rd] = result
-            self.flags = flags_from_logic(result)
-        elif op is Op.ORI:
-            result = regs[instr.rs] | (instr.imm & _MASK)
-            regs[instr.rd] = result
-            self.flags = flags_from_logic(result)
-        elif op is Op.XORI:
-            result = regs[instr.rs] ^ (instr.imm & _MASK)
-            regs[instr.rd] = result
-            self.flags = flags_from_logic(result)
-        elif op is Op.CMPI:
-            self.flags = flags_from_sub(regs[instr.rs], instr.imm & _MASK)
-        elif op is Op.SHLI:
-            result = (regs[instr.rs] << (instr.imm & 31)) & _MASK
-            regs[instr.rd] = result
-            self.flags = flags_from_logic(result)
-        elif op is Op.SHRI:
-            result = regs[instr.rs] >> (instr.imm & 31)
-            regs[instr.rd] = result
-            self.flags = flags_from_logic(result)
-        elif op is Op.MULI:
-            result = (regs[instr.rs] * instr.imm) & _MASK
-            regs[instr.rd] = result
-            self.flags = flags_from_logic(result)
-
-        # Flagless moves / lea family ---------------------------------------
-        elif op is Op.MOV:
-            regs[instr.rd] = regs[instr.rs]
-        elif op is Op.MOVI:
-            regs[instr.rd] = instr.imm & _MASK
-        elif op is Op.MOVHI:
-            regs[instr.rd] = (instr.imm & 0xFFFF) << 16
-        elif op is Op.MOVLO:
-            regs[instr.rd] = (regs[instr.rd] & 0xFFFF0000) | (
-                instr.imm & 0xFFFF)
-        elif op is Op.LEA:
-            regs[instr.rd] = (regs[instr.rs] + instr.imm) & _MASK
-        elif op is Op.LEA3:
-            regs[instr.rd] = (regs[instr.rs] + regs[instr.rt]) & _MASK
-        elif op is Op.LSUB:
-            regs[instr.rd] = (regs[instr.rs] - regs[instr.rt]) & _MASK
-
-        # FP-class -----------------------------------------------------------
-        elif op is Op.FADD:
-            regs[instr.rd] = (regs[instr.rs] + regs[instr.rt]) & _MASK
-        elif op is Op.FSUB:
-            regs[instr.rd] = (regs[instr.rs] - regs[instr.rt]) & _MASK
-        elif op is Op.FMUL:
-            regs[instr.rd] = (regs[instr.rs] * regs[instr.rt]) & _MASK
-        elif op is Op.FDIV:
-            divisor = regs[instr.rt]
-            if divisor == 0:
-                return StopInfo(StopReason.FAULT, pc,
-                                fault=FaultKind.DIV_BY_ZERO, fault_addr=pc)
-            regs[instr.rd] = (regs[instr.rs] // divisor) & _MASK
-
-        # Memory ---------------------------------------------------------------
-        elif op is Op.LD:
-            regs[instr.rd] = self.memory.load_word(
-                (regs[instr.rs] + instr.imm) & _MASK)
-        elif op is Op.ST:
-            self.memory.store_word((regs[instr.rs] + instr.imm) & _MASK,
-                                   regs[instr.rd])
-        elif op is Op.LDB:
-            regs[instr.rd] = self.memory.load_byte(
-                (regs[instr.rs] + instr.imm) & _MASK)
-        elif op is Op.STB:
-            self.memory.store_byte((regs[instr.rs] + instr.imm) & _MASK,
-                                   regs[instr.rd])
-        elif op is Op.PUSH:
-            sp = (regs[15] - 4) & _MASK
-            self.memory.store_word(sp, regs[instr.rd])
-            regs[15] = sp
-        elif op is Op.POP:
-            sp = regs[15]
-            regs[instr.rd] = self.memory.load_word(sp)
-            regs[15] = (sp + 4) & _MASK
-
-        # Control flow ------------------------------------------------------------
-        elif op is Op.JMP:
-            target = pc + 4 + instr.imm * 4
-            if self.branch_profiler is not None:
-                self.branch_profiler.record(pc, instr, True, self.flags)
-            self.cycles += TAKEN_BRANCH_PENALTY
-            next_pc = target
-        elif instr.meta.kind is Kind.BRANCH_COND:
-            taken = evaluate_cond(instr.meta.cond, self.flags)
-            if self.branch_profiler is not None:
-                self.branch_profiler.record(pc, instr, taken, self.flags)
-            if taken:
-                self.cycles += TAKEN_BRANCH_PENALTY
-                next_pc = pc + 4 + instr.imm * 4
-        elif op is Op.JRZ:
-            taken = regs[instr.rd] == 0
-            if self.branch_profiler is not None:
-                self.branch_profiler.record(pc, instr, taken, self.flags)
-            if taken:
-                self.cycles += TAKEN_BRANCH_PENALTY
-                next_pc = pc + 4 + instr.imm * 4
-        elif op is Op.JRNZ:
-            taken = regs[instr.rd] != 0
-            if self.branch_profiler is not None:
-                self.branch_profiler.record(pc, instr, taken, self.flags)
-            if taken:
-                self.cycles += TAKEN_BRANCH_PENALTY
-                next_pc = pc + 4 + instr.imm * 4
-        elif op is Op.CALL:
-            sp = (regs[15] - 4) & _MASK
-            self.memory.store_word(sp, pc + 4)
-            regs[15] = sp
-            if self.branch_profiler is not None:
-                self.branch_profiler.record(pc, instr, True, self.flags)
-            self.cycles += TAKEN_BRANCH_PENALTY
-            next_pc = pc + 4 + instr.imm * 4
-        elif op is Op.JMPR:
-            self.cycles += TAKEN_BRANCH_PENALTY
-            next_pc = regs[instr.rd]
-        elif op is Op.CALLR:
-            sp = (regs[15] - 4) & _MASK
-            self.memory.store_word(sp, pc + 4)
-            regs[15] = sp
-            self.cycles += TAKEN_BRANCH_PENALTY
-            next_pc = regs[instr.rd]
-        elif op is Op.RET:
-            sp = regs[15]
-            next_pc = self.memory.load_word(sp)
-            regs[15] = (sp + 4) & _MASK
-            self.cycles += TAKEN_BRANCH_PENALTY
-
-        # Conditional moves -------------------------------------------------------
-        elif instr.meta.cond is not None:  # CMOVcc (Jcc handled above)
-            if evaluate_cond(instr.meta.cond, self.flags):
-                regs[instr.rd] = regs[instr.rs]
-
-        # System -----------------------------------------------------------------
-        elif op is Op.SYSCALL:
-            if syscalls.handle_syscall(self, instr.imm):
-                self.pc = next_pc
-                return StopInfo(StopReason.HALTED, pc,
-                                exit_code=self.exit_code)
-        elif op is Op.HALT:
-            self.pc = next_pc
-            return StopInfo(StopReason.HALTED, pc, exit_code=0)
-        elif op is Op.NOP:
-            pass
-        elif op is Op.TRAP:
-            self.pc = next_pc
-            return StopInfo(StopReason.TRAP, pc, trap_no=instr.imm)
-        else:  # pragma: no cover - table is exhaustive
-            return StopInfo(StopReason.FAULT, pc,
-                            fault=FaultKind.ILLEGAL_INSTRUCTION,
-                            fault_addr=pc)
-
-        self.pc = next_pc
-        return None
+        Kept as the single-instruction entry point for tests and tools;
+        the hot loop in :meth:`run` inlines the same dispatch.
+        """
+        return DISPATCH[instr.op](self, instr, pc, regs)

@@ -1,0 +1,121 @@
+"""The parallel campaign engine: determinism across job counts, the
+jobs=1 bypass, and the process-level golden-run/profile caches."""
+
+import pytest
+
+from repro.checking import Policy
+from repro.faults import (CampaignExecutor, Pipeline, PipelineConfig,
+                          cache_stats, clear_caches,
+                          generate_category_faults, parallel_map,
+                          program_digest, resolve_jobs, run_campaign)
+from repro.workloads import suite as workload_suite
+
+
+@pytest.fixture(scope="module")
+def gap():
+    return workload_suite.load("254.gap", "test")
+
+
+@pytest.fixture(scope="module")
+def gap_faults(gap):
+    return generate_category_faults(gap, per_category=6, seed=11)
+
+
+def flat_specs(faults):
+    return [spec for specs in faults.by_category.values()
+            for spec in specs]
+
+
+class TestDeterminism:
+    """A seeded campaign must produce byte-identical results for every
+    worker count — the core contract of the parallel engine."""
+
+    def test_jobs4_matches_jobs1_records_and_order(self, gap, gap_faults):
+        config = PipelineConfig("dbt", "rcf")
+        specs = flat_specs(gap_faults)
+        serial = CampaignExecutor(gap, config, jobs=1).run_specs(specs)
+        parallel = CampaignExecutor(gap, config, jobs=4).run_specs(specs)
+        assert len(serial) == len(specs)
+        assert serial == parallel
+
+    def test_jobs4_matches_jobs1_tallies(self, gap, gap_faults):
+        config = PipelineConfig("dbt", "edgcf", Policy.ALLBB)
+        serial = run_campaign(gap, config, gap_faults, jobs=1)
+        parallel = run_campaign(gap, config, gap_faults, jobs=4)
+        assert serial.config_label == parallel.config_label
+        assert serial.outcomes == parallel.outcomes
+
+    def test_odd_chunking_preserves_order(self, gap, gap_faults):
+        """A chunk size that doesn't divide the spec count still merges
+        records back into the serial order."""
+        config = PipelineConfig("dbt", "rcf")
+        specs = flat_specs(gap_faults)
+        serial = CampaignExecutor(gap, config, jobs=1).run_specs(specs)
+        odd = CampaignExecutor(gap, config, jobs=3,
+                               chunk_size=5).run_specs(specs)
+        assert serial == odd
+
+
+class TestJobsSemantics:
+    def test_jobs1_never_spawns_a_pool(self, gap, gap_faults,
+                                       monkeypatch):
+        import repro.faults.executor as executor_mod
+        monkeypatch.setattr(
+            executor_mod, "ProcessPoolExecutor",
+            lambda *a, **k: pytest.fail("jobs=1 must not build a pool"))
+        config = PipelineConfig("dbt", None)
+        records = CampaignExecutor(gap, config, jobs=1).run_specs(
+            flat_specs(gap_faults))
+        assert records
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+        assert resolve_jobs(-3) == 1
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(None) >= 1
+
+    def test_parallel_map_preserves_order(self):
+        items = list(range(23))
+        assert parallel_map(str, items, jobs=1) == [str(i) for i in items]
+        assert parallel_map(str, items, jobs=4) == [str(i) for i in items]
+
+
+class TestGoldenRunCache:
+    def test_identical_pipelines_share_one_golden(self, gap):
+        clear_caches()
+        config = PipelineConfig("dbt", "rcf")
+        first = Pipeline(gap, config)
+        second = Pipeline(gap, config)
+        assert second.golden is first.golden
+        assert cache_stats()["golden_entries"] == 1
+
+    def test_different_configs_do_not_collide(self, gap):
+        clear_caches()
+        rcf = Pipeline(gap, PipelineConfig("dbt", "rcf"))
+        native = Pipeline(gap, PipelineConfig("native"))
+        assert rcf.golden is not native.golden
+        assert cache_stats()["golden_entries"] == 2
+        # cycle counts differ between pipelines, outputs must not
+        assert rcf.golden.outputs == native.golden.outputs
+
+    def test_digest_keyed_on_content_not_identity(self):
+        from repro.isa import assemble
+        src = ".entry main\nmain:\n    movi r1, 0\n    syscall 0\n"
+        first = assemble(src, name="one")
+        second = assemble(src, name="two")
+        assert first is not second
+        assert program_digest(first) == program_digest(second)
+
+    def test_profile_cache_reuses_one_profiling_run(self, gap):
+        clear_caches()
+        generate_category_faults(gap, per_category=2, seed=1)
+        assert cache_stats()["profile_entries"] == 1
+        generate_category_faults(gap, per_category=4, seed=9)
+        assert cache_stats()["profile_entries"] == 1
+
+    def test_cached_fault_generation_stays_deterministic(self, gap):
+        clear_caches()
+        cold = generate_category_faults(gap, per_category=4, seed=3)
+        warm = generate_category_faults(gap, per_category=4, seed=3)
+        assert cold.by_category == warm.by_category

@@ -68,6 +68,31 @@ class TestDetectionLatency:
                                                            spec)
 
 
+class TestCacheFaultLatency:
+    def test_cache_level_detection_records_latency(self, program):
+        """Regression: CacheFaultSpec runs must carry detection_latency
+        just like guest-level injections — CacheLevelInjector plumbs
+        fired_icount through Pipeline._run_dbt."""
+        from repro.faults import (CacheFaultSpec,
+                                  enumerate_instrumentation_branch_sites)
+        config = PipelineConfig("dbt", "rcf")
+        sites = enumerate_instrumentation_branch_sites(program, config)
+        assert sites
+        pipeline = Pipeline(program, config)
+        detected = []
+        for site in sites[:12]:
+            for bit in (0, 1, 2, 4, 9):
+                record = pipeline.run(CacheFaultSpec(
+                    cache_addr=site, occurrence=1, bit=bit,
+                    force_taken=True))
+                if record.outcome is Outcome.DETECTED_SIGNATURE:
+                    detected.append(record)
+        assert detected, "no cache-level fault was signature-detected"
+        for record in detected:
+            assert record.detection_latency is not None
+            assert record.detection_latency >= 0
+
+
 class TestStorePolicy:
     def test_store_policy_checks_store_blocks(self, program):
         from repro.cfg import build_cfg

@@ -1,0 +1,79 @@
+"""Decode-cache invalidation under self-modifying code.
+
+The interpreter caches decoded instructions per word address and
+invalidates on stores (``Cpu._on_write``).  A store need not be aligned
+to the instruction grid: a span starting mid-word can overlap *two*
+instruction words, and both cached decodes must go."""
+
+from repro.isa import assemble
+from repro.isa.encoding import encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.machine import Cpu, StopReason
+from repro.machine.memory import PERM_RWX
+
+
+class TestUnalignedSpanInvalidation:
+    def test_span_across_two_words_invalidates_both(self, sum_loop):
+        cpu = Cpu()
+        cpu.load_program(sum_loop)
+        base = sum_loop.text_base
+        first, second, third = base, base + 4, base + 8
+        for addr in (first, second, third):
+            cpu._decode_at(addr)
+        assert set(cpu._dcache) == {first, second, third}
+
+        # 4-byte store at base+2: starts mid-word, overlaps words 1 and 2
+        cpu.memory.write_raw(first + 2, b"\xAA\xBB\xCC\xDD")
+
+        assert first not in cpu._dcache
+        assert second not in cpu._dcache
+        assert third in cpu._dcache   # untouched word survives
+
+    def test_single_byte_store_invalidates_only_its_word(self, sum_loop):
+        cpu = Cpu()
+        cpu.load_program(sum_loop)
+        base = sum_loop.text_base
+        cpu._decode_at(base)
+        cpu._decode_at(base + 4)
+        cpu.memory.write_raw(base + 5, b"\x00")
+        assert base in cpu._dcache
+        assert base + 4 not in cpu._dcache
+
+
+SMC_SRC = """
+.entry main
+main:
+    movi r4, 0
+    const r3, slot
+    const r2, {patch_word}
+loop:
+slot:
+    movi r1, 13
+    syscall 4
+    st r2, r3, 0
+    addi r4, r4, 1
+    cmpi r4, 2
+    jl loop
+    movi r1, 0
+    syscall 0
+"""
+
+
+class TestExecutedSelfModifyingCode:
+    def test_patched_instruction_takes_effect_next_iteration(self):
+        """End-to-end: a guest store over an already-executed (and so
+        already-cached) instruction must be re-decoded on next fetch."""
+        patch_word = encode(Instruction(op=Op.MOVI, rd=1, imm=77))
+        program = assemble(SMC_SRC.format(patch_word=patch_word),
+                           name="smc")
+        cpu = Cpu()
+        cpu.load_program(program)
+        cpu.memory.set_perms(program.text_base,
+                             max(len(program.text), 1), PERM_RWX)
+        stop = cpu.run()
+        assert stop.reason is StopReason.HALTED
+        assert stop.exit_code == 0
+        # first iteration runs the original movi (13); the patched word
+        # must be re-decoded, not served stale from the cache (77)
+        assert cpu.output_values == [13, 77]
