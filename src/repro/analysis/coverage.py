@@ -55,8 +55,13 @@ class CoverageMatrix:
                 bucket = result.outcomes.get(category, {})
                 sdc = bucket.get(Outcome.SDC, 0)
                 hang = bucket.get(Outcome.HANG, 0)
-                cells.append("covered" if (sdc + hang) == 0
-                             else f"MISS({sdc + hang})")
+                cell = ("covered" if (sdc + hang) == 0
+                        else f"MISS({sdc + hang})")
+                infra = bucket.get(Outcome.INFRA_ERROR, 0)
+                if infra:
+                    # Harness failures: counted apart from coverage.
+                    cell += f" !{infra}infra"
+                cells.append(cell)
             if self.cache_results:
                 cache = self.cache_results.get(label)
                 if cache is None:
@@ -77,18 +82,29 @@ def compute_coverage_matrix(program: Program,
                             seed: int = 2006,
                             include_cache_level: bool = True,
                             cache_max_sites: int = 20,
-                            jobs: int = 1) -> CoverageMatrix:
+                            jobs: int = 1,
+                            retries: int | None = None,
+                            timeout: float | None = None,
+                            journal: str | None = None,
+                            resume: bool = False) -> CoverageMatrix:
     """Run guest-level (and optionally cache-level) campaigns for each
-    configuration.  ``jobs > 1`` parallelizes each campaign's runs."""
+    configuration.  ``jobs > 1`` parallelizes each campaign's runs;
+    ``retries``/``timeout``/``journal``/``resume`` configure the
+    fault-tolerant runtime (one journal file serves the whole matrix —
+    entries are keyed by config and spec content, so the campaigns
+    cannot contaminate each other)."""
     faults = generate_category_faults(program, per_category=per_category,
                                       seed=seed)
     matrix = CoverageMatrix(program_name=program.source_name)
     for config in configs:
-        result = run_campaign(program, config, faults, jobs=jobs)
+        result = run_campaign(program, config, faults, jobs=jobs,
+                              retries=retries, timeout=timeout,
+                              journal=journal, resume=resume)
         matrix.results[config.label()] = result
         if include_cache_level and config.pipeline == "dbt" \
                 and config.technique:
             matrix.cache_results[config.label()] = run_cache_campaign(
                 program, config, max_sites=cache_max_sites, seed=seed,
-                jobs=jobs)
+                jobs=jobs, retries=retries, timeout=timeout,
+                journal=journal, resume=resume)
     return matrix

@@ -110,15 +110,22 @@ def cmd_inject(args) -> int:
              for token in args.fault]
     config = PipelineConfig("dbt", args.technique,
                             Policy(args.policy), dataflow=args.dataflow)
-    executor = CampaignExecutor(program, config, jobs=args.jobs)
+    executor = CampaignExecutor(program, config, jobs=args.jobs,
+                                retries=args.retries,
+                                timeout=args.timeout,
+                                journal=args.journal,
+                                resume=args.resume)
     records = executor.run_specs(specs)
     print(f"config:  {config.label()}")
     status = 0
     for spec, record in zip(specs, records):
         print(f"fault:   {spec.describe()}")
         print(f"outcome: {record.outcome.value}  ({record.stop_reason})")
-        if record.outcome is Outcome.SDC:
-            status = 2
+        if record.outcome is Outcome.INFRA_ERROR:
+            print(f"         {record.error}")
+            status = max(status, 3)
+        elif record.outcome is Outcome.SDC:
+            status = max(status, 2)
     return status
 
 
@@ -158,14 +165,23 @@ def _verify_task(task):
 
 
 def cmd_verify(args) -> int:
-    from repro.faults import parallel_map
+    from repro.faults import MapError, parallel_map
     program = _load_program(args.file)
     techniques = args.technique or ["edgcf"]
     tasks = [(program, technique, args.policy)
              for technique in techniques]
+    if args.journal or args.resume:
+        print("note: --journal/--resume journal fault campaigns; "
+              "verification runs are not journaled")
     status = 0
-    for technique, report in parallel_map(_verify_task, tasks,
-                                          jobs=args.jobs):
+    results = parallel_map(_verify_task, tasks, jobs=args.jobs,
+                           retries=args.retries, timeout=args.timeout)
+    for task, result in zip(tasks, results):
+        if isinstance(result, MapError):
+            print(f"[{task[1]}] ERROR: {result.error}")
+            status = 1
+            continue
+        technique, report = result
         prefix = f"[{technique}] " if len(techniques) > 1 else ""
         print(prefix + report.summary())
         if report.violations:
@@ -185,8 +201,15 @@ def cmd_coverage(args) -> int:
     program = _load_program(args.file)
     matrix = compute_coverage_matrix(
         program, per_category=args.per_category,
-        include_cache_level=not args.no_cache_level, jobs=args.jobs)
+        include_cache_level=not args.no_cache_level, jobs=args.jobs,
+        retries=args.retries, timeout=args.timeout,
+        journal=args.journal, resume=args.resume)
     print(matrix.table())
+    infra = sum(result.total_infra()
+                for result in matrix.results.values())
+    if infra:
+        print(f"warning: {infra} run(s) failed in the harness "
+              "(INFRA_ERROR) and are excluded from coverage")
     return 0
 
 
@@ -226,6 +249,25 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker processes for independent runs "
                  "(0 = one per CPU; default 1 = serial)")
 
+    def resilience_args(p):
+        p.add_argument(
+            "--retries", type=int, default=None, metavar="N",
+            help="re-dispatches of a failing work unit before it is "
+                 "recorded as INFRA_ERROR (default 2)")
+        p.add_argument(
+            "--timeout", type=float, default=None, metavar="SECONDS",
+            help="per-chunk host wall-clock deadline; an overdue "
+                 "worker is killed and the pathological spec isolated "
+                 "(pooled mode only)")
+        p.add_argument(
+            "--journal", default=None, metavar="PATH",
+            help="append each completed chunk to this JSONL journal")
+        p.add_argument(
+            "--resume", action="store_true",
+            help="replay completed chunks from --journal and run only "
+                 "the remainder (byte-identical to an uninterrupted "
+                 "campaign)")
+
     inj = sub.add_parser("inject", help="run with injected fault(s)")
     common_exec(inj)
     inj.add_argument("--branch", default="0",
@@ -236,6 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="offset:BIT | flag:BIT | direction | redirect:ADDR | "
              "register:REG,BIT,ICOUNT (repeatable)")
     jobs_arg(inj)
+    resilience_args(inj)
     inj.set_defaults(func=cmd_inject)
 
     err = sub.add_parser("errormodel",
@@ -258,6 +301,7 @@ def build_parser() -> argparse.ArgumentParser:
     ver.add_argument("--policy", default="allbb",
                      choices=[p.value for p in Policy])
     jobs_arg(ver)
+    resilience_args(ver)
     ver.set_defaults(func=cmd_verify)
 
     cov = sub.add_parser("coverage", help="coverage campaign")
@@ -265,6 +309,7 @@ def build_parser() -> argparse.ArgumentParser:
     cov.add_argument("--per-category", type=int, default=8)
     cov.add_argument("--no-cache-level", action="store_true")
     jobs_arg(cov)
+    resilience_args(cov)
     cov.set_defaults(func=cmd_coverage)
     return parser
 

@@ -28,10 +28,14 @@ from repro.faults.campaign import (CacheCampaignResult, CampaignResult,
                                    generate_register_faults, run_campaign,
                                    run_cache_campaign,
                                    run_data_fault_campaign)
-from repro.faults.cache import (cache_stats, clear_caches, program_digest,
-                                set_cache_enabled)
-from repro.faults.executor import (CampaignExecutor, parallel_map,
-                                   resolve_jobs)
+from repro.faults.cache import (cache_stats, campaign_key, clear_caches,
+                                program_digest, set_cache_enabled)
+from repro.faults.campaign import infra_error_record
+from repro.faults.executor import (CampaignExecutor, MapError,
+                                   parallel_map, resolve_jobs)
+from repro.faults.journal import CampaignJournal, spec_digest
+from repro.faults.supervisor import (PoolSupervisor, SupervisedTask,
+                                     WorkerInitError)
 
 __all__ = [
     "ALL_ERROR_CATEGORIES", "Category", "SDC_CATEGORIES",
@@ -50,6 +54,9 @@ __all__ = [
     "run_campaign", "run_cache_campaign",
     "EffectivenessResult", "run_effectiveness_campaign",
     "sample_model_faults",
-    "CampaignExecutor", "parallel_map", "resolve_jobs",
-    "cache_stats", "clear_caches", "program_digest", "set_cache_enabled",
+    "CampaignExecutor", "MapError", "parallel_map", "resolve_jobs",
+    "CampaignJournal", "spec_digest", "infra_error_record",
+    "PoolSupervisor", "SupervisedTask", "WorkerInitError",
+    "cache_stats", "campaign_key", "clear_caches", "program_digest",
+    "set_cache_enabled",
 ]

@@ -45,6 +45,18 @@ def config_key(config) -> tuple:
             config.update_style.value, config.dataflow)
 
 
+def campaign_key(program, config) -> tuple[str, tuple]:
+    """Stable identity of a campaign's reference state.
+
+    The ``(program content digest, config key)`` pair keys both the
+    in-process golden cache and the on-disk campaign journal
+    (:mod:`repro.faults.journal`) — two campaigns with the same pair
+    are guaranteed byte-identical run-for-run, which is what makes
+    journal replay safe.
+    """
+    return program_digest(program), config_key(config)
+
+
 def get_golden(digest: str, key: tuple):
     if not _enabled:
         return None

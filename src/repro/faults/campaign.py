@@ -19,6 +19,12 @@ BENIGN              run completed with correct output (fault masked)
 HANG                exceeded the step budget (the paper: "a branch-error
                     may lead the program to an infinite loop", which
                     RET/END policies may never report)
+INFRA_ERROR         the *harness* failed, not the guest: the run raised,
+                    its worker died, or it blew the wall-clock deadline.
+                    Infra errors are quarantined per spec, reported
+                    separately, and excluded from the harmful
+                    denominator of ``detection_rate`` — they say nothing
+                    about the technique under test
 ==================  =====================================================
 """
 
@@ -49,6 +55,7 @@ class Outcome(enum.Enum):
     SDC = "sdc"
     BENIGN = "benign"
     HANG = "hang"
+    INFRA_ERROR = "infra_error"
 
 
 @dataclass
@@ -64,6 +71,17 @@ class RunRecord:
     #: report (None when not detected or not measurable) — the
     #: detection-latency metric of the fail-stop discussion (Section 6)
     detection_latency: int | None = None
+    #: harness failure detail for INFRA_ERROR records (exception type,
+    #: message, and the spec's repr); None for real outcomes
+    error: str | None = None
+
+
+def infra_error_record(spec, reason: str) -> RunRecord:
+    """A quarantined harness failure standing in for a real run."""
+    return RunRecord(outcome=Outcome.INFRA_ERROR,
+                     stop_reason=f"infra-error: {reason}",
+                     outputs=((), ()), cycles=0, icount=0,
+                     error=f"{reason} [spec {spec!r}]")
 
 
 @dataclass
@@ -136,6 +154,10 @@ class Pipeline:
     def run(self, fault: FaultSpec | CacheFaultSpec | None,
             max_steps: int | None = None) -> RunRecord:
         """One run; ``fault=None`` is the golden/reference run."""
+        if fault is not None and hasattr(fault, "chaos_run"):
+            # Harness-testing specs (repro.faults.chaos) bypass real
+            # injection and misbehave on purpose.
+            return fault.chaos_run(self)
         if max_steps is None:
             max_steps = self.golden.step_budget
         config = self.config
@@ -368,7 +390,12 @@ class CampaignResult:
         bucket[outcome] += 1
 
     def detection_rate(self, category: Category) -> float:
-        """Detected / (all non-benign outcomes) for a category."""
+        """Detected / (all non-benign *guest* outcomes) for a category.
+
+        ``INFRA_ERROR`` runs are harness failures, not guest outcomes:
+        they are excluded from the harmful denominator and reported
+        separately (:meth:`infra_count`).
+        """
         bucket = self.outcomes.get(category)
         if not bucket:
             return 0.0
@@ -388,18 +415,35 @@ class CampaignResult:
         bucket = self.outcomes.get(category)
         return bucket[Outcome.SDC] if bucket else 0
 
+    def infra_count(self, category: Category) -> int:
+        """Quarantined harness failures in the category's bucket."""
+        bucket = self.outcomes.get(category)
+        return bucket[Outcome.INFRA_ERROR] if bucket else 0
+
+    def total_infra(self) -> int:
+        return sum(bucket[Outcome.INFRA_ERROR]
+                   for bucket in self.outcomes.values())
+
 
 def run_campaign(program: Program, config: PipelineConfig,
-                 faults: CategoryFaults, jobs: int = 1) -> CampaignResult:
+                 faults: CategoryFaults, jobs: int = 1,
+                 retries: int | None = None,
+                 timeout: float | None = None,
+                 journal: str | None = None,
+                 resume: bool = False) -> CampaignResult:
     """Run every fault spec under one configuration.
 
     ``jobs > 1`` fans the independent runs out over worker processes
     (see :mod:`repro.faults.executor`); results are merged in the exact
     serial order, so tallies are identical for every job count.
+    ``retries``/``timeout`` tune the supervisor's failure policy;
+    ``journal``/``resume`` checkpoint completed chunks to a JSONL file
+    and replay them (see :mod:`repro.faults.journal`).
     """
     from repro.faults.executor import CampaignExecutor
-    return CampaignExecutor(program, config,
-                            jobs=jobs).run_campaign(faults)
+    return CampaignExecutor(
+        program, config, jobs=jobs, retries=retries, timeout=timeout,
+        journal=journal, resume=resume).run_campaign(faults)
 
 
 # -- data-fault campaigns (the future-work extension) --------------------------
@@ -423,6 +467,10 @@ class DataFaultCampaignResult:
     def detected(self) -> int:
         return (self.outcomes.get(Outcome.DETECTED_SIGNATURE, 0)
                 + self.outcomes.get(Outcome.DETECTED_HARDWARE, 0))
+
+    @property
+    def infra(self) -> int:
+        return self.outcomes.get(Outcome.INFRA_ERROR, 0)
 
     def total(self) -> int:
         return sum(self.outcomes.values())
@@ -450,12 +498,23 @@ def generate_register_faults(pipeline: Pipeline, count: int = 50,
 
 def run_data_fault_campaign(program: Program, config: PipelineConfig,
                             count: int = 50, seed: int = 2006,
-                            jobs: int = 1) -> DataFaultCampaignResult:
+                            jobs: int = 1,
+                            retries: int | None = None,
+                            timeout: float | None = None,
+                            journal: str | None = None,
+                            resume: bool = False
+                            ) -> DataFaultCampaignResult:
     """Inject random register faults under one configuration."""
     from repro.faults.executor import CampaignExecutor
+    # The fault generator needs the golden run's dynamic length; hand
+    # the same pipeline to the executor so the program load, rewrite
+    # and golden run aren't done twice on a cold cache.
     pipeline = Pipeline(program, config)
     faults = generate_register_faults(pipeline, count=count, seed=seed)
-    executor = CampaignExecutor(program, config, jobs=jobs)
+    executor = CampaignExecutor(program, config, jobs=jobs,
+                                retries=retries, timeout=timeout,
+                                journal=journal, resume=resume,
+                                pipeline=pipeline)
     result = DataFaultCampaignResult(config_label=config.label())
     for record in executor.run_specs(faults):
         result.record(record.outcome)
@@ -523,7 +582,11 @@ def run_cache_campaign(program: Program, config: PipelineConfig,
                        bits: tuple[int, ...] = (0, 1, 2, 3, 4, 6, 9),
                        max_sites: int = 40, seed: int = 2006,
                        force_taken: bool = True,
-                       jobs: int = 1) -> CacheCampaignResult:
+                       jobs: int = 1,
+                       retries: int | None = None,
+                       timeout: float | None = None,
+                       journal: str | None = None,
+                       resume: bool = False) -> CacheCampaignResult:
     """Flip offset bits of inserted branches, one fault per run.
 
     With ``force_taken`` (default) each fault is the paper's "branch to
@@ -539,7 +602,9 @@ def run_cache_campaign(program: Program, config: PipelineConfig,
     specs = [CacheFaultSpec(cache_addr=site, occurrence=1, bit=bit,
                             force_taken=force_taken)
              for site in sites for bit in bits]
-    executor = CampaignExecutor(program, config, jobs=jobs)
+    executor = CampaignExecutor(program, config, jobs=jobs,
+                                retries=retries, timeout=timeout,
+                                journal=journal, resume=resume)
     result = CacheCampaignResult(config_label=config.label())
     result.sites_tested = len(sites)
     for record in executor.run_specs(specs):

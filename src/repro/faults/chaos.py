@@ -1,0 +1,68 @@
+"""Chaos specs: deliberately misbehaving "faults" for the harness.
+
+These are not guest fault models — they attack the *campaign runtime*
+itself, and exist so the resilience machinery (per-spec quarantine,
+worker supervision, per-task timeouts, journaled resume) can be tested
+and demonstrated end to end:
+
+* :class:`RaisingSpec` raises inside ``Pipeline.run`` — exercises
+  per-spec quarantine (one ``INFRA_ERROR`` record, neighbours
+  unaffected);
+* :class:`CrashSpec` kills the worker process outright (the stand-in
+  for a segfault or OOM-kill) — exercises worker supervision and
+  chunk-splitting isolation;
+* :class:`SleepSpec` burns host wall-clock time — exercises the
+  per-task ``timeout`` deadline (and, with a short sleep, lets tests
+  slow a campaign down enough to kill and resume it mid-flight).
+
+A chaos spec implements ``chaos_run(pipeline)``, which
+:meth:`repro.faults.campaign.Pipeline.run` dispatches to instead of a
+real injection.  All three are frozen dataclasses with deterministic
+reprs, so they journal and digest like any other spec.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RaisingSpec:
+    """Raises ``RuntimeError(message)`` when run."""
+
+    message: str = "chaos: injector raised"
+
+    def describe(self) -> str:
+        return f"chaos-raise({self.message!r})"
+
+    def chaos_run(self, pipeline):
+        raise RuntimeError(self.message)
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """Kills the running process with ``os._exit(exit_code)``."""
+
+    exit_code: int = 139
+
+    def describe(self) -> str:
+        return f"chaos-crash({self.exit_code})"
+
+    def chaos_run(self, pipeline):
+        os._exit(self.exit_code)
+
+
+@dataclass(frozen=True)
+class SleepSpec:
+    """Sleeps ``seconds`` of host time, then runs fault-free."""
+
+    seconds: float = 3600.0
+
+    def describe(self) -> str:
+        return f"chaos-sleep({self.seconds:g}s)"
+
+    def chaos_run(self, pipeline):
+        time.sleep(self.seconds)
+        return pipeline.run(None)

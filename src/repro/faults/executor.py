@@ -1,20 +1,39 @@
-"""Parallel campaign execution.
+"""Parallel campaign execution with a fault-tolerant runtime.
 
 Fault-injection campaigns are embarrassingly parallel: every run is an
 independent, deterministic function of ``(program, config, spec)``.
 :class:`CampaignExecutor` exploits that by fanning fault specs out over
-a :class:`~concurrent.futures.ProcessPoolExecutor` while keeping the
-results **byte-identical to the serial order**:
+supervised worker processes while keeping the results **byte-identical
+to the serial order**:
 
 * each worker builds its :class:`~repro.faults.campaign.Pipeline`
-  exactly once (program load, static rewrite, golden run) in the pool
-  initializer, then serves fault runs from it;
+  exactly once (program load, static rewrite, golden run) when it
+  starts, then serves fault runs from it;
 * specs are dispatched in fixed-size chunks cut from the serial order,
-  and chunk results are merged back in submission order — so the merged
+  and chunk results are merged back by chunk index — so the merged
   record list (and therefore every tally derived from it) is the same
   for any worker count;
 * ``jobs=1`` bypasses the pool entirely: no processes, no pickling,
   exactly the code path the serial campaign always ran.
+
+The campaign engine is also the reproduction's hot path, and at the
+scale the literature runs (tens of thousands of injections per
+configuration) it must survive its own failures, not just classify the
+guest's.  Three layers provide that (see :mod:`repro.faults.supervisor`
+and :mod:`repro.faults.journal` for the details):
+
+* **per-spec quarantine** — a run that raises yields an
+  ``Outcome.INFRA_ERROR`` record carrying the exception and spec,
+  instead of killing its chunk;
+* **worker supervision** — a killed worker (segfault, OOM, timeout)
+  costs only its own chunk a retry: the chunk is split into singletons
+  to isolate the culprit, retried up to ``retries`` times, and the
+  survivors' results are unaffected.  Repeated no-progress failures
+  degrade the engine to in-process serial execution;
+* **journaled checkpoint/resume** — with ``journal=PATH`` every
+  completed chunk is appended to a JSONL journal; ``resume=True``
+  replays matching chunks and runs only the remainder, byte-identical
+  to an uninterrupted campaign.
 
 The ``fork`` start method is preferred where available (workers inherit
 the warm golden-run cache of :mod:`repro.faults.cache` for free);
@@ -26,30 +45,19 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 
 from repro.isa.program import Program
+from repro.faults import cache as run_cache
 from repro.faults.campaign import (CampaignResult, CategoryFaults,
-                                   Pipeline, PipelineConfig, RunRecord)
+                                   Pipeline, PipelineConfig, RunRecord,
+                                   infra_error_record)
+from repro.faults.supervisor import (DEFAULT_RETRIES, PoolSupervisor,
+                                     SupervisedTask)
 
 #: Specs per work unit.  Small enough to load-balance across workers,
-#: large enough to amortize the per-future round trip.
+#: large enough to amortize the per-task round trip.
 DEFAULT_CHUNK_SIZE = 8
-
-# Per-worker-process state, installed by _worker_init.
-_worker_pipeline: Pipeline | None = None
-
-
-def _worker_init(program: Program, config: PipelineConfig) -> None:
-    """Pool initializer: build the worker's pipeline exactly once."""
-    global _worker_pipeline
-    _worker_pipeline = Pipeline(program, config)
-
-
-def _worker_run_chunk(specs: list) -> list[RunRecord]:
-    """Run one chunk of fault specs on the worker's pipeline."""
-    pipeline = _worker_pipeline
-    return [pipeline.run(spec) for spec in specs]
 
 
 def _mp_context():
@@ -65,45 +73,167 @@ def resolve_jobs(jobs: int | None) -> int:
     return max(1, jobs)
 
 
+def _quarantined_run(pipeline: Pipeline, spec) -> RunRecord:
+    """One run, with harness exceptions converted to INFRA_ERROR."""
+    try:
+        return pipeline.run(spec)
+    except Exception as exc:
+        return infra_error_record(spec,
+                                  f"{type(exc).__name__}: {exc}")
+
+
+def _worker_init_state(program: Program,
+                       config: PipelineConfig) -> Pipeline:
+    """Worker initializer: build the worker's pipeline exactly once.
+
+    Failures (e.g. the golden run raising) are re-raised with the
+    config label attached, so the supervisor's WorkerInitError names
+    the configuration instead of surfacing an opaque pool breakage.
+    """
+    try:
+        return Pipeline(program, config)
+    except Exception as exc:
+        raise RuntimeError(
+            f"worker pipeline initialization failed for config "
+            f"{config.label()!r}: {type(exc).__name__}: {exc}") from exc
+
+
+def _worker_run_specs(pipeline: Pipeline, specs: list) -> list[RunRecord]:
+    """Run one chunk of fault specs, quarantining each spec."""
+    return [_quarantined_run(pipeline, spec) for spec in specs]
+
+
 class CampaignExecutor:
     """Runs fault specs for one (program, config), serially or fanned
-    out over worker processes, with order-stable results."""
+    out over supervised worker processes, with order-stable results.
+
+    ``retries`` bounds re-dispatches of a failing singleton (default
+    2); ``timeout`` is a per-chunk host wall-clock deadline in seconds
+    (enforced only in pooled mode — a single process cannot preempt
+    itself); ``journal`` appends completed chunks to a JSONL file and
+    ``resume`` replays them.  A pre-built ``pipeline`` may be supplied
+    to avoid rebuilding reference state the caller already has.
+    """
 
     def __init__(self, program: Program, config: PipelineConfig,
-                 jobs: int = 1, chunk_size: int = DEFAULT_CHUNK_SIZE):
+                 jobs: int = 1, chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 retries: int | None = None,
+                 timeout: float | None = None,
+                 journal: str | None = None,
+                 resume: bool = False,
+                 pipeline: Pipeline | None = None):
         self.program = program
         self.config = config
         self.jobs = resolve_jobs(jobs)
         self.chunk_size = max(1, chunk_size)
-        self._pipeline: Pipeline | None = None
+        self.retries = DEFAULT_RETRIES if retries is None else retries
+        self.timeout = timeout
+        self.journal = journal
+        self.resume = resume
+        self._pipeline = pipeline
 
     @property
     def pipeline(self) -> Pipeline:
-        """The in-process pipeline (built lazily, used when jobs=1)."""
+        """The in-process pipeline (built lazily; used for jobs=1, the
+        degraded serial path, and to warm the fork-shared caches)."""
         if self._pipeline is None:
             self._pipeline = Pipeline(self.program, self.config)
         return self._pipeline
 
     def run_specs(self, specs) -> list[RunRecord]:
         """Run every spec; records come back in input order regardless
-        of worker count."""
+        of worker count, retries, or resume."""
+        from repro.faults.journal import CampaignJournal, spec_digest
         specs = list(specs)
-        if self.jobs == 1 or len(specs) <= 1:
-            pipeline = self.pipeline
-            return [pipeline.run(spec) for spec in specs]
         chunks = [specs[start:start + self.chunk_size]
                   for start in range(0, len(specs), self.chunk_size)]
-        workers = min(self.jobs, len(chunks))
-        with ProcessPoolExecutor(
-                max_workers=workers, mp_context=_mp_context(),
-                initializer=_worker_init,
-                initargs=(self.program, self.config)) as pool:
-            futures = [pool.submit(_worker_run_chunk, chunk)
-                       for chunk in chunks]
-            records: list[RunRecord] = []
-            for future in futures:
-                records.extend(future.result())
+        digests = [[spec_digest(spec) for spec in chunk]
+                   for chunk in chunks]
+        journal = (CampaignJournal(self.journal)
+                   if self.journal else None)
+        program_digest = run_cache.program_digest(self.program)
+        config_key = run_cache.config_key(self.config)
+
+        done: dict[int, list[RunRecord]] = {}
+        if journal is not None and self.resume:
+            replayed = journal.replay(program_digest, config_key)
+            for index in range(len(chunks)):
+                records = replayed.get((index, tuple(digests[index])))
+                if records is not None:
+                    done[index] = records
+
+        todo = [index for index in range(len(chunks))
+                if index not in done]
+
+        def checkpoint(index: int, records: list[RunRecord]) -> None:
+            done[index] = records
+            if journal is not None:
+                journal.append_chunk(program_digest, config_key, index,
+                                     digests[index], records)
+
+        if todo and (self.jobs == 1 or len(specs) <= 1):
+            pipeline = self.pipeline
+            for index in todo:
+                checkpoint(index, _worker_run_specs(pipeline,
+                                                    chunks[index]))
+        elif todo:
+            # Build the reference state in the parent first: a broken
+            # configuration fails fast with its label, and forked
+            # workers inherit the warm golden-run cache.
+            self.pipeline
+            self._run_supervised(chunks, todo, checkpoint)
+
+        records: list[RunRecord] = []
+        for index in range(len(chunks)):
+            records.extend(done[index])
         return records
+
+    def _run_supervised(self, chunks, todo, checkpoint) -> None:
+        tasks = [self._chunk_task(index, chunks[index])
+                 for index in todo]
+        supervisor = PoolSupervisor(
+            jobs=min(self.jobs, len(tasks)),
+            mp_context=_mp_context(),
+            init_fn=_worker_init_state,
+            init_args=(self.program, self.config),
+            task_fn=_worker_run_specs,
+            serial_fn=lambda specs: _worker_run_specs(self.pipeline,
+                                                      specs),
+            retries=self.retries, timeout=self.timeout)
+
+        # Chunks that were split into singletons check back in once
+        # every piece has arrived, so the journal stays chunk-grained.
+        partial: dict[int, dict[int, list[RunRecord]]] = {}
+
+        def on_result(task: SupervisedTask, records) -> None:
+            if task.key[0] == "chunk":
+                checkpoint(task.key[1], records)
+                return
+            _, index, sub = task.key
+            pieces = partial.setdefault(index, {})
+            pieces[sub] = records
+            if len(pieces) == len(chunks[index]):
+                checkpoint(index, [record
+                                   for sub in range(len(chunks[index]))
+                                   for record in pieces[sub]])
+
+        supervisor.run(tasks, on_result=on_result)
+
+    def _chunk_task(self, index: int, specs: list) -> SupervisedTask:
+        def fail(reason: str) -> list[RunRecord]:
+            return [infra_error_record(spec, reason) for spec in specs]
+
+        def split() -> list[SupervisedTask] | None:
+            if len(specs) <= 1:
+                return None
+            return [SupervisedTask(
+                        key=("spec", index, sub), payload=[spec],
+                        fail=(lambda reason, spec=spec:
+                              [infra_error_record(spec, reason)]))
+                    for sub, spec in enumerate(specs)]
+
+        return SupervisedTask(key=("chunk", index), payload=list(specs),
+                              fail=fail, split=split)
 
     def run_campaign(self, faults: CategoryFaults) -> CampaignResult:
         """Per-category campaign with order-stable tallies."""
@@ -119,17 +249,52 @@ class CampaignExecutor:
         return result
 
 
-def parallel_map(func, items, jobs: int = 1) -> list:
+@dataclass(frozen=True)
+class MapError:
+    """Per-item failure marker returned by :func:`parallel_map`."""
+
+    item: object
+    error: str
+
+
+def _apply_quarantined(payload):
+    func, item = payload
+    try:
+        return func(item)
+    except Exception as exc:
+        return MapError(item=item, error=f"{type(exc).__name__}: {exc}")
+
+
+def _map_task_fn(_state, payload):
+    return _apply_quarantined(payload)
+
+
+def parallel_map(func, items, jobs: int = 1,
+                 retries: int | None = None,
+                 timeout: float | None = None) -> list:
     """Order-preserving process-parallel map for picklable tasks.
 
     Utility used by the CLI for independent heavyweight jobs (e.g.
     verifying several techniques); falls back to a plain loop for
-    ``jobs=1`` or single-item inputs.
+    ``jobs=1`` or single-item inputs.  Each item is quarantined: an
+    item whose call raises — or whose worker dies, or which exceeds
+    ``timeout`` seconds even after ``retries`` re-dispatches — yields a
+    :class:`MapError` in its slot instead of discarding every other
+    result.
     """
     items = list(items)
     jobs = resolve_jobs(jobs)
     if jobs == 1 or len(items) <= 1:
-        return [func(item) for item in items]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(items)),
-                             mp_context=_mp_context()) as pool:
-        return list(pool.map(func, items))
+        return [_apply_quarantined((func, item)) for item in items]
+    tasks = [SupervisedTask(
+                 key=(index,), payload=(func, item),
+                 fail=(lambda reason, item=item:
+                       MapError(item=item, error=reason)))
+             for index, item in enumerate(items)]
+    supervisor = PoolSupervisor(
+        jobs=min(jobs, len(items)), mp_context=_mp_context(),
+        task_fn=_map_task_fn, serial_fn=_apply_quarantined,
+        retries=DEFAULT_RETRIES if retries is None else retries,
+        timeout=timeout)
+    results = supervisor.run(tasks)
+    return [results[(index,)] for index in range(len(items))]

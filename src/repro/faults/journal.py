@@ -1,0 +1,114 @@
+"""Append-only campaign journal: checkpoint every chunk, resume later.
+
+A campaign killed mid-flight (machine reboot, OOM-kill, ctrl-C) should
+not discard its completed work.  The journal records each finished
+chunk as one JSON line::
+
+    {"v": 1,
+     "program": "<sha256 of the loadable image>",
+     "config":  ["dbt", "rcf", "allbb", "jcc", false],
+     "chunk":   3,
+     "specs":   ["1f0c…", …],      # per-spec content digests
+     "records": [{…}, …]}          # serialized RunRecords
+
+Entries are self-validating: a chunk is only replayed when the program
+digest, the config key, *and* every spec digest match the campaign
+being resumed — so re-using one journal file across programs, configs,
+or edited fault lists can never smuggle stale records in.  Each append
+is flushed and fsynced, and a torn final line (the process died mid-
+write) is skipped on replay, so the journal is safe against any kill
+point.  Replaying is byte-exact: a resumed campaign's record list — and
+therefore every tally derived from it — is identical to the
+uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from repro.faults.campaign import Outcome, RunRecord
+
+JOURNAL_VERSION = 1
+
+
+def spec_digest(spec) -> str:
+    """Content digest of one fault spec (reprs are deterministic)."""
+    return hashlib.sha256(repr(spec).encode()).hexdigest()[:16]
+
+
+def record_to_json(record: RunRecord) -> dict:
+    return {"outcome": record.outcome.value,
+            "stop": record.stop_reason,
+            "out": [list(part) for part in record.outputs],
+            "cycles": record.cycles,
+            "icount": record.icount,
+            "latency": record.detection_latency,
+            "error": record.error}
+
+
+def record_from_json(data: dict) -> RunRecord:
+    return RunRecord(outcome=Outcome(data["outcome"]),
+                     stop_reason=data["stop"],
+                     outputs=tuple(tuple(part) for part in data["out"]),
+                     cycles=data["cycles"],
+                     icount=data["icount"],
+                     detection_latency=data.get("latency"),
+                     error=data.get("error"))
+
+
+class CampaignJournal:
+    """One JSONL journal file, possibly shared by several campaigns
+    (entries carry their own program/config identity)."""
+
+    def __init__(self, path):
+        self.path = str(path)
+
+    def append_chunk(self, program_digest: str, config_key: tuple,
+                     chunk_index: int, spec_digests: list[str],
+                     records: list[RunRecord]) -> None:
+        """Durably record one completed chunk."""
+        entry = {"v": JOURNAL_VERSION,
+                 "program": program_digest,
+                 "config": list(config_key),
+                 "chunk": chunk_index,
+                 "specs": list(spec_digests),
+                 "records": [record_to_json(r) for r in records]}
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, separators=(",", ":")) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def replay(self, program_digest: str, config_key: tuple) -> dict:
+        """Completed chunks for one campaign identity.
+
+        Returns ``{(chunk_index, (spec_digest, …)): [RunRecord, …]}`` —
+        the caller looks up its own (index, digests) pair, so a journal
+        entry whose spec set no longer matches is simply not found.
+        """
+        completed: dict = {}
+        if not os.path.exists(self.path):
+            return completed
+        wanted = list(config_key)
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue    # torn tail write from a killed campaign
+                if (entry.get("v") != JOURNAL_VERSION
+                        or entry.get("program") != program_digest
+                        or entry.get("config") != wanted):
+                    continue
+                try:
+                    records = [record_from_json(r)
+                               for r in entry["records"]]
+                except (KeyError, ValueError):
+                    continue
+                completed[(entry["chunk"], tuple(entry["specs"]))] = \
+                    records
+        return completed

@@ -61,7 +61,7 @@ class TestJobsSemantics:
                                        monkeypatch):
         import repro.faults.executor as executor_mod
         monkeypatch.setattr(
-            executor_mod, "ProcessPoolExecutor",
+            executor_mod, "PoolSupervisor",
             lambda *a, **k: pytest.fail("jobs=1 must not build a pool"))
         config = PipelineConfig("dbt", None)
         records = CampaignExecutor(gap, config, jobs=1).run_specs(

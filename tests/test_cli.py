@@ -93,6 +93,23 @@ class TestInject:
         with pytest.raises(SystemExit):
             main(["inject", demo_file, "--fault", "bogus:1"])
 
+    def test_journal_and_resume(self, demo_file, tmp_path, capsys):
+        journal = str(tmp_path / "inject.jsonl")
+        args = ["inject", demo_file, "-t", "edgcf",
+                "--branch", "loop+12", "--occurrence", "2",
+                "--fault", "offset:0", "--fault", "offset:1",
+                "--journal", journal]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert len(open(journal).readlines()) == 1
+        assert main(args + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_retries_and_timeout_flags(self, demo_file):
+        assert main(["inject", demo_file, "-t", "rcf",
+                     "--branch", "loop+12", "--fault", "direction",
+                     "--retries", "1", "--timeout", "30"]) == 0
+
 
 class TestAnalysis:
     def test_errormodel(self, demo_file, capsys):
@@ -104,6 +121,22 @@ class TestAnalysis:
         assert main(["coverage", demo_file, "--per-category", "2",
                      "--no-cache-level"]) == 0
         assert "configuration" in capsys.readouterr().out
+
+    def test_coverage_journal_resume(self, demo_file, tmp_path,
+                                     capsys):
+        journal = str(tmp_path / "coverage.jsonl")
+        args = ["coverage", demo_file, "--per-category", "2",
+                "--no-cache-level", "--journal", journal]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert open(journal).read().strip()
+        assert main(args + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_verify_accepts_resilience_flags(self, demo_file, capsys):
+        assert main(["verify", demo_file, "-t", "edgcf",
+                     "--retries", "1", "--timeout", "60"]) == 0
+        assert "0 violations" in capsys.readouterr().out
 
     def test_suite_listing(self, capsys):
         assert main(["suite"]) == 0
