@@ -13,7 +13,7 @@ duplication overhead is well above SWIFT's register-resident numbers;
 the detection behaviour is the reproduced object.
 """
 
-from repro.analysis.report import format_table, geomean
+from repro.analysis.report import format_table
 from repro.checking import make_technique
 from repro.dbt import Dbt
 from repro.faults import PipelineConfig, run_data_fault_campaign

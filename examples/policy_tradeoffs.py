@@ -15,8 +15,8 @@ Run:  python examples/policy_tradeoffs.py
 from repro import assemble, run_native
 from repro.checking import Policy, make_technique
 from repro.dbt import Dbt
-from repro.faults import (DbtInjector, FaultSpec, Outcome, Pipeline,
-                          PipelineConfig, RedirectFault)
+from repro.faults import (FaultSpec, Pipeline, PipelineConfig,
+                          RedirectFault)
 from repro.workloads import load
 
 POLICIES = (Policy.ALLBB, Policy.RET_BE, Policy.RET, Policy.END)

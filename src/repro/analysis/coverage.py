@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.isa.program import Program
-from repro.checking import Policy, UpdateStyle
 from repro.faults import (CacheCampaignResult, CampaignResult, Category,
                           Outcome, PipelineConfig,
                           generate_category_faults, run_cache_campaign,

@@ -8,11 +8,29 @@ rows, fp suite first, geometric means per suite and overall).
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Iterable, Sequence
 
 
-def geomean(values: Iterable[float]) -> float:
-    """Geometric mean; empty input -> 0."""
+def geomean(values: Iterable[float], strict: bool = False) -> float:
+    """Geometric mean over the positive inputs; empty input -> 0.
+
+    A geometric mean is undefined for non-positive values, so they are
+    filtered out — but silently dropping a benchmark's 0.0 overhead
+    ratio would skew a summary row without a trace.  Filtering
+    therefore warns (:class:`UserWarning` naming the dropped values),
+    or raises ``ValueError`` under ``strict=True``.
+    """
+    values = list(values)
+    dropped = [v for v in values if v <= 0]
+    if dropped:
+        if strict:
+            raise ValueError(
+                f"geomean is undefined for non-positive values: "
+                f"{dropped!r}")
+        warnings.warn(
+            f"geomean dropped {len(dropped)} non-positive value(s): "
+            f"{dropped!r}", stacklevel=2)
     values = [v for v in values if v > 0]
     if not values:
         return 0.0

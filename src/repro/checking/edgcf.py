@@ -22,8 +22,7 @@ from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Op
 from repro.isa.registers import PCP, T0
 from repro.checking.base import (BlockInfo, CondDesc, ErrorBranch, Item,
-                                 LoadSig, RawIns, SigExpr, Technique,
-                                 const_expr, sig_of)
+                                 LoadSig, RawIns, Technique, sig_of)
 from repro.checking.updates import additive_cond_update
 
 

@@ -12,13 +12,21 @@ Commands
 ``errormodel``  per-program Figure-2-style branch-error probabilities
 ``suite``       list the benchmark suite with structural statistics
 ``coverage``    run the per-category coverage campaign on a program
+``stats``       render a metrics snapshot captured with ``--metrics``
+
+``run``, ``inject``, ``verify`` and ``coverage`` accept ``--metrics
+PATH`` and ``--trace PATH`` to capture telemetry (see
+``docs/observability.md``); everything else runs with observability
+off, which costs nothing.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from repro import obs
 from repro.isa import assemble, disassemble_program
 from repro.isa.program import Program
 from repro.machine import run_native
@@ -64,7 +72,7 @@ def cmd_run(args) -> int:
         detected = result.detected_error or result.detected_dataflow
     for chunk in cpu.output:
         sys.stdout.write(chunk)
-    if cpu.output:
+    if cpu.output and not cpu.output[-1].endswith("\n"):
         sys.stdout.write("\n")
     print(f"[{stop.reason.value}] exit={stop.exit_code} "
           f"cycles={cpu.cycles} instructions={cpu.icount} "
@@ -213,12 +221,40 @@ def cmd_coverage(args) -> int:
     return 0
 
 
+def cmd_stats(args) -> int:
+    """Render a metrics snapshot file written by ``--metrics``."""
+    from repro.obs.exporters import (jsonl_text, load_snapshot,
+                                     prometheus_text, render_stats)
+    try:
+        snap = load_snapshot(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.format == "prom":
+        sys.stdout.write(prometheus_text(snap))
+    elif args.format == "jsonl":
+        sys.stdout.write(jsonl_text(snap))
+    else:
+        print(render_stats(snap))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="control-flow error detection toolkit (CGO'06 "
                     "reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def obs_args(p):
+        p.add_argument(
+            "--metrics", default=None, metavar="PATH",
+            help="write a metrics snapshot on exit (.prom Prometheus "
+                 "text, .jsonl event log, anything else the JSON "
+                 "snapshot `repro stats` reads)")
+        p.add_argument(
+            "--trace", default=None, metavar="PATH",
+            help="stream finished spans to this JSONL event log")
 
     def common_exec(p):
         p.add_argument("file", help="assembly source file")
@@ -237,6 +273,7 @@ def build_parser() -> argparse.ArgumentParser:
     common_exec(run_parser)
     run_parser.add_argument("--pipeline", default="dbt",
                             choices=["native", "dbt", "static"])
+    obs_args(run_parser)
     run_parser.set_defaults(func=cmd_run)
 
     dis = sub.add_parser("disasm", help="print the listing")
@@ -279,6 +316,7 @@ def build_parser() -> argparse.ArgumentParser:
              "register:REG,BIT,ICOUNT (repeatable)")
     jobs_arg(inj)
     resilience_args(inj)
+    obs_args(inj)
     inj.set_defaults(func=cmd_inject)
 
     err = sub.add_parser("errormodel",
@@ -302,6 +340,7 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=[p.value for p in Policy])
     jobs_arg(ver)
     resilience_args(ver)
+    obs_args(ver)
     ver.set_defaults(func=cmd_verify)
 
     cov = sub.add_parser("coverage", help="coverage campaign")
@@ -310,14 +349,32 @@ def build_parser() -> argparse.ArgumentParser:
     cov.add_argument("--no-cache-level", action="store_true")
     jobs_arg(cov)
     resilience_args(cov)
+    obs_args(cov)
     cov.set_defaults(func=cmd_coverage)
+
+    stats = sub.add_parser(
+        "stats", help="render a --metrics snapshot")
+    stats.add_argument("file", help="JSON snapshot written by --metrics")
+    stats.add_argument("--format", default="table",
+                       choices=["table", "prom", "jsonl"])
+    stats.set_defaults(func=cmd_stats)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        with obs.session(getattr(args, "metrics", None),
+                         getattr(args, "trace", None)):
+            return args.func(args)
+    except BrokenPipeError:
+        # stdout reader went away (e.g. `repro stats ... | head`);
+        # point stdout at devnull so the interpreter-shutdown flush
+        # does not raise a second time
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

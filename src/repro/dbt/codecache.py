@@ -11,6 +11,7 @@ F."
 
 from __future__ import annotations
 
+from repro import obs
 from repro.isa.encoding import encode
 from repro.isa.instruction import WORD_SIZE, Instruction
 from repro.machine.memory import PERM_RX, Memory
@@ -50,9 +51,19 @@ class CodeCache:
         start = self.cursor
         end = start + words * WORD_SIZE
         if end > self.limit:
+            obs.counter("dbt_cache_full_total",
+                        help="allocations refused by a full cache").inc()
             raise CacheFullError(
                 f"code cache exhausted ({self.used} bytes used)")
         self.cursor = end
+        registry = obs.get_registry()
+        if registry is not None:
+            registry.counter(
+                "dbt_cache_alloc_words_total",
+                help="code-cache words allocated").inc(words)
+            registry.gauge("dbt_cache_bytes_used",
+                           help="code-cache high-water mark").set(
+                self.used)
         return start
 
     def write_instruction(self, addr: int, instr: Instruction) -> None:
@@ -68,4 +79,7 @@ class CodeCache:
 
     def flush(self) -> None:
         """Drop everything (self-modifying-code big hammer)."""
-        self.cursor = self.base
+        with obs.span("dbt.cache_flush", used=self.used):
+            self.cursor = self.base
+        obs.counter("dbt_cache_flushes_total",
+                    help="whole-cache evictions (SMC + cache-full)").inc()

@@ -21,15 +21,16 @@ reproduce the paper's "about 12%" native->DBT baseline slowdown.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from repro import obs
 from repro.isa.encoding import DecodeError
 from repro.isa.instruction import WORD_SIZE, Instruction
 from repro.isa.opcodes import Op
 from repro.isa.program import Program
 from repro.machine.cpu import Cpu
 from repro.machine.faults import FaultKind, StopInfo, StopReason
-from repro.machine.memory import PAGE_SIZE, PERM_R, PERM_RW
+from repro.machine.memory import PERM_R, PERM_RW
 from repro.cfg.basic_block import BasicBlock
 from repro.checking.base import Technique
 from repro.checking.policies import Policy
@@ -117,6 +118,12 @@ class Dbt:
         self._suffixes: dict[tuple[int, int], TranslatedBlock] = {}
         self._static_cfg = None
         self._static_leaders: list[int] | None = None
+        #: cache addresses of emitted CHECK_SIG branches; shared with
+        #: the CPU so the observability branch counter can report
+        #: signature checks executed (mutated in place on translate /
+        #: flush, read only while a metrics registry is installed)
+        self._check_sites: set[int] = set()
+        self.cpu.obs_check_sites = self._check_sites
         self.cpu.set_external_write_watch(self._on_guest_write)
 
     @property
@@ -137,8 +144,17 @@ class Dbt:
                           instrument_entry: bool = True) -> TranslatedBlock:
         """Translate the block at ``guest_start`` if needed."""
         tb = self.blocks.get(guest_start)
+        registry = obs.get_registry()
         if tb is not None:
+            if registry is not None:
+                registry.counter("dbt_cache_lookup_total",
+                                 help="translated-block lookups",
+                                 result="hit").inc()
             return tb
+        if registry is not None:
+            registry.counter("dbt_cache_lookup_total",
+                             help="translated-block lookups",
+                             result="miss").inc()
         stop_before = self._next_block_start_after(guest_start)
         guest_block = self.translator.decode_guest_block(
             guest_start, stop_before)
@@ -156,6 +172,7 @@ class Dbt:
                 guest_block, instrument_entry=instrument_entry)
         self.blocks[guest_start] = tb
         self.addr_map.update(tb.addr_map)
+        self._check_sites.update(tb.check_addresses)
         for slot in tb.exit_slots:
             self.slots[slot.slot_id] = slot
         self._protect_guest_pages(guest_block)
@@ -178,6 +195,7 @@ class Dbt:
         tb = self.translator.translate(guest_block, instrument_entry=False,
                                        owner_start=owner_start)
         self._suffixes[key] = tb
+        self._check_sites.update(tb.check_addresses)
         for slot in tb.exit_slots:
             self.slots[slot.slot_id] = slot
         return tb
@@ -233,6 +251,8 @@ class Dbt:
             self.cache.write_instruction(
                 slot.trap_addr, Instruction(op=Op.JMP, imm=offset_words))
             slot.patched = True
+            obs.counter("dbt_chain_patches_total",
+                        help="exit stubs patched into direct jumps").inc()
         if slot.cond_site is not None:
             branch_offset = (target_cache - (slot.cond_site + WORD_SIZE)
                              ) // WORD_SIZE
@@ -265,6 +285,7 @@ class Dbt:
         self.blocks.clear()
         self.slots.clear()
         self.addr_map.clear()
+        self._check_sites.clear()
         self._suffixes.clear()
         self._static_cfg = None   # guest code may have changed
         self._static_leaders = None
@@ -310,6 +331,12 @@ class Dbt:
     def run(self, max_steps: int = 50_000_000,
             max_cycles: int | None = None) -> DbtResult:
         """Execute the guest program to completion under translation."""
+        with obs.span("dbt.run", program=getattr(
+                self.program, "source_name", "?")):
+            return self._run(max_steps, max_cycles)
+
+    def _run(self, max_steps: int,
+             max_cycles: int | None) -> DbtResult:
         cpu = self.cpu
         result = DbtResult(stop=StopInfo(StopReason.HALTED, 0))
         if self._entry_stub is None:
@@ -338,11 +365,17 @@ class Dbt:
                     result.detected_error = True
                     result.detected_at = stop.pc
                     result.stop = stop
+                    obs.counter("dbt_detections_total",
+                                help="error traps serviced",
+                                kind="signature").inc()
                     break
                 if stop.trap_no == DF_ERROR_TRAP:
                     result.detected_dataflow = True
                     result.detected_at = stop.pc
                     result.stop = stop
+                    obs.counter("dbt_detections_total",
+                                help="error traps serviced",
+                                kind="dataflow").inc()
                     break
                 if stop.trap_no == INJECT_TRAP:
                     if self.inject_redirect is None:

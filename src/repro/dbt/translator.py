@@ -26,7 +26,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.isa.encoding import DecodeError, decode
+from repro import obs
+from repro.isa.encoding import decode
 from repro.isa.instruction import WORD_SIZE, Instruction
 from repro.isa.opcodes import Kind, Op
 from repro.isa.registers import T1, T2
@@ -182,6 +183,30 @@ class BlockTranslator:
         and GEN_SIG at the exit is computed as if still inside the
         owner, exactly like the tail of the owner's own translation.
         """
+        registry = obs.get_registry()
+        if registry is None:
+            return self._translate(block, instrument_entry, owner_start)
+        with obs.span("dbt.translate", guest=block.start):
+            with registry.histogram(
+                    "dbt_translate_seconds",
+                    help="block translation wall time").time():
+                tb = self._translate(block, instrument_entry,
+                                     owner_start)
+        registry.counter("dbt_blocks_translated_total",
+                         help="guest blocks translated").inc()
+        registry.counter(
+            "dbt_translated_words_total",
+            help="code-cache words emitted by translation").inc(
+            (tb.cache_end - tb.cache_start) // WORD_SIZE)
+        if tb.check_addresses:
+            registry.counter(
+                "dbt_check_sites_total",
+                help="signature-check branch sites emitted").inc(
+                len(tb.check_addresses))
+        return tb
+
+    def _translate(self, block: BasicBlock, instrument_entry: bool,
+                   owner_start: int | None) -> TranslatedBlock:
         technique = self.technique
         info = BlockInfo(start=owner_start if owner_start is not None
                          else block.start)
@@ -191,7 +216,8 @@ class BlockTranslator:
                        if instrument_entry else [])
         # Plan: [entry snippet][body][exit plan][error stub]
         plan = _ExitPlan(self, block, info)
-        sig_resolver = lambda guest_addr: guest_addr  # address IS signature
+        def sig_resolver(guest_addr):
+            return guest_addr  # address IS signature
 
         exit_item_lists = plan.snippets
         if self.optimize:

@@ -34,6 +34,7 @@ import enum
 import random
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.isa.program import Program
 from repro.machine import Cpu, StopReason
 from repro.machine.faults import FaultKind
@@ -136,8 +137,15 @@ class Pipeline:
         key = run_cache.config_key(config)
         golden = run_cache.get_golden(digest, key)
         if golden is None:
+            obs.counter("campaign_golden_cache_total",
+                        help="golden-run cache lookups",
+                        result="miss").inc()
             golden = self._golden_run()
             run_cache.put_golden(digest, key, golden)
+        else:
+            obs.counter("campaign_golden_cache_total",
+                        help="golden-run cache lookups",
+                        result="hit").inc()
         self.golden = golden
 
     # -- execution -----------------------------------------------------------
@@ -154,6 +162,21 @@ class Pipeline:
     def run(self, fault: FaultSpec | CacheFaultSpec | None,
             max_steps: int | None = None) -> RunRecord:
         """One run; ``fault=None`` is the golden/reference run."""
+        registry = obs.get_registry()
+        if registry is None:
+            return self._run(fault, max_steps)
+        with registry.histogram(
+                "campaign_run_seconds",
+                help="wall time of one pipeline run",
+                pipeline=self.config.pipeline).time():
+            record = self._run(fault, max_steps)
+        registry.counter("campaign_runs_total",
+                         help="pipeline runs by classified outcome",
+                         outcome=record.outcome.value).inc()
+        return record
+
+    def _run(self, fault: FaultSpec | CacheFaultSpec | None,
+             max_steps: int | None = None) -> RunRecord:
         if fault is not None and hasattr(fault, "chaos_run"):
             # Harness-testing specs (repro.faults.chaos) bypass real
             # injection and misbehave on purpose.

@@ -47,7 +47,10 @@ import multiprocessing
 import os
 from dataclasses import dataclass
 
+from repro import obs
 from repro.isa.program import Program
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecorder
 from repro.faults import cache as run_cache
 from repro.faults.campaign import (CampaignResult, CategoryFaults,
                                    Pipeline, PipelineConfig, RunRecord,
@@ -73,6 +76,40 @@ def resolve_jobs(jobs: int | None) -> int:
     return max(1, jobs)
 
 
+@dataclass
+class WorkerResult:
+    """A worker task's payload result plus its drained telemetry.
+
+    Wrapping (rather than sniffing tuples out of arbitrary task
+    results) keeps the result-pipe protocol unambiguous: user task
+    functions may legitimately return lists or tuples of their own.
+    """
+
+    value: object
+    obs_snapshot: dict | None = None
+
+
+def _unwrap(result):
+    """Fold a worker's telemetry drain into the parent registry and
+    return the wrapped payload (pass-through for plain results)."""
+    if isinstance(result, WorkerResult):
+        obs.merge_snapshot(result.obs_snapshot)
+        return result.value
+    return result
+
+
+def _install_worker_obs(obs_enabled: bool) -> None:
+    """Give a worker process its own drainable registry.
+
+    Under ``fork`` the child inherits the parent's installed registry
+    object; replacing it with a ``worker=True`` registry keeps the
+    child's tallies separate so they travel home on the result pipe
+    instead of silently accruing in a dead copy.
+    """
+    if obs_enabled:
+        obs.install(MetricsRegistry(worker=True), SpanRecorder())
+
+
 def _quarantined_run(pipeline: Pipeline, spec) -> RunRecord:
     """One run, with harness exceptions converted to INFRA_ERROR."""
     try:
@@ -82,14 +119,15 @@ def _quarantined_run(pipeline: Pipeline, spec) -> RunRecord:
                                   f"{type(exc).__name__}: {exc}")
 
 
-def _worker_init_state(program: Program,
-                       config: PipelineConfig) -> Pipeline:
+def _worker_init_state(program: Program, config: PipelineConfig,
+                       obs_enabled: bool = False) -> Pipeline:
     """Worker initializer: build the worker's pipeline exactly once.
 
     Failures (e.g. the golden run raising) are re-raised with the
     config label attached, so the supervisor's WorkerInitError names
     the configuration instead of surfacing an opaque pool breakage.
     """
+    _install_worker_obs(obs_enabled)
     try:
         return Pipeline(program, config)
     except Exception as exc:
@@ -98,9 +136,20 @@ def _worker_init_state(program: Program,
             f"{config.label()!r}: {type(exc).__name__}: {exc}") from exc
 
 
-def _worker_run_specs(pipeline: Pipeline, specs: list) -> list[RunRecord]:
-    """Run one chunk of fault specs, quarantining each spec."""
-    return [_quarantined_run(pipeline, spec) for spec in specs]
+def _worker_run_specs(pipeline: Pipeline, specs: list):
+    """Run one chunk of fault specs, quarantining each spec.
+
+    In a worker process with observability on, the records come back
+    wrapped in :class:`WorkerResult` together with the registry drain;
+    in-process callers (jobs=1 and the degraded serial path) get the
+    plain record list — their metrics are already in the parent
+    registry.
+    """
+    records = [_quarantined_run(pipeline, spec) for spec in specs]
+    snap = obs.drain_worker_snapshot()
+    if snap is not None:
+        return WorkerResult(records, snap)
+    return records
 
 
 class CampaignExecutor:
@@ -161,27 +210,38 @@ class CampaignExecutor:
                 records = replayed.get((index, tuple(digests[index])))
                 if records is not None:
                     done[index] = records
+            if done:
+                obs.counter("campaign_chunks_total",
+                            help="chunks by completion source",
+                            source="replayed").inc(len(done))
 
         todo = [index for index in range(len(chunks))
                 if index not in done]
 
         def checkpoint(index: int, records: list[RunRecord]) -> None:
             done[index] = records
+            obs.counter("campaign_chunks_total",
+                        help="chunks by completion source",
+                        source="executed").inc()
             if journal is not None:
                 journal.append_chunk(program_digest, config_key, index,
                                      digests[index], records)
 
         if todo and (self.jobs == 1 or len(specs) <= 1):
-            pipeline = self.pipeline
-            for index in todo:
-                checkpoint(index, _worker_run_specs(pipeline,
-                                                    chunks[index]))
+            with obs.span("campaign.scheduler", mode="serial",
+                          chunks=len(todo)):
+                pipeline = self.pipeline
+                for index in todo:
+                    checkpoint(index, _unwrap(
+                        _worker_run_specs(pipeline, chunks[index])))
         elif todo:
-            # Build the reference state in the parent first: a broken
-            # configuration fails fast with its label, and forked
-            # workers inherit the warm golden-run cache.
-            self.pipeline
-            self._run_supervised(chunks, todo, checkpoint)
+            with obs.span("campaign.scheduler", mode="pool",
+                          jobs=self.jobs, chunks=len(todo)):
+                # Build the reference state in the parent first: a
+                # broken configuration fails fast with its label, and
+                # forked workers inherit the warm golden-run cache.
+                self.pipeline
+                self._run_supervised(chunks, todo, checkpoint)
 
         records: list[RunRecord] = []
         for index in range(len(chunks)):
@@ -195,7 +255,7 @@ class CampaignExecutor:
             jobs=min(self.jobs, len(tasks)),
             mp_context=_mp_context(),
             init_fn=_worker_init_state,
-            init_args=(self.program, self.config),
+            init_args=(self.program, self.config, obs.enabled()),
             task_fn=_worker_run_specs,
             serial_fn=lambda specs: _worker_run_specs(self.pipeline,
                                                       specs),
@@ -206,6 +266,7 @@ class CampaignExecutor:
         partial: dict[int, dict[int, list[RunRecord]]] = {}
 
         def on_result(task: SupervisedTask, records) -> None:
+            records = _unwrap(records)
             if task.key[0] == "chunk":
                 checkpoint(task.key[1], records)
                 return
@@ -265,8 +326,17 @@ def _apply_quarantined(payload):
         return MapError(item=item, error=f"{type(exc).__name__}: {exc}")
 
 
+def _map_worker_init(obs_enabled: bool = False):
+    _install_worker_obs(obs_enabled)
+    return None
+
+
 def _map_task_fn(_state, payload):
-    return _apply_quarantined(payload)
+    result = _apply_quarantined(payload)
+    snap = obs.drain_worker_snapshot()
+    if snap is not None:
+        return WorkerResult(result, snap)
+    return result
 
 
 def parallel_map(func, items, jobs: int = 1,
@@ -293,8 +363,9 @@ def parallel_map(func, items, jobs: int = 1,
              for index, item in enumerate(items)]
     supervisor = PoolSupervisor(
         jobs=min(jobs, len(items)), mp_context=_mp_context(),
+        init_fn=_map_worker_init, init_args=(obs.enabled(),),
         task_fn=_map_task_fn, serial_fn=_apply_quarantined,
         retries=DEFAULT_RETRIES if retries is None else retries,
         timeout=timeout)
     results = supervisor.run(tasks)
-    return [results[(index,)] for index in range(len(items))]
+    return [_unwrap(results[(index,)]) for index in range(len(items))]

@@ -248,7 +248,6 @@ class DbtInjector(_HookBase):
             return None
         fault = self.spec.fault
         guest_instr = self.dbt.program.instruction_at(self.spec.branch_pc)
-        meta = instr.meta
         will_take, can_fall = self._direction(cpu, instr)
         self.fired_icount = cpu.icount
 

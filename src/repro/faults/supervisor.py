@@ -42,6 +42,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing import connection
 
+from repro import obs
+
 log = logging.getLogger(__name__)
 
 #: Seconds between supervision sweeps while work is outstanding.
@@ -73,6 +75,8 @@ class SupervisedTask:
     fail: object                      #: (reason: str) -> result
     split: object = None              #: () -> list[SupervisedTask] | None
     attempts: int = field(default=0, compare=False)
+    #: monotonic stamp of the latest queue append (telemetry only)
+    enqueued_at: float | None = field(default=None, compare=False)
 
 
 def _safe_send(conn, message) -> None:
@@ -156,6 +160,9 @@ class PoolSupervisor:
         """Run every task; returns ``{key: result}`` (every key of the
         input tasks, or of their split descendants, is present)."""
         self._queue = deque(tasks)
+        now = time.monotonic()
+        for task in self._queue:
+            task.enqueued_at = now
         self._results = {}
         self._on_result = on_result
         self._failures = 0
@@ -200,6 +207,11 @@ class PoolSupervisor:
             if worker.task is not None or not self._queue:
                 continue
             task = self._queue.popleft()
+            if task.enqueued_at is not None:
+                obs.histogram(
+                    "campaign_queue_wait_seconds",
+                    help="time tasks spent queued before dispatch"
+                ).observe(time.monotonic() - task.enqueued_at)
             worker.task = task
             worker.started = time.monotonic() if worker.ready else None
             try:
@@ -247,9 +259,15 @@ class PoolSupervisor:
         elif kind == "init_error":
             raise WorkerInitError(message[1])
         elif kind == "ok":
-            task, worker.task, worker.started = worker.task, None, None
+            task, started = worker.task, worker.started
+            worker.task, worker.started = None, None
             if task is not None:
                 self._failures = 0
+                if started is not None:
+                    obs.histogram(
+                        "campaign_chunk_seconds",
+                        help="wall time of one dispatched task"
+                    ).observe(time.monotonic() - started)
                 self._record(task, message[2])
         elif kind == "error":
             task, worker.task, worker.started = worker.task, None, None
@@ -270,6 +288,9 @@ class PoolSupervisor:
             log.warning("task %s exceeded the %.3gs deadline; killing "
                         "its worker", task.key, self.timeout)
             self._kill_worker(worker)
+            obs.counter("campaign_timeouts_total",
+                        help="tasks killed at the wall-clock deadline"
+                        ).inc()
             # A slow task is not a sick pool: no _failures increment.
             self._penalize(task, f"timed out after {self.timeout:g}s")
 
@@ -282,6 +303,8 @@ class PoolSupervisor:
         exitcode = worker.process.exitcode
         self._kill_worker(worker)
         task, worker.task = worker.task, None
+        obs.counter("campaign_worker_deaths_total",
+                    help="worker processes that died mid-run").inc()
         if task is not None:
             self._penalize(task, f"worker died (exit code {exitcode})")
         self._failures += 1
@@ -300,14 +323,25 @@ class PoolSupervisor:
             log.warning("splitting task %s into %d singletons to "
                         "isolate a failure (%s)",
                         task.key, len(parts), reason)
+            obs.counter("campaign_task_splits_total",
+                        help="batch tasks split into singletons").inc()
+            now = time.monotonic()
+            for part in parts:
+                part.enqueued_at = now
             self._queue.extend(parts)
             return
         task.attempts += 1
         if task.attempts > self.retries:
             log.warning("task %s permanently failed after %d attempt(s)"
                         ": %s", task.key, task.attempts, reason)
+            obs.counter("campaign_task_failures_total",
+                        help="tasks converted to permanent failure"
+                        ).inc()
             self._record(task, task.fail(reason))
         else:
+            obs.counter("campaign_retries_total",
+                        help="task re-dispatches after a failure").inc()
+            task.enqueued_at = time.monotonic()
             self._queue.append(task)
 
     def _record(self, task: SupervisedTask, result) -> None:
@@ -350,6 +384,7 @@ class PoolSupervisor:
     def _stop_workers(self, requeue: bool = False) -> None:
         for worker in self._workers:
             if requeue and worker.task is not None:
+                worker.task.enqueued_at = time.monotonic()
                 self._queue.append(worker.task)
                 worker.task = None
             _safe_send(worker.conn, ("stop",))

@@ -29,7 +29,7 @@ from repro.isa.registers import T1
 from repro.cfg import BasicBlock, ControlFlowGraph, ExitKind, build_cfg
 from repro.checking.base import BlockInfo, CondDesc, Technique
 from repro.checking.policies import Policy
-from repro.instrument.lowering import (LoweredSnippet, Slot,
+from repro.instrument.lowering import (LoweredSnippet,
                                        assign_addresses,
                                        check_slot_addresses,
                                        encode_snippet, lower_items)

@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 
 from repro.isa.flags import COND_INVERSE
 from repro.isa.instruction import Instruction
-from repro.isa.opcodes import Kind, Op
+from repro.isa.opcodes import Op
 from repro.isa.registers import NUM_REGISTERS
 from repro.cfg import build_cfg
 from repro.cfg.basic_block import ExitKind

@@ -6,6 +6,7 @@ paper's detection story needs (execute-disable and write protection) and
 a deterministic cycle model for the performance figures.
 """
 
+from repro import obs
 from repro.machine.cpu import TAKEN_BRANCH_PENALTY, Cpu
 from repro.machine.faults import (FaultKind, MachineError, StopInfo,
                                   StopReason)
@@ -35,5 +36,7 @@ def run_native(program, max_steps: int = 50_000_000,
     cpu.load_program(program, executable_text=True)
     if profiler is not None:
         cpu.branch_profiler = profiler
-    stop = cpu.run(max_steps=max_steps)
+    with obs.span("interp.run",
+                  program=getattr(program, "source_name", "?")):
+        stop = cpu.run(max_steps=max_steps)
     return cpu, stop

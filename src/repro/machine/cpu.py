@@ -19,6 +19,7 @@ handler charges exactly the cycles the old chain charged.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.isa.encoding import DecodeError, decode
 from repro.isa.flags import (evaluate_cond, flags_from_add, flags_from_logic,
                              flags_from_sub)
@@ -462,6 +463,30 @@ def _build_dispatch() -> list:
 DISPATCH: list = _build_dispatch()
 
 
+class _ObsBranchCounter:
+    """Branch-mix tally installed in the profiler slot while a metrics
+    registry is active and the slot is otherwise free.  ``check_sites``
+    (the DBT's set of emitted CHECK_SIG branch addresses) additionally
+    counts signature checks actually executed."""
+
+    __slots__ = ("taken", "not_taken", "checks", "check_sites")
+
+    def __init__(self, check_sites: set | None):
+        self.taken = 0
+        self.not_taken = 0
+        self.checks = 0
+        self.check_sites = check_sites
+
+    def record(self, pc, instr, taken, flags) -> None:
+        if taken:
+            self.taken += 1
+        else:
+            self.not_taken += 1
+        sites = self.check_sites
+        if sites is not None and pc in sites:
+            self.checks += 1
+
+
 class Cpu:
     """One R32 hardware thread plus its memory."""
 
@@ -485,6 +510,11 @@ class Cpu:
         self.branch_profiler = None
         #: chained external write watcher (the DBT's SMC detector)
         self._external_write_watch = None
+        #: set by the DBT: cache addresses of emitted CHECK_SIG branch
+        #: instructions, so the observability branch counter can report
+        #: signature checks *executed* (only consulted when a metrics
+        #: registry is installed).
+        self.obs_check_sites: set[int] | None = None
         #: one-shot scheduled event: (icount, callable) applied just
         #: before the instruction with that dynamic index executes —
         #: the data-fault injection primitive.
@@ -551,7 +581,59 @@ class Cpu:
 
     def run(self, max_steps: int = 50_000_000,
             max_cycles: int | None = None) -> StopInfo:
-        """Execute until halt, trap, fault, or a budget limit."""
+        """Execute until halt, trap, fault, or a budget limit.
+
+        When a metrics registry is installed this delegates to the
+        observed wrapper; otherwise it enters the hot loop directly —
+        the disabled cost of observability is this one ``None`` check
+        per ``run`` call, never anything per instruction.
+        """
+        registry = obs.get_registry()
+        if registry is None:
+            return self._run_loop(max_steps, max_cycles)
+        return self._run_observed(registry, max_steps, max_cycles)
+
+    def _run_observed(self, registry, max_steps: int,
+                      max_cycles: int | None) -> StopInfo:
+        """Hot loop plus instruction/cycle/branch-mix accounting."""
+        branch_counter = None
+        if self.branch_profiler is None:
+            branch_counter = _ObsBranchCounter(self.obs_check_sites)
+            self.branch_profiler = branch_counter
+        icount_before = self.icount
+        cycles_before = self.cycles
+        try:
+            return self._run_loop(max_steps, max_cycles)
+        finally:
+            registry.counter(
+                "interp_instructions_total",
+                help="guest instructions retired").inc(
+                self.icount - icount_before)
+            registry.counter(
+                "interp_cycles_total",
+                help="model cycles charged").inc(
+                self.cycles - cycles_before)
+            if branch_counter is not None:
+                self.branch_profiler = None
+                if branch_counter.taken:
+                    registry.counter(
+                        "interp_branches_total",
+                        help="direct branches executed",
+                        direction="taken").inc(branch_counter.taken)
+                if branch_counter.not_taken:
+                    registry.counter(
+                        "interp_branches_total",
+                        help="direct branches executed",
+                        direction="not_taken").inc(
+                        branch_counter.not_taken)
+                if branch_counter.checks:
+                    registry.counter(
+                        "dbt_checks_executed_total",
+                        help="signature-check branches executed").inc(
+                        branch_counter.checks)
+
+    def _run_loop(self, max_steps: int,
+                  max_cycles: int | None) -> StopInfo:
         regs = self.regs
         mem = self.memory
         perms = mem.perms

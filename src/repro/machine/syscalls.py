@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import enum
 
+from repro import obs
+
 
 class Service(enum.IntEnum):
     EXIT = 0         #: terminate; exit code in r1
@@ -58,6 +60,8 @@ def handle_syscall(cpu, number: int) -> bool:
         # halt immediately with the well-known exit code.
         cpu.cfc_error = True
         cpu.exit_code = CFC_ERROR_EXIT_CODE
+        obs.counter("interp_cfc_reports_total",
+                    help="CFC_ERROR syscall detections").inc()
         return True
     # Unknown service: treated as a no-op so corrupted control flow that
     # lands on a syscall does not crash the host.

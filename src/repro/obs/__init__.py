@@ -1,0 +1,173 @@
+"""``repro.obs`` — metrics, spans, and campaign telemetry.
+
+The observability subsystem the perf roadmap hangs off: a metrics
+registry (:mod:`repro.obs.metrics`), span tracing
+(:mod:`repro.obs.spans`) and exporters (:mod:`repro.obs.exporters`),
+wired through the interpreter, the DBT, and the campaign engine.
+
+Design rule: **off means free**.  Nothing is recorded — and the
+interpreter hot loop takes no extra branch per instruction — unless a
+registry has been installed with :func:`install` (usually via the CLI's
+``--metrics``/``--trace`` flags or the :func:`session` context
+manager).  Instrumentation sites either check ``get_registry() is
+None`` or go through the module helpers below, which hand out shared
+no-op instruments while observability is off.
+
+Campaign fan-out: each worker process installs a ``worker=True``
+registry, drains it after every chunk, and ships the snapshot back on
+the existing result pipe; the supervisor's side merges the drains into
+the campaign-level registry, so ``coverage --jobs 8 --metrics out.prom``
+reports one coherent registry whose totals match a serial run exactly.
+
+See ``docs/observability.md`` for the metric catalogue and span names.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.obs.metrics import (BUCKET_SHIFT, BUCKETS, Counter, Gauge,
+                               Histogram, MetricsRegistry, NULL_COUNTER,
+                               NULL_GAUGE, NULL_HISTOGRAM, Timer,
+                               bucket_index, bucket_upper_bound)
+from repro.obs.spans import NULL_SPAN, SpanRecord, SpanRecorder
+
+__all__ = [
+    "BUCKETS", "BUCKET_SHIFT", "Counter", "Gauge", "Histogram",
+    "MetricsRegistry", "NULL_COUNTER", "NULL_GAUGE", "NULL_HISTOGRAM",
+    "NULL_SPAN", "SpanRecord", "SpanRecorder", "Timer", "bucket_index",
+    "bucket_upper_bound", "counter", "drain_worker_snapshot", "enabled",
+    "gauge", "get_recorder", "get_registry", "histogram", "install",
+    "merge_snapshot", "session", "snapshot", "span", "uninstall",
+]
+
+#: The installed registry / recorder, or None (observability off).
+_registry: MetricsRegistry | None = None
+_recorder: SpanRecorder | None = None
+
+
+def install(registry: MetricsRegistry,
+            recorder: SpanRecorder | None = None) -> None:
+    """Turn observability on (replacing any previous installation)."""
+    global _registry, _recorder
+    _registry = registry
+    _recorder = recorder
+
+
+def uninstall() -> None:
+    """Turn observability off; instruments become no-ops again."""
+    global _registry, _recorder
+    if _recorder is not None:
+        _recorder.close()
+    _registry = None
+    _recorder = None
+
+
+def get_registry() -> MetricsRegistry | None:
+    return _registry
+
+
+def get_recorder() -> SpanRecorder | None:
+    return _recorder
+
+
+def enabled() -> bool:
+    return _registry is not None
+
+
+# -- instrument helpers (no-ops while off) ----------------------------------
+
+
+def counter(name: str, help: str = "", **labels):
+    if _registry is None:
+        return NULL_COUNTER
+    return _registry.counter(name, help=help, **labels)
+
+
+def gauge(name: str, help: str = "", **labels):
+    if _registry is None:
+        return NULL_GAUGE
+    return _registry.gauge(name, help=help, **labels)
+
+
+def histogram(name: str, help: str = "", **labels):
+    if _registry is None:
+        return NULL_HISTOGRAM
+    return _registry.histogram(name, help=help, **labels)
+
+
+def span(name: str, **attrs):
+    """A timed region: ``with obs.span("dbt.translate", guest=pc): ...``.
+
+    Returns a shared no-op context manager while no recorder is
+    installed, so call sites never need their own guard.
+    """
+    if _recorder is None:
+        return NULL_SPAN
+    return _recorder.span(name, **attrs)
+
+
+# -- snapshots across the process boundary ----------------------------------
+
+
+def snapshot() -> dict:
+    """Snapshot the installed registry plus span aggregates."""
+    if _registry is None:
+        return {}
+    snap = _registry.snapshot()
+    snap["spans"] = (_recorder.snapshot_aggregates()
+                     if _recorder is not None else [])
+    return snap
+
+
+def drain_worker_snapshot() -> dict | None:
+    """Snapshot-and-reset a *worker* registry; None in the parent.
+
+    Campaign workers call this after each chunk so their telemetry
+    rides the result pipe exactly once.  The parent's own registry is
+    never drained — its metrics are already in the right place.
+    """
+    if _registry is None or not _registry.worker:
+        return None
+    snap = _registry.drain()
+    snap["spans"] = (_recorder.drain_aggregates()
+                     if _recorder is not None else [])
+    return snap
+
+
+def merge_snapshot(snap: dict | None) -> None:
+    """Fold a worker drain into the installed registry (no-op if off)."""
+    if snap is None or _registry is None:
+        return
+    _registry.merge_snapshot(snap)
+    if _recorder is not None:
+        _recorder.merge_aggregates(snap.get("spans", ()))
+
+
+@contextlib.contextmanager
+def session(metrics_path: str | None = None,
+            trace_path: str | None = None,
+            span_capacity: int = 4096):
+    """Observability for one command: install, run, export, uninstall.
+
+    ``metrics_path`` picks the export format by suffix (``.prom``
+    Prometheus text, ``.jsonl`` JSONL events, else the JSON snapshot
+    ``repro stats`` reads); ``trace_path`` streams finished spans to a
+    JSONL event log as they happen.  With neither path set this is a
+    no-op — observability stays off.
+    """
+    if metrics_path is None and trace_path is None:
+        yield None
+        return
+    registry = MetricsRegistry()
+    recorder = SpanRecorder(capacity=span_capacity,
+                            sink_path=trace_path)
+    install(registry, recorder)
+    try:
+        yield registry
+    finally:
+        snap = snapshot()
+        uninstall()
+        if metrics_path is not None:
+            from repro.obs.exporters import write_metrics
+            write_metrics(metrics_path, snap)

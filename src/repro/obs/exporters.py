@@ -1,0 +1,192 @@
+"""Exporters: Prometheus text, JSONL events, and the stats report.
+
+Every exporter consumes the plain-dict *snapshot* form produced by
+:func:`repro.obs.snapshot` (registry instruments plus span aggregates),
+so the same code serves a live registry, a worker drain, and a snapshot
+file loaded back from disk by ``repro stats``.
+
+Formats
+-------
+``prometheus_text``  the text exposition format (``# TYPE``/``# HELP``
+                     headers, cumulative ``_bucket{le=...}`` series)
+``jsonl_text``       one JSON object per metric/span-aggregate line —
+                     the same journal-friendly shape as the PR-2
+                     campaign journal, easy to ``grep``/``jq``
+``render_stats``     the human report: counters, gauges, histogram
+                     percentiles (p50/p90/p99) and span timings as
+                     fixed-width tables via ``analysis.report``
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.report import format_table
+from repro.obs.metrics import Histogram, bucket_upper_bound
+
+
+def _label_suffix(labels: dict) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{key}="{value}"'
+                    for key, value in sorted(labels.items()))
+    return "{" + body + "}"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.9g}"
+    return str(value)
+
+
+def prometheus_text(snapshot: dict) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def header(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for entry in snapshot.get("counters", ()):
+        header(entry["name"], "counter")
+        lines.append(f"{entry['name']}"
+                     f"{_label_suffix(entry.get('labels', {}))} "
+                     f"{_format_value(entry['value'])}")
+    for entry in snapshot.get("gauges", ()):
+        header(entry["name"], "gauge")
+        lines.append(f"{entry['name']}"
+                     f"{_label_suffix(entry.get('labels', {}))} "
+                     f"{_format_value(entry['value'])}")
+    for entry in snapshot.get("histograms", ()):
+        name = entry["name"]
+        header(name, "histogram")
+        labels = entry.get("labels", {})
+        cumulative = 0
+        for index, count in entry.get("buckets", ()):
+            cumulative += count
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = _format_value(
+                bucket_upper_bound(index))
+            lines.append(f"{name}_bucket{_label_suffix(bucket_labels)} "
+                         f"{cumulative}")
+        inf_labels = dict(labels)
+        inf_labels["le"] = "+Inf"
+        lines.append(f"{name}_bucket{_label_suffix(inf_labels)} "
+                     f"{entry['count']}")
+        lines.append(f"{name}_sum{_label_suffix(labels)} "
+                     f"{_format_value(entry['sum'])}")
+        lines.append(f"{name}_count{_label_suffix(labels)} "
+                     f"{entry['count']}")
+    for entry in snapshot.get("spans", ()):
+        header("span_seconds", "summary")
+        labels = {"span": entry["name"]}
+        lines.append(f"span_seconds_sum{_label_suffix(labels)} "
+                     f"{_format_value(entry['total'])}")
+        lines.append(f"span_seconds_count{_label_suffix(labels)} "
+                     f"{entry['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def jsonl_text(snapshot: dict) -> str:
+    """One JSON object per line: metrics then span aggregates."""
+    lines = []
+    for kind in ("counters", "gauges", "histograms"):
+        for entry in snapshot.get(kind, ()):
+            record = {"type": kind[:-1]}
+            record.update(entry)
+            lines.append(json.dumps(record, sort_keys=True))
+    for entry in snapshot.get("spans", ()):
+        record = {"type": "span"}
+        record.update(entry)
+        lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _labels_text(labels: dict) -> str:
+    return ",".join(f"{key}={value}"
+                    for key, value in sorted(labels.items())) or "-"
+
+
+def _snapshot_histogram(entry: dict) -> Histogram:
+    histogram = Histogram(entry["name"])
+    histogram.merge_state(entry["count"], entry["sum"],
+                          entry.get("buckets", ()))
+    return histogram
+
+
+def render_stats(snapshot: dict) -> str:
+    """The human ``repro stats`` report."""
+    sections: list[str] = []
+    counters = snapshot.get("counters", [])
+    if counters:
+        sections.append(format_table(
+            ["counter", "labels", "value"],
+            [[e["name"], _labels_text(e.get("labels", {})), e["value"]]
+             for e in counters],
+            title="Counters"))
+    gauges = snapshot.get("gauges", [])
+    if gauges:
+        sections.append(format_table(
+            ["gauge", "labels", "value"],
+            [[e["name"], _labels_text(e.get("labels", {})), e["value"]]
+             for e in gauges],
+            title="Gauges"))
+    histograms = snapshot.get("histograms", [])
+    if histograms:
+        rows = []
+        for entry in histograms:
+            histogram = _snapshot_histogram(entry)
+            rows.append([entry["name"],
+                         _labels_text(entry.get("labels", {})),
+                         entry["count"], histogram.mean,
+                         histogram.percentile(0.50),
+                         histogram.percentile(0.90),
+                         histogram.percentile(0.99)])
+        sections.append(format_table(
+            ["histogram", "labels", "count", "mean", "p50", "p90",
+             "p99"], rows, title="Histograms"))
+    spans = snapshot.get("spans", [])
+    if spans:
+        rows = []
+        for entry in spans:
+            mean = entry["total"] / entry["count"] if entry["count"] \
+                else 0.0
+            rows.append([entry["name"], entry["count"],
+                         entry["total"], mean, entry["max"]])
+        sections.append(format_table(
+            ["span", "count", "total-s", "mean-s", "max-s"], rows,
+            title="Spans"))
+    if not sections:
+        return "(no metrics recorded)"
+    return "\n\n".join(sections)
+
+
+def write_metrics(path: str, snapshot: dict) -> None:
+    """Write a snapshot to ``path``; the suffix picks the format.
+
+    ``.prom`` -> Prometheus text, ``.jsonl`` -> JSONL events, anything
+    else -> the JSON snapshot itself (the format ``repro stats`` and
+    :func:`load_snapshot` read back).
+    """
+    if path.endswith(".prom"):
+        text = prometheus_text(snapshot)
+    elif path.endswith(".jsonl"):
+        text = jsonl_text(snapshot)
+    else:
+        text = json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+    with open(path, "w") as handle:
+        handle.write(text)
+
+
+def load_snapshot(path: str) -> dict:
+    """Load a JSON snapshot previously written by ``write_metrics``."""
+    with open(path) as handle:
+        try:
+            return json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{path} is not a JSON metrics snapshot (use a path "
+                "without .prom/.jsonl suffix with --metrics to get "
+                f"one): {exc}") from None

@@ -1,0 +1,323 @@
+"""Zero-dependency metrics instruments and their registry.
+
+The observability contract of the reproduction is: **the hot paths pay
+nothing when observability is off**.  Instrumentation sites therefore
+never talk to an instrument unconditionally — they either check
+``repro.obs.get_registry() is None`` first (one module-attribute read)
+or hold one of the ``NULL_*`` no-op instruments exported here.  Real
+instruments only exist inside an installed :class:`MetricsRegistry`.
+
+Instruments
+-----------
+``Counter``    monotonically increasing count (events, instructions)
+``Gauge``      point-in-time value (cache bytes used)
+``Histogram``  distribution over fixed log-scale (power-of-two)
+               buckets, with percentile estimation by linear
+               interpolation inside the winning bucket
+``Timer``      context manager observing a wall-clock duration into a
+               histogram (``with histogram.time(): ...``)
+
+Labels are fixed at instrument creation (``registry.counter("x",
+outcome="sdc")``); an instrument is identified by its name plus its
+sorted label set, Prometheus-style.
+
+Registries snapshot to plain JSON-able dicts and merge snapshots back,
+which is how per-worker campaign metrics travel over the existing
+result pipe and fold into the supervisor's campaign-level registry.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+#: Number of histogram buckets.
+BUCKETS = 64
+#: Bucket ``i`` holds observations ``<= 2**(i - BUCKET_SHIFT)``; with a
+#: shift of 20 the buckets span ~1 microsecond .. ~8.8e12, covering
+#: both second-scale timings and instruction counts.
+BUCKET_SHIFT = 20
+
+
+def bucket_upper_bound(index: int) -> float:
+    """Inclusive upper bound of histogram bucket ``index``."""
+    return 2.0 ** (index - BUCKET_SHIFT)
+
+
+def bucket_index(value: float) -> int:
+    """Index of the log-scale bucket holding ``value``."""
+    if value <= 0:
+        return 0
+    mantissa, exponent = math.frexp(value)   # value = mantissa * 2**exp
+    index = exponent + BUCKET_SHIFT - (1 if mantissa == 0.5 else 0)
+    if index < 0:
+        return 0
+    return min(index, BUCKETS - 1)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "help", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: tuple = ()):
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """Point-in-time value."""
+
+    __slots__ = ("name", "help", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: tuple = ()):
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.value = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        self.value -= amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Timer:
+    """Context manager observing its wall-clock span into a histogram."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: "Histogram"):
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._histogram.observe(time.perf_counter() - self._start)
+
+
+class Histogram:
+    """Distribution over fixed power-of-two buckets."""
+
+    __slots__ = ("name", "help", "labels", "bucket_counts", "count",
+                 "sum")
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: tuple = ()):
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.bucket_counts = [0] * BUCKETS
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bucket_index(value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def time(self) -> Timer:
+        return Timer(self)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``0 < q <= 1``).
+
+        Linear interpolation inside the winning bucket; exact for the
+        bucket boundaries, bounded by one bucket width otherwise.
+        """
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count == 0:
+                continue
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= target:
+                lower = bucket_upper_bound(index - 1) if index else 0.0
+                upper = bucket_upper_bound(index)
+                fraction = (target - previous) / bucket_count
+                return lower + (upper - lower) * fraction
+        return bucket_upper_bound(BUCKETS - 1)  # pragma: no cover
+
+    def merge_state(self, count: int, total: float,
+                    buckets) -> None:
+        """Fold another histogram's state (snapshot form) into this."""
+        self.count += count
+        self.sum += total
+        for index, bucket_count in buckets:
+            self.bucket_counts[index] += bucket_count
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * BUCKETS
+        self.count = 0
+        self.sum = 0.0
+
+
+class _NullCounter:
+    """No-op stand-in handed out when no registry is installed."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: int | float) -> None:
+        pass
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+    def dec(self, amount: int | float = 1) -> None:
+        pass
+
+
+class _NullTimer:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    _TIMER = _NullTimer()
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def time(self) -> _NullTimer:
+        return self._TIMER
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Holds every live instrument, keyed by (name, labels).
+
+    ``worker=True`` marks a registry installed inside a campaign worker
+    process; such registries are drained (snapshot + reset) after each
+    chunk so their contents ride the result pipe back to the parent
+    exactly once.
+    """
+
+    def __init__(self, worker: bool = False):
+        self.worker = worker
+        self._instruments: dict[tuple, object] = {}
+
+    # -- instrument access ---------------------------------------------------
+
+    def _get(self, cls, name: str, help: str, labels: dict):
+        key = (name, tuple(sorted(labels.items())))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, help=help, labels=key[1])
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {cls.__name__}")
+        return instrument
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  **labels) -> Histogram:
+        return self._get(Histogram, name, help, labels)
+
+    def instruments(self) -> list:
+        """Every live instrument, in deterministic (name, labels) order."""
+        return [self._instruments[key]
+                for key in sorted(self._instruments)]
+
+    # -- snapshot / merge ----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-able view of every instrument's current state."""
+        counters, gauges, histograms = [], [], []
+        for instrument in self.instruments():
+            entry = {"name": instrument.name,
+                     "labels": dict(instrument.labels)}
+            if instrument.kind == "counter":
+                entry["value"] = instrument.value
+                counters.append(entry)
+            elif instrument.kind == "gauge":
+                entry["value"] = instrument.value
+                gauges.append(entry)
+            else:
+                entry["count"] = instrument.count
+                entry["sum"] = instrument.sum
+                entry["buckets"] = [
+                    [index, count] for index, count
+                    in enumerate(instrument.bucket_counts) if count]
+                histograms.append(entry)
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a snapshot (typically a worker's drain) into this
+        registry: counters and histograms add, gauges keep the max —
+        per-worker gauges (e.g. cache bytes) do not sum meaningfully
+        across address spaces."""
+        for entry in snapshot.get("counters", ()):
+            self.counter(entry["name"],
+                         **entry.get("labels", {})).inc(entry["value"])
+        for entry in snapshot.get("gauges", ()):
+            gauge = self.gauge(entry["name"], **entry.get("labels", {}))
+            gauge.set(max(gauge.value, entry["value"]))
+        for entry in snapshot.get("histograms", ()):
+            self.histogram(
+                entry["name"], **entry.get("labels", {})).merge_state(
+                entry["count"], entry["sum"], entry["buckets"])
+
+    def drain(self) -> dict:
+        """Snapshot then reset every instrument (identity preserved)."""
+        snapshot = self.snapshot()
+        for instrument in self._instruments.values():
+            instrument.reset()
+        return snapshot
+
+    def clear(self) -> None:
+        self._instruments.clear()

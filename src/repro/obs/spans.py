@@ -1,0 +1,163 @@
+"""Lightweight span tracing with parent/child nesting.
+
+A span is one timed region of the stack — ``span("dbt.translate",
+guest=addr)`` — measured on the monotonic clock.  Spans nest: the
+recorder keeps an explicit stack, so each finished span knows its
+parent and depth without any thread-local machinery (the reproduction's
+processes are single-threaded; worker processes each install their own
+recorder).
+
+Finished spans land in a **bounded** in-memory ring buffer (oldest
+evicted first; the ``dropped`` counter says how many) and, when a sink
+path is configured, are appended to a JSONL event log — one object per
+line, the same journal-friendly format PR 2 introduced for campaign
+checkpoints.
+
+Per-name aggregates (count / total / max seconds) are maintained
+separately from the buffer, so campaign-scale runs keep accurate totals
+even after the ring has wrapped, and so worker recorders can ship a
+tiny mergeable summary instead of their whole buffer.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SpanRecord:
+    """One finished span."""
+
+    name: str
+    start: float                 #: seconds since the recorder's origin
+    duration: float              #: seconds
+    span_id: int
+    parent_id: int | None
+    depth: int
+    attrs: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        entry = {"name": self.name, "start": round(self.start, 9),
+                 "duration": round(self.duration, 9),
+                 "span_id": self.span_id, "parent_id": self.parent_id,
+                 "depth": self.depth}
+        if self.attrs:
+            entry["attrs"] = self.attrs
+        return entry
+
+
+class _ActiveSpan:
+    """Context manager for one in-flight span."""
+
+    __slots__ = ("_recorder", "name", "attrs", "_start", "span_id",
+                 "parent_id", "depth")
+
+    def __init__(self, recorder: "SpanRecorder", name: str, attrs: dict):
+        self._recorder = recorder
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_ActiveSpan":
+        recorder = self._recorder
+        stack = recorder._stack
+        self.parent_id = stack[-1].span_id if stack else None
+        self.depth = len(stack)
+        recorder._next_id += 1
+        self.span_id = recorder._next_id
+        stack.append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        duration = time.perf_counter() - self._start
+        recorder = self._recorder
+        if recorder._stack and recorder._stack[-1] is self:
+            recorder._stack.pop()
+        recorder._finish(self, duration)
+
+
+class _NullSpan:
+    """Reusable, stateless no-op span (observability off)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class SpanRecorder:
+    """Records finished spans to a bounded buffer and optional sink."""
+
+    def __init__(self, capacity: int = 4096,
+                 sink_path: str | None = None):
+        self.capacity = max(1, capacity)
+        self.buffer: deque[SpanRecord] = deque(maxlen=self.capacity)
+        self.dropped = 0
+        self.origin = time.perf_counter()
+        #: name -> [count, total_seconds, max_seconds]
+        self.aggregates: dict[str, list] = {}
+        self._stack: list[_ActiveSpan] = []
+        self._next_id = 0
+        self._sink = open(sink_path, "a") if sink_path else None
+
+    def span(self, name: str, **attrs) -> _ActiveSpan:
+        return _ActiveSpan(self, name, attrs)
+
+    def _finish(self, active: _ActiveSpan, duration: float) -> None:
+        record = SpanRecord(
+            name=active.name,
+            start=active._start - self.origin, duration=duration,
+            span_id=active.span_id, parent_id=active.parent_id,
+            depth=active.depth, attrs=active.attrs)
+        if len(self.buffer) == self.capacity:
+            self.dropped += 1
+        self.buffer.append(record)
+        stats = self.aggregates.get(active.name)
+        if stats is None:
+            self.aggregates[active.name] = [1, duration, duration]
+        else:
+            stats[0] += 1
+            stats[1] += duration
+            stats[2] = max(stats[2], duration)
+        if self._sink is not None:
+            self._sink.write(json.dumps(record.to_json(),
+                                        sort_keys=True) + "\n")
+
+    # -- snapshot / merge ----------------------------------------------------
+
+    def snapshot_aggregates(self) -> list[dict]:
+        """Mergeable per-name summary, in deterministic name order."""
+        return [{"name": name, "count": stats[0],
+                 "total": stats[1], "max": stats[2]}
+                for name, stats in sorted(self.aggregates.items())]
+
+    def merge_aggregates(self, entries) -> None:
+        for entry in entries:
+            stats = self.aggregates.get(entry["name"])
+            if stats is None:
+                self.aggregates[entry["name"]] = [
+                    entry["count"], entry["total"], entry["max"]]
+            else:
+                stats[0] += entry["count"]
+                stats[1] += entry["total"]
+                stats[2] = max(stats[2], entry["max"])
+
+    def drain_aggregates(self) -> list[dict]:
+        entries = self.snapshot_aggregates()
+        self.aggregates.clear()
+        self.buffer.clear()
+        return entries
+
+    def close(self) -> None:
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None

@@ -1,5 +1,7 @@
 """Analysis layer: table builders and report helpers."""
 
+import warnings
+
 import pytest
 
 from repro.checking import Policy, UpdateStyle
@@ -16,6 +18,30 @@ class TestReportHelpers:
         assert geomean([2.0, 8.0]) == pytest.approx(4.0)
         assert geomean([]) == 0.0
         assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_geomean_empty_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert geomean([]) == 0.0
+
+    def test_geomean_warns_when_zero_filtered(self):
+        with pytest.warns(UserWarning, match="non-positive"):
+            assert geomean([2.0, 8.0, 0.0]) == pytest.approx(4.0)
+
+    def test_geomean_warns_when_negative_filtered(self):
+        with pytest.warns(UserWarning, match=r"-1\.5"):
+            assert geomean([4.0, -1.5]) == pytest.approx(4.0)
+
+    def test_geomean_all_nonpositive_warns_and_returns_zero(self):
+        with pytest.warns(UserWarning):
+            assert geomean([0.0, -2.0]) == 0.0
+
+    def test_geomean_strict_raises(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            geomean([1.0, 0.0], strict=True)
+
+    def test_geomean_strict_clean_input_ok(self):
+        assert geomean([2.0, 8.0], strict=True) == pytest.approx(4.0)
 
     def test_percent(self):
         assert percent(0.1234) == "12.34%"

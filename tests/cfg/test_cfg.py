@@ -2,7 +2,6 @@
 
 from hypothesis import given, settings, strategies as st
 
-from repro.isa import assemble
 from repro.cfg import (ExitKind, back_edges, build_cfg, find_leaders,
                        immediate_dominators, natural_loops,
                        reachable_blocks)

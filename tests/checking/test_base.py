@@ -5,7 +5,7 @@ from hypothesis import given, strategies as st
 
 from repro.isa.flags import Cond
 from repro.isa.opcodes import JCC_BY_COND, Op
-from repro.checking import (CondDesc, Policy, SigExpr, UpdateStyle,
+from repro.checking import (CondDesc, Policy, UpdateStyle,
                             const_expr, make_technique, sig_of)
 from repro.checking.base import fresh_label
 

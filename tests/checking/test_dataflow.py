@@ -5,10 +5,10 @@ from hypothesis import given, settings, strategies as st
 
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import OP_TABLE, Op
-from repro.isa.registers import DF0, DF1, DF2, SDW, is_host_only_register
+from repro.isa.registers import DF2, SDW, is_host_only_register
 from repro.machine import run_native
 from repro.checking import EdgCF, RCF
-from repro.checking.dataflow import (SHADOW_BASE, DataFlowDuplication)
+from repro.checking.dataflow import DataFlowDuplication
 from repro.dbt import Dbt
 from repro.faults import (Outcome, Pipeline, PipelineConfig,
                           RegisterFaultSpec, run_data_fault_campaign)

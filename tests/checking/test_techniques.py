@@ -8,7 +8,6 @@ from repro.isa.flags import Cond
 from repro.isa.opcodes import OP_TABLE, Op
 from repro.isa.registers import is_host_only_register
 from repro.machine import run_native
-from repro.cfg import build_cfg
 from repro.checking import (CondDesc, BlockInfo, Policy, UpdateStyle,
                             make_technique)
 from repro.checking.base import (ErrorBranch, LabelMark, LoadSig,

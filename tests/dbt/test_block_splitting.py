@@ -9,8 +9,7 @@ landing inside the branch's own superblock behaves like category C).
 """
 
 from repro.cfg import build_cfg, find_leaders
-from repro.checking import ECF
-from repro.dbt import Dbt, run_dbt
+from repro.dbt import run_dbt
 from repro.workloads import load
 
 

@@ -1,7 +1,5 @@
 """DBT-level details of the data-flow duplication integration."""
 
-import pytest
-
 from repro.isa import assemble, decode
 from repro.isa.opcodes import Op
 from repro.checking import EdgCF

@@ -5,7 +5,7 @@ import pytest
 
 from repro.isa import assemble
 from repro.machine import StopReason, run_native
-from repro.checking import EdgCF, Policy
+from repro.checking import EdgCF
 from repro.dbt import CACHE_BASE, Dbt, NullTechnique, run_dbt
 from repro.workloads import generate_program, suite as workload_suite
 

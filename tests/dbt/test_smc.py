@@ -2,7 +2,6 @@
 
 from repro.isa import assemble
 from repro.dbt import run_dbt
-from repro.machine import run_native
 
 # Patches its own later instruction (movi r2, 1 -> movi r2, 7), then
 # executes it: output must reflect the *new* code.

@@ -3,10 +3,10 @@
 import pytest
 
 from repro.isa import assemble, decode
-from repro.isa.opcodes import Kind, Op
+from repro.isa.opcodes import Op
 from repro.checking import EdgCF, Policy, make_technique
 from repro.cfg import ExitKind
-from repro.dbt import (ERROR_TRAP, Dbt, NullTechnique, run_dbt)
+from repro.dbt import ERROR_TRAP, Dbt, run_dbt
 
 
 def warm_dbt(source: str, technique=None, **kwargs):

@@ -4,7 +4,7 @@ paper's coverage claims end-to-end."""
 import pytest
 
 from repro.checking import Policy
-from repro.faults import (Category, DirectionFault, FaultSpec, Outcome,
+from repro.faults import (Category, DirectionFault, Outcome,
                           Pipeline, PipelineConfig, RedirectFault,
                           generate_category_faults, run_campaign)
 from repro.workloads import suite as workload_suite
@@ -136,7 +136,7 @@ class TestPolicyDetectionTradeoff:
                          Category.E):
             assert allbb.covers(category)
         # END detects strictly no more than ALLBB
-        total_sig = lambda res: sum(
-            res.outcomes[c][Outcome.DETECTED_SIGNATURE]
-            for c in res.outcomes)
+        def total_sig(res):
+            return sum(res.outcomes[c][Outcome.DETECTED_SIGNATURE]
+                       for c in res.outcomes)
         assert total_sig(end) <= total_sig(allbb)

@@ -3,7 +3,7 @@
 from hypothesis import given, strategies as st
 
 from repro.isa import assemble
-from repro.isa.flags import Cond, ZF
+from repro.isa.flags import ZF
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Op
 from repro.cfg import build_cfg

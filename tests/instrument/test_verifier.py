@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.isa import assemble, encode
+from repro.isa import encode
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Op
 from repro.checking import Policy

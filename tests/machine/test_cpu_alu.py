@@ -3,7 +3,7 @@
 from hypothesis import given, strategies as st
 
 from repro.isa import assemble
-from repro.isa.flags import CF, OF, SF, ZF
+from repro.isa.flags import CF, SF, ZF
 from repro.machine import Cpu, StopReason
 
 

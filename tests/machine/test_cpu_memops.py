@@ -1,7 +1,5 @@
 """Memory-operation semantics and boundary behaviour."""
 
-import pytest
-
 from repro.isa import assemble
 from repro.machine import Cpu, FaultKind, StopReason
 

@@ -1,0 +1,11 @@
+"""Obs tests must never leak an installed registry into other tests."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def obs_off_after():
+    yield
+    obs.uninstall()

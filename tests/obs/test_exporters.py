@@ -1,0 +1,119 @@
+"""Exporters: Prometheus text, JSONL, the stats report, file round-trips."""
+
+import json
+
+import pytest
+
+from repro.obs.exporters import (jsonl_text, load_snapshot,
+                                 prometheus_text, render_stats,
+                                 write_metrics)
+from repro.obs.metrics import MetricsRegistry, bucket_index
+
+
+@pytest.fixture
+def snapshot():
+    registry = MetricsRegistry()
+    registry.counter("runs_total", help="runs", outcome="sdc").inc(3)
+    registry.counter("runs_total", outcome="benign").inc(7)
+    registry.gauge("cache_bytes").set(4096)
+    histogram = registry.histogram("translate_seconds")
+    histogram.observe(0.001)
+    histogram.observe(0.002)
+    histogram.observe(1.5)
+    snap = registry.snapshot()
+    snap["spans"] = [{"name": "dbt.run", "count": 2, "total": 0.5,
+                      "max": 0.3}]
+    return snap
+
+
+class TestPrometheus:
+    def test_type_headers_once_per_metric(self, snapshot):
+        text = prometheus_text(snapshot)
+        assert text.count("# TYPE runs_total counter") == 1
+        assert "# TYPE cache_bytes gauge" in text
+        assert "# TYPE translate_seconds histogram" in text
+
+    def test_label_rendering(self, snapshot):
+        text = prometheus_text(snapshot)
+        assert 'runs_total{outcome="sdc"} 3' in text
+        assert 'runs_total{outcome="benign"} 7' in text
+
+    def test_histogram_series_cumulative(self, snapshot):
+        text = prometheus_text(snapshot)
+        assert 'translate_seconds_bucket{le="+Inf"} 3' in text
+        assert "translate_seconds_sum" in text
+        assert "translate_seconds_count 3" in text
+        # cumulative counts never decrease down the bucket series
+        counts = [int(line.rsplit(" ", 1)[1])
+                  for line in text.splitlines()
+                  if line.startswith("translate_seconds_bucket")]
+        assert counts == sorted(counts)
+
+    def test_span_summary(self, snapshot):
+        text = prometheus_text(snapshot)
+        assert 'span_seconds_sum{span="dbt.run"} 0.5' in text
+        assert 'span_seconds_count{span="dbt.run"} 2' in text
+
+    def test_ends_with_newline(self, snapshot):
+        assert prometheus_text(snapshot).endswith("\n")
+
+
+class TestJsonl:
+    def test_one_object_per_line_with_type(self, snapshot):
+        lines = [json.loads(line)
+                 for line in jsonl_text(snapshot).splitlines()]
+        kinds = {line["type"] for line in lines}
+        assert kinds == {"counter", "gauge", "histogram", "span"}
+        counter = next(line for line in lines
+                       if line["type"] == "counter"
+                       and line["labels"] == {"outcome": "sdc"})
+        assert counter["value"] == 3
+
+    def test_empty_snapshot_is_empty(self):
+        assert jsonl_text({}) == ""
+
+
+class TestRenderStats:
+    def test_sections_present(self, snapshot):
+        text = render_stats(snapshot)
+        assert "Counters" in text
+        assert "Gauges" in text
+        assert "Histograms" in text
+        assert "Spans" in text
+
+    def test_histogram_percentile_columns(self, snapshot):
+        text = render_stats(snapshot)
+        header = next(line for line in text.splitlines()
+                      if "p50" in line)
+        assert "p90" in header and "p99" in header
+
+    def test_labels_flattened(self, snapshot):
+        assert "outcome=sdc" in render_stats(snapshot)
+
+    def test_empty_snapshot_message(self):
+        assert render_stats({}) == "(no metrics recorded)"
+
+
+class TestFiles:
+    def test_suffix_dispatch(self, tmp_path, snapshot):
+        prom = tmp_path / "m.prom"
+        jsonl = tmp_path / "m.jsonl"
+        plain = tmp_path / "m.json"
+        for path in (prom, jsonl, plain):
+            write_metrics(str(path), snapshot)
+        assert prom.read_text().startswith("# TYPE")
+        assert json.loads(jsonl.read_text().splitlines()[0])
+        assert load_snapshot(str(plain)) == snapshot
+
+    def test_load_snapshot_rejects_non_json(self, tmp_path, snapshot):
+        path = tmp_path / "m.prom"
+        write_metrics(str(path), snapshot)
+        with pytest.raises(ValueError, match="not a JSON"):
+            load_snapshot(str(path))
+
+
+def test_bucket_boundary_render_consistency():
+    # the le= rendered for a bucket must be >= any value binned into it
+    from repro.obs.metrics import bucket_upper_bound
+    for value in (0.0001, 0.5, 1.0, 3.0, 1000.0):
+        assert value <= bucket_upper_bound(bucket_index(value))

@@ -1,0 +1,169 @@
+"""Metrics instruments: bucket math, registry keying, snapshot/merge."""
+
+import pytest
+
+from repro.obs.metrics import (BUCKETS, Counter, Gauge, Histogram,
+                               MetricsRegistry, NULL_COUNTER, NULL_GAUGE,
+                               NULL_HISTOGRAM, bucket_index,
+                               bucket_upper_bound)
+
+
+class TestBucketMath:
+    def test_bounds_are_powers_of_two(self):
+        assert bucket_upper_bound(20) == 1.0
+        assert bucket_upper_bound(21) == 2.0
+        assert bucket_upper_bound(19) == 0.5
+
+    def test_index_of_exact_boundary(self):
+        # a value equal to a bucket's upper bound lands in that bucket
+        assert bucket_index(1.0) == 20
+        assert bucket_index(2.0) == 21
+        assert bucket_index(0.5) == 19
+
+    def test_index_between_boundaries(self):
+        assert bucket_index(1.5) == 21
+        assert bucket_index(0.75) == 20
+
+    def test_nonpositive_and_tiny_clamp_to_zero(self):
+        assert bucket_index(0.0) == 0
+        assert bucket_index(-3.0) == 0
+        assert bucket_index(1e-30) == 0
+
+    def test_huge_clamps_to_last(self):
+        assert bucket_index(1e30) == BUCKETS - 1
+
+    def test_every_bucket_consistent_with_bounds(self):
+        for index in range(1, BUCKETS - 1):
+            upper = bucket_upper_bound(index)
+            assert bucket_index(upper) == index
+            assert bucket_index(upper * 1.01) == index + 1
+
+
+class TestInstruments:
+    def test_counter(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        counter.reset()
+        assert counter.value == 0
+
+    def test_gauge(self):
+        gauge = Gauge("g")
+        gauge.set(7)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 8
+
+    def test_histogram_mean_and_count(self):
+        histogram = Histogram("h")
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.mean == pytest.approx(2.0)
+
+    def test_histogram_percentile_interpolates(self):
+        histogram = Histogram("h")
+        # 100 observations of 1.0: every percentile within (0.5, 1.0]
+        for _ in range(100):
+            histogram.observe(1.0)
+        assert 0.5 < histogram.percentile(0.50) <= 1.0
+        assert histogram.percentile(0.99) <= 1.0
+        assert histogram.percentile(0.50) < histogram.percentile(0.99)
+
+    def test_histogram_percentile_orders_buckets(self):
+        histogram = Histogram("h")
+        for _ in range(90):
+            histogram.observe(0.001)
+        for _ in range(10):
+            histogram.observe(10.0)
+        assert histogram.percentile(0.5) < 0.01
+        assert histogram.percentile(0.99) > 1.0
+
+    def test_histogram_empty_percentile(self):
+        assert Histogram("h").percentile(0.99) == 0.0
+        assert Histogram("h").mean == 0.0
+
+    def test_timer_observes_elapsed(self):
+        histogram = Histogram("h")
+        with histogram.time():
+            pass
+        assert histogram.count == 1
+        assert histogram.sum >= 0.0
+
+    def test_null_instruments_are_inert(self):
+        NULL_COUNTER.inc()
+        NULL_GAUGE.set(3)
+        NULL_GAUGE.inc()
+        NULL_GAUGE.dec()
+        NULL_HISTOGRAM.observe(1.0)
+        with NULL_HISTOGRAM.time():
+            pass
+
+
+class TestRegistry:
+    def test_same_name_and_labels_is_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x", result="hit")
+        second = registry.counter("x", result="hit")
+        assert first is second
+
+    def test_labels_distinguish(self):
+        registry = MetricsRegistry()
+        hit = registry.counter("x", result="hit")
+        miss = registry.counter("x", result="miss")
+        assert hit is not miss
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("x")
+
+    def test_instruments_deterministic_order(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.counter("a", z="1")
+        registry.counter("a", q="1")
+        names = [(i.name, i.labels) for i in registry.instruments()]
+        assert names == sorted(names)
+
+    def test_snapshot_roundtrip_through_merge(self):
+        source = MetricsRegistry(worker=True)
+        source.counter("runs", outcome="sdc").inc(3)
+        source.gauge("bytes").set(128)
+        source.histogram("secs").observe(0.25)
+        source.histogram("secs").observe(4.0)
+
+        target = MetricsRegistry()
+        target.counter("runs", outcome="sdc").inc(1)
+        target.merge_snapshot(source.snapshot())
+        assert target.counter("runs", outcome="sdc").value == 4
+        assert target.gauge("bytes").value == 128
+        assert target.histogram("secs").count == 2
+        assert target.histogram("secs").sum == pytest.approx(4.25)
+
+    def test_merge_gauges_keep_max(self):
+        target = MetricsRegistry()
+        target.gauge("bytes").set(100)
+        worker = MetricsRegistry(worker=True)
+        worker.gauge("bytes").set(64)
+        target.merge_snapshot(worker.snapshot())
+        assert target.gauge("bytes").value == 100
+
+    def test_drain_resets_but_keeps_identity(self):
+        registry = MetricsRegistry(worker=True)
+        counter = registry.counter("c")
+        counter.inc(5)
+        snap = registry.drain()
+        assert snap["counters"][0]["value"] == 5
+        assert counter.value == 0
+        assert registry.counter("c") is counter
+
+    def test_snapshot_is_jsonable(self):
+        import json
+        registry = MetricsRegistry()
+        registry.counter("c", a="b").inc()
+        registry.histogram("h").observe(1.0)
+        text = json.dumps(registry.snapshot())
+        assert "bucket" in text

@@ -1,0 +1,123 @@
+"""Span recorder: nesting, bounded buffer, aggregates, JSONL sink."""
+
+import json
+
+import pytest
+
+from repro.obs.spans import NULL_SPAN, SpanRecorder
+
+
+class TestNesting:
+    def test_parent_child_and_depth(self):
+        recorder = SpanRecorder()
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                pass
+        inner, outer = None, None
+        for record in recorder.buffer:
+            if record.name == "inner":
+                inner = record
+            else:
+                outer = record
+        assert outer.parent_id is None and outer.depth == 0
+        assert inner.parent_id == outer.span_id and inner.depth == 1
+
+    def test_children_finish_first(self):
+        recorder = SpanRecorder()
+        with recorder.span("a"):
+            with recorder.span("b"):
+                pass
+        names = [record.name for record in recorder.buffer]
+        assert names == ["b", "a"]
+
+    def test_attrs_recorded(self):
+        recorder = SpanRecorder()
+        with recorder.span("translate", block=0x1000):
+            pass
+        assert recorder.buffer[0].attrs == {"block": 0x1000}
+
+    def test_durations_nest(self):
+        recorder = SpanRecorder()
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                pass
+        by_name = {r.name: r for r in recorder.buffer}
+        assert by_name["outer"].duration >= by_name["inner"].duration
+
+
+class TestBoundedBuffer:
+    def test_capacity_evicts_oldest_and_counts_drops(self):
+        recorder = SpanRecorder(capacity=3)
+        for index in range(5):
+            with recorder.span(f"s{index}"):
+                pass
+        assert len(recorder.buffer) == 3
+        assert [r.name for r in recorder.buffer] == ["s2", "s3", "s4"]
+        assert recorder.dropped == 2
+
+    def test_aggregates_survive_wraparound(self):
+        recorder = SpanRecorder(capacity=2)
+        for _ in range(10):
+            with recorder.span("hot"):
+                pass
+        assert recorder.aggregates["hot"][0] == 10
+
+
+class TestAggregates:
+    def test_snapshot_shape_and_order(self):
+        recorder = SpanRecorder()
+        with recorder.span("zeta"):
+            pass
+        with recorder.span("alpha"):
+            pass
+        snap = recorder.snapshot_aggregates()
+        assert [entry["name"] for entry in snap] == ["alpha", "zeta"]
+        assert snap[0]["count"] == 1
+        assert snap[0]["total"] == pytest.approx(snap[0]["max"])
+
+    def test_merge(self):
+        first = SpanRecorder()
+        with first.span("x"):
+            pass
+        second = SpanRecorder()
+        with second.span("x"):
+            pass
+        with second.span("y"):
+            pass
+        first.merge_aggregates(second.snapshot_aggregates())
+        assert first.aggregates["x"][0] == 2
+        assert first.aggregates["y"][0] == 1
+
+    def test_drain_clears(self):
+        recorder = SpanRecorder()
+        with recorder.span("x"):
+            pass
+        entries = recorder.drain_aggregates()
+        assert entries and not recorder.aggregates
+        assert not recorder.buffer
+
+
+class TestSink:
+    def test_jsonl_sink_streams_finished_spans(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        recorder = SpanRecorder(sink_path=str(path))
+        with recorder.span("outer", k="v"):
+            with recorder.span("inner"):
+                pass
+        recorder.close()
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert [line["name"] for line in lines] == ["inner", "outer"]
+        assert lines[1]["attrs"] == {"k": "v"}
+        assert lines[0]["parent_id"] == lines[1]["span_id"]
+
+    def test_close_idempotent(self, tmp_path):
+        recorder = SpanRecorder(sink_path=str(tmp_path / "t.jsonl"))
+        recorder.close()
+        recorder.close()
+
+
+def test_null_span_is_reusable():
+    with NULL_SPAN:
+        with NULL_SPAN:
+            pass

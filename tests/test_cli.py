@@ -49,6 +49,82 @@ class TestRun:
         assert main(["run", demo_file, "-t", "rcf",
                      "--policy", "end"]) == 0
 
+    def test_output_gets_exactly_one_trailing_newline(self, tmp_path,
+                                                      capsys):
+        # PRINT_CHAR of "\n" used to be doubled by the unconditional
+        # trailing-newline append
+        src = (".entry main\nmain:\n    movi r1, 65\n    syscall 2\n"
+               "    movi r1, 10\n    syscall 2\n"
+               "    movi r1, 0\n    syscall 0\n")
+        path = tmp_path / "newline.s"
+        path.write_text(src)
+        assert main(["run", str(path), "--pipeline", "native"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("A\n[")
+        assert "A\n\n" not in out
+
+
+class TestObservability:
+    def test_run_metrics_snapshot_and_stats(self, demo_file, tmp_path,
+                                            capsys):
+        metrics = str(tmp_path / "metrics.json")
+        assert main(["run", demo_file, "-t", "rcf",
+                     "--metrics", metrics]) == 0
+        capsys.readouterr()
+        assert main(["stats", metrics]) == 0
+        out = capsys.readouterr().out
+        assert "interp_instructions_total" in out
+        assert "dbt_translate_seconds" in out
+        assert "dbt.run" in out
+
+    def test_run_prom_export(self, demo_file, tmp_path, capsys):
+        metrics = str(tmp_path / "metrics.prom")
+        assert main(["run", demo_file, "-t", "rcf",
+                     "--metrics", metrics]) == 0
+        text = open(metrics).read()
+        assert "# TYPE interp_instructions_total counter" in text
+
+    def test_trace_flag_streams_spans(self, demo_file, tmp_path):
+        import json
+        trace = str(tmp_path / "trace.jsonl")
+        assert main(["run", demo_file, "-t", "rcf",
+                     "--trace", trace]) == 0
+        names = {json.loads(line)["name"]
+                 for line in open(trace)}
+        assert "dbt.run" in names and "dbt.translate" in names
+
+    def test_coverage_parallel_metrics_merge(self, demo_file, tmp_path,
+                                             capsys):
+        metrics = str(tmp_path / "metrics.json")
+        assert main(["coverage", demo_file, "--per-category", "2",
+                     "--no-cache-level", "--jobs", "2",
+                     "--metrics", metrics]) == 0
+        capsys.readouterr()
+        assert main(["stats", metrics]) == 0
+        out = capsys.readouterr().out
+        assert "campaign_runs_total" in out
+        assert "campaign_chunk_seconds" in out
+
+    def test_stats_format_variants(self, demo_file, tmp_path, capsys):
+        metrics = str(tmp_path / "metrics.json")
+        main(["run", demo_file, "--metrics", metrics])
+        capsys.readouterr()
+        assert main(["stats", metrics, "--format", "prom"]) == 0
+        assert "# TYPE" in capsys.readouterr().out
+        assert main(["stats", metrics, "--format", "jsonl"]) == 0
+        assert '"type"' in capsys.readouterr().out
+
+    def test_stats_rejects_non_snapshot(self, tmp_path, capsys):
+        path = tmp_path / "bogus.txt"
+        path.write_text("# not json\n")
+        assert main(["stats", str(path)]) == 1
+        assert "not a JSON" in capsys.readouterr().err
+
+    def test_no_flags_means_observability_off(self, demo_file, capsys):
+        from repro import obs
+        assert main(["run", demo_file]) == 0
+        assert obs.get_registry() is None
+
 
 class TestDisasm:
     def test_listing(self, demo_file, capsys):
