@@ -11,10 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.isa.program import Program
-from repro.faults import (CacheCampaignResult, CampaignResult, Category,
-                          Outcome, PipelineConfig,
-                          generate_category_faults, run_cache_campaign,
-                          run_campaign)
+from repro.faults import (CacheCampaignResult, CampaignExecutor,
+                          CampaignResult, Category, Outcome,
+                          PipelineConfig, generate_category_faults,
+                          run_cache_campaign)
 from repro.analysis.report import format_table
 
 #: The default comparison set: the paper's DBT techniques plus the
@@ -37,6 +37,8 @@ class CoverageMatrix:
     results: dict[str, CampaignResult] = field(default_factory=dict)
     cache_results: dict[str, CacheCampaignResult] = field(
         default_factory=dict)
+    #: per-config forensics bundle entries (``--forensics`` only)
+    forensics: dict[str, list[dict]] = field(default_factory=dict)
 
     def covered(self, label: str, category: Category) -> bool:
         return self.results[label].covers(category)
@@ -85,21 +87,31 @@ def compute_coverage_matrix(program: Program,
                             retries: int | None = None,
                             timeout: float | None = None,
                             journal: str | None = None,
-                            resume: bool = False) -> CoverageMatrix:
+                            resume: bool = False,
+                            forensics: int | None = None,
+                            forensics_path=None) -> CoverageMatrix:
     """Run guest-level (and optionally cache-level) campaigns for each
     configuration.  ``jobs > 1`` parallelizes each campaign's runs;
     ``retries``/``timeout``/``journal``/``resume`` configure the
     fault-tolerant runtime (one journal file serves the whole matrix —
     entries are keyed by config and spec content, so the campaigns
-    cannot contaminate each other)."""
+    cannot contaminate each other).  ``forensics=N`` replays up to N
+    sampled escapes per configuration through the golden-divergence
+    analyzer, appending the entries to ``forensics_path``."""
     faults = generate_category_faults(program, per_category=per_category,
                                       seed=seed)
     matrix = CoverageMatrix(program_name=program.source_name)
     for config in configs:
-        result = run_campaign(program, config, faults, jobs=jobs,
-                              retries=retries, timeout=timeout,
-                              journal=journal, resume=resume)
+        executor = CampaignExecutor(program, config, jobs=jobs,
+                                    retries=retries, timeout=timeout,
+                                    journal=journal, resume=resume)
+        result = executor.run_campaign(faults)
         matrix.results[config.label()] = result
+        if forensics:
+            from repro.forensics import write_campaign_forensics
+            matrix.forensics[config.label()] = write_campaign_forensics(
+                program, config, executor.escape_specs(),
+                max_samples=forensics, path=forensics_path)
         if include_cache_level and config.pipeline == "dbt" \
                 and config.technique:
             matrix.cache_results[config.label()] = run_cache_campaign(

@@ -32,6 +32,7 @@ from typing import Callable
 from repro.isa.flags import Cond
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Op
+from repro.isa.registers import PCP as _PCP
 
 #: The label every ErrorBranch targets; backends bind it to their error
 #: sink (a TRAP stub in the DBT, a report routine in static mode).
@@ -217,6 +218,9 @@ class Technique(ABC):
     #: True when the technique's instrumentation may clobber FLAGS
     #: (CFCSS/ECCA); such techniques need flag-clean guests.
     clobbers_flags: bool = False
+    #: Host registers holding the technique's signature state — what a
+    #: forensics checkpoint snapshots.  PC' for everyone; ECF adds RTS.
+    signature_registers: tuple[int, ...] = (_PCP,)
 
     def __init__(self, update_style: UpdateStyle = UpdateStyle.JCC):
         self.update_style = update_style

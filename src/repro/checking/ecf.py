@@ -30,6 +30,7 @@ class ECF(Technique):
     """Enhanced control-flow checking (run-time adjusting signature)."""
 
     name = "ecf"
+    signature_registers = (PCP, RTS)
 
     def prologue(self, entry_block: int) -> list[Item]:
         return [

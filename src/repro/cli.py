@@ -13,11 +13,17 @@ Commands
 ``suite``       list the benchmark suite with structural statistics
 ``coverage``    run the per-category coverage campaign on a program
 ``stats``       render a metrics snapshot captured with ``--metrics``
+``explain``     per-run fault forensics: replay one fault against the
+                golden trace and print the annotated divergence
+                timeline with escape attribution
 
 ``run``, ``inject``, ``verify`` and ``coverage`` accept ``--metrics
 PATH`` and ``--trace PATH`` to capture telemetry (see
 ``docs/observability.md``); everything else runs with observability
-off, which costs nothing.
+off, which costs nothing.  ``inject`` and ``coverage`` accept
+``--forensics[=N]`` to replay up to N sampled escapes through the
+golden-divergence analyzer and write a JSONL forensics bundle next to
+the journal (see ``docs/forensics.md``).
 """
 
 from __future__ import annotations
@@ -129,12 +135,37 @@ def cmd_inject(args) -> int:
     for spec, record in zip(specs, records):
         print(f"fault:   {spec.describe()}")
         print(f"outcome: {record.outcome.value}  ({record.stop_reason})")
+        if record.detection_latency is not None:
+            cycles = record.detection_latency_cycles
+            print(f"latency: {record.detection_latency} instructions"
+                  + (f", {cycles} cycles" if cycles is not None else ""))
         if record.outcome is Outcome.INFRA_ERROR:
             print(f"         {record.error}")
             status = max(status, 3)
         elif record.outcome is Outcome.SDC:
             status = max(status, 2)
+    if args.forensics is not None:
+        _write_forensics(program, config, executor, args)
     return status
+
+
+def _write_forensics(program, config, executor, args) -> None:
+    """Replay sampled escapes and write the bundle next to the journal."""
+    from repro.forensics import bundle_path_for, write_campaign_forensics
+    escapes = executor.escape_specs()
+    path = bundle_path_for(args.journal)
+    entries = write_campaign_forensics(program, config, escapes,
+                                       max_samples=args.forensics,
+                                       path=path)
+    if not escapes:
+        print("forensics: no escapes (SDC/HANG) to replay")
+        return
+    print(f"forensics: replayed {len(entries)} of {len(escapes)} "
+          f"escape(s) -> {path}")
+    for entry in entries:
+        att = entry["attribution"]
+        print(f"  [{entry['index']}] {entry['spec']['kind']} "
+              f"{entry['outcome']}: {att['reason']} — {att['detail']}")
 
 
 def cmd_errormodel(args) -> int:
@@ -181,6 +212,10 @@ def cmd_verify(args) -> int:
     if args.journal or args.resume:
         print("note: --journal/--resume journal fault campaigns; "
               "verification runs are not journaled")
+    if args.forensics is not None:
+        print("note: --forensics replays fault-campaign escapes; "
+              "static verification injects no faults, so there is "
+              "nothing to replay here")
     status = 0
     results = parallel_map(_verify_task, tasks, jobs=args.jobs,
                            retries=args.retries, timeout=args.timeout)
@@ -207,17 +242,80 @@ def cmd_verify(args) -> int:
 def cmd_coverage(args) -> int:
     from repro.analysis import compute_coverage_matrix
     program = _load_program(args.file)
+    forensics_path = None
+    if args.forensics is not None:
+        from repro.forensics import bundle_path_for
+        forensics_path = bundle_path_for(args.journal)
     matrix = compute_coverage_matrix(
         program, per_category=args.per_category,
         include_cache_level=not args.no_cache_level, jobs=args.jobs,
         retries=args.retries, timeout=args.timeout,
-        journal=args.journal, resume=args.resume)
+        journal=args.journal, resume=args.resume,
+        forensics=args.forensics, forensics_path=forensics_path)
     print(matrix.table())
+    if matrix.forensics:
+        total = sum(len(v) for v in matrix.forensics.values())
+        print(f"forensics: {total} sampled escape(s) replayed "
+              f"-> {forensics_path}")
+        for label, entries in matrix.forensics.items():
+            for entry in entries:
+                att = entry["attribution"]
+                print(f"  [{label} #{entry['index']}] "
+                      f"{entry['outcome']}: {att['reason']}")
     infra = sum(result.total_infra()
                 for result in matrix.results.values())
     if infra:
         print(f"warning: {infra} run(s) failed in the harness "
               "(INFRA_ERROR) and are excluded from coverage")
+    return 0
+
+
+def cmd_explain(args) -> int:
+    """Replay one fault against the golden trace and explain it."""
+    from repro.faults import PipelineConfig
+    from repro.forensics import (bundle_path_for, explain_spec,
+                                 read_bundle, spec_from_json)
+    program = _load_program(args.file)
+    if args.bundle or args.journal:
+        path = args.bundle or str(bundle_path_for(args.journal))
+        try:
+            entries = read_bundle(path)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if not entries:
+            print(f"error: no forensics entries in {path}",
+                  file=sys.stderr)
+            return 1
+        entry = None
+        if args.index is None:
+            entry = entries[0]
+        else:
+            for candidate in entries:
+                if candidate["index"] == args.index:
+                    entry = candidate
+                    break
+        if entry is None:
+            known = sorted(e["index"] for e in entries)
+            print(f"error: no entry with spec index {args.index} in "
+                  f"{path} (have: {known})", file=sys.stderr)
+            return 1
+        spec = spec_from_json(entry["spec"])
+        pipeline, technique, policy, update, dataflow = entry["config"]
+        config = PipelineConfig(pipeline, technique, Policy(policy),
+                                UpdateStyle(update), dataflow)
+    else:
+        if not args.fault:
+            print("error: give --fault (inline spec) or "
+                  "--bundle/--journal (+ --index)", file=sys.stderr)
+            return 1
+        spec = _parse_fault_spec(program, args, args.fault)
+        config = PipelineConfig(args.pipeline, args.technique,
+                                Policy(args.policy),
+                                UpdateStyle(args.update),
+                                dataflow=args.dataflow)
+    _, _, text = explain_spec(program, config, spec)
+    print(text)
     return 0
 
 
@@ -305,6 +403,14 @@ def build_parser() -> argparse.ArgumentParser:
                  "the remainder (byte-identical to an uninterrupted "
                  "campaign)")
 
+    def forensics_arg(p):
+        p.add_argument(
+            "--forensics", nargs="?", const=8, type=int, default=None,
+            metavar="N",
+            help="replay up to N sampled escapes (SDC/HANG) through "
+                 "the golden-divergence analyzer and write a JSONL "
+                 "forensics bundle next to the journal (default N=8)")
+
     inj = sub.add_parser("inject", help="run with injected fault(s)")
     common_exec(inj)
     inj.add_argument("--branch", default="0",
@@ -316,6 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
              "register:REG,BIT,ICOUNT (repeatable)")
     jobs_arg(inj)
     resilience_args(inj)
+    forensics_arg(inj)
     obs_args(inj)
     inj.set_defaults(func=cmd_inject)
 
@@ -340,6 +447,7 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=[p.value for p in Policy])
     jobs_arg(ver)
     resilience_args(ver)
+    forensics_arg(ver)
     obs_args(ver)
     ver.set_defaults(func=cmd_verify)
 
@@ -349,6 +457,7 @@ def build_parser() -> argparse.ArgumentParser:
     cov.add_argument("--no-cache-level", action="store_true")
     jobs_arg(cov)
     resilience_args(cov)
+    forensics_arg(cov)
     obs_args(cov)
     cov.set_defaults(func=cmd_coverage)
 
@@ -358,6 +467,32 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--format", default="table",
                        choices=["table", "prom", "jsonl"])
     stats.set_defaults(func=cmd_stats)
+
+    exp = sub.add_parser(
+        "explain",
+        help="per-run fault forensics (golden-divergence replay)")
+    common_exec(exp)
+    exp.add_argument("--pipeline", default="dbt",
+                     choices=["native", "dbt", "static"])
+    exp.add_argument("--branch", default="0",
+                     help="guest branch: symbol[+off] or address")
+    exp.add_argument("--occurrence", type=int, default=1)
+    exp.add_argument(
+        "--fault", default=None,
+        help="inline spec: offset:BIT | flag:BIT | direction | "
+             "redirect:ADDR | register:REG,BIT,ICOUNT")
+    exp.add_argument(
+        "--bundle", default=None, metavar="PATH",
+        help="load the spec from this forensics bundle instead")
+    exp.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="campaign journal whose adjacent forensics bundle "
+             "(<journal>.forensics.jsonl) holds the spec")
+    exp.add_argument(
+        "--index", type=int, default=None,
+        help="global spec index within the bundle (default: first "
+             "entry)")
+    exp.set_defaults(func=cmd_explain)
     return parser
 
 

@@ -234,6 +234,23 @@ class Dbt:
         """Cache address for a guest instruction address, if translated."""
         return self.addr_map.get(guest_addr)
 
+    def reverse_addr_map(self) -> dict[int, int]:
+        """Cache address → guest instruction address, over every
+        translated block and suffix.
+
+        Only guest instructions that anchor a map entry appear;
+        instrumentation words (signature updates, checks, exit stubs)
+        have no guest counterpart and are absent.  Used by the
+        forensics divergence analyzer to report guest-level addresses
+        for events recorded under the DBT.
+        """
+        reverse: dict[int, int] = {}
+        for tb in list(self.blocks.values()) + list(
+                self._suffixes.values()):
+            for guest_addr, cache_addr in tb.addr_map.items():
+                reverse[cache_addr] = guest_addr
+        return reverse
+
     # -- chaining -----------------------------------------------------------
 
     def _chain(self, slot: ExitSlot, target_cache: int) -> None:

@@ -72,6 +72,9 @@ class RunRecord:
     #: report (None when not detected or not measurable) — the
     #: detection-latency metric of the fail-stop discussion (Section 6)
     detection_latency: int | None = None
+    #: same latency in model cycles (None when not detected, or for
+    #: scheduled data faults, which carry no cycle stamp)
+    detection_latency_cycles: int | None = None
     #: harness failure detail for INFRA_ERROR records (exception type,
     #: message, and the spec's repr); None for real outcomes
     error: str | None = None
@@ -160,23 +163,41 @@ class Pipeline:
                       icount=record.icount, cycles=record.cycles)
 
     def run(self, fault: FaultSpec | CacheFaultSpec | None,
-            max_steps: int | None = None) -> RunRecord:
-        """One run; ``fault=None`` is the golden/reference run."""
+            max_steps: int | None = None, probe=None) -> RunRecord:
+        """One run; ``fault=None`` is the golden/reference run.
+
+        ``probe`` is an optional deep-observability attachment (a
+        :class:`repro.forensics.divergence.RunProbe`): the pipeline
+        binds it to the run's CPU and deposits the run internals on it.
+        The campaign hot path always passes None, which costs nothing.
+        """
         registry = obs.get_registry()
         if registry is None:
-            return self._run(fault, max_steps)
+            return self._run(fault, max_steps, probe)
         with registry.histogram(
                 "campaign_run_seconds",
                 help="wall time of one pipeline run",
                 pipeline=self.config.pipeline).time():
-            record = self._run(fault, max_steps)
+            record = self._run(fault, max_steps, probe)
         registry.counter("campaign_runs_total",
                          help="pipeline runs by classified outcome",
                          outcome=record.outcome.value).inc()
+        if record.detection_latency is not None:
+            policy = self.config.policy.value
+            registry.histogram(
+                "campaign_detection_latency_instructions",
+                help="instructions from fault application to detection",
+                policy=policy).observe(record.detection_latency)
+            if record.detection_latency_cycles is not None:
+                registry.histogram(
+                    "campaign_detection_latency_cycles",
+                    help="cycles from fault application to detection",
+                    policy=policy).observe(
+                        record.detection_latency_cycles)
         return record
 
     def _run(self, fault: FaultSpec | CacheFaultSpec | None,
-             max_steps: int | None = None) -> RunRecord:
+             max_steps: int | None = None, probe=None) -> RunRecord:
         if fault is not None and hasattr(fault, "chaos_run"):
             # Harness-testing specs (repro.faults.chaos) bypass real
             # injection and misbehave on purpose.
@@ -185,10 +206,10 @@ class Pipeline:
             max_steps = self.golden.step_budget
         config = self.config
         if config.pipeline == "dbt":
-            return self._run_dbt(fault, max_steps)
+            return self._run_dbt(fault, max_steps, probe)
         if config.pipeline == "static" and self._instrumented is not None:
-            return self._run_static(fault, max_steps)
-        return self._run_native(fault, max_steps)
+            return self._run_static(fault, max_steps, probe)
+        return self._run_native(fault, max_steps, probe)
 
     def _finish(self, cpu: Cpu, stop, detected: bool) -> RunRecord:
         golden = getattr(self, "golden", None)
@@ -212,18 +233,22 @@ class Pipeline:
                          outputs=outputs, cycles=cpu.cycles,
                          icount=cpu.icount)
 
-    def _run_native(self, fault, max_steps) -> RunRecord:
+    def _run_native(self, fault, max_steps, probe=None) -> RunRecord:
         from repro.faults.injector import RegisterFaultSpec
         cpu = Cpu()
         cpu.load_program(self.program)
+        injector = None
         if isinstance(fault, RegisterFaultSpec):
             fault.install(cpu)
         elif fault is not None:
-            NativeInjector(fault, self.program).install(cpu)
+            injector = NativeInjector(fault, self.program)
+            injector.install(cpu)
+        if probe is not None:
+            probe.bind(cpu, injector=injector)
         stop = cpu.run(max_steps=max_steps)
         return self._finish(cpu, stop, detected=False)
 
-    def _run_static(self, fault, max_steps) -> RunRecord:
+    def _run_static(self, fault, max_steps, probe=None) -> RunRecord:
         ip = self._instrumented
         cpu = Cpu()
         cpu.load_program(ip.program)
@@ -235,6 +260,8 @@ class Pipeline:
                 landing_map=self._static_landing,
                 noncode_target=ip.program.data_base + 0x40)
             injector.install(cpu)
+        if probe is not None:
+            probe.bind(cpu, injector=injector, instrumented=ip)
         stop = cpu.run(max_steps=max_steps)
         detected = cpu.cfc_error or (
             stop.reason is StopReason.FAULT
@@ -244,6 +271,9 @@ class Pipeline:
         if (detected and injector is not None
                 and injector.fired_icount is not None):
             record.detection_latency = cpu.icount - injector.fired_icount
+            if injector.fired_cycles is not None:
+                record.detection_latency_cycles = (
+                    cpu.cycles - injector.fired_cycles)
         return record
 
     def _static_landing(self, guest_addr: int) -> int | None:
@@ -252,7 +282,7 @@ class Pipeline:
             return ip.block_map[guest_addr]
         return ip.instr_map.get(guest_addr)
 
-    def _run_dbt(self, fault, max_steps) -> RunRecord:
+    def _run_dbt(self, fault, max_steps, probe=None) -> RunRecord:
         from repro.faults.injector import RegisterFaultSpec
         config = self.config
         technique = (make_technique(config.technique,
@@ -269,6 +299,8 @@ class Pipeline:
         elif fault is not None:
             injector = DbtInjector(fault, dbt)
             injector.install()
+        if probe is not None:
+            probe.bind(dbt.cpu, injector=injector, dbt=dbt)
         result = dbt.run(max_steps=max_steps)
         detected = result.detected_error or result.detected_dataflow
         record = self._finish(dbt.cpu, result.stop, detected)
@@ -276,6 +308,9 @@ class Pipeline:
                 and injector.fired_icount is not None):
             record.detection_latency = (dbt.cpu.icount
                                         - injector.fired_icount)
+            if injector.fired_cycles is not None:
+                record.detection_latency_cycles = (
+                    dbt.cpu.cycles - injector.fired_cycles)
         return record
 
 

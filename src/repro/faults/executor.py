@@ -53,8 +53,8 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import SpanRecorder
 from repro.faults import cache as run_cache
 from repro.faults.campaign import (CampaignResult, CategoryFaults,
-                                   Pipeline, PipelineConfig, RunRecord,
-                                   infra_error_record)
+                                   Outcome, Pipeline, PipelineConfig,
+                                   RunRecord, infra_error_record)
 from repro.faults.supervisor import (DEFAULT_RETRIES, PoolSupervisor,
                                      SupervisedTask)
 
@@ -76,6 +76,10 @@ def resolve_jobs(jobs: int | None) -> int:
     return max(1, jobs)
 
 
+#: Outcomes the forensics layer treats as escapes worth replaying.
+_ESCAPE_OUTCOMES = (Outcome.SDC, Outcome.HANG)
+
+
 @dataclass
 class WorkerResult:
     """A worker task's payload result plus its drained telemetry.
@@ -83,10 +87,22 @@ class WorkerResult:
     Wrapping (rather than sniffing tuples out of arbitrary task
     results) keeps the result-pipe protocol unambiguous: user task
     functions may legitimately return lists or tuples of their own.
+
+    ``escapes`` carries the chunk's escape (SDC/HANG) specs home as
+    ``(sub_index, spec)`` pairs so a ``--forensics`` campaign can
+    replay a sample of them in the parent without re-running anything.
     """
 
     value: object
     obs_snapshot: dict | None = None
+    escapes: list | None = None
+
+
+def _escapes_of(records: list[RunRecord], specs: list) -> list:
+    """``(sub_index, spec)`` for every escape outcome in a chunk."""
+    return [(sub, spec)
+            for sub, (spec, record) in enumerate(zip(specs, records))
+            if record.outcome in _ESCAPE_OUTCOMES]
 
 
 def _unwrap(result):
@@ -146,9 +162,10 @@ def _worker_run_specs(pipeline: Pipeline, specs: list):
     registry.
     """
     records = [_quarantined_run(pipeline, spec) for spec in specs]
+    escapes = _escapes_of(records, specs)
     snap = obs.drain_worker_snapshot()
-    if snap is not None:
-        return WorkerResult(records, snap)
+    if snap is not None or escapes:
+        return WorkerResult(records, snap, escapes)
     return records
 
 
@@ -180,6 +197,8 @@ class CampaignExecutor:
         self.journal = journal
         self.resume = resume
         self._pipeline = pipeline
+        #: global spec index -> escape spec, from the last run_specs
+        self._escapes: dict[int, object] = {}
 
     @property
     def pipeline(self) -> Pipeline:
@@ -203,6 +222,7 @@ class CampaignExecutor:
         program_digest = run_cache.program_digest(self.program)
         config_key = run_cache.config_key(self.config)
 
+        self._escapes = {}
         done: dict[int, list[RunRecord]] = {}
         if journal is not None and self.resume:
             replayed = journal.replay(program_digest, config_key)
@@ -210,6 +230,12 @@ class CampaignExecutor:
                 records = replayed.get((index, tuple(digests[index])))
                 if records is not None:
                     done[index] = records
+                    # Replayed chunks never cross a worker pipe; their
+                    # escapes are recovered here so a resumed campaign
+                    # yields the same forensics sample as a fresh one.
+                    self._note_escapes(
+                        _escapes_of(records, chunks[index]),
+                        index * self.chunk_size)
             if done:
                 obs.counter("campaign_chunks_total",
                             help="chunks by completion source",
@@ -232,8 +258,9 @@ class CampaignExecutor:
                           chunks=len(todo)):
                 pipeline = self.pipeline
                 for index in todo:
-                    checkpoint(index, _unwrap(
-                        _worker_run_specs(pipeline, chunks[index])))
+                    checkpoint(index, self._absorb(
+                        _worker_run_specs(pipeline, chunks[index]),
+                        index * self.chunk_size))
         elif todo:
             with obs.span("campaign.scheduler", mode="pool",
                           jobs=self.jobs, chunks=len(todo)):
@@ -247,6 +274,26 @@ class CampaignExecutor:
         for index in range(len(chunks)):
             records.extend(done[index])
         return records
+
+    def _note_escapes(self, escapes, base: int) -> None:
+        for sub, spec in escapes:
+            self._escapes[base + sub] = spec
+
+    def _absorb(self, result, base: int):
+        """Unwrap a task result, folding telemetry *and* escapes (at
+        their global spec indices) into the parent-side state."""
+        if isinstance(result, WorkerResult):
+            obs.merge_snapshot(result.obs_snapshot)
+            if result.escapes:
+                self._note_escapes(result.escapes, base)
+            return result.value
+        return result
+
+    def escape_specs(self) -> list[tuple[int, object]]:
+        """Escape (SDC/HANG) specs of the last ``run_specs`` call, as
+        ``(global_index, spec)`` pairs in campaign order — identical
+        for any job count and for journal-resumed executions."""
+        return sorted(self._escapes.items())
 
     def _run_supervised(self, chunks, todo, checkpoint) -> None:
         tasks = [self._chunk_task(index, chunks[index])
@@ -266,11 +313,14 @@ class CampaignExecutor:
         partial: dict[int, dict[int, list[RunRecord]]] = {}
 
         def on_result(task: SupervisedTask, records) -> None:
-            records = _unwrap(records)
             if task.key[0] == "chunk":
-                checkpoint(task.key[1], records)
+                index = task.key[1]
+                checkpoint(index, self._absorb(
+                    records, index * self.chunk_size))
                 return
             _, index, sub = task.key
+            records = self._absorb(records,
+                                   index * self.chunk_size + sub)
             pieces = partial.setdefault(index, {})
             pieces[sub] = records
             if len(pieces) == len(chunks[index]):

@@ -93,8 +93,10 @@ class _HookBase:
         self.spec = spec
         self.count = 0
         self.fired = False
-        #: cpu.icount at the moment the fault applied (for latency)
+        #: cpu.icount / cpu.cycles at the moment the fault applied
+        #: (for detection latency in instructions and cycles)
         self.fired_icount: int | None = None
+        self.fired_cycles: int | None = None
         self.armed_site: int | None = None
 
     def _hit(self, pc: int) -> bool:
@@ -145,6 +147,7 @@ class NativeInjector(_HookBase):
             return None
         self.fired = True
         self.fired_icount = cpu.icount
+        self.fired_cycles = cpu.cycles
         fault = self.spec.fault
         meta = instr.meta
         if isinstance(fault, OffsetBitFault):
@@ -250,6 +253,7 @@ class DbtInjector(_HookBase):
         guest_instr = self.dbt.program.instruction_at(self.spec.branch_pc)
         will_take, can_fall = self._direction(cpu, instr)
         self.fired_icount = cpu.icount
+        self.fired_cycles = cpu.cycles
 
         if isinstance(fault, OffsetBitFault):
             self.fired = True
@@ -367,8 +371,10 @@ class CacheLevelInjector:
         self.dbt = dbt
         self.count = 0
         self.fired = False
-        #: cpu.icount at the moment the fault applied (for latency)
+        #: cpu.icount / cpu.cycles at the moment the fault applied
+        #: (for detection latency in instructions and cycles)
         self.fired_icount: int | None = None
+        self.fired_cycles: int | None = None
 
     def install(self) -> None:
         self.dbt.cpu.pre_branch_hook = self.hook
@@ -382,6 +388,7 @@ class CacheLevelInjector:
             return None
         self.fired = True
         self.fired_icount = cpu.icount
+        self.fired_cycles = cpu.cycles
         word = self.dbt.cpu.memory.read_word_raw(pc)
         corrupted = decode(word ^ (1 << self.spec.bit))
         if corrupted.op is Op.TRAP:

@@ -45,6 +45,7 @@ def record_to_json(record: RunRecord) -> dict:
             "cycles": record.cycles,
             "icount": record.icount,
             "latency": record.detection_latency,
+            "latency_cycles": record.detection_latency_cycles,
             "error": record.error}
 
 
@@ -55,6 +56,7 @@ def record_from_json(data: dict) -> RunRecord:
                      cycles=data["cycles"],
                      icount=data["icount"],
                      detection_latency=data.get("latency"),
+                     detection_latency_cycles=data.get("latency_cycles"),
                      error=data.get("error"))
 
 

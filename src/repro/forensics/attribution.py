@@ -1,0 +1,106 @@
+"""Escape attribution: *why* did a fault slip past the technique?
+
+Aggregate campaign results say coverage was lost; this module says
+where the loss came from, classified against the Section-4 formal
+conditions (:mod:`repro.formal.conditions`):
+
+* **no-check-reached** — the check *policy* left the erroneous region
+  unguarded: execution crossed zero CHECK_SIG sites after the fault
+  fired.  Outside Assumption 2's universe; sparse policies (RET, END)
+  trade exactly this gap for lower overhead.
+* **masked-before-update** — the fault never perturbed the signature
+  walk or the committed outputs; the run stayed on (or returned to)
+  the golden trace.  A benign fault, not a technique failure.
+* **mistaken-branch** — category A: the branch took its *other legal*
+  direction.  Both directions are legal signature walks, so the error
+  is invisible to any pure signature-monitoring technique by
+  construction (the paper's data-error exclusion).
+* **signature-aliasing** — the run diverged, crossed live checks, and
+  every one of them passed: the corrupted signature sequence aliased
+  a legal one.  The empirical twin of the sufficient-condition
+  counterexamples the formal checker enumerates for CFCSS/ECCA.
+* **data-fault-blindspot** — a register data fault under a
+  configuration without dataflow duplication; control-flow signatures
+  never see it unless it derails a branch.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.faults.campaign import Outcome, PipelineConfig
+from repro.faults.classify import Category
+from repro.formal.conditions import CONDITION_NOTES
+from repro.forensics.divergence import Divergence
+
+
+class EscapeReason(enum.Enum):
+    NO_CHECK_REACHED = "no-check-reached"
+    MASKED_BEFORE_UPDATE = "masked-before-update"
+    MISTAKEN_BRANCH = "mistaken-branch"
+    SIGNATURE_ALIASING = "signature-aliasing"
+    DATA_FAULT_BLINDSPOT = "data-fault-blindspot"
+    NOT_AN_ESCAPE = "not-an-escape"
+
+
+@dataclass(frozen=True)
+class EscapeAttribution:
+    """Why one run's fault escaped (or didn't)."""
+
+    reason: EscapeReason
+    detail: str            #: one-line, run-specific explanation
+    condition_note: str    #: formal grounding from CONDITION_NOTES
+
+    def to_json(self) -> dict:
+        return {"reason": self.reason.value, "detail": self.detail}
+
+
+def _make(reason: EscapeReason, detail: str) -> EscapeAttribution:
+    return EscapeAttribution(reason=reason, detail=detail,
+                             condition_note=CONDITION_NOTES[reason.value])
+
+
+def attribute_escape(divergence: Divergence,
+                     config: PipelineConfig) -> EscapeAttribution:
+    """Classify one :class:`Divergence` record's escape mode."""
+    outcome = divergence.outcome
+    if outcome in (Outcome.DETECTED_SIGNATURE, Outcome.DETECTED_HARDWARE):
+        return _make(EscapeReason.NOT_AN_ESCAPE,
+                     f"detected ({outcome.value}) after "
+                     f"{divergence.detection_latency} instructions")
+
+    if outcome is Outcome.BENIGN:
+        if divergence.category is Category.A and divergence.diverged:
+            return _make(
+                EscapeReason.MISTAKEN_BRANCH,
+                "wrong-direction branch re-converged with the golden "
+                "path and produced correct output")
+        return _make(
+            EscapeReason.MASKED_BEFORE_UPDATE,
+            "fault was architecturally masked"
+            + ("" if divergence.diverged
+               else ": the block-entry trace never left the golden one"))
+
+    # SDC / HANG — genuine coverage loss.
+    if divergence.injection_site is None and not config.dataflow:
+        return _make(
+            EscapeReason.DATA_FAULT_BLINDSPOT,
+            "register data fault under a control-flow-only "
+            "configuration (dataflow checking disabled)")
+    if divergence.category is Category.A:
+        return _make(
+            EscapeReason.MISTAKEN_BRANCH,
+            "branch took its other legal direction — a legal "
+            "signature walk no check can distinguish")
+    if divergence.checks_crossed == 0:
+        policy = config.policy.value
+        return _make(
+            EscapeReason.NO_CHECK_REACHED,
+            f"no CHECK_SIG site executed after injection under the "
+            f"'{policy}' policy")
+    return _make(
+        EscapeReason.SIGNATURE_ALIASING,
+        f"{divergence.checks_crossed} check(s) executed after "
+        f"injection and all passed — the corrupted signature walk "
+        f"aliased a legal one")

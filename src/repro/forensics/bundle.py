@@ -1,0 +1,156 @@
+"""The JSONL forensics bundle a ``--forensics`` campaign writes.
+
+One line per sampled escape, next to the campaign journal
+(``<journal>.forensics.jsonl``).  Each entry is self-contained: the
+fault spec (round-trippable through :func:`spec_to_json` /
+:func:`spec_from_json`), the run outcome, the full
+:class:`~repro.forensics.divergence.Divergence` record, and the
+escape attribution — everything ``repro explain --bundle`` needs to
+re-render the timeline without re-running the campaign.
+
+Entries are keyed by the spec's **global campaign index** (its position
+in the flattened spec list), which is stable across serial, parallel
+and journal-resumed executions — so ``--jobs 8`` and ``--jobs 1``
+produce byte-identical bundles for the same campaign.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.faults.cache import config_key, program_digest
+from repro.faults.campaign import PipelineConfig
+from repro.faults.injector import (CacheFaultSpec, DirectionFault,
+                                   FaultSpec, FlagBitFault,
+                                   OffsetBitFault, RedirectFault,
+                                   RegisterFaultSpec)
+
+BUNDLE_VERSION = 1
+
+#: Default escape sample size for a bare ``--forensics`` flag.
+DEFAULT_SAMPLES = 8
+
+
+# -- spec (de)serialization --------------------------------------------------
+
+def fault_to_json(fault) -> dict:
+    if isinstance(fault, OffsetBitFault):
+        return {"kind": "offset", "bit": fault.bit}
+    if isinstance(fault, FlagBitFault):
+        return {"kind": "flag", "bit": fault.bit}
+    if isinstance(fault, DirectionFault):
+        return {"kind": "direction", "taken": fault.taken}
+    if isinstance(fault, RedirectFault):
+        return {"kind": "redirect", "target": fault.target}
+    raise TypeError(f"unknown fault type: {type(fault).__name__}")
+
+
+def fault_from_json(data: dict):
+    kind = data["kind"]
+    if kind == "offset":
+        return OffsetBitFault(bit=data["bit"])
+    if kind == "flag":
+        return FlagBitFault(bit=data["bit"])
+    if kind == "direction":
+        return DirectionFault(taken=data["taken"])
+    if kind == "redirect":
+        return RedirectFault(target=data["target"])
+    raise ValueError(f"unknown fault kind: {kind!r}")
+
+
+def spec_to_json(spec) -> dict:
+    if isinstance(spec, FaultSpec):
+        return {"kind": "branch", "pc": spec.branch_pc,
+                "occurrence": spec.occurrence,
+                "fault": fault_to_json(spec.fault)}
+    if isinstance(spec, RegisterFaultSpec):
+        return {"kind": "register", "icount": spec.icount,
+                "reg": spec.reg, "bit": spec.bit}
+    if isinstance(spec, CacheFaultSpec):
+        return {"kind": "cache", "addr": spec.cache_addr,
+                "occurrence": spec.occurrence, "bit": spec.bit,
+                "force_taken": spec.force_taken}
+    raise TypeError(f"unknown spec type: {type(spec).__name__}")
+
+
+def spec_from_json(data: dict):
+    kind = data["kind"]
+    if kind == "branch":
+        return FaultSpec(branch_pc=data["pc"],
+                         occurrence=data["occurrence"],
+                         fault=fault_from_json(data["fault"]))
+    if kind == "register":
+        return RegisterFaultSpec(icount=data["icount"], reg=data["reg"],
+                                 bit=data["bit"])
+    if kind == "cache":
+        return CacheFaultSpec(cache_addr=data["addr"],
+                              occurrence=data["occurrence"],
+                              bit=data["bit"],
+                              force_taken=data["force_taken"])
+    raise ValueError(f"unknown spec kind: {kind!r}")
+
+
+# -- the bundle --------------------------------------------------------------
+
+def bundle_path_for(journal: str | Path | None) -> Path:
+    """Where a campaign's forensics bundle lives: next to its journal,
+    or ``forensics.jsonl`` in the working directory without one."""
+    if journal is None:
+        return Path("forensics.jsonl")
+    journal = Path(journal)
+    return journal.with_name(journal.name + ".forensics.jsonl")
+
+
+def write_campaign_forensics(program, config: PipelineConfig, escapes,
+                             max_samples: int = DEFAULT_SAMPLES,
+                             path: str | Path | None = None) -> list[dict]:
+    """Replay up to ``max_samples`` sampled escapes and append their
+    forensics entries to the bundle at ``path``.
+
+    ``escapes`` is a list of ``(global_index, spec)`` pairs as produced
+    by :meth:`repro.faults.executor.CampaignExecutor.escape_specs`.
+    Sampling takes the first N by global index — deterministic across
+    serial/parallel/resumed executions.  Replays run serially in the
+    parent (two bounded runs each); returns the entries written.
+    """
+    from repro.forensics.attribution import attribute_escape
+    from repro.forensics.divergence import GoldenDivergenceAnalyzer
+
+    sampled = sorted(escapes, key=lambda item: item[0])[:max_samples]
+    if not sampled:
+        return []
+    analyzer = GoldenDivergenceAnalyzer(program, config)
+    digest = program_digest(program)
+    config_id = list(config_key(config))
+    entries: list[dict] = []
+    for index, spec in sampled:
+        divergence = analyzer.analyze(spec)
+        attribution = attribute_escape(divergence, config)
+        entries.append({
+            "v": BUNDLE_VERSION,
+            "program": digest,
+            "config": config_id,
+            "index": index,
+            "spec": spec_to_json(spec),
+            "outcome": divergence.outcome.value,
+            "attribution": attribution.to_json(),
+            "divergence": divergence.to_json(),
+        })
+    if path is not None:
+        path = Path(path)
+        with path.open("a", encoding="utf-8") as handle:
+            for entry in entries:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entries
+
+
+def read_bundle(path: str | Path) -> list[dict]:
+    """All entries of a forensics bundle, in file order."""
+    entries: list[dict] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    return entries

@@ -1,0 +1,375 @@
+"""Golden-divergence replay: where did the corrupted run leave the rails?
+
+The analyzer runs a fault spec twice through the *same*
+:class:`~repro.faults.campaign.Pipeline` — once fault-free (the golden
+reference), once injected — with a full-trace
+:class:`~repro.forensics.recorder.FlightRecorder` attached to each, and
+compares the two block-entry streams.  Execution is deterministic, so
+the streams are identical up to the first effect of the fault; the
+first event whose ``(pc, taken)`` differs is the **divergence point**.
+
+The result is one structured :class:`Divergence` record per spec:
+
+* injection site (guest address, dynamic occurrence, fired
+  icount/cycles) and the Section-2 landing **category** via
+  :mod:`repro.faults.classify`,
+* first divergent block entry (cache and guest address under the DBT),
+* distances: injection → divergence and injection → detection-or-stop,
+  in both instructions and cycles (the Section-6 fail-stop latency),
+* the CHECK_SIG sites crossed after injection **without firing** — the
+  checks the error sailed through,
+* the architectural-state delta at the first checkpoint where golden
+  and faulted state disagree (guest registers, FLAGS, signature
+  registers).
+
+Replays are bounded by the pipeline's golden step budget, so analyzing
+an escape costs two runs of the workload — cheap enough to do for a
+sampled handful per campaign (``--forensics``), never for every spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg import build_cfg
+from repro.checking import make_technique
+from repro.isa.instruction import WORD_SIZE
+from repro.isa.opcodes import Kind
+from repro.isa.registers import PCP, register_name
+from repro.faults.campaign import Outcome, Pipeline, PipelineConfig
+from repro.faults.classify import (Category, classify_landing,
+                                   classify_offset_fault)
+from repro.faults.injector import (CacheFaultSpec, DirectionFault,
+                                   FaultSpec, FlagBitFault,
+                                   OffsetBitFault, RedirectFault,
+                                   RegisterFaultSpec)
+from repro.forensics.recorder import FlightRecorder
+
+
+class RunProbe:
+    """Deep-observability attachment for one :class:`Pipeline` run.
+
+    The pipeline binds the probe to the run's CPU just before
+    execution and deposits the run's internals (injector, DBT session,
+    instrumented image) so the analyzer can interpret the recorded
+    trace.  ``Pipeline.run(..., probe=None)`` — the campaign hot path —
+    touches none of this.
+    """
+
+    def __init__(self, recorder: FlightRecorder):
+        self.recorder = recorder
+        self.cpu = None
+        self.injector = None
+        self.dbt = None
+        self.instrumented = None
+
+    def bind(self, cpu, injector=None, dbt=None,
+             instrumented=None) -> None:
+        self.cpu = cpu
+        self.injector = injector
+        self.dbt = dbt
+        self.instrumented = instrumented
+        self.recorder.attach(cpu)
+
+    def check_sites(self) -> frozenset[int]:
+        """Addresses of CHECK_SIG branch/check instructions in the
+        executed image (cache addresses under the DBT, rewritten
+        addresses statically)."""
+        if self.dbt is not None:
+            return frozenset(self.dbt._check_sites)
+        if self.instrumented is not None:
+            return frozenset(self.instrumented.check_addresses)
+        return frozenset()
+
+    def guest_addr_of(self, pc: int) -> int | None:
+        """Map a recorded pc back to a guest address (identity for
+        native runs; reverse translation map under the DBT)."""
+        if self.dbt is not None:
+            return self.dbt.reverse_addr_map().get(pc)
+        return pc
+
+
+@dataclass
+class StateDelta:
+    """First checkpoint where golden and faulted state disagree."""
+
+    icount: int
+    cycles: int
+    #: (register name, golden value, faulted value)
+    regs: list[tuple[str, int, int]] = field(default_factory=list)
+    flags: tuple[int, int] | None = None
+    #: (signature register name, golden value, faulted value)
+    signatures: list[tuple[str, int, int]] = field(default_factory=list)
+
+
+@dataclass
+class Divergence:
+    """Structured forensics for one injected run vs. its golden twin."""
+
+    spec_desc: str
+    outcome: Outcome
+    stop_reason: str
+    #: guest address of the injection site (None for data faults)
+    injection_site: int | None
+    occurrence: int | None
+    fired_icount: int | None
+    fired_cycles: int | None
+    #: Section-2 landing category; None for data/cache-level faults
+    category: Category | None
+    diverged: bool = False
+    divergence_pc: int | None = None         #: recorded (raw) address
+    divergence_guest: int | None = None      #: mapped guest address
+    divergence_icount: int | None = None
+    divergence_cycles: int | None = None
+    to_divergence_instructions: int | None = None
+    to_divergence_cycles: int | None = None
+    to_stop_instructions: int | None = None
+    to_stop_cycles: int | None = None
+    detection_latency: int | None = None
+    detection_latency_cycles: int | None = None
+    #: check sites executed after injection whose check did not fire
+    silent_checks: list[int] = field(default_factory=list)
+    checks_crossed: int = 0
+    state_delta: StateDelta | None = None
+    golden_events: int = 0
+    fault_events: int = 0
+
+    def to_json(self) -> dict:
+        return {
+            "spec": self.spec_desc,
+            "outcome": self.outcome.value,
+            "stop": self.stop_reason,
+            "injection_site": self.injection_site,
+            "occurrence": self.occurrence,
+            "fired_icount": self.fired_icount,
+            "fired_cycles": self.fired_cycles,
+            "category": self.category.value if self.category else None,
+            "diverged": self.diverged,
+            "divergence_pc": self.divergence_pc,
+            "divergence_guest": self.divergence_guest,
+            "divergence_icount": self.divergence_icount,
+            "divergence_cycles": self.divergence_cycles,
+            "to_divergence_instructions": self.to_divergence_instructions,
+            "to_divergence_cycles": self.to_divergence_cycles,
+            "to_stop_instructions": self.to_stop_instructions,
+            "to_stop_cycles": self.to_stop_cycles,
+            "detection_latency": self.detection_latency,
+            "detection_latency_cycles": self.detection_latency_cycles,
+            "silent_checks": list(self.silent_checks),
+            "checks_crossed": self.checks_crossed,
+            "state_delta": _delta_to_json(self.state_delta),
+            "golden_events": self.golden_events,
+            "fault_events": self.fault_events,
+        }
+
+
+def _delta_to_json(delta: StateDelta | None) -> dict | None:
+    if delta is None:
+        return None
+    return {"icount": delta.icount, "cycles": delta.cycles,
+            "regs": [list(entry) for entry in delta.regs],
+            "flags": list(delta.flags) if delta.flags else None,
+            "signatures": [list(entry) for entry in delta.signatures]}
+
+
+def classify_spec_landing(cfg, program, spec,
+                          diverged: bool) -> Category | None:
+    """Section-2 category of a fault spec's landing.
+
+    Branch-level specs classify through :mod:`repro.faults.classify`;
+    data faults (:class:`RegisterFaultSpec`) and cache-level faults
+    (:class:`CacheFaultSpec`) are outside the branch-error taxonomy and
+    return None.
+    """
+    if not isinstance(spec, FaultSpec):
+        return None
+    instr = program.instruction_at(spec.branch_pc)
+    fault = spec.fault
+    if isinstance(fault, DirectionFault):
+        return Category.A
+    if isinstance(fault, FlagBitFault):
+        # The flip only matters when it changed the evaluated direction
+        # at the struck execution — which the replay reveals.
+        return Category.A if diverged else Category.NO_ERROR
+    if isinstance(fault, OffsetBitFault):
+        return classify_offset_fault(cfg, spec.branch_pc, instr,
+                                     fault.bit, taken=True)
+    if isinstance(fault, RedirectFault):
+        meta = instr.meta
+        intended = (instr.branch_target(spec.branch_pc)
+                    if meta.is_direct_branch
+                    else spec.branch_pc + WORD_SIZE)
+        two_way = meta.kind in (Kind.BRANCH_COND, Kind.BRANCH_REG)
+        other = spec.branch_pc + WORD_SIZE if two_way else None
+        return classify_landing(cfg, spec.branch_pc, fault.target,
+                                intended, other)
+    return None
+
+
+class GoldenDivergenceAnalyzer:
+    """Replays specs against the golden trace for one (program, config).
+
+    Reuses one :class:`Pipeline` (and therefore one cached golden run)
+    across every spec it analyzes; the golden *trace* is recorded once
+    and shared too.
+    """
+
+    def __init__(self, program, config: PipelineConfig,
+                 checkpoint_interval: int = 16):
+        self.program = program
+        self.config = config
+        self.pipeline = Pipeline(program, config)
+        self.cfg = build_cfg(program)
+        self.checkpoint_interval = checkpoint_interval
+        self._signature_regs = self._resolve_signature_regs()
+        self._golden_probe: RunProbe | None = None
+
+    def _resolve_signature_regs(self) -> tuple[int, ...]:
+        if self.config.technique:
+            technique = make_technique(
+                self.config.technique,
+                update_style=self.config.update_style, cfg=self.cfg)
+            return technique.signature_registers
+        return (PCP,)
+
+    def _new_probe(self) -> RunProbe:
+        return RunProbe(FlightRecorder(
+            capacity=None,
+            checkpoint_interval=self.checkpoint_interval,
+            signature_regs=self._signature_regs))
+
+    def golden_probe(self) -> RunProbe:
+        """The recorded golden run (executed once, then cached)."""
+        if self._golden_probe is None:
+            probe = self._new_probe()
+            self.pipeline.run(None, probe=probe)
+            self._golden_probe = probe
+        return self._golden_probe
+
+    # -- the analysis ------------------------------------------------------
+
+    def analyze(self, spec) -> Divergence:
+        """Replay ``spec`` and locate its divergence from the golden."""
+        golden = self.golden_probe()
+        probe = self._new_probe()
+        record = self.pipeline.run(spec, probe=probe)
+
+        fired_icount, fired_cycles = self._fired_at(spec, probe)
+        golden_events = golden.recorder.event_list()
+        fault_events = probe.recorder.event_list()
+
+        divergence = Divergence(
+            spec_desc=spec.describe(),
+            outcome=record.outcome,
+            stop_reason=record.stop_reason,
+            injection_site=self._injection_site(spec, probe),
+            occurrence=getattr(spec, "occurrence", None),
+            fired_icount=fired_icount,
+            fired_cycles=fired_cycles,
+            category=None,
+            detection_latency=record.detection_latency,
+            detection_latency_cycles=record.detection_latency_cycles,
+            golden_events=len(golden_events),
+            fault_events=len(fault_events))
+
+        self._locate_divergence(divergence, golden_events, fault_events,
+                                probe)
+        divergence.category = classify_spec_landing(
+            self.cfg, self.program, spec, divergence.diverged)
+        self._measure_distances(divergence, probe)
+        self._collect_checks(divergence, fault_events, probe, record)
+        divergence.state_delta = self._state_delta(golden, probe)
+        return divergence
+
+    def _fired_at(self, spec, probe: RunProbe
+                  ) -> tuple[int | None, int | None]:
+        injector = probe.injector
+        if injector is not None:
+            return injector.fired_icount, getattr(injector,
+                                                  "fired_cycles", None)
+        if isinstance(spec, RegisterFaultSpec):
+            # scheduled_fault strikes before the icount-th instruction;
+            # no cycle stamp is taken on that path.
+            if probe.cpu is not None and probe.cpu.icount >= spec.icount:
+                return spec.icount, None
+        return None, None
+
+    def _injection_site(self, spec, probe: RunProbe) -> int | None:
+        if isinstance(spec, FaultSpec):
+            return spec.branch_pc
+        if isinstance(spec, CacheFaultSpec):
+            return probe.guest_addr_of(spec.cache_addr)
+        return None
+
+    def _locate_divergence(self, divergence: Divergence, golden_events,
+                           fault_events, probe: RunProbe) -> None:
+        index = None
+        for position, (gold, fault) in enumerate(zip(golden_events,
+                                                     fault_events)):
+            if gold.key() != fault.key():
+                index = position
+                break
+        if index is None:
+            if len(fault_events) == len(golden_events):
+                return   # streams identical: no control-flow divergence
+            index = min(len(golden_events), len(fault_events))
+            if index >= len(fault_events):
+                # The faulted run ended early; the divergence "event"
+                # is its stop, which has no block entry to report.
+                divergence.diverged = True
+                return
+        event = fault_events[index]
+        divergence.diverged = True
+        divergence.divergence_pc = event.pc
+        divergence.divergence_guest = probe.guest_addr_of(event.pc)
+        divergence.divergence_icount = event.icount
+        divergence.divergence_cycles = event.cycles
+
+    def _measure_distances(self, divergence: Divergence,
+                           probe: RunProbe) -> None:
+        fired_i, fired_c = divergence.fired_icount, divergence.fired_cycles
+        if fired_i is not None and divergence.divergence_icount is not None:
+            divergence.to_divergence_instructions = (
+                divergence.divergence_icount - fired_i)
+            if fired_c is not None:
+                divergence.to_divergence_cycles = (
+                    divergence.divergence_cycles - fired_c)
+        if fired_i is not None and probe.cpu is not None:
+            divergence.to_stop_instructions = probe.cpu.icount - fired_i
+            if fired_c is not None:
+                divergence.to_stop_cycles = probe.cpu.cycles - fired_c
+
+    def _collect_checks(self, divergence: Divergence, fault_events,
+                        probe: RunProbe, record) -> None:
+        sites = probe.check_sites()
+        if not sites or divergence.fired_icount is None:
+            return
+        crossed = [event.pc for event in fault_events
+                   if event.pc in sites
+                   and event.icount > divergence.fired_icount]
+        divergence.checks_crossed = len(crossed)
+        if record.outcome is Outcome.DETECTED_SIGNATURE and crossed:
+            crossed = crossed[:-1]   # the last check is the one that fired
+        divergence.silent_checks = crossed
+
+    def _state_delta(self, golden: RunProbe,
+                     probe: RunProbe) -> StateDelta | None:
+        sig_names = [register_name(r) for r in self._signature_regs]
+        for gold, fault in zip(golden.recorder.checkpoints,
+                               probe.recorder.checkpoints):
+            if (gold.regs == fault.regs and gold.flags == fault.flags
+                    and gold.signatures == fault.signatures):
+                continue
+            delta = StateDelta(icount=fault.icount, cycles=fault.cycles)
+            for reg, (gval, fval) in enumerate(zip(gold.regs,
+                                                   fault.regs)):
+                if gval != fval:
+                    delta.regs.append((register_name(reg), gval, fval))
+            if gold.flags != fault.flags:
+                delta.flags = (gold.flags, fault.flags)
+            for name, gval, fval in zip(sig_names, gold.signatures,
+                                        fault.signatures):
+                if gval != fval:
+                    delta.signatures.append((name, gval, fval))
+            return delta
+        return None

@@ -1,0 +1,158 @@
+"""``repro explain`` — the annotated per-run forensics timeline.
+
+Turns one fault spec (inline, or loaded from a forensics bundle) into
+a human-readable narrative: what was injected where, where the run
+first left the golden trace, which Section-2 category the landing
+fell into, what architectural state had drifted by then, which checks
+the error crossed without firing, and — for detected runs — the
+fail-stop latency in both instructions and cycles.
+"""
+
+from __future__ import annotations
+
+from repro.isa.disassembler import format_instruction
+from repro.isa.instruction import WORD_SIZE
+from repro.faults.campaign import Outcome, PipelineConfig
+from repro.forensics.attribution import (EscapeAttribution,
+                                         attribute_escape)
+from repro.forensics.divergence import (Divergence,
+                                        GoldenDivergenceAnalyzer)
+
+#: Instructions shown on each side of an annotated address.
+DISASM_CONTEXT = 2
+
+
+def explain_spec(program, config: PipelineConfig, spec
+                 ) -> tuple[Divergence, EscapeAttribution, str]:
+    """Replay ``spec``, attribute its outcome, and render the report."""
+    analyzer = GoldenDivergenceAnalyzer(program, config)
+    divergence = analyzer.analyze(spec)
+    attribution = attribute_escape(divergence, config)
+    text = render_explanation(program, config, divergence, attribution)
+    return divergence, attribution, text
+
+
+# -- rendering ---------------------------------------------------------------
+
+def _disasm_window(program, addr: int, marker: str = ">") -> list[str]:
+    """±DISASM_CONTEXT instructions around ``addr``, marked."""
+    symbols = {a: name for name, a in program.symbols.items()
+               if program.contains_code(a)}
+    lines = []
+    start = addr - DISASM_CONTEXT * WORD_SIZE
+    for pc in range(start, addr + (DISASM_CONTEXT + 1) * WORD_SIZE,
+                    WORD_SIZE):
+        if not program.contains_code(pc):
+            continue
+        mark = marker if pc == addr else " "
+        text = format_instruction(program.instruction_at(pc), pc, symbols)
+        lines.append(f"  {mark} {pc:#07x}: {text}")
+    return lines
+
+
+def _fmt(value, suffix: str = "") -> str:
+    return "?" if value is None else f"{value}{suffix}"
+
+
+def render_explanation(program, config: PipelineConfig,
+                       divergence: Divergence,
+                       attribution: EscapeAttribution) -> str:
+    lines: list[str] = []
+    out = lines.append
+
+    out(f"fault     : {divergence.spec_desc}")
+    out(f"config    : {config.label()} "
+        f"(update={config.update_style.value})")
+    out(f"outcome   : {divergence.outcome.value} "
+        f"[{divergence.stop_reason}]")
+    if divergence.category is not None:
+        out(f"category  : {divergence.category.value} "
+            f"(Section-2 landing classification)")
+
+    # -- timeline --
+    out("")
+    out("timeline")
+    if divergence.fired_icount is not None:
+        out(f"  injected    at icount {divergence.fired_icount}"
+            + (f", cycle {divergence.fired_cycles}"
+               if divergence.fired_cycles is not None else ""))
+    else:
+        out("  injected    (fault never fired)")
+    if divergence.diverged:
+        if divergence.divergence_icount is not None:
+            where = (f" at {divergence.divergence_guest:#x}"
+                     if divergence.divergence_guest is not None else
+                     (f" at cache pc {divergence.divergence_pc:#x}"
+                      if divergence.divergence_pc is not None else ""))
+            out(f"  diverged    at icount "
+                f"{divergence.divergence_icount}{where} "
+                f"(+{_fmt(divergence.to_divergence_instructions)} instr"
+                + (f", +{divergence.to_divergence_cycles} cycles"
+                   if divergence.to_divergence_cycles is not None
+                   else "") + ")")
+        else:
+            out("  diverged    (faulted run stopped before the golden "
+                "trace's next block entry)")
+    else:
+        out("  diverged    never — block-entry trace matched the "
+            "golden run")
+    out(f"  stopped     +{_fmt(divergence.to_stop_instructions)} instr"
+        + (f", +{divergence.to_stop_cycles} cycles"
+           if divergence.to_stop_cycles is not None else "")
+        + " after injection")
+
+    # -- detection latency (acceptance: matches RunRecord) --
+    if divergence.outcome in (Outcome.DETECTED_SIGNATURE,
+                              Outcome.DETECTED_HARDWARE):
+        out(f"  detection latency: "
+            f"{_fmt(divergence.detection_latency, ' instructions')}, "
+            f"{_fmt(divergence.detection_latency_cycles, ' cycles')}")
+
+    # -- silent checks --
+    out("")
+    if divergence.silent_checks:
+        sites = ", ".join(f"{pc:#x}" for pc in divergence.silent_checks)
+        out(f"checks crossed without firing ({len(divergence.silent_checks)}): {sites}")
+    else:
+        out(f"checks crossed without firing: none "
+            f"({divergence.checks_crossed} crossed total)")
+
+    # -- state delta --
+    delta = divergence.state_delta
+    if delta is not None:
+        out("")
+        out(f"state delta at first differing checkpoint "
+            f"(icount {delta.icount}, cycle {delta.cycles}):")
+        for name, gold, fault in delta.regs:
+            out(f"  {name:<5} golden={gold:#010x}  faulted={fault:#010x}")
+        if delta.flags is not None:
+            out(f"  FLAGS golden={delta.flags[0]:#04x}      "
+                f"faulted={delta.flags[1]:#04x}")
+        for name, gold, fault in delta.signatures:
+            out(f"  {name:<5} golden={gold:#010x}  faulted={fault:#010x}"
+                f"  (signature)")
+    elif divergence.diverged:
+        out("")
+        out("state delta: no checkpointed state difference (divergence "
+            "between checkpoints or re-converged)")
+
+    # -- attribution --
+    out("")
+    out(f"escape attribution: {attribution.reason.value}")
+    out(f"  {attribution.detail}")
+    out(f"  formal note: {attribution.condition_note}")
+
+    # -- disassembly --
+    if divergence.injection_site is not None:
+        out("")
+        out(f"disassembly around injection site "
+            f"({divergence.injection_site:#x}):")
+        lines.extend(_disasm_window(program, divergence.injection_site))
+    guest = divergence.divergence_guest
+    if (guest is not None and guest != divergence.injection_site
+            and program.contains_code(guest)):
+        out("")
+        out(f"disassembly around divergence point ({guest:#x}):")
+        lines.extend(_disasm_window(program, guest))
+
+    return "\n".join(lines)

@@ -149,6 +149,46 @@ def _error_detected(technique: FormalTechnique, state, landing: Node,
     return True
 
 
+#: How each empirical escape mode relates to the Section-4 formal
+#: conditions.  Keyed by the escape-attribution reason slugs used in
+#: :mod:`repro.forensics.attribution`; the notes give the formal
+#: grounding a ``Divergence`` record alone cannot.
+CONDITION_NOTES: dict[str, str] = {
+    "no-check-reached": (
+        "The erroneous suffix met zero CHECK_SIG sites, so it is "
+        "outside Assumption 2's universe — the sufficient condition "
+        "quantifies only over continuations that reach a check. "
+        "Sparse check placement (RET/END-style policies) widens this "
+        "gap; the formal checker excludes it, the campaign observes "
+        "it."),
+    "masked-before-update": (
+        "The fault perturbed no GEN_SIG update and no committed "
+        "architectural output: the signature walk was the legal one, "
+        "so by the necessary condition every check it met passed. "
+        "Nothing to detect — not a coverage loss."),
+    "mistaken-branch": (
+        "Category A: the branch took its *other legal* direction. "
+        "Both directions carry valid signature updates, so no "
+        "signature-only technique can flag the transfer; the paper "
+        "excludes category A from the control-flow-error universe "
+        "(it is a data error in the branch condition)."),
+    "signature-aliasing": (
+        "Checks were crossed after the error yet all passed: the "
+        "corrupted signature walk aliased a legal one.  This is a "
+        "concrete witness of the sufficient condition failing for "
+        "the technique (cf. the CFCSS/ECCA counterexamples the "
+        "formal checker enumerates)."),
+    "data-fault-blindspot": (
+        "A register data fault under a configuration without "
+        "dataflow checking: signature monitoring only guards "
+        "control flow, so the corruption propagates unseen unless "
+        "it derails a branch."),
+    "not-an-escape": (
+        "The run was detected (or produced correct output); no "
+        "coverage was lost."),
+}
+
+
 def classify_witness(cfg: ModelCfg, error: SingleError) -> str:
     """Branch-error category of an undetected-error witness."""
     source = error.prefix[-1]

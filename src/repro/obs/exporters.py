@@ -116,6 +116,35 @@ def _snapshot_histogram(entry: dict) -> Histogram:
     return histogram
 
 
+#: Histogram names carrying the Section-6 detection-latency story,
+#: rendered as their own ``repro stats`` section broken out by policy.
+_LATENCY_HISTOGRAMS = (
+    ("campaign_detection_latency_instructions", "instructions"),
+    ("campaign_detection_latency_cycles", "cycles"),
+)
+
+
+def _latency_section(histograms: list) -> str | None:
+    """Detection-latency percentiles by policy label (Figure-12-style:
+    the sparser the checking policy, the longer the report delay)."""
+    rows = []
+    for name, unit in _LATENCY_HISTOGRAMS:
+        entries = [e for e in histograms if e["name"] == name]
+        entries.sort(key=lambda e: e.get("labels", {}).get("policy", ""))
+        for entry in entries:
+            histogram = _snapshot_histogram(entry)
+            policy = entry.get("labels", {}).get("policy", "-")
+            rows.append([policy, unit, entry["count"],
+                         histogram.percentile(0.50),
+                         histogram.percentile(0.90),
+                         histogram.percentile(0.99)])
+    if not rows:
+        return None
+    return format_table(
+        ["policy", "unit", "detections", "p50", "p90", "p99"], rows,
+        title="Detection latency (fault application -> error report)")
+
+
 def render_stats(snapshot: dict) -> str:
     """The human ``repro stats`` report."""
     sections: list[str] = []
@@ -147,6 +176,9 @@ def render_stats(snapshot: dict) -> str:
         sections.append(format_table(
             ["histogram", "labels", "count", "mean", "p50", "p90",
              "p99"], rows, title="Histograms"))
+        latency = _latency_section(histograms)
+        if latency:
+            sections.append(latency)
     spans = snapshot.get("spans", [])
     if spans:
         rows = []

@@ -1,0 +1,140 @@
+"""Edge buckets of the Section-2 taxonomy: Category F and NO_ERROR.
+
+Figure 1's two least-glamorous cells do real work in the coverage
+accounting: F is the only category the paper credits to *hardware*
+(execute-disable / memory protection), and NO_ERROR is the dominant
+harmless cell of Figure 2 (address fault on a not-taken branch; flag
+flip the condition does not read).  Misclassifying either skews every
+detection-rate denominator downstream.
+"""
+
+from repro.isa import assemble
+from repro.isa.flags import CF, OF, SF, ZF, evaluate_cond
+from repro.cfg import build_cfg
+from repro.faults import (Category, classify_flag_fault, classify_landing,
+                          classify_offset_fault, corrupted_target)
+
+SRC = """
+.entry main
+main:                       ; block 1: 0x1000
+    movi r1, 0
+    cmpi r1, 5
+    jl other
+mid:                        ; block 2 (fallthrough of the branch)
+    addi r1, r1, 1
+    jmp main
+other:                      ; block 3
+    addi r1, r1, 2
+    movi r1, 0
+    syscall 0
+"""
+
+
+def setup():
+    program = assemble(SRC)
+    cfg = build_cfg(program)
+    branch_pc = program.symbols["mid"] - 4      # the jl
+    return program, cfg, branch_pc
+
+
+class TestCategoryF:
+    """Landings in non-code memory: the hardware-detected bucket."""
+
+    def test_data_section_is_f(self):
+        program, cfg, branch = setup()
+        assert classify_landing(cfg, branch, program.data_base,
+                                program.symbols["other"]) is Category.F
+
+    def test_below_text_is_f(self):
+        program, cfg, branch = setup()
+        assert classify_landing(cfg, branch, program.text_base - 4,
+                                program.symbols["other"]) is Category.F
+
+    def test_past_text_end_is_f(self):
+        program, cfg, branch = setup()
+        assert classify_landing(cfg, branch, program.text_end,
+                                program.symbols["other"]) is Category.F
+
+    def test_address_zero_is_f(self):
+        program, cfg, branch = setup()
+        assert classify_landing(cfg, branch, 0x0,
+                                program.symbols["other"]) is Category.F
+
+    def test_high_offset_bit_flip_lands_in_f(self):
+        """Flipping the sign bit of a short forward branch throws the
+        target ~128KiB backwards — far outside the text section."""
+        program, cfg, branch = setup()
+        instr = program.instruction_at(branch)
+        landing = corrupted_target(branch, instr, 15)
+        assert not program.contains_code(landing)
+        assert classify_offset_fault(cfg, branch, instr, 15,
+                                     taken=True) is Category.F
+
+    def test_f_outranks_a_check_order(self):
+        """A non-code landing is F even when ``other_direction`` is
+        given: the A check compares addresses, not regions."""
+        program, cfg, branch = setup()
+        fall = program.symbols["mid"]
+        assert classify_landing(
+            cfg, branch, program.text_end + 0x40,
+            program.symbols["other"],
+            other_direction=fall) is Category.F
+
+
+class TestNoError:
+    """Faults that do not change the executed path."""
+
+    def test_offset_fault_on_not_taken_branch(self):
+        """The corrupted target of a not-taken conditional is never
+        used — Figure 2's dominant harmless cell."""
+        program, cfg, branch = setup()
+        instr = program.instruction_at(branch)
+        for bit in range(16):
+            assert classify_offset_fault(cfg, branch, instr, bit,
+                                         taken=False) is Category.NO_ERROR
+
+    def test_same_offset_fault_taken_is_an_error(self):
+        """Control check: the very same flips classify as errors once
+        the branch is taken."""
+        program, cfg, branch = setup()
+        instr = program.instruction_at(branch)
+        taken = {classify_offset_fault(cfg, branch, instr, bit,
+                                       taken=True) for bit in range(16)}
+        assert Category.NO_ERROR not in taken
+
+    def test_landing_on_correct_target(self):
+        program, cfg, branch = setup()
+        target = program.symbols["other"]
+        assert classify_landing(cfg, branch, target,
+                                target) is Category.NO_ERROR
+
+    def test_flag_flip_preserving_condition_value(self):
+        """``jl`` reads SF^OF; flipping ZF or CF leaves the evaluated
+        direction unchanged — no error."""
+        program, cfg, branch = setup()
+        instr = program.instruction_at(branch)
+        for flags in (0, ZF, SF, SF | ZF | CF):
+            for bit_mask in (ZF, CF):
+                bit = bit_mask.bit_length() - 1
+                assert classify_flag_fault(
+                    instr, flags, bit) is Category.NO_ERROR
+
+    def test_flag_flip_changing_condition_is_a(self):
+        """Control check: flipping a flag ``jl`` does read (SF with OF
+        clear) flips the direction — category A."""
+        program, cfg, branch = setup()
+        instr = program.instruction_at(branch)
+        sf_bit = SF.bit_length() - 1
+        assert classify_flag_fault(instr, 0, sf_bit) is Category.A
+        cond = instr.meta.cond
+        assert evaluate_cond(cond, 0) != evaluate_cond(cond, SF)
+
+    def test_flag_fault_on_unconditional_branch(self):
+        """An unconditional ``jmp`` reads no flags at all."""
+        program, cfg, _ = setup()
+        jmp_pc = program.symbols["other"] - 4
+        instr = program.instruction_at(jmp_pc)
+        assert instr.meta.cond is None
+        for bit in range(4):
+            assert classify_flag_fault(
+                instr, OF | SF | ZF | CF, bit) is Category.NO_ERROR

@@ -1,0 +1,144 @@
+"""Forensics bundle: spec round-trips and index stability.
+
+The acceptance bar for the bundle is *determinism*: the sampled escape
+set — and therefore the written JSONL — must be identical whether the
+campaign ran serially, fanned out over workers, or resumed from a
+journal.  These tests drive :class:`CampaignExecutor` directly with a
+spec list whose escapes are known.
+"""
+
+import pytest
+
+from repro.faults import (DirectionFault, FaultSpec, FlagBitFault,
+                          OffsetBitFault, Outcome, PipelineConfig,
+                          RedirectFault, RegisterFaultSpec)
+from repro.faults.executor import CampaignExecutor
+from repro.faults.injector import CacheFaultSpec
+from repro.forensics import (bundle_path_for, fault_from_json,
+                             fault_to_json, read_bundle, spec_from_json,
+                             spec_to_json, write_campaign_forensics)
+
+pytestmark = pytest.mark.forensics
+
+
+class TestSpecRoundTrips:
+    @pytest.mark.parametrize("fault", [
+        OffsetBitFault(bit=7),
+        FlagBitFault(bit=1),
+        DirectionFault(taken=None),
+        DirectionFault(taken=True),
+        RedirectFault(target=0x1040),
+    ])
+    def test_fault_round_trip(self, fault):
+        assert fault_from_json(fault_to_json(fault)) == fault
+
+    @pytest.mark.parametrize("spec", [
+        FaultSpec(0x1014, 3, RedirectFault(target=0x1000)),
+        RegisterFaultSpec(icount=42, reg=5, bit=12),
+        CacheFaultSpec(cache_addr=0x100020, occurrence=2, bit=4,
+                       force_taken=True),
+    ])
+    def test_spec_round_trip(self, spec):
+        copy = spec_from_json(spec_to_json(spec))
+        assert type(copy) is type(spec)
+        assert copy == spec
+
+    def test_unknown_kinds_rejected(self):
+        with pytest.raises(ValueError):
+            fault_from_json({"kind": "cosmic-ray"})
+        with pytest.raises(ValueError):
+            spec_from_json({"kind": "cosmic-ray"})
+
+
+def escape_workload(program):
+    """Specs with known outcomes under dbt/no-technique: three SDC
+    escapes at campaign indices 1, 2 and 4, padded with benign runs."""
+    branch = program.symbols["loop"] + 12
+    return [
+        FaultSpec(branch, 500, DirectionFault(None)),   # never fires
+        FaultSpec(branch, 1, DirectionFault(None)),     # SDC
+        FaultSpec(branch, 1, OffsetBitFault(0)),        # SDC
+        FaultSpec(branch, 400, FlagBitFault(1)),        # never fires
+        FaultSpec(branch, 1, FlagBitFault(1)),          # SDC
+    ]
+
+
+class TestEscapeIndexStability:
+    def test_serial_escape_indices(self, sum_loop):
+        config = PipelineConfig("dbt", None)
+        executor = CampaignExecutor(sum_loop, config, jobs=1,
+                                    chunk_size=2)
+        records = executor.run_specs(escape_workload(sum_loop))
+        escaped = [i for i, r in enumerate(records)
+                   if r.outcome in (Outcome.SDC, Outcome.HANG)]
+        assert escaped == [1, 2, 4]
+        assert [i for i, _ in executor.escape_specs()] == escaped
+
+    def test_parallel_matches_serial(self, sum_loop):
+        """--jobs 2 and --jobs 1 must sample the very same escapes."""
+        config = PipelineConfig("dbt", None)
+        specs = escape_workload(sum_loop)
+        serial = CampaignExecutor(sum_loop, config, jobs=1,
+                                  chunk_size=2)
+        serial.run_specs(specs)
+        pooled = CampaignExecutor(sum_loop, config, jobs=2,
+                                  chunk_size=2)
+        pooled.run_specs(specs)
+        assert pooled.escape_specs() == serial.escape_specs()
+
+    def test_resume_recovers_escapes(self, sum_loop, tmp_path):
+        """A journal-resumed campaign replays chunks without touching a
+        worker pipe; its escapes must still match the fresh run's."""
+        config = PipelineConfig("dbt", None)
+        specs = escape_workload(sum_loop)
+        journal = str(tmp_path / "journal.jsonl")
+        fresh = CampaignExecutor(sum_loop, config, jobs=1, chunk_size=2,
+                                 journal=journal)
+        fresh.run_specs(specs)
+        resumed = CampaignExecutor(sum_loop, config, jobs=1,
+                                   chunk_size=2, journal=journal,
+                                   resume=True)
+        resumed.run_specs(specs)
+        assert resumed.escape_specs() == fresh.escape_specs()
+
+
+class TestBundleFile:
+    def test_write_and_read_round_trip(self, sum_loop, tmp_path):
+        config = PipelineConfig("dbt", None)
+        executor = CampaignExecutor(sum_loop, config, jobs=1,
+                                    chunk_size=2)
+        executor.run_specs(escape_workload(sum_loop))
+        path = tmp_path / "forensics.jsonl"
+        entries = write_campaign_forensics(
+            sum_loop, config, executor.escape_specs(), max_samples=2,
+            path=path)
+        assert len(entries) == 2           # sampling cap honored
+        assert read_bundle(path) == entries
+        for entry in entries:
+            spec = spec_from_json(entry["spec"])
+            assert isinstance(spec, FaultSpec)
+            assert entry["outcome"] == "sdc"
+            assert entry["attribution"]["reason"]
+            assert entry["divergence"]["spec"] == spec.describe()
+
+    def test_parallel_bundle_equals_serial(self, sum_loop, tmp_path):
+        """The acceptance criterion: byte-identical bundles for any
+        job count."""
+        config = PipelineConfig("dbt", None)
+        specs = escape_workload(sum_loop)
+        bundles = {}
+        for jobs in (1, 2):
+            executor = CampaignExecutor(sum_loop, config, jobs=jobs,
+                                        chunk_size=2)
+            executor.run_specs(specs)
+            path = tmp_path / f"jobs{jobs}.forensics.jsonl"
+            write_campaign_forensics(sum_loop, config,
+                                     executor.escape_specs(), path=path)
+            bundles[jobs] = path.read_bytes()
+        assert bundles[1] == bundles[2]
+
+    def test_bundle_path_is_journal_sibling(self, tmp_path):
+        journal = tmp_path / "run" / "campaign.jsonl"
+        assert bundle_path_for(journal) == (
+            tmp_path / "run" / "campaign.jsonl.forensics.jsonl")
+        assert bundle_path_for(None).name == "forensics.jsonl"

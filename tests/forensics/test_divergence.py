@@ -1,0 +1,158 @@
+"""Golden-divergence analyzer and escape attribution tests."""
+
+import pytest
+
+from repro.checking import Policy
+from repro.faults import (DirectionFault, FaultSpec, Outcome,
+                          PipelineConfig, RedirectFault,
+                          RegisterFaultSpec)
+from repro.forensics import (GoldenDivergenceAnalyzer, attribute_escape,
+                             explain_spec)
+from repro.forensics.attribution import EscapeReason
+
+pytestmark = pytest.mark.forensics
+
+
+def branch_of(program) -> int:
+    return program.symbols["loop"] + 12      # the jl
+
+
+class TestDetectedRun:
+    def test_latency_matches_runrecord(self, sum_loop):
+        """The acceptance bar: explain reports the same latency, in
+        both instructions and cycles, that the campaign records."""
+        config = PipelineConfig("dbt", "rcf", Policy.END)
+        spec = FaultSpec(branch_of(sum_loop), 1,
+                         RedirectFault(sum_loop.symbols["main"] + 4))
+        analyzer = GoldenDivergenceAnalyzer(sum_loop, config)
+        record = analyzer.pipeline.run(spec)
+        assert record.outcome is Outcome.DETECTED_SIGNATURE
+        assert record.detection_latency is not None
+        assert record.detection_latency_cycles is not None
+        divergence = analyzer.analyze(spec)
+        assert divergence.detection_latency == record.detection_latency
+        assert (divergence.detection_latency_cycles
+                == record.detection_latency_cycles)
+
+    def test_detected_is_not_an_escape(self, sum_loop):
+        config = PipelineConfig("dbt", "rcf", Policy.ALLBB)
+        spec = FaultSpec(branch_of(sum_loop), 1,
+                         RedirectFault(sum_loop.symbols["main"] + 4))
+        analyzer = GoldenDivergenceAnalyzer(sum_loop, config)
+        divergence = analyzer.analyze(spec)
+        attribution = attribute_escape(divergence, config)
+        assert attribution.reason is EscapeReason.NOT_AN_ESCAPE
+
+
+class TestEscapes:
+    def test_mistaken_branch_attribution(self, sum_loop):
+        """A direction flip with no technique: category A, SDC."""
+        config = PipelineConfig("dbt", None)
+        spec = FaultSpec(branch_of(sum_loop), 1, DirectionFault(None))
+        analyzer = GoldenDivergenceAnalyzer(sum_loop, config)
+        divergence = analyzer.analyze(spec)
+        assert divergence.outcome is Outcome.SDC
+        assert divergence.category.value == "A"
+        assert divergence.diverged
+        attribution = attribute_escape(divergence, config)
+        assert attribution.reason is EscapeReason.MISTAKEN_BRANCH
+        assert attribution.detail
+        assert attribution.condition_note
+
+    def test_no_check_reached_attribution(self, sum_loop):
+        """Redirect into the middle of the exit block under END: the
+        run terminates without crossing a single CHECK_SIG — the
+        Assumption-2 gap the sparse policies trade on."""
+        config = PipelineConfig("dbt", "rcf", Policy.END)
+        landing = sum_loop.symbols["loop"] + 20   # skips the output
+        spec = FaultSpec(branch_of(sum_loop), 1, RedirectFault(landing))
+        analyzer = GoldenDivergenceAnalyzer(sum_loop, config)
+        divergence = analyzer.analyze(spec)
+        assert divergence.outcome is Outcome.SDC
+        assert divergence.checks_crossed == 0
+        attribution = attribute_escape(divergence, config)
+        assert attribution.reason is EscapeReason.NO_CHECK_REACHED
+        assert "Assumption 2" in attribution.condition_note
+
+    def test_data_fault_blindspot(self, sum_loop):
+        config = PipelineConfig("dbt", "rcf", Policy.ALLBB)
+        analyzer = GoldenDivergenceAnalyzer(sum_loop, config)
+        escape = None
+        for icount in (12, 20, 28):
+            spec = RegisterFaultSpec(icount=icount, reg=1, bit=4)
+            divergence = analyzer.analyze(spec)
+            if divergence.outcome is Outcome.SDC:
+                escape = divergence
+                break
+        assert escape is not None
+        assert escape.injection_site is None      # data, not branch
+        attribution = attribute_escape(escape, config)
+        assert attribution.reason is EscapeReason.DATA_FAULT_BLINDSPOT
+
+
+class TestDivergenceGeometry:
+    def test_divergence_after_injection(self, sum_loop):
+        config = PipelineConfig("dbt", "rcf", Policy.END)
+        spec = FaultSpec(branch_of(sum_loop), 2,
+                         RedirectFault(sum_loop.symbols["main"] + 4))
+        divergence = GoldenDivergenceAnalyzer(sum_loop, config).analyze(
+            spec)
+        assert divergence.diverged
+        assert divergence.fired_icount is not None
+        assert divergence.to_stop_instructions >= 0
+        if divergence.to_divergence_instructions is not None:
+            assert (divergence.to_divergence_instructions
+                    <= divergence.to_stop_instructions)
+
+    def test_benign_identical_trace_never_diverges(self, sum_loop):
+        """An occurrence past the branch's dynamic count never fires:
+        the trace matches the golden run event for event."""
+        config = PipelineConfig("dbt", "rcf", Policy.ALLBB)
+        spec = FaultSpec(branch_of(sum_loop), 500, DirectionFault(None))
+        divergence = GoldenDivergenceAnalyzer(sum_loop, config).analyze(
+            spec)
+        assert divergence.outcome is Outcome.BENIGN
+        assert not divergence.diverged
+        assert divergence.fired_icount is None
+        attribution = attribute_escape(divergence, config)
+        assert attribution.reason is EscapeReason.MASKED_BEFORE_UPDATE
+
+    def test_state_delta_names_corrupted_registers(self, sum_loop):
+        """A register fault corrupts state *within* the common trace
+        prefix, so a later checkpoint pair disagrees and the delta
+        names the register."""
+        config = PipelineConfig("dbt", None)
+        spec = RegisterFaultSpec(icount=5, reg=1, bit=4)
+        analyzer = GoldenDivergenceAnalyzer(sum_loop, config,
+                                            checkpoint_interval=1)
+        divergence = analyzer.analyze(spec)
+        assert divergence.state_delta is not None
+        names = [name for name, _, _ in divergence.state_delta.regs]
+        assert "r1" in names
+
+
+class TestExplainRendering:
+    def test_report_has_all_required_sections(self, sum_loop):
+        """Acceptance: injection site, first divergent block, landing
+        category, state delta, crossed-but-silent check sites."""
+        config = PipelineConfig("dbt", "rcf", Policy.END)
+        spec = FaultSpec(branch_of(sum_loop), 1,
+                         RedirectFault(sum_loop.symbols["main"] + 4))
+        _, _, text = explain_spec(sum_loop, config, spec)
+        assert "injected" in text
+        assert "diverged" in text
+        assert "category" in text
+        assert "checks crossed without firing" in text
+        assert "escape attribution" in text
+        assert "disassembly around injection site" in text
+        assert f"{branch_of(sum_loop):#x}" in text
+
+    def test_detected_report_shows_both_latency_units(self, sum_loop):
+        config = PipelineConfig("dbt", "rcf", Policy.END)
+        spec = FaultSpec(branch_of(sum_loop), 1,
+                         RedirectFault(sum_loop.symbols["main"] + 4))
+        divergence, _, text = explain_spec(sum_loop, config, spec)
+        assert (f"{divergence.detection_latency} instructions"
+                in text)
+        assert (f"{divergence.detection_latency_cycles} cycles"
+                in text)
