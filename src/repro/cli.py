@@ -16,6 +16,11 @@ Commands
 ``explain``     per-run fault forensics: replay one fault against the
                 golden trace and print the annotated divergence
                 timeline with escape attribution
+``fuzz``        differential fuzzing: generate seeded adversarial
+                programs, diff every instrumentation against the
+                golden run, exhaust single-bit branch errors on tiny
+                programs, and shrink failures to minimal reproducers
+                (see ``docs/fuzzing.md``)
 
 ``run``, ``inject``, ``verify`` and ``coverage`` accept ``--metrics
 PATH`` and ``--trace PATH`` to capture telemetry (see
@@ -246,8 +251,14 @@ def cmd_coverage(args) -> int:
     if args.forensics is not None:
         from repro.forensics import bundle_path_for
         forensics_path = bundle_path_for(args.journal)
+    print(f"effective seed: {args.seed}")
+    if args.journal and not args.resume:
+        from repro.faults.journal import CampaignJournal
+        CampaignJournal(args.journal).append_header(
+            {"tool": "repro-coverage", "seed": args.seed,
+             "per_category": args.per_category})
     matrix = compute_coverage_matrix(
-        program, per_category=args.per_category,
+        program, per_category=args.per_category, seed=args.seed,
         include_cache_level=not args.no_cache_level, jobs=args.jobs,
         retries=args.retries, timeout=args.timeout,
         journal=args.journal, resume=args.resume,
@@ -267,6 +278,56 @@ def cmd_coverage(args) -> int:
     if infra:
         print(f"warning: {infra} run(s) failed in the harness "
               "(INFRA_ERROR) and are excluded from coverage")
+    return 0
+
+
+def cmd_fuzz(args) -> int:
+    """Differential fuzzing campaign (see ``docs/fuzzing.md``)."""
+    import dataclasses
+
+    from repro.fuzz import FuzzConfig, run_fuzz
+    from repro.fuzz.generator import FuzzKnobs
+
+    knobs = FuzzKnobs().scaled(statements=args.statements,
+                               max_loop_depth=args.loop_depth,
+                               mem_words=args.mem_words)
+    config = FuzzConfig(seed=args.seed, count=args.count, knobs=knobs,
+                        detect_every=args.detect_every,
+                        max_sites=args.detect_sites,
+                        minimize=not args.no_minimize)
+    if args.technique:
+        config = dataclasses.replace(
+            config, techniques=tuple(args.technique),
+            detect_techniques=tuple(
+                t for t in config.detect_techniques
+                if t in args.technique))
+    if args.policy:
+        config = dataclasses.replace(
+            config, policies=tuple(Policy(p) for p in args.policy))
+    print(f"effective seed: {config.seed}")
+    if getattr(args, "resume", False):
+        print("note: fuzz campaigns are rerun-deterministic; "
+              "--resume is ignored", file=sys.stderr)
+    report = run_fuzz(config, jobs=args.jobs, retries=args.retries,
+                      timeout=args.timeout, journal=args.journal,
+                      corpus=args.corpus)
+    print(report.summary_line())
+    for failure in report.failures:
+        print(f"FAIL #{failure.index} [{failure.kind}] "
+              f"{failure.detail}")
+        if failure.minimized is not None:
+            from repro.fuzz.minimizer import instruction_count
+            print(f"  minimized to "
+                  f"{instruction_count(failure.minimized)} "
+                  f"instruction(s) in {failure.shrink_steps} step(s)")
+        if failure.corpus_dir:
+            print(f"  corpus: {failure.corpus_dir}")
+    if not report.passed:
+        return 2
+    if report.infra_errors:
+        print(f"warning: {report.infra_errors} program(s) failed in "
+              "the harness (infra)", file=sys.stderr)
+        return 3
     return 0
 
 
@@ -455,11 +516,53 @@ def build_parser() -> argparse.ArgumentParser:
     cov.add_argument("file")
     cov.add_argument("--per-category", type=int, default=8)
     cov.add_argument("--no-cache-level", action="store_true")
+    cov.add_argument("--seed", type=int, default=2006,
+                     help="fault-sampling seed (default 2006); the "
+                          "effective seed is echoed and journaled")
     jobs_arg(cov)
     resilience_args(cov)
     forensics_arg(cov)
     obs_args(cov)
     cov.set_defaults(func=cmd_coverage)
+
+    fz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing campaign (generator + oracles + "
+             "minimizer)")
+    fz.add_argument("--seed", type=int, default=2006,
+                    help="master campaign seed; every generated "
+                         "program and fault sample derives from it "
+                         "(default 2006)")
+    fz.add_argument("--count", type=int, default=50,
+                    help="programs to generate (default 50)")
+    fz.add_argument("--statements", type=int, default=24,
+                    help="statements per generated program")
+    fz.add_argument("--loop-depth", type=int, default=2,
+                    help="maximum loop nesting depth")
+    fz.add_argument("--mem-words", type=int, default=16,
+                    help="scratch-buffer words per program")
+    fz.add_argument("--technique", "-t", action="append", default=None,
+                    choices=["ecf", "edgcf", "rcf", "cfcss", "ecca"],
+                    help="restrict to these techniques (repeatable; "
+                         "default: all)")
+    fz.add_argument("--policy", action="append", default=None,
+                    choices=[p.value for p in Policy],
+                    help="checking placement policies to cross with "
+                         "each technique (repeatable; default allbb)")
+    fz.add_argument("--detect-every", type=int, default=8,
+                    help="run the exhaustive detection oracle on every "
+                         "Nth program (0 disables; default 8)")
+    fz.add_argument("--detect-sites", type=int, default=12,
+                    help="max branch sites per detection enumeration")
+    fz.add_argument("--no-minimize", action="store_true",
+                    help="skip delta-debugging of failing programs")
+    fz.add_argument("--corpus", default=None, metavar="DIR",
+                    help="persist failing programs (original + "
+                         "minimized + report) under this directory")
+    jobs_arg(fz)
+    resilience_args(fz)
+    obs_args(fz)
+    fz.set_defaults(func=cmd_fuzz)
 
     stats = sub.add_parser(
         "stats", help="render a --metrics snapshot")

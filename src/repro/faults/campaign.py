@@ -123,17 +123,25 @@ class PipelineConfig:
 class Pipeline:
     """Runs a program (optionally fault-injected) per a configuration."""
 
-    def __init__(self, program: Program, config: PipelineConfig):
+    def __init__(self, program: Program, config: PipelineConfig,
+                 technique_factory=None):
         self.program = program
         self.config = config
+        #: optional override producing the checking technique instance;
+        #: lets the fuzzing oracle run deliberately-broken techniques
+        #: (e.g. one skipped GEN_SIG update) through the stock pipeline.
+        self.technique_factory = technique_factory
         self._instrumented: InstrumentedProgram | None = None
         if config.pipeline == "static" and config.technique:
             cfg = build_cfg(program)
-            technique = make_technique(config.technique,
-                                       update_style=config.update_style,
-                                       cfg=cfg)
+            technique = self._make_technique(cfg=cfg)
             self._instrumented = StaticRewriter(
                 technique, config.policy).rewrite(program)
+        if technique_factory is not None:
+            # Custom techniques must not seed (or read) the shared
+            # golden-run cache keyed only on (program, config).
+            self.golden = self._golden_run()
+            return
         # Golden runs are deterministic per (program image, config), so
         # identical pipelines share one cached reference execution.
         digest = run_cache.program_digest(program)
@@ -150,6 +158,19 @@ class Pipeline:
                         help="golden-run cache lookups",
                         result="hit").inc()
         self.golden = golden
+
+    def _make_technique(self, cfg=None):
+        config = self.config
+        if not config.technique:
+            return None
+        if self.technique_factory is not None:
+            return self.technique_factory(config, cfg)
+        if cfg is not None:
+            return make_technique(config.technique,
+                                  update_style=config.update_style,
+                                  cfg=cfg)
+        return make_technique(config.technique,
+                              update_style=config.update_style)
 
     # -- execution -----------------------------------------------------------
 
@@ -285,9 +306,7 @@ class Pipeline:
     def _run_dbt(self, fault, max_steps, probe=None) -> RunRecord:
         from repro.faults.injector import RegisterFaultSpec
         config = self.config
-        technique = (make_technique(config.technique,
-                                    update_style=config.update_style)
-                     if config.technique else None)
+        technique = self._make_technique()
         dbt = Dbt(self.program, technique=technique, policy=config.policy,
                   dataflow=config.dataflow)
         injector = None

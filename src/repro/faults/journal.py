@@ -67,6 +67,36 @@ class CampaignJournal:
     def __init__(self, path):
         self.path = str(path)
 
+    def append_header(self, meta: dict) -> None:
+        """Durably record run metadata (effective seed, CLI knobs, ...).
+
+        Header lines carry no ``program``/``config`` identity, so
+        :meth:`replay` skips them naturally; they exist for humans and
+        tooling to reconstruct the exact command that produced the file.
+        """
+        entry = {"v": JOURNAL_VERSION, "header": dict(meta)}
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, separators=(",", ":")) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def read_header(self) -> dict | None:
+        """First header entry in the file, or None."""
+        if not os.path.exists(self.path):
+            return None
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if entry.get("v") == JOURNAL_VERSION and "header" in entry:
+                    return entry["header"]
+        return None
+
     def append_chunk(self, program_digest: str, config_key: tuple,
                      chunk_index: int, spec_digests: list[str],
                      records: list[RunRecord]) -> None:

@@ -14,6 +14,7 @@ P(no-error), ...).
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 
@@ -54,6 +55,19 @@ class EffectivenessResult:
     @property
     def unreported_harm_rate(self) -> float:
         return self.rate(Outcome.SDC) + self.rate(Outcome.HANG)
+
+
+def derive_seed(seed: int, *context) -> int:
+    """Stable sub-seed for a labelled stream of ``seed``.
+
+    Consumers that need several independent deterministic RNG streams
+    from one user-facing ``--seed`` (the fuzzer's per-program seeds,
+    sampling campaigns, ...) derive them here so the streams stay
+    decorrelated yet exactly reproducible from the CLI line.
+    """
+    text = "|".join([str(seed), *map(str, context)])
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 def sample_model_faults(program: Program, count: int, seed: int = 2006,

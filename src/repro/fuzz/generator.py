@@ -1,0 +1,378 @@
+"""Seeded adversarial guest-program generator.
+
+Emits well-formed, always-terminating R32 assembly stressing every
+branch shape the branch-error classifier knows about:
+
+* forward conditional branches over **all** FLAGS conditions (a
+  deterministic "condition gauntlet" walks every Jcc once),
+* backward conditional branches (counted loops, nested to a knob),
+* the flagless register-zero branches ``jrz``/``jrnz``,
+* indirect branches through in-memory jump tables (``jmpr``),
+* ``call``/``ret`` chains (acyclic) and indirect calls (``callr``),
+* conditional moves after comparisons,
+* flagless ``lea``/``lea3`` address arithmetic,
+* guarded ``div``/``mod`` (divisor forced odd: never a hardware trap),
+* balanced ``push``/``pop`` pairs and scratch-memory traffic.
+
+Programs end with a fold loop that XOR-reduces the scratch buffer and
+the live work registers into one checksum emitted via ``syscall 4`` —
+so output equivalence across pipelines is a strong oracle.
+
+Register discipline: r0..r7 are work registers, r8 is the cmov/jrz
+auxiliary, r9 the indirect-branch selector, r10..r12 loop counters,
+r13 the scratch-buffer base; r14/r15 stay reserved (fp/sp).
+
+Generation is fully deterministic: one ``random.Random(seed)`` stream,
+no wall-clock, no ambient state.  ``generator.shapes`` records which
+branch shapes a particular program actually exercises.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+
+#: Jcc mnemonics in gauntlet order — every FLAGS condition exactly once.
+ALL_JCC = ("jz", "jnz", "jl", "jge", "jle", "jg", "jb", "jae", "jbe",
+           "ja", "js", "jns", "jo", "jno")
+
+#: CMOVcc mnemonics the generator rotates through.
+ALL_CMOV = ("cmovz", "cmovnz", "cmovl", "cmovge", "cmovle", "cmovg",
+            "cmovb", "cmovae", "cmovbe", "cmova", "cmovs", "cmovns",
+            "cmovo", "cmovno")
+
+_WORK = [f"r{i}" for i in range(8)]
+_AUX = "r8"
+_SEL = "r9"
+_LOOP = ["r10", "r11", "r12"]
+_BASE = "r13"
+
+_ARITH3 = ["add", "sub", "and", "or", "xor", "mul", "shl", "shr", "sar",
+           "fadd", "fsub", "fmul", "lea3", "lsub"]
+_ARITH_IMM = ["addi", "subi", "andi", "ori", "xori", "shli", "shri",
+              "muli", "lea"]
+
+
+@dataclass(frozen=True)
+class FuzzKnobs:
+    """Generation parameters (size / loop depth / memory footprint)."""
+
+    statements: int = 24      #: top-level statement budget
+    max_loop_depth: int = 2   #: nesting of counted loops (0..3)
+    mem_words: int = 16       #: scratch buffer size in 32-bit words
+    functions: int = 2        #: callable leaf/chain functions (0 = none)
+    indirect: bool = True     #: jump tables (jmpr) and callr
+    cond_gauntlet: bool = True  #: walk all 14 Jcc conditions once
+
+    @classmethod
+    def tiny(cls) -> "FuzzKnobs":
+        """Small programs for the exhaustive detection oracle."""
+        return cls(statements=8, max_loop_depth=1, mem_words=4,
+                   functions=1, indirect=True, cond_gauntlet=True)
+
+    def scaled(self, **overrides) -> "FuzzKnobs":
+        return replace(self, **overrides)
+
+
+class ProgramGenerator:
+    """One seeded, deterministic program emission."""
+
+    def __init__(self, seed: int, knobs: FuzzKnobs | None = None):
+        self.seed = seed
+        self.knobs = knobs or FuzzKnobs()
+        self.rng = random.Random(seed)
+        self.lines: list[str] = []
+        self.data_lines: list[str] = []
+        self.shapes: set[str] = set()
+        self._label = 0
+        self._cond_index = self.rng.randrange(len(ALL_JCC))
+        self._cmov_index = self.rng.randrange(len(ALL_CMOV))
+        self._loop_depth = 0
+        self._in_function = False
+        self._fn_index = 0
+
+    # -- small helpers -----------------------------------------------------
+
+    def fresh(self, prefix: str) -> str:
+        self._label += 1
+        return f"{prefix}_{self._label}"
+
+    def emit(self, line: str) -> None:
+        self.lines.append(f"    {line}")
+
+    def mark(self, label: str) -> None:
+        self.lines.append(f"{label}:")
+
+    def reg(self) -> str:
+        return self.rng.choice(_WORK)
+
+    def next_jcc(self) -> str:
+        mnemonic = ALL_JCC[self._cond_index % len(ALL_JCC)]
+        self._cond_index += 1
+        return mnemonic
+
+    def next_cmov(self) -> str:
+        mnemonic = ALL_CMOV[self._cmov_index % len(ALL_CMOV)]
+        self._cmov_index += 1
+        return mnemonic
+
+    def _compare(self) -> None:
+        """Emit a flag-setting comparison over work registers."""
+        choice = self.rng.randrange(3)
+        if choice == 0:
+            self.emit(f"cmp {self.reg()}, {self.reg()}")
+        elif choice == 1:
+            self.emit(f"cmpi {self.reg()}, {self.rng.randint(-64, 64)}")
+        else:
+            self.emit(f"test {self.reg()}, {self.reg()}")
+
+    # -- statements --------------------------------------------------------
+
+    def stmt_arith(self) -> None:
+        if self.rng.random() < 0.5:
+            op = self.rng.choice(_ARITH3)
+            self.emit(f"{op} {self.reg()}, {self.reg()}, {self.reg()}")
+            if op in ("lea3", "lsub"):
+                self.shapes.add("lea")
+        else:
+            op = self.rng.choice(_ARITH_IMM)
+            imm = (self.rng.randint(0, 7) if op in ("shli", "shri")
+                   else self.rng.randint(-128, 127))
+            self.emit(f"{op} {self.reg()}, {self.reg()}, {imm}")
+            if op == "lea":
+                self.shapes.add("lea")
+
+    def stmt_mem(self) -> None:
+        offset = 4 * self.rng.randrange(self.knobs.mem_words)
+        if self.rng.random() < 0.5:
+            self.emit(f"ld {self.reg()}, {_BASE}, {offset}")
+        else:
+            self.emit(f"st {self.reg()}, {_BASE}, {offset}")
+        self.shapes.add("mem")
+
+    def stmt_div(self) -> None:
+        rd, rs, rt = self.reg(), self.reg(), self.reg()
+        # Force the divisor odd so div/mod can never trap: hardware
+        # faults here would be indistinguishable from category-F hits.
+        self.emit(f"ori {rt}, {rt}, 1")
+        self.emit(f"{self.rng.choice(['div', 'mod'])} {rd}, {rs}, {rt}")
+        self.shapes.add("div_guard")
+
+    def stmt_push_pop(self) -> None:
+        reg = self.reg()
+        self.emit(f"push {reg}")
+        self.stmt_arith()
+        self.emit(f"pop {reg}")
+        self.shapes.add("push_pop")
+
+    def stmt_cmov(self) -> None:
+        self._compare()
+        self.emit(f"{self.next_cmov()} {self.reg()}, {self.reg()}")
+        self.shapes.add("cmov")
+
+    def stmt_diamond(self, budget: int) -> None:
+        """if/else over the next FLAGS condition (forward branches)."""
+        else_label = self.fresh("else")
+        end_label = self.fresh("endif")
+        self._compare()
+        self.emit(f"{self.next_jcc()} {else_label}")
+        for _ in range(self.rng.randint(1, max(1, budget // 2))):
+            self.stmt_simple()
+        self.emit(f"jmp {end_label}")
+        self.mark(else_label)
+        for _ in range(self.rng.randint(1, max(1, budget // 2))):
+            self.stmt_simple()
+        self.mark(end_label)
+        self.shapes.add("jcc_fwd")
+
+    def stmt_jrz_skip(self) -> None:
+        """Flagless conditional skip via jrz/jrnz on the auxiliary."""
+        skip = self.fresh("skip")
+        self.emit(f"andi {_AUX}, {self.reg()}, 3")
+        mnemonic = self.rng.choice(["jrz", "jrnz"])
+        self.emit(f"{mnemonic} {_AUX}, {skip}")
+        self.stmt_simple()
+        self.mark(skip)
+        self.shapes.add(mnemonic)
+
+    def stmt_loop(self, budget: int) -> None:
+        """Counted loop: backward conditional or jrnz, never infinite."""
+        counter = _LOOP[self._loop_depth]
+        head = self.fresh("loop")
+        trips = self.rng.randint(2, 4)
+        self.emit(f"movi {counter}, {trips}")
+        self.mark(head)
+        self._loop_depth += 1
+        for _ in range(self.rng.randint(1, max(1, budget // 2))):
+            self.stmt_in_loop(budget // 2)
+        self._loop_depth -= 1
+        self.emit(f"subi {counter}, {counter}, 1")
+        if self.rng.random() < 0.5:
+            self.emit(f"jnz {head}")
+            self.shapes.add("jcc_back")
+        else:
+            self.emit(f"jrnz {counter}, {head}")
+            self.shapes.add("jrnz")
+
+    def stmt_indirect(self) -> None:
+        """Four-way switch through an in-memory jump table (jmpr)."""
+        cases = [self.fresh("case") for _ in range(4)]
+        done = self.fresh("endsw")
+        table = self.fresh("table")
+        self.data_lines.append(f"{table}:")
+        self.data_lines.append("    .word " + ", ".join(cases))
+        self.emit(f"andi {_SEL}, {self.reg()}, 3")
+        self.emit(f"shli {_SEL}, {_SEL}, 2")
+        self.emit(f"const {_AUX}, {table}")
+        self.emit(f"lea3 {_AUX}, {_AUX}, {_SEL}")
+        self.emit(f"ld {_AUX}, {_AUX}, 0")
+        self.emit(f"jmpr {_AUX}")
+        for case in cases:
+            self.mark(case)
+            self.stmt_simple()
+            self.emit(f"jmp {done}")
+        self.mark(done)
+        self.shapes.add("indirect")
+
+    def stmt_call(self) -> None:
+        """Direct or indirect call into the function chain."""
+        target = f"fn_{self.rng.randrange(self.knobs.functions)}"
+        if self.knobs.indirect and self.rng.random() < 0.3:
+            self.emit(f"const {_AUX}, {target}")
+            self.emit(f"callr {_AUX}")
+            self.shapes.add("callr")
+        else:
+            self.emit(f"call {target}")
+            self.shapes.add("call")
+
+    # -- statement dispatch ------------------------------------------------
+
+    def stmt_simple(self) -> None:
+        """A statement with no internal control flow."""
+        pick = self.rng.random()
+        if pick < 0.45:
+            self.stmt_arith()
+        elif pick < 0.70:
+            self.stmt_mem()
+        elif pick < 0.80:
+            self.stmt_cmov()
+        elif pick < 0.90:
+            self.stmt_push_pop()
+        else:
+            self.stmt_div()
+
+    def stmt_in_loop(self, budget: int) -> None:
+        """Statements allowed inside a loop body."""
+        pick = self.rng.random()
+        if (pick < 0.20 and self._loop_depth < self.knobs.max_loop_depth):
+            self.stmt_loop(budget)
+        elif pick < 0.35:
+            self.stmt_diamond(max(2, budget))
+        elif pick < 0.45:
+            self.stmt_jrz_skip()
+        else:
+            self.stmt_simple()
+
+    def stmt_top(self, budget: int) -> None:
+        """Top-level statement (full menu)."""
+        pick = self.rng.random()
+        if pick < 0.18 and self.knobs.max_loop_depth > 0:
+            self.stmt_loop(budget)
+        elif pick < 0.36:
+            self.stmt_diamond(budget)
+        elif pick < 0.46:
+            self.stmt_jrz_skip()
+        elif pick < 0.56 and self.knobs.indirect and not self._in_function:
+            self.stmt_indirect()
+        elif (pick < 0.68 and self.knobs.functions
+                and not self._in_function):
+            self.stmt_call()
+        else:
+            self.stmt_simple()
+
+    # -- structure ---------------------------------------------------------
+
+    def gen_gauntlet(self) -> None:
+        """Exercise every FLAGS condition once, deterministically."""
+        for mnemonic in ALL_JCC:
+            skip = self.fresh("g")
+            self.emit(f"cmpi {self.reg()}, {self.rng.randint(-8, 8)}")
+            self.emit(f"{mnemonic} {skip}")
+            self.emit(f"xori r0, r0, {self.rng.randint(1, 255)}")
+            self.mark(skip)
+        self.shapes.add("jcc_fwd")
+
+    def gen_function(self, index: int) -> None:
+        """One function body; may call strictly later functions only."""
+        self.mark(f"fn_{index}")
+        self._in_function = True
+        saved_depth, self._loop_depth = self._loop_depth, 0
+        for _ in range(self.rng.randint(2, 4)):
+            pick = self.rng.random()
+            if pick < 0.3:
+                self.stmt_diamond(2)
+            elif pick < 0.5:
+                self.stmt_mem()
+            else:
+                self.stmt_simple()
+        if index + 1 < self.knobs.functions and self.rng.random() < 0.5:
+            self.emit(f"call fn_{index + 1}")
+            self.shapes.add("call")
+        self._loop_depth = saved_depth
+        self._in_function = False
+        self.emit("ret")
+        self.shapes.add("ret")
+
+    def gen_epilogue(self) -> None:
+        """XOR-fold scratch memory and work registers into the output."""
+        head = self.fresh("fold")
+        self.emit(f"const {_BASE}, buf")
+        self.emit(f"movi {_LOOP[0]}, {self.knobs.mem_words}")
+        self.emit("movi r1, 0")
+        self.mark(head)
+        self.emit(f"ld {_AUX}, {_BASE}, 0")
+        self.emit(f"xor r1, r1, {_AUX}")
+        self.emit(f"lea {_BASE}, {_BASE}, 4")
+        self.emit(f"subi {_LOOP[0]}, {_LOOP[0]}, 1")
+        self.emit(f"jnz {head}")
+        self.shapes.add("jcc_back")
+        self.shapes.add("lea")
+        for reg in ("r0", "r2", "r3", "r4", "r5", "r6", "r7"):
+            self.emit(f"xor r1, r1, {reg}")
+        self.emit("syscall 4")      # EMIT_WORD(r1)
+        self.emit("movi r1, 0")
+        self.emit("syscall 0")      # EXIT(0)
+
+    def generate_source(self) -> str:
+        knobs = self.knobs
+        self.lines = [".text", ".entry main", "main:"]
+        self.emit("const r13, buf")
+        for reg in _WORK:
+            self.emit(f"movi {reg}, {self.rng.randint(1, 999)}")
+        self.emit(f"movi {_AUX}, {self.rng.randint(1, 99)}")
+        self.emit(f"movi {_SEL}, {self.rng.randint(1, 99)}")
+        if knobs.cond_gauntlet:
+            self.gen_gauntlet()
+        for _ in range(knobs.statements):
+            self.stmt_top(4)
+        self.gen_epilogue()
+        for index in range(knobs.functions):
+            self.gen_function(index)
+        data = [".data", "buf:", f"    .space {4 * knobs.mem_words}"]
+        data += self.data_lines
+        return "\n".join(self.lines + data) + "\n"
+
+
+def generate_source(seed: int, knobs: FuzzKnobs | None = None) -> str:
+    """Deterministic adversarial R32 source for ``seed``."""
+    return ProgramGenerator(seed, knobs).generate_source()
+
+
+def generate_program(seed: int,
+                     knobs: FuzzKnobs | None = None) -> Program:
+    """Generate and assemble one program (``fuzz-<seed>``)."""
+    source = generate_source(seed, knobs)
+    return assemble(source, name=f"fuzz-{seed}")

@@ -1,0 +1,122 @@
+"""Delta-debugging minimizer for failing guest programs.
+
+Shrinks an assembly source to a minimal reproducer while preserving a
+caller-supplied failure predicate (Zeller's ddmin over droppable
+source lines, then a one-at-a-time pass to fixpoint).
+
+The minimizer works on *labelled assembly text*, not encoded bytes:
+dropping a line automatically re-fixes every branch offset on
+reassembly, so candidates are always structurally well-formed or fail
+to assemble outright.  The predicate is expected to treat any
+exception (assembly error, broken golden run) as "does not reproduce",
+which makes the search self-pruning.
+
+Determinism: the reduction order is a pure function of the input
+source and the predicate's answers — no randomness, no timing — so a
+failing seed always shrinks to the same reproducer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Structural lines that are never dropped, even in the final pass.
+_KEEP_ALWAYS = (".text", ".data", ".entry")
+
+
+def _is_instruction(line: str) -> bool:
+    text = line.strip()
+    if not text or text.startswith((".", ";", "#")):
+        return False
+    return not text.endswith(":")
+
+
+def _is_protected(line: str) -> bool:
+    text = line.strip()
+    return (not text) or text.startswith(_KEEP_ALWAYS)
+
+
+def instruction_count(source: str) -> int:
+    """Instruction lines in an assembly source (labels excluded)."""
+    return sum(1 for line in source.splitlines()
+               if _is_instruction(line))
+
+
+@dataclass
+class MinimizeResult:
+    """Outcome of one minimization."""
+
+    source: str       #: the minimal reproducer
+    steps: int        #: successful reductions applied
+    tests: int        #: predicate evaluations spent
+
+    @property
+    def instructions(self) -> int:
+        return instruction_count(self.source)
+
+
+def minimize_source(source: str, predicate,
+                    max_tests: int = 4000) -> MinimizeResult:
+    """Shrink ``source`` while ``predicate(source)`` stays True.
+
+    ``predicate`` receives a candidate source string and returns True
+    when the candidate still reproduces the original failure.  It must
+    be deterministic; exceptions propagate (wrap them inside the
+    predicate).  ``max_tests`` bounds the total predicate budget.
+    """
+    lines = source.splitlines()
+    if not predicate(source):
+        raise ValueError("predicate does not hold on the input source")
+
+    state = {"steps": 0, "tests": 1}
+
+    def build(removed: set) -> str:
+        return "\n".join(line for index, line in enumerate(lines)
+                         if index not in removed) + "\n"
+
+    def try_removed(removed: set) -> bool:
+        if state["tests"] >= max_tests:
+            return False
+        state["tests"] += 1
+        if predicate(build(removed)):
+            state["steps"] += 1
+            return True
+        return False
+
+    removed: set = set()
+
+    # Phase 1: ddmin over instruction lines.
+    active = [index for index, line in enumerate(lines)
+              if _is_instruction(line)]
+    granularity = 2
+    while len(active) >= 2 and state["tests"] < max_tests:
+        chunk = max(1, (len(active) + granularity - 1) // granularity)
+        reduced = False
+        for start in range(0, len(active), chunk):
+            complement = active[:start] + active[start + chunk:]
+            candidate = removed | (set(active) - set(complement))
+            if try_removed(candidate):
+                removed = candidate
+                active = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(active):
+                break
+            granularity = min(len(active), granularity * 2)
+
+    # Phase 2: one-at-a-time over every remaining droppable line
+    # (including now-orphaned labels and data lines) until fixpoint.
+    changed = True
+    while changed and state["tests"] < max_tests:
+        changed = False
+        for index, line in enumerate(lines):
+            if index in removed or _is_protected(line):
+                continue
+            if try_removed(removed | {index}):
+                removed = removed | {index}
+                changed = True
+
+    return MinimizeResult(source=build(removed), steps=state["steps"],
+                          tests=state["tests"])

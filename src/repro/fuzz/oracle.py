@@ -1,0 +1,419 @@
+"""N-way differential oracles over one guest program.
+
+Two oracles, two paper claims:
+
+**Transparency** (Section 3): every (technique x policy) instrumentation
+— statically rewritten and run on the interpreter, and translated by
+the DBT — must behave exactly like the uninstrumented golden run.  The
+oracle diffs exit state, printed output, emitted words, a digest of the
+guest data segment, and the syscall trace; any difference (including a
+false-positive error report on a fault-free run) is a transparency bug.
+
+**Detection** (Section 4): on small programs, every single-bit
+branch-offset error whose category the technique *claims* to cover must
+not end in silent data corruption or an unreported hang.  What a
+technique claims is cross-checked against the exhaustive formal model
+(:mod:`repro.formal.conditions`): a technique whose sufficient
+condition fails there (CFCSS, ECCA on fan-in CFGs) only claims the
+hardware-detected category F.
+
+Per the paper's Assumption 2 ("any control-flow error must finally
+reach at least one CHECK_SIG function"), faults landing in the middle
+of a program-exit block are excluded: control exits before any check
+could run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.cfg import build_cfg
+from repro.cfg.basic_block import ExitKind
+from repro.checking import Policy, UpdateStyle, make_technique
+from repro.dbt import Dbt
+from repro.faults.campaign import Outcome, Pipeline, PipelineConfig
+from repro.faults.classify import (Category, classify_offset_fault,
+                                   corrupted_target)
+from repro.faults.injector import FaultSpec, OffsetBitFault
+from repro.formal import FORMAL_TECHNIQUES
+from repro.formal.conditions import check_conditions
+from repro.formal.model import diamond_cfg, fanin_cfg, loop_cfg
+from repro.instrument import StaticRewriter
+from repro.isa.encoding import BRANCH_OFFSET_BITS
+from repro.isa.opcodes import Kind
+from repro.isa.program import Program
+from repro.machine import Cpu, StopReason
+
+#: Techniques the DBT instruments on the fly (local signature state).
+DBT_TECHNIQUES = ("edgcf", "rcf", "ecf")
+#: Whole-CFG baselines: static rewriting only.
+STATIC_TECHNIQUES = ("cfcss", "ecca")
+DEFAULT_TECHNIQUES = DBT_TECHNIQUES + STATIC_TECHNIQUES
+
+_MAX_STEPS = 2_000_000
+
+
+class OracleError(RuntimeError):
+    """The oracle could not establish a reference behaviour."""
+
+
+# -- run capture -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunDigest:
+    """Everything we diff between two executions of one program."""
+
+    stop: str
+    exit_code: int
+    output: str
+    output_values: tuple
+    mem_digest: str
+    syscalls: tuple
+    detected: bool
+
+    def diff(self, other: "RunDigest") -> list[str]:
+        """Names of the fields where ``other`` diverges from ``self``."""
+        fields = ("stop", "exit_code", "output", "output_values",
+                  "mem_digest", "syscalls", "detected")
+        return [name for name in fields
+                if getattr(self, name) != getattr(other, name)]
+
+
+def _digest_cpu(cpu: Cpu, stop, detected: bool,
+                data_base: int, data_len: int) -> RunDigest:
+    if data_len:
+        blob = cpu.memory.read_raw(data_base, data_len)
+        mem_digest = hashlib.sha256(blob).hexdigest()[:16]
+    else:
+        mem_digest = "-"
+    return RunDigest(stop=stop.reason.value,
+                     exit_code=cpu.exit_code,
+                     output="".join(cpu.output),
+                     output_values=tuple(cpu.output_values),
+                     mem_digest=mem_digest,
+                     syscalls=tuple(cpu.syscall_trace or ()),
+                     detected=detected)
+
+
+def capture_native(program: Program,
+                   max_steps: int = _MAX_STEPS) -> RunDigest:
+    """Uninstrumented interpreter run — the golden reference."""
+    cpu = Cpu()
+    cpu.load_program(program, executable_text=True)
+    cpu.syscall_trace = []
+    stop = cpu.run(max_steps=max_steps)
+    return _digest_cpu(cpu, stop, False, program.data_base,
+                       len(program.data))
+
+
+def capture_static(program: Program, technique, policy: Policy,
+                   max_steps: int = _MAX_STEPS) -> RunDigest:
+    """Statically rewritten program on the interpreter."""
+    ip = StaticRewriter(technique, policy).rewrite(program)
+    cpu = Cpu()
+    cpu.load_program(ip.program, executable_text=True)
+    cpu.syscall_trace = []
+    stop = cpu.run(max_steps=max_steps)
+    return _digest_cpu(cpu, stop, cpu.cfc_error, program.data_base,
+                       len(program.data))
+
+
+def capture_dbt(program: Program, technique, policy: Policy,
+                max_steps: int = _MAX_STEPS) -> RunDigest:
+    """Translated run under the DBT."""
+    dbt = Dbt(program, technique=technique, policy=policy)
+    dbt.cpu.syscall_trace = []
+    result = dbt.run(max_steps=max_steps)
+    detected = result.detected_error or result.detected_dataflow
+    return _digest_cpu(dbt.cpu, result.stop, detected,
+                       program.data_base, len(program.data))
+
+
+def uses_indirect_branches(program: Program) -> bool:
+    """True when static rewriting would reject the program."""
+    return any(instr.meta.kind is Kind.BRANCH_IND
+               for _, instr in program.instructions())
+
+
+def uses_dynamic_exits(program: Program) -> bool:
+    """True when the whole-CFG baselines would reject the program.
+
+    CFCSS/ECCA are intra-procedural: the static rewriter refuses to
+    instrument ``ret`` (dynamic branch targets) under them.
+    """
+    return any(instr.meta.kind is Kind.RET
+               for _, instr in program.instructions())
+
+
+# -- transparency oracle -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TransparencyFailure:
+    """One instrumented run that diverged from the golden run."""
+
+    label: str              #: pipeline/technique/policy
+    fields: tuple           #: RunDigest field names that differ
+    golden: RunDigest
+    observed: RunDigest
+
+    @property
+    def is_crash(self) -> bool:
+        """The instrumentation raised instead of producing a run."""
+        return self.observed.stop.startswith("error:")
+
+    def describe(self) -> str:
+        return f"{self.label}: {', '.join(self.fields)} diverged"
+
+
+def _technique_instance(name: str, update_style: UpdateStyle,
+                        cfg, config: PipelineConfig,
+                        technique_factory=None):
+    if technique_factory is not None:
+        return technique_factory(config, cfg)
+    needs_cfg = name in STATIC_TECHNIQUES
+    return make_technique(name, update_style=update_style,
+                          cfg=cfg if needs_cfg else None)
+
+
+def transparency_configs(program: Program,
+                         techniques=DEFAULT_TECHNIQUES,
+                         policies=(Policy.ALLBB, Policy.RET_BE,
+                                   Policy.END)) -> list[PipelineConfig]:
+    """The (pipeline, technique, policy) matrix for one program.
+
+    Static rewriting rejects register-indirect branches, so programs
+    using them only get the DBT side; the whole-CFG baselines (CFCSS,
+    ECCA) only exist statically *and* only for intra-procedural
+    programs (no ``ret``) — capability limits the suite documents, not
+    transparency bugs.
+    """
+    indirect = uses_indirect_branches(program)
+    dynamic = uses_dynamic_exits(program)
+    configs = []
+    for technique in techniques:
+        for policy in policies:
+            if technique in DBT_TECHNIQUES:
+                configs.append(PipelineConfig("dbt", technique, policy))
+                if not indirect:
+                    configs.append(
+                        PipelineConfig("static", technique, policy))
+            elif not indirect and not dynamic:
+                configs.append(
+                    PipelineConfig("static", technique, policy))
+    return configs
+
+
+def check_transparency(program: Program,
+                       configs=None,
+                       techniques=DEFAULT_TECHNIQUES,
+                       policies=(Policy.ALLBB, Policy.RET_BE,
+                                 Policy.END),
+                       technique_factory=None,
+                       max_steps: int = _MAX_STEPS
+                       ) -> list[TransparencyFailure]:
+    """Diff every instrumented clean run against the golden run."""
+    golden = capture_native(program, max_steps)
+    if golden.stop != StopReason.HALTED.value or golden.exit_code != 0:
+        raise OracleError(f"golden run failed: {golden.stop} "
+                          f"exit={golden.exit_code}")
+    if configs is None:
+        configs = transparency_configs(program, techniques, policies)
+    failures = []
+    for config in configs:
+        cfg = build_cfg(program)
+        try:
+            technique = _technique_instance(
+                config.technique, config.update_style, cfg, config,
+                technique_factory)
+            if config.pipeline == "static":
+                observed = capture_static(program, technique,
+                                          config.policy, max_steps)
+            else:
+                observed = capture_dbt(program, technique,
+                                       config.policy, max_steps)
+        except Exception as exc:   # instrumentation crashed outright
+            observed = RunDigest(stop=f"error: {exc}", exit_code=-1,
+                                 output="", output_values=(),
+                                 mem_digest="-", syscalls=(),
+                                 detected=False)
+        diverged = golden.diff(observed)
+        if diverged:
+            failures.append(TransparencyFailure(
+                label=config.label(), fields=tuple(diverged),
+                golden=golden, observed=observed))
+    return failures
+
+
+# -- detection oracle --------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def claimed_categories(technique: str) -> frozenset:
+    """Branch-error categories ``technique`` claims to detect.
+
+    Cross-checked against the exhaustive formal model: only when the
+    sufficient condition holds on all three model CFGs does the
+    technique claim the checkable categories B..E.  Category F is
+    hardware-detected (execute-disable) regardless of technique.
+    """
+    formal_cls = FORMAL_TECHNIQUES[technique.lower()]
+    for build in (diamond_cfg, loop_cfg, fanin_cfg):
+        report = check_conditions(formal_cls(build()))
+        if not report.sufficient_holds:
+            return frozenset({Category.F})
+    return frozenset({Category.B, Category.C, Category.D, Category.E,
+                      Category.F})
+
+
+class _SiteTrace:
+    """Per-site first execution (and first *taken* execution) record.
+
+    The aggregate :class:`~repro.machine.profile.BranchProfiler` loses
+    which dynamic occurrence had which direction; the detection oracle
+    needs a concrete (occurrence, taken, flags) triple per fault spec.
+    """
+
+    def __init__(self) -> None:
+        self.sites: dict[int, list] = {}
+
+    def record(self, pc: int, instr, taken: bool, flags: int) -> None:
+        entry = self.sites.get(pc)
+        if entry is None:
+            self.sites[pc] = [instr, 0, (1, taken, flags), None]
+            entry = self.sites[pc]
+        entry[1] += 1
+        if taken and entry[3] is None:
+            entry[3] = (entry[1], True, flags)
+
+
+@dataclass(frozen=True)
+class DetectionEscape:
+    """A claimed-coverage branch error that went unreported."""
+
+    label: str
+    spec: FaultSpec
+    category: str
+    outcome: str
+
+    def describe(self) -> str:
+        return (f"{self.label}: {self.spec.describe()} "
+                f"category {self.category} -> {self.outcome}")
+
+
+def enumerate_detection_specs(program: Program, claimed,
+                              max_sites: int | None = None
+                              ) -> list[tuple[FaultSpec, Category]]:
+    """All single-bit offset faults in claimed categories.
+
+    One spec per (executed branch site, occurrence shape, offset bit),
+    pre-classified; NO_ERROR, mistaken-branch (A) and Assumption-2
+    landings are excluded.
+    """
+    trace = _SiteTrace()
+    cpu = Cpu()
+    cpu.load_program(program, executable_text=True)
+    cpu.branch_profiler = trace
+    stop = cpu.run(max_steps=_MAX_STEPS)
+    if stop.reason is not StopReason.HALTED or cpu.exit_code != 0:
+        raise OracleError(f"profiling run failed: {stop}")
+    cfg = build_cfg(program)
+    specs: list[tuple[FaultSpec, Category]] = []
+    sites = sorted(trace.sites.items())
+    if max_sites is not None:
+        sites = sites[:max_sites]
+    for pc, (instr, _count, first, first_taken) in sites:
+        occurrences = [first]
+        if first_taken is not None and first_taken != first:
+            occurrences.append(first_taken)
+        for occurrence, taken, _flags in occurrences:
+            for bit in range(BRANCH_OFFSET_BITS):
+                category = classify_offset_fault(cfg, pc, instr, bit,
+                                                 taken)
+                if category in (Category.NO_ERROR, Category.A):
+                    continue
+                if category not in claimed:
+                    continue
+                if category in (Category.C, Category.E):
+                    landing = corrupted_target(pc, instr, bit)
+                    block = cfg.block_containing(landing)
+                    if block is not None and block.exit_kind in (
+                            ExitKind.HALT, ExitKind.EXIT):
+                        continue   # Assumption 2: exits before a check
+                specs.append((FaultSpec(pc, occurrence,
+                                        OffsetBitFault(bit)), category))
+    return specs
+
+
+def check_detection(program: Program, technique: str,
+                    policy: Policy = Policy.ALLBB,
+                    pipeline: str | None = None,
+                    technique_factory=None,
+                    max_sites: int | None = None,
+                    claimed=None) -> tuple[list[DetectionEscape], int]:
+    """Exhaust single-bit branch faults; return (escapes, runs).
+
+    An escape is a fault in a claimed category whose run ended in
+    silent data corruption or an unreported hang.
+    """
+    if pipeline is None:
+        pipeline = ("static" if technique in STATIC_TECHNIQUES
+                    else "dbt")
+    if claimed is None:
+        claimed = claimed_categories(technique)
+    config = PipelineConfig(pipeline, technique, policy)
+    specs = enumerate_detection_specs(program, claimed,
+                                      max_sites=max_sites)
+    pipe = Pipeline(program, config,
+                    technique_factory=technique_factory)
+    escapes = []
+    for spec, category in specs:
+        record = pipe.run(spec)
+        if record.outcome in (Outcome.SDC, Outcome.HANG):
+            escapes.append(DetectionEscape(
+                label=config.label(), spec=spec,
+                category=category.value,
+                outcome=record.outcome.value))
+    return escapes, len(specs)
+
+
+# -- combined verdict --------------------------------------------------------
+
+
+@dataclass
+class OracleReport:
+    """Everything the oracles concluded about one program."""
+
+    seed: int | None = None
+    transparency: list = field(default_factory=list)
+    escapes: list = field(default_factory=list)
+    transparency_configs: int = 0
+    detection_runs: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.transparency and not self.escapes
+
+
+def run_oracles(program: Program,
+                techniques=DEFAULT_TECHNIQUES,
+                policies=(Policy.ALLBB, Policy.RET_BE, Policy.END),
+                detect: bool = False,
+                detect_techniques=DBT_TECHNIQUES,
+                max_sites: int | None = None,
+                seed: int | None = None) -> OracleReport:
+    """Run the transparency (always) and detection (opt-in) oracles."""
+    report = OracleReport(seed=seed)
+    configs = transparency_configs(program, techniques, policies)
+    report.transparency_configs = len(configs)
+    report.transparency = check_transparency(program, configs=configs)
+    if detect:
+        for technique in detect_techniques:
+            escapes, runs = check_detection(program, technique,
+                                            max_sites=max_sites)
+            report.escapes.extend(escapes)
+            report.detection_runs += runs
+    return report

@@ -79,12 +79,18 @@ class Instruction:
         name = meta.mnemonic
         reg = registers.register_name
         if meta.fmt is Fmt.R3:
+            if name in ("cmp", "test"):
+                # Comparisons have no destination; printing the encoded
+                # (always-zero) rd would not re-assemble.
+                return f"{name} {reg(self.rs)}, {reg(self.rt)}"
             return f"{name} {reg(self.rd)}, {reg(self.rs)}, {reg(self.rt)}"
         if meta.fmt is Fmt.R2:
             return f"{name} {reg(self.rd)}, {reg(self.rs)}"
         if meta.fmt is Fmt.R1:
             return f"{name} {reg(self.rd)}"
         if meta.fmt is Fmt.RI:
+            if name == "cmpi":
+                return f"{name} {reg(self.rs)}, {self.imm}"
             return f"{name} {reg(self.rd)}, {reg(self.rs)}, {self.imm}"
         if meta.fmt is Fmt.RI16:
             return f"{name} {reg(self.rd)}, {self.imm}"

@@ -500,6 +500,11 @@ class Cpu:
         self.output: list[str] = []
         self.output_values: list[int] = []
         self.exit_code: int | None = None
+        #: optional syscall trace: set to a list to capture every
+        #: executed service as ``(number, r1)`` — the differential
+        #: fuzzing oracle diffs this against the golden run.  None
+        #: (the default) records nothing.
+        self.syscall_trace: list | None = None
         #: set by the CFC_ERROR syscall when an instrumented check fires
         self.cfc_error: bool = False
         #: fault-injection hook: called as hook(cpu, pc, instr) before a

@@ -33,6 +33,8 @@ CFC_ERROR_EXIT_CODE = 0xCFCE
 def handle_syscall(cpu, number: int) -> bool:
     """Execute service ``number``.  Returns True when the CPU must halt."""
     regs = cpu.regs
+    if cpu.syscall_trace is not None:
+        cpu.syscall_trace.append((number, regs[1] & 0xFFFFFFFF))
     if number == Service.EXIT:
         cpu.exit_code = regs[1] & 0xFFFFFFFF
         return True

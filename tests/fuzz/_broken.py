@@ -1,0 +1,47 @@
+"""Deliberately broken EdgCF variants shared by the fuzz tests.
+
+``SkipGenSigEdgCF`` drops the GEN_SIG update on direct block exits (a
+transparency bug the differential oracle must catch);
+``NoCheckEdgCF`` keeps updating signatures but never branches to the
+error handler (branch errors become detection escapes).
+"""
+
+from repro.checking.base import ErrorBranch
+from repro.checking.edgcf import EdgCF
+
+
+class SkipGenSigEdgCF(EdgCF):
+    """Regression: GEN_SIG missing on direct block exits."""
+
+    def exit_items_direct(self, block, target):
+        return []
+
+
+class NoCheckEdgCF(EdgCF):
+    """Regression: signatures updated but never checked."""
+
+    def entry_items(self, block, check):
+        items = super().entry_items(block, check=check)
+        return [item for item in items
+                if not isinstance(item, ErrorBranch)]
+
+
+def skip_gensig_factory(config, cfg):
+    """``FuzzConfig.technique_factory`` injecting ``SkipGenSigEdgCF``."""
+    if config.technique == "edgcf":
+        return SkipGenSigEdgCF(update_style=config.update_style)
+    from repro.checking import make_technique
+    from repro.fuzz.oracle import STATIC_TECHNIQUES
+    needs_cfg = config.technique in STATIC_TECHNIQUES
+    return make_technique(config.technique,
+                          update_style=config.update_style,
+                          cfg=cfg if needs_cfg else None)
+
+
+def edgcf_factory(cls):
+    """A factory for edgcf-only oracle calls."""
+    def factory(config, cfg):
+        if config.technique == "edgcf":
+            return cls(update_style=config.update_style)
+        raise AssertionError("factory restricted to edgcf")
+    return factory

@@ -1,0 +1,80 @@
+"""Tests for the seeded guest-program generator."""
+
+from repro.fuzz.generator import (FuzzKnobs, ProgramGenerator,
+                                  generate_program, generate_source)
+from repro.machine import StopReason, run_native
+
+
+class TestDeterminism:
+    def test_same_seed_same_source(self):
+        assert generate_source(42) == generate_source(42)
+
+    def test_different_seed_different_source(self):
+        assert generate_source(42) != generate_source(43)
+
+    def test_knobs_change_output(self):
+        tiny = FuzzKnobs.tiny()
+        assert generate_source(42, tiny) != generate_source(42)
+
+    def test_program_name_carries_seed(self):
+        assert generate_program(7).source_name == "fuzz-7"
+
+
+class TestCleanExecution:
+    def test_default_programs_halt_cleanly(self):
+        for seed in range(6):
+            program = generate_program(seed)
+            cpu, stop = run_native(program, max_steps=2_000_000)
+            assert stop.reason is StopReason.HALTED, f"seed {seed}"
+            assert cpu.exit_code == 0, f"seed {seed}"
+            # the XOR-fold epilogue always reports a checksum
+            assert cpu.output_values, f"seed {seed}"
+
+    def test_tiny_programs_halt_cleanly(self):
+        tiny = FuzzKnobs.tiny()
+        for seed in range(6):
+            program = generate_program(seed, tiny)
+            cpu, stop = run_native(program, max_steps=500_000)
+            assert stop.reason is StopReason.HALTED, f"seed {seed}"
+            assert cpu.exit_code == 0, f"seed {seed}"
+
+
+class TestShapeCoverage:
+    def test_union_covers_every_branch_shape(self):
+        """A handful of seeds exercises every branch shape."""
+        shapes: set[str] = set()
+        for seed in range(12):
+            gen = ProgramGenerator(seed)
+            gen.generate_source()
+            shapes |= gen.shapes
+        assert {"jcc_fwd", "jcc_back", "jrz", "jrnz", "indirect",
+                "call", "ret", "cmov", "mem", "push_pop",
+                "div_guard"} <= shapes
+
+    def test_gauntlet_emits_all_fourteen_conditions(self):
+        source = generate_source(0)
+        for jcc in ("jz", "jnz", "jl", "jge", "jle", "jg", "jb",
+                    "jae", "jbe", "ja", "js", "jns", "jo", "jno"):
+            assert f"{jcc} " in source
+
+
+class TestKnobs:
+    def test_indirect_false_removes_register_branches(self):
+        knobs = FuzzKnobs(indirect=False)
+        for seed in range(8):
+            source = generate_source(seed, knobs)
+            assert "jmpr" not in source
+            assert "callr" not in source
+
+    def test_functions_zero_removes_calls(self):
+        knobs = FuzzKnobs(indirect=False, functions=0)
+        for seed in range(8):
+            mnemonics = {line.split()[0]
+                         for line in generate_source(seed, knobs).splitlines()
+                         if line.strip()}
+            assert not {"call", "callr", "ret"} & mnemonics
+
+    def test_tiny_is_smaller(self):
+        big = generate_source(3)
+        small = generate_source(3, FuzzKnobs.tiny())
+        assert len(small.splitlines()) < len(big.splitlines())

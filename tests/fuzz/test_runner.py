@@ -1,0 +1,103 @@
+"""Tests for the fuzzing campaign runner and its CLI surface."""
+
+import dataclasses
+import json
+import os
+
+from _broken import skip_gensig_factory
+
+from repro.cli import build_parser, cmd_fuzz
+from repro.faults.journal import CampaignJournal
+from repro.fuzz import FuzzConfig, run_fuzz
+from repro.fuzz.generator import FuzzKnobs
+
+SMALL = FuzzConfig(seed=1234, count=3, knobs=FuzzKnobs.tiny(),
+                   detect_every=3, detect_techniques=("edgcf",),
+                   max_sites=4)
+
+
+class TestDeterminism:
+    def test_serial_equals_parallel(self):
+        """Acceptance: identical summary whatever --jobs is."""
+        serial = run_fuzz(SMALL, jobs=1)
+        parallel = run_fuzz(SMALL, jobs=4)
+        assert serial.summary() == parallel.summary()
+        assert serial.passed and parallel.passed
+
+    def test_seed_changes_campaign(self):
+        other = dataclasses.replace(SMALL, seed=99, detect_every=0)
+        base = dataclasses.replace(SMALL, detect_every=0)
+        assert run_fuzz(other).summary() != run_fuzz(base).summary()
+
+
+class TestJournal:
+    def test_header_records_effective_seed(self, tmp_path):
+        path = str(tmp_path / "fuzz.jsonl")
+        config = dataclasses.replace(SMALL, count=1, detect_every=0)
+        run_fuzz(config, journal=path)
+        header = CampaignJournal(path).read_header()
+        assert header is not None
+        assert header["tool"] == "repro-fuzz"
+        assert header["seed"] == 1234
+
+    def test_verdict_lines_are_json(self, tmp_path):
+        path = str(tmp_path / "fuzz.jsonl")
+        config = dataclasses.replace(SMALL, count=2, detect_every=0)
+        run_fuzz(config, journal=path)
+        with open(path, encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle]
+        verdicts = [entry for entry in lines if entry.get("fuzz")]
+        assert len(verdicts) == 2
+
+
+class TestFailurePath:
+    def test_injected_regression_is_caught_and_persisted(self, tmp_path):
+        """Acceptance: a skipped GEN_SIG update is caught, minimized
+        to a tiny reproducer, and written to the corpus."""
+        corpus = str(tmp_path / "corpus")
+        config = FuzzConfig(seed=1, count=1, knobs=FuzzKnobs.tiny(),
+                            techniques=("edgcf",), detect_every=0,
+                            max_minimize_tests=400,
+                            technique_factory=skip_gensig_factory)
+        report = run_fuzz(config, corpus=corpus)
+        assert not report.passed
+        assert report.transparency_failures == 1
+        failure = report.failures[0]
+        assert failure.kind == "transparency"
+        assert failure.minimized is not None
+        from repro.fuzz.minimizer import instruction_count
+        assert instruction_count(failure.minimized) <= 10
+        assert failure.corpus_dir is not None
+        names = set(os.listdir(failure.corpus_dir))
+        assert {"original.s", "minimized.s", "report.json"} <= names
+        with open(os.path.join(failure.corpus_dir, "report.json"),
+                  encoding="utf-8") as handle:
+            persisted = json.load(handle)
+        assert persisted["seed"] == 1
+        assert "repro fuzz --seed 1" in persisted["repro"]
+
+
+class TestCli:
+    def test_parser_registers_fuzz(self):
+        args = build_parser().parse_args(
+            ["fuzz", "--seed", "5", "--count", "2", "-j", "2",
+             "--corpus", "/tmp/c"])
+        assert args.func is cmd_fuzz
+        assert args.seed == 5
+        assert args.count == 2
+
+    def test_coverage_has_seed_flag(self):
+        args = build_parser().parse_args(
+            ["coverage", "prog.s", "--seed", "17"])
+        assert args.seed == 17
+
+    def test_cli_prints_effective_seed(self, tmp_path, capsys):
+        args = build_parser().parse_args(
+            ["fuzz", "--seed", "2", "--count", "1", "--statements",
+             "8", "--loop-depth", "1", "--mem-words", "4",
+             "--detect-every", "0", "-t", "edgcf"])
+        code = cmd_fuzz(args)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "effective seed: 2" in out
+        assert "seed 2: 1 programs" in out
