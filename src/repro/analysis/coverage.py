@@ -89,7 +89,8 @@ def compute_coverage_matrix(program: Program,
                             journal: str | None = None,
                             resume: bool = False,
                             forensics: int | None = None,
-                            forensics_path=None) -> CoverageMatrix:
+                            forensics_path=None,
+                            backend: str = "interp") -> CoverageMatrix:
     """Run guest-level (and optionally cache-level) campaigns for each
     configuration.  ``jobs > 1`` parallelizes each campaign's runs;
     ``retries``/``timeout``/``journal``/``resume`` configure the
@@ -97,10 +98,17 @@ def compute_coverage_matrix(program: Program,
     entries are keyed by config and spec content, so the campaigns
     cannot contaminate each other).  ``forensics=N`` replays up to N
     sampled escapes per configuration through the golden-divergence
-    analyzer, appending the entries to ``forensics_path``."""
+    analyzer, appending the entries to ``forensics_path``.
+    ``backend`` selects the execution tier every campaign runs on
+    (the matrix itself is backend-invariant — digests match across
+    tiers — so this only changes wall-clock)."""
     faults = generate_category_faults(program, per_category=per_category,
                                       seed=seed)
     matrix = CoverageMatrix(program_name=program.source_name)
+    if backend != "interp":
+        from dataclasses import replace
+        configs = tuple(replace(config, backend=backend)
+                        for config in configs)
     for config in configs:
         executor = CampaignExecutor(program, config, jobs=jobs,
                                     retries=retries, timeout=timeout,

@@ -62,15 +62,18 @@ def _resolve_addr(program: Program, token: str) -> int:
 
 def cmd_run(args) -> int:
     program = _load_program(args.file)
+    backend = getattr(args, "backend", "interp")
     if args.pipeline == "native":
-        cpu, stop = run_native(program, max_steps=args.max_steps)
+        cpu, stop = run_native(program, max_steps=args.max_steps,
+                               backend=backend)
         detected = cpu.cfc_error
     elif args.pipeline == "static":
         instrumented = instrument_program(
             program, args.technique or "edgcf",
             Policy(args.policy), update_style=UpdateStyle(args.update))
         cpu, stop = run_native(instrumented.program,
-                               max_steps=args.max_steps)
+                               max_steps=args.max_steps,
+                               backend=backend)
         detected = cpu.cfc_error
     else:
         technique = (make_technique(args.technique,
@@ -78,6 +81,9 @@ def cmd_run(args) -> int:
                      if args.technique else None)
         dbt = Dbt(program, technique=technique,
                   policy=Policy(args.policy), dataflow=args.dataflow)
+        if backend != "interp":
+            from repro.exec import install_backend
+            install_backend(dbt.cpu, backend)
         result = dbt.run(max_steps=args.max_steps)
         cpu, stop = dbt.cpu, result.stop
         detected = result.detected_error or result.detected_dataflow
@@ -85,9 +91,17 @@ def cmd_run(args) -> int:
         sys.stdout.write(chunk)
     if cpu.output and not cpu.output[-1].endswith("\n"):
         sys.stdout.write("\n")
+    exec_stats = ""
+    if cpu.backend is not None:
+        s = cpu.backend.stats()
+        exec_stats = (f" blocks={s['blocks_compiled']} "
+                      f"chains={s['chain_hits']}/{s['chain_misses']} "
+                      f"fused={s['fused_pairs']} "
+                      f"compile={s['compile_seconds']:.4f}s")
     print(f"[{stop.reason.value}] exit={stop.exit_code} "
           f"cycles={cpu.cycles} instructions={cpu.icount} "
-          f"emitted={cpu.output_values} detected={detected}")
+          f"emitted={cpu.output_values} detected={detected} "
+          f"backend={backend}{exec_stats}")
     return 0 if stop.exit_code == 0 and not detected else 1
 
 
@@ -120,15 +134,46 @@ def _parse_fault_spec(program, args, token):
                      args.occurrence, fault)
 
 
+def _check_journal_backend(args) -> int:
+    """Record the backend in fresh journals; refuse resume mismatch.
+
+    Returns a non-zero exit status on mismatch, 0 to proceed.
+    """
+    if not args.journal:
+        return 0
+    from repro.faults.journal import CampaignJournal
+    journal = CampaignJournal(args.journal)
+    if args.resume:
+        header = journal.read_header()
+        recorded = (header or {}).get("backend", "interp")
+        if header is not None and recorded != args.backend:
+            print(f"error: journal {args.journal} was recorded with "
+                  f"--backend {recorded}; resuming with --backend "
+                  f"{args.backend} would silently re-run every chunk "
+                  "(config keys differ). Pass the matching backend.",
+                  file=sys.stderr)
+            return 2
+    return 0
+
+
 def cmd_inject(args) -> int:
     """Run one or more injected faults (repeat --fault for a batch);
     --jobs fans a batch out over worker processes."""
     from repro.faults import CampaignExecutor, Outcome, PipelineConfig
     program = _load_program(args.file)
+    status = _check_journal_backend(args)
+    if status:
+        return status
+    if args.journal and not args.resume:
+        from repro.faults.journal import CampaignJournal
+        CampaignJournal(args.journal).append_header(
+            {"tool": "repro-inject", "technique": args.technique,
+             "policy": args.policy, "backend": args.backend})
     specs = [_parse_fault_spec(program, args, token)
              for token in args.fault]
     config = PipelineConfig("dbt", args.technique,
-                            Policy(args.policy), dataflow=args.dataflow)
+                            Policy(args.policy), dataflow=args.dataflow,
+                            backend=args.backend)
     executor = CampaignExecutor(program, config, jobs=args.jobs,
                                 retries=args.retries,
                                 timeout=args.timeout,
@@ -252,17 +297,22 @@ def cmd_coverage(args) -> int:
         from repro.forensics import bundle_path_for
         forensics_path = bundle_path_for(args.journal)
     print(f"effective seed: {args.seed}")
+    status = _check_journal_backend(args)
+    if status:
+        return status
     if args.journal and not args.resume:
         from repro.faults.journal import CampaignJournal
         CampaignJournal(args.journal).append_header(
             {"tool": "repro-coverage", "seed": args.seed,
-             "per_category": args.per_category})
+             "per_category": args.per_category,
+             "backend": args.backend})
     matrix = compute_coverage_matrix(
         program, per_category=args.per_category, seed=args.seed,
         include_cache_level=not args.no_cache_level, jobs=args.jobs,
         retries=args.retries, timeout=args.timeout,
         journal=args.journal, resume=args.resume,
-        forensics=args.forensics, forensics_path=forensics_path)
+        forensics=args.forensics, forensics_path=forensics_path,
+        backend=args.backend)
     print(matrix.table())
     if matrix.forensics:
         total = sum(len(v) for v in matrix.forensics.values())
@@ -294,7 +344,8 @@ def cmd_fuzz(args) -> int:
     config = FuzzConfig(seed=args.seed, count=args.count, knobs=knobs,
                         detect_every=args.detect_every,
                         max_sites=args.detect_sites,
-                        minimize=not args.no_minimize)
+                        minimize=not args.no_minimize,
+                        backend=args.backend)
     if args.technique:
         config = dataclasses.replace(
             config, techniques=tuple(args.technique),
@@ -362,9 +413,11 @@ def cmd_explain(args) -> int:
                   f"{path} (have: {known})", file=sys.stderr)
             return 1
         spec = spec_from_json(entry["spec"])
-        pipeline, technique, policy, update, dataflow = entry["config"]
+        pipeline, technique, policy, update, dataflow, *rest = \
+            entry["config"]
         config = PipelineConfig(pipeline, technique, Policy(policy),
-                                UpdateStyle(update), dataflow)
+                                UpdateStyle(update), dataflow,
+                                backend=rest[0] if rest else "interp")
     else:
         if not args.fault:
             print("error: give --fault (inline spec) or "
@@ -374,7 +427,9 @@ def cmd_explain(args) -> int:
         config = PipelineConfig(args.pipeline, args.technique,
                                 Policy(args.policy),
                                 UpdateStyle(args.update),
-                                dataflow=args.dataflow)
+                                dataflow=args.dataflow,
+                                backend=getattr(args, "backend",
+                                                "interp"))
     _, _, text = explain_spec(program, config, spec)
     print(text)
     return 0
@@ -405,6 +460,15 @@ def build_parser() -> argparse.ArgumentParser:
                     "reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def backend_arg(p):
+        from repro.exec import BACKEND_NAMES
+        p.add_argument(
+            "--backend", default="interp", choices=list(BACKEND_NAMES),
+            help="execution backend: 'interp' is the reference "
+                 "dispatch-table interpreter, 'block' compiles guest "
+                 "basic blocks to specialized closures (identical "
+                 "behaviour, much faster)")
+
     def obs_args(p):
         p.add_argument(
             "--metrics", default=None, metavar="PATH",
@@ -427,6 +491,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--dataflow", action="store_true",
                        help="enable SWIFT-style duplication")
         p.add_argument("--max-steps", type=int, default=50_000_000)
+        backend_arg(p)
 
     run_parser = sub.add_parser("run", help="execute a program")
     common_exec(run_parser)
@@ -506,6 +571,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "default edgcf)")
     ver.add_argument("--policy", default="allbb",
                      choices=[p.value for p in Policy])
+    backend_arg(ver)
     jobs_arg(ver)
     resilience_args(ver)
     forensics_arg(ver)
@@ -519,6 +585,7 @@ def build_parser() -> argparse.ArgumentParser:
     cov.add_argument("--seed", type=int, default=2006,
                      help="fault-sampling seed (default 2006); the "
                           "effective seed is echoed and journaled")
+    backend_arg(cov)
     jobs_arg(cov)
     resilience_args(cov)
     forensics_arg(cov)
@@ -559,6 +626,7 @@ def build_parser() -> argparse.ArgumentParser:
     fz.add_argument("--corpus", default=None, metavar="DIR",
                     help="persist failing programs (original + "
                          "minimized + report) under this directory")
+    backend_arg(fz)
     jobs_arg(fz)
     resilience_args(fz)
     obs_args(fz)

@@ -1,0 +1,20 @@
+"""Execution backends: pluggable strategies for running guest code.
+
+``interp`` is the reference dispatch-table interpreter; ``block``
+compiles guest basic blocks into specialized Python closures and
+chains them host-side.  Both are observationally identical — the
+differential fuzzing oracle enforces byte-identical RunDigests.
+"""
+
+from repro.exec.base import (BACKEND_NAMES, DEFAULT_BACKEND,
+                             ExecutionBackend, InterpBackend,
+                             create_backend, install_backend)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "DEFAULT_BACKEND",
+    "ExecutionBackend",
+    "InterpBackend",
+    "create_backend",
+    "install_backend",
+]

@@ -1,0 +1,91 @@
+"""Execution-backend protocol: instruction semantics vs. strategy.
+
+The machine's *semantics* live in :mod:`repro.machine.cpu` — one
+handler per opcode, a deterministic cycle model, fault hooks.  How
+those semantics are *driven* is a separate concern: the reference
+strategy fetches/decodes/dispatches one instruction at a time, while
+the block-compiling strategy (:mod:`repro.exec.block`) compiles each
+guest basic block into a specialized Python closure, the same move the
+paper's DBT makes at the machine-code level.
+
+A backend is installed on a :class:`~repro.machine.cpu.Cpu` and takes
+over ``Cpu.run``'s inner loop.  Every backend must be *transparent*:
+byte-identical architectural state, stop info, cycle/instruction
+counts, hook and profiler behaviour as the reference interpreter.  The
+N-way differential fuzzing oracle enforces this (``repro fuzz
+--backend block``).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+#: Backend names accepted by ``--backend`` / ``PipelineConfig.backend``.
+BACKEND_NAMES = ("interp", "block")
+
+DEFAULT_BACKEND = "interp"
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Pluggable execution strategy for one CPU."""
+
+    #: short name used by the CLI and PipelineConfig
+    name: str
+
+    def install(self, cpu) -> "ExecutionBackend":
+        """Attach to ``cpu`` (claim its backend slot and watchers)."""
+
+    def run(self, cpu, max_steps: int, max_cycles: int | None):
+        """Execute until halt/trap/fault or a budget limit; returns the
+        same :class:`~repro.machine.faults.StopInfo` the reference
+        interpreter would."""
+
+    def stats(self) -> dict:
+        """Backend-specific counters (empty for the interpreter)."""
+
+
+class InterpBackend:
+    """The reference strategy: the dispatch-table interpreter.
+
+    Installing it leaves ``cpu.backend`` as ``None`` so ``Cpu.run``
+    keeps its zero-overhead direct path into ``_run_loop`` — the
+    interpreter *is* the default; this class only gives it a name and
+    a uniform surface.
+    """
+
+    name = "interp"
+
+    def install(self, cpu) -> "InterpBackend":
+        cpu.backend = None
+        cpu._backend_write_watch = None
+        return self
+
+    def run(self, cpu, max_steps: int, max_cycles: int | None):
+        return cpu._run_loop(max_steps, max_cycles)
+
+    def stats(self) -> dict:
+        return {}
+
+
+def create_backend(name: str):
+    """Instantiate a backend by name; raises ValueError on unknowns."""
+    if name == "interp" or name is None:
+        return InterpBackend()
+    if name == "block":
+        from repro.exec.block import BlockCompileBackend
+        return BlockCompileBackend()
+    raise ValueError(
+        f"unknown execution backend {name!r} (have: {BACKEND_NAMES})")
+
+
+def install_backend(cpu, name: str):
+    """Create and install a backend on ``cpu``; returns the backend.
+
+    ``interp`` is a no-op (a fresh Cpu already runs the reference
+    interpreter), so the campaign hot path pays nothing for the
+    default.
+    """
+    if name == "interp" or name is None:
+        return None
+    return create_backend(name).install(cpu)

@@ -42,7 +42,8 @@ def program_digest(program) -> str:
 def config_key(config) -> tuple:
     """Hashable identity of a PipelineConfig."""
     return (config.pipeline, config.technique, config.policy.value,
-            config.update_style.value, config.dataflow)
+            config.update_style.value, config.dataflow,
+            getattr(config, "backend", "interp"))
 
 
 def campaign_key(program, config) -> tuple[str, tuple]:

@@ -111,12 +111,15 @@ class PipelineConfig:
     policy: Policy = Policy.ALLBB
     update_style: UpdateStyle = UpdateStyle.JCC
     dataflow: bool = False                #: SWIFT-style duplication
+    backend: str = "interp"               #: execution backend (repro.exec)
 
     def label(self) -> str:
         tech = self.technique or "none"
         label = f"{self.pipeline}/{tech}/{self.policy.value}"
         if self.dataflow:
             label += "+df"
+        if self.backend != "interp":
+            label += f"@{self.backend}"
         return label
 
 
@@ -254,9 +257,15 @@ class Pipeline:
                          outputs=outputs, cycles=cpu.cycles,
                          icount=cpu.icount)
 
+    def _install_backend(self, cpu: Cpu) -> None:
+        if self.config.backend != "interp":
+            from repro.exec import install_backend
+            install_backend(cpu, self.config.backend)
+
     def _run_native(self, fault, max_steps, probe=None) -> RunRecord:
         from repro.faults.injector import RegisterFaultSpec
         cpu = Cpu()
+        self._install_backend(cpu)
         cpu.load_program(self.program)
         injector = None
         if isinstance(fault, RegisterFaultSpec):
@@ -272,6 +281,7 @@ class Pipeline:
     def _run_static(self, fault, max_steps, probe=None) -> RunRecord:
         ip = self._instrumented
         cpu = Cpu()
+        self._install_backend(cpu)
         cpu.load_program(ip.program)
         injector = None
         if fault is not None:
@@ -309,6 +319,7 @@ class Pipeline:
         technique = self._make_technique()
         dbt = Dbt(self.program, technique=technique, policy=config.policy,
                   dataflow=config.dataflow)
+        self._install_backend(dbt.cpu)
         injector = None
         if isinstance(fault, CacheFaultSpec):
             injector = CacheLevelInjector(fault, dbt)

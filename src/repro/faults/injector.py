@@ -105,6 +105,14 @@ class _HookBase:
         self.count += 1
         return self.count == self.spec.occurrence
 
+    def _retire(self, cpu: Cpu) -> None:
+        """Uninstall a fired hook: it is a permanent no-op from here on,
+        and an empty hook slot lets compiled backends run branches at
+        full speed.  Only when installed directly — the flight recorder
+        chains hooks, and clearing its slot would silence the trace."""
+        if cpu.pre_branch_hook == self.hook:
+            cpu.pre_branch_hook = None
+
 
 class NativeInjector(_HookBase):
     """Injects into a native (or statically rewritten) run.
@@ -143,6 +151,9 @@ class NativeInjector(_HookBase):
 
     def hook(self, cpu: Cpu, pc: int, instr: Instruction
              ) -> Instruction | None:
+        if self.fired:
+            self._retire(cpu)
+            return None
         if not self._hit(pc):
             return None
         self.fired = True
@@ -246,6 +257,9 @@ class DbtInjector(_HookBase):
 
     def hook(self, cpu: Cpu, pc: int, instr: Instruction
              ) -> Instruction | None:
+        if self.fired:
+            self._retire(cpu)
+            return None
         self._refresh_sites()
         if not self._hit(pc):
             return None
@@ -381,7 +395,13 @@ class CacheLevelInjector:
 
     def hook(self, cpu: Cpu, pc: int, instr: Instruction
              ) -> Instruction | None:
-        if self.fired or pc != self.spec.cache_addr:
+        if self.fired:
+            # Same retirement rule as _HookBase._retire: a fired hook
+            # is a permanent no-op, so free the slot when it is ours.
+            if cpu.pre_branch_hook == self.hook:
+                cpu.pre_branch_hook = None
+            return None
+        if pc != self.spec.cache_addr:
             return None
         self.count += 1
         if self.count != self.spec.occurrence:

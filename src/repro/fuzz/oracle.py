@@ -98,10 +98,18 @@ def _digest_cpu(cpu: Cpu, stop, detected: bool,
                      detected=detected)
 
 
+def _install(cpu: Cpu, backend: str) -> None:
+    if backend != "interp":
+        from repro.exec import install_backend
+        install_backend(cpu, backend)
+
+
 def capture_native(program: Program,
-                   max_steps: int = _MAX_STEPS) -> RunDigest:
-    """Uninstrumented interpreter run — the golden reference."""
+                   max_steps: int = _MAX_STEPS,
+                   backend: str = "interp") -> RunDigest:
+    """Uninstrumented run — the golden reference."""
     cpu = Cpu()
+    _install(cpu, backend)
     cpu.load_program(program, executable_text=True)
     cpu.syscall_trace = []
     stop = cpu.run(max_steps=max_steps)
@@ -110,10 +118,12 @@ def capture_native(program: Program,
 
 
 def capture_static(program: Program, technique, policy: Policy,
-                   max_steps: int = _MAX_STEPS) -> RunDigest:
+                   max_steps: int = _MAX_STEPS,
+                   backend: str = "interp") -> RunDigest:
     """Statically rewritten program on the interpreter."""
     ip = StaticRewriter(technique, policy).rewrite(program)
     cpu = Cpu()
+    _install(cpu, backend)
     cpu.load_program(ip.program, executable_text=True)
     cpu.syscall_trace = []
     stop = cpu.run(max_steps=max_steps)
@@ -122,9 +132,11 @@ def capture_static(program: Program, technique, policy: Policy,
 
 
 def capture_dbt(program: Program, technique, policy: Policy,
-                max_steps: int = _MAX_STEPS) -> RunDigest:
+                max_steps: int = _MAX_STEPS,
+                backend: str = "interp") -> RunDigest:
     """Translated run under the DBT."""
     dbt = Dbt(program, technique=technique, policy=policy)
+    _install(dbt.cpu, backend)
     dbt.cpu.syscall_trace = []
     result = dbt.run(max_steps=max_steps)
     detected = result.detected_error or result.detected_dataflow
@@ -182,7 +194,9 @@ def _technique_instance(name: str, update_style: UpdateStyle,
 def transparency_configs(program: Program,
                          techniques=DEFAULT_TECHNIQUES,
                          policies=(Policy.ALLBB, Policy.RET_BE,
-                                   Policy.END)) -> list[PipelineConfig]:
+                                   Policy.END),
+                         backend: str = "interp"
+                         ) -> list[PipelineConfig]:
     """The (pipeline, technique, policy) matrix for one program.
 
     Static rewriting rejects register-indirect branches, so programs
@@ -190,20 +204,31 @@ def transparency_configs(program: Program,
     ECCA) only exist statically *and* only for intra-procedural
     programs (no ``ret``) — capability limits the suite documents, not
     transparency bugs.
+
+    A non-default ``backend`` adds a bare native lane (no technique):
+    the uninstrumented program on that execution backend must match
+    the interpreter's golden run byte for byte — the cross-backend
+    differential oracle for :mod:`repro.exec`.
     """
     indirect = uses_indirect_branches(program)
     dynamic = uses_dynamic_exits(program)
     configs = []
+    if backend != "interp":
+        configs.append(PipelineConfig("native", None, Policy.ALLBB,
+                                      backend=backend))
     for technique in techniques:
         for policy in policies:
             if technique in DBT_TECHNIQUES:
-                configs.append(PipelineConfig("dbt", technique, policy))
+                configs.append(PipelineConfig("dbt", technique, policy,
+                                              backend=backend))
                 if not indirect:
                     configs.append(
-                        PipelineConfig("static", technique, policy))
+                        PipelineConfig("static", technique, policy,
+                                       backend=backend))
             elif not indirect and not dynamic:
                 configs.append(
-                    PipelineConfig("static", technique, policy))
+                    PipelineConfig("static", technique, policy,
+                                   backend=backend))
     return configs
 
 
@@ -226,15 +251,23 @@ def check_transparency(program: Program,
     for config in configs:
         cfg = build_cfg(program)
         try:
-            technique = _technique_instance(
-                config.technique, config.update_style, cfg, config,
-                technique_factory)
-            if config.pipeline == "static":
-                observed = capture_static(program, technique,
-                                          config.policy, max_steps)
+            if config.pipeline == "native":
+                # Bare cross-backend lane: uninstrumented program on a
+                # non-default execution backend vs the interpreter.
+                observed = capture_native(program, max_steps,
+                                          backend=config.backend)
             else:
-                observed = capture_dbt(program, technique,
-                                       config.policy, max_steps)
+                technique = _technique_instance(
+                    config.technique, config.update_style, cfg, config,
+                    technique_factory)
+                if config.pipeline == "static":
+                    observed = capture_static(program, technique,
+                                              config.policy, max_steps,
+                                              backend=config.backend)
+                else:
+                    observed = capture_dbt(program, technique,
+                                           config.policy, max_steps,
+                                           backend=config.backend)
         except Exception as exc:   # instrumentation crashed outright
             observed = RunDigest(stop=f"error: {exc}", exit_code=-1,
                                  output="", output_values=(),
@@ -353,7 +386,9 @@ def check_detection(program: Program, technique: str,
                     pipeline: str | None = None,
                     technique_factory=None,
                     max_sites: int | None = None,
-                    claimed=None) -> tuple[list[DetectionEscape], int]:
+                    claimed=None,
+                    backend: str = "interp"
+                    ) -> tuple[list[DetectionEscape], int]:
     """Exhaust single-bit branch faults; return (escapes, runs).
 
     An escape is a fault in a claimed category whose run ended in
@@ -364,7 +399,8 @@ def check_detection(program: Program, technique: str,
                     else "dbt")
     if claimed is None:
         claimed = claimed_categories(technique)
-    config = PipelineConfig(pipeline, technique, policy)
+    config = PipelineConfig(pipeline, technique, policy,
+                            backend=backend)
     specs = enumerate_detection_specs(program, claimed,
                                       max_sites=max_sites)
     pipe = Pipeline(program, config,
@@ -404,16 +440,19 @@ def run_oracles(program: Program,
                 detect: bool = False,
                 detect_techniques=DBT_TECHNIQUES,
                 max_sites: int | None = None,
-                seed: int | None = None) -> OracleReport:
+                seed: int | None = None,
+                backend: str = "interp") -> OracleReport:
     """Run the transparency (always) and detection (opt-in) oracles."""
     report = OracleReport(seed=seed)
-    configs = transparency_configs(program, techniques, policies)
+    configs = transparency_configs(program, techniques, policies,
+                                   backend=backend)
     report.transparency_configs = len(configs)
     report.transparency = check_transparency(program, configs=configs)
     if detect:
         for technique in detect_techniques:
             escapes, runs = check_detection(program, technique,
-                                            max_sites=max_sites)
+                                            max_sites=max_sites,
+                                            backend=backend)
             report.escapes.extend(escapes)
             report.detection_runs += runs
     return report

@@ -58,6 +58,9 @@ class FuzzConfig:
     max_sites: int | None = 12
     minimize: bool = True
     max_minimize_tests: int = 600
+    #: execution backend the oracles run under ("interp" | "block");
+    #: non-default adds a bare cross-backend native lane per program.
+    backend: str = "interp"
     #: optional technique override forwarded to the oracles (must be a
     #: picklable module-level callable when jobs > 1).
     technique_factory: object = None
@@ -93,7 +96,8 @@ def _fuzz_one(task) -> dict:
                              config.knobs_for(index))
     program = assemble(source, name=f"fuzz-{index}")
     configs = transparency_configs(program, config.techniques,
-                                   config.policies)
+                                   config.policies,
+                                   backend=config.backend)
     verdict["configs"] = len(configs)
     failures = check_transparency(
         program, configs=configs,
@@ -112,7 +116,8 @@ def _fuzz_one(task) -> dict:
             escapes, runs = check_detection(
                 tiny_program, technique,
                 technique_factory=config.technique_factory,
-                max_sites=config.max_sites)
+                max_sites=config.max_sites,
+                backend=config.backend)
             verdict["detection_runs"] += runs
             if escapes:
                 verdict["kind"] = "detection"
@@ -192,8 +197,12 @@ def _transparency_predicate(config: FuzzConfig, label: str,
     minimizer would chase an unrelated, easier failure.
     """
     from repro.faults.campaign import PipelineConfig
+    label, _, backend = label.partition("@")
     pipeline, technique, policy = label.split("/")
-    pipe_config = PipelineConfig(pipeline, technique, Policy(policy))
+    pipe_config = PipelineConfig(pipeline,
+                                 None if technique == "none" else technique,
+                                 Policy(policy),
+                                 backend=backend or "interp")
 
     def predicate(source: str) -> bool:
         try:
@@ -215,7 +224,8 @@ def _detection_predicate(config: FuzzConfig, technique: str):
             escapes, _ = check_detection(
                 program, technique,
                 technique_factory=config.technique_factory,
-                max_sites=config.max_sites)
+                max_sites=config.max_sites,
+                backend=config.backend)
             return bool(escapes)
         except Exception:
             return False
@@ -256,10 +266,12 @@ def _bundle_detection_failure(failure: FuzzFailure, config: FuzzConfig,
         escapes, _ = check_detection(
             program, technique,
             technique_factory=config.technique_factory,
-            max_sites=config.max_sites)
+            max_sites=config.max_sites,
+            backend=config.backend)
         if not escapes or failure.corpus_dir is None:
             return
-        pipe_config = PipelineConfig("dbt", technique, Policy.ALLBB)
+        pipe_config = PipelineConfig("dbt", technique, Policy.ALLBB,
+                                     backend=config.backend)
         path = os.path.join(failure.corpus_dir, "forensics.json")
         write_campaign_forensics(
             program, pipe_config,
@@ -337,7 +349,8 @@ def run_fuzz(config: FuzzConfig, jobs: int = 1,
             "count": config.count, "jobs": jobs,
             "techniques": list(config.techniques),
             "policies": [p.value for p in config.policies],
-            "detect_every": config.detect_every})
+            "detect_every": config.detect_every,
+            "backend": config.backend})
     tasks = [(index, config) for index in range(config.count)]
     with obs.span("fuzz.campaign", seed=str(config.seed),
                   count=str(config.count)):

@@ -26,13 +26,18 @@ __all__ = [
 
 
 def run_native(program, max_steps: int = 50_000_000,
-               profiler: BranchProfiler | None = None):
+               profiler: BranchProfiler | None = None,
+               backend: str = "interp"):
     """Run a program directly on the machine (no DBT).
 
     Returns ``(cpu, stop_info)``.  This is the paper's "native code"
-    baseline configuration.
+    baseline configuration.  ``backend`` selects the execution
+    strategy (see :mod:`repro.exec`).
     """
+    # Local import: repro.exec imports machine modules at load time.
+    from repro.exec import install_backend
     cpu = Cpu()
+    install_backend(cpu, backend)
     cpu.load_program(program, executable_text=True)
     if profiler is not None:
         cpu.branch_profiler = profiler

@@ -515,6 +515,11 @@ class Cpu:
         self.branch_profiler = None
         #: chained external write watcher (the DBT's SMC detector)
         self._external_write_watch = None
+        #: execution backend (repro.exec); None means the reference
+        #: interpreter loop runs directly with zero added overhead.
+        self.backend = None
+        #: backend's write watcher (block invalidation on SMC stores)
+        self._backend_write_watch = None
         #: set by the DBT: cache addresses of emitted CHECK_SIG branch
         #: instructions, so the observability branch counter can report
         #: signature checks *executed* (only consulted when a metrics
@@ -559,6 +564,8 @@ class Cpu:
         if self._dcache:
             for word_addr in range(addr & ~3, addr + length, 4):
                 self._dcache.pop(word_addr, None)
+        if self._backend_write_watch is not None:
+            self._backend_write_watch(addr, length)
         if self._external_write_watch is not None:
             self._external_write_watch(addr, length)
 
@@ -602,7 +609,9 @@ class Cpu:
         """
         registry = obs.get_registry()
         if registry is None:
-            return self._run_loop(max_steps, max_cycles)
+            if self.backend is None:
+                return self._run_loop(max_steps, max_cycles)
+            return self.backend.run(self, max_steps, max_cycles)
         return self._run_observed(registry, max_steps, max_cycles)
 
     def _run_observed(self, registry, max_steps: int,
@@ -615,7 +624,9 @@ class Cpu:
         icount_before = self.icount
         cycles_before = self.cycles
         try:
-            return self._run_loop(max_steps, max_cycles)
+            if self.backend is None:
+                return self._run_loop(max_steps, max_cycles)
+            return self.backend.run(self, max_steps, max_cycles)
         finally:
             registry.counter(
                 "interp_instructions_total",

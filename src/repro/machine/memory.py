@@ -47,6 +47,10 @@ class Memory:
         #: CPU uses it to invalidate its decode cache, the DBT to detect
         #: self-modifying code.  ``None`` when nobody is listening.
         self.write_watch = None
+        #: Called with (start, length) after every set_perms; the block
+        #: -compiling backend flushes its compiled code on permission
+        #: changes (X grants/revocations).  ``None`` when unused.
+        self.perm_watch = None
 
     # -- permissions ------------------------------------------------------
 
@@ -61,6 +65,8 @@ class Memory:
                 f"region {start:#x}+{length:#x} outside memory")
         for page in range(first, last + 1):
             self.perms[page] = perms
+        if self.perm_watch is not None:
+            self.perm_watch(start, length)
 
     def perms_at(self, addr: int) -> int:
         if not 0 <= addr < self.size:

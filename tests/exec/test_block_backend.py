@@ -1,0 +1,272 @@
+"""BlockCompileBackend: transparency against the reference interpreter.
+
+The backend's contract is byte-identical observable behaviour —
+architectural state, icount/cycles, StopInfo, hook and profiler
+callbacks — with the only difference being wall-clock.  These tests
+drive both backends over the same programs and diff everything.
+"""
+
+import pytest
+
+from repro.exec import (BACKEND_NAMES, InterpBackend, create_backend,
+                        install_backend)
+from repro.exec.block import BlockCompileBackend, clear_code_cache
+from repro.faults.cache import config_key
+from repro.faults.campaign import PipelineConfig
+from repro.fuzz.generator import FuzzKnobs, generate_program
+from repro.fuzz.oracle import capture_native
+from repro.isa import assemble
+from repro.machine import BranchProfiler, Cpu, StopReason, run_native
+from repro.workloads import load
+
+PARITY_PROGRAMS = 200
+MAX_STEPS = 200_000
+
+
+def _fresh(program, backend):
+    cpu = Cpu()
+    install_backend(cpu, backend)
+    cpu.load_program(program, executable_text=True)
+    return cpu
+
+
+def _state(cpu, stop):
+    return (stop.reason, stop.pc, stop.fault, stop.fault_addr,
+            stop.trap_no, stop.exit_code, cpu.icount, cpu.cycles,
+            cpu.flags, tuple(cpu.regs), tuple(cpu.output_values),
+            cpu.output)
+
+
+class TestWiring:
+    def test_backend_names(self):
+        assert BACKEND_NAMES == ("interp", "block")
+
+    def test_create_backend(self):
+        assert isinstance(create_backend("interp"), InterpBackend)
+        assert isinstance(create_backend("block"), BlockCompileBackend)
+        with pytest.raises(ValueError):
+            create_backend("jit")
+
+    def test_install_interp_is_noop(self):
+        cpu = Cpu()
+        assert install_backend(cpu, "interp") is None
+        assert cpu.backend is None
+
+    def test_install_block_claims_cpu(self):
+        cpu = Cpu()
+        backend = install_backend(cpu, "block")
+        assert cpu.backend is backend
+        assert cpu.memory.perm_watch is not None
+
+    def test_config_key_records_backend(self):
+        key = config_key(PipelineConfig("dbt", "rcf", backend="block"))
+        assert key[-1] == "block"
+        assert config_key(PipelineConfig("dbt", "rcf"))[-1] == "interp"
+
+    def test_label_suffix(self):
+        assert PipelineConfig("dbt", "rcf").label() == "dbt/rcf/allbb"
+        assert (PipelineConfig("dbt", "rcf", backend="block").label()
+                == "dbt/rcf/allbb@block")
+
+
+class TestDigestParity:
+    def test_seeded_program_parity(self):
+        """The acceptance bar: >=200 generator programs, byte-identical
+        RunDigests on both backends."""
+        knobs = FuzzKnobs()
+        for seed in range(PARITY_PROGRAMS):
+            program = generate_program(seed, knobs)
+            ref = capture_native(program, MAX_STEPS)
+            blk = capture_native(program, MAX_STEPS, backend="block")
+            assert blk == ref, f"seed {seed} diverged"
+
+    def test_step_limit_sweep(self):
+        """STEP_LIMIT stops must land on the exact same instruction:
+        batched charging may never over- or under-run the budget."""
+        knobs = FuzzKnobs()
+        for seed in (3, 17, 29):
+            program = generate_program(seed, knobs)
+            for limit in range(1, 300, 7):
+                ref = capture_native(program, limit)
+                blk = capture_native(program, limit, backend="block")
+                assert blk == ref, f"seed {seed} limit {limit}"
+
+    def test_workload_parity(self):
+        for name in ("254.gap", "183.equake", "176.gcc", "181.mcf"):
+            program = load(name, "test")
+            ref_cpu, ref_stop = run_native(program)
+            blk_cpu, blk_stop = run_native(program, backend="block")
+            assert _state(blk_cpu, blk_stop) == _state(ref_cpu, ref_stop)
+
+
+class TestFaultParity:
+    def test_mid_block_access_fault(self):
+        src = """
+        .entry main
+        main:
+            movi r1, 1
+            movi r2, 2
+            const r3, 0x7ffffff0
+            ld r4, r3, 64
+            movi r5, 5
+            syscall 0
+        """
+        program = assemble(src, name="fault")
+        ref_cpu, ref_stop = run_native(program)
+        blk_cpu, blk_stop = run_native(program, backend="block")
+        assert ref_stop.reason is StopReason.FAULT
+        assert _state(blk_cpu, blk_stop) == _state(ref_cpu, ref_stop)
+
+    def test_div_by_zero(self):
+        src = """
+        .entry main
+        main:
+            movi r1, 9
+            movi r2, 0
+            div r3, r1, r2
+            syscall 0
+        """
+        program = assemble(src, name="dbz")
+        ref_cpu, ref_stop = run_native(program)
+        blk_cpu, blk_stop = run_native(program, backend="block")
+        assert ref_stop.fault is not None
+        assert _state(blk_cpu, blk_stop) == _state(ref_cpu, ref_stop)
+
+    def test_scheduled_fault_fires_at_exact_icount(self):
+        from repro.faults.injector import RegisterFaultSpec
+        program = load("254.gap", "test")
+        for icount in (0, 1, 7, 100, 1003):
+            states = []
+            for backend in BACKEND_NAMES:
+                cpu = _fresh(program, backend)
+                RegisterFaultSpec(icount=icount, reg=1, bit=3).install(cpu)
+                stop = cpu.run(max_steps=MAX_STEPS)
+                states.append(_state(cpu, stop))
+            assert states[0] == states[1], f"icount {icount}"
+
+
+class TestHookParity:
+    def test_pre_branch_hook_sees_identical_stream(self):
+        program = load("254.gap", "test")
+        streams = []
+        for backend in BACKEND_NAMES:
+            calls = []
+            cpu = _fresh(program, backend)
+            cpu.pre_branch_hook = (
+                lambda c, pc, instr: calls.append(
+                    (pc, c.icount, c.cycles, instr.op)))
+            stop = cpu.run(max_steps=MAX_STEPS)
+            streams.append((calls, _state(cpu, stop)))
+        assert streams[0] == streams[1]
+
+    def test_profiler_counts_identical(self):
+        program = load("254.gap", "test")
+        profiles = []
+        for backend in BACKEND_NAMES:
+            profiler = BranchProfiler()
+            cpu = _fresh(program, backend)
+            cpu.branch_profiler = profiler
+            cpu.run(max_steps=MAX_STEPS)
+            profiles.append({pc: (s.executions, s.taken)
+                             for pc, s in profiler.branches.items()})
+        assert profiles[0] == profiles[1]
+
+    def test_hook_replacement_applies(self):
+        """A hook substituting the branch instruction (the injector's
+        mechanism) must behave identically mid-run on both backends."""
+        from repro.faults.injector import (DirectionFault, FaultSpec,
+                                           NativeInjector)
+        program = load("254.gap", "test")
+        branch_pcs = sorted(
+            pc for pc in range(program.text_base,
+                               program.text_base + len(program.text), 4))
+        states = []
+        for backend in BACKEND_NAMES:
+            cpu = _fresh(program, backend)
+            profiler = BranchProfiler()
+            cpu.branch_profiler = profiler
+            cpu.run(max_steps=MAX_STEPS)
+            executed = [pc for pc, s in profiler.branches.items()
+                        if s.executions > 2 and s.instr.meta.cond]
+            site = sorted(executed)[0]
+            spec = FaultSpec(site, 2, DirectionFault(taken=None))
+            cpu = _fresh(program, backend)
+            injector = NativeInjector(spec, program)
+            injector.install(cpu)
+            stop = cpu.run(max_steps=MAX_STEPS)
+            assert injector.fired
+            states.append(_state(cpu, stop))
+        assert states[0] == states[1]
+        assert branch_pcs  # site enumeration sanity
+
+    def test_fired_hook_retires_when_installed_directly(self):
+        from repro.faults.injector import (DirectionFault, FaultSpec,
+                                           NativeInjector)
+        program = load("254.gap", "test")
+        profiler = BranchProfiler()
+        cpu = _fresh(program, "interp")
+        cpu.branch_profiler = profiler
+        cpu.run(max_steps=MAX_STEPS)
+        site = sorted(pc for pc, s in profiler.branches.items()
+                      if s.executions > 2 and s.instr.meta.cond)[0]
+        cpu = _fresh(program, "block")
+        injector = NativeInjector(FaultSpec(site, 1,
+                                            DirectionFault(taken=None)),
+                                  program)
+        injector.install(cpu)
+        cpu.run(max_steps=MAX_STEPS)
+        assert injector.fired
+        assert cpu.pre_branch_hook is None  # retired after firing
+
+    def test_hooked_mode_uses_unfolded_blocks(self):
+        program = load("254.gap", "test")
+        cpu = _fresh(program, "block")
+        cpu.pre_branch_hook = lambda c, pc, instr: None
+        cpu.run(max_steps=MAX_STEPS)
+        backend = cpu.backend
+        assert backend.hooked_blocks and not backend.blocks
+        # unfolded variants stop at the first terminator: no loops
+        assert not any(b.loop for b in backend.hooked_blocks.values())
+
+
+class TestCompilation:
+    def test_loop_trace_compiled(self):
+        program = load("254.gap", "test")
+        cpu = _fresh(program, "block")
+        cpu.run(max_steps=MAX_STEPS)
+        assert any(b.loop for b in cpu.backend.blocks.values())
+
+    def test_stats_shape(self):
+        program = load("254.gap", "test")
+        cpu = _fresh(program, "block")
+        cpu.run(max_steps=MAX_STEPS)
+        stats = cpu.backend.stats()
+        assert stats["blocks_compiled"] > 0
+        assert stats["block_runs"] > 0
+        assert stats["fused_pairs"] > 0
+        assert stats["compile_seconds"] > 0
+
+    def test_code_cache_shared_across_instances(self):
+        clear_code_cache()
+        program = load("254.gap", "test")
+        cpu = _fresh(program, "block")
+        cpu.run(max_steps=MAX_STEPS)
+        cold = cpu.backend.compile_seconds
+        cpu = _fresh(program, "block")
+        cpu.run(max_steps=MAX_STEPS)
+        warm = cpu.backend.compile_seconds
+        assert warm < cold  # second instance reuses cached code objects
+
+    def test_obs_counters_emitted(self):
+        from repro import obs
+        program = load("254.gap", "test")
+        registry = obs.MetricsRegistry()
+        obs.install(registry)
+        try:
+            run_native(program, backend="block")
+        finally:
+            obs.uninstall()
+        snap = registry.snapshot()
+        names = {c["name"] for c in snap["counters"]}
+        assert "exec_blocks_compiled_total" in names
+        assert "exec_block_runs_total" in names

@@ -214,7 +214,7 @@ class TestCampaignKey:
     def test_key_pairs_digest_and_config(self, gap):
         digest, key = campaign_key(gap, CONFIG)
         assert len(digest) == 64
-        assert key == ("dbt", "edgcf", "allbb", "jcc", False)
+        assert key == ("dbt", "edgcf", "allbb", "jcc", False, "interp")
 
     def test_spec_digest_is_content_addressed(self, clean_specs):
         assert spec_digest(clean_specs[0]) == spec_digest(clean_specs[0])

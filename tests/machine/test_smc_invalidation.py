@@ -5,6 +5,9 @@ invalidates on stores (``Cpu._on_write``).  A store need not be aligned
 to the instruction grid: a span starting mid-word can overlap *two*
 instruction words, and both cached decodes must go."""
 
+import pytest
+
+from repro.exec import install_backend
 from repro.isa import assemble
 from repro.isa.encoding import encode
 from repro.isa.instruction import Instruction
@@ -77,3 +80,47 @@ class TestExecutedSelfModifyingCode:
         # first iteration runs the original movi (13); the patched word
         # must be re-decoded, not served stale from the cache (77)
         assert cpu.output_values == [13, 77]
+
+
+def _run_smc(backend: str):
+    patch_word = encode(Instruction(op=Op.MOVI, rd=1, imm=77))
+    program = assemble(SMC_SRC.format(patch_word=patch_word), name="smc")
+    cpu = Cpu()
+    install_backend(cpu, backend)
+    cpu.load_program(program)
+    cpu.memory.set_perms(program.text_base,
+                         max(len(program.text), 1), PERM_RWX)
+    stop = cpu.run()
+    return cpu, stop
+
+
+class TestCrossBackendSmc:
+    """The block backend must invalidate compiled closures on guest
+    stores into compiled code, exactly like the interpreter's decode
+    cache — including when the store patches the *same* block that is
+    currently compiled and chained."""
+
+    @pytest.mark.parametrize("backend", ["interp", "block"])
+    def test_self_patching_block(self, backend):
+        cpu, stop = _run_smc(backend)
+        assert stop.reason is StopReason.HALTED
+        assert stop.exit_code == 0
+        assert cpu.output_values == [13, 77]
+
+    def test_backends_agree_exactly(self):
+        ref_cpu, ref_stop = _run_smc("interp")
+        blk_cpu, blk_stop = _run_smc("block")
+        assert (blk_stop.reason, blk_stop.pc) == (ref_stop.reason,
+                                                  ref_stop.pc)
+        assert blk_cpu.output_values == ref_cpu.output_values
+        assert blk_cpu.icount == ref_cpu.icount
+        assert blk_cpu.cycles == ref_cpu.cycles
+        assert blk_cpu.regs == ref_cpu.regs
+        assert blk_cpu.flags == ref_cpu.flags
+
+    def test_block_backend_records_invalidation(self):
+        cpu, stop = _run_smc("block")
+        stats = cpu.backend.stats()
+        assert stop.reason is StopReason.HALTED
+        assert stats["invalidations"] >= 1
+        assert stats["blocks_compiled"] >= 2  # original + repatched

@@ -1,5 +1,7 @@
 """CLI smoke tests (python -m repro ...)."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -177,9 +179,13 @@ class TestInject:
                 "--journal", journal]
         assert main(args) == 0
         first = capsys.readouterr().out
-        assert len(open(journal).readlines()) == 1
+        lines = open(journal).readlines()
+        assert len(lines) == 2  # header + one chunk
+        assert json.loads(lines[0])["header"]["backend"] == "interp"
         assert main(args + ["--resume"]) == 0
         assert capsys.readouterr().out == first
+        # a resume with a different backend must be refused
+        assert main(args + ["--resume", "--backend", "block"]) == 2
 
     def test_retries_and_timeout_flags(self, demo_file):
         assert main(["inject", demo_file, "-t", "rcf",
