@@ -28,7 +28,12 @@ PATH`` and ``--trace PATH`` to capture telemetry (see
 off, which costs nothing.  ``inject`` and ``coverage`` accept
 ``--forensics[=N]`` to replay up to N sampled escapes through the
 golden-divergence analyzer and write a JSONL forensics bundle next to
-the journal (see ``docs/forensics.md``).
+the journal (see ``docs/forensics.md``).  ``inject`` and ``explain``
+accept ``--recover`` (plus ``--checkpoint-interval`` and
+``--max-retries``) to roll detected faults back to the last
+checkpoint and re-execute instead of merely reporting them; ``fuzz
+--recover`` cross-checks that machinery with a recovery oracle (see
+``docs/recovery.md``).
 """
 
 from __future__ import annotations
@@ -156,6 +161,18 @@ def _check_journal_backend(args) -> int:
     return 0
 
 
+def _recovery_kwargs(args) -> dict:
+    """PipelineConfig recovery fields from --recover family flags."""
+    if not getattr(args, "recover", False):
+        return {}
+    kwargs = {"recover": True}
+    if args.checkpoint_interval is not None:
+        kwargs["checkpoint_interval"] = args.checkpoint_interval
+    if args.max_retries is not None:
+        kwargs["max_retries"] = args.max_retries
+    return kwargs
+
+
 def cmd_inject(args) -> int:
     """Run one or more injected faults (repeat --fault for a batch);
     --jobs fans a batch out over worker processes."""
@@ -168,12 +185,14 @@ def cmd_inject(args) -> int:
         from repro.faults.journal import CampaignJournal
         CampaignJournal(args.journal).append_header(
             {"tool": "repro-inject", "technique": args.technique,
-             "policy": args.policy, "backend": args.backend})
+             "policy": args.policy, "backend": args.backend,
+             "recover": args.recover})
     specs = [_parse_fault_spec(program, args, token)
              for token in args.fault]
     config = PipelineConfig("dbt", args.technique,
                             Policy(args.policy), dataflow=args.dataflow,
-                            backend=args.backend)
+                            backend=args.backend,
+                            **_recovery_kwargs(args))
     executor = CampaignExecutor(program, config, jobs=args.jobs,
                                 retries=args.retries,
                                 timeout=args.timeout,
@@ -189,10 +208,15 @@ def cmd_inject(args) -> int:
             cycles = record.detection_latency_cycles
             print(f"latency: {record.detection_latency} instructions"
                   + (f", {cycles} cycles" if cycles is not None else ""))
+        if record.rollback_distance_icount is not None:
+            print(f"recover: {record.attempts} attempt(s), rolled "
+                  f"back {record.rollback_distance_icount} "
+                  f"instruction(s), re-executed "
+                  f"{record.reexec_cycles} cycle(s)")
         if record.outcome is Outcome.INFRA_ERROR:
             print(f"         {record.error}")
             status = max(status, 3)
-        elif record.outcome is Outcome.SDC:
+        elif record.outcome in (Outcome.SDC, Outcome.RECOVERY_FAILED):
             status = max(status, 2)
     if args.forensics is not None:
         _write_forensics(program, config, executor, args)
@@ -345,7 +369,8 @@ def cmd_fuzz(args) -> int:
                         detect_every=args.detect_every,
                         max_sites=args.detect_sites,
                         minimize=not args.no_minimize,
-                        backend=args.backend)
+                        backend=args.backend,
+                        recover=args.recover)
     if args.technique:
         config = dataclasses.replace(
             config, techniques=tuple(args.technique),
@@ -415,9 +440,17 @@ def cmd_explain(args) -> int:
         spec = spec_from_json(entry["spec"])
         pipeline, technique, policy, update, dataflow, *rest = \
             entry["config"]
+        extra = {}
+        if len(rest) >= 4 and rest[1] == "rec":
+            # Extended key from a --recover campaign:
+            # [backend, "rec", interval, retries].
+            extra = {"recover": True,
+                     "checkpoint_interval": rest[2],
+                     "max_retries": rest[3]}
         config = PipelineConfig(pipeline, technique, Policy(policy),
                                 UpdateStyle(update), dataflow,
-                                backend=rest[0] if rest else "interp")
+                                backend=rest[0] if rest else "interp",
+                                **extra)
     else:
         if not args.fault:
             print("error: give --fault (inline spec) or "
@@ -429,7 +462,8 @@ def cmd_explain(args) -> int:
                                 UpdateStyle(args.update),
                                 dataflow=args.dataflow,
                                 backend=getattr(args, "backend",
-                                                "interp"))
+                                                "interp"),
+                                **_recovery_kwargs(args))
     _, _, text = explain_spec(program, config, spec)
     print(text)
     return 0
@@ -537,6 +571,24 @@ def build_parser() -> argparse.ArgumentParser:
                  "the golden-divergence analyzer and write a JSONL "
                  "forensics bundle next to the journal (default N=8)")
 
+    def recovery_args(p):
+        from repro.recovery import (DEFAULT_CHECKPOINT_INTERVAL,
+                                    DEFAULT_MAX_RETRIES)
+        p.add_argument(
+            "--recover", action="store_true",
+            help="checkpoint/rollback recovery: on detection, roll "
+                 "back to the last checkpoint and re-execute "
+                 "(see docs/recovery.md)")
+        p.add_argument(
+            "--checkpoint-interval", type=int, default=None,
+            metavar="INSNS",
+            help="instructions between checkpoints (default "
+                 f"{DEFAULT_CHECKPOINT_INTERVAL}; adapts at runtime)")
+        p.add_argument(
+            "--max-retries", type=int, default=None, metavar="N",
+            help="recovery attempts before giving up (default "
+                 f"{DEFAULT_MAX_RETRIES})")
+
     inj = sub.add_parser("inject", help="run with injected fault(s)")
     common_exec(inj)
     inj.add_argument("--branch", default="0",
@@ -549,6 +601,7 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_arg(inj)
     resilience_args(inj)
     forensics_arg(inj)
+    recovery_args(inj)
     obs_args(inj)
     inj.set_defaults(func=cmd_inject)
 
@@ -626,6 +679,10 @@ def build_parser() -> argparse.ArgumentParser:
     fz.add_argument("--corpus", default=None, metavar="DIR",
                     help="persist failing programs (original + "
                          "minimized + report) under this directory")
+    fz.add_argument("--recover", action="store_true",
+                    help="run the recovery oracle on every detection-"
+                         "oracle program: each detected fault must "
+                         "end RECOVERED with a byte-identical digest")
     backend_arg(fz)
     jobs_arg(fz)
     resilience_args(fz)
@@ -663,6 +720,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--index", type=int, default=None,
         help="global spec index within the bundle (default: first "
              "entry)")
+    recovery_args(exp)
     exp.set_defaults(func=cmd_explain)
     return parser
 

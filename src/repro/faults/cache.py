@@ -40,10 +40,18 @@ def program_digest(program) -> str:
 
 
 def config_key(config) -> tuple:
-    """Hashable identity of a PipelineConfig."""
-    return (config.pipeline, config.technique, config.policy.value,
-            config.update_style.value, config.dataflow,
-            getattr(config, "backend", "interp"))
+    """Hashable identity of a PipelineConfig.
+
+    The recovery component is appended only when recovery is on, so
+    keys (and the journals they validate) from before the recovery
+    subsystem existed remain byte-identical.
+    """
+    key = (config.pipeline, config.technique, config.policy.value,
+           config.update_style.value, config.dataflow,
+           getattr(config, "backend", "interp"))
+    if getattr(config, "recover", False):
+        key += ("rec", config.checkpoint_interval, config.max_retries)
+    return key
 
 
 def campaign_key(program, config) -> tuple[str, tuple]:

@@ -25,6 +25,12 @@ INFRA_ERROR         the *harness* failed, not the guest: the run raised,
                     separately, and excluded from the harmful
                     denominator of ``detection_rate`` — they say nothing
                     about the technique under test
+RECOVERED           (``recover=True``) a detection triggered checkpoint
+                    rollback and the re-executed run completed with
+                    correct output — the fault was survived
+RECOVERY_FAILED     (``recover=True``) recovery was attempted but the
+                    run still ended detected/hanging/wrong: retry
+                    budget exhausted, or re-execution went bad anyway
 ==================  =====================================================
 """
 
@@ -57,6 +63,13 @@ class Outcome(enum.Enum):
     BENIGN = "benign"
     HANG = "hang"
     INFRA_ERROR = "infra_error"
+    #: detection triggered checkpoint rollback (repro.recovery) and the
+    #: re-executed run completed with correct output — the fault was
+    #: survived, not just reported
+    RECOVERED = "recovered"
+    #: recovery was attempted but the run still ended wrong: the retry
+    #: budget ran out, or re-execution produced bad output anyway
+    RECOVERY_FAILED = "recovery_failed"
 
 
 @dataclass
@@ -78,6 +91,15 @@ class RunRecord:
     #: harness failure detail for INFRA_ERROR records (exception type,
     #: message, and the spec's repr); None for real outcomes
     error: str | None = None
+    #: rollbacks/restarts performed by the recovery manager (0 when
+    #: recovery is off or never triggered)
+    attempts: int = 0
+    #: total instructions discarded across rollbacks (stop - target
+    #: checkpoint); None when recovery never triggered
+    rollback_distance_icount: int | None = None
+    #: total cycles of discarded work re-executed after rollbacks;
+    #: None when recovery never triggered
+    reexec_cycles: int | None = None
 
 
 def infra_error_record(spec, reason: str) -> RunRecord:
@@ -112,6 +134,11 @@ class PipelineConfig:
     update_style: UpdateStyle = UpdateStyle.JCC
     dataflow: bool = False                #: SWIFT-style duplication
     backend: str = "interp"               #: execution backend (repro.exec)
+    #: checkpoint/rollback recovery (repro.recovery): detections roll
+    #: the run back and re-execute instead of ending it
+    recover: bool = False
+    checkpoint_interval: int = 4096       #: instructions between checkpoints
+    max_retries: int = 3                  #: rollbacks before giving up
 
     def label(self) -> str:
         tech = self.technique or "none"
@@ -120,6 +147,8 @@ class PipelineConfig:
             label += "+df"
         if self.backend != "interp":
             label += f"@{self.backend}"
+        if self.recover:
+            label += "+rec"
         return label
 
 
@@ -218,6 +247,27 @@ class Pipeline:
                     help="cycles from fault application to detection",
                     policy=policy).observe(
                         record.detection_latency_cycles)
+        if record.outcome in (Outcome.RECOVERED, Outcome.RECOVERY_FAILED):
+            policy = self.config.policy.value
+            registry.counter(
+                "campaign_recovery_total",
+                help="recovery-triggering runs by final result",
+                technique=self.config.technique or "none",
+                policy=policy,
+                result=("recovered"
+                        if record.outcome is Outcome.RECOVERED
+                        else "failed")).inc()
+            if record.rollback_distance_icount is not None:
+                registry.histogram(
+                    "campaign_rollback_distance_instructions",
+                    help="instructions discarded by rollbacks per run",
+                    policy=policy).observe(
+                        record.rollback_distance_icount)
+            if record.reexec_cycles is not None:
+                registry.histogram(
+                    "campaign_reexec_cycles",
+                    help="cycles of discarded work re-executed per run",
+                    policy=policy).observe(record.reexec_cycles)
         return record
 
     def _run(self, fault: FaultSpec | CacheFaultSpec | None,
@@ -262,6 +312,44 @@ class Pipeline:
             from repro.exec import install_backend
             install_backend(cpu, self.config.backend)
 
+    # -- checkpoint/rollback recovery (repro.recovery) -----------------------
+
+    def _recovery_manager(self, cpu, fault, injector, max_steps, step,
+                          classify, epoch=None, entry_restart=None,
+                          reinstall=None):
+        from repro.recovery import RecoveryManager
+        config = self.config
+        return RecoveryManager(
+            cpu, step=step, classify=classify, budget=max_steps,
+            interval=config.checkpoint_interval,
+            max_retries=config.max_retries,
+            injector=injector, reinstall=reinstall,
+            persistent=getattr(fault, "persistent", False),
+            epoch=epoch, entry_restart=entry_restart)
+
+    def _apply_recovery(self, record: RunRecord, report,
+                        probe=None) -> RunRecord:
+        """Fold a RecoveryReport into the run's record and outcome.
+
+        A run whose detections (or watchdog trips) were all absorbed by
+        rollback ends BENIGN at classification time — that is a
+        successful recovery.  Anything else that still triggered
+        recovery machinery ends RECOVERY_FAILED: the retry budget ran
+        out, or re-execution still produced wrong output.  Runs where
+        recovery never triggered keep their ordinary outcome.
+        """
+        if probe is not None:
+            probe.recovery = report
+        record.attempts = report.attempts
+        if report.triggers == 0:
+            return record
+        record.rollback_distance_icount = report.rollback_icount
+        record.reexec_cycles = report.reexec_cycles
+        record.outcome = (Outcome.RECOVERED
+                          if record.outcome is Outcome.BENIGN
+                          else Outcome.RECOVERY_FAILED)
+        return record
+
     def _run_native(self, fault, max_steps, probe=None) -> RunRecord:
         from repro.faults.injector import RegisterFaultSpec
         cpu = Cpu()
@@ -275,6 +363,23 @@ class Pipeline:
             injector.install(cpu)
         if probe is not None:
             probe.bind(cpu, injector=injector)
+        if self.config.recover and fault is not None:
+            def classify(stop):
+                if stop.reason is StopReason.FAULT:
+                    return "detected"
+                if stop.reason in (StopReason.STEP_LIMIT,
+                                   StopReason.CYCLE_LIMIT):
+                    return "limit"
+                return "done"
+
+            manager = self._recovery_manager(
+                cpu, fault, injector, max_steps,
+                step=lambda n: cpu.run(max_steps=n), classify=classify,
+                reinstall=(None if injector is None
+                           else lambda: injector.install(cpu)))
+            stop = manager.execute()
+            record = self._finish(cpu, stop, detected=False)
+            return self._apply_recovery(record, manager.report, probe)
         stop = cpu.run(max_steps=max_steps)
         return self._finish(cpu, stop, detected=False)
 
@@ -293,12 +398,32 @@ class Pipeline:
             injector.install(cpu)
         if probe is not None:
             probe.bind(cpu, injector=injector, instrumented=ip)
-        stop = cpu.run(max_steps=max_steps)
+        report = None
+        if self.config.recover and fault is not None:
+            def classify(stop):
+                if stop.reason is StopReason.FAULT:
+                    return "detected"
+                if stop.reason in (StopReason.STEP_LIMIT,
+                                   StopReason.CYCLE_LIMIT):
+                    return "limit"
+                return "detected" if cpu.cfc_error else "done"
+
+            manager = self._recovery_manager(
+                cpu, fault, injector, max_steps,
+                step=lambda n: cpu.run(max_steps=n), classify=classify,
+                reinstall=(None if injector is None
+                           else lambda: injector.install(cpu)))
+            stop = manager.execute()
+            report = manager.report
+        else:
+            stop = cpu.run(max_steps=max_steps)
         detected = cpu.cfc_error or (
             stop.reason is StopReason.FAULT
             and stop.fault is FaultKind.DIV_BY_ZERO
             and stop.pc in ip.check_addresses)
         record = self._finish(cpu, stop, detected)
+        if report is not None:
+            return self._apply_recovery(record, report, probe)
         if (detected and injector is not None
                 and injector.fired_icount is not None):
             record.detection_latency = cpu.icount - injector.fired_icount
@@ -331,6 +456,9 @@ class Pipeline:
             injector.install()
         if probe is not None:
             probe.bind(dbt.cpu, injector=injector, dbt=dbt)
+        if config.recover and fault is not None:
+            return self._run_dbt_recovered(dbt, fault, injector,
+                                           max_steps, probe)
         result = dbt.run(max_steps=max_steps)
         detected = result.detected_error or result.detected_dataflow
         record = self._finish(dbt.cpu, result.stop, detected)
@@ -342,6 +470,59 @@ class Pipeline:
                 record.detection_latency_cycles = (
                     dbt.cpu.cycles - injector.fired_cycles)
         return record
+
+    def _run_dbt_recovered(self, dbt, fault, injector, max_steps,
+                           probe) -> RunRecord:
+        """DBT run under the recovery manager.
+
+        The entry stub is primed eagerly so the entry checkpoint's PC
+        already points into the translation cache; checkpoints record
+        the DBT's flush epoch, and an entry restart after a flush
+        re-primes translation from scratch (stale-translation hazard:
+        the DBT's raw-write watcher deliberately ignores cache writes,
+        so a rollback that rewrites SMC-dirtied guest pages relies on
+        the epoch guard, not on write monitoring).
+        """
+        if dbt._entry_stub is None:
+            dbt._entry_stub = dbt._emit_entry_stub()
+            dbt.cpu.pc = dbt._entry_stub
+
+        def entry_restart():
+            dbt._flush_translations()
+            dbt._entry_stub = dbt._emit_entry_stub()
+            dbt.cpu.pc = dbt._entry_stub
+
+        def classify(result):
+            if result.detected_error or result.detected_dataflow:
+                return "detected"
+            reason = result.stop.reason
+            if reason is StopReason.FAULT:
+                return "detected"
+            if reason in (StopReason.STEP_LIMIT, StopReason.CYCLE_LIMIT):
+                return "limit"
+            return "done"
+
+        if isinstance(injector, DbtInjector):
+            def reinstall():
+                # Site addresses are stale after a cache flush; force a
+                # re-enumeration against the fresh translations.
+                injector._sites.clear()
+                injector._known_translations = -1
+                injector.install()
+        elif injector is not None:
+            reinstall = injector.install
+        else:
+            reinstall = None
+
+        manager = self._recovery_manager(
+            dbt.cpu, fault, injector, max_steps,
+            step=lambda n: dbt._run(n, None), classify=classify,
+            epoch=lambda: dbt.flushes, entry_restart=entry_restart,
+            reinstall=reinstall)
+        result = manager.execute()
+        detected = result.detected_error or result.detected_dataflow
+        record = self._finish(dbt.cpu, result.stop, detected)
+        return self._apply_recovery(record, manager.report, probe)
 
 
 # -- campaign fault generation ---------------------------------------------------
@@ -488,7 +669,11 @@ class CampaignResult:
         if not bucket:
             return 0.0
         detected = (bucket[Outcome.DETECTED_SIGNATURE]
-                    + bucket[Outcome.DETECTED_HARDWARE])
+                    + bucket[Outcome.DETECTED_HARDWARE]
+                    # A recovery run (successful or not) started with a
+                    # detection: it counts towards coverage either way.
+                    + bucket.get(Outcome.RECOVERED, 0)
+                    + bucket.get(Outcome.RECOVERY_FAILED, 0))
         harmful = detected + bucket[Outcome.SDC] + bucket[Outcome.HANG]
         return detected / harmful if harmful else 1.0
 
@@ -554,7 +739,9 @@ class DataFaultCampaignResult:
     @property
     def detected(self) -> int:
         return (self.outcomes.get(Outcome.DETECTED_SIGNATURE, 0)
-                + self.outcomes.get(Outcome.DETECTED_HARDWARE, 0))
+                + self.outcomes.get(Outcome.DETECTED_HARDWARE, 0)
+                + self.outcomes.get(Outcome.RECOVERED, 0)
+                + self.outcomes.get(Outcome.RECOVERY_FAILED, 0))
 
     @property
     def infra(self) -> int:

@@ -77,7 +77,9 @@ def resolve_jobs(jobs: int | None) -> int:
 
 
 #: Outcomes the forensics layer treats as escapes worth replaying.
-_ESCAPE_OUTCOMES = (Outcome.SDC, Outcome.HANG)
+#: A failed recovery is not a *silent* escape, but it is exactly the
+#: kind of run worth a golden-divergence replay, so it is bundled too.
+_ESCAPE_OUTCOMES = (Outcome.SDC, Outcome.HANG, Outcome.RECOVERY_FAILED)
 
 
 @dataclass

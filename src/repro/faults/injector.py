@@ -77,10 +77,27 @@ class FaultSpec:
     branch_pc: int        #: guest address of the direct branch
     occurrence: int       #: 1-based dynamic execution index of the site
     fault: object         #: one of the fault event types above
+    #: a stuck-at error instead of the default one-shot transient: under
+    #: checkpoint/rollback recovery (repro.recovery) the injector is
+    #: re-armed after every rollback, so the fault strikes again on
+    #: re-execution.  Transient faults (the paper's single-error model)
+    #: never re-fire.
+    persistent: bool = False
 
     def describe(self) -> str:
+        stuck = "!persistent" if self.persistent else ""
         return (f"{type(self.fault).__name__}@{self.branch_pc:#x}"
-                f"#{self.occurrence}")
+                f"#{self.occurrence}{stuck}")
+
+    def __repr__(self) -> str:
+        # Matches the generated dataclass repr byte-for-byte for the
+        # default transient case: journal spec digests predating the
+        # ``persistent`` field must keep resolving.
+        base = (f"FaultSpec(branch_pc={self.branch_pc!r}, "
+                f"occurrence={self.occurrence!r}, fault={self.fault!r}")
+        if self.persistent:
+            base += f", persistent={self.persistent!r}"
+        return base + ")"
 
 
 _NOP = Instruction(op=Op.NOP)

@@ -39,7 +39,7 @@ def spec_digest(spec) -> str:
 
 
 def record_to_json(record: RunRecord) -> dict:
-    return {"outcome": record.outcome.value,
+    data = {"outcome": record.outcome.value,
             "stop": record.stop_reason,
             "out": [list(part) for part in record.outputs],
             "cycles": record.cycles,
@@ -47,6 +47,14 @@ def record_to_json(record: RunRecord) -> dict:
             "latency": record.detection_latency,
             "latency_cycles": record.detection_latency_cycles,
             "error": record.error}
+    if record.attempts or record.rollback_distance_icount is not None:
+        # Recovery fields only appear on runs recovery touched, so
+        # journals from recovery-off campaigns stay byte-identical to
+        # the pre-recovery format.
+        data["attempts"] = record.attempts
+        data["rollback"] = record.rollback_distance_icount
+        data["reexec"] = record.reexec_cycles
+    return data
 
 
 def record_from_json(data: dict) -> RunRecord:
@@ -57,7 +65,10 @@ def record_from_json(data: dict) -> RunRecord:
                      icount=data["icount"],
                      detection_latency=data.get("latency"),
                      detection_latency_cycles=data.get("latency_cycles"),
-                     error=data.get("error"))
+                     error=data.get("error"),
+                     attempts=data.get("attempts", 0),
+                     rollback_distance_icount=data.get("rollback"),
+                     reexec_cycles=data.get("reexec"))
 
 
 class CampaignJournal:

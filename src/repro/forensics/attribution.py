@@ -41,6 +41,7 @@ class EscapeReason(enum.Enum):
     MISTAKEN_BRANCH = "mistaken-branch"
     SIGNATURE_ALIASING = "signature-aliasing"
     DATA_FAULT_BLINDSPOT = "data-fault-blindspot"
+    RECOVERY_EXHAUSTED = "recovery-exhausted"
     NOT_AN_ESCAPE = "not-an-escape"
 
 
@@ -69,6 +70,22 @@ def attribute_escape(divergence: Divergence,
         return _make(EscapeReason.NOT_AN_ESCAPE,
                      f"detected ({outcome.value}) after "
                      f"{divergence.detection_latency} instructions")
+    recovery = divergence.recovery or {}
+    if outcome is Outcome.RECOVERED:
+        return _make(
+            EscapeReason.NOT_AN_ESCAPE,
+            f"detected and survived: {recovery.get('attempts', 0)} "
+            f"rollback attempt(s) re-executed "
+            f"{recovery.get('rollback_icount', 0)} instruction(s) to "
+            "a correct finish")
+    if outcome is Outcome.RECOVERY_FAILED:
+        return _make(
+            EscapeReason.RECOVERY_EXHAUSTED,
+            f"detected, but {recovery.get('attempts', 0)} rollback "
+            f"attempt(s) over {recovery.get('triggers', 0)} trigger(s) "
+            "did not reach a clean finish"
+            + (" (retry budget exhausted)"
+               if recovery.get("gave_up") else ""))
 
     if outcome is Outcome.BENIGN:
         if divergence.category is Category.A and divergence.diverged:

@@ -62,6 +62,8 @@ class RunProbe:
         self.injector = None
         self.dbt = None
         self.instrumented = None
+        #: RecoveryReport deposited by the pipeline when --recover ran.
+        self.recovery = None
 
     def bind(self, cpu, injector=None, dbt=None,
              instrumented=None) -> None:
@@ -133,6 +135,8 @@ class Divergence:
     state_delta: StateDelta | None = None
     golden_events: int = 0
     fault_events: int = 0
+    #: RecoveryReport.to_json() when the run executed under --recover
+    recovery: dict | None = None
 
     def to_json(self) -> dict:
         return {
@@ -160,6 +164,7 @@ class Divergence:
             "state_delta": _delta_to_json(self.state_delta),
             "golden_events": self.golden_events,
             "fault_events": self.fault_events,
+            "recovery": self.recovery,
         }
 
 
@@ -272,6 +277,8 @@ class GoldenDivergenceAnalyzer:
             golden_events=len(golden_events),
             fault_events=len(fault_events))
 
+        if probe.recovery is not None:
+            divergence.recovery = probe.recovery.to_json()
         self._locate_divergence(divergence, golden_events, fault_events,
                                 probe)
         divergence.category = classify_spec_landing(

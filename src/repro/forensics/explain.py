@@ -108,6 +108,35 @@ def render_explanation(program, config: PipelineConfig,
             f"{_fmt(divergence.detection_latency, ' instructions')}, "
             f"{_fmt(divergence.detection_latency_cycles, ' cycles')}")
 
+    # -- recovery timeline --
+    recovery = divergence.recovery
+    if recovery is not None:
+        out("")
+        out(f"recovery (interval {recovery.get('interval', '?')}, "
+            f"{recovery.get('checkpoints', 0)} mid-run "
+            f"checkpoint(s))")
+        for event in recovery.get("events", ()):
+            kind = event.get("event")
+            if kind in ("detected", "watchdog"):
+                out(f"  {kind:<11} at icount {event.get('icount')}"
+                    f", cycle {event.get('cycles')}")
+            elif kind in ("rollback", "restart"):
+                target = ("entry checkpoint" if kind == "restart"
+                          else f"checkpoint #{event.get('target')}")
+                out(f"  {kind:<11} -> {target} "
+                    f"(icount {event.get('target_icount')}), "
+                    f"re-executing {event.get('distance_icount')} "
+                    f"instruction(s) / "
+                    f"{event.get('discarded_cycles')} cycle(s)")
+            elif kind == "gave-up":
+                out(f"  gave up     after {event.get('attempts')} "
+                    f"attempt(s): retry budget exhausted")
+        survived = divergence.outcome is Outcome.RECOVERED
+        out(f"  result      "
+            + ("survived — re-execution reached a clean finish"
+               if survived else
+               f"not recovered ({divergence.outcome.value})"))
+
     # -- silent checks --
     out("")
     if divergence.silent_checks:

@@ -183,6 +183,13 @@ CONDITION_NOTES: dict[str, str] = {
         "dataflow checking: signature monitoring only guards "
         "control flow, so the corruption propagates unseen unless "
         "it derails a branch."),
+    "recovery-exhausted": (
+        "Detection worked — the error branch fired — but the "
+        "checkpoint/rollback harness could not re-execute to a clean "
+        "finish (persistent fault, retry budget, or a corrupted "
+        "region outside the recoverable bound).  A fail-stop, not a "
+        "silent escape; the formal conditions say nothing about "
+        "recovery, only detection."),
     "not-an-escape": (
         "The run was detected (or produced correct output); no "
         "coverage was lost."),

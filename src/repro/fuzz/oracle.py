@@ -82,20 +82,26 @@ class RunDigest:
                 if getattr(self, name) != getattr(other, name)]
 
 
-def _digest_cpu(cpu: Cpu, stop, detected: bool,
-                data_base: int, data_len: int) -> RunDigest:
+def _digest_state(cpu: Cpu, stop_value: str, detected: bool,
+                  data_base: int, data_len: int) -> RunDigest:
     if data_len:
         blob = cpu.memory.read_raw(data_base, data_len)
         mem_digest = hashlib.sha256(blob).hexdigest()[:16]
     else:
         mem_digest = "-"
-    return RunDigest(stop=stop.reason.value,
+    return RunDigest(stop=stop_value,
                      exit_code=cpu.exit_code,
                      output="".join(cpu.output),
                      output_values=tuple(cpu.output_values),
                      mem_digest=mem_digest,
                      syscalls=tuple(cpu.syscall_trace or ()),
                      detected=detected)
+
+
+def _digest_cpu(cpu: Cpu, stop, detected: bool,
+                data_base: int, data_len: int) -> RunDigest:
+    return _digest_state(cpu, stop.reason.value, detected,
+                         data_base, data_len)
 
 
 def _install(cpu: Cpu, backend: str) -> None:
@@ -416,6 +422,103 @@ def check_detection(program: Program, technique: str,
     return escapes, len(specs)
 
 
+# -- recovery oracle ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RecoveryFailure:
+    """A detected fault whose recovery did not reproduce the golden run.
+
+    Either the run under ``recover=True`` did not end ``RECOVERED``
+    (the rollback machinery mis-handled a detection), or it did but the
+    recovered final state diverged from the uninstrumented golden
+    RunDigest — duplicated side effects, stale memory, wrong exit.
+    """
+
+    label: str
+    spec: FaultSpec
+    category: str
+    outcome: str
+    fields: tuple = ()
+
+    def describe(self) -> str:
+        detail = f" [{', '.join(self.fields)}]" if self.fields else ""
+        return (f"{self.label}: {self.spec.describe()} "
+                f"category {self.category} -> {self.outcome}{detail}")
+
+
+class _RecoveryProbe:
+    """Minimal run probe: keeps the run's CPU (with syscall tracing on)
+    so the recovered final state can be digested against golden."""
+
+    def __init__(self) -> None:
+        self.cpu = None
+        self.recovery = None
+
+    def bind(self, cpu, **_kwargs) -> None:
+        self.cpu = cpu
+        cpu.syscall_trace = []
+
+
+def check_recovery(program: Program, technique: str,
+                   policy: Policy = Policy.ALLBB,
+                   pipeline: str | None = None,
+                   technique_factory=None,
+                   max_sites: int | None = None,
+                   claimed=None,
+                   backend: str = "interp",
+                   checkpoint_interval: int = 256,
+                   max_retries: int = 3
+                   ) -> tuple[list[RecoveryFailure], int]:
+    """Re-run the detection suite under ``recover=True``.
+
+    For every detected single-bit branch-offset fault, the recovered
+    run must end ``RECOVERED`` with a RunDigest byte-identical to the
+    uninstrumented golden run (exit, output, output_values, memory
+    sha256, syscall trace — the truncate-on-rollback protocol must not
+    duplicate externally visible effects).  Faults the technique never
+    detects (masked or escaped) are the detection oracle's business and
+    are skipped here.
+    """
+    if pipeline is None:
+        pipeline = ("static" if technique in STATIC_TECHNIQUES
+                    else "dbt")
+    if claimed is None:
+        claimed = claimed_categories(technique)
+    golden = capture_native(program)
+    config = PipelineConfig(pipeline, technique, policy,
+                            backend=backend, recover=True,
+                            checkpoint_interval=checkpoint_interval,
+                            max_retries=max_retries)
+    specs = enumerate_detection_specs(program, claimed,
+                                      max_sites=max_sites)
+    pipe = Pipeline(program, config,
+                    technique_factory=technique_factory)
+    failures = []
+    for spec, category in specs:
+        probe = _RecoveryProbe()
+        record = pipe.run(spec, probe=probe)
+        if record.outcome in (Outcome.BENIGN, Outcome.SDC,
+                              Outcome.HANG):
+            continue   # never detected: not recovery's to answer for
+        if record.outcome is not Outcome.RECOVERED:
+            failures.append(RecoveryFailure(
+                label=config.label(), spec=spec,
+                category=category.value,
+                outcome=record.outcome.value))
+            continue
+        digest = _digest_state(probe.cpu, StopReason.HALTED.value,
+                               False, program.data_base,
+                               len(program.data))
+        fields = golden.diff(digest)
+        if fields:
+            failures.append(RecoveryFailure(
+                label=config.label(), spec=spec,
+                category=category.value, outcome="digest-mismatch",
+                fields=tuple(fields)))
+    return failures, len(specs)
+
+
 # -- combined verdict --------------------------------------------------------
 
 
@@ -426,12 +529,15 @@ class OracleReport:
     seed: int | None = None
     transparency: list = field(default_factory=list)
     escapes: list = field(default_factory=list)
+    recovery: list = field(default_factory=list)
     transparency_configs: int = 0
     detection_runs: int = 0
+    recovery_runs: int = 0
 
     @property
     def ok(self) -> bool:
-        return not self.transparency and not self.escapes
+        return (not self.transparency and not self.escapes
+                and not self.recovery)
 
 
 def run_oracles(program: Program,
@@ -441,8 +547,13 @@ def run_oracles(program: Program,
                 detect_techniques=DBT_TECHNIQUES,
                 max_sites: int | None = None,
                 seed: int | None = None,
-                backend: str = "interp") -> OracleReport:
-    """Run the transparency (always) and detection (opt-in) oracles."""
+                backend: str = "interp",
+                recover: bool = False) -> OracleReport:
+    """Run the transparency (always) and detection (opt-in) oracles.
+
+    ``recover`` additionally holds every detected fault of the
+    detection suite to the recovery contract (:func:`check_recovery`).
+    """
     report = OracleReport(seed=seed)
     configs = transparency_configs(program, techniques, policies,
                                    backend=backend)
@@ -455,4 +566,10 @@ def run_oracles(program: Program,
                                             backend=backend)
             report.escapes.extend(escapes)
             report.detection_runs += runs
+            if recover:
+                failures, rruns = check_recovery(program, technique,
+                                                 max_sites=max_sites,
+                                                 backend=backend)
+                report.recovery.extend(failures)
+                report.recovery_runs += rruns
     return report

@@ -36,7 +36,8 @@ from repro.faults.sampling import derive_seed
 from repro.fuzz.generator import FuzzKnobs, generate_source
 from repro.fuzz.minimizer import minimize_source
 from repro.fuzz.oracle import (DBT_TECHNIQUES, DEFAULT_TECHNIQUES,
-                               check_detection, check_transparency,
+                               check_detection, check_recovery,
+                               check_transparency,
                                transparency_configs)
 from repro.isa.assembler import assemble
 
@@ -64,6 +65,10 @@ class FuzzConfig:
     #: optional technique override forwarded to the oracles (must be a
     #: picklable module-level callable when jobs > 1).
     technique_factory: object = None
+    #: also hold every detected fault of the detection suite to the
+    #: recovery contract (checkpoint/rollback must reproduce the golden
+    #: RunDigest; see repro.recovery and docs/recovery.md).
+    recover: bool = False
 
     def program_seed(self, index: int) -> int:
         return derive_seed(self.seed, "program", index)
@@ -91,7 +96,8 @@ def _fuzz_one(task) -> dict:
     """Worker: oracles for one index.  Returns a picklable verdict."""
     index, config = task
     verdict = {"index": index, "kind": "ok", "transparency": [],
-               "escapes": [], "configs": 0, "detection_runs": 0}
+               "escapes": [], "recovery": [], "configs": 0,
+               "detection_runs": 0, "recovery_runs": 0}
     source = generate_source(config.program_seed(index),
                              config.knobs_for(index))
     program = assemble(source, name=f"fuzz-{index}")
@@ -126,6 +132,22 @@ def _fuzz_one(task) -> dict:
                      "spec": e.spec.describe(),
                      "category": e.category, "outcome": e.outcome}
                     for e in escapes]
+            if config.recover:
+                failures, rruns = check_recovery(
+                    tiny_program, technique,
+                    technique_factory=config.technique_factory,
+                    max_sites=config.max_sites,
+                    backend=config.backend)
+                verdict["recovery_runs"] += rruns
+                if failures:
+                    if verdict["kind"] == "ok":
+                        verdict["kind"] = "recovery"
+                    verdict["recovery"] += [
+                        {"label": f.label, "technique": technique,
+                         "spec": f.spec.describe(),
+                         "category": f.category, "outcome": f.outcome,
+                         "fields": list(f.fields)}
+                        for f in failures]
     return verdict
 
 
@@ -134,7 +156,7 @@ class FuzzFailure:
     """One failing program, minimized and persisted."""
 
     index: int
-    kind: str                 #: "transparency" | "detection"
+    kind: str                 #: "transparency" | "detection" | "recovery"
     detail: str
     source: str
     minimized: str | None = None
@@ -152,16 +174,19 @@ class FuzzReport:
     ok: int = 0
     transparency_failures: int = 0
     detection_escapes: int = 0
+    recovery_failures: int = 0
     infra_errors: int = 0
     transparency_configs: int = 0
     detection_runs: int = 0
+    recovery_runs: int = 0
     shrink_steps: int = 0
     failures: list = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
         return (self.transparency_failures == 0
-                and self.detection_escapes == 0)
+                and self.detection_escapes == 0
+                and self.recovery_failures == 0)
 
     def summary(self) -> dict:
         """Deterministic summary — identical for any job count."""
@@ -169,19 +194,25 @@ class FuzzReport:
                 "programs": self.programs, "ok": self.ok,
                 "transparency_failures": self.transparency_failures,
                 "detection_escapes": self.detection_escapes,
+                "recovery_failures": self.recovery_failures,
                 "infra_errors": self.infra_errors,
                 "transparency_configs": self.transparency_configs,
-                "detection_runs": self.detection_runs}
+                "detection_runs": self.detection_runs,
+                "recovery_runs": self.recovery_runs}
 
     def summary_line(self) -> str:
         s = self.summary()
+        recov = ""
+        if s["recovery_runs"] or s["recovery_failures"]:
+            recov = (f", {s['recovery_failures']} recovery failures "
+                     f"over {s['recovery_runs']} recovery runs")
         return (f"seed {s['seed']}: {s['programs']} programs, "
                 f"{s['ok']} ok, "
                 f"{s['transparency_failures']} transparency, "
                 f"{s['detection_escapes']} detection escapes, "
                 f"{s['infra_errors']} infra "
                 f"({s['transparency_configs']} configs, "
-                f"{s['detection_runs']} detection runs)")
+                f"{s['detection_runs']} detection runs)" + recov)
 
 
 # -- failure handling (parent process, deterministic) ------------------------
@@ -227,6 +258,22 @@ def _detection_predicate(config: FuzzConfig, technique: str):
                 max_sites=config.max_sites,
                 backend=config.backend)
             return bool(escapes)
+        except Exception:
+            return False
+    return predicate
+
+
+def _recovery_predicate(config: FuzzConfig, technique: str):
+    """Candidate still breaks the recovery contract."""
+    def predicate(source: str) -> bool:
+        try:
+            program = assemble(source)
+            failures, _ = check_recovery(
+                program, technique,
+                technique_factory=config.technique_factory,
+                max_sites=config.max_sites,
+                backend=config.backend)
+            return bool(failures)
         except Exception:
             return False
     return predicate
@@ -297,6 +344,12 @@ def _handle_failure(index: int, verdict: dict, config: FuzzConfig,
         first = verdict["transparency"][0]
         predicate = _transparency_predicate(
             config, first["label"], first.get("crash", False))
+    elif kind == "recovery":
+        source = generate_source(config.detect_seed(index),
+                                 config.detect_knobs)
+        detail = json.dumps(verdict["recovery"])
+        technique = verdict["recovery"][0]["technique"]
+        predicate = _recovery_predicate(config, technique)
     else:
         source = generate_source(config.detect_seed(index),
                                  config.detect_knobs)
@@ -350,7 +403,8 @@ def run_fuzz(config: FuzzConfig, jobs: int = 1,
             "techniques": list(config.techniques),
             "policies": [p.value for p in config.policies],
             "detect_every": config.detect_every,
-            "backend": config.backend})
+            "backend": config.backend,
+            "recover": config.recover})
     tasks = [(index, config) for index in range(config.count)]
     with obs.span("fuzz.campaign", seed=str(config.seed),
                   count=str(config.count)):
@@ -371,6 +425,7 @@ def run_fuzz(config: FuzzConfig, jobs: int = 1,
             continue
         report.transparency_configs += verdict["configs"]
         report.detection_runs += verdict["detection_runs"]
+        report.recovery_runs += verdict.get("recovery_runs", 0)
         obs.counter("fuzz_verdicts_total",
                     help="fuzz oracle verdicts",
                     verdict=verdict["kind"]).inc()
@@ -382,6 +437,8 @@ def run_fuzz(config: FuzzConfig, jobs: int = 1,
                     verdict["transparency"])
             if verdict["escapes"]:
                 report.detection_escapes += len(verdict["escapes"])
+            if verdict.get("recovery"):
+                report.recovery_failures += len(verdict["recovery"])
             _handle_failure(index, verdict, config, corpus, report)
         if journal_file is not None:
             entry = dict(verdict)

@@ -51,6 +51,24 @@ class Memory:
         #: -compiling backend flushes its compiled code on permission
         #: changes (X grants/revocations).  ``None`` when unused.
         self.perm_watch = None
+        #: Copy-on-write journal for checkpoint/rollback recovery
+        #: (``repro.recovery``): when a dict, the pre-image of every
+        #: page is captured before its first mutation since the journal
+        #: was last drained.  ``None`` (the default) costs one identity
+        #: check per store.
+        self.cow = None
+        #: Byte bound for COW tracking: pages at or above it are never
+        #: preserved.  Recovery sets this below the DBT code cache so
+        #: translation writes (a semantics-preserving cache, not
+        #: architectural state) are not journalled.
+        self.cow_bound = size
+
+    def _cow_capture(self, addr: int) -> None:
+        """Record the pre-image of ``addr``'s page (first touch only)."""
+        page = addr >> PAGE_SHIFT
+        if page not in self.cow and addr < self.cow_bound:
+            base = page << PAGE_SHIFT
+            self.cow[page] = bytes(self.data[base:base + PAGE_SIZE])
 
     # -- permissions ------------------------------------------------------
 
@@ -87,6 +105,9 @@ class Memory:
         end = addr + len(blob)
         if not 0 <= addr <= end <= self.size:
             raise MachineError(f"raw write outside memory: {addr:#x}")
+        if self.cow is not None:
+            for page in self.pages_in(addr, len(blob)):
+                self._cow_capture(page << PAGE_SHIFT)
         self.data[addr:end] = blob
         if self.write_watch is not None:
             self.write_watch(addr, len(blob))
@@ -119,6 +140,9 @@ class Memory:
             kind = (FaultKind.WRITE_PROTECT if perms & PERM_R
                     else FaultKind.BAD_ACCESS)
             raise AccessFault(kind, addr)
+        cow = self.cow
+        if cow is not None and addr >> PAGE_SHIFT not in cow:
+            self._cow_capture(addr)
         self.data[addr:addr + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
         if self.write_watch is not None:
             self.write_watch(addr, 4)
@@ -134,6 +158,9 @@ class Memory:
             kind = (FaultKind.WRITE_PROTECT if perms & PERM_R
                     else FaultKind.BAD_ACCESS)
             raise AccessFault(kind, addr)
+        cow = self.cow
+        if cow is not None and addr >> PAGE_SHIFT not in cow:
+            self._cow_capture(addr)
         self.data[addr] = value & 0xFF
         if self.write_watch is not None:
             self.write_watch(addr, 1)

@@ -145,6 +145,71 @@ def _latency_section(histograms: list) -> str | None:
         title="Detection latency (fault application -> error report)")
 
 
+#: Rollback/re-execution cost histograms, broken out by policy in the
+#: recovery section (sparser checking -> later detection -> longer
+#: rollback distance).
+_RECOVERY_HISTOGRAMS = (
+    ("campaign_rollback_distance_instructions", "instructions"),
+    ("campaign_reexec_cycles", "cycles"),
+)
+
+
+def _recovery_section(snapshot: dict) -> str | None:
+    """Checkpoint/rollback recovery report (see docs/recovery.md):
+    success rate by technique x policy, rollback-distance and
+    re-execution percentiles, and checkpoint capture overhead."""
+    counters = snapshot.get("counters", [])
+    histograms = snapshot.get("histograms", [])
+    tallies: dict = {}
+    for entry in counters:
+        if entry["name"] != "campaign_recovery_total":
+            continue
+        labels = entry.get("labels", {})
+        key = (labels.get("technique", "-"), labels.get("policy", "-"))
+        bucket = tallies.setdefault(key, {"recovered": 0, "failed": 0})
+        bucket[labels.get("result", "failed")] += entry["value"]
+    parts: list[str] = []
+    if tallies:
+        rows = []
+        for (technique, policy), bucket in sorted(tallies.items()):
+            total = bucket["recovered"] + bucket["failed"]
+            rate = bucket["recovered"] / total if total else 0.0
+            rows.append([technique, policy, bucket["recovered"],
+                         bucket["failed"], f"{rate:.1%}"])
+        parts.append(format_table(
+            ["technique", "policy", "recovered", "failed", "success"],
+            rows, title="Recovery outcomes (detections survived)"))
+    rows = []
+    for name, unit in _RECOVERY_HISTOGRAMS:
+        entries = [e for e in histograms if e["name"] == name]
+        entries.sort(key=lambda e: e.get("labels", {}).get("policy", ""))
+        for entry in entries:
+            histogram = _snapshot_histogram(entry)
+            policy = entry.get("labels", {}).get("policy", "-")
+            rows.append([policy, unit, entry["count"],
+                         histogram.percentile(0.50),
+                         histogram.percentile(0.90),
+                         histogram.percentile(0.99)])
+    if rows:
+        parts.append(format_table(
+            ["policy", "unit", "rollbacks", "p50", "p90", "p99"], rows,
+            title="Rollback distance / re-execution cost"))
+    totals = {e["name"]: e["value"] for e in counters
+              if e["name"].startswith("recovery_")}
+    captured = totals.get("recovery_checkpoints_total", 0)
+    if captured:
+        seconds = totals.get("recovery_capture_seconds_total", 0.0)
+        pages = totals.get("recovery_pages_preserved_total", 0)
+        parts.append(
+            f"Checkpoint capture: {captured:.0f} checkpoint(s), "
+            f"{pages:.0f} pre-image page(s), "
+            f"{seconds * 1e6 / captured:.1f} us/capture "
+            f"({seconds:.4f}s total)")
+    if not parts:
+        return None
+    return "\n\n".join(parts)
+
+
 def render_stats(snapshot: dict) -> str:
     """The human ``repro stats`` report."""
     sections: list[str] = []
@@ -179,6 +244,9 @@ def render_stats(snapshot: dict) -> str:
         latency = _latency_section(histograms)
         if latency:
             sections.append(latency)
+    recovery = _recovery_section(snapshot)
+    if recovery:
+        sections.append(recovery)
     spans = snapshot.get("spans", [])
     if spans:
         rows = []

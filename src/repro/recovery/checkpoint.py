@@ -1,0 +1,143 @@
+"""Architectural checkpoints over copy-on-write memory deltas.
+
+A :class:`Checkpoint` is a full snapshot of the guest-visible machine:
+registers, FLAGS, PC, the retired-instruction and cycle counters, the
+halt/CFC-error latches, and the *lengths* of the externally visible
+output and syscall logs (restoring truncates them, which is what makes
+re-execution free of duplicated side effects — the harness buffers all
+I/O).  Memory is not copied wholesale: :class:`~repro.machine.memory.
+Memory` journals the pre-image of every page the first time it is
+dirtied (``Memory.cow``), and each checkpoint owns the journal of the
+interval that *ended* at it.  Rolling back to checkpoint ``j`` replays
+the pre-images of every interval after ``j`` (oldest value wins) plus
+the currently open interval, so only pages actually written since ``j``
+are touched — and every restore goes through ``Memory.write_raw``, so
+the interpreter's decode cache, the block backend's compiled traces
+(including their chain links), and any other write watcher are
+invalidated exactly like a guest store would.
+
+The copy-on-write bound is the DBT code-cache base: everything
+architectural (text, data, stack, the dataflow shadow region) lives
+below it, while translation-cache writes above it are a
+semantics-preserving cache that must *not* be rolled back (the DBT's
+flush epoch, recorded per checkpoint, governs their validity instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dbt.codecache import CACHE_BASE
+from repro.machine.memory import PAGE_SHIFT, PAGE_SIZE
+
+#: Byte bound below which memory is architectural and checkpointed.
+RECOVERABLE_BOUND = CACHE_BASE
+
+
+@dataclass
+class Checkpoint:
+    """One consistent point the machine can be rolled back to."""
+
+    ordinal: int
+    pc: int
+    icount: int
+    cycles: int
+    regs: tuple
+    flags: int
+    exit_code: int | None
+    cfc_error: object
+    output_len: int
+    output_values_len: int
+    syscall_len: int
+    #: DBT flush epoch at capture time (0 outside the DBT pipeline).  A
+    #: checkpoint whose PC points into the translation cache is only
+    #: consistent while no flush has happened since capture.
+    epoch: int = 0
+    #: Injector occurrence counters at capture time, for re-arming
+    #: persistent faults after rollback.
+    injector_state: tuple | None = None
+    #: Pre-images of pages dirtied in the interval ending here.
+    pages: dict = field(default_factory=dict)
+
+
+def capture_checkpoint(cpu, ordinal: int, epoch: int = 0,
+                       injector_state: tuple | None = None) -> Checkpoint:
+    """Snapshot the CPU and drain the open COW interval into it."""
+    mem = cpu.memory
+    pages = mem.cow if mem.cow is not None else {}
+    mem.cow = {}
+    trace = cpu.syscall_trace
+    return Checkpoint(
+        ordinal=ordinal,
+        pc=cpu.pc,
+        icount=cpu.icount,
+        cycles=cpu.cycles,
+        regs=tuple(cpu.regs),
+        flags=cpu.flags,
+        exit_code=cpu.exit_code,
+        cfc_error=cpu.cfc_error,
+        output_len=len(cpu.output),
+        output_values_len=len(cpu.output_values),
+        syscall_len=len(trace) if trace is not None else 0,
+        epoch=epoch,
+        injector_state=injector_state,
+        pages=pages,
+    )
+
+
+def restore_checkpoint(cpu, checkpoints: list, index: int) -> int:
+    """Roll ``cpu`` back to ``checkpoints[index]``; drop later ones.
+
+    Returns the number of pages rewritten.  Memory restoration merges
+    the open COW interval with every interval captured after the
+    target, oldest pre-image winning, and only writes pages whose
+    current contents differ — through ``write_raw`` so every installed
+    write watcher (decode cache, compiled-block invalidation) fires.
+    """
+    cp = checkpoints[index]
+    mem = cpu.memory
+    # Newest first, then overridden towards the oldest: a page dirtied
+    # in several intervals must come back as its pre-image from the
+    # *earliest* interval after the target — the value it held at the
+    # target checkpoint.
+    images = dict(mem.cow) if mem.cow is not None else {}
+    for later in range(len(checkpoints) - 1, index, -1):
+        images.update(checkpoints[later].pages)
+    restored = 0
+    data = mem.data
+    for page, blob in images.items():
+        base = page << PAGE_SHIFT
+        if bytes(data[base:base + PAGE_SIZE]) != blob:
+            mem.write_raw(base, blob)
+            restored += 1
+    if mem.cow is not None:
+        mem.cow = {}
+    del checkpoints[index + 1:]
+    cpu.pc = cp.pc
+    cpu.icount = cp.icount
+    cpu.cycles = cp.cycles
+    cpu.regs[:] = cp.regs
+    cpu.flags = cp.flags
+    cpu.exit_code = cp.exit_code
+    cpu.cfc_error = cp.cfc_error
+    del cpu.output[cp.output_len:]
+    del cpu.output_values[cp.output_values_len:]
+    if cpu.syscall_trace is not None:
+        del cpu.syscall_trace[cp.syscall_len:]
+    return restored
+
+
+def prune_checkpoints(checkpoints: list, max_live: int) -> None:
+    """Bound memory held by the chain without losing restorability.
+
+    Merges the oldest non-entry checkpoint into its successor: a page
+    pre-imaged at the victim but not at the survivor was untouched over
+    the survivor's interval, so the victim's (older) pre-image is the
+    correct one for any rollback at or before the survivor.
+    """
+    while len(checkpoints) > max_live and len(checkpoints) > 2:
+        victim = checkpoints.pop(1)
+        survivor = checkpoints[1]
+        merged = dict(survivor.pages)
+        merged.update(victim.pages)
+        survivor.pages = merged

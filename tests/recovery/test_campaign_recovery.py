@@ -1,0 +1,249 @@
+"""Recovery through the campaign engine: outcomes, accounting,
+journal persistence, parallel/resume determinism, and the reporting
+surfaces (stats section, explain timeline, escape attribution)."""
+
+import pytest
+
+from repro.checking import Policy
+from repro.faults import (CampaignExecutor, CampaignResult, Category,
+                          FaultSpec, Outcome, OffsetBitFault, Pipeline,
+                          PipelineConfig, RedirectFault)
+from repro.faults.cache import config_key
+from repro.faults.journal import (record_from_json, record_to_json,
+                                  spec_digest)
+from repro.faults.campaign import RunRecord
+
+BACKENDS = ["interp", "block"]
+
+
+def _loop_branch(program):
+    return program.symbols["loop"] + 12      # the jl back-edge
+
+
+def _spec(program, bit=3, occurrence=1, persistent=False):
+    return FaultSpec(_loop_branch(program), occurrence,
+                     OffsetBitFault(bit=bit), persistent=persistent)
+
+
+def _config(recover=True, technique="rcf", pipeline="dbt", **kw):
+    return PipelineConfig(pipeline, technique, Policy("allbb"),
+                          recover=recover,
+                          checkpoint_interval=kw.pop("interval", 32),
+                          **kw)
+
+
+class TestPipelineRecovery:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_dbt_detection_becomes_recovered(self, sum_loop, backend):
+        pipeline = Pipeline(sum_loop, _config(backend=backend))
+        golden = pipeline.run(None)
+        record = pipeline.run(_spec(sum_loop))
+        assert record.outcome is Outcome.RECOVERED
+        assert record.outputs == golden.outputs
+        assert record.attempts >= 1
+        assert record.rollback_distance_icount > 0
+        assert record.reexec_cycles > 0
+        assert record.detection_latency is None   # not meaningful here
+
+    def test_static_detection_becomes_recovered(self, sum_loop):
+        pipeline = Pipeline(
+            sum_loop, _config(technique="cfcss", pipeline="static"))
+        golden = pipeline.run(None)
+        record = pipeline.run(_spec(sum_loop, bit=5))
+        assert record.outcome is Outcome.RECOVERED
+        assert record.outputs == golden.outputs
+
+    def test_native_hardware_fault_recovered(self, sum_loop):
+        # A redirect into the data region NX-faults; the transient
+        # fault does not re-fire after rollback, so re-execution is
+        # clean.
+        config = PipelineConfig("native", None, recover=True,
+                                checkpoint_interval=32)
+        pipeline = Pipeline(sum_loop, config)
+        golden = pipeline.run(None)
+        spec = FaultSpec(_loop_branch(sum_loop), 2,
+                         RedirectFault(sum_loop.data_base))
+        record = pipeline.run(spec)
+        assert record.outcome is Outcome.RECOVERED
+        assert record.outputs == golden.outputs
+
+    def test_persistent_fault_exhausts_retries(self, sum_loop):
+        config = _config(max_retries=2)
+        pipeline = Pipeline(sum_loop, config)
+        record = pipeline.run(_spec(sum_loop, persistent=True))
+        assert record.outcome is Outcome.RECOVERY_FAILED
+        assert record.attempts == 2
+
+    def test_recovery_off_is_unchanged(self, sum_loop):
+        pipeline = Pipeline(sum_loop, PipelineConfig("dbt", "rcf"))
+        record = pipeline.run(_spec(sum_loop))
+        assert record.outcome in (Outcome.DETECTED_SIGNATURE,
+                                  Outcome.DETECTED_HARDWARE)
+        assert record.attempts == 0
+        assert record.rollback_distance_icount is None
+
+
+class TestDeterminism:
+    """serial == parallel == resumed, with recovery accounting."""
+
+    def _specs(self, program):
+        return [_spec(program, bit=bit, occurrence=2)
+                for bit in range(1, 6)]
+
+    def _tally(self, records):
+        return [(r.outcome, r.attempts, r.rollback_distance_icount,
+                 r.reexec_cycles, r.outputs) for r in records]
+
+    def test_serial_equals_parallel(self, sum_loop):
+        config = _config()
+        serial = CampaignExecutor(sum_loop, config, jobs=1).run_specs(
+            self._specs(sum_loop))
+        parallel = CampaignExecutor(sum_loop, config, jobs=2).run_specs(
+            self._specs(sum_loop))
+        assert self._tally(serial) == self._tally(parallel)
+        assert any(r.outcome is Outcome.RECOVERED for r in serial)
+
+    def test_resume_is_byte_identical(self, sum_loop, tmp_path):
+        journal = str(tmp_path / "campaign.jsonl")
+        config = _config()
+        first = CampaignExecutor(sum_loop, config, jobs=1,
+                                 journal=journal).run_specs(
+            self._specs(sum_loop))
+        resumed = CampaignExecutor(sum_loop, config, jobs=1,
+                                   journal=journal,
+                                   resume=True).run_specs(
+            self._specs(sum_loop))
+        assert resumed == first
+
+    def test_failed_recovery_is_an_escape(self, sum_loop):
+        config = _config(max_retries=1)
+        executor = CampaignExecutor(sum_loop, config, jobs=1)
+        spec = _spec(sum_loop, persistent=True)
+        records = executor.run_specs([spec])
+        assert records[0].outcome is Outcome.RECOVERY_FAILED
+        assert executor.escape_specs() == [(0, spec)]
+
+
+class TestJournalFormat:
+    def test_recovery_fields_roundtrip(self):
+        record = RunRecord(outcome=Outcome.RECOVERED,
+                           stop_reason="halted at pc=0x1 exit=0",
+                           outputs=(("55",), (55,)),
+                           cycles=10, icount=5, attempts=2,
+                           rollback_distance_icount=40,
+                           reexec_cycles=80)
+        assert record_from_json(record_to_json(record)) == record
+
+    def test_untouched_records_keep_legacy_shape(self):
+        record = RunRecord(outcome=Outcome.BENIGN,
+                           stop_reason="halted at pc=0x1 exit=0",
+                           outputs=(("55",), (55,)),
+                           cycles=10, icount=5)
+        data = record_to_json(record)
+        assert "attempts" not in data and "rollback" not in data
+        assert record_from_json(data) == record
+
+    def test_pre_recovery_journal_line_loads(self):
+        # A record dict exactly as written before the recovery
+        # subsystem existed.
+        data = {"outcome": "sdc", "stop": "halted at pc=0x1 exit=0",
+                "out": [["54"], [54]], "cycles": 9, "icount": 4,
+                "latency": None, "latency_cycles": None, "error": None}
+        record = record_from_json(data)
+        assert record.attempts == 0
+        assert record.rollback_distance_icount is None
+
+    def test_config_key_compat(self, sum_loop):
+        plain = PipelineConfig("dbt", "rcf")
+        assert config_key(plain) == ("dbt", "rcf", "allbb", "jcc",
+                                     False, "interp")
+        recovering = _config(interval=128, max_retries=2)
+        assert config_key(recovering) == ("dbt", "rcf", "allbb", "jcc",
+                                          False, "interp", "rec", 128, 2)
+
+    def test_spec_digest_ignores_default_persistent(self, sum_loop):
+        # FaultSpec reprs (and so journal spec digests) are unchanged
+        # for specs that never set the new field.
+        transient = _spec(sum_loop)
+        assert "persistent" not in repr(transient)
+        assert spec_digest(transient) == spec_digest(_spec(sum_loop))
+        assert spec_digest(_spec(sum_loop, persistent=True)) \
+            != spec_digest(transient)
+
+
+class TestTallies:
+    def test_detection_rate_counts_recovery_outcomes(self):
+        result = CampaignResult(config_label="dbt/rcf/allbb+rec")
+        result.record(Category.F, Outcome.RECOVERED)
+        result.record(Category.F, Outcome.RECOVERY_FAILED)
+        result.record(Category.F, Outcome.SDC)
+        result.record(Category.F, Outcome.BENIGN)
+        assert result.detection_rate(Category.F) == pytest.approx(2 / 3)
+
+
+class TestReporting:
+    def test_stats_recovery_section(self):
+        from repro.obs.exporters import _recovery_section
+        snapshot = {
+            "counters": [
+                {"name": "campaign_recovery_total",
+                 "labels": {"technique": "rcf", "policy": "allbb",
+                            "result": "recovered"}, "value": 3},
+                {"name": "campaign_recovery_total",
+                 "labels": {"technique": "rcf", "policy": "allbb",
+                            "result": "failed"}, "value": 1},
+                {"name": "recovery_checkpoints_total", "labels": {},
+                 "value": 12},
+                {"name": "recovery_capture_seconds_total", "labels": {},
+                 "value": 0.0012},
+                {"name": "recovery_pages_preserved_total", "labels": {},
+                 "value": 5},
+            ],
+            "histograms": [
+                {"name": "campaign_rollback_distance_instructions",
+                 "labels": {"policy": "allbb"}, "count": 4, "sum": 100,
+                 "buckets": [[10, 4]]},
+            ],
+        }
+        text = _recovery_section(snapshot)
+        assert "Recovery outcomes" in text
+        assert "75.0%" in text
+        assert "Rollback distance" in text
+        assert "12 checkpoint(s)" in text
+
+    def test_stats_section_absent_without_recovery(self):
+        from repro.obs.exporters import _recovery_section
+        assert _recovery_section({"counters": [], "histograms": []}) \
+            is None
+
+    def test_explain_annotates_recovered_run(self, sum_loop):
+        from repro.forensics import explain_spec
+        divergence, attribution, text = explain_spec(
+            sum_loop, _config(), _spec(sum_loop))
+        assert divergence.outcome is Outcome.RECOVERED
+        assert divergence.recovery is not None
+        assert divergence.recovery["attempts"] >= 1
+        assert "recovery (interval" in text
+        assert "survived" in text
+        assert attribution.reason.value == "not-an-escape"
+
+    def test_explain_attributes_failed_recovery(self, sum_loop):
+        from repro.forensics import explain_spec
+        divergence, attribution, text = explain_spec(
+            sum_loop, _config(max_retries=1),
+            _spec(sum_loop, persistent=True))
+        assert divergence.outcome is Outcome.RECOVERY_FAILED
+        assert attribution.reason.value == "recovery-exhausted"
+        assert "not recovered" in text
+
+    def test_bundle_roundtrips_recovery(self, sum_loop, tmp_path):
+        from repro.forensics import write_campaign_forensics, read_bundle
+        path = tmp_path / "bundle.jsonl"
+        config = _config(max_retries=1)
+        entries = write_campaign_forensics(
+            sum_loop, config, [(0, _spec(sum_loop, persistent=True))],
+            max_samples=1, path=path)
+        assert entries
+        loaded = read_bundle(path)
+        assert loaded[0]["divergence"]["recovery"]["attempts"] == 1
+        assert loaded[0]["attribution"]["reason"] == "recovery-exhausted"

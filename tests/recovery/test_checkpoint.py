@@ -1,0 +1,203 @@
+"""Checkpoint capture/restore identity across both execution backends.
+
+The contract under test: restoring a checkpoint puts the machine in a
+state byte-identical to the one captured — registers, FLAGS, counters,
+every architectural memory byte below RECOVERABLE_BOUND, and the
+externally visible output logs — on the interpreter *and* on the
+block-compiling backend (including a rollback that lands inside an
+already-compiled loop closure), and restores fire the write watchers
+so stale compiled/decoded state is invalidated.
+"""
+
+import pytest
+
+from repro.exec import install_backend
+from repro.isa import assemble
+from repro.machine import Cpu
+from repro.machine.memory import PAGE_SHIFT, PAGE_SIZE
+from repro.recovery import (RECOVERABLE_BOUND, capture_checkpoint,
+                            prune_checkpoints, restore_checkpoint)
+
+BACKENDS = ["interp", "block"]
+
+
+def _fresh_cpu(program, backend):
+    cpu = Cpu()
+    install_backend(cpu, backend)
+    cpu.load_program(program, executable_text=True)
+    cpu.memory.cow = {}
+    cpu.memory.cow_bound = RECOVERABLE_BOUND
+    return cpu
+
+
+def _state(cpu):
+    """Everything a checkpoint promises to restore."""
+    return (cpu.pc, cpu.icount, cpu.cycles, tuple(cpu.regs), cpu.flags,
+            cpu.exit_code, list(cpu.output), list(cpu.output_values),
+            bytes(cpu.memory.data[:RECOVERABLE_BOUND]))
+
+
+class TestCopyOnWrite:
+    def test_preimage_captured_once_per_page(self, sum_loop):
+        cpu = _fresh_cpu(sum_loop, "interp")
+        addr = sum_loop.data_base
+        page = addr >> PAGE_SHIFT
+        original = bytes(cpu.memory.data[page << PAGE_SHIFT:
+                                         (page << PAGE_SHIFT) + PAGE_SIZE])
+        cpu.memory.store_word(addr, 0xDEAD)
+        cpu.memory.store_word(addr + 4, 0xBEEF)
+        assert set(cpu.memory.cow) == {page}
+        assert cpu.memory.cow[page] == original
+
+    def test_writes_above_bound_not_journalled(self, sum_loop):
+        cpu = _fresh_cpu(sum_loop, "interp")
+        cpu.memory.write_raw(RECOVERABLE_BOUND + 64, b"\x01\x02")
+        assert cpu.memory.cow == {}
+
+    def test_cow_disabled_by_default(self, sum_loop):
+        cpu = Cpu()
+        cpu.load_program(sum_loop)
+        assert cpu.memory.cow is None
+        cpu.memory.store_word(sum_loop.data_base, 7)  # must not raise
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestRestoreIdentity:
+    def test_mid_run_roundtrip(self, sum_loop, backend):
+        cpu = _fresh_cpu(sum_loop, backend)
+        cpu.run(max_steps=10)
+        checkpoints = [capture_checkpoint(cpu, ordinal=0)]
+        saved = _state(cpu)
+        cpu.run(max_steps=20)
+        assert _state(cpu) != saved
+        restore_checkpoint(cpu, checkpoints, 0)
+        assert _state(cpu) == saved
+
+    def test_resume_after_restore_matches_golden(self, sum_loop,
+                                                 backend):
+        golden = _fresh_cpu(sum_loop, backend)
+        golden.run(max_steps=100_000)
+
+        cpu = _fresh_cpu(sum_loop, backend)
+        # Land mid-trace, inside iterations of the (compiled) loop.
+        cpu.run(max_steps=15)
+        checkpoints = [capture_checkpoint(cpu, ordinal=0)]
+        cpu.run(max_steps=9)   # further into the loop closure
+        restore_checkpoint(cpu, checkpoints, 0)
+        stop = cpu.run(max_steps=100_000)
+        assert stop.reason.value == "halted"
+        assert cpu.output == golden.output
+        assert cpu.output_values == golden.output_values
+        assert cpu.icount == golden.icount
+        assert cpu.cycles == golden.cycles
+        assert (bytes(cpu.memory.data[:RECOVERABLE_BOUND])
+                == bytes(golden.memory.data[:RECOVERABLE_BOUND]))
+
+    def test_output_truncated_to_checkpoint(self, sum_loop, backend):
+        cpu = _fresh_cpu(sum_loop, backend)
+        cpu.syscall_trace = []
+        checkpoints = [capture_checkpoint(cpu, ordinal=0)]
+        cpu.run(max_steps=100_000)
+        assert cpu.output_values == [55]
+        restore_checkpoint(cpu, checkpoints, 0)
+        assert cpu.output == []
+        assert cpu.output_values == []
+        assert cpu.syscall_trace == []
+
+
+class TestMergeOrder:
+    """A page dirtied across several intervals must come back as the
+    value it held at the *target* checkpoint (oldest pre-image wins)."""
+
+    @pytest.fixture(autouse=True)
+    def _cpu(self, sum_loop):
+        self.cpu = _fresh_cpu(sum_loop, "interp")
+        self.addr = sum_loop.data_base
+
+    def _value(self):
+        return self.cpu.memory.load_word(self.addr)
+
+    def test_restore_middle_then_entry(self):
+        cpu = self.cpu
+        cpu.memory.store_word(self.addr, 0xA)
+        chain = [capture_checkpoint(cpu, 0)]
+        cpu.memory.store_word(self.addr, 0xB)
+        chain.append(capture_checkpoint(cpu, 1))
+        cpu.memory.store_word(self.addr, 0xC)
+        chain.append(capture_checkpoint(cpu, 2))
+        cpu.memory.store_word(self.addr, 0xD)
+
+        restore_checkpoint(cpu, chain, 1)
+        assert self._value() == 0xB      # value held at checkpoint 1
+        assert len(chain) == 2           # later checkpoints dropped
+
+        cpu.memory.store_word(self.addr, 0xE)
+        restore_checkpoint(cpu, chain, 0)
+        assert self._value() == 0xA      # value held at checkpoint 0
+
+    def test_prune_preserves_entry_restore(self):
+        cpu = self.cpu
+        original = self._value()
+        chain = [capture_checkpoint(cpu, 0)]
+        for ordinal in range(1, 8):
+            cpu.memory.store_word(self.addr, ordinal)
+            chain.append(capture_checkpoint(cpu, ordinal))
+        prune_checkpoints(chain, max_live=3)
+        assert len(chain) == 3
+        restore_checkpoint(cpu, chain, 0)
+        assert self._value() == original
+
+
+# Patches its own code inside a loop, so under the DBT the patched
+# block is translated, executed, invalidated, and retranslated.
+SMC_LOOP_SRC = """
+.entry main
+main:
+    movi r5, 0
+again:
+    cmpi r5, 1
+    jnz skip_patch
+    const r1, site
+    const r2, 0x21100063      ; movi r2, 99
+    st r2, r1, 0
+skip_patch:
+site:
+    movi r2, 1
+    mov r1, r2
+    syscall 4
+    addi r5, r5, 1
+    cmpi r5, 3
+    jl again
+    movi r1, 0
+    syscall 0
+"""
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestSelfModifiedPages:
+    """Text pages dirtied by guest stores roll back like data pages,
+    and the restore invalidates whatever was compiled from them."""
+
+    def _smc_cpu(self, program, backend):
+        from repro.machine.memory import PERM_RWX
+        cpu = _fresh_cpu(program, backend)
+        cpu.memory.set_perms(program.text_base, len(program.text),
+                             PERM_RWX)
+        return cpu
+
+    def test_rollback_unpatches_code(self, backend):
+        program = assemble(SMC_LOOP_SRC)
+        golden = self._smc_cpu(program, backend)
+        golden.run(max_steps=100_000)
+
+        cpu = self._smc_cpu(program, backend)
+        checkpoints = [capture_checkpoint(cpu, ordinal=0)]
+        cpu.run(max_steps=100_000)
+        site = program.symbols["site"]
+        assert cpu.memory.load_word(site) == 0x21100063  # patched
+        restore_checkpoint(cpu, checkpoints, 0)
+        assert cpu.memory.load_word(site) != 0x21100063  # unpatched
+        stop = cpu.run(max_steps=100_000)
+        assert stop.reason.value == "halted"
+        assert cpu.output_values == golden.output_values
+        assert cpu.icount == golden.icount
