@@ -90,7 +90,9 @@ def compute_coverage_matrix(program: Program,
                             resume: bool = False,
                             forensics: int | None = None,
                             forensics_path=None,
-                            backend: str = "interp") -> CoverageMatrix:
+                            backend: str = "interp",
+                            on_progress=None,
+                            stop_check=None) -> CoverageMatrix:
     """Run guest-level (and optionally cache-level) campaigns for each
     configuration.  ``jobs > 1`` parallelizes each campaign's runs;
     ``retries``/``timeout``/``journal``/``resume`` configure the
@@ -101,7 +103,10 @@ def compute_coverage_matrix(program: Program,
     analyzer, appending the entries to ``forensics_path``.
     ``backend`` selects the execution tier every campaign runs on
     (the matrix itself is backend-invariant — digests match across
-    tiers — so this only changes wall-clock)."""
+    tiers — so this only changes wall-clock).
+    ``on_progress(completed, total)`` aggregates spec progress across
+    every configuration's campaign; ``stop_check`` stops between chunks
+    (see :class:`repro.faults.executor.CampaignExecutor`)."""
     faults = generate_category_faults(program, per_category=per_category,
                                       seed=seed)
     matrix = CoverageMatrix(program_name=program.source_name)
@@ -109,11 +114,20 @@ def compute_coverage_matrix(program: Program,
         from dataclasses import replace
         configs = tuple(replace(config, backend=backend)
                         for config in configs)
+    guest_total = faults.total() * len(configs)
+    guest_done = [0]
     for config in configs:
+        def campaign_progress(completed, total,
+                              base=guest_done[0]):
+            if on_progress is not None:
+                on_progress(base + completed, guest_total)
         executor = CampaignExecutor(program, config, jobs=jobs,
                                     retries=retries, timeout=timeout,
-                                    journal=journal, resume=resume)
+                                    journal=journal, resume=resume,
+                                    on_progress=campaign_progress,
+                                    stop_check=stop_check)
         result = executor.run_campaign(faults)
+        guest_done[0] += faults.total()
         matrix.results[config.label()] = result
         if forensics:
             from repro.forensics import write_campaign_forensics
@@ -125,5 +139,6 @@ def compute_coverage_matrix(program: Program,
             matrix.cache_results[config.label()] = run_cache_campaign(
                 program, config, max_sites=cache_max_sites, seed=seed,
                 jobs=jobs, retries=retries, timeout=timeout,
-                journal=journal, resume=resume)
+                journal=journal, resume=resume,
+                stop_check=stop_check)
     return matrix

@@ -21,6 +21,13 @@ Commands
                 golden run, exhaust single-bit branch errors on tiny
                 programs, and shrink failures to minimal reproducers
                 (see ``docs/fuzzing.md``)
+``serve``       run the campaign service: REST API + SSE streaming +
+                Prometheus metrics over the same campaign engine
+                (see ``docs/service.md``)
+``submit``      submit a job JSON to a running service, optionally
+                streaming its events until completion
+``jobs``        list/inspect/cancel/follow service jobs, or fetch a
+                job's journal
 
 ``run``, ``inject``, ``verify`` and ``coverage`` accept ``--metrics
 PATH`` and ``--trace PATH`` to capture telemetry (see
@@ -116,7 +123,14 @@ def cmd_disasm(args) -> int:
     return 0
 
 
-def _parse_fault_spec(program, args, token):
+def parse_fault_token(program, token: str, branch: str = "0",
+                      occurrence: int = 1):
+    """Parse one ``--fault`` token into a spec (raises ValueError).
+
+    Shared by the CLI and the campaign service so both accept the
+    same grammar: ``offset:BIT | flag:BIT | direction |
+    redirect:ADDR | register:REG,BIT,ICOUNT``.
+    """
     from repro.faults import (DirectionFault, FaultSpec, FlagBitFault,
                               OffsetBitFault, RedirectFault,
                               RegisterFaultSpec)
@@ -134,9 +148,16 @@ def _parse_fault_spec(program, args, token):
     elif kind == "redirect":
         fault = RedirectFault(_resolve_addr(program, value))
     else:
-        raise SystemExit(f"unknown fault kind {kind!r}")
-    return FaultSpec(_resolve_addr(program, args.branch),
-                     args.occurrence, fault)
+        raise ValueError(f"unknown fault kind {kind!r}")
+    return FaultSpec(_resolve_addr(program, branch), occurrence, fault)
+
+
+def _parse_fault_spec(program, args, token):
+    try:
+        return parse_fault_token(program, token, branch=args.branch,
+                                 occurrence=args.occurrence)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def _check_journal_backend(args) -> int:
@@ -182,11 +203,10 @@ def cmd_inject(args) -> int:
     if status:
         return status
     if args.journal and not args.resume:
-        from repro.faults.journal import CampaignJournal
+        from repro.faults.journal import CampaignJournal, inject_header
         CampaignJournal(args.journal).append_header(
-            {"tool": "repro-inject", "technique": args.technique,
-             "policy": args.policy, "backend": args.backend,
-             "recover": args.recover})
+            inject_header(args.technique, args.policy, args.backend,
+                          recover=args.recover))
     specs = [_parse_fault_spec(program, args, token)
              for token in args.fault]
     config = PipelineConfig("dbt", args.technique,
@@ -325,11 +345,10 @@ def cmd_coverage(args) -> int:
     if status:
         return status
     if args.journal and not args.resume:
-        from repro.faults.journal import CampaignJournal
+        from repro.faults.journal import (CampaignJournal,
+                                          coverage_header)
         CampaignJournal(args.journal).append_header(
-            {"tool": "repro-coverage", "seed": args.seed,
-             "per_category": args.per_category,
-             "backend": args.backend})
+            coverage_header(args.seed, args.per_category, args.backend))
     matrix = compute_coverage_matrix(
         program, per_category=args.per_category, seed=args.seed,
         include_cache_level=not args.no_cache_level, jobs=args.jobs,
@@ -470,20 +489,149 @@ def cmd_explain(args) -> int:
 
 
 def cmd_stats(args) -> int:
-    """Render a metrics snapshot file written by ``--metrics``."""
+    """Render a metrics snapshot (``--metrics`` file or live server)."""
     from repro.obs.exporters import (jsonl_text, load_snapshot,
                                      prometheus_text, render_stats)
-    try:
-        snap = load_snapshot(args.file)
-    except (OSError, ValueError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    if args.url:
+        from repro.service.client import ServiceClient, ServiceError
+        try:
+            snap = ServiceClient(args.url).metrics()
+        except (ServiceError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    elif not args.file:
+        print("error: give a snapshot file or --url", file=sys.stderr)
         return 1
+    else:
+        try:
+            snap = load_snapshot(args.file)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     if args.format == "prom":
         sys.stdout.write(prometheus_text(snap))
     elif args.format == "jsonl":
         sys.stdout.write(jsonl_text(snap))
     else:
         print(render_stats(snap))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the campaign service until SIGTERM/SIGINT, then drain."""
+    import signal
+    import threading
+
+    from repro.service import create_server
+    server = create_server(args.root, host=args.host, port=args.port,
+                           workers=args.workers,
+                           max_active_per_tenant=args.max_active,
+                           max_running_per_tenant=args.max_running)
+    host, port = server.server_address[:2]
+    print(f"repro service on http://{host}:{port} "
+          f"(state root: {args.root})", flush=True)
+    stop = threading.Event()
+
+    def _signal(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _signal)
+    signal.signal(signal.SIGINT, _signal)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        while not stop.wait(0.2):
+            pass
+    finally:
+        print("draining: running jobs stop at the next chunk and are "
+              "requeued; journals keep the completed work", flush=True)
+        server.orchestrator.drain()
+        server.shutdown()
+        server.server_close()
+    print("drained; interrupted jobs resume on the next `repro serve`")
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """Submit a job JSON to a running service."""
+    import json
+
+    from repro.service.client import ServiceClient, ServiceError
+    if args.payload == "-":
+        payload = json.load(sys.stdin)
+    else:
+        with open(args.payload) as handle:
+            payload = json.load(handle)
+    if args.program:
+        with open(args.program) as handle:
+            payload["program"] = handle.read()
+        payload.setdefault("name", os.path.basename(args.program))
+    if args.tenant:
+        payload["tenant"] = args.tenant
+    if args.priority is not None:
+        payload["priority"] = args.priority
+    client = ServiceClient(args.url)
+    try:
+        job = client.submit(payload)
+    except (ServiceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"job {job['id']} {job['status']}")
+    if not args.wait:
+        return 0
+    try:
+        for event in client.events(job["id"]):
+            if event["event"] == "progress":
+                print(f"  progress {event['completed']}"
+                      f"/{event['total']}")
+            elif event["event"] == "status":
+                print(f"  status {event['status']}")
+            if event["event"] == "end":
+                break
+        final = client.job(job["id"])
+    except (ServiceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"job {final['id']} {final['status']}")
+    if final.get("error"):
+        print(f"  {final['error']}", file=sys.stderr)
+    return 0 if final["status"] == "done" else 2
+
+
+def cmd_jobs(args) -> int:
+    """List/inspect/cancel/follow jobs on a running service."""
+    import json
+
+    from repro.service.client import ServiceClient, ServiceError
+    client = ServiceClient(args.url)
+    try:
+        if args.cancel:
+            client.cancel(args.cancel)
+            print(f"cancel requested for {args.cancel}")
+            return 0
+        if args.journal:
+            sys.stdout.buffer.write(client.journal(args.journal))
+            return 0
+        if args.follow:
+            for event in client.events(args.follow):
+                print(json.dumps(event))
+                if event["event"] == "end":
+                    break
+            return 0
+        if args.job:
+            print(json.dumps(client.job(args.job), indent=1))
+            return 0
+        jobs = client.jobs(args.tenant)
+    except (ServiceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"{'id':12s} {'kind':8s} {'tenant':10s} {'status':9s} "
+          f"{'progress':>9s} name")
+    for job in jobs:
+        progress = (f"{job['completed']}/{job['total']}"
+                    if job["total"] else "-")
+        print(f"{job['id']:12s} {job['kind']:8s} {job['tenant']:10s} "
+              f"{job['status']:9s} {progress:>9s} {job['name']}")
     return 0
 
 
@@ -690,11 +838,71 @@ def build_parser() -> argparse.ArgumentParser:
     fz.set_defaults(func=cmd_fuzz)
 
     stats = sub.add_parser(
-        "stats", help="render a --metrics snapshot")
-    stats.add_argument("file", help="JSON snapshot written by --metrics")
+        "stats", help="render a --metrics snapshot or live server "
+                      "metrics")
+    stats.add_argument("file", nargs="?", default=None,
+                       help="JSON snapshot written by --metrics")
     stats.add_argument("--format", default="table",
                        choices=["table", "prom", "jsonl"])
+    stats.add_argument(
+        "--url", default=None, metavar="URL",
+        help="read the live snapshot from a running `repro serve` "
+             "instead of a file (its /metrics endpoint)")
     stats.set_defaults(func=cmd_stats)
+
+    srv = sub.add_parser(
+        "serve", help="run the campaign service (REST + SSE + "
+                      "Prometheus; see docs/service.md)")
+    srv.add_argument("--root", default="service-data",
+                     help="state directory: job workspaces, journals "
+                          "and the shared artifact cache "
+                          "(default ./service-data)")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8642,
+                     help="TCP port (0 = ephemeral; default 8642)")
+    srv.add_argument("--workers", type=int, default=2,
+                     help="jobs that may run concurrently (each job's "
+                          "own params.jobs fan out further; default 2)")
+    srv.add_argument("--max-active", type=int, default=16,
+                     metavar="N",
+                     help="per-tenant quota on queued+running jobs; "
+                          "submissions beyond it get HTTP 429 "
+                          "(default 16)")
+    srv.add_argument("--max-running", type=int, default=2,
+                     metavar="N",
+                     help="per-tenant concurrency cap; excess jobs "
+                          "wait in the queue (default 2)")
+    srv.set_defaults(func=cmd_serve)
+
+    sb = sub.add_parser(
+        "submit", help="submit a job JSON to a running service")
+    sb.add_argument("payload",
+                    help="job JSON file ('-' = stdin); see "
+                         "docs/service.md for the schema")
+    sb.add_argument("--url", default="http://127.0.0.1:8642")
+    sb.add_argument("--program", default=None, metavar="FILE",
+                    help="read this assembly file into the payload's "
+                         "'program' field")
+    sb.add_argument("--tenant", default=None)
+    sb.add_argument("--priority", type=int, default=None)
+    sb.add_argument("--wait", action="store_true",
+                    help="stream events until the job ends; exit 0 "
+                         "only if it finished 'done'")
+    sb.set_defaults(func=cmd_submit)
+
+    jb = sub.add_parser(
+        "jobs", help="list/inspect/cancel service jobs")
+    jb.add_argument("--url", default="http://127.0.0.1:8642")
+    jb.add_argument("--tenant", default=None,
+                    help="restrict the listing to one tenant")
+    jb.add_argument("--job", default=None, metavar="ID",
+                    help="print one job's full state as JSON")
+    jb.add_argument("--cancel", default=None, metavar="ID")
+    jb.add_argument("--journal", default=None, metavar="ID",
+                    help="print the job's campaign journal (JSONL)")
+    jb.add_argument("--follow", default=None, metavar="ID",
+                    help="stream the job's SSE events as JSON lines")
+    jb.set_defaults(func=cmd_jobs)
 
     exp = sub.add_parser(
         "explain",

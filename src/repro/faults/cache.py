@@ -17,6 +17,13 @@ so a cache hit is byte-identical to a re-run.
 
 Campaign workers spawned by the parallel executor inherit a warm cache
 under the ``fork`` start method and populate their own under ``spawn``.
+
+A second, optional **disk tier** (``set_disk_tier``) shares entries
+across processes and restarts: the campaign service installs a
+content-addressed :class:`~repro.service.store.ArtifactStore` here so
+a job resubmitting a workload the server has already golden-run skips
+the run entirely.  Lookups consult memory first, then disk (promoting
+hits into memory); stores write through to both.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ import hashlib
 _golden_cache: dict = {}
 _profile_cache: dict = {}
 _enabled = True
+_disk_tier = None
 
 
 def program_digest(program) -> str:
@@ -66,30 +74,59 @@ def campaign_key(program, config) -> tuple[str, tuple]:
     return program_digest(program), config_key(config)
 
 
+def set_disk_tier(store) -> None:
+    """Install (or remove, with ``None``) the shared disk cache tier.
+
+    ``store`` must provide ``get_golden/put_golden`` and
+    ``get_profile/put_profile`` with the same signatures as this
+    module — in practice a :class:`repro.service.store.ArtifactStore`.
+    """
+    global _disk_tier
+    _disk_tier = store
+
+
 def get_golden(digest: str, key: tuple):
     if not _enabled:
         return None
-    return _golden_cache.get((digest, key))
+    golden = _golden_cache.get((digest, key))
+    if golden is None and _disk_tier is not None:
+        golden = _disk_tier.get_golden(digest, key)
+        if golden is not None:
+            _golden_cache[(digest, key)] = golden
+    return golden
 
 
 def put_golden(digest: str, key: tuple, golden) -> None:
     if _enabled:
         _golden_cache[(digest, key)] = golden
+        if _disk_tier is not None:
+            _disk_tier.put_golden(digest, key, golden)
 
 
 def get_profile(digest: str, max_steps: int):
     if not _enabled:
         return None
-    return _profile_cache.get((digest, max_steps))
+    profiler = _profile_cache.get((digest, max_steps))
+    if profiler is None and _disk_tier is not None:
+        profiler = _disk_tier.get_profile(digest, max_steps)
+        if profiler is not None:
+            _profile_cache[(digest, max_steps)] = profiler
+    return profiler
 
 
 def put_profile(digest: str, max_steps: int, profiler) -> None:
     if _enabled:
         _profile_cache[(digest, max_steps)] = profiler
+        if _disk_tier is not None:
+            _disk_tier.put_profile(digest, max_steps, profiler)
 
 
 def clear_caches() -> None:
-    """Drop every cached golden run and profile (test isolation)."""
+    """Drop every cached golden run and profile (test isolation).
+
+    Clears the in-process tier only — the disk tier survives
+    (that is its point); remove it with ``set_disk_tier(None)``.
+    """
     _golden_cache.clear()
     _profile_cache.clear()
 
@@ -103,5 +140,8 @@ def set_cache_enabled(enabled: bool) -> None:
 
 
 def cache_stats() -> dict:
-    return {"golden_entries": len(_golden_cache),
-            "profile_entries": len(_profile_cache)}
+    stats = {"golden_entries": len(_golden_cache),
+             "profile_entries": len(_profile_cache)}
+    if _disk_tier is not None:
+        stats["disk"] = _disk_tier.stats()
+    return stats

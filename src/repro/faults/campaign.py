@@ -861,7 +861,8 @@ def run_cache_campaign(program: Program, config: PipelineConfig,
                        retries: int | None = None,
                        timeout: float | None = None,
                        journal: str | None = None,
-                       resume: bool = False) -> CacheCampaignResult:
+                       resume: bool = False,
+                       stop_check=None) -> CacheCampaignResult:
     """Flip offset bits of inserted branches, one fault per run.
 
     With ``force_taken`` (default) each fault is the paper's "branch to
@@ -879,7 +880,8 @@ def run_cache_campaign(program: Program, config: PipelineConfig,
              for site in sites for bit in bits]
     executor = CampaignExecutor(program, config, jobs=jobs,
                                 retries=retries, timeout=timeout,
-                                journal=journal, resume=resume)
+                                journal=journal, resume=resume,
+                                stop_check=stop_check)
     result = CacheCampaignResult(config_label=config.label())
     result.sites_tested = len(sites)
     for record in executor.run_specs(specs):

@@ -76,6 +76,22 @@ def resolve_jobs(jobs: int | None) -> int:
     return max(1, jobs)
 
 
+class CampaignStopped(RuntimeError):
+    """A campaign was interrupted cooperatively (``stop_check``).
+
+    Raised *after* every completed chunk has been journaled, so a
+    stopped campaign resumes from its journal exactly like one killed
+    by the OS — the service's cancel/drain path rides the existing
+    ``--resume`` machinery.  ``completed``/``total`` count specs.
+    """
+
+    def __init__(self, completed: int, total: int):
+        super().__init__(f"campaign stopped after {completed}/{total} "
+                         "spec(s); completed chunks are journaled")
+        self.completed = completed
+        self.total = total
+
+
 #: Outcomes the forensics layer treats as escapes worth replaying.
 #: A failed recovery is not a *silent* escape, but it is exactly the
 #: kind of run worth a golden-divergence replay, so it is bundled too.
@@ -181,6 +197,13 @@ class CampaignExecutor:
     itself); ``journal`` appends completed chunks to a JSONL file and
     ``resume`` replays them.  A pre-built ``pipeline`` may be supplied
     to avoid rebuilding reference state the caller already has.
+
+    Job-scoped hooks (the campaign service's attachment points):
+    ``on_progress(completed_specs, total_specs)`` fires after every
+    completed (or replayed) chunk; ``stop_check`` is a ``() -> bool``
+    polled between chunks — returning True abandons the remaining work
+    and raises :class:`CampaignStopped` *after* the completed chunks
+    have been journaled, so the campaign later resumes via ``resume``.
     """
 
     def __init__(self, program: Program, config: PipelineConfig,
@@ -189,7 +212,9 @@ class CampaignExecutor:
                  timeout: float | None = None,
                  journal: str | None = None,
                  resume: bool = False,
-                 pipeline: Pipeline | None = None):
+                 pipeline: Pipeline | None = None,
+                 on_progress=None,
+                 stop_check=None):
         self.program = program
         self.config = config
         self.jobs = resolve_jobs(jobs)
@@ -198,6 +223,8 @@ class CampaignExecutor:
         self.timeout = timeout
         self.journal = journal
         self.resume = resume
+        self.on_progress = on_progress
+        self.stop_check = stop_check
         self._pipeline = pipeline
         #: global spec index -> escape spec, from the last run_specs
         self._escapes: dict[int, object] = {}
@@ -225,7 +252,15 @@ class CampaignExecutor:
         config_key = run_cache.config_key(self.config)
 
         self._escapes = {}
+        total = len(specs)
+        completed = [0]                 # specs finished (or replayed)
         done: dict[int, list[RunRecord]] = {}
+
+        def progressed(count: int) -> None:
+            completed[0] += count
+            if self.on_progress is not None:
+                self.on_progress(completed[0], total)
+
         if journal is not None and self.resume:
             replayed = journal.replay(program_digest, config_key)
             for index in range(len(chunks)):
@@ -242,6 +277,7 @@ class CampaignExecutor:
                 obs.counter("campaign_chunks_total",
                             help="chunks by completion source",
                             source="replayed").inc(len(done))
+                progressed(sum(len(done[i]) for i in done))
 
         todo = [index for index in range(len(chunks))
                 if index not in done]
@@ -254,12 +290,18 @@ class CampaignExecutor:
             if journal is not None:
                 journal.append_chunk(program_digest, config_key, index,
                                      digests[index], records)
+            progressed(len(records))
+
+        def stopped() -> bool:
+            return (self.stop_check is not None and self.stop_check())
 
         if todo and (self.jobs == 1 or len(specs) <= 1):
             with obs.span("campaign.scheduler", mode="serial",
                           chunks=len(todo)):
                 pipeline = self.pipeline
                 for index in todo:
+                    if stopped():
+                        raise CampaignStopped(completed[0], total)
                     checkpoint(index, self._absorb(
                         _worker_run_specs(pipeline, chunks[index]),
                         index * self.chunk_size))
@@ -271,6 +313,10 @@ class CampaignExecutor:
                 # forked workers inherit the warm golden-run cache.
                 self.pipeline
                 self._run_supervised(chunks, todo, checkpoint)
+            if any(index not in done for index in todo):
+                # The supervisor stopped early (stop_check); completed
+                # chunks are already journaled above.
+                raise CampaignStopped(completed[0], total)
 
         records: list[RunRecord] = []
         for index in range(len(chunks)):
@@ -308,7 +354,8 @@ class CampaignExecutor:
             task_fn=_worker_run_specs,
             serial_fn=lambda specs: _worker_run_specs(self.pipeline,
                                                       specs),
-            retries=self.retries, timeout=self.timeout)
+            retries=self.retries, timeout=self.timeout,
+            stop_check=self.stop_check)
 
         # Chunks that were split into singletons check back in once
         # every piece has arrived, so the journal stays chunk-grained.
@@ -393,7 +440,9 @@ def _map_task_fn(_state, payload):
 
 def parallel_map(func, items, jobs: int = 1,
                  retries: int | None = None,
-                 timeout: float | None = None) -> list:
+                 timeout: float | None = None,
+                 on_progress=None,
+                 stop_check=None) -> list:
     """Order-preserving process-parallel map for picklable tasks.
 
     Utility used by the CLI for independent heavyweight jobs (e.g.
@@ -403,11 +452,28 @@ def parallel_map(func, items, jobs: int = 1,
     ``timeout`` seconds even after ``retries`` re-dispatches — yields a
     :class:`MapError` in its slot instead of discarding every other
     result.
+
+    ``on_progress(completed, total)`` fires as items finish (completion
+    order, not input order); ``stop_check`` polled True abandons the
+    remaining items and raises :class:`CampaignStopped`.
     """
     items = list(items)
     jobs = resolve_jobs(jobs)
+    finished = [0]
+
+    def progressed() -> None:
+        finished[0] += 1
+        if on_progress is not None:
+            on_progress(finished[0], len(items))
+
     if jobs == 1 or len(items) <= 1:
-        return [_apply_quarantined((func, item)) for item in items]
+        results = []
+        for item in items:
+            if stop_check is not None and stop_check():
+                raise CampaignStopped(finished[0], len(items))
+            results.append(_apply_quarantined((func, item)))
+            progressed()
+        return results
     tasks = [SupervisedTask(
                  key=(index,), payload=(func, item),
                  fail=(lambda reason, item=item:
@@ -418,6 +484,10 @@ def parallel_map(func, items, jobs: int = 1,
         init_fn=_map_worker_init, init_args=(obs.enabled(),),
         task_fn=_map_task_fn, serial_fn=_apply_quarantined,
         retries=DEFAULT_RETRIES if retries is None else retries,
-        timeout=timeout)
-    results = supervisor.run(tasks)
+        timeout=timeout, stop_check=stop_check)
+    results = supervisor.run(tasks,
+                             on_result=lambda task, result:
+                             progressed())
+    if len(results) < len(items):
+        raise CampaignStopped(finished[0], len(items))
     return [_unwrap(results[(index,)]) for index in range(len(items))]

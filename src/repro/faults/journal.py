@@ -16,19 +16,23 @@ digest, the config key, *and* every spec digest match the campaign
 being resumed — so re-using one journal file across programs, configs,
 or edited fault lists can never smuggle stale records in.  Each append
 is flushed and fsynced, and a torn final line (the process died mid-
-write) is skipped on replay, so the journal is safe against any kill
-point.  Replaying is byte-exact: a resumed campaign's record list — and
-therefore every tally derived from it — is identical to the
-uninterrupted run's.
+write) is truncated away with a warning on resume — even when the tear
+falls inside a multi-byte UTF-8 sequence — so the journal is safe
+against any kill point.  Replaying is byte-exact: a resumed campaign's
+record list — and therefore every tally derived from it — is identical
+to the uninterrupted run's.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 
 from repro.faults.campaign import Outcome, RunRecord
+
+log = logging.getLogger(__name__)
 
 JOURNAL_VERSION = 1
 
@@ -36,6 +40,23 @@ JOURNAL_VERSION = 1
 def spec_digest(spec) -> str:
     """Content digest of one fault spec (reprs are deterministic)."""
     return hashlib.sha256(repr(spec).encode()).hexdigest()[:16]
+
+
+def inject_header(technique: str | None, policy: str, backend: str,
+                  recover: bool = False) -> dict:
+    """The ``repro inject`` journal header.
+
+    Shared by the CLI and the campaign service so a service inject
+    job's journal is byte-identical to the CLI's for the same campaign.
+    """
+    return {"tool": "repro-inject", "technique": technique,
+            "policy": policy, "backend": backend, "recover": recover}
+
+
+def coverage_header(seed: int, per_category: int, backend: str) -> dict:
+    """The ``repro coverage`` journal header (CLI/service shared)."""
+    return {"tool": "repro-coverage", "seed": seed,
+            "per_category": per_category, "backend": backend}
 
 
 def record_to_json(record: RunRecord) -> dict:
@@ -91,21 +112,77 @@ class CampaignJournal:
             handle.flush()
             os.fsync(handle.fileno())
 
+    # -- reading -------------------------------------------------------------
+
+    def _scan(self):
+        """Parse the file into entries, spotting a torn trailing line.
+
+        Reads in *binary* so a write torn mid-way through a multi-byte
+        UTF-8 sequence cannot raise out of the resume path.  Returns
+        ``(entries, good_size)`` where ``good_size`` is the byte offset
+        just past the last intact line — equal to the file size when
+        the tail is clean, smaller when the final line is torn (not
+        newline-terminated, undecodable, or not valid JSON).
+        """
+        entries: list = []
+        if not os.path.exists(self.path):
+            return entries, 0
+        with open(self.path, "rb") as handle:
+            raw = handle.read()
+        offset = 0
+        good_size = 0
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            terminated = newline != -1
+            end = newline + 1 if terminated else len(raw)
+            line = raw[offset:newline if terminated else end].strip()
+            offset = end
+            if not line:
+                good_size = end
+                continue
+            try:
+                entry = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                if terminated:
+                    # Mid-file corruption: skip the line but keep the
+                    # rest of the journal (later appends are intact).
+                    log.warning("journal %s: skipping a corrupt entry "
+                                "at byte %d", self.path, good_size)
+                    good_size = end
+                    continue
+                # Torn tail: the process died mid-append.
+                return entries, good_size
+            if not isinstance(entry, dict):
+                log.warning("journal %s: skipping a non-object entry "
+                            "at byte %d", self.path, good_size)
+                good_size = end
+                continue
+            good_size = end
+            entries.append(entry)
+        return entries, good_size
+
+    def _truncate_torn_tail(self, good_size: int) -> None:
+        """Drop a partially-written final line left by a crash.
+
+        Truncating (rather than merely skipping on read) keeps later
+        appends from gluing a new entry onto the torn fragment, which
+        would corrupt an otherwise-valid line.
+        """
+        actual = os.path.getsize(self.path)
+        if actual <= good_size:
+            return
+        log.warning("journal %s: truncating a partially-written final "
+                    "line (%d byte(s)) left by an interrupted campaign",
+                    self.path, actual - good_size)
+        with open(self.path, "r+b") as handle:
+            handle.truncate(good_size)
+
     def read_header(self) -> dict | None:
         """First header entry in the file, or None."""
-        if not os.path.exists(self.path):
-            return None
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                except json.JSONDecodeError:
-                    continue
-                if entry.get("v") == JOURNAL_VERSION and "header" in entry:
-                    return entry["header"]
+        entries, _ = self._scan()
+        for entry in entries:
+            if entry.get("v") == JOURNAL_VERSION and "header" in entry:
+                return entry["header"]
         return None
 
     def append_chunk(self, program_digest: str, config_key: tuple,
@@ -129,29 +206,26 @@ class CampaignJournal:
         Returns ``{(chunk_index, (spec_digest, …)): [RunRecord, …]}`` —
         the caller looks up its own (index, digests) pair, so a journal
         entry whose spec set no longer matches is simply not found.
+
+        A torn final line (the writing process died mid-append) is
+        truncated away with a warning so the resumed campaign appends
+        to a clean file; it can never raise out of the resume path.
         """
         completed: dict = {}
-        if not os.path.exists(self.path):
-            return completed
+        entries, good_size = self._scan()
+        if os.path.exists(self.path):
+            self._truncate_torn_tail(good_size)
         wanted = list(config_key)
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                except json.JSONDecodeError:
-                    continue    # torn tail write from a killed campaign
-                if (entry.get("v") != JOURNAL_VERSION
-                        or entry.get("program") != program_digest
-                        or entry.get("config") != wanted):
-                    continue
-                try:
-                    records = [record_from_json(r)
-                               for r in entry["records"]]
-                except (KeyError, ValueError):
-                    continue
-                completed[(entry["chunk"], tuple(entry["specs"]))] = \
-                    records
+        for entry in entries:
+            if (entry.get("v") != JOURNAL_VERSION
+                    or entry.get("program") != program_digest
+                    or entry.get("config") != wanted):
+                continue
+            try:
+                records = [record_from_json(r)
+                           for r in entry["records"]]
+            except (KeyError, TypeError, ValueError):
+                continue
+            completed[(entry["chunk"], tuple(entry["specs"]))] = \
+                records
         return completed

@@ -136,7 +136,8 @@ class PoolSupervisor:
                  retries: int = DEFAULT_RETRIES,
                  timeout: float | None = None,
                  backoff: float = 0.1,
-                 max_pool_failures: int = DEFAULT_MAX_POOL_FAILURES):
+                 max_pool_failures: int = DEFAULT_MAX_POOL_FAILURES,
+                 stop_check=None):
         self.jobs = max(1, jobs)
         self.mp_context = mp_context
         self.task_fn = task_fn
@@ -147,6 +148,12 @@ class PoolSupervisor:
         self.timeout = timeout
         self.backoff = backoff
         self.max_pool_failures = max(1, max_pool_failures)
+        #: optional () -> bool polled between supervision sweeps; True
+        #: stops dispatching, kills the pool, and returns the results
+        #: collected so far (cooperative cancellation/drain — the
+        #: campaign service's shutdown path)
+        self.stop_check = stop_check
+        self.stopped = False
         self.degraded = False
         self._workers: list[_Worker] = []
         self._queue: deque[SupervisedTask] = deque()
@@ -166,6 +173,7 @@ class PoolSupervisor:
         self._results = {}
         self._on_result = on_result
         self._failures = 0
+        self.stopped = False
         try:
             self._loop()
         finally:
@@ -176,6 +184,13 @@ class PoolSupervisor:
 
     def _loop(self) -> None:
         while True:
+            if self.stop_check is not None and self.stop_check():
+                self.stopped = True
+                log.info("stop requested; abandoning %d queued and "
+                         "in-flight task(s)", len(self._queue)
+                         + sum(1 for w in self._workers
+                               if w.task is not None))
+                return
             if self.degraded:
                 self._drain_serial()
                 return
@@ -354,6 +369,9 @@ class PoolSupervisor:
     def _drain_serial(self) -> None:
         self._stop_workers(requeue=True)
         while self._queue:
+            if self.stop_check is not None and self.stop_check():
+                self.stopped = True
+                return
             task = self._queue.popleft()
             if task.key in self._results:
                 continue

@@ -385,12 +385,18 @@ def _handle_failure(index: int, verdict: dict, config: FuzzConfig,
 def run_fuzz(config: FuzzConfig, jobs: int = 1,
              retries: int | None = None, timeout: float | None = None,
              journal: str | None = None,
-             corpus: str | None = None) -> FuzzReport:
+             corpus: str | None = None,
+             on_progress=None,
+             stop_check=None) -> FuzzReport:
     """Run one fuzzing campaign; returns the aggregated report.
 
     Deterministic for a given ``config.seed``: verdicts are collected
     in input order whatever ``jobs`` is, and failure handling runs in
-    the parent.
+    the parent.  ``on_progress``/``stop_check`` are the campaign
+    service's job hooks (see :func:`repro.faults.executor.parallel_map`);
+    a stopped fuzz campaign raises ``CampaignStopped`` and simply
+    reruns from scratch when resubmitted — fuzzing is
+    rerun-deterministic, so nothing is lost.
     """
     report = FuzzReport(seed=config.seed, count=config.count)
     journal_file = None
@@ -409,7 +415,9 @@ def run_fuzz(config: FuzzConfig, jobs: int = 1,
     with obs.span("fuzz.campaign", seed=str(config.seed),
                   count=str(config.count)):
         verdicts = parallel_map(_fuzz_one, tasks, jobs=jobs,
-                                retries=retries, timeout=timeout)
+                                retries=retries, timeout=timeout,
+                                on_progress=on_progress,
+                                stop_check=stop_check)
     for index, verdict in enumerate(verdicts):
         report.programs += 1
         obs.counter("fuzz_programs_total",

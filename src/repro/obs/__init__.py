@@ -19,12 +19,21 @@ the existing result pipe; the supervisor's side merges the drains into
 the campaign-level registry, so ``coverage --jobs 8 --metrics out.prom``
 reports one coherent registry whose totals match a serial run exactly.
 
+Thread scoping: the campaign service (:mod:`repro.service`) runs
+several jobs concurrently in one process, each wanting its own
+registry.  :func:`scoped` installs a registry for the *calling thread*
+only — every instrument helper consults the thread scope first and
+falls back to the process-wide installation, so scoped jobs are
+isolated from each other and from the global registry without the hot
+paths paying more than one extra attribute read.
+
 See ``docs/observability.md`` for the metric catalogue and span names.
 """
 
 from __future__ import annotations
 
 import contextlib
+import threading
 
 from repro.obs.metrics import (BUCKET_SHIFT, BUCKETS, Counter, Gauge,
                                Histogram, MetricsRegistry, NULL_COUNTER,
@@ -38,20 +47,34 @@ __all__ = [
     "NULL_SPAN", "SpanRecord", "SpanRecorder", "Timer", "bucket_index",
     "bucket_upper_bound", "counter", "drain_worker_snapshot", "enabled",
     "gauge", "get_recorder", "get_registry", "histogram", "install",
-    "merge_snapshot", "session", "snapshot", "span", "uninstall",
+    "merge_snapshot", "scoped", "session", "snapshot", "span",
+    "uninstall",
 ]
 
 #: The installed registry / recorder, or None (observability off).
 _registry: MetricsRegistry | None = None
 _recorder: SpanRecorder | None = None
 
+#: Per-thread registry/recorder overrides (see :func:`scoped`).
+_scope = threading.local()
+
 
 def install(registry: MetricsRegistry,
             recorder: SpanRecorder | None = None) -> None:
-    """Turn observability on (replacing any previous installation)."""
+    """Turn observability on (replacing any previous installation).
+
+    Also clears the calling thread's :func:`scoped` override: a
+    campaign worker forked from a scoped service thread inherits the
+    parent's thread-local scope, and its ``worker=True`` registry must
+    win or its telemetry would accrue in a dead copy of the job
+    registry instead of riding the result pipe home.
+    """
     global _registry, _recorder
     _registry = registry
     _recorder = recorder
+    _scope.registry = None
+    _scope.recorder = None
+    _scope.active = False
 
 
 def uninstall() -> None:
@@ -63,37 +86,68 @@ def uninstall() -> None:
     _recorder = None
 
 
+@contextlib.contextmanager
+def scoped(registry: MetricsRegistry | None,
+           recorder: SpanRecorder | None = None):
+    """Registry/recorder override for the calling thread only.
+
+    The service orchestrator wraps each job's execution in
+    ``with obs.scoped(job_registry):`` so concurrently-running jobs
+    record into isolated registries while the process-wide installation
+    (if any) keeps serving every other thread.  Passing ``None``
+    explicitly shadows the global registry — observability off for the
+    region.  Scopes nest; the previous scope is restored on exit.
+    """
+    previous = (getattr(_scope, "registry", None),
+                getattr(_scope, "recorder", None),
+                getattr(_scope, "active", False))
+    _scope.registry = registry
+    _scope.recorder = recorder
+    _scope.active = True
+    try:
+        yield registry
+    finally:
+        _scope.registry, _scope.recorder, _scope.active = previous
+
+
 def get_registry() -> MetricsRegistry | None:
+    if getattr(_scope, "active", False):
+        return _scope.registry
     return _registry
 
 
 def get_recorder() -> SpanRecorder | None:
+    if getattr(_scope, "active", False):
+        return _scope.recorder
     return _recorder
 
 
 def enabled() -> bool:
-    return _registry is not None
+    return get_registry() is not None
 
 
 # -- instrument helpers (no-ops while off) ----------------------------------
 
 
 def counter(name: str, help: str = "", **labels):
-    if _registry is None:
+    registry = get_registry()
+    if registry is None:
         return NULL_COUNTER
-    return _registry.counter(name, help=help, **labels)
+    return registry.counter(name, help=help, **labels)
 
 
 def gauge(name: str, help: str = "", **labels):
-    if _registry is None:
+    registry = get_registry()
+    if registry is None:
         return NULL_GAUGE
-    return _registry.gauge(name, help=help, **labels)
+    return registry.gauge(name, help=help, **labels)
 
 
 def histogram(name: str, help: str = "", **labels):
-    if _registry is None:
+    registry = get_registry()
+    if registry is None:
         return NULL_HISTOGRAM
-    return _registry.histogram(name, help=help, **labels)
+    return registry.histogram(name, help=help, **labels)
 
 
 def span(name: str, **attrs):
@@ -102,21 +156,23 @@ def span(name: str, **attrs):
     Returns a shared no-op context manager while no recorder is
     installed, so call sites never need their own guard.
     """
-    if _recorder is None:
+    recorder = get_recorder()
+    if recorder is None:
         return NULL_SPAN
-    return _recorder.span(name, **attrs)
+    return recorder.span(name, **attrs)
 
 
 # -- snapshots across the process boundary ----------------------------------
 
 
 def snapshot() -> dict:
-    """Snapshot the installed registry plus span aggregates."""
-    if _registry is None:
+    """Snapshot the effective registry plus span aggregates."""
+    registry, recorder = get_registry(), get_recorder()
+    if registry is None:
         return {}
-    snap = _registry.snapshot()
-    snap["spans"] = (_recorder.snapshot_aggregates()
-                     if _recorder is not None else [])
+    snap = registry.snapshot()
+    snap["spans"] = (recorder.snapshot_aggregates()
+                     if recorder is not None else [])
     return snap
 
 
@@ -127,21 +183,23 @@ def drain_worker_snapshot() -> dict | None:
     rides the result pipe exactly once.  The parent's own registry is
     never drained — its metrics are already in the right place.
     """
-    if _registry is None or not _registry.worker:
+    registry, recorder = get_registry(), get_recorder()
+    if registry is None or not registry.worker:
         return None
-    snap = _registry.drain()
-    snap["spans"] = (_recorder.drain_aggregates()
-                     if _recorder is not None else [])
+    snap = registry.drain()
+    snap["spans"] = (recorder.drain_aggregates()
+                     if recorder is not None else [])
     return snap
 
 
 def merge_snapshot(snap: dict | None) -> None:
-    """Fold a worker drain into the installed registry (no-op if off)."""
-    if snap is None or _registry is None:
+    """Fold a worker drain into the effective registry (no-op if off)."""
+    registry, recorder = get_registry(), get_recorder()
+    if snap is None or registry is None:
         return
-    _registry.merge_snapshot(snap)
-    if _recorder is not None:
-        _recorder.merge_aggregates(snap.get("spans", ()))
+    registry.merge_snapshot(snap)
+    if recorder is not None:
+        recorder.merge_aggregates(snap.get("spans", ()))
 
 
 @contextlib.contextmanager

@@ -1,0 +1,28 @@
+"""Campaign service: REST API, job orchestrator, artifact store.
+
+Everything here is stdlib-only (``http.server``, ``threading``,
+``json``); the service is an orchestration shell around the existing
+campaign engine — a job submitted over HTTP runs through the very same
+:class:`~repro.faults.executor.CampaignExecutor` / journal code paths
+as the CLI, so its journal is byte-identical to the CLI's.
+"""
+
+from repro.service.store import ArtifactStore
+from repro.service.jobs import Job, JobSpec, JobStatus, validate_spec
+from repro.service.orchestrator import Orchestrator, QuotaError
+from repro.service.api import ServiceServer, create_server
+from repro.service.client import ServiceClient, ServiceError
+
+__all__ = [
+    "ArtifactStore",
+    "Job",
+    "JobSpec",
+    "JobStatus",
+    "Orchestrator",
+    "QuotaError",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "create_server",
+    "validate_spec",
+]

@@ -1,0 +1,287 @@
+"""REST + SSE front-end (stdlib ``http.server`` only).
+
+Endpoints
+---------
+``POST /jobs``                    submit a job (JSON body; 400 on bad
+                                  payload, 429 on quota)
+``GET /jobs[?tenant=T]``          list jobs (summaries)
+``GET /jobs/<id>``                full job state, result included
+``POST /jobs/<id>/cancel``        cancel (immediate if queued,
+                                  cooperative if running)
+``GET /jobs/<id>/events``         Server-Sent Events: status +
+                                  progress, live until the job ends
+                                  (``?since=N`` or ``Last-Event-ID``
+                                  resumes the stream)
+``GET /jobs/<id>/journal``        the campaign journal, byte-exact
+``GET /jobs/<id>/artifacts``      list workspace files
+``GET /jobs/<id>/artifacts/<p>``  fetch one (journal, corpus,
+                                  forensics bundle, ...)
+``GET /metrics``                  Prometheus text of the server-wide
+                                  registry (``?format=json`` for the
+                                  snapshot ``repro stats`` renders)
+``GET /healthz``                  liveness + queue depths
+
+The server is a ``ThreadingHTTPServer``: every request gets a thread,
+so long-lived SSE streams never block submissions.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.service.jobs import JobStatus, validate_spec
+from repro.service.orchestrator import Orchestrator, QuotaError
+
+log = logging.getLogger("repro.service.api")
+
+MAX_BODY = 8 * 1024 * 1024
+
+
+def _job_summary(job) -> dict:
+    return {"id": job.id, "kind": job.spec.kind,
+            "tenant": job.spec.tenant, "name": job.spec.name,
+            "priority": job.spec.priority,
+            "status": job.status.value,
+            "created": job.created, "finished": job.finished,
+            "completed": job.completed, "total": job.total}
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """One request; ``self.server.orchestrator`` is the shared state."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib name
+        log.debug("%s - %s", self.address_string(), format % args)
+
+    # -- helpers ----------------------------------------------------------
+
+    @property
+    def orchestrator(self) -> Orchestrator:
+        return self.server.orchestrator
+
+    def _send_json(self, status: int, payload) -> None:
+        body = (json.dumps(payload, indent=1) + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_body(self):
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0 or length > MAX_BODY:
+            raise ValueError("request body required (JSON, <= 8 MiB)")
+        return json.loads(self.rfile.read(length))
+
+    def _job_or_404(self, job_id: str):
+        job = self.orchestrator.get(job_id)
+        if job is None:
+            self._send_error(404, f"no job {job_id!r}")
+        return job
+
+    # -- routing ----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib name
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        query = {key: values[-1]
+                 for key, values in parse_qs(url.query).items()}
+        try:
+            if parts == ["healthz"]:
+                return self._healthz()
+            if parts == ["metrics"]:
+                return self._metrics(query)
+            if parts == ["jobs"]:
+                jobs = self.orchestrator.list_jobs(query.get("tenant"))
+                return self._send_json(
+                    200, {"jobs": [_job_summary(job) for job in jobs]})
+            if len(parts) >= 2 and parts[0] == "jobs":
+                job = self._job_or_404(parts[1])
+                if job is None:
+                    return None
+                if len(parts) == 2:
+                    return self._send_json(200, job.to_json())
+                if parts[2] == "events" and len(parts) == 3:
+                    return self._events(job, query)
+                if parts[2] == "journal" and len(parts) == 3:
+                    return self._artifact(job, "journal.jsonl")
+                if parts[2] == "artifacts":
+                    if len(parts) == 3:
+                        return self._artifact_list(job)
+                    return self._artifact(job, "/".join(parts[3:]))
+            self._send_error(404, f"no route for GET {url.path}")
+        except BrokenPipeError:
+            pass  # client went away (e.g. curl | head)
+        except Exception as exc:
+            log.exception("GET %s failed", self.path)
+            try:
+                self._send_error(500, f"{type(exc).__name__}: {exc}")
+            except (OSError, ValueError):
+                pass
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib name
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        try:
+            if parts == ["jobs"]:
+                return self._submit()
+            if len(parts) == 3 and parts[0] == "jobs" \
+                    and parts[2] == "cancel":
+                return self._cancel(parts[1])
+            self._send_error(404, f"no route for POST {url.path}")
+        except BrokenPipeError:
+            pass
+        except Exception as exc:
+            log.exception("POST %s failed", self.path)
+            try:
+                self._send_error(500, f"{type(exc).__name__}: {exc}")
+            except (OSError, ValueError):
+                pass
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib name
+        parts = [part for part in urlparse(self.path).path.split("/")
+                 if part]
+        if len(parts) == 2 and parts[0] == "jobs":
+            return self._cancel(parts[1])
+        self._send_error(404, f"no route for DELETE {self.path}")
+
+    # -- endpoints --------------------------------------------------------
+
+    def _healthz(self) -> None:
+        jobs = self.orchestrator.list_jobs()
+        counts: dict[str, int] = {}
+        for job in jobs:
+            counts[job.status.value] = \
+                counts.get(job.status.value, 0) + 1
+        self._send_json(200, {"status": "ok", "jobs": counts})
+
+    def _metrics(self, query: dict) -> None:
+        snapshot = self.orchestrator.metrics_snapshot()
+        if query.get("format") == "json":
+            return self._send_json(200, snapshot)
+        from repro.obs.exporters import prometheus_text
+        body = prometheus_text(snapshot).encode()
+        self.send_response(200)
+        self.send_header("Content-Type",
+                         "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _submit(self) -> None:
+        try:
+            payload = self._read_body()
+        except (ValueError, json.JSONDecodeError) as exc:
+            return self._send_error(400, f"bad JSON body: {exc}")
+        try:
+            spec = validate_spec(payload)
+        except ValueError as exc:
+            return self._send_error(400, str(exc))
+        try:
+            job = self.orchestrator.submit(spec)
+        except QuotaError as exc:
+            return self._send_error(429, str(exc))
+        self._send_json(201, job.to_json())
+
+    def _cancel(self, job_id: str) -> None:
+        try:
+            changed = self.orchestrator.cancel(job_id)
+        except KeyError:
+            return self._send_error(404, f"no job {job_id!r}")
+        if not changed:
+            job = self.orchestrator.get(job_id)
+            return self._send_error(
+                409, f"job {job_id} already {job.status.value}")
+        self._send_json(202, {"id": job_id, "cancel": "requested"})
+
+    def _events(self, job, query: dict) -> None:
+        """SSE stream: replay from ``since`` then follow live."""
+        try:
+            seq = int(query.get("since",
+                                self.headers.get("Last-Event-ID", 0)))
+        except ValueError:
+            seq = 0
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        ended = False
+        while not ended:
+            events = job.wait_events(seq, timeout=5.0)
+            if not events:
+                if job.status is not JobStatus.RUNNING \
+                        and job.status is not JobStatus.QUEUED:
+                    break  # terminal or requeued, stream drained
+                self.wfile.write(b": keepalive\n\n")
+                self.wfile.flush()
+                continue
+            for event in events:
+                seq = event["seq"] + 1
+                frame = (f"id: {seq}\n"
+                         f"event: {event['event']}\n"
+                         f"data: {json.dumps(event)}\n\n")
+                self.wfile.write(frame.encode())
+                if event["event"] == "end":
+                    ended = True
+            self.wfile.flush()
+
+    def _artifact_list(self, job) -> None:
+        files = []
+        for dirpath, _, names in os.walk(job.workspace):
+            for name in names:
+                path = os.path.join(dirpath, name)
+                files.append({
+                    "path": os.path.relpath(path, job.workspace),
+                    "bytes": os.path.getsize(path)})
+        files.sort(key=lambda entry: entry["path"])
+        self._send_json(200, {"artifacts": files})
+
+    def _artifact(self, job, relpath: str) -> None:
+        base = os.path.realpath(job.workspace)
+        path = os.path.realpath(os.path.join(base, relpath))
+        if path != base and not path.startswith(base + os.sep):
+            return self._send_error(400, "path escapes the workspace")
+        if not os.path.isfile(path):
+            return self._send_error(404, f"no artifact {relpath!r}")
+        with open(path, "rb") as handle:
+            body = handle.read()
+        self.send_response(200)
+        content_type = ("application/x-ndjson"
+                        if path.endswith(".jsonl")
+                        else "application/octet-stream")
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """HTTP server bound to one orchestrator."""
+
+    daemon_threads = True
+
+    def __init__(self, address, orchestrator: Orchestrator):
+        super().__init__(address, ServiceHandler)
+        self.orchestrator = orchestrator
+
+
+def create_server(root: str, host: str = "127.0.0.1", port: int = 0,
+                  workers: int = 2,
+                  max_active_per_tenant: int = 16,
+                  max_running_per_tenant: int = 2) -> ServiceServer:
+    """Build the orchestrator + HTTP server (port 0 = ephemeral)."""
+    orchestrator = Orchestrator(
+        root, workers=workers,
+        max_active_per_tenant=max_active_per_tenant,
+        max_running_per_tenant=max_running_per_tenant)
+    return ServiceServer((host, port), orchestrator)

@@ -1,0 +1,123 @@
+"""Minimal urllib client for the campaign service.
+
+Used by ``repro submit`` / ``repro jobs`` / ``repro stats --url`` and
+the tests; anything it does a plain ``curl`` can do too (see
+``docs/service.md`` for the curl quickstart).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+
+class ServiceError(Exception):
+    """Non-2xx response; carries the HTTP status and server message."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _request(self, method: str, path: str, payload=None,
+                 timeout: float | None = None):
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(self.base_url + path,
+                                         data=data, headers=headers,
+                                         method=method)
+        try:
+            return urllib.request.urlopen(
+                request, timeout=self.timeout
+                if timeout is None else timeout)
+        except urllib.error.HTTPError as exc:
+            body = exc.read().decode(errors="replace")
+            try:
+                message = json.loads(body).get("error", body)
+            except (ValueError, AttributeError):
+                message = body
+            raise ServiceError(exc.code, message) from exc
+
+    def _json(self, method: str, path: str, payload=None):
+        with self._request(method, path, payload) as response:
+            return json.loads(response.read())
+
+    # -- API --------------------------------------------------------------
+
+    def submit(self, payload: dict) -> dict:
+        return self._json("POST", "/jobs", payload)
+
+    def job(self, job_id: str) -> dict:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def jobs(self, tenant: str | None = None) -> list[dict]:
+        path = "/jobs" + (f"?tenant={tenant}" if tenant else "")
+        return self._json("GET", path)["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._json("POST", f"/jobs/{job_id}/cancel")
+
+    def journal(self, job_id: str) -> bytes:
+        with self._request("GET", f"/jobs/{job_id}/journal") as resp:
+            return resp.read()
+
+    def artifacts(self, job_id: str) -> list[dict]:
+        return self._json("GET", f"/jobs/{job_id}/artifacts")["artifacts"]
+
+    def artifact(self, job_id: str, relpath: str) -> bytes:
+        with self._request(
+                "GET", f"/jobs/{job_id}/artifacts/{relpath}") as resp:
+            return resp.read()
+
+    def metrics(self) -> dict:
+        """The JSON metrics snapshot (``repro stats`` renders it)."""
+        return self._json("GET", "/metrics?format=json")
+
+    def metrics_text(self) -> str:
+        with self._request("GET", "/metrics") as response:
+            return response.read().decode()
+
+    def health(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def events(self, job_id: str, since: int = 0,
+               timeout: float | None = 300.0):
+        """Generator over the job's SSE stream (parsed JSON events).
+
+        Ends when the server closes the stream — normally right after
+        the ``end`` event.
+        """
+        response = self._request(
+            "GET", f"/jobs/{job_id}/events?since={since}",
+            timeout=timeout)
+        with response:
+            data_lines: list[str] = []
+            for raw in response:
+                line = raw.decode().rstrip("\n")
+                if line.startswith(":"):
+                    continue  # keepalive comment
+                if line.startswith("data:"):
+                    data_lines.append(line[5:].strip())
+                    continue
+                if line == "" and data_lines:
+                    yield json.loads("\n".join(data_lines))
+                    data_lines = []
+
+    def wait(self, job_id: str, timeout: float = 300.0) -> dict:
+        """Follow the SSE stream until the job ends; return final
+        state."""
+        for event in self.events(job_id, timeout=timeout):
+            if event.get("event") == "end":
+                break
+        return self.job(job_id)

@@ -1,0 +1,206 @@
+"""Content-addressed on-disk artifact store.
+
+Promotes the in-process golden-run/profile caches
+(:mod:`repro.faults.cache`) to a disk tier shared across jobs and
+service restarts.  Entries are keyed by content — the golden cache by
+``(program digest, config key)``, the profile cache by
+``(program digest, max_steps)`` — so two jobs submitting the same
+workload under the same configuration share one entry no matter which
+process computed it.
+
+Every artifact is a JSON envelope carrying the pickled payload
+(base64) plus a sha256 over the payload bytes; the sha is re-verified
+on every load and a mismatching file is deleted and reported as a
+miss, so a torn write or bit-flip can never resurrect as a wrong
+golden run.  Writes are atomic (``tmp`` + ``os.replace``) so
+concurrent jobs and crashed processes leave either the old entry, the
+new entry, or nothing — never a partial file.
+
+Eviction is LRU over file mtimes (a hit touches the file), bounded by
+entry count and total bytes.  Hits/misses/stores/corruptions are
+counted per kind under ``service_disk_cache_total``.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+
+from repro import obs
+
+#: artifact kinds with their own subdirectory and counter label
+KINDS = ("golden", "profile", "blob")
+
+
+def _key_name(key) -> str:
+    """Stable filename for a cache key.
+
+    ``repr`` of the key tuples used here (strings, ints, bools) is
+    stable across processes and Python runs — unlike ``hash()``,
+    which is salted.
+    """
+    return hashlib.sha256(repr(key).encode()).hexdigest()
+
+
+class ArtifactStore:
+    """Disk-backed content-addressed cache under one root directory."""
+
+    def __init__(self, root: str, max_entries: int = 4096,
+                 max_bytes: int = 512 * 1024 * 1024):
+        self.root = root
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        for kind in KINDS:
+            os.makedirs(os.path.join(root, kind), exist_ok=True)
+
+    # -- generic envelope ------------------------------------------------
+
+    def _path(self, kind: str, name: str) -> str:
+        return os.path.join(self.root, kind, name + ".json")
+
+    def _write(self, kind: str, name: str, payload: bytes) -> None:
+        envelope = {
+            "kind": kind,
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "size": len(payload),
+            "payload": base64.b64encode(payload).decode("ascii"),
+        }
+        directory = os.path.join(self.root, kind)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(envelope, handle)
+            os.replace(tmp, self._path(kind, name))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        obs.counter("service_disk_cache_total",
+                    help="disk artifact-cache operations",
+                    kind=kind, result="store").inc()
+        self._evict()
+
+    def _read(self, kind: str, name: str) -> bytes | None:
+        path = self._path(kind, name)
+        try:
+            with open(path) as handle:
+                envelope = json.load(handle)
+            payload = base64.b64decode(envelope["payload"])
+            if hashlib.sha256(payload).hexdigest() != envelope["sha256"]:
+                raise ValueError("sha256 mismatch")
+        except FileNotFoundError:
+            obs.counter("service_disk_cache_total",
+                        help="disk artifact-cache operations",
+                        kind=kind, result="miss").inc()
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Torn write or corruption: drop the entry so it cannot be
+            # served again, report as a miss plus a corruption marker.
+            obs.counter("service_disk_cache_total",
+                        help="disk artifact-cache operations",
+                        kind=kind, result="corrupt").inc()
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        obs.counter("service_disk_cache_total",
+                    help="disk artifact-cache operations",
+                    kind=kind, result="hit").inc()
+        try:
+            os.utime(path)  # LRU touch
+        except OSError:
+            pass
+        return payload
+
+    # -- golden / profile tiers -----------------------------------------
+
+    def get_golden(self, digest: str, key: tuple):
+        payload = self._read("golden", _key_name((digest, key)))
+        if payload is None:
+            return None
+        try:
+            return pickle.loads(payload)
+        except Exception:
+            return None
+
+    def put_golden(self, digest: str, key: tuple, golden) -> None:
+        self._write("golden", _key_name((digest, key)),
+                    pickle.dumps(golden))
+
+    def get_profile(self, digest: str, max_steps: int):
+        payload = self._read("profile", _key_name((digest, max_steps)))
+        if payload is None:
+            return None
+        try:
+            return pickle.loads(payload)
+        except Exception:
+            return None
+
+    def put_profile(self, digest: str, max_steps: int, profiler) -> None:
+        self._write("profile", _key_name((digest, max_steps)),
+                    pickle.dumps(profiler))
+
+    # -- content-addressed blobs ----------------------------------------
+
+    def put_blob(self, data: bytes) -> str:
+        """Store raw bytes under their own sha256; returns the digest."""
+        digest = hashlib.sha256(data).hexdigest()
+        if not os.path.exists(self._path("blob", digest)):
+            self._write("blob", digest, data)
+        return digest
+
+    def get_blob(self, digest: str) -> bytes | None:
+        return self._read("blob", digest)
+
+    # -- maintenance -----------------------------------------------------
+
+    def _entries(self):
+        out = []
+        for kind in KINDS:
+            directory = os.path.join(self.root, kind)
+            for name in os.listdir(directory):
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(directory, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue
+                out.append((stat.st_mtime, stat.st_size, path))
+        return out
+
+    def _evict(self) -> None:
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        if len(entries) <= self.max_entries and total <= self.max_bytes:
+            return
+        entries.sort()  # oldest mtime first
+        while entries and (len(entries) > self.max_entries
+                           or total > self.max_bytes):
+            _, size, path = entries.pop(0)
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            obs.counter("service_disk_cache_total",
+                        help="disk artifact-cache operations",
+                        kind=os.path.basename(os.path.dirname(path)),
+                        result="evict").inc()
+
+    def stats(self) -> dict:
+        entries = self._entries()
+        per_kind: dict[str, int] = {}
+        for _, _, path in entries:
+            kind = os.path.basename(os.path.dirname(path))
+            per_kind[kind] = per_kind.get(kind, 0) + 1
+        return {"entries": len(entries),
+                "bytes": sum(size for _, size, _ in entries),
+                "per_kind": per_kind}

@@ -219,3 +219,81 @@ class TestCampaignKey:
     def test_spec_digest_is_content_addressed(self, clean_specs):
         assert spec_digest(clean_specs[0]) == spec_digest(clean_specs[0])
         assert spec_digest(clean_specs[0]) != spec_digest(clean_specs[1])
+
+
+class TestTornTail:
+    """Regression: a partially-written final line (crash mid-append)
+    is truncated away with a warning on resume — including a tear that
+    falls inside a multi-byte UTF-8 sequence, which used to raise
+    UnicodeDecodeError out of the resume path."""
+
+    def seed_journal(self, path):
+        journal = CampaignJournal(path)
+        journal.append_header({"tool": "repro-inject", "backend": "x"})
+        record = RunRecord(outcome=Outcome.BENIGN, stop_reason="ok",
+                           outputs=((), ()), cycles=1, icount=1)
+        journal.append_chunk("prog", ("dbt", "edgcf"), 0, ["aa"],
+                             [record])
+        return journal, record
+
+    def test_torn_ascii_tail_truncated_on_resume(self, tmp_path,
+                                                 caplog):
+        path = str(tmp_path / "journal.jsonl")
+        journal, record = self.seed_journal(path)
+        good_size = os.path.getsize(path)
+        with open(path, "ab") as handle:
+            handle.write(b'{"v":1,"program":"pro')
+        with caplog.at_level("WARNING", logger="repro.faults.journal"):
+            done = journal.replay("prog", ("dbt", "edgcf"))
+        assert done == {(0, ("aa",)): [record]}
+        assert os.path.getsize(path) == good_size
+        assert any("truncating" in message
+                   for message in caplog.messages)
+
+    def test_torn_multibyte_tail_truncated_on_resume(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal, record = self.seed_journal(path)
+        good_size = os.path.getsize(path)
+        with open(path, "ab") as handle:
+            # "…" is e2 80 a6; tear after the first two bytes.
+            handle.write('{"header": "x…'.encode()[:-2])
+        done = journal.replay("prog", ("dbt", "edgcf"))
+        assert done == {(0, ("aa",)): [record]}
+        assert os.path.getsize(path) == good_size
+
+    def test_resumed_append_lands_on_a_clean_line(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal, record = self.seed_journal(path)
+        with open(path, "ab") as handle:
+            handle.write(b'{"v":1,"chunk":')
+        journal.replay("prog", ("dbt", "edgcf"))
+        journal.append_chunk("prog", ("dbt", "edgcf"), 1, ["bb"],
+                             [record])
+        done = journal.replay("prog", ("dbt", "edgcf"))
+        assert set(done) == {(0, ("aa",)), (1, ("bb",))}
+
+    def test_terminated_corrupt_line_is_skipped_not_truncated(
+            self, tmp_path, caplog):
+        path = str(tmp_path / "journal.jsonl")
+        journal, record = self.seed_journal(path)
+        with open(path, "ab") as handle:
+            handle.write(b"not json at all\n")
+        journal.append_chunk("prog", ("dbt", "edgcf"), 1, ["bb"],
+                             [record])
+        size = os.path.getsize(path)
+        with caplog.at_level("WARNING", logger="repro.faults.journal"):
+            done = journal.replay("prog", ("dbt", "edgcf"))
+        assert set(done) == {(0, ("aa",)), (1, ("bb",))}
+        assert os.path.getsize(path) == size
+        assert any("corrupt" in message for message in caplog.messages)
+
+    def test_read_header_tolerates_torn_tail(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal, _ = self.seed_journal(path)
+        size = os.path.getsize(path)
+        with open(path, "ab") as handle:
+            handle.write('{"x": "é'.encode()[:-1])
+        assert journal.read_header() == {"tool": "repro-inject",
+                                         "backend": "x"}
+        # read_header is a pure read: no truncation side effect.
+        assert os.path.getsize(path) > size

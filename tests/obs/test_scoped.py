@@ -1,0 +1,86 @@
+"""Thread-local obs scoping: per-job registries in one process.
+
+The campaign service runs several jobs concurrently on threads of one
+process; ``obs.scoped`` routes each thread's telemetry to its own
+registry without touching the other threads or the installed global.
+"""
+
+import threading
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+
+
+def counter_value(registry, name, **labels):
+    for entry in registry.snapshot()["counters"]:
+        if entry["name"] == name and entry.get("labels", {}) == labels:
+            return entry["value"]
+    return 0
+
+
+class TestScoped:
+    def test_scope_captures_while_global_off(self):
+        registry = MetricsRegistry()
+        assert not obs.enabled()
+        with obs.scoped(registry):
+            assert obs.enabled()
+            obs.counter("scoped_total").inc()
+        assert not obs.enabled()
+        assert counter_value(registry, "scoped_total") == 1
+
+    def test_scope_shadows_installed_global(self):
+        obs.install(MetricsRegistry())
+        global_registry = obs.get_registry()
+        scoped_registry = MetricsRegistry()
+        obs.counter("outside_total").inc()
+        with obs.scoped(scoped_registry):
+            obs.counter("inside_total").inc()
+        obs.counter("outside_total").inc()
+        assert counter_value(global_registry, "outside_total") == 2
+        assert counter_value(global_registry, "inside_total") == 0
+        assert counter_value(scoped_registry, "inside_total") == 1
+
+    def test_nested_scopes_restore(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with obs.scoped(outer):
+            with obs.scoped(inner):
+                obs.counter("deep_total").inc()
+            obs.counter("shallow_total").inc()
+        assert counter_value(inner, "deep_total") == 1
+        assert counter_value(outer, "shallow_total") == 1
+        assert counter_value(outer, "deep_total") == 0
+
+    def test_scopes_are_thread_local(self):
+        registries = [MetricsRegistry() for _ in range(2)]
+        barrier = threading.Barrier(2)
+
+        def work(index):
+            with obs.scoped(registries[index]):
+                barrier.wait()
+                obs.counter("thread_total", index=str(index)).inc()
+
+        threads = [threading.Thread(target=work, args=(i,))
+                   for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter_value(registries[0], "thread_total",
+                             index="0") == 1
+        assert counter_value(registries[0], "thread_total",
+                             index="1") == 0
+        assert counter_value(registries[1], "thread_total",
+                             index="1") == 1
+
+    def test_install_clears_the_active_scope(self):
+        """Fork safety: a campaign worker forked from a scoped service
+        thread installs its own worker registry, which must win over
+        the inherited scope (worker telemetry rides the result pipe)."""
+        scoped_registry = MetricsRegistry()
+        with obs.scoped(scoped_registry):
+            obs.install(MetricsRegistry())
+            obs.counter("after_install_total").inc()
+            installed = obs.get_registry()
+        assert counter_value(scoped_registry,
+                             "after_install_total") == 0
+        assert counter_value(installed, "after_install_total") == 1

@@ -1,0 +1,84 @@
+"""Service tests: keep the process-global cache/obs state clean."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.faults import cache
+
+SUM_LOOP_SRC = """
+.entry main
+main:
+    movi r1, 0
+    movi r2, 1
+loop:
+    add r1, r1, r2
+    addi r2, r2, 1
+    cmpi r2, 11
+    jl loop
+    syscall 4
+    movi r1, 0
+    syscall 0
+"""
+
+#: ten distinct fault tokens -> two executor chunks (chunk size 8)
+TEN_FAULTS = ["offset:0", "offset:1", "offset:2", "offset:3",
+              "offset:4", "offset:5", "flag:0", "flag:1", "flag:2",
+              "direction"]
+
+
+@pytest.fixture
+def sum_loop_src():
+    return SUM_LOOP_SRC
+
+
+@pytest.fixture
+def ten_faults():
+    return list(TEN_FAULTS)
+
+
+@pytest.fixture(autouse=True)
+def clean_global_tiers():
+    """The orchestrator installs a process-wide disk tier; drop it."""
+    yield
+    cache.set_disk_tier(None)
+    cache.clear_caches()
+    obs.uninstall()
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A live server on an ephemeral port, drained on teardown."""
+    from repro.service import ServiceClient, create_server
+    server = create_server(str(tmp_path / "state"), port=0, workers=2)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}")
+    yield server, client
+    server.orchestrator.drain(timeout=10.0)
+    server.shutdown()
+    server.server_close()
+
+
+def _wait_terminal(orchestrator, job_id, timeout=120.0):
+    """Poll until the job leaves the queue/running states."""
+    import time
+
+    from repro.service import JobStatus
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        job = orchestrator.get(job_id)
+        if job.status not in (JobStatus.QUEUED, JobStatus.RUNNING):
+            return job
+        time.sleep(0.02)
+    raise AssertionError(
+        f"job {job_id} still {orchestrator.get(job_id).status}")
+
+
+@pytest.fixture
+def wait_terminal():
+    return _wait_terminal

@@ -1,0 +1,142 @@
+"""Artifact store: round-trips, integrity, eviction, disk tier."""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.faults import cache
+from repro.faults.campaign import Golden
+from repro.obs.metrics import MetricsRegistry
+from repro.service import ArtifactStore
+
+
+def golden(n=1):
+    return Golden(outputs=(("55",), (55,)), exit_code=0, icount=n,
+                  cycles=n * 2)
+
+
+def counter_value(registry, name, **labels):
+    for entry in registry.snapshot()["counters"]:
+        if entry["name"] == name and entry.get("labels", {}) == labels:
+            return entry["value"]
+    return 0
+
+
+class TestRoundTrip:
+    def test_golden_roundtrip(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        key = ("dbt", "edgcf", "allbb", "jcc", False, "interp")
+        assert store.get_golden("digest", key) is None
+        store.put_golden("digest", key, golden())
+        assert store.get_golden("digest", key) == golden()
+        # A different key is a different entry.
+        assert store.get_golden("other", key) is None
+
+    def test_profile_roundtrip(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.put_profile("digest", 1000, {"sites": [1, 2, 3]})
+        assert store.get_profile("digest", 1000) == {"sites": [1, 2, 3]}
+        assert store.get_profile("digest", 2000) is None
+
+    def test_blob_is_content_addressed(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        digest = store.put_blob(b"hello campaign")
+        assert store.put_blob(b"hello campaign") == digest
+        assert store.get_blob(digest) == b"hello campaign"
+
+    def test_entries_survive_a_new_store_instance(self, tmp_path):
+        ArtifactStore(str(tmp_path)).put_golden("d", ("k",), golden())
+        reopened = ArtifactStore(str(tmp_path))
+        assert reopened.get_golden("d", ("k",)) == golden()
+
+
+class TestIntegrity:
+    def corrupt_one_entry(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.put_golden("d", ("k",), golden())
+        (path,) = [os.path.join(tmp_path, "golden", name)
+                   for name in os.listdir(tmp_path / "golden")]
+        return store, path
+
+    def test_flipped_payload_is_rejected_and_removed(self, tmp_path):
+        store, path = self.corrupt_one_entry(tmp_path)
+        envelope = json.load(open(path))
+        envelope["payload"] = "QQ==" + envelope["payload"][4:]
+        json.dump(envelope, open(path, "w"))
+        assert store.get_golden("d", ("k",)) is None
+        assert not os.path.exists(path)
+
+    def test_truncated_file_is_rejected_and_removed(self, tmp_path):
+        store, path = self.corrupt_one_entry(tmp_path)
+        with open(path, "r+") as handle:
+            handle.truncate(20)
+        assert store.get_golden("d", ("k",)) is None
+        assert not os.path.exists(path)
+
+    def test_corruption_is_counted(self, tmp_path):
+        registry = MetricsRegistry()
+        with obs.scoped(registry):
+            store, path = self.corrupt_one_entry(tmp_path)
+            with open(path, "r+") as handle:
+                handle.truncate(5)
+            store.get_golden("d", ("k",))
+        assert counter_value(registry, "service_disk_cache_total",
+                             kind="golden", result="corrupt") == 1
+
+
+class TestEviction:
+    def test_lru_eviction_by_entry_count(self, tmp_path):
+        store = ArtifactStore(str(tmp_path), max_entries=3)
+        aged: set[str] = set()
+        for index in range(5):
+            store.put_golden(f"d{index}", ("k",), golden(index))
+            # Pin each file's mtime to its insertion index so the LRU
+            # order is deterministic regardless of filesystem clock
+            # granularity.
+            for name in os.listdir(tmp_path / "golden"):
+                if name not in aged:
+                    aged.add(name)
+                    os.utime(os.path.join(tmp_path, "golden", name),
+                             (index, index))
+        assert store.stats()["entries"] == 3
+        # The oldest entries were evicted, the newest survive.
+        assert store.get_golden("d0", ("k",)) is None
+        assert store.get_golden("d4", ("k",)) == golden(4)
+
+    def test_eviction_by_total_bytes(self, tmp_path):
+        store = ArtifactStore(str(tmp_path), max_bytes=1)
+        store.put_blob(b"x" * 100)
+        store.put_blob(b"y" * 100)
+        # Each write evicts everything older once the budget is blown.
+        assert store.stats()["entries"] <= 1
+
+
+class TestDiskTier:
+    def test_memory_miss_falls_through_to_disk(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        cache.set_disk_tier(store)
+        cache.put_golden("d", ("k",), golden())
+        cache.clear_caches()  # drop the in-memory tier only
+        assert cache.get_golden("d", ("k",)) == golden()
+        # ... and the hit was promoted back into memory.
+        cache.set_disk_tier(None)
+        assert cache.get_golden("d", ("k",)) == golden()
+
+    def test_disk_tier_appears_in_cache_stats(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        cache.set_disk_tier(store)
+        cache.put_golden("d", ("k",), golden())
+        stats = cache.cache_stats()
+        assert stats["disk"]["per_kind"] == {"golden": 1}
+
+    def test_disabled_cache_skips_the_disk_tier(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.put_golden("d", ("k",), golden())
+        cache.set_disk_tier(store)
+        cache.set_cache_enabled(False)
+        try:
+            assert cache.get_golden("d", ("k",)) is None
+        finally:
+            cache.set_cache_enabled(True)
