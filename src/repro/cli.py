@@ -28,6 +28,14 @@ Commands
                 streaming its events until completion
 ``jobs``        list/inspect/cancel/follow service jobs, or fetch a
                 job's journal
+``profile``     hot-block profile: per-block icount/cycle attribution
+                riding the branch-profiler slot, with annotated
+                disassembly of the top-N blocks (``--dbt`` maps
+                code-cache samples back to guest blocks)
+``trace``       export a campaign's ``<journal>.trace.jsonl`` sidecar
+                (written whenever a campaign runs with ``--journal``,
+                locally or in the service) as Chrome trace-event JSON
+                for Perfetto / ``chrome://tracing``
 
 ``run``, ``inject``, ``verify`` and ``coverage`` accept ``--metrics
 PATH`` and ``--trace PATH`` to capture telemetry (see
@@ -213,12 +221,31 @@ def cmd_inject(args) -> int:
                             Policy(args.policy), dataflow=args.dataflow,
                             backend=args.backend,
                             **_recovery_kwargs(args))
+    trace_ctx = None
+    if args.journal:
+        # Deterministic trace id from the same (program, config)
+        # identity the journal uses: a resumed campaign continues the
+        # trace its first run started.
+        from repro.faults.cache import config_key, program_digest
+        from repro.obs.traceevent import TraceContext
+        trace_ctx = TraceContext.for_campaign(program_digest(program),
+                                              config_key(config))
+    import time as _time
+    campaign_t0 = _time.time()
     executor = CampaignExecutor(program, config, jobs=args.jobs,
                                 retries=args.retries,
                                 timeout=args.timeout,
                                 journal=args.journal,
-                                resume=args.resume)
+                                resume=args.resume,
+                                trace=trace_ctx)
     records = executor.run_specs(specs)
+    if trace_ctx is not None:
+        from repro.obs.traceevent import (append_entry, job_entry,
+                                          trace_sidecar_path)
+        append_entry(
+            trace_sidecar_path(args.journal),
+            job_entry(trace_ctx, os.path.basename(args.file),
+                      campaign_t0, _time.time(), kind="inject"))
     print(f"config:  {config.label()}")
     status = 0
     for spec, record in zip(specs, records):
@@ -514,6 +541,85 @@ def cmd_stats(args) -> int:
         sys.stdout.write(jsonl_text(snap))
     else:
         print(render_stats(snap))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Hot-block profile of one run: per-block icount/cycle
+    attribution with annotated disassembly of the top-N blocks."""
+    from repro.exec.profiler import profile_dbt, profile_native
+    from repro.machine import StopReason
+    program = _load_program(args.file)
+    if args.dbt:
+        _, result, profiler = profile_dbt(program,
+                                          max_steps=args.max_steps)
+        stop = result.stop
+    else:
+        _, stop, profiler = profile_native(program,
+                                           backend=args.backend,
+                                           max_steps=args.max_steps)
+    report = profiler.render_report(program, top=args.top)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report + "\n")
+        print(f"profile written to {args.out}")
+    else:
+        print(report)
+    if stop.reason is not StopReason.HALTED:
+        print(f"note: run stopped with {stop.reason.name}",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_trace_export(args) -> int:
+    """Export a campaign trace sidecar as Chrome trace-event JSON."""
+    import json
+
+    from repro.obs.traceevent import (export_chrome_trace, read_entries,
+                                      trace_sidecar_path,
+                                      validate_chrome_trace)
+    if args.journal:
+        sidecar = trace_sidecar_path(args.journal)
+        try:
+            entries = read_entries(sidecar)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    elif args.url and args.job:
+        from repro.service.client import ServiceClient, ServiceError
+        try:
+            raw = ServiceClient(args.url).artifact(
+                args.job, "journal.jsonl.trace.jsonl")
+        except (ServiceError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        entries = []
+        for line in raw.decode().splitlines():
+            if line.strip():
+                try:
+                    entries.append(json.loads(line))
+                except ValueError:
+                    continue
+    else:
+        print("error: give --journal PATH, or --url URL --job ID",
+              file=sys.stderr)
+        return 1
+    if not entries:
+        print("error: no trace spans found (campaigns record them "
+              "only when run with --journal)", file=sys.stderr)
+        return 1
+    trace = export_chrome_trace(entries, args.out)
+    problems = validate_chrome_trace(trace)
+    spans = sum(1 for event in trace["traceEvents"]
+                if event["ph"] == "X")
+    print(f"{args.out}: {spans} span(s) across "
+          f"{sum(1 for e in trace['traceEvents'] if e['ph'] == 'M')} "
+          f"process(es) — load in Perfetto or chrome://tracing")
+    if problems:
+        for problem in problems:
+            print(f"invalid: {problem}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -849,6 +955,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="read the live snapshot from a running `repro serve` "
              "instead of a file (its /metrics endpoint)")
     stats.set_defaults(func=cmd_stats)
+
+    prof = sub.add_parser(
+        "profile", help="hot-block profile: per-block icount/cycle "
+                        "attribution with annotated disassembly")
+    prof.add_argument("file", help="assembly source file")
+    prof.add_argument("--top", type=int, default=10, metavar="N",
+                      help="blocks to list (default 10)")
+    prof.add_argument("--dbt", action="store_true",
+                      help="profile under the DBT and map code-cache "
+                           "samples back to guest blocks")
+    prof.add_argument("--max-steps", type=int, default=50_000_000)
+    prof.add_argument("--out", "-o", default=None, metavar="PATH",
+                      help="write the report to a file instead of "
+                           "stdout")
+    backend_arg(prof)
+    prof.set_defaults(func=cmd_profile)
+
+    trace = sub.add_parser(
+        "trace", help="work with campaign trace sidecars")
+    trace_sub = trace.add_subparsers(dest="trace_command",
+                                     required=True)
+    texp = trace_sub.add_parser(
+        "export", help="export a trace sidecar as Chrome trace-event "
+                       "JSON (Perfetto / chrome://tracing)")
+    texp.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="campaign journal whose <journal>.trace.jsonl sidecar "
+             "to export")
+    texp.add_argument(
+        "--url", default=None, metavar="URL",
+        help="fetch the sidecar from a running service instead")
+    texp.add_argument(
+        "--job", default=None, metavar="ID",
+        help="service job id (with --url)")
+    texp.add_argument("--out", "-o", default="trace.json",
+                      metavar="PATH",
+                      help="output file (default trace.json)")
+    texp.set_defaults(func=cmd_trace_export)
 
     srv = sub.add_parser(
         "serve", help="run the campaign service (REST + SSE + "

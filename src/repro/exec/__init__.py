@@ -9,12 +9,18 @@ differential fuzzing oracle enforces byte-identical RunDigests.
 from repro.exec.base import (BACKEND_NAMES, DEFAULT_BACKEND,
                              ExecutionBackend, InterpBackend,
                              create_backend, install_backend)
+from repro.exec.profiler import (BlockProfile, HotBlockProfiler,
+                                 profile_dbt, profile_native)
 
 __all__ = [
     "BACKEND_NAMES",
+    "BlockProfile",
     "DEFAULT_BACKEND",
     "ExecutionBackend",
+    "HotBlockProfiler",
     "InterpBackend",
     "create_backend",
     "install_backend",
+    "profile_dbt",
+    "profile_native",
 ]

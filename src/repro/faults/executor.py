@@ -45,12 +45,15 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass
 
 from repro import obs
 from repro.isa.program import Program
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import SpanRecorder
+from repro.obs.traceevent import (TraceContext, append_entry,
+                                  chunk_entry, trace_sidecar_path)
 from repro.faults import cache as run_cache
 from repro.faults.campaign import (CampaignResult, CategoryFaults,
                                    Outcome, Pipeline, PipelineConfig,
@@ -109,11 +112,18 @@ class WorkerResult:
     ``escapes`` carries the chunk's escape (SDC/HANG) specs home as
     ``(sub_index, spec)`` pairs so a ``--forensics`` campaign can
     replay a sample of them in the parent without re-running anything.
+
+    ``timings`` (traced campaigns only) carries the chunk's wall-clock
+    span and one ``{"t0", "dur", "outcome"}`` entry per run, plus the
+    worker's pid and the trace id it was handed — the raw material the
+    parent turns into chunk/run spans in the trace sidecar (see
+    :mod:`repro.obs.traceevent`).
     """
 
     value: object
     obs_snapshot: dict | None = None
     escapes: list | None = None
+    timings: dict | None = None
 
 
 def _escapes_of(records: list[RunRecord], specs: list) -> list:
@@ -144,6 +154,18 @@ def _install_worker_obs(obs_enabled: bool) -> None:
         obs.install(MetricsRegistry(worker=True), SpanRecorder())
 
 
+#: The trace context handed to this process's campaign runs, if any.
+#: Module-level because the supervisor's task protocol passes only
+#: (state, payload) to the task function; set via worker init in
+#: pooled mode and around the serial loop in-process.
+_worker_trace: TraceContext | None = None
+
+
+def _install_worker_trace(trace: TraceContext | None) -> None:
+    global _worker_trace
+    _worker_trace = trace
+
+
 def _quarantined_run(pipeline: Pipeline, spec) -> RunRecord:
     """One run, with harness exceptions converted to INFRA_ERROR."""
     try:
@@ -154,7 +176,8 @@ def _quarantined_run(pipeline: Pipeline, spec) -> RunRecord:
 
 
 def _worker_init_state(program: Program, config: PipelineConfig,
-                       obs_enabled: bool = False) -> Pipeline:
+                       obs_enabled: bool = False,
+                       trace: TraceContext | None = None) -> Pipeline:
     """Worker initializer: build the worker's pipeline exactly once.
 
     Failures (e.g. the golden run raising) are re-raised with the
@@ -162,6 +185,7 @@ def _worker_init_state(program: Program, config: PipelineConfig,
     the configuration instead of surfacing an opaque pool breakage.
     """
     _install_worker_obs(obs_enabled)
+    _install_worker_trace(trace)
     try:
         return Pipeline(program, config)
     except Exception as exc:
@@ -177,13 +201,30 @@ def _worker_run_specs(pipeline: Pipeline, specs: list):
     wrapped in :class:`WorkerResult` together with the registry drain;
     in-process callers (jobs=1 and the degraded serial path) get the
     plain record list — their metrics are already in the parent
-    registry.
+    registry.  With a trace context installed, per-run wall-clock
+    timings ride home in ``WorkerResult.timings`` (epoch seconds, so
+    spans from different processes share one clock).
     """
-    records = [_quarantined_run(pipeline, spec) for spec in specs]
+    trace = _worker_trace
+    timings = None
+    if trace is not None:
+        chunk_start = time.time()
+        records, runs = [], []
+        for spec in specs:
+            run_start = time.time()
+            record = _quarantined_run(pipeline, spec)
+            runs.append({"t0": run_start,
+                         "dur": time.time() - run_start,
+                         "outcome": record.outcome.value})
+            records.append(record)
+        timings = {"trace_id": trace.trace_id, "t0": chunk_start,
+                   "t1": time.time(), "pid": os.getpid(), "runs": runs}
+    else:
+        records = [_quarantined_run(pipeline, spec) for spec in specs]
     escapes = _escapes_of(records, specs)
     snap = obs.drain_worker_snapshot()
-    if snap is not None or escapes:
-        return WorkerResult(records, snap, escapes)
+    if snap is not None or escapes or timings is not None:
+        return WorkerResult(records, snap, escapes, timings)
     return records
 
 
@@ -204,6 +245,14 @@ class CampaignExecutor:
     polled between chunks — returning True abandons the remaining work
     and raises :class:`CampaignStopped` *after* the completed chunks
     have been journaled, so the campaign later resumes via ``resume``.
+
+    ``trace`` (a :class:`~repro.obs.traceevent.TraceContext`) turns on
+    cross-process trace correlation: workers time each run, the parent
+    derives deterministic chunk/run span ids under the given context
+    and appends them to the ``<journal>.trace.jsonl`` sidecar (never
+    the journal itself — its byte-identity contract stays intact).
+    Requires ``journal``; ``repro trace export`` renders the sidecar
+    as Chrome trace-event JSON.
     """
 
     def __init__(self, program: Program, config: PipelineConfig,
@@ -214,7 +263,8 @@ class CampaignExecutor:
                  resume: bool = False,
                  pipeline: Pipeline | None = None,
                  on_progress=None,
-                 stop_check=None):
+                 stop_check=None,
+                 trace: TraceContext | None = None):
         self.program = program
         self.config = config
         self.jobs = resolve_jobs(jobs)
@@ -225,9 +275,12 @@ class CampaignExecutor:
         self.resume = resume
         self.on_progress = on_progress
         self.stop_check = stop_check
+        self.trace = trace if journal else None
         self._pipeline = pipeline
         #: global spec index -> escape spec, from the last run_specs
         self._escapes: dict[int, object] = {}
+        #: chunk index -> absorbed timing pieces awaiting checkpoint
+        self._trace_pieces: dict[int, list[dict]] = {}
 
     @property
     def pipeline(self) -> Pipeline:
@@ -252,6 +305,7 @@ class CampaignExecutor:
         config_key = run_cache.config_key(self.config)
 
         self._escapes = {}
+        self._trace_pieces = {}
         total = len(specs)
         completed = [0]                 # specs finished (or replayed)
         done: dict[int, list[RunRecord]] = {}
@@ -290,33 +344,44 @@ class CampaignExecutor:
             if journal is not None:
                 journal.append_chunk(program_digest, config_key, index,
                                      digests[index], records)
+            self._trace_checkpoint(index)
             progressed(len(records))
 
         def stopped() -> bool:
             return (self.stop_check is not None and self.stop_check())
 
-        if todo and (self.jobs == 1 or len(specs) <= 1):
-            with obs.span("campaign.scheduler", mode="serial",
-                          chunks=len(todo)):
-                pipeline = self.pipeline
-                for index in todo:
-                    if stopped():
-                        raise CampaignStopped(completed[0], total)
-                    checkpoint(index, self._absorb(
-                        _worker_run_specs(pipeline, chunks[index]),
-                        index * self.chunk_size))
-        elif todo:
-            with obs.span("campaign.scheduler", mode="pool",
-                          jobs=self.jobs, chunks=len(todo)):
-                # Build the reference state in the parent first: a
-                # broken configuration fails fast with its label, and
-                # forked workers inherit the warm golden-run cache.
-                self.pipeline
-                self._run_supervised(chunks, todo, checkpoint)
-            if any(index not in done for index in todo):
-                # The supervisor stopped early (stop_check); completed
-                # chunks are already journaled above.
-                raise CampaignStopped(completed[0], total)
+        # The serial loop and the supervisor's degraded serial path run
+        # _worker_run_specs in-process; installing the trace context
+        # here (and restoring it after) makes them time runs exactly
+        # like a pooled worker would.
+        previous_trace = _worker_trace
+        _install_worker_trace(self.trace)
+        try:
+            if todo and (self.jobs == 1 or len(specs) <= 1):
+                with obs.span("campaign.scheduler", mode="serial",
+                              chunks=len(todo)):
+                    pipeline = self.pipeline
+                    for index in todo:
+                        if stopped():
+                            raise CampaignStopped(completed[0], total)
+                        checkpoint(index, self._absorb(
+                            _worker_run_specs(pipeline, chunks[index]),
+                            index * self.chunk_size))
+            elif todo:
+                with obs.span("campaign.scheduler", mode="pool",
+                              jobs=self.jobs, chunks=len(todo)):
+                    # Build the reference state in the parent first: a
+                    # broken configuration fails fast with its label,
+                    # and forked workers inherit the warm golden-run
+                    # cache.
+                    self.pipeline
+                    self._run_supervised(chunks, todo, checkpoint)
+                if any(index not in done for index in todo):
+                    # The supervisor stopped early (stop_check);
+                    # completed chunks are already journaled above.
+                    raise CampaignStopped(completed[0], total)
+        finally:
+            _install_worker_trace(previous_trace)
 
         records: list[RunRecord] = []
         for index in range(len(chunks)):
@@ -334,8 +399,33 @@ class CampaignExecutor:
             obs.merge_snapshot(result.obs_snapshot)
             if result.escapes:
                 self._note_escapes(result.escapes, base)
+            if result.timings is not None and self.trace is not None:
+                timings = dict(result.timings)
+                timings["runs"] = [
+                    {**run, "i": base + sub}
+                    for sub, run in enumerate(timings["runs"])]
+                self._trace_pieces.setdefault(
+                    base // self.chunk_size, []).append(timings)
             return result.value
         return result
+
+    def _trace_checkpoint(self, index: int) -> None:
+        """Write the chunk's span (plus run child spans) to the trace
+        sidecar.  A split chunk arrives as several timed pieces — the
+        chunk span covers all of them; replayed chunks have no pieces
+        and no span (their work happened in an earlier trace)."""
+        pieces = self._trace_pieces.pop(index, None)
+        if not pieces or self.trace is None or self.journal is None:
+            return
+        runs = sorted((run for piece in pieces
+                       for run in piece["runs"]),
+                      key=lambda run: run["i"])
+        append_entry(
+            trace_sidecar_path(self.journal),
+            chunk_entry(self.trace, index,
+                        t0=min(piece["t0"] for piece in pieces),
+                        t1=max(piece["t1"] for piece in pieces),
+                        pid=pieces[0]["pid"], runs=runs))
 
     def escape_specs(self) -> list[tuple[int, object]]:
         """Escape (SDC/HANG) specs of the last ``run_specs`` call, as
@@ -350,7 +440,8 @@ class CampaignExecutor:
             jobs=min(self.jobs, len(tasks)),
             mp_context=_mp_context(),
             init_fn=_worker_init_state,
-            init_args=(self.program, self.config, obs.enabled()),
+            init_args=(self.program, self.config, obs.enabled(),
+                       self.trace),
             task_fn=_worker_run_specs,
             serial_fn=lambda specs: _worker_run_specs(self.pipeline,
                                                       specs),

@@ -40,15 +40,18 @@ from repro.obs.metrics import (BUCKET_SHIFT, BUCKETS, Counter, Gauge,
                                NULL_GAUGE, NULL_HISTOGRAM, Timer,
                                bucket_index, bucket_upper_bound)
 from repro.obs.spans import NULL_SPAN, SpanRecord, SpanRecorder
+from repro.obs.timeseries import RollingWindow, TimeSeriesHub
+from repro.obs.traceevent import TraceContext, trace_sidecar_path
 
 __all__ = [
     "BUCKETS", "BUCKET_SHIFT", "Counter", "Gauge", "Histogram",
     "MetricsRegistry", "NULL_COUNTER", "NULL_GAUGE", "NULL_HISTOGRAM",
-    "NULL_SPAN", "SpanRecord", "SpanRecorder", "Timer", "bucket_index",
+    "NULL_SPAN", "RollingWindow", "SpanRecord", "SpanRecorder",
+    "TimeSeriesHub", "Timer", "TraceContext", "bucket_index",
     "bucket_upper_bound", "counter", "drain_worker_snapshot", "enabled",
     "gauge", "get_recorder", "get_registry", "histogram", "install",
     "merge_snapshot", "scoped", "session", "snapshot", "span",
-    "uninstall",
+    "trace_sidecar_path", "uninstall",
 ]
 
 #: The installed registry / recorder, or None (observability off).

@@ -25,10 +25,18 @@ from repro.analysis.report import format_table
 from repro.obs.metrics import Histogram, bucket_upper_bound
 
 
+def escape_label_value(value) -> str:
+    """Escape a label value per the Prometheus exposition format:
+    backslash, double quote and newline must be backslash-escaped or
+    the line is unparseable."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _label_suffix(labels: dict) -> str:
     if not labels:
         return ""
-    body = ",".join(f'{key}="{value}"'
+    body = ",".join(f'{key}="{escape_label_value(value)}"'
                     for key, value in sorted(labels.items()))
     return "{" + body + "}"
 

@@ -12,7 +12,7 @@ Instruments
 ``Counter``    monotonically increasing count (events, instructions)
 ``Gauge``      point-in-time value (cache bytes used)
 ``Histogram``  distribution over fixed log-scale (power-of-two)
-               buckets, with percentile estimation by linear
+               buckets, with percentile estimation by log-linear
                interpolation inside the winning bucket
 ``Timer``      context manager observing a wall-clock duration into a
                histogram (``with histogram.time(): ...``)
@@ -149,8 +149,14 @@ class Histogram:
     def percentile(self, q: float) -> float:
         """Estimated ``q``-quantile (``0 < q <= 1``).
 
-        Linear interpolation inside the winning bucket; exact for the
-        bucket boundaries, bounded by one bucket width otherwise.
+        Log-linear (geometric) interpolation inside the winning
+        bucket: the buckets are power-of-two wide, so observations
+        within one are far better modelled as uniform in *log* space
+        than in linear space — linear interpolation systematically
+        overstates quantiles in the coarse high buckets ``repro
+        stats`` shows.  Exact at bucket boundaries; bucket 0 (values
+        ``<= 2**-BUCKET_SHIFT``) has no finite log-lower bound and
+        keeps linear interpolation from 0.
         """
         if self.count == 0:
             return 0.0
@@ -162,10 +168,13 @@ class Histogram:
             previous = cumulative
             cumulative += bucket_count
             if cumulative >= target:
-                lower = bucket_upper_bound(index - 1) if index else 0.0
                 upper = bucket_upper_bound(index)
                 fraction = (target - previous) / bucket_count
-                return lower + (upper - lower) * fraction
+                if index == 0:
+                    return upper * fraction
+                lower = bucket_upper_bound(index - 1)
+                # upper == 2 * lower, so this is lower * 2**fraction.
+                return lower * (upper / lower) ** fraction
         return bucket_upper_bound(BUCKETS - 1)  # pragma: no cover
 
     def merge_state(self, count: int, total: float,

@@ -1,0 +1,194 @@
+"""Rolling-window time series: the dashboard's trend layer.
+
+The metrics registry (:mod:`repro.obs.metrics`) answers "how much,
+total" — monotonic counters and histograms that only ever grow.  A
+live dashboard needs the *derivative*: runs per second over the last
+two minutes, detections by kind as they happen, queue depth as a
+curve.  :class:`RollingWindow` keeps that with a ring of per-second
+buckets: ``record`` is O(1) (one modulo, one compare, one add) and
+memory is fixed at ``seconds`` floats, no matter how long the process
+lives or how fast events arrive.
+
+The campaign hot paths are **not** instrumented here — the "off means
+free" contract is untouched.  :class:`TimeSeriesHub` instead *derives*
+series from the registry snapshots the service already takes: the
+orchestrator's sampler thread calls :meth:`TimeSeriesHub.sample` about
+once a second with the server-wide snapshot, and the hub diffs every
+counter against its previous value, recording the delta into that
+counter's window.  Gauges are recorded as point-in-time values.  No
+guest instruction, no worker process, no campaign chunk ever touches a
+window.
+
+Wrap-around: bucket ``int(t) % capacity`` is reused for second ``t``;
+a stored second-stamp per bucket detects staleness, so a window that
+sat idle for longer than its span correctly reads as zeros rather
+than re-serving minutes-old data.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+#: Default window span in seconds (the dashboard shows two minutes).
+DEFAULT_WINDOW_SECONDS = 120
+
+
+class RollingWindow:
+    """Ring of per-second buckets over a fixed trailing span.
+
+    ``mode`` picks the bucket fold: ``"sum"`` accumulates (event
+    counts, deltas), ``"max"`` keeps the bucket maximum and ``"last"``
+    the most recent value (point-in-time gauges).
+    """
+
+    __slots__ = ("capacity", "mode", "_values", "_stamps")
+
+    def __init__(self, seconds: int = DEFAULT_WINDOW_SECONDS,
+                 mode: str = "sum"):
+        if mode not in ("sum", "max", "last"):
+            raise ValueError(f"unknown window mode {mode!r}")
+        self.capacity = max(2, int(seconds))
+        self.mode = mode
+        self._values = [0.0] * self.capacity
+        self._stamps = [-1] * self.capacity
+
+    def record(self, value: float, now: float | None = None) -> None:
+        """Fold ``value`` into the current second's bucket (O(1))."""
+        second = int(time.time() if now is None else now)
+        index = second % self.capacity
+        if self._stamps[index] != second:
+            self._stamps[index] = second
+            self._values[index] = value
+            return
+        if self.mode == "sum":
+            self._values[index] += value
+        elif self.mode == "max":
+            if value > self._values[index]:
+                self._values[index] = value
+        else:
+            self._values[index] = value
+
+    def series(self, now: float | None = None,
+               seconds: int | None = None) -> list[list[float]]:
+        """``[second, value]`` pairs, oldest first, zeros for gaps.
+
+        The still-filling current second is included; buckets whose
+        stamp does not match the second they would represent (idle
+        gaps, wrapped-past data) read as 0.
+        """
+        second = int(time.time() if now is None else now)
+        span = self.capacity if seconds is None \
+            else min(self.capacity, max(1, int(seconds)))
+        out = []
+        for t in range(second - span + 1, second + 1):
+            index = t % self.capacity
+            value = self._values[index] if self._stamps[index] == t \
+                else 0.0
+            out.append([t, value])
+        return out
+
+    def total(self, now: float | None = None,
+              seconds: int | None = None) -> float:
+        return sum(value for _, value in self.series(now, seconds))
+
+    def rate(self, now: float | None = None,
+             seconds: int = 10) -> float:
+        """Mean per-second value over the last ``seconds`` full
+        buckets (the current, still-filling second is excluded so the
+        rate does not sag at every bucket boundary)."""
+        second = int(time.time() if now is None else now)
+        points = self.series(second - 1, seconds)
+        if not points:
+            return 0.0
+        return sum(value for _, value in points) / len(points)
+
+
+def _series_key(name: str, labels: dict) -> str:
+    if not labels:
+        return name
+    body = ",".join(f"{key}={value}"
+                    for key, value in sorted(labels.items()))
+    return f"{name}{{{body}}}"
+
+
+class TimeSeriesHub:
+    """Named rolling windows plus a registry-snapshot differ.
+
+    Two ways in:
+
+    * :meth:`record` — direct O(1) recording into a named window
+      (the orchestrator uses it for queue depth and running-job
+      gauges it computes itself);
+    * :meth:`sample` — feed a registry snapshot; every counter's
+      delta against the previous sample is recorded into a window
+      keyed by the counter's name (summed across labels) *and* by
+      its full ``name{label=value}`` key, so the dashboard can plot
+      both "runs/s" and "runs/s by outcome".  Gauges record their
+      point value into a ``last``-mode window.
+
+    Counter values in snapshots are monotonic per server lifetime;
+    a delta going negative (registry replaced) resets the baseline
+    for that key instead of recording garbage.
+
+    Thread-safe: the sampler thread writes while dashboard requests
+    read.
+    """
+
+    def __init__(self, seconds: int = DEFAULT_WINDOW_SECONDS):
+        self.seconds = max(2, int(seconds))
+        self._lock = threading.Lock()
+        self._windows: dict[str, RollingWindow] = {}
+        self._last_counters: dict[str, float] = {}
+
+    def window(self, name: str, mode: str = "sum") -> RollingWindow:
+        with self._lock:
+            window = self._windows.get(name)
+            if window is None:
+                window = RollingWindow(self.seconds, mode=mode)
+                self._windows[name] = window
+            return window
+
+    def record(self, name: str, value: float,
+               now: float | None = None, mode: str = "sum") -> None:
+        self.window(name, mode=mode).record(value, now)
+
+    # -- snapshot sampling ------------------------------------------------
+
+    def sample(self, snapshot: dict, now: float | None = None) -> None:
+        """Diff a registry snapshot against the previous sample."""
+        now = time.time() if now is None else now
+        deltas: dict[str, float] = {}
+        for entry in snapshot.get("counters", ()):
+            key = _series_key(entry["name"], entry.get("labels", {}))
+            value = entry["value"]
+            previous = self._last_counters.get(key)
+            self._last_counters[key] = value
+            if previous is None or value < previous:
+                continue  # first sight / registry reset: baseline only
+            delta = value - previous
+            if delta:
+                deltas[key] = deltas.get(key, 0.0) + delta
+                name = entry["name"]
+                if name != key:  # labelled: also feed the aggregate
+                    deltas[name] = deltas.get(name, 0.0) + delta
+        for key, delta in deltas.items():
+            self.record(key, delta, now)
+        for entry in snapshot.get("gauges", ()):
+            key = _series_key(entry["name"], entry.get("labels", {}))
+            self.record(key, entry["value"], now, mode="last")
+
+    def series(self, now: float | None = None,
+               seconds: int | None = None) -> dict:
+        """Every window's series, keyed by name (JSON-able)."""
+        with self._lock:
+            windows = dict(self._windows)
+        return {name: window.series(now, seconds)
+                for name, window in sorted(windows.items())}
+
+    def rates(self, now: float | None = None,
+              seconds: int = 10) -> dict:
+        with self._lock:
+            windows = dict(self._windows)
+        return {name: window.rate(now, seconds)
+                for name, window in sorted(windows.items())}

@@ -20,6 +20,12 @@ Endpoints
                                   registry (``?format=json`` for the
                                   snapshot ``repro stats`` renders)
 ``GET /healthz``                  liveness + queue depths
+``GET /dashboard``                the live control-tower page
+                                  (self-contained HTML, no deps)
+``GET /dashboard/data.json``      the JSON document the page polls:
+                                  job table, rolling time series,
+                                  latency/recovery percentiles,
+                                  hot-block profiles
 
 The server is a ``ThreadingHTTPServer``: every request gets a thread,
 so long-lived SSE streams never block submissions.
@@ -100,6 +106,12 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 return self._healthz()
             if parts == ["metrics"]:
                 return self._metrics(query)
+            if parts == ["dashboard"]:
+                return self._dashboard()
+            if parts == ["dashboard", "data.json"]:
+                from repro.service.dashboard import dashboard_data
+                return self._send_json(
+                    200, dashboard_data(self.orchestrator))
             if parts == ["jobs"]:
                 jobs = self.orchestrator.list_jobs(query.get("tenant"))
                 return self._send_json(
@@ -173,6 +185,15 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self.send_response(200)
         self.send_header("Content-Type",
                          "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _dashboard(self) -> None:
+        from repro.service.dashboard import DASHBOARD_HTML
+        body = DASHBOARD_HTML.encode()
+        self.send_response(200)
+        self.send_header("Content-Type", "text/html; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)

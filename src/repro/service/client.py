@@ -7,7 +7,9 @@ the tests; anything it does a plain ``curl`` can do too (see
 
 from __future__ import annotations
 
+import http.client
 import json
+import time
 import urllib.error
 import urllib.request
 
@@ -92,27 +94,66 @@ class ServiceClient:
         return self._json("GET", "/healthz")
 
     def events(self, job_id: str, since: int = 0,
-               timeout: float | None = 300.0):
+               timeout: float | None = 300.0,
+               max_reconnects: int = 5,
+               backoff: float = 0.5):
         """Generator over the job's SSE stream (parsed JSON events).
 
         Ends when the server closes the stream — normally right after
-        the ``end`` event.
+        the ``end`` event.  A *broken* stream (server restart, network
+        blip, read timeout) is transparently reconnected with the SSE
+        resume protocol: the server's ``id:`` lines carry the next
+        ``since`` cursor, so the retry picks up exactly where the
+        stream tore — no event is dropped or duplicated.  Reconnects
+        back off exponentially (``backoff * 2**attempt``) and give up
+        after ``max_reconnects`` consecutive failures; any delivered
+        event resets the budget.
         """
-        response = self._request(
-            "GET", f"/jobs/{job_id}/events?since={since}",
-            timeout=timeout)
-        with response:
-            data_lines: list[str] = []
-            for raw in response:
-                line = raw.decode().rstrip("\n")
-                if line.startswith(":"):
-                    continue  # keepalive comment
-                if line.startswith("data:"):
-                    data_lines.append(line[5:].strip())
-                    continue
-                if line == "" and data_lines:
-                    yield json.loads("\n".join(data_lines))
-                    data_lines = []
+        attempts = 0
+        while True:
+            got_end = False
+            try:
+                response = self._request(
+                    "GET", f"/jobs/{job_id}/events?since={since}",
+                    timeout=timeout)
+                with response:
+                    data_lines: list[str] = []
+                    for raw in response:
+                        line = raw.decode().rstrip("\n")
+                        if line.startswith(":"):
+                            continue  # keepalive comment
+                        if line.startswith("id:"):
+                            # The server emits the *next* cursor.
+                            try:
+                                since = int(line[3:].strip())
+                            except ValueError:
+                                pass
+                            continue
+                        if line.startswith("data:"):
+                            data_lines.append(line[5:].strip())
+                            continue
+                        if line == "" and data_lines:
+                            event = json.loads("\n".join(data_lines))
+                            data_lines = []
+                            attempts = 0
+                            if event.get("event") == "end":
+                                got_end = True
+                            yield event
+                return  # clean EOF: stream drained
+            except (OSError, http.client.HTTPException,
+                    ServiceError) as exc:
+                if got_end:
+                    return
+                if isinstance(exc, ServiceError) \
+                        and 400 <= exc.status < 500:
+                    raise  # client error; retrying cannot help
+                attempts += 1
+                if attempts > max_reconnects:
+                    raise ServiceError(
+                        0, f"SSE stream for job {job_id} lost after "
+                        f"{max_reconnects} reconnect attempt(s): "
+                        f"{exc}") from exc
+                time.sleep(backoff * 2 ** (attempts - 1))
 
     def wait(self, job_id: str, timeout: float = 300.0) -> dict:
         """Follow the SSE stream until the job ends; return final

@@ -1,0 +1,269 @@
+"""The campaign control tower: a zero-dependency live dashboard.
+
+``GET /dashboard`` serves one self-contained HTML page (inline CSS,
+inline JS, hand-rolled SVG sparklines — no frameworks, no CDN, nothing
+beyond the stdlib server that already hosts the REST API).  The page
+polls ``GET /dashboard/data.json`` every two seconds and re-renders:
+
+* headline tiles — runs/s, detections/s, queue depth, running jobs,
+  worker deaths — from the orchestrator's :class:`TimeSeriesHub`;
+* two-minute sparklines for the same series;
+* detection-latency and recovery percentile tables computed from the
+  server-wide registry snapshot with the *same* histogram math
+  ``repro stats`` uses, so the dashboard and the CLI never disagree;
+* the live job table (id, kind, tenant, status, progress);
+* the hot-block panel: top blocks from the most recent finished
+  ``profile`` jobs.
+
+Everything here reads orchestrator state that already exists for the
+REST API; the dashboard adds no instrumentation of its own, so the
+"off means free" contract is untouched.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs.metrics import Histogram
+
+#: Series the headline tiles and sparklines draw (key, label, mode).
+#: ``rate`` tiles show events/s over the last 10 full seconds;
+#: ``last`` tiles show the latest gauge sample.
+TILE_SERIES = (
+    ("campaign_runs_total", "runs/s", "rate"),
+    ("campaign_runs_total{outcome=detected}", "detections/s", "rate"),
+    ("service_queue_depth", "queue depth", "last"),
+    ("service_jobs_running", "running jobs", "last"),
+    ("campaign_recovery_total", "recoveries/s", "rate"),
+    ("campaign_worker_deaths_total", "worker deaths/s", "rate"),
+)
+
+_PERCENTILES = (0.50, 0.90, 0.99)
+
+#: Histograms rendered as percentile tables, mirroring the
+#: ``repro stats`` latency and recovery sections.
+_LATENCY_TABLES = (
+    ("campaign_detection_latency_instructions", "instructions"),
+    ("campaign_detection_latency_cycles", "cycles"),
+    ("campaign_rollback_distance_instructions",
+     "rollback instructions"),
+    ("campaign_reexec_cycles", "re-exec cycles"),
+)
+
+
+def _percentile_rows(snapshot: dict) -> list[dict]:
+    rows = []
+    for name, unit in _LATENCY_TABLES:
+        entries = [e for e in snapshot.get("histograms", ())
+                   if e["name"] == name]
+        entries.sort(
+            key=lambda e: e.get("labels", {}).get("policy", ""))
+        for entry in entries:
+            histogram = Histogram(name)
+            histogram.merge_state(entry["count"], entry["sum"],
+                                  entry.get("buckets", ()))
+            rows.append({
+                "name": name, "unit": unit,
+                "policy": entry.get("labels", {}).get("policy", "-"),
+                "count": entry["count"],
+                **{f"p{int(q * 100)}": histogram.percentile(q)
+                   for q in _PERCENTILES}})
+    return rows
+
+
+def _recovery_rows(snapshot: dict) -> list[dict]:
+    tallies: dict = {}
+    for entry in snapshot.get("counters", ()):
+        if entry["name"] != "campaign_recovery_total":
+            continue
+        labels = entry.get("labels", {})
+        key = (labels.get("technique", "-"), labels.get("policy", "-"))
+        bucket = tallies.setdefault(key, {"recovered": 0, "failed": 0})
+        bucket[labels.get("result", "failed")] += entry["value"]
+    rows = []
+    for (technique, policy), bucket in sorted(tallies.items()):
+        total = bucket["recovered"] + bucket["failed"]
+        rows.append({"technique": technique, "policy": policy,
+                     "recovered": bucket["recovered"],
+                     "failed": bucket["failed"],
+                     "success": (bucket["recovered"] / total
+                                 if total else 0.0)})
+    return rows
+
+
+def _job_row(job) -> dict:
+    return {"id": job.id, "kind": job.spec.kind,
+            "tenant": job.spec.tenant, "name": job.spec.name,
+            "status": job.status.value, "created": job.created,
+            "started": job.started, "finished": job.finished,
+            "completed": job.completed, "total": job.total,
+            "error": job.error}
+
+
+def dashboard_data(orchestrator) -> dict:
+    """The JSON document behind ``GET /dashboard/data.json``."""
+    now = time.time()
+    snapshot = orchestrator.metrics_snapshot()
+    jobs = orchestrator.list_jobs()
+    profiles = []
+    for job in reversed(jobs):
+        if job.spec.kind == "profile" and job.result \
+                and job.status.value == "done":
+            profiles.append({"job": job.id, "name": job.spec.name,
+                             **job.result})
+        if len(profiles) >= 3:
+            break
+    return {
+        "now": now,
+        "tiles": [{"key": key, "label": label, "mode": mode}
+                  for key, label, mode in TILE_SERIES],
+        "series": orchestrator.timeseries.series(now),
+        "rates": orchestrator.timeseries.rates(now),
+        "jobs": [_job_row(job) for job in jobs],
+        "latency": _percentile_rows(snapshot),
+        "recovery": _recovery_rows(snapshot),
+        "profiles": profiles,
+    }
+
+
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro control tower</title>
+<style>
+  :root { color-scheme: dark; }
+  body { background:#10141a; color:#d7dde6; margin:0;
+         font:13px/1.45 ui-monospace,Menlo,Consolas,monospace; }
+  header { padding:10px 18px; border-bottom:1px solid #242c38;
+           display:flex; gap:14px; align-items:baseline; }
+  header h1 { font-size:15px; margin:0; color:#8ec6ff; }
+  header .sub { color:#66707e; }
+  main { padding:14px 18px; max-width:1200px; }
+  .tiles { display:flex; flex-wrap:wrap; gap:10px; }
+  .tile { background:#161c26; border:1px solid #242c38;
+          border-radius:6px; padding:8px 12px; min-width:150px; }
+  .tile .v { font-size:22px; color:#e8eef7; }
+  .tile .l { color:#66707e; }
+  .tile svg { display:block; margin-top:4px; }
+  .tile polyline { fill:none; stroke:#5aa0e0; stroke-width:1.4; }
+  h2 { font-size:13px; color:#8ec6ff; margin:20px 0 6px; }
+  table { border-collapse:collapse; width:100%; }
+  th, td { text-align:left; padding:3px 10px 3px 0;
+           border-bottom:1px solid #1d2430; }
+  th { color:#66707e; font-weight:normal; }
+  .status-running { color:#e8c35a; } .status-done { color:#69c97e; }
+  .status-failed { color:#e06c6c; } .status-queued { color:#8ec6ff; }
+  .status-cancelled, .status-requeued { color:#9a86c9; }
+  .muted { color:#66707e; }
+  pre { background:#161c26; border:1px solid #242c38;
+        border-radius:6px; padding:8px; overflow-x:auto; }
+</style>
+</head>
+<body>
+<header>
+  <h1>repro control tower</h1>
+  <span class="sub" id="stamp">connecting&hellip;</span>
+</header>
+<main>
+  <div class="tiles" id="tiles"></div>
+  <h2>jobs</h2>
+  <table><thead><tr><th>id</th><th>kind</th><th>tenant</th>
+    <th>name</th><th>status</th><th>progress</th><th>age</th>
+  </tr></thead><tbody id="jobs"></tbody></table>
+  <h2>detection latency &amp; recovery cost (percentiles)</h2>
+  <table><thead><tr><th>histogram</th><th>policy</th><th>count</th>
+    <th>p50</th><th>p90</th><th>p99</th></tr></thead>
+    <tbody id="latency"></tbody></table>
+  <h2>recovery outcomes</h2>
+  <table><thead><tr><th>technique</th><th>policy</th>
+    <th>recovered</th><th>failed</th><th>success</th></tr></thead>
+    <tbody id="recovery"></tbody></table>
+  <h2>hot blocks (latest profile jobs)</h2>
+  <div id="profiles" class="muted">no finished profile jobs yet</div>
+</main>
+<script>
+"use strict";
+const fmt = (v) => {
+  if (v === null || v === undefined) return "-";
+  if (Math.abs(v) >= 1000) return Math.round(v).toLocaleString();
+  return (Math.round(v * 100) / 100).toString();
+};
+const esc = (s) => String(s).replace(/[&<>"]/g,
+  c => ({"&":"&amp;","<":"&lt;",">":"&gt;",'"':"&quot;"}[c]));
+function spark(points) {
+  if (!points || !points.length) return "";
+  const w = 130, h = 26;
+  const vals = points.map(p => p[1]);
+  const top = Math.max(...vals, 1e-9);
+  const xy = vals.map((v, i) =>
+    `${(i / Math.max(vals.length - 1, 1) * w).toFixed(1)},` +
+    `${(h - 2 - v / top * (h - 4)).toFixed(1)}`).join(" ");
+  return `<svg width="${w}" height="${h}">` +
+         `<polyline points="${xy}"/></svg>`;
+}
+function tile(t, data) {
+  const series = data.series[t.key] || [];
+  let value;
+  if (t.mode === "rate") value = data.rates[t.key] || 0;
+  else value = series.length ? series[series.length - 1][1] : 0;
+  return `<div class="tile"><div class="v">${fmt(value)}</div>` +
+         `<div class="l">${esc(t.label)}</div>` +
+         spark(series.slice(-60)) + `</div>`;
+}
+function render(data) {
+  document.getElementById("stamp").textContent =
+    "live - " + new Date(data.now * 1000).toLocaleTimeString();
+  document.getElementById("tiles").innerHTML =
+    data.tiles.map(t => tile(t, data)).join("");
+  document.getElementById("jobs").innerHTML = data.jobs.length
+    ? data.jobs.slice().reverse().map(j => {
+        const prog = j.total ? `${j.completed}/${j.total}` : "-";
+        const age = fmt(data.now - j.created) + "s";
+        return `<tr><td>${esc(j.id)}</td><td>${esc(j.kind)}</td>` +
+          `<td>${esc(j.tenant)}</td><td>${esc(j.name)}</td>` +
+          `<td class="status-${esc(j.status)}">${esc(j.status)}` +
+          `</td><td>${prog}</td><td>${age}</td></tr>`;
+      }).join("")
+    : `<tr><td colspan="7" class="muted">no jobs</td></tr>`;
+  document.getElementById("latency").innerHTML = data.latency.length
+    ? data.latency.map(r =>
+        `<tr><td>${esc(r.name)} <span class="muted">(${esc(r.unit)}` +
+        `)</span></td><td>${esc(r.policy)}</td><td>${r.count}</td>` +
+        `<td>${fmt(r.p50)}</td><td>${fmt(r.p90)}</td>` +
+        `<td>${fmt(r.p99)}</td></tr>`).join("")
+    : `<tr><td colspan="6" class="muted">no detections yet</td></tr>`;
+  document.getElementById("recovery").innerHTML = data.recovery.length
+    ? data.recovery.map(r =>
+        `<tr><td>${esc(r.technique)}</td><td>${esc(r.policy)}</td>` +
+        `<td>${r.recovered}</td><td>${r.failed}</td>` +
+        `<td>${(r.success * 100).toFixed(1)}%</td></tr>`).join("")
+    : `<tr><td colspan="5" class="muted">no recoveries</td></tr>`;
+  if (data.profiles.length) {
+    document.getElementById("profiles").innerHTML =
+      data.profiles.map(p =>
+        `<h3 class="muted">${esc(p.name)} - ${esc(p.mode || "")} - ` +
+        `${fmt(p.total_cycles)} cycles</h3><pre>` +
+        p.blocks.map(b =>
+          `${(b.symbol || "0x" + b.start.toString(16)).padEnd(18)} ` +
+          `cycles=${String(b.cycles).padEnd(10)} ` +
+          `visits=${String(b.visits).padEnd(8)} ` +
+          `${(b.share * 100).toFixed(1)}%`).join("\\n") +
+        `</pre>`).join("");
+  }
+}
+async function poll() {
+  try {
+    const res = await fetch("/dashboard/data.json");
+    if (res.ok) render(await res.json());
+  } catch (err) {
+    document.getElementById("stamp").textContent =
+      "disconnected - retrying";
+  }
+  setTimeout(poll, 2000);
+}
+poll();
+</script>
+</body>
+</html>
+"""

@@ -25,7 +25,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-KINDS = ("inject", "coverage", "fuzz", "verify")
+KINDS = ("inject", "coverage", "fuzz", "verify", "profile")
 TECHNIQUES = ("ecf", "edgcf", "rcf", "cfcss", "ecca", "edgcf-naive")
 
 
@@ -175,7 +175,7 @@ def validate_spec(payload) -> JobSpec:
              f"unknown backend {backend!r}")
 
     program = payload.get("program")
-    if kind in ("inject", "coverage", "verify"):
+    if kind in ("inject", "coverage", "verify", "profile"):
         _require(isinstance(program, str) and program.strip(),
                  f"{kind} jobs need 'program' (assembly source text)")
         assembled = _assemble(program, name)
@@ -210,6 +210,15 @@ def validate_spec(payload) -> JobSpec:
         build_pipeline_config({"backend": backend})
     elif kind == "fuzz":
         build_fuzz_config(params)
+    elif kind == "profile":
+        top = params.get("top", 10)
+        _require(isinstance(top, int) and 1 <= top <= 200,
+                 "params.top must be an integer in [1, 200]")
+        max_steps = params.get("max_steps", 50_000_000)
+        _require(isinstance(max_steps, int) and max_steps > 0,
+                 "params.max_steps must be a positive integer")
+        _require(isinstance(params.get("dbt", False), bool),
+                 "params.dbt must be a boolean")
     elif kind == "verify":
         techniques = params.get("techniques", ["edgcf"])
         _require(isinstance(techniques, list) and techniques
@@ -359,7 +368,8 @@ def run_job(job: Job) -> dict:
     CANCELLED or REQUEUED) and any other exception on infra failure.
     """
     runner = {"inject": _run_inject, "coverage": _run_coverage,
-              "fuzz": _run_fuzz, "verify": _run_verify}[job.spec.kind]
+              "fuzz": _run_fuzz, "verify": _run_verify,
+              "profile": _run_profile}[job.spec.kind]
     return runner(job)
 
 
@@ -387,11 +397,13 @@ def _run_inject(job: Job) -> dict:
                           params.get("policy", "allbb"),
                           params.get("backend", "interp"),
                           recover=bool(params.get("recover", False))))
+    from repro.obs.traceevent import TraceContext
     executor = CampaignExecutor(
         program, config, jobs=params.get("jobs", 1),
         retries=params.get("retries"), timeout=params.get("timeout"),
         journal=job.journal_path, resume=resume,
-        on_progress=job.on_progress, stop_check=job.stop_requested)
+        on_progress=job.on_progress, stop_check=job.stop_requested,
+        trace=TraceContext.root(job.id))
     records = executor.run_specs(specs)
     outcomes: dict[str, int] = {}
     details = []
@@ -447,10 +459,13 @@ def _run_fuzz(job: Job) -> dict:
     params = job.spec.params
     config = build_fuzz_config(params)
     # Fuzzing is rerun-deterministic: a requeued job reruns from
-    # scratch, so drop the torn journal instead of resuming it
-    # (run_fuzz appends its own header).
-    if os.path.exists(job.journal_path):
-        os.unlink(job.journal_path)
+    # scratch, so drop the torn journal (and its trace sidecar)
+    # instead of resuming it (run_fuzz appends its own header).
+    from repro.obs.traceevent import trace_sidecar_path
+    for stale in (job.journal_path,
+                  trace_sidecar_path(job.journal_path)):
+        if os.path.exists(stale):
+            os.unlink(stale)
     report = run_fuzz(config, jobs=params.get("jobs", 1),
                       retries=params.get("retries"),
                       timeout=params.get("timeout"),
@@ -498,3 +513,33 @@ def _run_verify(job: Job) -> dict:
         if report.violations:
             clean = False
     return {"techniques": out, "clean": clean}
+
+
+def _run_profile(job: Job) -> dict:
+    """Hot-block profile of one run; the annotated report lands in the
+    workspace as ``profile.txt``, the block table in the job result
+    (which the dashboard's hot-block panel renders)."""
+    from repro.exec.profiler import profile_dbt, profile_native
+    params = job.spec.params
+    program = _assemble(job.spec.program, job.spec.name)
+    max_steps = int(params.get("max_steps", 50_000_000))
+    job.on_progress(0, 1)
+    if params.get("dbt"):
+        _, result, profiler = profile_dbt(program, max_steps=max_steps)
+        stop = result.stop
+        mode = "dbt"
+    else:
+        _, stop, profiler = profile_native(
+            program, backend=params.get("backend", "interp"),
+            max_steps=max_steps)
+        mode = params.get("backend", "interp")
+    top = int(params.get("top", 10))
+    report = profiler.render_report(program, top=top)
+    os.makedirs(job.workspace, exist_ok=True)
+    with open(os.path.join(job.workspace, "profile.txt"), "w") as out:
+        out.write(report + "\n")
+    job.on_progress(1, 1)
+    summary = profiler.as_json(program, top=top)
+    summary.update({"mode": mode, "stop": stop.reason.name,
+                    "program": job.spec.name})
+    return summary

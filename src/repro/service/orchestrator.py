@@ -36,6 +36,9 @@ from repro import obs
 from repro.faults import cache as run_cache
 from repro.faults.executor import CampaignStopped
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesHub
+from repro.obs.traceevent import (TraceContext, append_entry, job_entry,
+                                  trace_sidecar_path)
 from repro.service.jobs import Job, JobSpec, JobStatus, run_job
 from repro.service.store import ArtifactStore
 
@@ -62,6 +65,7 @@ class Orchestrator:
         self.max_active_per_tenant = max_active_per_tenant
         self.max_running_per_tenant = max_running_per_tenant
         self.registry = MetricsRegistry()
+        self.timeseries = TimeSeriesHub()
         self._cond = threading.Condition()
         self._jobs: dict[str, Job] = {}
         self._queue: list[str] = []      # job ids, submission order
@@ -74,6 +78,10 @@ class Orchestrator:
         self.recover()
         for thread in self._threads:
             thread.start()
+        self._sampler_stop = threading.Event()
+        self._sampler = threading.Thread(
+            target=self._sample_loop, name="obs-sampler", daemon=True)
+        self._sampler.start()
 
     # -- lifecycle --------------------------------------------------------
 
@@ -126,9 +134,11 @@ class Orchestrator:
             for job in running:
                 job.request_stop(cancel=False)
             self._cond.notify_all()
+        self._sampler_stop.set()
         deadline = time.monotonic() + timeout
         for thread in self._threads:
             thread.join(max(0.1, deadline - time.monotonic()))
+        self._sampler.join(1.0)
         log.info("drained: %d job(s) requeued",
                  sum(1 for job in self._jobs.values()
                      if job.status is JobStatus.REQUEUED))
@@ -204,6 +214,34 @@ class Orchestrator:
                 aggregate.merge_snapshot(registry.snapshot())
         return aggregate.snapshot()
 
+    def sample_timeseries(self, now: float | None = None) -> None:
+        """One sampler tick: diff the server-wide snapshot into the
+        rolling windows and record the queue-depth gauges.
+
+        Driven by the sampler thread about once a second; callable
+        directly from tests (with an explicit ``now``) so time-series
+        behaviour is testable without sleeping.
+        """
+        snapshot = self.metrics_snapshot()
+        with self._cond:
+            queued = len(self._queue)
+            running = sum(1 for job in self._jobs.values()
+                          if job.status is JobStatus.RUNNING)
+        snapshot.setdefault("gauges", []).extend((
+            {"name": "service_queue_depth", "labels": {},
+             "value": queued},
+            {"name": "service_jobs_running", "labels": {},
+             "value": running},
+        ))
+        self.timeseries.sample(snapshot, now=now)
+
+    def _sample_loop(self) -> None:
+        while not self._sampler_stop.wait(1.0):
+            try:
+                self.sample_timeseries()
+            except Exception:
+                log.exception("timeseries sampler tick failed")
+
     # -- worker loop ------------------------------------------------------
 
     def _claim(self) -> Job | None:
@@ -270,6 +308,7 @@ class Orchestrator:
             job.status = JobStatus.DONE
             job.result = result
         job.finished = time.time()
+        self._append_job_span(job)
         self.registry.merge_snapshot(registry.snapshot())
         self.registry.counter(
             "service_jobs_finished_total", help="jobs finished",
@@ -283,3 +322,24 @@ class Orchestrator:
         job.emit("end", status=job.status.value)
         with self._cond:
             self._cond.notify_all()
+
+    def _append_job_span(self, job: Job) -> None:
+        """Record the job-level span in the workspace trace sidecar.
+
+        The job's trace id *is* its job id; inject runners hand the
+        same root context to their :class:`CampaignExecutor`, whose
+        workers append the chunk/run spans — this line is the parent
+        that nests them.  A re-executed (requeued) job appends another
+        line under the same span id; the exporter keeps the last.
+        """
+        if job.started is None or job.finished is None:
+            return
+        entry = job_entry(TraceContext.root(job.id), job.spec.name,
+                          job.started, job.finished,
+                          kind=job.spec.kind, status=job.status.value,
+                          job=job.id)
+        try:
+            append_entry(trace_sidecar_path(job.journal_path), entry)
+        except OSError:
+            log.warning("could not append trace span for job %s",
+                        job.id, exc_info=True)

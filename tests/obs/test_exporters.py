@@ -117,3 +117,30 @@ def test_bucket_boundary_render_consistency():
     from repro.obs.metrics import bucket_upper_bound
     for value in (0.0001, 0.5, 1.0, 3.0, 1000.0):
         assert value <= bucket_upper_bound(bucket_index(value))
+
+
+class TestLabelEscaping:
+    def test_escape_label_value(self):
+        from repro.obs.exporters import escape_label_value
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+        assert escape_label_value("plain") == "plain"
+
+    def test_hostile_labels_round_trip_the_exposition_format(self):
+        from repro.obs.metrics import MetricsRegistry
+        registry = MetricsRegistry()
+        hostile = 'quote:" slash:\\ newline:\nend'
+        registry.counter("runs_total", source=hostile).inc(2)
+        text = prometheus_text(registry.snapshot())
+        line = next(row for row in text.splitlines()
+                    if row.startswith("runs_total{"))
+        # one physical line (the newline was escaped) ...
+        assert "\n" not in line
+        # ... that decodes back to the original value
+        body = line[line.index("{") + 1:line.rindex("}")]
+        value = body.split("=", 1)[1]
+        assert value.startswith('"') and value.endswith('"')
+        decoded = (value[1:-1].replace("\\n", "\n")
+                   .replace('\\"', '"').replace("\\\\", "\\"))
+        assert decoded == hostile

@@ -167,3 +167,61 @@ class TestRegistry:
         registry.histogram("h").observe(1.0)
         text = json.dumps(registry.snapshot())
         assert "bucket" in text
+
+
+class TestPercentileLogLinear:
+    """Regression pins for the log-linear (geometric) interpolation:
+    power-of-two buckets model observations as uniform in log space,
+    so the mid-bucket quantile is the geometric midpoint, and bucket
+    boundaries are exact."""
+
+    def test_mid_bucket_is_geometric_midpoint(self):
+        histogram = Histogram("h")
+        for _ in range(100):
+            histogram.observe(1.0)   # all in bucket (0.5, 1.0]
+        # p50 = 0.5 * (1.0/0.5)**0.5 = 0.5 * sqrt(2)
+        assert histogram.percentile(0.50) == \
+            pytest.approx(0.5 * 2 ** 0.5)
+
+    def test_bucket_boundary_is_exact(self):
+        histogram = Histogram("h")
+        for _ in range(100):
+            histogram.observe(1.0)
+        assert histogram.percentile(1.0) == pytest.approx(1.0)
+
+    def test_quantiles_monotonic_within_bucket(self):
+        histogram = Histogram("h")
+        for _ in range(100):
+            histogram.observe(8.0)
+        values = [histogram.percentile(q)
+                  for q in (0.1, 0.25, 0.5, 0.75, 0.9, 1.0)]
+        assert values == sorted(values)
+        assert all(4.0 < v <= 8.0 for v in values)
+
+    def test_bucket_zero_stays_linear_from_zero(self):
+        histogram = Histogram("h")
+        tiny = bucket_upper_bound(0)
+        for _ in range(10):
+            histogram.observe(tiny / 2)
+        assert histogram.percentile(0.5) == pytest.approx(tiny * 0.5)
+        assert histogram.percentile(1.0) == pytest.approx(tiny)
+
+    def test_never_exceeds_linear_estimate(self):
+        # geometric mean <= arithmetic mean: log-linear must sit at or
+        # below what linear interpolation would have produced
+        histogram = Histogram("h")
+        for _ in range(100):
+            histogram.observe(1000.0)
+        upper = bucket_upper_bound(bucket_index(1000.0))
+        lower = bucket_upper_bound(bucket_index(1000.0) - 1)
+        linear_p50 = lower + 0.5 * (upper - lower)
+        assert histogram.percentile(0.5) <= linear_p50
+
+    def test_multi_bucket_quantile_picks_right_bucket(self):
+        histogram = Histogram("h")
+        for _ in range(50):
+            histogram.observe(0.25)
+        for _ in range(50):
+            histogram.observe(64.0)
+        assert histogram.percentile(0.50) <= 0.25
+        assert 32.0 < histogram.percentile(0.99) <= 64.0

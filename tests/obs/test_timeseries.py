@@ -1,0 +1,109 @@
+"""RollingWindow / TimeSeriesHub: wrap-around, modes, snapshot diffs."""
+
+from repro.obs.timeseries import (DEFAULT_WINDOW_SECONDS, RollingWindow,
+                                  TimeSeriesHub, _series_key)
+
+
+class TestRollingWindow:
+    def test_record_and_series(self):
+        window = RollingWindow(seconds=10)
+        window.record(3, now=100.2)
+        window.record(2, now=100.9)   # same second: summed
+        window.record(5, now=101.0)
+        series = window.series(now=101)
+        assert series[-2:] == [[100, 5.0], [101, 5.0]]
+        assert all(value == 0.0 for _, value in series[:-2])
+
+    def test_wraparound_reuses_buckets(self):
+        window = RollingWindow(seconds=5)
+        window.record(1, now=7)        # bucket 7 % 5 == 2
+        window.record(9, now=12)       # same bucket index, new second
+        series = dict(
+            (sec, val) for sec, val in window.series(now=12))
+        assert series[12] == 9.0
+        assert 7 not in series         # rolled out of the window
+
+    def test_stale_buckets_read_zero_after_idle_gap(self):
+        window = RollingWindow(seconds=5)
+        window.record(4, now=100)
+        # Idle for longer than the span: second 100's bucket (index 0)
+        # would be re-served for second 105 without the stamp check.
+        series = dict(window.series(now=105))
+        assert series[105] == 0.0
+        assert window.total(now=105) == 0.0
+
+    def test_modes(self):
+        for mode, expected in (("sum", 7.0), ("max", 5.0), ("last", 2.0)):
+            window = RollingWindow(seconds=4, mode=mode)
+            window.record(5, now=50)
+            window.record(2, now=50.7)
+            assert dict(window.series(now=50))[50] == expected
+
+    def test_rate_excludes_current_second(self):
+        window = RollingWindow(seconds=60)
+        for t in range(100, 110):
+            window.record(10, now=t)
+        window.record(3, now=110.1)    # still-filling second
+        assert window.rate(now=110.1, seconds=10) == 10.0
+
+    def test_default_span(self):
+        assert RollingWindow().capacity == DEFAULT_WINDOW_SECONDS
+
+    def test_bad_mode_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            RollingWindow(mode="avg")
+
+
+def _counter(name, value, **labels):
+    return {"name": name, "labels": labels, "value": value}
+
+
+class TestTimeSeriesHub:
+    def test_sample_diffs_counters(self):
+        hub = TimeSeriesHub(seconds=30)
+        hub.sample({"counters": [_counter("runs", 10)]}, now=100)
+        hub.sample({"counters": [_counter("runs", 17)]}, now=101)
+        series = hub.series(now=101)
+        assert dict(series["runs"])[101] == 7.0
+        assert dict(series["runs"])[100] == 0.0  # first sight: baseline
+
+    def test_labelled_counters_also_feed_aggregate(self):
+        hub = TimeSeriesHub(seconds=30)
+        first = [_counter("runs", 5, outcome="sdc"),
+                 _counter("runs", 5, outcome="benign")]
+        second = [_counter("runs", 8, outcome="sdc"),
+                  _counter("runs", 6, outcome="benign")]
+        hub.sample({"counters": first}, now=200)
+        hub.sample({"counters": second}, now=201)
+        series = hub.series(now=201)
+        assert dict(series["runs{outcome=sdc}"])[201] == 3.0
+        assert dict(series["runs{outcome=benign}"])[201] == 1.0
+        assert dict(series["runs"])[201] == 4.0
+
+    def test_unlabelled_counter_not_double_counted(self):
+        hub = TimeSeriesHub(seconds=30)
+        hub.sample({"counters": [_counter("runs", 0)]}, now=300)
+        hub.sample({"counters": [_counter("runs", 6)]}, now=301)
+        assert dict(hub.series(now=301)["runs"])[301] == 6.0
+
+    def test_counter_reset_rebaselines(self):
+        hub = TimeSeriesHub(seconds=30)
+        hub.sample({"counters": [_counter("runs", 50)]}, now=400)
+        hub.sample({"counters": [_counter("runs", 2)]}, now=401)
+        hub.sample({"counters": [_counter("runs", 5)]}, now=402)
+        series = dict(hub.series(now=402)["runs"])
+        assert series[401] == 0.0      # negative delta swallowed
+        assert series[402] == 3.0
+
+    def test_gauges_record_last_value(self):
+        hub = TimeSeriesHub(seconds=30)
+        hub.sample({"gauges": [{"name": "depth", "labels": {},
+                                "value": 4}]}, now=500)
+        hub.sample({"gauges": [{"name": "depth", "labels": {},
+                                "value": 2}]}, now=500.6)
+        assert dict(hub.series(now=500)["depth"])[500] == 2.0
+
+    def test_series_key(self):
+        assert _series_key("x", {}) == "x"
+        assert _series_key("x", {"b": 1, "a": 2}) == "x{a=2,b=1}"

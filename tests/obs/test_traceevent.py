@@ -1,0 +1,180 @@
+"""Trace contexts, sidecar I/O, and Chrome trace-event export."""
+
+import json
+
+from repro.obs.traceevent import (TraceContext, append_entry,
+                                  chunk_entry, derive_span_id,
+                                  export_chrome_trace, job_entry,
+                                  read_entries, to_chrome_trace,
+                                  trace_sidecar_path,
+                                  validate_chrome_trace)
+
+
+class TestTraceContext:
+    def test_span_ids_are_deterministic(self):
+        a = derive_span_id("t", "p", "chunk", 3)
+        b = derive_span_id("t", "p", "chunk", 3)
+        assert a == b and len(a) == 16
+
+    def test_distinct_inputs_distinct_ids(self):
+        ids = {derive_span_id("t", "p", "chunk", i) for i in range(8)}
+        assert len(ids) == 8
+
+    def test_child_links_parent(self):
+        root = TraceContext.root("abc")
+        child = root.child("chunk", 0)
+        assert child.trace_id == "abc"
+        assert child.parent_span == root.span_id
+        assert child.span_id != root.span_id
+
+    def test_for_campaign_is_stable(self):
+        a = TraceContext.for_campaign("digest", "key")
+        b = TraceContext.for_campaign("digest", "key")
+        assert a == b
+        assert TraceContext.for_campaign("digest", "other") != a
+
+    def test_json_round_trip(self):
+        ctx = TraceContext.root("t").child("run", 5)
+        assert TraceContext.from_json(ctx.to_json()) == ctx
+
+
+class TestSidecar:
+    def test_suffix(self):
+        assert trace_sidecar_path("/x/journal.jsonl").endswith(
+            "journal.jsonl.trace.jsonl")
+
+    def test_append_and_read(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        append_entry(path, {"type": "job", "name": "a"})
+        append_entry(path, {"type": "chunk", "index": 0})
+        assert [e["type"] for e in read_entries(path)] == \
+            ["job", "chunk"]
+
+    def test_read_skips_torn_tail(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        append_entry(path, {"type": "job", "name": "a"})
+        with open(path, "a") as handle:
+            handle.write('{"type": "chunk", "ind')  # killed mid-append
+        entries = read_entries(path)
+        assert len(entries) == 1 and entries[0]["type"] == "job"
+
+
+def _entries():
+    job = TraceContext.root("trace1")
+    runs0 = [{"i": 0, "t0": 10.001, "dur": 0.002, "outcome": "benign"},
+             {"i": 1, "t0": 10.004, "dur": 0.001}]
+    runs1 = [{"i": 2, "t0": 10.010, "dur": 0.003}]
+    return [
+        job_entry(job, "prog.s", 10.0, 10.02, kind="inject"),
+        chunk_entry(job, 0, 10.0005, 10.006, pid=111, runs=runs0),
+        chunk_entry(job, 1, 10.009, 10.014, pid=222, runs=runs1),
+    ]
+
+
+class TestChromeExport:
+    def test_valid_trace(self):
+        trace = to_chrome_trace(_entries())
+        assert validate_chrome_trace(trace) == []
+
+    def test_span_counts_and_processes(self):
+        trace = to_chrome_trace(_entries())
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        assert len(spans) == 6  # 1 job + 2 chunks + 3 runs
+        assert {e["pid"] for e in meta} == {__import__("os").getpid(),
+                                            111, 222}
+
+    def test_runs_nest_under_their_chunk(self):
+        trace = to_chrome_trace(_entries())
+        spans = {e["args"]["span_id"]: e
+                 for e in trace["traceEvents"] if e["ph"] == "X"}
+        chunks = [e for e in spans.values() if e["cat"] == "chunk"]
+        runs = [e for e in spans.values() if e["cat"] == "run"]
+        assert len(runs) == 3
+        for run in runs:
+            parent = spans[run["args"]["parent_span"]]
+            assert parent["cat"] == "chunk"
+            assert parent["pid"] == run["pid"]
+        job = next(e for e in spans.values() if e["cat"] == "job")
+        for chunk in chunks:
+            assert chunk["args"]["parent_span"] == \
+                job["args"]["span_id"]
+
+    def test_integer_microseconds(self):
+        trace = to_chrome_trace(_entries())
+        for event in trace["traceEvents"]:
+            if event["ph"] != "X":
+                continue
+            assert isinstance(event["ts"], int)
+            assert isinstance(event["dur"], int) and event["dur"] >= 1
+
+    def test_dedupe_keeps_last_attempt(self):
+        # A requeued job appends a second line under the same span id.
+        entries = _entries()
+        job = TraceContext.root("trace1")
+        entries.append(job_entry(job, "prog.s", 10.0, 10.05,
+                                 kind="inject", status="done"))
+        trace = to_chrome_trace(entries)
+        assert validate_chrome_trace(trace) == []
+        jobs = [e for e in trace["traceEvents"]
+                if e["ph"] == "X" and e["cat"] == "job"]
+        assert len(jobs) == 1
+        assert jobs[0]["args"]["status"] == "done"
+
+    def test_parents_widened_over_children(self):
+        # The surviving job line only covers the final attempt; the
+        # first attempt's chunks must still fit inside it.
+        entries = _entries()
+        job = TraceContext.root("trace1")
+        entries.append(job_entry(job, "prog.s", 10.012, 10.02,
+                                 kind="inject"))
+        trace = to_chrome_trace(entries)
+        assert validate_chrome_trace(trace) == []
+        jobs = [e for e in trace["traceEvents"]
+                if e["ph"] == "X" and e["cat"] == "job"]
+        assert jobs[0]["ts"] <= 10_000_500  # stretched to chunk 0
+
+    def test_validate_catches_escaping_child(self):
+        trace = to_chrome_trace(_entries())
+        run = next(e for e in trace["traceEvents"]
+                   if e["ph"] == "X" and e["cat"] == "run")
+        run["ts"] += 60_000_000  # push it far outside the chunk
+        problems = validate_chrome_trace(trace)
+        assert any("escapes parent" in p for p in problems)
+
+    def test_validate_catches_duplicate_span(self):
+        trace = to_chrome_trace(_entries())
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        trace["traceEvents"].append(dict(spans[0]))
+        problems = validate_chrome_trace(trace)
+        assert any("duplicate span_id" in p for p in problems)
+
+    def test_validate_catches_float_ts(self):
+        trace = to_chrome_trace(_entries())
+        span = next(e for e in trace["traceEvents"] if e["ph"] == "X")
+        span["ts"] = float(span["ts"]) + 0.5
+        problems = validate_chrome_trace(trace)
+        assert any("integer microseconds" in p for p in problems)
+
+    def test_validate_empty(self):
+        assert validate_chrome_trace({}) == \
+            ["traceEvents missing or empty"]
+
+    def test_export_writes_loadable_json(self, tmp_path):
+        out = tmp_path / "trace.json"
+        trace = export_chrome_trace(_entries(), str(out))
+        on_disk = json.loads(out.read_text())
+        assert on_disk == json.loads(json.dumps(trace))
+        assert on_disk["displayTimeUnit"] == "ms"
+
+
+class TestSerialParallelIdentity:
+    def test_span_ids_independent_of_chunk_completion_order(self):
+        job = TraceContext.root("t")
+        runs = [{"i": 4, "t0": 1.0, "dur": 0.1}]
+        early = chunk_entry(job, 2, 1.0, 2.0, pid=1, runs=runs)
+        late = chunk_entry(job, 2, 5.0, 6.0, pid=9, runs=[
+            {"i": 4, "t0": 5.0, "dur": 0.1}])
+        assert early["span_id"] == late["span_id"]
+        assert early["runs"][0]["span_id"] == \
+            late["runs"][0]["span_id"]

@@ -1,0 +1,153 @@
+"""ServiceClient.events(): SSE resume over torn streams.
+
+A scripted stdlib HTTP server tears the stream mid-flight (advertised
+Content-Length never satisfied, so the read raises instead of hitting
+a clean EOF); the client must reconnect with the ``since`` cursor the
+server's ``id:`` lines advertised and deliver every event exactly
+once.  Client errors (4xx) must fail immediately — retrying a 404
+cannot help.
+"""
+
+import json
+import socket
+import struct
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+import pytest
+
+from repro.service import ServiceClient, ServiceError
+
+EVENTS = [{"seq": i, "event": "progress", "completed": i + 1,
+           "total": 5} for i in range(4)]
+EVENTS.append({"seq": 4, "event": "end", "status": "done"})
+
+
+def _frames(events):
+    return "".join(
+        f"id: {event['seq'] + 1}\n"
+        f"event: {event['event']}\n"
+        f"data: {json.dumps(event)}\n\n"
+        for event in events).encode()
+
+
+class ScriptedHandler(BaseHTTPRequestHandler):
+    """Serves /jobs/j1/events; behaviour scripted per test via class
+    attributes (``tear_after``: events delivered before the tear on
+    the first attempt; -1 = never tear)."""
+
+    tear_after = -1
+    sinces: list = []
+
+    def log_message(self, *args):
+        pass
+
+    def do_GET(self):
+        url = urlparse(self.path)
+        if url.path == "/jobs/missing/events":
+            body = json.dumps({"error": "no such job"}).encode()
+            self.send_response(404)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        since = int(parse_qs(url.query).get("since", ["0"])[0])
+        type(self).sinces.append(since)
+        remaining = [e for e in EVENTS if e["seq"] >= since]
+        tearing = type(self).tear_after >= 0 and \
+            len(type(self).sinces) == 1
+        if tearing:
+            remaining = remaining[:type(self).tear_after]
+        payload = _frames(remaining)
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        if not tearing:
+            self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+        self.wfile.flush()
+        if tearing:
+            _abort(self.connection)
+
+
+def _abort(connection) -> None:
+    """Close with an RST so the client's read *raises* — a graceful
+    FIN reads as clean EOF, which is not a tear."""
+    connection.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                          struct.pack("ii", 1, 0))
+    connection.close()
+
+
+@pytest.fixture
+def scripted_server():
+    server = ThreadingHTTPServer(("127.0.0.1", 0), ScriptedHandler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    ScriptedHandler.sinces = []
+    ScriptedHandler.tear_after = -1
+    host, port = server.server_address[:2]
+    yield ServiceClient(f"http://{host}:{port}", timeout=10.0)
+    server.shutdown()
+    server.server_close()
+
+
+class TestReconnect:
+    def test_unbroken_stream_needs_one_attempt(self, scripted_server):
+        events = list(scripted_server.events("j1", backoff=0.01))
+        assert [e["seq"] for e in events] == [0, 1, 2, 3, 4]
+        assert ScriptedHandler.sinces == [0]
+
+    def test_torn_stream_resumes_without_loss_or_dupes(
+            self, scripted_server):
+        ScriptedHandler.tear_after = 2
+        events = list(scripted_server.events("j1", backoff=0.01))
+        assert [e["seq"] for e in events] == [0, 1, 2, 3, 4]
+        assert [e["event"] for e in events][-1] == "end"
+        # Second attempt resumed from the advertised cursor, so the
+        # replay started exactly after the last delivered event.
+        assert ScriptedHandler.sinces == [0, 2]
+
+    def test_tear_before_any_event_retries_from_start(
+            self, scripted_server):
+        ScriptedHandler.tear_after = 0
+        events = list(scripted_server.events("j1", backoff=0.01))
+        assert [e["seq"] for e in events] == [0, 1, 2, 3, 4]
+        assert ScriptedHandler.sinces == [0, 0]
+
+    def test_4xx_fails_immediately(self, scripted_server):
+        with pytest.raises(ServiceError) as exc_info:
+            list(scripted_server.events("missing", backoff=0.01))
+        assert exc_info.value.status == 404
+        assert ScriptedHandler.sinces == []  # no retry happened
+
+    def test_reconnect_budget_exhausts(self, scripted_server):
+        # Every attempt tears: sinces keeps length 1 only for the
+        # first, so make all attempts tear by resetting the log.
+        class AlwaysTear(ScriptedHandler):
+            def do_GET(self):
+                type(self).sinces.append(0)
+                self.send_response(200)
+                self.send_header("Content-Type", "text/event-stream")
+                self.end_headers()
+                self.wfile.write(b": keepalive\n\n")
+                self.wfile.flush()
+                _abort(self.connection)
+
+        server = ThreadingHTTPServer(("127.0.0.1", 0), AlwaysTear)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        AlwaysTear.sinces = []
+        host, port = server.server_address[:2]
+        client = ServiceClient(f"http://{host}:{port}", timeout=10.0)
+        try:
+            with pytest.raises(ServiceError) as exc_info:
+                list(client.events("j1", max_reconnects=2,
+                                   backoff=0.01))
+            assert "reconnect" in str(exc_info.value)
+            assert len(AlwaysTear.sinces) == 3  # initial + 2 retries
+        finally:
+            server.shutdown()
+            server.server_close()
