@@ -52,6 +52,14 @@ MIPS_WORKLOADS = {
     "183.equake": {"rows": 64, "nnz_per_row": 6, "repeats": 400},
 }
 
+#: Multithreaded MIPS row: a long-running 4-thread instance (~1.7M
+#: retired instructions, ~3.4k context switches at the default
+#: quantum) run under repro.threads.ThreadedMachine on both backends.
+#: The schedule-trace digests must match across backends — the perf
+#: harness re-proves the cross-backend determinism claim on every run.
+MT_WORKLOAD = "mt.counters4"
+MT_PARAMS = {"threads": 4, "iters": 4000, "spin": 32}
+
 
 def _mips_programs() -> dict:
     return {name: assemble(BY_NAME[name].generator(**params),
@@ -221,6 +229,109 @@ def _recovery_overhead() -> dict:
     return per_workload
 
 
+def _run_threaded(program, backend, quantum):
+    from repro.exec import install_backend
+    from repro.machine import Cpu
+    from repro.threads import ThreadedMachine
+
+    cpu = Cpu()
+    install_backend(cpu, backend)
+    cpu.load_program(program, executable_text=True)
+    machine = ThreadedMachine(cpu, quantum=quantum)
+    stop = machine.run(max_steps=50_000_000)
+    return cpu, stop, machine
+
+
+def _mt_mips() -> dict:
+    """Best-of-3 multithreaded throughput per backend, plus the
+    cross-backend schedule-parity check (ISSUE acceptance: a 4-thread
+    benchmark runs digest-identical, including the schedule trace,
+    across interp and block)."""
+    from repro.machine.faults import StopReason
+    from repro.threads import DEFAULT_QUANTUM
+
+    program = assemble(BY_NAME[MT_WORKLOAD].generator(**MT_PARAMS),
+                       name=f"{MT_WORKLOAD}@bench")
+    rows: dict = {"workload": MT_WORKLOAD, "params": MT_PARAMS,
+                  "quantum": DEFAULT_QUANTUM}
+    for backend in BACKEND_NAMES:
+        _run_threaded(program, backend, DEFAULT_QUANTUM)   # warmup
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            cpu, stop, machine = _run_threaded(program, backend,
+                                               DEFAULT_QUANTUM)
+            best = min(best, time.perf_counter() - start)
+        assert stop.reason is StopReason.HALTED and stop.exit_code == 0
+        rows[backend] = {
+            "icount": cpu.icount,
+            "seconds": round(best, 6),
+            "mips": round(cpu.icount / best / 1e6, 4),
+            "switches": machine.switches,
+            "schedule": machine.trace_digest(),
+        }
+    rows["speedup"] = round(
+        rows["block"]["mips"] / rows["interp"]["mips"], 3)
+    return rows
+
+
+def _mt_scheduler_overhead() -> dict:
+    """ThreadedMachine wrapping cost on *single-threaded* programs.
+
+    The ISSUE acceptance bound: a single-thread program run under the
+    scheduler (quantum accounting, solo fast path, never an actual
+    switch) must pay <= 10% over a bare ``cpu.run`` on either backend.
+    Same back-to-back-pair discipline as the recovery rows.
+    """
+    from repro.exec import install_backend
+    from repro.machine import Cpu
+    from repro.machine.faults import StopReason
+    from repro.threads import DEFAULT_QUANTUM, ThreadedMachine
+
+    def timed_run(program, backend, managed):
+        cpu = Cpu()
+        install_backend(cpu, backend)
+        cpu.load_program(program, executable_text=True)
+        if managed:
+            machine = ThreadedMachine(cpu, quantum=DEFAULT_QUANTUM)
+            start = time.perf_counter()
+            stop = machine.run(max_steps=50_000_000)
+        else:
+            start = time.perf_counter()
+            stop = cpu.run(max_steps=50_000_000)
+        seconds = time.perf_counter() - start
+        assert stop.reason is StopReason.HALTED and stop.exit_code == 0
+        return seconds
+
+    per_workload: dict = {}
+    for name, program in _mips_programs().items():
+        rows = {}
+        for backend in BACKEND_NAMES:
+            run_native(program, backend=backend)   # warmup
+            calib = timed_run(program, backend, False)
+            reps = max(1, round(0.25 / max(calib, 1e-9)))
+
+            def sample(managed):
+                return sum(timed_run(program, backend, managed)
+                           for _ in range(reps))
+
+            ratios = []
+            plain = managed = float("inf")
+            for _ in range(3):
+                plain_s = sample(False)
+                managed_s = sample(True)
+                ratios.append(managed_s / plain_s)
+                plain = min(plain, plain_s / reps)
+                managed = min(managed, managed_s / reps)
+            rows[backend] = {
+                "plain_seconds": round(plain, 6),
+                "managed_seconds": round(managed, 6),
+                "overhead": round(min(ratios) - 1.0, 4),
+            }
+        per_workload[name] = rows
+    return per_workload
+
+
 def _profiler_overhead() -> dict:
     """Hot-block profiler cost vs a bare run, per backend.
 
@@ -277,6 +388,8 @@ def _profiler_overhead() -> dict:
 
 def test_perf_baseline(scale, jobs, results_dir, publish):
     interp_mips = _backend_mips()
+    mt_mips = _mt_mips()
+    mt_overhead = _mt_scheduler_overhead()
     recovery = _recovery_overhead()
     profiler = _profiler_overhead()
     campaigns = {}
@@ -304,6 +417,8 @@ def test_perf_baseline(scale, jobs, results_dir, publish):
         "campaign_exec_block_speedup": exec_speedup,
         "recovery_overhead": recovery,
         "profiler_overhead": profiler,
+        "mt": mt_mips,
+        "mt_scheduler_overhead": mt_overhead,
     }
     (results_dir / "BENCH_campaign.json").write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -347,6 +462,22 @@ def test_perf_baseline(scale, jobs, results_dir, publish):
                 f"{sub['overhead'] * 100:+6.2f}% "
                 f"({sub['plain_seconds']:.3f}s -> "
                 f"{sub['profiled_seconds']:.3f}s)")
+    for backend in BACKEND_NAMES:
+        sub = mt_mips[backend]
+        lines.append(
+            f"  mt[{backend:6s}] {MT_WORKLOAD:12s} "
+            f"{sub['mips']:8.3f} MIPS ({sub['icount']} instrs, "
+            f"{sub['switches']} switches, schedule {sub['schedule']})")
+    lines.append(f"  mt block/interp speedup {MT_WORKLOAD:12s} "
+                 f"{mt_mips['speedup']:.2f}x")
+    for name, row in mt_overhead.items():
+        for backend in BACKEND_NAMES:
+            sub = row[backend]
+            lines.append(
+                f"  mt-sched[{backend:6s}] {name:12s} "
+                f"{sub['overhead'] * 100:+6.2f}% "
+                f"({sub['plain_seconds']:.3f}s -> "
+                f"{sub['managed_seconds']:.3f}s)")
     publish("perf_baseline", "\n".join(lines))
 
     # Campaign outcome tallies must not depend on the execution tier.
@@ -381,3 +512,20 @@ def test_perf_baseline(scale, jobs, results_dir, publish):
             (name, row["interp"]["overhead"])
         assert row["block"]["profiled_seconds"] < \
             row["interp"]["plain_seconds"], name
+    # Threaded machine: schedule trace (and retired-instruction count)
+    # must be byte-identical across execution tiers, and throughput
+    # must be real on both.
+    assert (mt_mips["interp"]["schedule"] == mt_mips["block"]["schedule"]
+            and mt_mips["interp"]["icount"] == mt_mips["block"]["icount"]
+            and mt_mips["interp"]["switches"]
+            == mt_mips["block"]["switches"]), mt_mips
+    assert mt_mips["interp"]["switches"] > 100, mt_mips
+    for backend in BACKEND_NAMES:
+        assert mt_mips[backend]["mips"] > 0
+    # Scheduler cost on single-thread programs (ISSUE acceptance
+    # bound): quantum accounting under the solo fast path must stay
+    # within 10% of a bare run on either backend.
+    for name, row in mt_overhead.items():
+        for backend in BACKEND_NAMES:
+            overhead = row[backend]["overhead"]
+            assert overhead <= 0.10, (name, backend, overhead)

@@ -114,6 +114,16 @@ class BasicBlock:
                 f"{self.size} instrs, {self.exit_kind.value})")
 
 
+#: Service.THREAD_EXIT (repro.machine.syscalls; duplicated here to keep
+#: the CFG layer import-free of the machine).  Under the multithreaded
+#: machine the syscall never returns — the thread is torn down — so its
+#: block has no successors, exactly like the process-exit syscall.  The
+#: kernel contract (workloads.kernels.mt) is that worker bodies only
+#: run threaded, so the single-threaded no-op fallback never reaches
+#: the instruction after it.
+_THREAD_EXIT = 22
+
+
 def classify_exit(instr: Instruction) -> ExitKind:
     """Exit kind implied by a terminator instruction."""
     kind = instr.meta.kind
@@ -129,6 +139,6 @@ def classify_exit(instr: Instruction) -> ExitKind:
         return ExitKind.RET
     if kind in (Kind.HALT, Kind.TRAP):
         return ExitKind.HALT
-    if instr.op is Op.SYSCALL and instr.imm == 0:
+    if instr.op is Op.SYSCALL and instr.imm in (0, _THREAD_EXIT):
         return ExitKind.EXIT
     return ExitKind.FALLTHROUGH

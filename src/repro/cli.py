@@ -132,21 +132,31 @@ def cmd_disasm(args) -> int:
 
 
 def parse_fault_token(program, token: str, branch: str = "0",
-                      occurrence: int = 1):
+                      occurrence: int = 1, thread: int | None = None):
     """Parse one ``--fault`` token into a spec (raises ValueError).
 
     Shared by the CLI and the campaign service so both accept the
     same grammar: ``offset:BIT | flag:BIT | direction |
-    redirect:ADDR | register:REG,BIT,ICOUNT``.
+    redirect:ADDR | register:REG,BIT,ICOUNT |
+    sched-rotate:SWITCH | sched-ctx:SWITCH,TID,REG,BIT``.
+
+    ``thread`` (``--thread``) restricts branch-fault occurrence
+    counting to one guest tid on the multithreaded machine.
     """
     from repro.faults import (DirectionFault, FaultSpec, FlagBitFault,
                               OffsetBitFault, RedirectFault,
-                              RegisterFaultSpec)
+                              RegisterFaultSpec, SchedFaultSpec)
     kind, _, value = token.partition(":")
     if kind == "register":
         reg, bit, icount = value.split(",")
         return RegisterFaultSpec(icount=int(icount), reg=int(reg),
                                  bit=int(bit))
+    if kind == "sched-rotate":
+        return SchedFaultSpec(switch=int(value), kind="queue-rotate")
+    if kind == "sched-ctx":
+        switch, tid, reg, bit = value.split(",")
+        return SchedFaultSpec(switch=int(switch), kind="ctx-bit",
+                              tid=int(tid), reg=int(reg), bit=int(bit))
     if kind == "offset":
         fault = OffsetBitFault(bit=int(value))
     elif kind == "flag":
@@ -157,13 +167,15 @@ def parse_fault_token(program, token: str, branch: str = "0",
         fault = RedirectFault(_resolve_addr(program, value))
     else:
         raise ValueError(f"unknown fault kind {kind!r}")
-    return FaultSpec(_resolve_addr(program, branch), occurrence, fault)
+    return FaultSpec(_resolve_addr(program, branch), occurrence, fault,
+                     thread=thread)
 
 
 def _parse_fault_spec(program, args, token):
     try:
         return parse_fault_token(program, token, branch=args.branch,
-                                 occurrence=args.occurrence)
+                                 occurrence=args.occurrence,
+                                 thread=getattr(args, "thread", None))
     except ValueError as exc:
         raise SystemExit(str(exc))
 
@@ -179,15 +191,74 @@ def _check_journal_backend(args) -> int:
     journal = CampaignJournal(args.journal)
     if args.resume:
         header = journal.read_header()
-        recorded = (header or {}).get("backend", "interp")
-        if header is not None and recorded != args.backend:
+        if header is None:
+            return 0
+        recorded = header.get("backend", "interp")
+        if recorded != args.backend:
             print(f"error: journal {args.journal} was recorded with "
                   f"--backend {recorded}; resuming with --backend "
                   f"{args.backend} would silently re-run every chunk "
                   "(config keys differ). Pass the matching backend.",
                   file=sys.stderr)
             return 2
+        status = _check_journal_scheduler(args, header)
+        if status:
+            return status
     return 0
+
+
+def _check_journal_scheduler(args, header: dict) -> int:
+    """Refuse ``--resume`` when scheduler parameters disagree.
+
+    The schedule — and therefore every journaled record — is a pure
+    function of (quantum, policy, seed, sig_swap): a mismatched resume
+    would silently re-run every chunk under a different interleaving.
+    """
+    if not getattr(args, "threads", False) and not header.get("threads"):
+        return 0
+    from repro.threads import DEFAULT_QUANTUM
+    wanted = {
+        "threads": bool(getattr(args, "threads", False)),
+        "quantum": getattr(args, "quantum", None) or DEFAULT_QUANTUM,
+        "sched_policy": getattr(args, "sched_policy", "rr"),
+        "sched_seed": getattr(args, "sched_seed", 0),
+        "sig_swap": not getattr(args, "no_sig_swap", False),
+    }
+    recorded = {
+        "threads": bool(header.get("threads", False)),
+        "quantum": header.get("quantum", DEFAULT_QUANTUM),
+        "sched_policy": header.get("sched_policy", "rr"),
+        "sched_seed": header.get("sched_seed", 0),
+        "sig_swap": header.get("sig_swap", True),
+    }
+    if not recorded["threads"]:
+        recorded = {key: wanted[key] if key != "threads" else False
+                    for key in wanted}
+    mismatched = [key for key in wanted if wanted[key] != recorded[key]]
+    if mismatched:
+        detail = ", ".join(
+            f"{key}: journal={recorded[key]!r} vs {wanted[key]!r}"
+            for key in mismatched)
+        print(f"error: journal {args.journal} was recorded with "
+              f"different scheduler parameters ({detail}); the "
+              "schedule would not replay and every chunk would "
+              "silently re-run. Pass the matching --threads/--quantum/"
+              "--sched-policy/--sched-seed/--no-sig-swap flags.",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def _mt_kwargs(args) -> dict:
+    """PipelineConfig multithreading fields from --threads family."""
+    if not getattr(args, "threads", False):
+        return {}
+    from repro.threads import DEFAULT_QUANTUM
+    return {"threads": True,
+            "quantum": getattr(args, "quantum", None) or DEFAULT_QUANTUM,
+            "sched_policy": getattr(args, "sched_policy", "rr"),
+            "sched_seed": getattr(args, "sched_seed", 0),
+            "sig_swap": not getattr(args, "no_sig_swap", False)}
 
 
 def _recovery_kwargs(args) -> dict:
@@ -210,17 +281,29 @@ def cmd_inject(args) -> int:
     status = _check_journal_backend(args)
     if status:
         return status
+    mt_kwargs = _mt_kwargs(args)
     if args.journal and not args.resume:
         from repro.faults.journal import CampaignJournal, inject_header
         CampaignJournal(args.journal).append_header(
             inject_header(args.technique, args.policy, args.backend,
-                          recover=args.recover))
+                          recover=args.recover,
+                          threads=mt_kwargs.get("threads", False),
+                          quantum=mt_kwargs.get("quantum", 0),
+                          sched_policy=mt_kwargs.get("sched_policy",
+                                                     "rr"),
+                          sched_seed=mt_kwargs.get("sched_seed", 0),
+                          sig_swap=mt_kwargs.get("sig_swap", True)))
     specs = [_parse_fault_spec(program, args, token)
              for token in args.fault]
-    config = PipelineConfig("dbt", args.technique,
+    # The multithreaded machine runs on the native/static pipelines
+    # (the DBT tier does not context-switch translated state).
+    pipeline = "dbt"
+    if mt_kwargs:
+        pipeline = "static" if args.technique else "native"
+    config = PipelineConfig(pipeline, args.technique,
                             Policy(args.policy), dataflow=args.dataflow,
                             backend=args.backend,
-                            **_recovery_kwargs(args))
+                            **_recovery_kwargs(args), **mt_kwargs)
     trace_ctx = None
     if args.journal:
         # Deterministic trace id from the same (program, config)
@@ -416,7 +499,8 @@ def cmd_fuzz(args) -> int:
                         max_sites=args.detect_sites,
                         minimize=not args.no_minimize,
                         backend=args.backend,
-                        recover=args.recover)
+                        recover=args.recover,
+                        mt_every=args.mt_every)
     if args.technique:
         config = dataclasses.replace(
             config, techniques=tuple(args.technique),
@@ -486,13 +570,24 @@ def cmd_explain(args) -> int:
         spec = spec_from_json(entry["spec"])
         pipeline, technique, policy, update, dataflow, *rest = \
             entry["config"]
+        # Extended key segments appended by optional subsystems:
+        # [backend] ["rec", interval, retries] ["mt", quantum,
+        # policy, seed, sig_swap].
         extra = {}
-        if len(rest) >= 4 and rest[1] == "rec":
-            # Extended key from a --recover campaign:
-            # [backend, "rec", interval, retries].
-            extra = {"recover": True,
-                     "checkpoint_interval": rest[2],
-                     "max_retries": rest[3]}
+        tail = list(rest[1:])
+        while tail:
+            if tail[0] == "rec" and len(tail) >= 3:
+                extra.update(recover=True,
+                             checkpoint_interval=tail[1],
+                             max_retries=tail[2])
+                tail = tail[3:]
+            elif tail[0] == "mt" and len(tail) >= 5:
+                extra.update(threads=True, quantum=tail[1],
+                             sched_policy=tail[2], sched_seed=tail[3],
+                             sig_swap=bool(tail[4]))
+                tail = tail[5:]
+            else:
+                break
         config = PipelineConfig(pipeline, technique, Policy(policy),
                                 UpdateStyle(update), dataflow,
                                 backend=rest[0] if rest else "interp",
@@ -503,13 +598,17 @@ def cmd_explain(args) -> int:
                   "--bundle/--journal (+ --index)", file=sys.stderr)
             return 1
         spec = _parse_fault_spec(program, args, args.fault)
-        config = PipelineConfig(args.pipeline, args.technique,
+        mt_kwargs = _mt_kwargs(args)
+        pipeline = args.pipeline
+        if mt_kwargs and pipeline == "dbt":
+            pipeline = "static" if args.technique else "native"
+        config = PipelineConfig(pipeline, args.technique,
                                 Policy(args.policy),
                                 UpdateStyle(args.update),
                                 dataflow=args.dataflow,
                                 backend=getattr(args, "backend",
                                                 "interp"),
-                                **_recovery_kwargs(args))
+                                **_recovery_kwargs(args), **mt_kwargs)
     _, _, text = explain_spec(program, config, spec)
     print(text)
     return 0
@@ -843,6 +942,34 @@ def build_parser() -> argparse.ArgumentParser:
             help="recovery attempts before giving up (default "
                  f"{DEFAULT_MAX_RETRIES})")
 
+    def threads_args(p):
+        from repro.threads import DEFAULT_QUANTUM, POLICIES
+        p.add_argument(
+            "--threads", action="store_true",
+            help="run under the multithreaded guest machine "
+                 "(deterministic preemptive scheduler; native/static "
+                 "pipelines only — see docs/threads.md)")
+        p.add_argument(
+            "--quantum", type=int, default=None, metavar="INSNS",
+            help="preemption quantum in retired instructions "
+                 f"(default {DEFAULT_QUANTUM})")
+        p.add_argument("--sched-policy", default="rr",
+                       choices=list(POLICIES),
+                       help="scheduling policy (default rr)")
+        p.add_argument(
+            "--sched-seed", type=int, default=0,
+            help="tie-break seed: same seed, same schedule "
+                 "(default 0)")
+        p.add_argument(
+            "--no-sig-swap", action="store_true",
+            help="do NOT context-switch signature registers; resync "
+                 "them to statically-expected values instead — "
+                 "reproduces cross-context signature escapes")
+        p.add_argument(
+            "--thread", type=int, default=None, metavar="TID",
+            help="restrict --fault occurrence counting to this guest "
+                 "thread")
+
     inj = sub.add_parser("inject", help="run with injected fault(s)")
     common_exec(inj)
     inj.add_argument("--branch", default="0",
@@ -851,11 +978,13 @@ def build_parser() -> argparse.ArgumentParser:
     inj.add_argument(
         "--fault", required=True, action="append",
         help="offset:BIT | flag:BIT | direction | redirect:ADDR | "
-             "register:REG,BIT,ICOUNT (repeatable)")
+             "register:REG,BIT,ICOUNT | sched-rotate:SWITCH | "
+             "sched-ctx:SWITCH,TID,REG,BIT (repeatable)")
     jobs_arg(inj)
     resilience_args(inj)
     forensics_arg(inj)
     recovery_args(inj)
+    threads_args(inj)
     obs_args(inj)
     inj.set_defaults(func=cmd_inject)
 
@@ -937,6 +1066,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="run the recovery oracle on every detection-"
                          "oracle program: each detected fault must "
                          "end RECOVERED with a byte-identical digest")
+    fz.add_argument("--mt-every", type=int, default=0,
+                    help="run the multithreaded oracle (seed-varied MT "
+                         "kernel, random scheduler parameters, cross-"
+                         "backend schedule parity) on every Nth "
+                         "program (0 disables; default 0)")
     backend_arg(fz)
     jobs_arg(fz)
     resilience_args(fz)
@@ -1073,6 +1207,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="global spec index within the bundle (default: first "
              "entry)")
     recovery_args(exp)
+    threads_args(exp)
     exp.set_defaults(func=cmd_explain)
     return parser
 

@@ -13,7 +13,8 @@ from repro.faults.injector import (CacheFaultSpec, CacheLevelInjector,
                                    DbtInjector, DirectionFault, FaultSpec,
                                    FlagBitFault, NativeInjector,
                                    OffsetBitFault, RedirectFault,
-                                   RegisterFaultSpec,
+                                   RegisterFaultSpec, SchedFaultSpec,
+                                   SchedInjector,
                                    enumerate_cache_branch_sites)
 from repro.faults.sampling import (EffectivenessResult,
                                    run_effectiveness_campaign,
@@ -25,7 +26,9 @@ from repro.faults.campaign import (CacheCampaignResult, CampaignResult,
                                    RunRecord,
                                    enumerate_instrumentation_branch_sites,
                                    generate_category_faults,
-                                   generate_register_faults, run_campaign,
+                                   generate_register_faults,
+                                   generate_sched_faults,
+                                   generate_thread_faults, run_campaign,
                                    run_cache_campaign,
                                    run_data_fault_campaign)
 from repro.faults.cache import (cache_stats, campaign_key, clear_caches,
@@ -46,8 +49,10 @@ __all__ = [
     "CacheFaultSpec", "CacheLevelInjector", "DbtInjector",
     "DirectionFault", "FaultSpec", "FlagBitFault", "NativeInjector",
     "OffsetBitFault", "RedirectFault", "RegisterFaultSpec",
+    "SchedFaultSpec", "SchedInjector",
     "enumerate_cache_branch_sites", "DataFaultCampaignResult",
-    "generate_register_faults", "run_data_fault_campaign",
+    "generate_register_faults", "generate_sched_faults",
+    "generate_thread_faults", "run_data_fault_campaign",
     "CacheCampaignResult", "CampaignResult", "CategoryFaults", "Golden",
     "Outcome", "Pipeline", "PipelineConfig", "RunRecord",
     "enumerate_instrumentation_branch_sites", "generate_category_faults",

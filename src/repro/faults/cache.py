@@ -50,15 +50,18 @@ def program_digest(program) -> str:
 def config_key(config) -> tuple:
     """Hashable identity of a PipelineConfig.
 
-    The recovery component is appended only when recovery is on, so
-    keys (and the journals they validate) from before the recovery
-    subsystem existed remain byte-identical.
+    The recovery and multithreading components are appended only when
+    their subsystem is on, so keys (and the journals they validate)
+    from before each subsystem existed remain byte-identical.
     """
     key = (config.pipeline, config.technique, config.policy.value,
            config.update_style.value, config.dataflow,
            getattr(config, "backend", "interp"))
     if getattr(config, "recover", False):
         key += ("rec", config.checkpoint_interval, config.max_retries)
+    if getattr(config, "threads", False):
+        key += ("mt", config.quantum, config.sched_policy,
+                config.sched_seed, int(config.sig_swap))
     return key
 
 

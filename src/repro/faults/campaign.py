@@ -139,6 +139,17 @@ class PipelineConfig:
     recover: bool = False
     checkpoint_interval: int = 4096       #: instructions between checkpoints
     max_retries: int = 3                  #: rollbacks before giving up
+    #: multithreaded guest machine (repro.threads): run under the
+    #: deterministic preemptive scheduler; requires the native or
+    #: static pipeline
+    threads: bool = False
+    quantum: int = 500                    #: retired instructions per turn
+    sched_policy: str = "rr"              #: "rr" | "priority"
+    sched_seed: int = 0                   #: tie-break seed
+    #: context switches swap signature registers (the correct MT mode);
+    #: False models a runtime without per-thread checker state and
+    #: reproduces the cross-context escapes (docs/threads.md)
+    sig_swap: bool = True
 
     def label(self) -> str:
         tech = self.technique or "none"
@@ -149,6 +160,12 @@ class PipelineConfig:
             label += f"@{self.backend}"
         if self.recover:
             label += "+rec"
+        if self.threads:
+            label += f"+mt:{self.sched_policy}q{self.quantum}"
+            if self.sched_seed:
+                label += f"s{self.sched_seed}"
+            if not self.sig_swap:
+                label += "-sigswap"
         return label
 
 
@@ -163,12 +180,22 @@ class Pipeline:
         #: lets the fuzzing oracle run deliberately-broken techniques
         #: (e.g. one skipped GEN_SIG update) through the stock pipeline.
         self.technique_factory = technique_factory
+        if config.threads and config.pipeline == "dbt":
+            raise ValueError(
+                "the multithreaded machine requires the native or "
+                "static pipeline (the DBT tier does not context-switch "
+                "translated state)")
         self._instrumented: InstrumentedProgram | None = None
+        self._mt_spawn_table: dict | None = None
+        self._mt_resync: dict | None = None
+        self._mt_sig_regs: tuple = ()
         if config.pipeline == "static" and config.technique:
             cfg = build_cfg(program)
             technique = self._make_technique(cfg=cfg)
             self._instrumented = StaticRewriter(
                 technique, config.policy).rewrite(program)
+            if config.threads:
+                self._prepare_mt(technique)
         if technique_factory is not None:
             # Custom techniques must not seed (or read) the shared
             # golden-run cache keyed only on (program, config).
@@ -312,20 +339,69 @@ class Pipeline:
             from repro.exec import install_backend
             install_backend(cpu, self.config.backend)
 
+    # -- multithreaded machine (repro.threads) -------------------------------
+
+    def _prepare_mt(self, technique) -> None:
+        """Static-pipeline MT support, built once per Pipeline:
+        spawn-time signature initialization (a fresh thread must enter
+        its worker with the technique's prologue invariant already
+        established) and — without signature swapping — the
+        statically-expected resync table the escape mode overwrites
+        signature registers from at every switch-in."""
+        from repro.threads import build_resync_table, build_spawn_sig_table
+        ip = self._instrumented
+        self._mt_sig_regs = tuple(technique.signature_registers)
+        self._mt_spawn_table = build_spawn_sig_table(ip, technique)
+        if not self.config.sig_swap:
+            # Worker functions have no CFG predecessors: seed the
+            # traversal with the spawn-time values at each potential
+            # entry, mapped to instrumented addresses.
+            entry_states = {ip.block_map[old]: regs
+                            for old, regs in self._mt_spawn_table.items()
+                            if old in ip.block_map}
+            self._mt_resync = build_resync_table(
+                ip, self._mt_sig_regs, entry_states=entry_states)
+
+    def _make_machine(self, cpu: Cpu):
+        from repro.threads import ThreadedMachine
+        config = self.config
+        ip = self._instrumented
+        entry_map = None
+        if ip is not None:
+            # SPAWN entry immediates hold original addresses; the
+            # rewriter relocated the code, so the machine plays loader.
+            def entry_map(old, _ip=ip):
+                return _ip.block_map.get(old, _ip.instr_map.get(old, old))
+        return ThreadedMachine(
+            cpu, quantum=config.quantum, policy=config.sched_policy,
+            seed=config.sched_seed, sig_swap=config.sig_swap,
+            sig_regs=self._mt_sig_regs,
+            resync_table=self._mt_resync,
+            entry_map=entry_map,
+            spawn_sig_init=self._mt_spawn_table)
+
     # -- checkpoint/rollback recovery (repro.recovery) -----------------------
 
     def _recovery_manager(self, cpu, fault, injector, max_steps, step,
                           classify, epoch=None, entry_restart=None,
-                          reinstall=None):
+                          reinstall=None, machine=None):
         from repro.recovery import RecoveryManager
         config = self.config
+        extra_capture = extra_restore = None
+        if machine is not None:
+            # Checkpoints must capture every thread, not just the one
+            # occupying the CPU: saved contexts, the ready queue and
+            # its RNG, mutexes, the quantum in flight.
+            extra_capture = machine.snapshot_sched_state
+            extra_restore = machine.restore_sched_state
         return RecoveryManager(
             cpu, step=step, classify=classify, budget=max_steps,
             interval=config.checkpoint_interval,
             max_retries=config.max_retries,
             injector=injector, reinstall=reinstall,
             persistent=getattr(fault, "persistent", False),
-            epoch=epoch, entry_restart=entry_restart)
+            epoch=epoch, entry_restart=entry_restart,
+            extra_capture=extra_capture, extra_restore=extra_restore)
 
     def _apply_recovery(self, record: RunRecord, report,
                         probe=None) -> RunRecord:
@@ -350,19 +426,63 @@ class Pipeline:
                           else Outcome.RECOVERY_FAILED)
         return record
 
+    def _attach_fault(self, cpu: Cpu, machine, fault):
+        """Bind one fault spec to the run; returns the injector-ish
+        object holding fired/occurrence state (or None)."""
+        from repro.faults.injector import (RegisterFaultSpec,
+                                           SchedFaultSpec, SchedInjector)
+        if isinstance(fault, SchedFaultSpec):
+            if machine is None:
+                raise ValueError(
+                    "scheduler-state faults require threads=True")
+            injector = SchedInjector(fault)
+            machine.sched_fault = injector
+            return injector
+        if isinstance(fault, RegisterFaultSpec):
+            fault.install(cpu)
+            return None
+        if fault is None:
+            return None
+        if self._instrumented is not None:
+            ip = self._instrumented
+            injector = NativeInjector(
+                fault, ip.program,
+                site_map=lambda pc: ip.instr_map.get(pc, -1),
+                landing_map=self._static_landing,
+                noncode_target=ip.program.data_base + 0x40)
+        else:
+            injector = NativeInjector(fault, self.program)
+        injector.install(cpu)
+        return injector
+
+    def _mt_classify(self, machine, classify):
+        """Wrap a recovery classifier with the deadlock rule: a starved
+        machine returns STEP_LIMIT *without consuming budget*, so
+        treating it as "limit" would spin the watchdog forever.  A
+        deadlock is final for this schedule — roll back immediately."""
+        if machine is None:
+            return classify
+
+        def classify_mt(stop):
+            if machine.deadlocked:
+                machine.deadlocked = False
+                return "detected"
+            return classify(stop)
+        return classify_mt
+
     def _run_native(self, fault, max_steps, probe=None) -> RunRecord:
-        from repro.faults.injector import RegisterFaultSpec
         cpu = Cpu()
         self._install_backend(cpu)
         cpu.load_program(self.program)
-        injector = None
-        if isinstance(fault, RegisterFaultSpec):
-            fault.install(cpu)
-        elif fault is not None:
-            injector = NativeInjector(fault, self.program)
-            injector.install(cpu)
+        machine = self._make_machine(cpu) if self.config.threads else None
+        injector = self._attach_fault(cpu, machine, fault)
         if probe is not None:
             probe.bind(cpu, injector=injector)
+            probe.machine = machine
+        if machine is None:
+            step = lambda n: cpu.run(max_steps=n)          # noqa: E731
+        else:
+            step = lambda n: machine.run(max_steps=n)      # noqa: E731
         if self.config.recover and fault is not None:
             def classify(stop):
                 if stop.reason is StopReason.FAULT:
@@ -372,15 +492,17 @@ class Pipeline:
                     return "limit"
                 return "done"
 
+            reinstall = None
+            if injector is not None and hasattr(injector, "install"):
+                reinstall = lambda: injector.install(cpu)  # noqa: E731
             manager = self._recovery_manager(
                 cpu, fault, injector, max_steps,
-                step=lambda n: cpu.run(max_steps=n), classify=classify,
-                reinstall=(None if injector is None
-                           else lambda: injector.install(cpu)))
+                step=step, classify=self._mt_classify(machine, classify),
+                reinstall=reinstall, machine=machine)
             stop = manager.execute()
             record = self._finish(cpu, stop, detected=False)
             return self._apply_recovery(record, manager.report, probe)
-        stop = cpu.run(max_steps=max_steps)
+        stop = step(max_steps)
         return self._finish(cpu, stop, detected=False)
 
     def _run_static(self, fault, max_steps, probe=None) -> RunRecord:
@@ -388,16 +510,15 @@ class Pipeline:
         cpu = Cpu()
         self._install_backend(cpu)
         cpu.load_program(ip.program)
-        injector = None
-        if fault is not None:
-            injector = NativeInjector(
-                fault, ip.program,
-                site_map=lambda pc: ip.instr_map.get(pc, -1),
-                landing_map=self._static_landing,
-                noncode_target=ip.program.data_base + 0x40)
-            injector.install(cpu)
+        machine = self._make_machine(cpu) if self.config.threads else None
+        injector = self._attach_fault(cpu, machine, fault)
         if probe is not None:
             probe.bind(cpu, injector=injector, instrumented=ip)
+            probe.machine = machine
+        if machine is None:
+            step = lambda n: cpu.run(max_steps=n)          # noqa: E731
+        else:
+            step = lambda n: machine.run(max_steps=n)      # noqa: E731
         report = None
         if self.config.recover and fault is not None:
             def classify(stop):
@@ -408,15 +529,17 @@ class Pipeline:
                     return "limit"
                 return "detected" if cpu.cfc_error else "done"
 
+            reinstall = None
+            if injector is not None and hasattr(injector, "install"):
+                reinstall = lambda: injector.install(cpu)  # noqa: E731
             manager = self._recovery_manager(
                 cpu, fault, injector, max_steps,
-                step=lambda n: cpu.run(max_steps=n), classify=classify,
-                reinstall=(None if injector is None
-                           else lambda: injector.install(cpu)))
+                step=step, classify=self._mt_classify(machine, classify),
+                reinstall=reinstall, machine=machine)
             stop = manager.execute()
             report = manager.report
         else:
-            stop = cpu.run(max_steps=max_steps)
+            stop = step(max_steps)
         detected = cpu.cfc_error or (
             stop.reason is StopReason.FAULT
             and stop.fault is FaultKind.DIV_BY_ZERO
@@ -539,11 +662,51 @@ class CategoryFaults:
         return sum(len(v) for v in self.by_category.values())
 
 
+def _profile_program(program: Program, max_steps: int, mt=None):
+    """Profiled reference run feeding fault generation (cached).
+
+    ``mt`` (a :class:`PipelineConfig` with ``threads=True``, or None)
+    selects a *threaded* profiling run: on an MT program the worker
+    bodies only execute under the multithreaded machine, so a plain
+    native profile would never see their branches and every generated
+    fault would land in the main thread.  Threaded profiles are cached
+    under a composite key so they never collide with the single-
+    threaded profile of the same image.
+    """
+    from repro.machine import run_native
+    digest = run_cache.program_digest(program)
+    profile_key: object = max_steps
+    threaded = mt is not None and getattr(mt, "threads", False)
+    if threaded:
+        profile_key = (max_steps, "mt", mt.quantum, mt.sched_policy,
+                       mt.sched_seed)
+    profiler = run_cache.get_profile(digest, profile_key)
+    if profiler is not None:
+        return profiler
+    profiler = BranchProfiler()
+    if threaded:
+        from repro.threads import ThreadedMachine
+        cpu = Cpu()
+        cpu.load_program(program, executable_text=True)
+        cpu.branch_profiler = profiler
+        machine = ThreadedMachine(cpu, quantum=mt.quantum,
+                                  policy=mt.sched_policy,
+                                  seed=mt.sched_seed)
+        stop = machine.run(max_steps=max_steps)
+    else:
+        _, stop = run_native(program, max_steps=max_steps,
+                             profiler=profiler)
+    if stop.reason is not StopReason.HALTED:
+        raise RuntimeError(f"profiling run failed: {stop}")
+    run_cache.put_profile(digest, profile_key, profiler)
+    return profiler
+
+
 def generate_category_faults(program: Program, per_category: int = 20,
                              seed: int = 2006,
                              max_steps: int = 50_000_000,
-                             exclude_exit_block_middles: bool = True
-                             ) -> CategoryFaults:
+                             exclude_exit_block_middles: bool = True,
+                             mt=None) -> CategoryFaults:
     """Build per-category fault specs from a profiled native run.
 
     Category A uses direction-inversion faults at executed conditional
@@ -556,17 +719,12 @@ def generate_category_faults(program: Program, per_category: int = 20,
     the paper's Assumption 2 ("any control-flow error must finally
     reach at least one CHECK_SIG function") explicitly excludes from
     the checkable universe.  Pass False to measure that residual.
+
+    ``mt`` (a threaded :class:`PipelineConfig`, or None) profiles the
+    program under the multithreaded machine instead, so worker-only
+    branches enter the fault universe.
     """
-    from repro.machine import run_native
-    digest = run_cache.program_digest(program)
-    profiler = run_cache.get_profile(digest, max_steps)
-    if profiler is None:
-        profiler = BranchProfiler()
-        _, stop = run_native(program, max_steps=max_steps,
-                             profiler=profiler)
-        if stop.reason is not StopReason.HALTED:
-            raise RuntimeError(f"profiling run failed: {stop}")
-        run_cache.put_profile(digest, max_steps, profiler)
+    profiler = _profile_program(program, max_steps, mt=mt)
     cfg = build_cfg(program)
     rng = random.Random(seed)
 
@@ -643,6 +801,77 @@ def generate_category_faults(program: Program, per_category: int = 20,
                                RedirectFault(noncode[index % len(noncode)])))
     result.by_category[Category.F] = specs
     return result
+
+
+def generate_thread_faults(program: Program, mt, tids,
+                           per_thread: int = 6, seed: int = 2006,
+                           max_steps: int = 50_000_000
+                           ) -> list[FaultSpec]:
+    """Thread-targeted direction faults, one independent seed stream
+    per victim tid.
+
+    Each tid's stream is ``derive_seed(seed, "thread", tid)``, so the
+    spec list for tid t is a pure function of (program, seed, t): a
+    campaign over any subset or ordering of threads — serial or fanned
+    out over worker processes — draws byte-identical per-thread faults.
+    The specs carry ``thread=tid``, so occurrence counting only ticks
+    while the victim runs (see :class:`FaultSpec`).
+
+    ``mt`` is the threaded :class:`PipelineConfig` the campaign will
+    run under; the profiling run uses its scheduler parameters.
+    """
+    from repro.faults.sampling import derive_seed
+    profiler = _profile_program(program, max_steps, mt=mt)
+    conditionals = sorted(
+        (stats for stats in profiler.branches.values()
+         if stats.executions > 0
+         and (stats.instr.meta.cond is not None
+              or stats.instr.meta.kind.value == "branch_reg")),
+        key=lambda stats: stats.pc)
+    if not conditionals:
+        return []
+    specs: list[FaultSpec] = []
+    for tid in sorted(set(tids)):
+        rng = random.Random(derive_seed(seed, "thread", tid))
+        for _ in range(per_thread):
+            stats = rng.choice(conditionals)
+            # Per-thread occurrences: the profile counts all threads,
+            # so keep the index small enough that the victim plausibly
+            # reaches it; a never-reached occurrence is a benign run.
+            occurrence = rng.randint(1, 4)
+            specs.append(FaultSpec(stats.pc, occurrence,
+                                   DirectionFault(taken=None),
+                                   thread=tid))
+    return specs
+
+
+def generate_sched_faults(count: int = 12, seed: int = 2006,
+                          max_switch: int = 40, threads: int = 4,
+                          sig_regs: tuple[int, ...] = ()) -> list:
+    """Scheduler-state fault specs (see :class:`SchedFaultSpec`).
+
+    Half the strikes flip a bit in a saved thread context — targeting
+    the technique's signature registers when ``sig_regs`` is given,
+    guest computation registers otherwise — and the rest rotate the
+    ready queue.  The stream is seeded through ``derive_seed`` so it is
+    independent of every other sampling stream in the campaign.
+    """
+    from repro.faults.injector import SchedFaultSpec
+    from repro.faults.sampling import derive_seed
+    rng = random.Random(derive_seed(seed, "sched"))
+    specs = []
+    regs = tuple(sig_regs) or tuple(range(14))
+    for index in range(count):
+        switch = rng.randint(2, max_switch)
+        if index % 2:
+            specs.append(SchedFaultSpec(switch=switch,
+                                        kind="queue-rotate"))
+        else:
+            specs.append(SchedFaultSpec(
+                switch=switch, kind="ctx-bit",
+                tid=rng.randint(0, threads),
+                reg=rng.choice(regs), bit=rng.randint(0, 31)))
+    return specs
 
 
 @dataclass

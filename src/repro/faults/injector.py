@@ -83,20 +83,28 @@ class FaultSpec:
     #: re-execution.  Transient faults (the paper's single-error model)
     #: never re-fire.
     persistent: bool = False
+    #: thread-targeted injection (multithreaded machine): the site only
+    #: counts (and the fault only fires) while this guest tid is
+    #: running.  None — the default — counts every execution, which is
+    #: also the single-threaded behaviour (tid 0 is the only thread).
+    thread: int | None = None
 
     def describe(self) -> str:
         stuck = "!persistent" if self.persistent else ""
+        tied = f"@t{self.thread}" if self.thread is not None else ""
         return (f"{type(self.fault).__name__}@{self.branch_pc:#x}"
-                f"#{self.occurrence}{stuck}")
+                f"#{self.occurrence}{stuck}{tied}")
 
     def __repr__(self) -> str:
         # Matches the generated dataclass repr byte-for-byte for the
         # default transient case: journal spec digests predating the
-        # ``persistent`` field must keep resolving.
+        # ``persistent`` and ``thread`` fields must keep resolving.
         base = (f"FaultSpec(branch_pc={self.branch_pc!r}, "
                 f"occurrence={self.occurrence!r}, fault={self.fault!r}")
         if self.persistent:
             base += f", persistent={self.persistent!r}"
+        if self.thread is not None:
+            base += f", thread={self.thread!r}"
         return base + ")"
 
 
@@ -114,7 +122,15 @@ class _HookBase:
         #: (for detection latency in instructions and cycles)
         self.fired_icount: int | None = None
         self.fired_cycles: int | None = None
+        #: guest tid that was running when the fault applied
+        self.fired_tid: int | None = None
         self.armed_site: int | None = None
+
+    def _thread_ok(self, cpu: Cpu) -> bool:
+        """Thread-targeted specs only count the victim tid's visits."""
+        thread = self.spec.thread
+        return (thread is None
+                or getattr(cpu, "current_tid", 0) == thread)
 
     def _hit(self, pc: int) -> bool:
         if self.fired or pc != self.armed_site:
@@ -171,11 +187,12 @@ class NativeInjector(_HookBase):
         if self.fired:
             self._retire(cpu)
             return None
-        if not self._hit(pc):
+        if not self._thread_ok(cpu) or not self._hit(pc):
             return None
         self.fired = True
         self.fired_icount = cpu.icount
         self.fired_cycles = cpu.cycles
+        self.fired_tid = getattr(cpu, "current_tid", 0)
         fault = self.spec.fault
         meta = instr.meta
         if isinstance(fault, OffsetBitFault):
@@ -278,13 +295,14 @@ class DbtInjector(_HookBase):
             self._retire(cpu)
             return None
         self._refresh_sites()
-        if not self._hit(pc):
+        if not self._thread_ok(cpu) or not self._hit(pc):
             return None
         fault = self.spec.fault
         guest_instr = self.dbt.program.instruction_at(self.spec.branch_pc)
         will_take, can_fall = self._direction(cpu, instr)
         self.fired_icount = cpu.icount
         self.fired_cycles = cpu.cycles
+        self.fired_tid = getattr(cpu, "current_tid", 0)
 
         if isinstance(fault, OffsetBitFault):
             self.fired = True
@@ -363,6 +381,79 @@ class RegisterFaultSpec:
             target_cpu.regs[self.reg] ^= (1 << self.bit)
             target_cpu.regs[self.reg] &= 0xFFFFFFFF
         cpu.scheduled_fault = (self.icount, strike)
+
+
+@dataclass(frozen=True)
+class SchedFaultSpec:
+    """Scheduler-state fault, applied at an exact context-switch
+    ordinal of the multithreaded machine (repro.threads).
+
+    ``kind="ctx-bit"`` flips bit ``bit`` of register ``reg`` in thread
+    ``tid``'s context — the *saved* register file when the victim is
+    switched out, the live CPU register when it is the thread being
+    switched in.  Striking a saved signature register (r16+) is the
+    cross-context experiment: with ``sig_swap=True`` the corruption is
+    restored and detected at the victim's next check; with
+    ``sig_swap=False`` the switch-in resync silently repairs it.
+
+    ``kind="queue-rotate"`` perturbs the ready queue instead — a
+    control-flow error in the scheduler itself.  Under a deterministic
+    scheduler this changes the schedule trace but must never corrupt
+    guest output (threads are preemption-safe by construction), so its
+    expected outcome is BENIGN with a divergent trace digest.
+    """
+
+    switch: int            #: 1-based context-switch ordinal
+    kind: str = "ctx-bit"  #: "ctx-bit" | "queue-rotate"
+    tid: int = 0           #: victim thread (ctx-bit only)
+    reg: int = 0
+    bit: int = 0
+
+    def describe(self) -> str:
+        if self.kind == "queue-rotate":
+            return f"sched rotate@sw{self.switch}"
+        return (f"sched ctx t{self.tid} r{self.reg}b{self.bit}"
+                f"@sw{self.switch}")
+
+
+class SchedInjector:
+    """Applies one :class:`SchedFaultSpec` via the machine's
+    ``sched_fault`` switch hook.
+
+    Mirrors the ``_HookBase`` runtime surface (``count``/``fired``/
+    ``fired_icount``/``fired_cycles``) so detection-latency accounting
+    and the recovery manager's occurrence snapshotting work unchanged.
+    """
+
+    def __init__(self, spec: SchedFaultSpec):
+        self.spec = spec
+        self.count = 0
+        self.fired = False
+        self.fired_icount: int | None = None
+        self.fired_cycles: int | None = None
+        self.fired_tid: int | None = None
+
+    def on_switch(self, machine) -> None:
+        if self.fired or machine.switches != self.spec.switch:
+            return
+        self.fired = True
+        cpu = machine.cpu
+        self.fired_icount = cpu.icount
+        self.fired_cycles = cpu.cycles
+        self.fired_tid = machine.current
+        spec = self.spec
+        if spec.kind == "queue-rotate":
+            machine.scheduler.rotate()
+            return
+        mask = 1 << spec.bit
+        if spec.tid == machine.current:
+            # The victim is the thread being switched in: its registers
+            # were just restored into the CPU, so strike them live.
+            cpu.regs[spec.reg] = (cpu.regs[spec.reg] ^ mask) & 0xFFFFFFFF
+            return
+        ctx = machine.contexts.get(spec.tid)
+        if ctx is not None:
+            ctx.regs[spec.reg] = (ctx.regs[spec.reg] ^ mask) & 0xFFFFFFFF
 
 
 @dataclass(frozen=True)

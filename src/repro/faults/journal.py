@@ -43,14 +43,27 @@ def spec_digest(spec) -> str:
 
 
 def inject_header(technique: str | None, policy: str, backend: str,
-                  recover: bool = False) -> dict:
+                  recover: bool = False, threads: bool = False,
+                  quantum: int = 0, sched_policy: str = "rr",
+                  sched_seed: int = 0, sig_swap: bool = True) -> dict:
     """The ``repro inject`` journal header.
 
     Shared by the CLI and the campaign service so a service inject
     job's journal is byte-identical to the CLI's for the same campaign.
+    The scheduler block only appears on multithreaded campaigns, so
+    pre-MT journals keep their exact header shape; ``--resume`` refuses
+    a journal whose scheduler parameters disagree with the command line
+    (the schedule — and therefore every record — would not replay).
     """
-    return {"tool": "repro-inject", "technique": technique,
-            "policy": policy, "backend": backend, "recover": recover}
+    header = {"tool": "repro-inject", "technique": technique,
+              "policy": policy, "backend": backend, "recover": recover}
+    if threads:
+        header["threads"] = True
+        header["quantum"] = quantum
+        header["sched_policy"] = sched_policy
+        header["sched_seed"] = sched_seed
+        header["sig_swap"] = sig_swap
+    return header
 
 
 def coverage_header(seed: int, per_category: int, backend: str) -> dict:

@@ -22,6 +22,12 @@ conditions (:mod:`repro.formal.conditions`):
 * **data-fault-blindspot** — a register data fault under a
   configuration without dataflow duplication; control-flow signatures
   never see it unless it derails a branch.
+* **cross-context-escape** — a multithreaded run under
+  ``--no-sig-swap``: the fault struck a switched-out thread's *saved*
+  signature register, and because signature registers are not part of
+  the swapped context the corruption was never carried back into the
+  live signature walk — the exact escape the context-switch signature
+  protocol (docs/threads.md) exists to close.
 """
 
 from __future__ import annotations
@@ -31,8 +37,10 @@ from dataclasses import dataclass
 
 from repro.faults.campaign import Outcome, PipelineConfig
 from repro.faults.classify import Category
+from repro.faults.injector import SchedFaultSpec
 from repro.formal.conditions import CONDITION_NOTES
 from repro.forensics.divergence import Divergence
+from repro.isa.registers import PCP
 
 
 class EscapeReason(enum.Enum):
@@ -41,6 +49,7 @@ class EscapeReason(enum.Enum):
     MISTAKEN_BRANCH = "mistaken-branch"
     SIGNATURE_ALIASING = "signature-aliasing"
     DATA_FAULT_BLINDSPOT = "data-fault-blindspot"
+    CROSS_CONTEXT = "cross-context-escape"
     RECOVERY_EXHAUSTED = "recovery-exhausted"
     NOT_AN_ESCAPE = "not-an-escape"
 
@@ -62,9 +71,25 @@ def _make(reason: EscapeReason, detail: str) -> EscapeAttribution:
                              condition_note=CONDITION_NOTES[reason.value])
 
 
+def _is_cross_context(spec, config: PipelineConfig) -> bool:
+    """A scheduler-state fault on a saved signature register under a
+    configuration that does not swap signature registers."""
+    return (isinstance(spec, SchedFaultSpec)
+            and spec.kind == "ctx-bit"
+            and spec.reg >= PCP
+            and getattr(config, "threads", False)
+            and not getattr(config, "sig_swap", True))
+
+
 def attribute_escape(divergence: Divergence,
-                     config: PipelineConfig) -> EscapeAttribution:
-    """Classify one :class:`Divergence` record's escape mode."""
+                     config: PipelineConfig,
+                     spec=None) -> EscapeAttribution:
+    """Classify one :class:`Divergence` record's escape mode.
+
+    ``spec`` (the original fault spec, when the caller still has it)
+    enables attributions the divergence record alone cannot make —
+    today the multithreaded cross-context escape.
+    """
     outcome = divergence.outcome
     if outcome in (Outcome.DETECTED_SIGNATURE, Outcome.DETECTED_HARDWARE):
         return _make(EscapeReason.NOT_AN_ESCAPE,
@@ -86,6 +111,22 @@ def attribute_escape(divergence: Divergence,
             "did not reach a clean finish"
             + (" (retry budget exhausted)"
                if recovery.get("gave_up") else ""))
+
+    if _is_cross_context(spec, config):
+        tid = spec.tid
+        if outcome is Outcome.BENIGN:
+            return _make(
+                EscapeReason.CROSS_CONTEXT,
+                f"corruption of thread {tid}'s saved signature "
+                f"register was silently discarded: without signature "
+                f"swapping the saved value is never restored, so the "
+                f"detection a swapping run would raise is lost")
+        return _make(
+            EscapeReason.CROSS_CONTEXT,
+            f"thread {tid}'s signature state crossed a context switch "
+            f"unprotected: signature registers are excluded from the "
+            f"swapped context, so the corrupted walk was never "
+            f"confronted with the thread's own checks")
 
     if outcome is Outcome.BENIGN:
         if divergence.category is Category.A and divergence.diverged:

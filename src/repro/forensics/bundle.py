@@ -24,7 +24,7 @@ from repro.faults.campaign import PipelineConfig
 from repro.faults.injector import (CacheFaultSpec, DirectionFault,
                                    FaultSpec, FlagBitFault,
                                    OffsetBitFault, RedirectFault,
-                                   RegisterFaultSpec)
+                                   RegisterFaultSpec, SchedFaultSpec)
 
 BUNDLE_VERSION = 1
 
@@ -61,9 +61,18 @@ def fault_from_json(data: dict):
 
 def spec_to_json(spec) -> dict:
     if isinstance(spec, FaultSpec):
-        return {"kind": "branch", "pc": spec.branch_pc,
+        data = {"kind": "branch", "pc": spec.branch_pc,
                 "occurrence": spec.occurrence,
                 "fault": fault_to_json(spec.fault)}
+        if spec.thread is not None:
+            # Only present on thread-targeted specs, so pre-MT bundles
+            # keep their exact byte shape.
+            data["thread"] = spec.thread
+        return data
+    if isinstance(spec, SchedFaultSpec):
+        return {"kind": "sched", "switch": spec.switch,
+                "sched_kind": spec.kind, "tid": spec.tid,
+                "reg": spec.reg, "bit": spec.bit}
     if isinstance(spec, RegisterFaultSpec):
         return {"kind": "register", "icount": spec.icount,
                 "reg": spec.reg, "bit": spec.bit}
@@ -79,7 +88,13 @@ def spec_from_json(data: dict):
     if kind == "branch":
         return FaultSpec(branch_pc=data["pc"],
                          occurrence=data["occurrence"],
-                         fault=fault_from_json(data["fault"]))
+                         fault=fault_from_json(data["fault"]),
+                         thread=data.get("thread"))
+    if kind == "sched":
+        return SchedFaultSpec(switch=data["switch"],
+                              kind=data["sched_kind"],
+                              tid=data["tid"], reg=data["reg"],
+                              bit=data["bit"])
     if kind == "register":
         return RegisterFaultSpec(icount=data["icount"], reg=data["reg"],
                                  bit=data["bit"])
@@ -126,7 +141,7 @@ def write_campaign_forensics(program, config: PipelineConfig, escapes,
     entries: list[dict] = []
     for index, spec in sampled:
         divergence = analyzer.analyze(spec)
-        attribution = attribute_escape(divergence, config)
+        attribution = attribute_escape(divergence, config, spec=spec)
         entries.append({
             "v": BUNDLE_VERSION,
             "program": digest,

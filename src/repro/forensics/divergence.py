@@ -118,6 +118,8 @@ class Divergence:
     fired_cycles: int | None
     #: Section-2 landing category; None for data/cache-level faults
     category: Category | None
+    #: guest thread running when the fault fired (None single-threaded)
+    fired_tid: int | None = None
     diverged: bool = False
     divergence_pc: int | None = None         #: recorded (raw) address
     divergence_guest: int | None = None      #: mapped guest address
@@ -147,6 +149,7 @@ class Divergence:
             "occurrence": self.occurrence,
             "fired_icount": self.fired_icount,
             "fired_cycles": self.fired_cycles,
+            "fired_tid": self.fired_tid,
             "category": self.category.value if self.category else None,
             "diverged": self.diverged,
             "divergence_pc": self.divergence_pc,
@@ -271,6 +274,7 @@ class GoldenDivergenceAnalyzer:
             occurrence=getattr(spec, "occurrence", None),
             fired_icount=fired_icount,
             fired_cycles=fired_cycles,
+            fired_tid=getattr(probe.injector, "fired_tid", None),
             category=None,
             detection_latency=record.detection_latency,
             detection_latency_cycles=record.detection_latency_cycles,

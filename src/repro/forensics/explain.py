@@ -21,13 +21,17 @@ from repro.forensics.divergence import (Divergence,
 #: Instructions shown on each side of an annotated address.
 DISASM_CONTEXT = 2
 
+#: Silent-check sites listed before eliding (long MT runs cross
+#: thousands).
+MAX_SILENT_CHECKS = 24
+
 
 def explain_spec(program, config: PipelineConfig, spec
                  ) -> tuple[Divergence, EscapeAttribution, str]:
     """Replay ``spec``, attribute its outcome, and render the report."""
     analyzer = GoldenDivergenceAnalyzer(program, config)
     divergence = analyzer.analyze(spec)
-    attribution = attribute_escape(divergence, config)
+    attribution = attribute_escape(divergence, config, spec=spec)
     text = render_explanation(program, config, divergence, attribution)
     return divergence, attribution, text
 
@@ -75,7 +79,10 @@ def render_explanation(program, config: PipelineConfig,
     if divergence.fired_icount is not None:
         out(f"  injected    at icount {divergence.fired_icount}"
             + (f", cycle {divergence.fired_cycles}"
-               if divergence.fired_cycles is not None else ""))
+               if divergence.fired_cycles is not None else "")
+            + (f", in thread {divergence.fired_tid}"
+               if divergence.fired_tid is not None
+               and getattr(config, "threads", False) else ""))
     else:
         out("  injected    (fault never fired)")
     if divergence.diverged:
@@ -140,7 +147,11 @@ def render_explanation(program, config: PipelineConfig,
     # -- silent checks --
     out("")
     if divergence.silent_checks:
-        sites = ", ".join(f"{pc:#x}" for pc in divergence.silent_checks)
+        shown = divergence.silent_checks[:MAX_SILENT_CHECKS]
+        sites = ", ".join(f"{pc:#x}" for pc in shown)
+        more = len(divergence.silent_checks) - len(shown)
+        if more:
+            sites += f", … (+{more} more)"
         out(f"checks crossed without firing ({len(divergence.silent_checks)}): {sites}")
     else:
         out(f"checks crossed without firing: none "

@@ -183,6 +183,16 @@ CONDITION_NOTES: dict[str, str] = {
         "dataflow checking: signature monitoring only guards "
         "control flow, so the corruption propagates unseen unless "
         "it derails a branch."),
+    "cross-context-escape": (
+        "A multithreaded run without signature swapping: the "
+        "formal conditions quantify over one uninterrupted signature "
+        "walk, which preemption breaks unless the context switch "
+        "saves and restores the signature registers with the rest of "
+        "the thread state.  Corrupting a switched-out thread's saved "
+        "signature register is then invisible — the saved value is "
+        "never carried back into the live walk, so no check ever "
+        "confronts it.  Swapping restores Assumption 2's single-walk "
+        "premise per thread and closes the escape."),
     "recovery-exhausted": (
         "Detection worked — the error branch fired — but the "
         "checkpoint/rollback harness could not re-execute to a clean "

@@ -73,17 +73,30 @@ class RunDigest:
     mem_digest: str
     syscalls: tuple
     detected: bool
+    #: schedule-trace digest of a multithreaded run ("-" when
+    #: single-threaded); two MT runs of the same image are only equal
+    #: when every context switch landed on the same (icount, tid).
+    schedule: str = "-"
 
-    def diff(self, other: "RunDigest") -> list[str]:
-        """Names of the fields where ``other`` diverges from ``self``."""
+    def diff(self, other: "RunDigest", ignore=()) -> list[str]:
+        """Names of the fields where ``other`` diverges from ``self``.
+
+        ``ignore`` drops fields that legitimately differ between the
+        compared runs (e.g. the schedule trace when diffing an
+        instrumented MT run against its uninstrumented golden — the
+        quantum counts retired instructions, so instrumentation
+        overhead shifts every switch point).
+        """
         fields = ("stop", "exit_code", "output", "output_values",
-                  "mem_digest", "syscalls", "detected")
+                  "mem_digest", "syscalls", "detected", "schedule")
         return [name for name in fields
-                if getattr(self, name) != getattr(other, name)]
+                if name not in ignore
+                and getattr(self, name) != getattr(other, name)]
 
 
 def _digest_state(cpu: Cpu, stop_value: str, detected: bool,
-                  data_base: int, data_len: int) -> RunDigest:
+                  data_base: int, data_len: int,
+                  schedule: str = "-") -> RunDigest:
     if data_len:
         blob = cpu.memory.read_raw(data_base, data_len)
         mem_digest = hashlib.sha256(blob).hexdigest()[:16]
@@ -95,7 +108,8 @@ def _digest_state(cpu: Cpu, stop_value: str, detected: bool,
                      output_values=tuple(cpu.output_values),
                      mem_digest=mem_digest,
                      syscalls=tuple(cpu.syscall_trace or ()),
-                     detected=detected)
+                     detected=detected,
+                     schedule=schedule)
 
 
 def _digest_cpu(cpu: Cpu, stop, detected: bool,
@@ -148,6 +162,132 @@ def capture_dbt(program: Program, technique, policy: Policy,
     detected = result.detected_error or result.detected_dataflow
     return _digest_cpu(dbt.cpu, result.stop, detected,
                        program.data_base, len(program.data))
+
+
+class _ThreadedProbe:
+    """Keeps the run's CPU and ThreadedMachine for digesting."""
+
+    def __init__(self) -> None:
+        self.cpu = None
+        self.machine = None
+        self.recovery = None
+
+    def bind(self, cpu, **_kwargs) -> None:
+        self.cpu = cpu
+        cpu.syscall_trace = []
+
+
+def capture_threaded(program: Program, technique: str | None = None,
+                     policy: Policy = Policy.ALLBB,
+                     max_steps: int = _MAX_STEPS,
+                     backend: str = "interp",
+                     quantum: int | None = None,
+                     sched_policy: str = "rr", sched_seed: int = 0,
+                     sig_swap: bool = True) -> RunDigest:
+    """One multithreaded run (uninstrumented or statically rewritten)
+    under the deterministic preemptive scheduler.
+
+    The digest additionally carries the schedule-trace digest, so two
+    captures only compare equal when every preemption landed on the
+    same (icount, tid) — the cross-backend MT parity claim.
+    """
+    from repro.threads import DEFAULT_QUANTUM
+    config = PipelineConfig("static" if technique else "native",
+                            technique, policy, backend=backend,
+                            threads=True,
+                            quantum=(DEFAULT_QUANTUM if quantum is None
+                                     else quantum),
+                            sched_policy=sched_policy,
+                            sched_seed=sched_seed, sig_swap=sig_swap)
+    pipe = Pipeline(program, config)
+    probe = _ThreadedProbe()
+    record = pipe.run(None, max_steps=max_steps, probe=probe)
+    detected = record.outcome in (Outcome.DETECTED_SIGNATURE,
+                                  Outcome.DETECTED_HARDWARE)
+    schedule = (probe.machine.trace_digest()
+                if probe.machine is not None else "-")
+    return _digest_state(probe.cpu, record.stop_reason.split()[0],
+                         detected, program.data_base,
+                         len(program.data), schedule=schedule)
+
+
+#: Fields that legitimately differ between an instrumented MT run and
+#: its uninstrumented golden: the quantum counts retired instructions,
+#: so instrumentation overhead shifts every switch point — and with it
+#: the interleaving of traced thread syscalls (yield retries, mutex
+#: wake order).  The committed result fields must still match exactly.
+MT_INSTRUMENTED_IGNORE = ("schedule", "syscalls")
+
+
+def check_mt_transparency(program: Program,
+                          techniques=("ecf",),
+                          policy: Policy = Policy.ALLBB,
+                          quantum: int | None = None,
+                          sched_policy: str = "rr",
+                          sched_seed: int = 0,
+                          max_steps: int = _MAX_STEPS
+                          ) -> list[TransparencyFailure]:
+    """The multithreaded differential oracle for one program.
+
+    Three claims, all against the interpreter's uninstrumented MT run:
+
+    * **cross-backend parity** — the block-compiling backend must
+      reproduce the run *byte-identically including the schedule
+      trace* (same image, same retirement counts, same preemptions);
+    * **MT transparency** — each statically rewritten image (with
+      signature swapping on and off) must commit the same results
+      (exit, output, memory) with no false-positive detection; the
+      schedule and syscall interleaving may shift (see
+      :data:`MT_INSTRUMENTED_IGNORE`);
+    * **instrumented parity** — each instrumented image must itself be
+      schedule-identical across both execution backends.
+    """
+    kwargs = dict(policy=policy, max_steps=max_steps, quantum=quantum,
+                  sched_policy=sched_policy, sched_seed=sched_seed)
+    golden = capture_threaded(program, **kwargs)
+    if golden.stop != StopReason.HALTED.value or golden.exit_code != 0:
+        raise OracleError(f"MT golden run failed: {golden.stop} "
+                          f"exit={golden.exit_code}")
+    failures: list[TransparencyFailure] = []
+
+    def check(label: str, observed: RunDigest, reference: RunDigest,
+              ignore=()) -> None:
+        diverged = reference.diff(observed, ignore=ignore)
+        if diverged:
+            failures.append(TransparencyFailure(
+                label=label, fields=tuple(diverged),
+                golden=reference, observed=observed))
+
+    def capture(label: str, **extra) -> RunDigest | None:
+        try:
+            return capture_threaded(program, **kwargs, **extra)
+        except Exception as exc:   # instrumentation crashed outright
+            failures.append(TransparencyFailure(
+                label=label, fields=("stop",), golden=golden,
+                observed=RunDigest(stop=f"error: {exc}", exit_code=-1,
+                                   output="", output_values=(),
+                                   mem_digest="-", syscalls=(),
+                                   detected=False)))
+            return None
+
+    block = capture("native-mt@block", backend="block")
+    if block is not None:
+        check("native-mt@block", block, golden)
+    for technique in techniques:
+        for sig_swap in (True, False):
+            tag = "" if sig_swap else "-sigswap"
+            label = f"static-mt/{technique}{tag}"
+            interp = capture(f"{label}@interp", technique=technique,
+                             sig_swap=sig_swap)
+            if interp is None:
+                continue
+            check(f"{label}@interp", interp, golden,
+                  ignore=MT_INSTRUMENTED_IGNORE)
+            blocked = capture(f"{label}@block", technique=technique,
+                              sig_swap=sig_swap, backend="block")
+            if blocked is not None:
+                check(f"{label}@block", blocked, interp)
+    return failures
 
 
 def uses_indirect_branches(program: Program) -> bool:

@@ -36,8 +36,8 @@ from repro.faults.sampling import derive_seed
 from repro.fuzz.generator import FuzzKnobs, generate_source
 from repro.fuzz.minimizer import minimize_source
 from repro.fuzz.oracle import (DBT_TECHNIQUES, DEFAULT_TECHNIQUES,
-                               check_detection, check_recovery,
-                               check_transparency,
+                               check_detection, check_mt_transparency,
+                               check_recovery, check_transparency,
                                transparency_configs)
 from repro.isa.assembler import assemble
 
@@ -69,6 +69,12 @@ class FuzzConfig:
     #: recovery contract (checkpoint/rollback must reproduce the golden
     #: RunDigest; see repro.recovery and docs/recovery.md).
     recover: bool = False
+    #: every Nth program also runs the multithreaded differential
+    #: oracle on a seed-varied MT kernel — random quantum/policy/seed
+    #: under the deterministic preemptive scheduler, cross-backend
+    #: schedule parity included (0 disables; see docs/threads.md).
+    mt_every: int = 0
+    mt_techniques: tuple = ("ecf",)
 
     def program_seed(self, index: int) -> int:
         return derive_seed(self.seed, "program", index)
@@ -91,13 +97,46 @@ class FuzzConfig:
     def detect_seed(self, index: int) -> int:
         return derive_seed(self.seed, "detect", index)
 
+    def mt_seed(self, index: int) -> int:
+        return derive_seed(self.seed, "mt", index)
+
+
+def _mt_case(config: FuzzConfig, index: int) -> tuple[str, dict]:
+    """The seed-varied MT kernel + scheduler parameters for one index.
+
+    Pure function of (config.seed, index) — the parent regenerates the
+    failing case from the verdict without shipping sources through the
+    process pool.
+    """
+    import random
+
+    from repro.workloads.kernels import mt as mt_kernels
+
+    rng = random.Random(config.mt_seed(index))
+    kernel = rng.choice(("counters", "ledger", "relay"))
+    if kernel == "counters":
+        source = mt_kernels.counters(threads=rng.randint(2, 4),
+                                     iters=rng.randint(20, 60),
+                                     spin=rng.randint(2, 8))
+    elif kernel == "ledger":
+        source = mt_kernels.ledger(threads=rng.randint(2, 4),
+                                   deposits=rng.randint(15, 40))
+    else:
+        source = mt_kernels.relay(stages=rng.randint(2, 4),
+                                  rounds=rng.randint(8, 20))
+    params = {"kernel": kernel,
+              "quantum": rng.randint(40, 200),
+              "sched_policy": rng.choice(("rr", "priority")),
+              "sched_seed": rng.randint(0, 999)}
+    return source, params
+
 
 def _fuzz_one(task) -> dict:
     """Worker: oracles for one index.  Returns a picklable verdict."""
     index, config = task
     verdict = {"index": index, "kind": "ok", "transparency": [],
-               "escapes": [], "recovery": [], "configs": 0,
-               "detection_runs": 0, "recovery_runs": 0}
+               "escapes": [], "recovery": [], "mt": [], "configs": 0,
+               "detection_runs": 0, "recovery_runs": 0, "mt_runs": 0}
     source = generate_source(config.program_seed(index),
                              config.knobs_for(index))
     program = assemble(source, name=f"fuzz-{index}")
@@ -148,6 +187,22 @@ def _fuzz_one(task) -> dict:
                          "category": f.category, "outcome": f.outcome,
                          "fields": list(f.fields)}
                         for f in failures]
+    if config.mt_every and index % config.mt_every == 0:
+        source, params = _mt_case(config, index)
+        mt_program = assemble(source, name=f"fuzz-mt-{index}")
+        failures = check_mt_transparency(
+            mt_program, techniques=config.mt_techniques,
+            quantum=params["quantum"],
+            sched_policy=params["sched_policy"],
+            sched_seed=params["sched_seed"])
+        verdict["mt_runs"] += 1
+        if failures:
+            if verdict["kind"] == "ok":
+                verdict["kind"] = "mt"
+            verdict["mt"] = [
+                {"label": f.label, "fields": list(f.fields),
+                 "crash": f.is_crash, **params}
+                for f in failures]
     return verdict
 
 
@@ -175,10 +230,12 @@ class FuzzReport:
     transparency_failures: int = 0
     detection_escapes: int = 0
     recovery_failures: int = 0
+    mt_failures: int = 0
     infra_errors: int = 0
     transparency_configs: int = 0
     detection_runs: int = 0
     recovery_runs: int = 0
+    mt_runs: int = 0
     shrink_steps: int = 0
     failures: list = field(default_factory=list)
 
@@ -186,7 +243,8 @@ class FuzzReport:
     def passed(self) -> bool:
         return (self.transparency_failures == 0
                 and self.detection_escapes == 0
-                and self.recovery_failures == 0)
+                and self.recovery_failures == 0
+                and self.mt_failures == 0)
 
     def summary(self) -> dict:
         """Deterministic summary — identical for any job count."""
@@ -195,10 +253,12 @@ class FuzzReport:
                 "transparency_failures": self.transparency_failures,
                 "detection_escapes": self.detection_escapes,
                 "recovery_failures": self.recovery_failures,
+                "mt_failures": self.mt_failures,
                 "infra_errors": self.infra_errors,
                 "transparency_configs": self.transparency_configs,
                 "detection_runs": self.detection_runs,
-                "recovery_runs": self.recovery_runs}
+                "recovery_runs": self.recovery_runs,
+                "mt_runs": self.mt_runs}
 
     def summary_line(self) -> str:
         s = self.summary()
@@ -206,13 +266,17 @@ class FuzzReport:
         if s["recovery_runs"] or s["recovery_failures"]:
             recov = (f", {s['recovery_failures']} recovery failures "
                      f"over {s['recovery_runs']} recovery runs")
+        mt = ""
+        if s["mt_runs"] or s["mt_failures"]:
+            mt = (f", {s['mt_failures']} MT failures over "
+                  f"{s['mt_runs']} MT runs")
         return (f"seed {s['seed']}: {s['programs']} programs, "
                 f"{s['ok']} ok, "
                 f"{s['transparency_failures']} transparency, "
                 f"{s['detection_escapes']} detection escapes, "
                 f"{s['infra_errors']} infra "
                 f"({s['transparency_configs']} configs, "
-                f"{s['detection_runs']} detection runs)" + recov)
+                f"{s['detection_runs']} detection runs)" + recov + mt)
 
 
 # -- failure handling (parent process, deterministic) ------------------------
@@ -258,6 +322,23 @@ def _detection_predicate(config: FuzzConfig, technique: str):
                 max_sites=config.max_sites,
                 backend=config.backend)
             return bool(escapes)
+        except Exception:
+            return False
+    return predicate
+
+
+def _mt_predicate(config: FuzzConfig, params: dict):
+    """Candidate still fails the multithreaded oracle under the
+    originally-failing scheduler parameters."""
+    def predicate(source: str) -> bool:
+        try:
+            program = assemble(source)
+            failures = check_mt_transparency(
+                program, techniques=config.mt_techniques,
+                quantum=params["quantum"],
+                sched_policy=params["sched_policy"],
+                sched_seed=params["sched_seed"])
+            return bool(failures)
         except Exception:
             return False
     return predicate
@@ -350,6 +431,10 @@ def _handle_failure(index: int, verdict: dict, config: FuzzConfig,
         detail = json.dumps(verdict["recovery"])
         technique = verdict["recovery"][0]["technique"]
         predicate = _recovery_predicate(config, technique)
+    elif kind == "mt":
+        source, params = _mt_case(config, index)
+        detail = json.dumps(verdict["mt"])
+        predicate = _mt_predicate(config, params)
     else:
         source = generate_source(config.detect_seed(index),
                                  config.detect_knobs)
@@ -410,7 +495,8 @@ def run_fuzz(config: FuzzConfig, jobs: int = 1,
             "policies": [p.value for p in config.policies],
             "detect_every": config.detect_every,
             "backend": config.backend,
-            "recover": config.recover})
+            "recover": config.recover,
+            "mt_every": config.mt_every})
     tasks = [(index, config) for index in range(config.count)]
     with obs.span("fuzz.campaign", seed=str(config.seed),
                   count=str(config.count)):
@@ -434,6 +520,7 @@ def run_fuzz(config: FuzzConfig, jobs: int = 1,
         report.transparency_configs += verdict["configs"]
         report.detection_runs += verdict["detection_runs"]
         report.recovery_runs += verdict.get("recovery_runs", 0)
+        report.mt_runs += verdict.get("mt_runs", 0)
         obs.counter("fuzz_verdicts_total",
                     help="fuzz oracle verdicts",
                     verdict=verdict["kind"]).inc()
@@ -447,6 +534,8 @@ def run_fuzz(config: FuzzConfig, jobs: int = 1,
                 report.detection_escapes += len(verdict["escapes"])
             if verdict.get("recovery"):
                 report.recovery_failures += len(verdict["recovery"])
+            if verdict.get("mt"):
+                report.mt_failures += len(verdict["mt"])
             _handle_failure(index, verdict, config, corpus, report)
         if journal_file is not None:
             entry = dict(verdict)

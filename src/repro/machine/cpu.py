@@ -529,6 +529,19 @@ class Cpu:
         #: before the instruction with that dynamic index executes —
         #: the data-fault injection primitive.
         self.scheduled_fault: tuple[int, object] | None = None
+        #: guest-thread support (repro.threads): set to the owning
+        #: ThreadedMachine to activate syscalls 16..22.  None (the
+        #: default) keeps those services no-ops — single-threaded runs
+        #: behave exactly as before the threads subsystem existed.
+        self.thread_api = None
+        #: pending thread-service request: ``(service_number,)`` set by
+        #: handle_syscall when a thread syscall traps to the scheduler.
+        #: The run loop stops (HALTED) with the pc already past the
+        #: syscall; the machine consumes the request and resumes.
+        self.thread_request: int | None = None
+        #: guest thread id currently executing (0 outside MT runs) —
+        #: read by thread-targeted fault injectors and forensics.
+        self.current_tid: int = 0
         #: pc -> (instr, meta, handler, is_branch)
         self._dcache: dict[int, tuple] = {}
         self.memory.write_watch = self._on_write

@@ -24,6 +24,17 @@ class Service(enum.IntEnum):
     EMIT_WORD = 4    #: append raw 32-bit value of r1 (fast checksum sink)
     CYCLES_LO = 5    #: r0 = low 32 bits of the cycle counter
     CFC_ERROR = 6    #: control-flow-check error report (static-mode sink)
+    # -- guest-thread services (repro.threads) -------------------------
+    # Active only when ``cpu.thread_api`` is set (an MT run under the
+    # ThreadedMachine); otherwise they stay no-ops like any unknown
+    # service, preserving single-threaded behaviour exactly.
+    SPAWN = 16        #: r1=entry, r2=arg, r3=priority -> r0 = new tid
+    JOIN = 17         #: r1=tid; blocks, then r0 = that thread's retval
+    YIELD = 18        #: surrender the rest of the quantum
+    MUTEX_LOCK = 19   #: r1=mutex id; blocks while held elsewhere
+    MUTEX_UNLOCK = 20  #: r1=mutex id; wakes the first FIFO waiter
+    TID = 21          #: r0 = calling thread's id
+    THREAD_EXIT = 22  #: r1=retval; ends the calling thread
 
 
 #: Exit code of a run stopped by a control-flow-check error report.
@@ -64,6 +75,15 @@ def handle_syscall(cpu, number: int) -> bool:
         cpu.exit_code = CFC_ERROR_EXIT_CODE
         obs.counter("interp_cfc_reports_total",
                     help="CFC_ERROR syscall detections").inc()
+        return True
+    if (Service.SPAWN <= number <= Service.THREAD_EXIT
+            and cpu.thread_api is not None):
+        # Thread services trap to the scheduler: the run loop stops
+        # (HALTED, pc already advanced past the syscall) and the
+        # ThreadedMachine consumes ``thread_request`` — on both
+        # execution backends, because a syscall always terminates a
+        # compiled trace too.
+        cpu.thread_request = number
         return True
     # Unknown service: treated as a no-op so corrupted control flow that
     # lands on a syscall does not crash the host.

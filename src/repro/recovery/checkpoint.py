@@ -56,12 +56,17 @@ class Checkpoint:
     #: Injector occurrence counters at capture time, for re-arming
     #: persistent faults after rollback.
     injector_state: tuple | None = None
+    #: Opaque harness-side state captured alongside the CPU (the
+    #: multithreaded machine snapshots its saved contexts, ready queue
+    #: and mutexes here); restored by the manager's ``extra_restore``.
+    extra: object = None
     #: Pre-images of pages dirtied in the interval ending here.
     pages: dict = field(default_factory=dict)
 
 
 def capture_checkpoint(cpu, ordinal: int, epoch: int = 0,
-                       injector_state: tuple | None = None) -> Checkpoint:
+                       injector_state: tuple | None = None,
+                       extra: object = None) -> Checkpoint:
     """Snapshot the CPU and drain the open COW interval into it."""
     mem = cpu.memory
     pages = mem.cow if mem.cow is not None else {}
@@ -81,6 +86,7 @@ def capture_checkpoint(cpu, ordinal: int, epoch: int = 0,
         syscall_len=len(trace) if trace is not None else 0,
         epoch=epoch,
         injector_state=injector_state,
+        extra=extra,
         pages=pages,
     )
 

@@ -90,6 +90,7 @@ class RecoveryManager:
                  max_retries: int = DEFAULT_MAX_RETRIES,
                  injector=None, reinstall=None, persistent: bool = False,
                  epoch=None, entry_restart=None,
+                 extra_capture=None, extra_restore=None,
                  max_live: int = MAX_LIVE_CHECKPOINTS):
         self.cpu = cpu
         self.step = step
@@ -102,6 +103,12 @@ class RecoveryManager:
         self.persistent = persistent
         self.epoch = epoch if epoch is not None else (lambda: 0)
         self.entry_restart = entry_restart
+        #: harness-side state carried with every checkpoint (e.g. the
+        #: multithreaded machine's saved contexts and ready queue):
+        #: ``extra_capture()`` is stored on capture, ``extra_restore
+        #: (value)`` is invoked after the CPU rollback.
+        self.extra_capture = extra_capture
+        self.extra_restore = extra_restore
         self.max_live = max_live
         self.checkpoints: list = []
         self.report = RecoveryReport(interval=self.interval)
@@ -138,7 +145,9 @@ class RecoveryManager:
         start = time.perf_counter() if registry is not None else 0.0
         self.checkpoints.append(capture_checkpoint(
             self.cpu, ordinal=len(self.checkpoints), epoch=self.epoch(),
-            injector_state=self._injector_mark()))
+            injector_state=self._injector_mark(),
+            extra=(self.extra_capture()
+                   if self.extra_capture is not None else None)))
         prune_checkpoints(self.checkpoints, self.max_live)
         if registry is not None:
             obs.counter("recovery_checkpoints_total",
@@ -168,6 +177,8 @@ class RecoveryManager:
         distance = cpu.icount - cp.icount
         discarded = cpu.cycles - cp.cycles
         restore_checkpoint(cpu, self.checkpoints, index)
+        if self.extra_restore is not None and cp.extra is not None:
+            self.extra_restore(cp.extra)
         if index == 0:
             self.report.restarts += 1
             obs.counter("recovery_restarts_total",

@@ -103,7 +103,21 @@ def build_pipeline_config(params: dict):
                 int(params["checkpoint_interval"])
         if params.get("max_retries") is not None:
             kwargs["max_retries"] = int(params["max_retries"])
-    return PipelineConfig("dbt", technique, policy, update,
+    pipeline = "dbt"
+    if params.get("threads"):
+        from repro.threads import DEFAULT_QUANTUM, POLICIES
+        sched_policy = params.get("sched_policy", "rr")
+        _require(sched_policy in POLICIES,
+                 f"unknown scheduler policy {sched_policy!r}")
+        kwargs.update(
+            threads=True,
+            quantum=int(params.get("quantum", DEFAULT_QUANTUM)),
+            sched_policy=sched_policy,
+            sched_seed=int(params.get("sched_seed", 0)),
+            sig_swap=not params.get("no_sig_swap", False))
+        # The DBT does not thread; mirror the CLI's pipeline choice.
+        pipeline = "static" if technique else "native"
+    return PipelineConfig(pipeline, technique, policy, update,
                           dataflow=bool(params.get("dataflow", False)),
                           backend=params.get("backend", "interp"),
                           **kwargs)
@@ -126,7 +140,8 @@ def build_fuzz_config(params: dict):
         max_sites=int(params.get("detect_sites", 12)),
         minimize=not params.get("no_minimize", False),
         backend=params.get("backend", "interp"),
-        recover=bool(params.get("recover", False)))
+        recover=bool(params.get("recover", False)),
+        mt_every=int(params.get("mt_every", 0)))
     techniques = params.get("techniques")
     if techniques:
         for technique in techniques:
@@ -384,10 +399,13 @@ def _run_inject(job: Job) -> dict:
     from repro.faults.journal import CampaignJournal, inject_header
     params = job.spec.params
     program = _assemble(job.spec.program, job.spec.name)
+    thread = params.get("thread")
     specs = [parse_fault_token(program, token,
                                branch=str(params.get("branch", "0")),
                                occurrence=int(params.get("occurrence",
-                                                         1)))
+                                                         1)),
+                               thread=(None if thread is None
+                                       else int(thread)))
              for token in params["faults"]]
     config = build_pipeline_config(params)
     resume = _resume_flag(job)
@@ -396,7 +414,12 @@ def _run_inject(job: Job) -> dict:
             inject_header(params.get("technique"),
                           params.get("policy", "allbb"),
                           params.get("backend", "interp"),
-                          recover=bool(params.get("recover", False))))
+                          recover=bool(params.get("recover", False)),
+                          threads=config.threads,
+                          quantum=config.quantum,
+                          sched_policy=config.sched_policy,
+                          sched_seed=config.sched_seed,
+                          sig_swap=config.sig_swap))
     from repro.obs.traceevent import TraceContext
     executor = CampaignExecutor(
         program, config, jobs=params.get("jobs", 1),

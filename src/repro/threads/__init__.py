@@ -1,0 +1,25 @@
+"""Multithreaded guest machine (ROADMAP item 3, second half).
+
+A deterministic preemptive scheduler over per-thread CPU contexts,
+guest syscalls for spawn/join/yield/mutex, and context-switch hooks
+that save/restore each checking technique's signature registers so
+Technique x Policy verification stays correct across switches — plus
+the deliberate ``sig_swap=False`` mode that reproduces the
+cross-context signature escapes of Khoshavi et al. (arXiv:1607.07727).
+
+See docs/threads.md for the scheduler model and the syscall ABI.
+"""
+
+from repro.threads.context import ThreadContext
+from repro.threads.machine import (INVALID_TID, MAX_THREADS, STACK_SLOT,
+                                   ThreadedMachine)
+from repro.threads.resync import build_resync_table, build_spawn_sig_table
+from repro.threads.scheduler import (DEFAULT_QUANTUM, POLICIES,
+                                     DeterministicScheduler)
+
+__all__ = [
+    "ThreadContext", "ThreadedMachine", "DeterministicScheduler",
+    "build_resync_table", "build_spawn_sig_table",
+    "DEFAULT_QUANTUM", "POLICIES", "MAX_THREADS", "STACK_SLOT",
+    "INVALID_TID",
+]

@@ -1,0 +1,58 @@
+"""Per-thread CPU contexts for the multithreaded guest machine.
+
+A :class:`ThreadContext` is everything one guest thread owns of the
+shared :class:`~repro.machine.cpu.Cpu`: the 32 architectural registers
+(including the host-only r16+ bank where the checking techniques keep
+their signature state G/D and ECF's call-stack shadow register), FLAGS
+and the pc.  Context switches are a full save/restore of this state —
+which is exactly the "signature swap" the multithreaded-CFE literature
+(Khoshavi et al., arXiv:1607.07727) identifies as the requirement for
+signature monitoring to survive preemption.  The deliberate
+``--no-sig-swap`` mode (see :mod:`repro.threads.machine`) weakens only
+the signature-register part of the restore to reproduce the escapes
+that follow when the runtime treats checker state as kernel-managed
+rather than thread-private.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Thread lifecycle states.
+READY = "ready"
+RUNNING = "running"
+BLOCKED = "blocked"
+EXITED = "exited"
+
+
+@dataclass
+class ThreadContext:
+    """One guest thread's saved machine state plus scheduling fields."""
+
+    tid: int
+    pc: int
+    regs: list[int] = field(default_factory=lambda: [0] * 32)
+    flags: int = 0
+    state: str = READY
+    #: scheduling priority (larger runs first under the "priority"
+    #: policy; ignored by round-robin)
+    priority: int = 0
+    #: value passed to THREAD_EXIT, delivered to joiners in r0
+    retval: int = 0
+    #: tids blocked in JOIN on this thread
+    joiners: list[int] = field(default_factory=list)
+    #: what a BLOCKED thread waits for: ("join", tid) | ("mutex", id)
+    waiting_on: tuple | None = None
+
+    def snapshot(self) -> tuple:
+        """Immutable copy for checkpoint/rollback recovery."""
+        return (self.tid, self.pc, tuple(self.regs), self.flags,
+                self.state, self.priority, self.retval,
+                tuple(self.joiners), self.waiting_on)
+
+    @classmethod
+    def from_snapshot(cls, snap: tuple) -> "ThreadContext":
+        tid, pc, regs, flags, state, priority, retval, joiners, wait = snap
+        return cls(tid=tid, pc=pc, regs=list(regs), flags=flags,
+                   state=state, priority=priority, retval=retval,
+                   joiners=list(joiners), waiting_on=wait)

@@ -1,0 +1,164 @@
+"""Statically-expected signature values at every instrumented pc.
+
+The ``--no-sig-swap`` machine mode models a runtime that does not
+context-switch the checking technique's signature registers with the
+thread: at every switch-in it *resynchronizes* them to the values a
+fault-free execution would hold at the resume pc.  This module computes
+those values, reusing the instrument verifier's abstract interpreter
+(:mod:`repro.instrument.verifier`): signature updates are built from
+immediates and other signature registers, so constant propagation over
+the host-only bank keeps them concrete almost everywhere.
+
+The traversal is the verifier's own path-sensitive walk (states keyed
+by branch assumption and flags producer, infeasible mirror-branch
+paths pruned) — a plain block-entry join would be uselessly coarse:
+ECF-style techniques keep the *sum* PCP+RTS invariant across an edge
+while PCP and RTS individually differ per predecessor, so element-wise
+merging before the entry update turns everything to ⊤.  Walking paths
+separately, every legal path re-converges to PCP = sig(B) right after
+block B's entry update, and the per-pc join stays concrete.
+
+The table maps ``pc -> {sig_reg: expected_value}`` where the expected
+value is the join over every legal path reaching pc — a register is
+present with a concrete value only when all paths agree (otherwise it
+joins to TOP and is omitted, and the machine keeps the restored value).
+That one-sidedness is what makes the mode safe on clean runs and leaky
+on faulty ones:
+
+* clean run — the resync writes exactly the value the register already
+  holds (or leaves it alone where the analysis is unsure), so outputs
+  and the schedule trace stay byte-identical to ``sig_swap=True``;
+* faulty run — a corrupted signature register whose evidence has not
+  yet reached a CHECK_SIG is silently *repaired* by the first
+  preemption, producing the cross-context escapes that Khoshavi et al.
+  (arXiv:1607.07727) predict for signature monitoring without
+  per-thread signature state.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import Op
+from repro.cfg import build_cfg
+from repro.checking.base import LoadSig
+from repro.instrument.verifier import (TOP, _State, _push_successors,
+                                       _step)
+
+#: Traversal budget: bounds the path-sensitive walk on adversarial CFGs.
+MAX_VISITS = 100_000
+
+
+def build_spawn_sig_table(ip, technique) -> dict[int, dict[int, int]]:
+    """Signature-register values a freshly spawned thread must start
+    with: ``old block start -> {reg: value}``.
+
+    A spawned thread enters its worker function with no control-flow
+    history, so the machine plays the role the rewriter's prologue
+    plays for the main thread: establish the technique's signature
+    invariant *as if the worker entry were the program entry*.  Every
+    technique expresses its prologue as pure :class:`LoadSig` items,
+    so the values are statically computable — resolved against the
+    rewriter's relocation map (signature = instrumented block address).
+
+    The table is keyed by **original** addresses because that is what
+    the guest's ``const rX, worker`` immediates hold at SPAWN time.
+    """
+    table: dict[int, dict[int, int]] = {}
+
+    def resolver(old_block_start: int) -> int:
+        return ip.block_map[old_block_start]
+
+    for old_start in ip.block_map:
+        init: dict[int, int] = {}
+        for item in technique.prologue(old_start):
+            if isinstance(item, LoadSig):
+                init[item.rd] = item.expr.resolve(resolver) & 0xFFFFFFFF
+        if init:
+            table[old_start] = init
+    return table
+
+
+def build_resync_table(ip, sig_regs: tuple[int, ...],
+                       entry_states: dict[int, dict[int, int]] | None = None,
+                       max_visits: int = MAX_VISITS) -> dict:
+    """``pc -> {reg: value}`` over the instrumented program.
+
+    ``ip`` is an :class:`~repro.instrument.rewriter.InstrumentedProgram`;
+    ``sig_regs`` names the technique's signature registers.  Registers
+    that join to TOP at a pc are omitted from that pc's entry; pcs
+    where every tracked register is TOP are omitted entirely.
+
+    ``entry_states`` adds extra traversal roots — ``{new block start:
+    {reg: value}}`` — for code only reachable through SPAWN: worker
+    functions have no CFG predecessors, so without a seed the analysis
+    never visits them and preemptions inside workers would never
+    resync.  The pipeline passes the spawn-initialization values from
+    :func:`build_spawn_sig_table`, mapped to instrumented addresses.
+    """
+    if not sig_regs:
+        return {}
+    program = getattr(ip, "program", ip)
+    check_addresses = getattr(ip, "check_addresses", set())
+    cfg = build_cfg(program)
+
+    worklist: list[tuple[int, _State]] = [(cfg.entry_block.start,
+                                           _State())]
+    for seed_start, seed_regs in (entry_states or {}).items():
+        if seed_start in cfg.blocks:
+            state = _State()
+            for reg, value in seed_regs.items():
+                state.regs[reg] = value
+            worklist.append((seed_start, state))
+
+    # Same state-merging discipline as verify_instrumented: separate
+    # states per (block, branch assumption, flags producer) so the
+    # mirror-branch correlation and per-predecessor signature values
+    # survive to the point where legal paths actually re-converge.
+    seen: dict[tuple, _State] = {}
+    # pc -> [value-or-TOP per sig_reg], joined over every visit.
+    joined: dict[int, list] = {}
+    visits = 0
+
+    while worklist and visits < max_visits:
+        block_start, state = worklist.pop()
+        key = (block_start, state.assumed, state.flags_src)
+        previous = seen.get(key)
+        if previous is not None:
+            merged, changed = previous.join(state)
+            if not changed:
+                continue
+            seen[key] = merged
+            state = merged.copy()
+        else:
+            seen[key] = state.copy()
+        visits += 1
+
+        block = cfg.block_at(block_start)
+        for pc, instr in block.instructions:
+            slot = joined.get(pc)
+            if slot is None:
+                joined[pc] = [state.regs[reg] for reg in sig_regs]
+            else:
+                for index, reg in enumerate(sig_regs):
+                    if slot[index] is TOP:
+                        continue
+                    value = state.regs[reg]
+                    if value is TOP or value != slot[index]:
+                        slot[index] = TOP
+            if pc in check_addresses:
+                # A passed check refines the path: the checked scratch
+                # register is zero on the fall-through (verifier rule).
+                if instr.op is Op.JRNZ and instr.rd >= 16:
+                    state.regs[instr.rd] = 0
+                continue
+            _step(state, pc, instr)
+
+        _push_successors(cfg, block, state, worklist)
+
+    table: dict[int, dict[int, int]] = {}
+    for pc, slot in joined.items():
+        expected = {reg: slot[index]
+                    for index, reg in enumerate(sig_regs)
+                    if slot[index] is not TOP}
+        if expected:
+            table[pc] = expected
+    return table

@@ -1,0 +1,260 @@
+"""Multithreaded benchmark kernels (the SPEC-style suite's MT wing).
+
+These kernels exercise the guest-thread syscall ABI (services 16..22,
+see docs/threads.md) under the deterministic preemptive scheduler:
+
+* ``counters`` — embarrassingly parallel: N workers hash private LCG
+  streams, the main thread joins them in spawn order and folds their
+  return values into the checksum.  Pure context-switch traffic.
+* ``ledger`` — contended shared state: workers deposit into one
+  memory word under mutex 0, yielding between deposits to force
+  interleavings; the final ledger value is order-independent
+  (addition commutes) so the checksum is schedule-robust while the
+  *schedule trace* still distinguishes quantum/policy/seed choices.
+* ``relay`` — a hand-off chain: worker i spins on mutex-protected
+  mailbox i, transforms the token, deposits it into mailbox i+1 (the
+  final stage consumes).  Join-order and blocking-wake paths get
+  dense coverage.
+
+The kernels follow the single-threaded suite's contract (deterministic
+output via EMIT_WORD + clean exit, compare-adjacent-to-branch flag
+discipline, r14/r15 untouched) and add one more rule: worker entry
+points receive their argument in r1 and terminate with THREAD_EXIT
+(service 22), never by falling off the end.
+
+Degradation contract: under a plain single-threaded CPU (no
+``ThreadedMachine``) the thread services are no-ops, so every kernel
+still terminates deterministically — the suite's generic halting tests
+keep passing — but only an MT run produces the documented semantics.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import emit_and_exit, header, lcg_step
+
+
+def counters(threads: int = 4, iters: int = 200,
+             spin: int = 16) -> str:
+    """N private LCG streams joined into one checksum."""
+    return header() + f"""
+.data
+tids:   .space {threads * 4}
+
+.text
+main:
+    movi r11, 1             ; worker index 1..{threads}
+    const r12, tids
+spawnloop:
+    const r1, worker
+    mov r2, r11             ; arg: stream index
+    movi r3, 0              ; priority
+    syscall 16              ; spawn -> r0 = tid
+    st r0, r12, 0
+    lea r12, r12, 4
+    addi r11, r11, 1
+    cmpi r11, {threads + 1}
+    jl spawnloop
+    movi r10, 0             ; checksum
+    movi r11, 0
+    const r12, tids
+joinloop:
+    ld r1, r12, 0
+    syscall 17              ; join -> r0 = worker retval
+    add r10, r10, r0
+    lea r12, r12, 4
+    addi r11, r11, 1
+    cmpi r11, {threads}
+    jl joinloop
+""" + emit_and_exit("r10") + f"""
+worker:
+    mov r4, r1              ; stream index seeds the LCG
+    const r5, 0x9E3779B9
+    mul r4, r4, r5
+    movi r2, 0
+wloop:
+{lcg_step("r4")}
+    movi r6, 0
+spinloop:
+    addi r6, r6, 1
+    cmpi r6, {spin}
+    jl spinloop
+    addi r2, r2, 1
+    cmpi r2, {iters}
+    jl wloop
+    mov r1, r4
+    syscall 22              ; thread_exit(checksum)
+"""
+
+
+def ledger(threads: int = 4, deposits: int = 40) -> str:
+    """Mutex-protected shared accumulator with deliberate yields."""
+    return header() + f"""
+.data
+balance: .space 4
+tids:    .space {threads * 4}
+
+.text
+main:
+    movi r11, 1
+    const r12, tids
+spawnloop:
+    const r1, worker
+    mov r2, r11
+    movi r3, 0
+    syscall 16
+    st r0, r12, 0
+    lea r12, r12, 4
+    addi r11, r11, 1
+    cmpi r11, {threads + 1}
+    jl spawnloop
+    movi r10, 0
+    movi r11, 0
+    const r12, tids
+joinloop:
+    ld r1, r12, 0
+    syscall 17
+    add r10, r10, r0
+    lea r12, r12, 4
+    addi r11, r11, 1
+    cmpi r11, {threads}
+    jl joinloop
+    const r12, balance
+    ld r0, r12, 0
+    add r10, r10, r0        ; fold the shared ledger in
+""" + emit_and_exit("r10") + f"""
+worker:
+    mov r4, r1              ; deposit seed
+    const r5, 0x85EBCA6B
+    mul r4, r4, r5
+    movi r2, 0
+dloop:
+{lcg_step("r4")}
+    movi r1, 0
+    syscall 19              ; lock mutex 0
+    const r6, balance
+    ld r7, r6, 0
+    add r7, r7, r4
+    st r7, r6, 0
+    movi r1, 0
+    syscall 20              ; unlock mutex 0
+    syscall 18              ; yield: invite contention
+    addi r2, r2, 1
+    cmpi r2, {deposits}
+    jl dloop
+    mov r1, r4
+    syscall 22
+"""
+
+
+def relay(stages: int = 4, rounds: int = 24) -> str:
+    """Token hand-off chain through mutex-guarded mailboxes.
+
+    Mailbox i feeds stage i; stage i forwards into mailbox i+1 except
+    the final stage, which consumes (so the pipeline drains and the
+    feeder never stalls permanently).  All mailboxes share mutex 0,
+    and every participant yields after each attempt — a deterministic
+    condition-variable substitute.
+    """
+    return header() + f"""
+.data
+boxes:  .space {stages * 4}
+tids:   .space {stages * 4}
+
+.text
+main:
+    movi r11, 0
+    const r12, tids
+spawnloop:
+    const r1, worker
+    mov r2, r11             ; arg: stage index 0..{stages - 1}
+    movi r3, 0              ; equal priority: under the priority
+                            ; policy every pick is a seeded tie-break
+                            ; (unequal priorities would livelock a
+                            ; spin-yield pipeline: the top thread
+                            ; always wins its own yield)
+    syscall 16
+    st r0, r12, 0
+    lea r12, r12, 4
+    addi r11, r11, 1
+    cmpi r11, {stages}
+    jl spawnloop
+    ; feed tokens into mailbox 0
+    movi r10, 0             ; round counter
+    movi r9, 0x1234
+    movi r4, 0              ; stalled-attempt counter
+feed:
+    movi r1, 0
+    syscall 19              ; lock box array
+    const r6, boxes
+    ld r7, r6, 0
+    cmpi r7, 0
+    jnz feed_stall          ; box 0 still full: retry after unlock
+    addi r9, r9, 0x111
+    st r9, r6, 0
+    addi r10, r10, 1
+    jmp feed_unlock
+feed_stall:
+    addi r4, r4, 1
+feed_unlock:
+    movi r1, 0
+    syscall 20
+    syscall 18              ; yield so stages drain the chain
+    const r5, {rounds * 256}
+    cmp r4, r5
+    jge bail                ; thread services inactive (plain CPU
+                            ; fallback): nothing drains box 0 — exit
+                            ; deterministically with the partial sum
+    cmpi r10, {rounds}
+    jl feed
+    ; join the stages (each exits after {rounds} tokens); r10 already
+    ; holds the fed-token count, stage checksums fold on top
+    movi r11, 0
+    const r12, tids
+joinloop:
+    ld r1, r12, 0
+    syscall 17
+    add r10, r10, r0
+    lea r12, r12, 4
+    addi r11, r11, 1
+    cmpi r11, {stages}
+    jl joinloop
+bail:
+""" + emit_and_exit("r10") + f"""
+worker:
+    mov r4, r1              ; stage index
+    muli r5, r4, 4          ; input box offset
+    movi r2, 0              ; tokens relayed
+    movi r9, 0              ; running stage checksum
+stage_loop:
+    movi r1, 0
+    syscall 19
+    const r6, boxes
+    add r6, r6, r5
+    ld r7, r6, 0
+    cmpi r7, 0
+    jz stage_empty
+    ; token available: the last stage consumes, others relay
+    cmpi r4, {stages - 1}
+    jz stage_consume
+    ld r8, r6, 4            ; peek the next box
+    cmpi r8, 0
+    jnz stage_empty         ; downstream full: hold the token
+    addi r7, r7, 7          ; transform the token
+    st r7, r6, 4
+    jmp stage_took
+stage_consume:
+    addi r7, r7, 7
+stage_took:
+    movi r8, 0
+    st r8, r6, 0
+    add r9, r9, r7
+    addi r2, r2, 1
+stage_empty:
+    movi r1, 0
+    syscall 20
+    syscall 18
+    cmpi r2, {rounds}
+    jl stage_loop
+    mov r1, r9
+    syscall 22
+"""

@@ -19,7 +19,7 @@ from typing import Callable
 
 from repro.isa.assembler import assemble
 from repro.isa.program import Program
-from repro.workloads.kernels import (compress, dots, graph, linalg,
+from repro.workloads.kernels import (compress, dots, graph, linalg, mt,
                                      particles, route, search, stencil,
                                      text, vm)
 
@@ -160,7 +160,26 @@ SUITE: tuple[BenchmarkSpec, ...] = (
           dict(cells=160, moves=1400)),
 )
 
-BY_NAME: dict[str, BenchmarkSpec] = {spec.name: spec for spec in SUITE}
+#: Multithreaded extension (guest-thread syscalls 16..22; run under
+#: repro.threads.ThreadedMachine).  Deliberately NOT part of SUITE —
+#: the 26-member single-threaded suite mirrors the paper's tables and
+#: every generic harness iterates it; MT benchmarks are opted into by
+#: name or via MT_SUITE.
+MT_SUITE: tuple[BenchmarkSpec, ...] = (
+    _spec("mt.counters4", "mt", mt.counters,
+          dict(threads=4, iters=40, spin=4),
+          dict(threads=4, iters=200, spin=16),
+          dict(threads=4, iters=800, spin=32)),
+    _spec("mt.ledger", "mt", mt.ledger,
+          dict(threads=4, deposits=10), dict(threads=4, deposits=40),
+          dict(threads=8, deposits=120)),
+    _spec("mt.relay", "mt", mt.relay,
+          dict(stages=3, rounds=8), dict(stages=4, rounds=24),
+          dict(stages=6, rounds=64)),
+)
+
+BY_NAME: dict[str, BenchmarkSpec] = {
+    spec.name: spec for spec in SUITE + MT_SUITE}
 
 INT_SUITE: tuple[BenchmarkSpec, ...] = tuple(
     spec for spec in SUITE if spec.suite == "int")
@@ -183,4 +202,6 @@ def suite_names(suite: str | None = None) -> list[str]:
     figures)."""
     if suite is None:
         return [spec.name for spec in SUITE]
+    if suite == "mt":
+        return [spec.name for spec in MT_SUITE]
     return [spec.name for spec in SUITE if spec.suite == suite]

@@ -1,0 +1,143 @@
+"""Fault injection on the multithreaded machine: thread-targeted
+specs, scheduler-state faults, cross-context attribution, and the
+order-independent per-thread sampling streams."""
+
+from repro.faults import FaultSpec, Outcome, PipelineConfig
+from repro.faults.campaign import (Pipeline, generate_sched_faults,
+                                   generate_thread_faults)
+from repro.faults.injector import DirectionFault, SchedFaultSpec
+from repro.forensics import explain_spec
+from repro.forensics.attribution import EscapeReason
+from repro.forensics.bundle import spec_from_json, spec_to_json
+from repro.isa import assemble
+from repro.workloads import BY_NAME
+
+PROGRAM = assemble(BY_NAME["mt.counters4"].generator(threads=4,
+                                                     iters=40, spin=4),
+                   name="mt-faults")
+MT = dict(threads=True, quantum=97)
+
+#: The canonical cross-context experiment: at context switch #9 flip
+#: bit 10 of thread 1's *saved* PCP (r16, ECF signature state).
+CTX_SPEC = SchedFaultSpec(switch=9, kind="ctx-bit", tid=1, reg=16,
+                          bit=10)
+
+
+class TestSchedFaults:
+    def test_ctx_bit_on_sig_reg_detected_with_swap(self):
+        config = PipelineConfig("static", "ecf", **MT)
+        record = Pipeline(PROGRAM, config).run(CTX_SPEC)
+        assert record.outcome is Outcome.DETECTED_SIGNATURE
+
+    def test_ctx_bit_escapes_without_swap(self):
+        config = PipelineConfig("static", "ecf", sig_swap=False, **MT)
+        record = Pipeline(PROGRAM, config).run(CTX_SPEC)
+        assert record.outcome is Outcome.BENIGN
+
+    def test_queue_rotate_is_benign_with_divergent_schedule(self):
+        config = PipelineConfig("native", None, **MT)
+        pipe = Pipeline(PROGRAM, config)
+        spec = SchedFaultSpec(switch=5, kind="queue-rotate")
+        record = pipe.run(spec)
+        assert record.outcome is Outcome.BENIGN
+
+    def test_describe(self):
+        assert CTX_SPEC.describe() == "sched ctx t1 r16b10@sw9"
+        rot = SchedFaultSpec(switch=5, kind="queue-rotate")
+        assert rot.describe() == "sched rotate@sw5"
+
+
+class TestCrossContextAttribution:
+    def test_escape_attributed_as_cross_context(self):
+        config = PipelineConfig("static", "ecf", sig_swap=False, **MT)
+        divergence, attribution, text = explain_spec(PROGRAM, config,
+                                                     CTX_SPEC)
+        assert attribution.reason is EscapeReason.CROSS_CONTEXT
+        assert "cross-context-escape" in text
+        assert "signature" in attribution.detail
+
+    def test_detected_run_is_not_an_escape(self):
+        config = PipelineConfig("static", "ecf", **MT)
+        divergence, attribution, _text = explain_spec(PROGRAM, config,
+                                                      CTX_SPEC)
+        assert attribution is None or \
+            attribution.reason is not EscapeReason.CROSS_CONTEXT
+
+    def test_guest_reg_ctx_bit_not_cross_context(self):
+        """Flipping a guest computation register in a saved context is
+        an ordinary data fault, not a signature-protocol escape."""
+        spec = SchedFaultSpec(switch=9, kind="ctx-bit", tid=1, reg=4,
+                              bit=10)
+        config = PipelineConfig("static", "ecf", sig_swap=False, **MT)
+        divergence, attribution, _text = explain_spec(PROGRAM, config,
+                                                      spec)
+        if attribution is not None:
+            assert attribution.reason is not EscapeReason.CROSS_CONTEXT
+
+
+class TestThreadTargetedSpecs:
+    def test_thread_field_round_trips_through_bundle(self):
+        spec = FaultSpec(0x1000, 2, DirectionFault(taken=None),
+                         thread=3)
+        again = spec_from_json(spec_to_json(spec))
+        assert repr(again) == repr(spec)
+        assert again.thread == 3
+
+    def test_thread_none_stays_absent_in_json(self):
+        spec = FaultSpec(0x1000, 1, DirectionFault(taken=None))
+        data = spec_to_json(spec)
+        assert "thread" not in data
+        assert spec_from_json(data).thread is None
+
+    def test_sched_spec_round_trips_through_bundle(self):
+        data = spec_to_json(CTX_SPEC)
+        assert data["kind"] == "sched"
+        again = spec_from_json(data)
+        assert isinstance(again, SchedFaultSpec)
+        assert again == CTX_SPEC
+
+
+class TestPerThreadSeedStreams:
+    def test_specs_are_order_and_subset_independent(self):
+        mt = PipelineConfig("native", None, **MT)
+        full = generate_thread_faults(PROGRAM, mt, tids=(1, 2, 3),
+                                      per_thread=4, seed=7)
+        reordered = generate_thread_faults(PROGRAM, mt, tids=(3, 1, 2),
+                                           per_thread=4, seed=7)
+        assert [repr(s) for s in full] == [repr(s) for s in reordered]
+        only_two = generate_thread_faults(PROGRAM, mt, tids=(2,),
+                                          per_thread=4, seed=7)
+        by_tid = [s for s in full if s.thread == 2]
+        assert [repr(s) for s in only_two] == [repr(s) for s in by_tid]
+
+    def test_specs_carry_their_thread(self):
+        mt = PipelineConfig("native", None, **MT)
+        specs = generate_thread_faults(PROGRAM, mt, tids=(1, 2),
+                                       per_thread=3, seed=7)
+        assert specs and {s.thread for s in specs} == {1, 2}
+
+    def test_sched_fault_stream_deterministic(self):
+        a = generate_sched_faults(count=8, seed=3, sig_regs=(16, 17))
+        b = generate_sched_faults(count=8, seed=3, sig_regs=(16, 17))
+        assert a == b
+        kinds = {spec.kind for spec in a}
+        assert kinds == {"ctx-bit", "queue-rotate"}
+        assert all(spec.reg in (16, 17) for spec in a
+                   if spec.kind == "ctx-bit")
+
+
+class TestThreadGatedInjection:
+    def test_occurrence_counts_only_in_victim_thread(self):
+        """The same (branch, occurrence) spec lands at different
+        dynamic sites depending on the victim thread, so outcomes may
+        differ — but each victim's run is deterministic."""
+        worker_pc = PROGRAM.symbols["worker"] + 28
+        config = PipelineConfig("static", "ecf", **MT)
+        pipe = Pipeline(PROGRAM, config)
+        outcomes = {}
+        for tid in (1, 2):
+            spec = FaultSpec(worker_pc, 2, DirectionFault(taken=None),
+                             thread=tid)
+            outcomes[tid] = [pipe.run(spec).outcome for _ in range(2)]
+        for tid, pair in outcomes.items():
+            assert pair[0] == pair[1], (tid, pair)

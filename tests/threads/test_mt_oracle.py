@@ -1,0 +1,74 @@
+"""The MT differential oracle and its fuzz-runner integration."""
+
+from repro.checking import Policy
+from repro.fuzz import (FuzzConfig, capture_threaded,
+                        check_mt_transparency, run_fuzz)
+from repro.fuzz.generator import FuzzKnobs
+from repro.fuzz.oracle import MT_INSTRUMENTED_IGNORE
+from repro.isa import assemble
+from repro.workloads import BY_NAME
+
+SMALL = assemble(BY_NAME["mt.counters4"].generator(threads=3, iters=15,
+                                                   spin=3),
+                 name="mt-small")
+
+
+class TestCaptureThreaded:
+    def test_backend_digests_fully_identical(self):
+        interp = capture_threaded(SMALL, quantum=53)
+        block = capture_threaded(SMALL, quantum=53, backend="block")
+        assert interp.diff(block) == []
+        assert interp.schedule != "-"
+
+    def test_schedule_field_tracks_quantum(self):
+        a = capture_threaded(SMALL, quantum=53)
+        b = capture_threaded(SMALL, quantum=101)
+        diff = a.diff(b)
+        assert "schedule" in diff
+        assert a.diff(b, ignore=("schedule", "icount", "cycles",
+                                 "syscalls")) == []
+
+    def test_instrumented_matches_golden_modulo_schedule(self):
+        golden = capture_threaded(SMALL, quantum=53)
+        ecf = capture_threaded(SMALL, technique="ecf", quantum=53)
+        # Instrumentation shifts preemption points (the quantum counts
+        # retired instructions), so schedule/syscall interleavings and
+        # instruction counts legitimately differ; committed results
+        # must not.
+        assert ecf.diff(golden, ignore=MT_INSTRUMENTED_IGNORE
+                        + ("icount", "cycles")) == []
+
+
+class TestCheckMtTransparency:
+    def test_clean_kernels_have_no_failures(self):
+        assert check_mt_transparency(SMALL, techniques=("ecf",),
+                                     quantum=53) == []
+
+    def test_priority_policy_and_seed(self):
+        program = assemble(
+            BY_NAME["mt.relay"].generator(stages=3, rounds=6),
+            name="mt-relay-small")
+        assert check_mt_transparency(program, techniques=("cfcss",),
+                                     policy=Policy.ALLBB, quantum=61,
+                                     sched_policy="priority",
+                                     sched_seed=7) == []
+
+
+class TestFuzzMtMode:
+    def test_mt_every_runs_and_passes(self):
+        config = FuzzConfig(seed=11, count=2, detect_every=0,
+                            mt_every=2, minimize=False,
+                            knobs=FuzzKnobs.tiny(),
+                            techniques=("ecf",))
+        report = run_fuzz(config, jobs=1)
+        assert report.mt_runs == 1
+        assert report.mt_failures == 0
+        assert report.passed
+        assert "MT" in report.summary_line()
+
+    def test_mt_disabled_by_default(self):
+        config = FuzzConfig(seed=11, count=1, detect_every=0,
+                            minimize=False, knobs=FuzzKnobs.tiny(),
+                            techniques=("ecf",))
+        report = run_fuzz(config, jobs=1)
+        assert report.mt_runs == 0

@@ -1,0 +1,90 @@
+"""Checkpoint/rollback recovery on threaded programs.
+
+The satellite contract: checkpoints capture *every* thread context
+plus the run queue (not just the thread occupying the CPU), a
+detected fault re-executes to the correct committed result, and the
+recovered run is byte-identical across execution backends.
+"""
+
+from repro.exec import BACKEND_NAMES
+from repro.faults import Outcome, PipelineConfig
+from repro.faults.campaign import Pipeline
+from repro.faults.injector import SchedFaultSpec
+from repro.isa import assemble
+from repro.workloads import BY_NAME
+
+PROGRAM = assemble(BY_NAME["mt.counters4"].generator(threads=4,
+                                                     iters=40, spin=4),
+                   name="mt-recovery")
+CTX_SPEC = SchedFaultSpec(switch=9, kind="ctx-bit", tid=1, reg=16,
+                          bit=10)
+
+
+def recovery_config(backend="interp"):
+    return PipelineConfig("static", "ecf", threads=True, quantum=97,
+                          recover=True, checkpoint_interval=512,
+                          backend=backend)
+
+
+class TestMtRecovery:
+    def test_detected_sched_fault_recovers_to_golden_output(self):
+        config = recovery_config()
+        pipe = Pipeline(PROGRAM, config)
+        record = pipe.run(CTX_SPEC)
+        assert record.outcome is Outcome.RECOVERED
+        assert record.outputs == pipe.golden.outputs
+        assert record.attempts >= 1
+        assert record.rollback_distance_icount is not None
+
+    def test_rollback_restores_all_threads_and_run_queue(self):
+        """Roll back across context switches: the re-executed schedule
+        must replay exactly, which is only possible if the checkpoint
+        restored every saved context, the ready queue and the
+        scheduler RNG — a divergent replay would commit different
+        output or deadlock."""
+
+        class MachineProbe:
+            def __init__(self):
+                self.machine = None
+
+            def bind(self, cpu, **_kwargs):
+                self.cpu = cpu
+
+        probe = MachineProbe()
+        config = recovery_config()
+        pipe = Pipeline(PROGRAM, config)
+        clean = pipe.run(None)
+        probe_record = pipe.run(CTX_SPEC, probe=probe)
+        assert probe_record.outcome is Outcome.RECOVERED
+        machine = probe.machine
+        assert machine is not None
+        # The recovered machine ends in the same terminal shape as a
+        # clean run: the kernels exit via the whole-machine EXIT in
+        # main, so every *worker* has reached THREAD_EXIT and nothing
+        # is left on the ready queue.
+        from repro.threads.context import EXITED
+        assert machine.live_threads() == 1      # main, at EXIT
+        workers = [ctx for tid, ctx in machine.contexts.items()
+                   if tid != 0]
+        assert workers and all(ctx.state == EXITED for ctx in workers)
+        assert machine.scheduler.ready_count() == 0
+        assert not machine.deadlocked
+        assert machine.thread_count() == 5      # main + 4 workers
+        assert probe_record.outputs == clean.outputs
+
+    def test_recovered_run_byte_identical_across_backends(self):
+        records = {}
+        for backend in BACKEND_NAMES:
+            pipe = Pipeline(PROGRAM, recovery_config(backend))
+            records[backend] = pipe.run(CTX_SPEC)
+        interp, block = (records["interp"], records["block"])
+        assert interp.outcome is block.outcome is Outcome.RECOVERED
+        assert interp.outputs == block.outputs
+        assert interp.icount == block.icount
+        assert interp.stop_reason == block.stop_reason
+
+    def test_clean_threaded_run_under_recovery_pays_no_rollback(self):
+        config = recovery_config()
+        record = Pipeline(PROGRAM, config).run(None)
+        assert record.outcome is Outcome.BENIGN
+        assert not record.rollback_distance_icount

@@ -1,0 +1,95 @@
+"""DeterministicScheduler unit tests: policies, seeding, snapshots."""
+
+import pytest
+
+from repro.threads import DEFAULT_QUANTUM, POLICIES
+from repro.threads.scheduler import DeterministicScheduler
+
+
+class TestRoundRobin:
+    def test_fifo_order(self):
+        sched = DeterministicScheduler(policy="rr")
+        for tid in (3, 1, 2):
+            sched.enqueue(tid)
+        picks = [sched.pick(lambda tid: 0) for _ in range(3)]
+        assert picks == [3, 1, 2]
+        assert sched.pick(lambda tid: 0) is None
+
+    def test_remove(self):
+        sched = DeterministicScheduler()
+        for tid in (1, 2, 3):
+            sched.enqueue(tid)
+        sched.remove(2)
+        assert sched.ready_tids() == (1, 3)
+        sched.remove(99)                        # absent tid is a no-op
+        assert sched.ready_count() == 2
+
+    def test_rotate_moves_head_to_tail(self):
+        sched = DeterministicScheduler()
+        for tid in (1, 2, 3):
+            sched.enqueue(tid)
+        sched.rotate()
+        assert sched.ready_tids() == (2, 3, 1)
+
+    def test_rotate_single_entry_is_noop(self):
+        sched = DeterministicScheduler()
+        sched.enqueue(7)
+        sched.rotate()
+        assert sched.ready_tids() == (7,)
+
+
+class TestPriority:
+    def test_highest_priority_wins(self):
+        sched = DeterministicScheduler(policy="priority")
+        for tid in (1, 2, 3):
+            sched.enqueue(tid)
+        prio = {1: 0, 2: 9, 3: 4}
+        assert sched.pick(prio.__getitem__) == 2
+        assert sched.pick(prio.__getitem__) == 3
+
+    def test_tie_break_is_seed_deterministic(self):
+        def drain(seed):
+            sched = DeterministicScheduler(policy="priority", seed=seed)
+            for tid in range(6):
+                sched.enqueue(tid)
+            return [sched.pick(lambda tid: 0) for _ in range(6)]
+
+        assert drain(42) == drain(42)
+        # Different seeds explore different (reproducible) orders; with
+        # 6! permutations a collision would be remarkable.
+        assert drain(1) != drain(2) or drain(3) != drain(4)
+
+    def test_rng_only_advances_on_actual_ties(self):
+        sched = DeterministicScheduler(policy="priority", seed=5)
+        prio = {1: 3, 2: 7}
+        sched.enqueue(1)
+        sched.enqueue(2)
+        state = sched.snapshot()[1]
+        assert sched.pick(prio.__getitem__) == 2
+        assert sched.snapshot()[1] == state     # no tie, no draw
+
+
+class TestConstruction:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduling policy"):
+            DeterministicScheduler(policy="lottery")
+
+    def test_quantum_floor(self):
+        assert DeterministicScheduler(quantum=0).quantum == 1
+        assert DeterministicScheduler(quantum=-5).quantum == 1
+
+    def test_exports(self):
+        assert DEFAULT_QUANTUM == 500
+        assert POLICIES == ("rr", "priority")
+
+
+class TestSnapshot:
+    def test_round_trip_restores_queue_and_rng(self):
+        sched = DeterministicScheduler(policy="priority", seed=9)
+        for tid in (4, 5, 6):
+            sched.enqueue(tid)
+        snap = sched.snapshot()
+        first = [sched.pick(lambda tid: 0) for _ in range(3)]
+        sched.restore(snap)
+        assert sched.ready_tids() == (4, 5, 6)
+        assert [sched.pick(lambda tid: 0) for _ in range(3)] == first
